@@ -1,0 +1,162 @@
+//! A coarse-grained, TreeFuser-style dependence baseline.
+//!
+//! Prior frameworks discussed in §1/§6 of the paper reason about whole
+//! traversals at the granularity of *fields*: if one traversal writes a field
+//! that another traversal reads or writes — anywhere in the tree — the pair
+//! is conservatively declared conflicting, and the fusion or parallelization
+//! is rejected.  Retreet's contribution is precisely the finer, per-iteration
+//! reasoning that accepts these transformations.
+//!
+//! This module implements that baseline so the benchmarks can report the
+//! ablation: which of the paper's case studies the coarse analysis rejects
+//! while the fine-grained analysis (and the ground-truth differential check)
+//! accepts.
+
+use std::collections::BTreeSet;
+
+use retreet_lang::ast::{BlockKind, Program};
+use retreet_lang::blocks::BlockTable;
+use retreet_lang::rw::{rw_sets_of_block, Access};
+
+/// The field footprint of one top-level traversal (one call in `Main`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraversalFootprint {
+    /// Name of the entry function of the traversal.
+    pub entry: String,
+    /// Fields possibly read anywhere in the traversal.
+    pub reads: BTreeSet<String>,
+    /// Fields possibly written anywhere in the traversal.
+    pub writes: BTreeSet<String>,
+}
+
+impl TraversalFootprint {
+    /// True when the two traversals conflict at field granularity.
+    pub fn conflicts_with(&self, other: &TraversalFootprint) -> bool {
+        let rw_conflict = self.writes.iter().any(|f| other.reads.contains(f) || other.writes.contains(f));
+        let wr_conflict = other.writes.iter().any(|f| self.reads.contains(f));
+        rw_conflict || wr_conflict
+    }
+}
+
+/// Computes the field footprint of every traversal launched directly from
+/// `Main`, in launch order.
+pub fn traversal_footprints(program: &Program) -> Vec<TraversalFootprint> {
+    let table = BlockTable::build(program);
+    let Some(main) = program.main() else {
+        return Vec::new();
+    };
+    let mut footprints = Vec::new();
+    for block in main.blocks() {
+        let BlockKind::Call(call) = &block.kind else {
+            continue;
+        };
+        let mut footprint = TraversalFootprint {
+            entry: call.callee.clone(),
+            ..TraversalFootprint::default()
+        };
+        // Transitively collect the callee functions reachable from the entry.
+        let mut reachable: Vec<usize> = Vec::new();
+        if let Some(start) = program.func_index(&call.callee) {
+            let mut stack = vec![start];
+            while let Some(func) = stack.pop() {
+                if reachable.contains(&func) {
+                    continue;
+                }
+                reachable.push(func);
+                for inner in program.funcs[func].blocks() {
+                    if let BlockKind::Call(inner_call) = &inner.kind {
+                        if let Some(next) = program.func_index(&inner_call.callee) {
+                            stack.push(next);
+                        }
+                    }
+                }
+            }
+        }
+        for func in reachable {
+            for &block_id in table.blocks_of_func(func) {
+                let sets = rw_sets_of_block(&table, block_id);
+                for access in &sets.reads {
+                    if let Access::Field(_, field) = access {
+                        footprint.reads.insert(field.clone());
+                    }
+                }
+                for access in &sets.writes {
+                    if let Access::Field(_, field) = access {
+                        footprint.writes.insert(field.clone());
+                    }
+                }
+            }
+        }
+        footprints.push(footprint);
+    }
+    footprints
+}
+
+/// The coarse baseline's verdict for fusing all of `Main`'s traversals into a
+/// single pass: accepted only when no pair of traversals conflicts at field
+/// granularity.
+pub fn coarse_fusion_ok(program: &Program) -> bool {
+    let footprints = traversal_footprints(program);
+    for (i, a) in footprints.iter().enumerate() {
+        for b in footprints.iter().skip(i + 1) {
+            if a.conflicts_with(b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The coarse baseline's verdict for running `Main`'s traversals in parallel:
+/// identical criterion (field-granular disjointness).
+pub fn coarse_parallel_ok(program: &Program) -> bool {
+    coarse_fusion_ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retreet_lang::corpus;
+
+    #[test]
+    fn css_minification_is_rejected_by_the_coarse_baseline() {
+        // All three passes touch `value`, so field-granular analysis refuses
+        // to fuse them — while the fine-grained check (equiv.rs) proves the
+        // fusion correct.  This is the ablation claim of §1/§6.
+        assert!(!coarse_fusion_ok(&corpus::css_minify_original()));
+    }
+
+    #[test]
+    fn cycletree_fusion_is_rejected_by_the_coarse_baseline() {
+        assert!(!coarse_fusion_ok(&corpus::cycletree_original()));
+    }
+
+    #[test]
+    fn size_counting_is_accepted_by_the_coarse_baseline() {
+        // Odd/Even touch no fields at all, so even the coarse baseline is
+        // happy to fuse or parallelize them.
+        assert!(coarse_fusion_ok(&corpus::size_counting_sequential()));
+        assert!(coarse_parallel_ok(&corpus::size_counting_parallel()));
+    }
+
+    #[test]
+    fn footprints_list_fields_per_traversal() {
+        let footprints = traversal_footprints(&corpus::css_minify_original());
+        assert_eq!(footprints.len(), 3);
+        assert_eq!(footprints[0].entry, "ConvertValues");
+        assert!(footprints[0].writes.contains("value"));
+        assert!(footprints[1].reads.contains("prop"));
+        assert!(footprints[2].reads.contains("initial"));
+    }
+
+    #[test]
+    fn mutation_case_is_rejected_by_the_coarse_baseline() {
+        // Swap writes `swapped`; IncrmLeft writes `v` and reads `v` — the
+        // traversals are actually field-disjoint except through `v`…
+        let footprints = traversal_footprints(&corpus::tree_mutation_original());
+        assert_eq!(footprints.len(), 2);
+        // Swap writes `swapped` only; IncrmLeft reads/writes `v` only; so the
+        // coarse baseline accepts this particular (already simplified) form.
+        assert!(coarse_fusion_ok(&corpus::tree_mutation_original()));
+    }
+}

@@ -1,0 +1,386 @@
+//! Transformation-correctness checking (the `Conflict⟦P, P′⟧` query of §4).
+//!
+//! The paper certifies a fusion or reordering by (1) exhibiting a
+//! bisimulation between the call blocks of the two programs and (2) showing
+//! that no pair of dependent configurations is ordered one way in `P` and
+//! the other way in `P′` (Theorem 3).  The bounded reproduction discharges
+//! the same question semantically: both programs are executed on every tree
+//! up to a bound (with several deterministic field valuations), and they are
+//! equivalent when they always produce the same return values and the same
+//! final field state, and every *dependent* pair of iterations that both
+//! programs execute appears in the same relative order.
+//!
+//! A disagreement is returned as a concrete counterexample tree — the same
+//! artifact MONA's counterexamples are manually mapped to in §5.
+
+use std::collections::BTreeMap;
+
+use retreet_lang::ast::Program;
+use retreet_lang::blocks::BlockTable;
+
+use crate::interp::{self, ExecOrder, Iteration, RunResult};
+use crate::vtree::{test_trees, ValueTree};
+
+/// Options for the bounded equivalence check.
+#[derive(Debug, Clone)]
+pub struct EquivOptions {
+    /// Largest tree (in nodes) to test.
+    pub max_nodes: usize,
+    /// Number of deterministic field valuations per tree shape.
+    pub valuations: usize,
+    /// Also require that dependent iteration pairs keep their relative order
+    /// (the Theorem 3 condition); disable to compare observable behaviour
+    /// only.
+    pub check_dependence_order: bool,
+}
+
+impl Default for EquivOptions {
+    fn default() -> Self {
+        EquivOptions {
+            max_nodes: 5,
+            valuations: 3,
+            check_dependence_order: true,
+        }
+    }
+}
+
+/// Why two programs were found inequivalent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Disagreement {
+    /// `Main` returned different values.
+    Returns {
+        /// Return values of the first program.
+        first: Vec<i64>,
+        /// Return values of the second program.
+        second: Vec<i64>,
+    },
+    /// The final field states differ at some node/field.
+    Fields {
+        /// A description of the first differing (node, field, value, value).
+        detail: String,
+    },
+    /// A pair of dependent iterations is ordered differently (the Theorem 3
+    /// conflict condition).
+    DependenceOrder {
+        /// Description of the conflicting pair.
+        detail: String,
+    },
+    /// One of the two programs failed to execute (nil dereference or similar).
+    ExecutionError {
+        /// The interpreter error message.
+        message: String,
+    },
+}
+
+/// A concrete counterexample to equivalence.
+#[derive(Debug, Clone)]
+pub struct EquivCounterExample {
+    /// The input tree.
+    pub tree: ValueTree,
+    /// What went wrong.
+    pub disagreement: Disagreement,
+}
+
+/// Verdict of the equivalence query.
+#[derive(Debug, Clone)]
+pub enum EquivVerdict {
+    /// No disagreement on any tested tree.
+    Equivalent {
+        /// How many (tree, valuation) pairs were tested.
+        trees_checked: usize,
+    },
+    /// The programs disagree on the attached counterexample.
+    CounterExample(Box<EquivCounterExample>),
+}
+
+impl EquivVerdict {
+    /// True for the equivalent verdict.
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, EquivVerdict::Equivalent { .. })
+    }
+
+    /// The counterexample, if any.
+    pub fn counterexample(&self) -> Option<&EquivCounterExample> {
+        match self {
+            EquivVerdict::CounterExample(ce) => Some(ce),
+            EquivVerdict::Equivalent { .. } => None,
+        }
+    }
+}
+
+/// Checks bounded equivalence of two programs (typically an original
+/// composition of traversals and its fused form).
+pub fn check_equivalence(
+    original: &Program,
+    transformed: &Program,
+    options: &EquivOptions,
+) -> EquivVerdict {
+    let table_a = BlockTable::build(original);
+    let table_b = BlockTable::build(transformed);
+    // Test trees must initialize the union of both programs' fields so that
+    // reads observe the same initial values on both sides.
+    let mut fields = crate::race::program_fields(&table_a);
+    for field in crate::race::program_fields(&table_b) {
+        if !fields.contains(&field) {
+            fields.push(field);
+        }
+    }
+    let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+    let trees = test_trees(options.max_nodes, &field_refs, options.valuations);
+    for tree in &trees {
+        let run_a = interp::run_with_table(&table_a, tree);
+        let run_b = interp::run_with_table(&table_b, tree);
+        let (result_a, result_b) = match (run_a, run_b) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(err), _) | (_, Err(err)) => {
+                return EquivVerdict::CounterExample(Box::new(EquivCounterExample {
+                    tree: tree.clone(),
+                    disagreement: Disagreement::ExecutionError {
+                        message: err.to_string(),
+                    },
+                }));
+            }
+        };
+        if let Some(disagreement) = compare_runs(&result_a, &result_b, options) {
+            return EquivVerdict::CounterExample(Box::new(EquivCounterExample {
+                tree: tree.clone(),
+                disagreement,
+            }));
+        }
+    }
+    EquivVerdict::Equivalent {
+        trees_checked: trees.len(),
+    }
+}
+
+fn compare_runs(a: &RunResult, b: &RunResult, options: &EquivOptions) -> Option<Disagreement> {
+    if a.returns != b.returns {
+        return Some(Disagreement::Returns {
+            first: a.returns.clone(),
+            second: b.returns.clone(),
+        });
+    }
+    let fields_a = a.tree.field_snapshot();
+    let fields_b = b.tree.field_snapshot();
+    if fields_a != fields_b {
+        let detail = first_field_difference(&fields_a, &fields_b);
+        return Some(Disagreement::Fields { detail });
+    }
+    if options.check_dependence_order {
+        if let Some(detail) = dependence_order_violation(a, b) {
+            return Some(Disagreement::DependenceOrder { detail });
+        }
+    }
+    None
+}
+
+fn first_field_difference(
+    a: &BTreeMap<(crate::vtree::NodeId, String), i64>,
+    b: &BTreeMap<(crate::vtree::NodeId, String), i64>,
+) -> String {
+    for (key, value) in a {
+        match b.get(key) {
+            Some(other) if other == value => continue,
+            Some(other) => {
+                return format!("{}.{} = {} vs {}", key.0, key.1, value, other);
+            }
+            None => return format!("{}.{} = {} vs <unset>", key.0, key.1, value),
+        }
+    }
+    for (key, value) in b {
+        if !a.contains_key(key) {
+            return format!("{}.{} = <unset> vs {}", key.0, key.1, value);
+        }
+    }
+    String::from("<no difference>")
+}
+
+/// Checks the Theorem 3 condition on the two traces: every pair of
+/// *dependent* iterations executed by both programs (matched by their
+/// concrete write-read footprints) must not be ordered one way in `a` and
+/// the opposite way in `b`.
+///
+/// Iterations are matched across programs by `(node, field accesses)`
+/// signature, which is exactly what the bisimulation relation preserves for
+/// the transformations considered in §5 (fusion and parallelization reorder
+/// iterations but keep their per-node effects).
+fn dependence_order_violation(a: &RunResult, b: &RunResult) -> Option<String> {
+    let sig = |it: &Iteration| -> Option<String> {
+        if it.accesses.is_empty() {
+            return None;
+        }
+        let mut parts: Vec<String> = it
+            .accesses
+            .iter()
+            .map(|acc| format!("{}.{}:{}", acc.node, acc.field, if acc.is_write { "w" } else { "r" }))
+            .collect();
+        parts.sort();
+        parts.dedup();
+        Some(parts.join(","))
+    };
+    // Map signature -> first index in each trace.
+    let mut index_a: BTreeMap<String, usize> = BTreeMap::new();
+    for (i, it) in a.trace.iterations.iter().enumerate() {
+        if let Some(s) = sig(it) {
+            index_a.entry(s).or_insert(i);
+        }
+    }
+    let mut index_b: BTreeMap<String, usize> = BTreeMap::new();
+    for (i, it) in b.trace.iterations.iter().enumerate() {
+        if let Some(s) = sig(it) {
+            index_b.entry(s).or_insert(i);
+        }
+    }
+    let shared: Vec<&String> = index_a.keys().filter(|k| index_b.contains_key(*k)).collect();
+    for (i, sig_x) in shared.iter().enumerate() {
+        for sig_y in shared.iter().skip(i + 1) {
+            let (xa, ya) = (index_a[*sig_x], index_a[*sig_y]);
+            let (xb, yb) = (index_b[*sig_x], index_b[*sig_y]);
+            if !crate::interp::conflicting(&a.trace.iterations[xa], &a.trace.iterations[ya]) {
+                continue;
+            }
+            let order_a = a.trace.order(xa, ya);
+            let order_b = b.trace.order(xb, yb);
+            let conflict = matches!(
+                (order_a, order_b),
+                (ExecOrder::Before, ExecOrder::After) | (ExecOrder::After, ExecOrder::Before)
+            );
+            if conflict {
+                return Some(format!(
+                    "dependent iterations `{sig_x}` and `{sig_y}` are ordered {order_a:?} in the \
+                     original but {order_b:?} in the transformed program"
+                ));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retreet_lang::corpus;
+
+    fn options() -> EquivOptions {
+        EquivOptions {
+            max_nodes: 4,
+            valuations: 2,
+            check_dependence_order: true,
+        }
+    }
+
+    #[test]
+    fn valid_size_counting_fusion_is_equivalent() {
+        // E1a: Fig. 6a is a correct fusion of Odd/Even.
+        let verdict = check_equivalence(
+            &corpus::size_counting_sequential(),
+            &corpus::size_counting_fused(),
+            &options(),
+        );
+        assert!(verdict.is_equivalent(), "verdict: {verdict:?}");
+    }
+
+    #[test]
+    fn invalid_size_counting_fusion_is_rejected_with_counterexample() {
+        // E1b: Fig. 6b breaks the child-to-parent read-after-write dependence.
+        let verdict = check_equivalence(
+            &corpus::size_counting_sequential(),
+            &corpus::size_counting_fused_invalid(),
+            &options(),
+        );
+        let ce = verdict.counterexample().expect("counterexample expected");
+        assert!(matches!(ce.disagreement, Disagreement::Returns { .. }));
+    }
+
+    #[test]
+    fn tree_mutation_fusion_is_equivalent() {
+        // E2: Swap; IncrmLeft fused into one pass (after flag conversion).
+        let verdict = check_equivalence(
+            &corpus::tree_mutation_original(),
+            &corpus::tree_mutation_fused(),
+            &options(),
+        );
+        assert!(verdict.is_equivalent(), "verdict: {verdict:?}");
+    }
+
+    #[test]
+    fn css_minification_fusion_is_equivalent() {
+        // E3: ConvertValues; MinifyFont; ReduceInit fused into one traversal.
+        let verdict = check_equivalence(
+            &corpus::css_minify_original(),
+            &corpus::css_minify_fused(),
+            &options(),
+        );
+        assert!(verdict.is_equivalent(), "verdict: {verdict:?}");
+    }
+
+    #[test]
+    fn cycletree_fusion_is_equivalent() {
+        // E4a: RootMode + ComputeRouting fused into a single traversal.
+        let verdict = check_equivalence(
+            &corpus::cycletree_original(),
+            &corpus::cycletree_fused(),
+            &EquivOptions {
+                max_nodes: 4,
+                valuations: 1,
+                check_dependence_order: true,
+            },
+        );
+        assert!(verdict.is_equivalent(), "verdict: {verdict:?}");
+    }
+
+    #[test]
+    fn swapping_dependent_passes_is_rejected() {
+        // Running MinifyFont before ConvertValues is NOT equivalent to the
+        // original order (both write `value` under different conditions).
+        let reordered = retreet_lang::parse_program(
+            r#"
+            fn ConvertValues(n) {
+                if (n == nil) { return 0; } else {
+                    a = ConvertValues(n.l);
+                    b = ConvertValues(n.r);
+                    if (n.kind > 0) { n.value = n.value - 1; }
+                    return 0;
+                }
+            }
+            fn MinifyFont(n) {
+                if (n == nil) { return 0; } else {
+                    a = MinifyFont(n.l);
+                    b = MinifyFont(n.r);
+                    if (n.prop > 0) { n.value = 400; }
+                    return 0;
+                }
+            }
+            fn ReduceInit(n) {
+                if (n == nil) { return 0; } else {
+                    a = ReduceInit(n.l);
+                    b = ReduceInit(n.r);
+                    if (n.initial > n.value) { n.value = 0; }
+                    return 0;
+                }
+            }
+            fn Main(n) {
+                y = MinifyFont(n);
+                x = ConvertValues(n);
+                z = ReduceInit(n);
+                return 0;
+            }
+        "#,
+        )
+        .unwrap();
+        let verdict = check_equivalence(&corpus::css_minify_original(), &reordered, &options());
+        assert!(!verdict.is_equivalent());
+    }
+
+    #[test]
+    fn a_program_is_equivalent_to_itself() {
+        for program in [
+            corpus::size_counting_sequential(),
+            corpus::css_minify_original(),
+            corpus::tree_mutation_original(),
+        ] {
+            let verdict = check_equivalence(&program, &program, &options());
+            assert!(verdict.is_equivalent());
+        }
+    }
+}

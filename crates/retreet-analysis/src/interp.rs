@@ -1,0 +1,687 @@
+//! A reference interpreter for Retreet programs over concrete [`ValueTree`]s.
+//!
+//! The interpreter serves three purposes in the reproduction:
+//!
+//! 1. it defines the concrete semantics the analyses are checked against
+//!    (differential equivalence testing of fusions, §5),
+//! 2. it records an *execution trace* — the sequence of iterations
+//!    `(block, node)` with their field accesses and their series-parallel
+//!    position — from which the dynamic dependence/race analysis derives the
+//!    happens-before relation, and
+//! 3. it is the sequential baseline the `retreet-runtime` crate's fused and
+//!    parallel schedules are validated against.
+//!
+//! Parallel compositions are executed in syntactic order; the recorded
+//! series-parallel positions (not the execution order) determine which
+//! iterations are concurrent, exactly like a dynamic race detector running on
+//! a canonical schedule.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use retreet_lang::ast::{AExpr, Assign, BExpr, Dir, NodeRef, Program, Stmt};
+use retreet_lang::blocks::{BlockId, BlockTable};
+
+use crate::vtree::{NodeId, ValueTree};
+
+/// One step of a series-parallel schedule position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedStep {
+    /// The `i`-th element of a sequential composition.
+    Seq(usize),
+    /// The `i`-th branch of a parallel composition.
+    Par(usize),
+}
+
+/// How two iterations are related by the program structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecOrder {
+    /// The first iteration happens before the second in every execution.
+    Before,
+    /// The first iteration happens after the second in every execution.
+    After,
+    /// The iterations belong to different branches of a parallel composition
+    /// and may execute in either order.
+    Parallel,
+    /// The two indices denote the same iteration.
+    Same,
+}
+
+/// A single field access performed by an iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldAccess {
+    /// The accessed node.
+    pub node: NodeId,
+    /// The accessed field.
+    pub field: String,
+    /// True for writes.
+    pub is_write: bool,
+}
+
+/// One executed iteration: a block run on a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Iteration {
+    /// The executed block.
+    pub block: BlockId,
+    /// The node the block ran on (`None` when the enclosing activation was
+    /// called on `nil`).
+    pub node: Option<NodeId>,
+    /// Series-parallel position of the iteration.
+    pub path: Vec<SchedStep>,
+    /// The field accesses the iteration performed (including reads done by
+    /// the branch conditions guarding it).
+    pub accesses: Vec<FieldAccess>,
+}
+
+/// The trace of a whole program run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// The iterations, in execution order of the canonical schedule.
+    pub iterations: Vec<Iteration>,
+}
+
+impl Trace {
+    /// Number of iterations.
+    pub fn len(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// True when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.iterations.is_empty()
+    }
+
+    /// The structural order between two iterations (by index).
+    pub fn order(&self, a: usize, b: usize) -> ExecOrder {
+        if a == b {
+            return ExecOrder::Same;
+        }
+        order_of_paths(&self.iterations[a].path, &self.iterations[b].path)
+    }
+
+    /// All pairs `(i, j)` of parallel iterations with conflicting accesses
+    /// (same node and field, at least one write).
+    pub fn racy_pairs(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.iterations.len() {
+            for j in (i + 1)..self.iterations.len() {
+                if self.order(i, j) != ExecOrder::Parallel {
+                    continue;
+                }
+                if conflicting(&self.iterations[i], &self.iterations[j]) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// True when the two iterations access a common (node, field) with at least
+/// one write.
+pub fn conflicting(a: &Iteration, b: &Iteration) -> bool {
+    for x in &a.accesses {
+        for y in &b.accesses {
+            if x.node == y.node && x.field == y.field && (x.is_write || y.is_write) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn order_of_paths(a: &[SchedStep], b: &[SchedStep]) -> ExecOrder {
+    for (sa, sb) in a.iter().zip(b.iter()) {
+        if sa == sb {
+            continue;
+        }
+        return match (sa, sb) {
+            (SchedStep::Seq(i), SchedStep::Seq(j)) => {
+                if i < j {
+                    ExecOrder::Before
+                } else {
+                    ExecOrder::After
+                }
+            }
+            (SchedStep::Par(_), SchedStep::Par(_)) => ExecOrder::Parallel,
+            // Positions that agree up to here live in the same container, so
+            // the step kinds cannot differ.
+            _ => unreachable!("mismatched schedule containers"),
+        };
+    }
+    // One path is a prefix of the other; the shorter one is the enclosing
+    // position and is considered to happen first.
+    if a.len() <= b.len() {
+        ExecOrder::Before
+    } else {
+        ExecOrder::After
+    }
+}
+
+/// The result of running a program.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The values returned by `Main`.
+    pub returns: Vec<i64>,
+    /// The execution trace.
+    pub trace: Trace,
+    /// The tree after the run (field writes applied).
+    pub tree: ValueTree,
+}
+
+/// Interpreter errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The program has no `Main`.
+    NoMain,
+    /// A call referenced an unknown function.
+    UnknownFunction(String),
+    /// A field of a nil node was read or written.
+    NilDereference {
+        /// The block performing the access.
+        block: BlockId,
+    },
+    /// The dynamic call depth exceeded the safety cap (the no-self-call
+    /// restriction should make this impossible for validated programs).
+    DepthExceeded,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::NoMain => write!(f, "the program has no Main function"),
+            InterpError::UnknownFunction(name) => write!(f, "call to unknown function `{name}`"),
+            InterpError::NilDereference { block } => {
+                write!(f, "nil dereference while executing block {block}")
+            }
+            InterpError::DepthExceeded => write!(f, "call depth exceeded the interpreter cap"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Runs `program` on a copy of `tree`, returning the trace, the final tree
+/// and `Main`'s return values.
+pub fn run(program: &Program, tree: &ValueTree) -> Result<RunResult, InterpError> {
+    let table = BlockTable::build(program);
+    run_with_table(&table, tree)
+}
+
+/// Like [`run`], but reuses an existing [`BlockTable`] (avoids rebuilding it
+/// when the same program is run on many trees).
+pub fn run_with_table(table: &BlockTable, tree: &ValueTree) -> Result<RunResult, InterpError> {
+    let program = table.program();
+    let main_idx = program
+        .func_index(retreet_lang::ast::MAIN)
+        .ok_or(InterpError::NoMain)?;
+    let bodies: Vec<AStmt> = program
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(idx, func)| {
+            let mut ids = table.blocks_of_func(idx).iter().copied();
+            annotate(&func.body, &mut ids)
+        })
+        .collect();
+    let mut state = Interp {
+        table,
+        bodies,
+        tree: tree.clone(),
+        trace: Trace::default(),
+        depth: 0,
+    };
+    let root = Some(state.tree.root());
+    let returns = state.call(main_idx, root, Vec::new(), &mut vec![], &[])?;
+    Ok(RunResult {
+        returns,
+        trace: state.trace,
+        tree: state.tree,
+    })
+}
+
+struct Interp<'a> {
+    table: &'a BlockTable,
+    /// Function bodies with every block leaf annotated by its [`BlockId`]
+    /// (same syntactic order as [`BlockTable::blocks_of_func`]), so the trace
+    /// attributes iterations to the correct block even when two blocks of a
+    /// function have identical payloads (e.g. two `return 0;` branches).
+    bodies: Vec<AStmt>,
+    tree: ValueTree,
+    trace: Trace,
+    depth: usize,
+}
+
+/// A function body with block leaves resolved to their table ids.
+#[derive(Debug, Clone)]
+enum AStmt {
+    Block(BlockId),
+    If(BExpr, Box<AStmt>, Box<AStmt>),
+    Seq(Vec<AStmt>),
+    Par(Vec<AStmt>),
+}
+
+/// Pairs the block leaves of `stmt` (visited in the same order the
+/// [`BlockTable`] numbered them) with the ids drawn from `ids`.
+fn annotate(stmt: &Stmt, ids: &mut impl Iterator<Item = BlockId>) -> AStmt {
+    match stmt {
+        Stmt::Block(_) => AStmt::Block(ids.next().expect("block table covers every block")),
+        Stmt::If(cond, then_branch, else_branch) => AStmt::If(
+            cond.clone(),
+            Box::new(annotate(then_branch, ids)),
+            Box::new(annotate(else_branch, ids)),
+        ),
+        Stmt::Seq(items) => AStmt::Seq(items.iter().map(|s| annotate(s, ids)).collect()),
+        Stmt::Par(items) => AStmt::Par(items.iter().map(|s| annotate(s, ids)).collect()),
+    }
+}
+
+/// Per-activation state: the node and the integer environment.
+struct Activation {
+    node: Option<NodeId>,
+    env: HashMap<String, i64>,
+}
+
+const MAX_DEPTH: usize = 10_000;
+
+impl Interp<'_> {
+    fn call(
+        &mut self,
+        func_idx: usize,
+        node: Option<NodeId>,
+        args: Vec<i64>,
+        path: &mut Vec<SchedStep>,
+        guards: &[FieldAccess],
+    ) -> Result<Vec<i64>, InterpError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(InterpError::DepthExceeded);
+        }
+        let func = &self.table.program().funcs[func_idx];
+        let mut env = HashMap::new();
+        for (param, value) in func.int_params.iter().zip(args.iter()) {
+            env.insert(param.clone(), *value);
+        }
+        let mut activation = Activation { node, env };
+        let body = self.bodies[func_idx].clone();
+        let result = self.exec_stmt(&body, &mut activation, path, guards)?;
+        self.depth -= 1;
+        Ok(result.unwrap_or_default())
+    }
+
+    fn exec_stmt(
+        &mut self,
+        stmt: &AStmt,
+        activation: &mut Activation,
+        path: &mut Vec<SchedStep>,
+        guards: &[FieldAccess],
+    ) -> Result<Option<Vec<i64>>, InterpError> {
+        match stmt {
+            AStmt::Block(id) => {
+                let id = *id;
+                if self.table.info(id).is_call() {
+                    self.exec_call(id, activation, path, guards).map(|()| None)
+                } else {
+                    self.exec_straight(id, activation, path, guards)
+                }
+            }
+            AStmt::If(cond, then_branch, else_branch) => {
+                let mut cond_accesses = Vec::new();
+                let value = self.eval_cond(cond, activation, &mut cond_accesses)?;
+                let mut inherited: Vec<FieldAccess> = guards.to_vec();
+                inherited.extend(cond_accesses);
+                if value {
+                    self.exec_stmt(then_branch, activation, path, &inherited)
+                } else {
+                    self.exec_stmt(else_branch, activation, path, &inherited)
+                }
+            }
+            AStmt::Seq(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    path.push(SchedStep::Seq(i));
+                    let result = self.exec_stmt(item, activation, path, guards)?;
+                    path.pop();
+                    if result.is_some() {
+                        return Ok(result);
+                    }
+                }
+                Ok(None)
+            }
+            AStmt::Par(items) => {
+                let mut returned = None;
+                for (i, item) in items.iter().enumerate() {
+                    path.push(SchedStep::Par(i));
+                    let result = self.exec_stmt(item, activation, path, guards)?;
+                    path.pop();
+                    if result.is_some() {
+                        returned = result;
+                    }
+                }
+                Ok(returned)
+            }
+        }
+    }
+
+    fn exec_call(
+        &mut self,
+        id: BlockId,
+        activation: &mut Activation,
+        path: &mut Vec<SchedStep>,
+        guards: &[FieldAccess],
+    ) -> Result<(), InterpError> {
+        let info = self.table.info(id).clone();
+        let call = info.block.as_call().expect("call block");
+        let mut accesses: Vec<FieldAccess> = guards.to_vec();
+        let mut args = Vec::with_capacity(call.args.len());
+        for arg in &call.args {
+            args.push(self.eval_expr(arg, activation, id, &mut accesses)?);
+        }
+        // Record the call iteration itself (argument evaluation reads).
+        path.push(SchedStep::Seq(0));
+        self.trace.iterations.push(Iteration {
+            block: id,
+            node: activation.node,
+            path: path.clone(),
+            accesses,
+        });
+        path.pop();
+
+        let target_node = match call.target {
+            NodeRef::Cur => activation.node,
+            NodeRef::Child(dir) => activation.node.and_then(|n| self.child(n, dir)),
+        };
+        let callee_idx = self
+            .table
+            .program()
+            .func_index(&call.callee)
+            .ok_or_else(|| InterpError::UnknownFunction(call.callee.clone()))?;
+        path.push(SchedStep::Seq(1));
+        let results = self.call(callee_idx, target_node, args, path, &[])?;
+        path.pop();
+        for (var, value) in call.results.iter().zip(results.iter()) {
+            activation.env.insert(var.clone(), *value);
+        }
+        Ok(())
+    }
+
+    fn exec_straight(
+        &mut self,
+        id: BlockId,
+        activation: &mut Activation,
+        path: &mut Vec<SchedStep>,
+        guards: &[FieldAccess],
+    ) -> Result<Option<Vec<i64>>, InterpError> {
+        let info = self.table.info(id).clone();
+        let straight = info.block.as_straight().expect("straight block");
+        let mut accesses: Vec<FieldAccess> = guards.to_vec();
+        let mut result = None;
+        for assign in &straight.assigns {
+            match assign {
+                Assign::SetVar(var, expr) => {
+                    let value = self.eval_expr(expr, activation, id, &mut accesses)?;
+                    activation.env.insert(var.clone(), value);
+                }
+                Assign::SetField(node_ref, field, expr) => {
+                    let value = self.eval_expr(expr, activation, id, &mut accesses)?;
+                    let node = self
+                        .resolve(node_ref, activation)
+                        .ok_or(InterpError::NilDereference { block: id })?;
+                    self.tree.set_field(node, field, value);
+                    accesses.push(FieldAccess {
+                        node,
+                        field: field.clone(),
+                        is_write: true,
+                    });
+                }
+            }
+        }
+        if let Some(ret) = &straight.ret {
+            let mut values = Vec::with_capacity(ret.len());
+            for expr in ret {
+                values.push(self.eval_expr(expr, activation, id, &mut accesses)?);
+            }
+            result = Some(values);
+        }
+        self.trace.iterations.push(Iteration {
+            block: id,
+            node: activation.node,
+            path: path.clone(),
+            accesses,
+        });
+        Ok(result)
+    }
+
+    fn child(&self, node: NodeId, dir: Dir) -> Option<NodeId> {
+        match dir {
+            Dir::Left => self.tree.left(node),
+            Dir::Right => self.tree.right(node),
+        }
+    }
+
+    fn resolve(&self, node_ref: &NodeRef, activation: &Activation) -> Option<NodeId> {
+        match node_ref {
+            NodeRef::Cur => activation.node,
+            NodeRef::Child(dir) => activation.node.and_then(|n| self.child(n, *dir)),
+        }
+    }
+
+    fn eval_expr(
+        &self,
+        expr: &AExpr,
+        activation: &Activation,
+        block: BlockId,
+        accesses: &mut Vec<FieldAccess>,
+    ) -> Result<i64, InterpError> {
+        match expr {
+            AExpr::Const(c) => Ok(*c),
+            // Reading an unassigned variable yields 0; this is what makes the
+            // invalid fusion of Fig. 6b produce observably wrong results
+            // rather than crashing.
+            AExpr::Var(v) => Ok(activation.env.get(v).copied().unwrap_or(0)),
+            AExpr::Field(node_ref, field) => {
+                let node = self
+                    .resolve(node_ref, activation)
+                    .ok_or(InterpError::NilDereference { block })?;
+                accesses.push(FieldAccess {
+                    node,
+                    field: field.clone(),
+                    is_write: false,
+                });
+                Ok(self.tree.field(node, field))
+            }
+            AExpr::Add(a, b) => Ok(self
+                .eval_expr(a, activation, block, accesses)?
+                .wrapping_add(self.eval_expr(b, activation, block, accesses)?)),
+            AExpr::Sub(a, b) => Ok(self
+                .eval_expr(a, activation, block, accesses)?
+                .wrapping_sub(self.eval_expr(b, activation, block, accesses)?)),
+        }
+    }
+
+    fn eval_cond(
+        &self,
+        cond: &BExpr,
+        activation: &Activation,
+        accesses: &mut Vec<FieldAccess>,
+    ) -> Result<bool, InterpError> {
+        match cond {
+            BExpr::True => Ok(true),
+            BExpr::IsNil(node_ref) => Ok(self.resolve(node_ref, activation).is_none()),
+            BExpr::Gt(expr) => {
+                // Guard reads are attributed to the guarded blocks via the
+                // `guards` mechanism; use a sentinel block id for error
+                // reporting only.
+                let value = self.eval_expr(expr, activation, BlockId(u32::MAX), accesses)?;
+                Ok(value > 0)
+            }
+            BExpr::Not(inner) => Ok(!self.eval_cond(inner, activation, accesses)?),
+            BExpr::And(a, b) => Ok(self.eval_cond(a, activation, accesses)?
+                && self.eval_cond(b, activation, accesses)?),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retreet_lang::corpus;
+    use retreet_lang::parse_program;
+
+    fn complete(height: usize) -> ValueTree {
+        ValueTree::complete(height, &["v"], |i, _| i as i64 % 5 + 1)
+    }
+
+    #[test]
+    fn size_counting_returns_layer_counts() {
+        // On a complete tree of height 3 (7 nodes): odd layers (1 and 3) have
+        // 1 + 4 = 5 nodes, even layer (2) has 2 nodes.
+        let program = corpus::size_counting_parallel();
+        let result = run(&program, &complete(3)).unwrap();
+        assert_eq!(result.returns, vec![5, 2]);
+    }
+
+    #[test]
+    fn fused_size_counting_computes_the_same_answers() {
+        let original = corpus::size_counting_sequential();
+        let fused = corpus::size_counting_fused();
+        for height in 1..=4 {
+            let tree = complete(height);
+            let a = run(&original, &tree).unwrap();
+            let b = run(&fused, &tree).unwrap();
+            assert_eq!(a.returns, b.returns, "height {height}");
+        }
+    }
+
+    #[test]
+    fn invalid_fusion_computes_wrong_answers() {
+        let original = corpus::size_counting_sequential();
+        let broken = corpus::size_counting_fused_invalid();
+        let tree = complete(3);
+        let a = run(&original, &tree).unwrap();
+        let b = run(&broken, &tree).unwrap();
+        assert_ne!(a.returns, b.returns);
+    }
+
+    #[test]
+    fn traces_record_iterations_and_positions() {
+        let program = corpus::size_counting_parallel();
+        let tree = ValueTree::single();
+        let result = run(&program, &tree).unwrap();
+        // Odd(root): visits root + two nil children; Even likewise; plus the
+        // call iterations and Main's return.
+        assert!(result.trace.len() >= 7);
+        // The two traversals are parallel: some pair of iterations from the
+        // two branches must be structurally parallel.
+        let parallel_pairs = (0..result.trace.len())
+            .flat_map(|i| (0..result.trace.len()).map(move |j| (i, j)))
+            .filter(|&(i, j)| i < j && result.trace.order(i, j) == ExecOrder::Parallel)
+            .count();
+        assert!(parallel_pairs > 0);
+        // But they do not conflict (no field accesses at all).
+        assert!(result.trace.racy_pairs().is_empty());
+    }
+
+    #[test]
+    fn overlapping_parallel_traversals_race() {
+        let program = corpus::overlapping_parallel();
+        let tree = complete(2);
+        let result = run(&program, &tree).unwrap();
+        assert!(!result.trace.racy_pairs().is_empty());
+    }
+
+    #[test]
+    fn disjoint_parallel_traversals_do_not_race() {
+        let program = corpus::disjoint_parallel();
+        let tree = complete(3);
+        let result = run(&program, &tree).unwrap();
+        assert!(result.trace.racy_pairs().is_empty());
+    }
+
+    #[test]
+    fn field_writes_are_visible_in_the_final_tree() {
+        let program = corpus::css_minify_original();
+        let mut tree = complete(2);
+        for node in tree.nodes().collect::<Vec<_>>() {
+            tree.set_field(node, "kind", 1);
+            tree.set_field(node, "value", 10);
+            tree.set_field(node, "prop", 0);
+            tree.set_field(node, "initial", 0);
+        }
+        let result = run(&program, &tree).unwrap();
+        for node in result.tree.nodes().collect::<Vec<_>>() {
+            // ConvertValues decrements value from 10 to 9.
+            assert_eq!(result.tree.field(node, "value"), 9);
+        }
+    }
+
+    #[test]
+    fn sequential_iterations_are_ordered() {
+        let program = corpus::size_counting_sequential();
+        let tree = ValueTree::single();
+        let result = run(&program, &tree).unwrap();
+        // The Odd-call iteration comes before the Even-call iteration in Main.
+        let table = BlockTable::build(&program);
+        // The calls launched from Main are the last call blocks to each
+        // traversal (s8 and s9 in the paper's numbering).
+        let odd_call = *table.calls_to("Odd").last().unwrap();
+        let even_call = *table.calls_to("Even").last().unwrap();
+        let i = result
+            .trace
+            .iterations
+            .iter()
+            .position(|it| it.block == odd_call)
+            .unwrap();
+        let j = result
+            .trace
+            .iterations
+            .iter()
+            .position(|it| it.block == even_call)
+            .unwrap();
+        assert_eq!(result.trace.order(i, j), ExecOrder::Before);
+        assert_eq!(result.trace.order(j, i), ExecOrder::After);
+        assert_eq!(result.trace.order(i, i), ExecOrder::Same);
+    }
+
+    #[test]
+    fn guard_reads_are_attributed_to_guarded_blocks() {
+        let src = r#"
+            fn F(n) {
+                if (n.flag > 0) {
+                    n.out = 1;
+                }
+                return 0;
+            }
+            fn Main(n) {
+                x = F(n);
+                return x;
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let mut tree = ValueTree::single();
+        tree.set_field(tree.root(), "flag", 1);
+        let result = run(&program, &tree).unwrap();
+        let guarded = result
+            .trace
+            .iterations
+            .iter()
+            .find(|it| it.accesses.iter().any(|a| a.field == "out"))
+            .expect("guarded block executed");
+        assert!(guarded.accesses.iter().any(|a| a.field == "flag" && !a.is_write));
+    }
+
+    #[test]
+    fn nil_dereference_is_reported() {
+        let src = r#"
+            fn Main(n) {
+                x = n.l.v;
+                return x;
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let tree = ValueTree::single();
+        assert!(matches!(
+            run(&program, &tree),
+            Err(InterpError::NilDereference { .. })
+        ));
+    }
+}

@@ -1,0 +1,263 @@
+//! Data-race detection (the `DataRace⟦P⟧` query of §4).
+//!
+//! Two engines are provided:
+//!
+//! * [`check_data_race`] — the configuration engine: enumerate configurations
+//!   (the paper's abstraction) over every tree up to a bound, and look for a
+//!   pair of *parallel*, *mutually feasible* configurations whose final
+//!   iterations have a data dependence.  This mirrors Theorem 2: the program
+//!   is reported race-free when no such pair exists on any enumerated tree.
+//! * [`check_data_race_dynamic`] — the trace engine: run the interpreter and
+//!   look for structurally parallel iterations with conflicting accesses
+//!   (a dynamic race detector on the canonical schedule).  It serves as an
+//!   independent validation of the configuration engine's verdicts.
+
+use std::collections::BTreeSet;
+
+use retreet_lang::ast::Program;
+use retreet_lang::blocks::BlockTable;
+use retreet_lang::rw::{rw_sets, Access};
+
+use crate::configs::{self, ConfigRelation, Configuration, EnumOptions};
+use crate::interp;
+use crate::vtree::{test_trees, NodeId, ValueTree};
+
+/// Options for the bounded race analysis.
+#[derive(Debug, Clone)]
+pub struct RaceOptions {
+    /// Largest tree (in nodes) to enumerate.
+    pub max_nodes: usize,
+    /// Number of deterministic field valuations per tree shape.
+    pub valuations: usize,
+    /// Configuration-enumeration limits.
+    pub enumeration: EnumOptions,
+}
+
+impl Default for RaceOptions {
+    fn default() -> Self {
+        RaceOptions {
+            max_nodes: 4,
+            valuations: 2,
+            enumeration: EnumOptions::default(),
+        }
+    }
+}
+
+/// A concrete witness of a potential data race.
+#[derive(Debug, Clone)]
+pub struct RaceWitness {
+    /// The tree the race occurs on.
+    pub tree: ValueTree,
+    /// Description of the first conflicting configuration.
+    pub first: String,
+    /// Description of the second conflicting configuration.
+    pub second: String,
+    /// The node both iterations access.
+    pub node: NodeId,
+    /// The field both iterations access (at least one write).
+    pub field: String,
+}
+
+/// The verdict of a race query.
+#[derive(Debug, Clone)]
+pub enum RaceVerdict {
+    /// No race was found on any enumerated tree.
+    RaceFree {
+        /// Number of trees analysed.
+        trees_checked: usize,
+        /// Number of configurations enumerated in total.
+        configurations: usize,
+    },
+    /// A candidate race with its witness.
+    Race(RaceWitness),
+}
+
+impl RaceVerdict {
+    /// True for the race-free verdict.
+    pub fn is_race_free(&self) -> bool {
+        matches!(self, RaceVerdict::RaceFree { .. })
+    }
+
+    /// The witness, when a race was found.
+    pub fn witness(&self) -> Option<&RaceWitness> {
+        match self {
+            RaceVerdict::Race(witness) => Some(witness),
+            RaceVerdict::RaceFree { .. } => None,
+        }
+    }
+}
+
+/// Every field name mentioned by the program's read/write sets; these are the
+/// fields the test trees initialize.
+pub fn program_fields(table: &BlockTable) -> Vec<String> {
+    let mut fields: BTreeSet<String> = BTreeSet::new();
+    for sets in rw_sets(table) {
+        for access in sets.reads.iter().chain(sets.writes.iter()) {
+            if let Access::Field(_, name) = access {
+                fields.insert(name.clone());
+            }
+        }
+    }
+    fields.into_iter().collect()
+}
+
+/// The configuration-based data-race check (Theorem 2, bounded).
+pub fn check_data_race(program: &Program, options: &RaceOptions) -> RaceVerdict {
+    let table = BlockTable::build(program);
+    let fields = program_fields(&table);
+    let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+    let trees = test_trees(options.max_nodes, &field_refs, options.valuations);
+    let mut total_configs = 0usize;
+    for tree in &trees {
+        let configs = configs::enumerate(&table, tree, &options.enumeration);
+        total_configs += configs.len();
+        if let Some(witness) = find_race(&table, tree, &configs) {
+            return RaceVerdict::Race(witness);
+        }
+    }
+    RaceVerdict::RaceFree {
+        trees_checked: trees.len(),
+        configurations: total_configs,
+    }
+}
+
+fn find_race(
+    table: &BlockTable,
+    tree: &ValueTree,
+    configs: &[Configuration],
+) -> Option<RaceWitness> {
+    for (i, a) in configs.iter().enumerate() {
+        for b in configs.iter().skip(i + 1) {
+            if configs::relation(table, a, b) != ConfigRelation::Parallel {
+                continue;
+            }
+            let Some((node, field)) = configs::dependence(table, tree, a, b) else {
+                continue;
+            };
+            if !configs::mutually_feasible(a, b) {
+                continue;
+            }
+            return Some(RaceWitness {
+                tree: tree.clone(),
+                first: a.describe(table),
+                second: b.describe(table),
+                node,
+                field,
+            });
+        }
+    }
+    None
+}
+
+/// The trace-based data-race check (dynamic validation engine).
+pub fn check_data_race_dynamic(program: &Program, options: &RaceOptions) -> RaceVerdict {
+    let table = BlockTable::build(program);
+    let fields = program_fields(&table);
+    let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+    let trees = test_trees(options.max_nodes, &field_refs, options.valuations);
+    let mut total = 0usize;
+    for tree in &trees {
+        let Ok(result) = interp::run_with_table(&table, tree) else {
+            continue;
+        };
+        total += result.trace.len();
+        if let Some(&(i, j)) = result.trace.racy_pairs().first() {
+            let a = &result.trace.iterations[i];
+            let b = &result.trace.iterations[j];
+            let (node, field) = a
+                .accesses
+                .iter()
+                .find_map(|x| {
+                    b.accesses.iter().find_map(|y| {
+                        if x.node == y.node && x.field == y.field && (x.is_write || y.is_write) {
+                            Some((x.node, x.field.clone()))
+                        } else {
+                            None
+                        }
+                    })
+                })
+                .expect("racy pair has a conflicting access");
+            return RaceVerdict::Race(RaceWitness {
+                tree: tree.clone(),
+                first: format!("{} on {:?}", a.block, a.node),
+                second: format!("{} on {:?}", b.block, b.node),
+                node,
+                field,
+            });
+        }
+    }
+    RaceVerdict::RaceFree {
+        trees_checked: trees.len(),
+        configurations: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retreet_lang::corpus;
+
+    fn small() -> RaceOptions {
+        RaceOptions {
+            max_nodes: 3,
+            valuations: 1,
+            enumeration: EnumOptions::default(),
+        }
+    }
+
+    #[test]
+    fn size_counting_parallel_is_race_free() {
+        // E1c of the evaluation: Odd(n) ‖ Even(n) has no data race.
+        let verdict = check_data_race(&corpus::size_counting_parallel(), &small());
+        assert!(verdict.is_race_free(), "verdict: {verdict:?}");
+        let dynamic = check_data_race_dynamic(&corpus::size_counting_parallel(), &small());
+        assert!(dynamic.is_race_free());
+    }
+
+    #[test]
+    fn cycletree_parallelization_races() {
+        // E4b of the evaluation: RootMode ‖ ComputeRouting races on `num`.
+        let verdict = check_data_race(&corpus::cycletree_parallel(), &small());
+        let witness = verdict.witness().expect("a race must be found");
+        assert_eq!(witness.field, "num");
+        let dynamic = check_data_race_dynamic(&corpus::cycletree_parallel(), &small());
+        assert!(!dynamic.is_race_free());
+    }
+
+    #[test]
+    fn disjoint_subtree_parallelism_is_race_free() {
+        let verdict = check_data_race(&corpus::disjoint_parallel(), &small());
+        assert!(verdict.is_race_free(), "verdict: {verdict:?}");
+        let dynamic = check_data_race_dynamic(&corpus::disjoint_parallel(), &small());
+        assert!(dynamic.is_race_free());
+    }
+
+    #[test]
+    fn overlapping_parallel_traversals_race() {
+        let verdict = check_data_race(&corpus::overlapping_parallel(), &small());
+        assert!(!verdict.is_race_free());
+        assert_eq!(verdict.witness().unwrap().field, "total");
+    }
+
+    #[test]
+    fn sequential_programs_are_trivially_race_free() {
+        for program in [
+            corpus::size_counting_sequential(),
+            corpus::css_minify_original(),
+            corpus::cycletree_original(),
+            corpus::tree_mutation_original(),
+        ] {
+            let verdict = check_data_race(&program, &small());
+            assert!(verdict.is_race_free());
+        }
+    }
+
+    #[test]
+    fn program_fields_are_collected() {
+        let table = BlockTable::build(&corpus::cycletree_original());
+        let fields = program_fields(&table);
+        assert!(fields.contains(&"num".to_string()));
+        assert!(fields.contains(&"min".to_string()));
+        assert!(fields.contains(&"lmax".to_string()));
+    }
+}

@@ -1,0 +1,290 @@
+//! Concrete binary trees with integer-valued local fields.
+//!
+//! The bounded analysis engines run Retreet programs (and enumerate
+//! configurations) over *concrete* trees: a shape plus an integer value for
+//! every local field read by the program.  [`ValueTree`] is that model.  The
+//! shapes come from the exhaustive enumerator of `retreet-mso`; field values
+//! are filled in by a small deterministic generator so analyses are
+//! reproducible without an external RNG.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use retreet_mso::tree::{all_trees_up_to, LabeledTree};
+
+/// Identifier of a node inside a [`ValueTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct VNode {
+    left: Option<NodeId>,
+    right: Option<NodeId>,
+    parent: Option<NodeId>,
+    fields: BTreeMap<String, i64>,
+}
+
+/// A binary tree whose nodes carry named integer fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueTree {
+    nodes: Vec<VNode>,
+}
+
+impl ValueTree {
+    /// A single-node tree.
+    pub fn single() -> Self {
+        ValueTree {
+            nodes: vec![VNode::default()],
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false: a value tree has at least its root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a left child.
+    pub fn add_left(&mut self, parent: NodeId) -> NodeId {
+        assert!(self.left(parent).is_none());
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(VNode {
+            parent: Some(parent),
+            ..VNode::default()
+        });
+        self.nodes[parent.as_usize()].left = Some(id);
+        id
+    }
+
+    /// Adds a right child.
+    pub fn add_right(&mut self, parent: NodeId) -> NodeId {
+        assert!(self.right(parent).is_none());
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(VNode {
+            parent: Some(parent),
+            ..VNode::default()
+        });
+        self.nodes[parent.as_usize()].right = Some(id);
+        id
+    }
+
+    /// Left child.
+    pub fn left(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.as_usize()].left
+    }
+
+    /// Right child.
+    pub fn right(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.as_usize()].right
+    }
+
+    /// Parent.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.as_usize()].parent
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Reads a field (0 when never written or initialized).
+    pub fn field(&self, node: NodeId, name: &str) -> i64 {
+        self.nodes[node.as_usize()]
+            .fields
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Writes a field.
+    pub fn set_field(&mut self, node: NodeId, name: &str, value: i64) {
+        self.nodes[node.as_usize()]
+            .fields
+            .insert(name.to_string(), value);
+    }
+
+    /// A snapshot of every `(node, field, value)` triple, for equality
+    /// comparisons between program runs.
+    pub fn field_snapshot(&self) -> BTreeMap<(NodeId, String), i64> {
+        let mut out = BTreeMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            for (name, value) in &node.fields {
+                out.insert((NodeId(i as u32), name.clone()), *value);
+            }
+        }
+        out
+    }
+
+    /// The height of the tree (single node = 1).
+    pub fn height(&self) -> usize {
+        fn depth(tree: &ValueTree, node: NodeId) -> usize {
+            let l = tree.left(node).map_or(0, |c| depth(tree, c));
+            let r = tree.right(node).map_or(0, |c| depth(tree, c));
+            1 + l.max(r)
+        }
+        depth(self, self.root())
+    }
+
+    /// Builds a [`ValueTree`] with the same shape as a `retreet-mso` tree.
+    pub fn from_shape_of(labeled: &LabeledTree) -> Self {
+        let mut tree = ValueTree::single();
+        fn copy(
+            labeled: &LabeledTree,
+            src: retreet_mso::tree::NodeId,
+            tree: &mut ValueTree,
+            dst: NodeId,
+        ) {
+            if let Some(l) = labeled.left(src) {
+                let child = tree.add_left(dst);
+                copy(labeled, l, tree, child);
+            }
+            if let Some(r) = labeled.right(src) {
+                let child = tree.add_right(dst);
+                copy(labeled, r, tree, child);
+            }
+        }
+        copy(labeled, labeled.root(), &mut tree, NodeId(0));
+        tree
+    }
+
+    /// Builds a complete binary tree of the given height with fields from
+    /// `init(node_index, field)`.
+    pub fn complete(height: usize, fields: &[&str], init: impl Fn(usize, &str) -> i64) -> Self {
+        assert!(height >= 1);
+        let mut tree = ValueTree::single();
+        fn grow(tree: &mut ValueTree, node: NodeId, remaining: usize) {
+            if remaining == 0 {
+                return;
+            }
+            let l = tree.add_left(node);
+            let r = tree.add_right(node);
+            grow(tree, l, remaining - 1);
+            grow(tree, r, remaining - 1);
+        }
+        grow(&mut tree, NodeId(0), height - 1);
+        for node in tree.nodes().collect::<Vec<_>>() {
+            for field in fields {
+                let value = init(node.as_usize(), field);
+                tree.set_field(node, field, value);
+            }
+        }
+        tree
+    }
+
+    /// Fills every listed field of every node with a deterministic
+    /// pseudo-random small integer derived from `seed` (a simple linear
+    /// congruential generator, good enough for differential testing and
+    /// reproducible across runs).
+    pub fn fill_fields(&mut self, fields: &[&str], seed: u64) {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let nodes: Vec<NodeId> = self.nodes().collect();
+        for node in nodes {
+            for field in fields {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // Small signed values keep the arithmetic readable in
+                // counterexamples and avoid overflow in long traversals.
+                let value = ((state >> 33) % 17) as i64 - 8;
+                self.set_field(node, field, value);
+            }
+        }
+    }
+}
+
+/// The corpus of test trees the bounded engines iterate over: every shape up
+/// to `max_nodes` nodes, each with `valuations` different deterministic field
+/// valuations for the given field names.
+pub fn test_trees(max_nodes: usize, fields: &[&str], valuations: usize) -> Vec<ValueTree> {
+    let mut out = Vec::new();
+    for shape in all_trees_up_to(max_nodes) {
+        for v in 0..valuations.max(1) {
+            let mut tree = ValueTree::from_shape_of(&shape);
+            tree.fill_fields(fields, 0x9E3779B9u64.wrapping_add(v as u64 * 0x1234567));
+            out.push(tree);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_navigate() {
+        let mut tree = ValueTree::single();
+        let root = tree.root();
+        let l = tree.add_left(root);
+        let r = tree.add_right(root);
+        assert_eq!(tree.len(), 3);
+        assert_eq!(tree.parent(l), Some(root));
+        assert_eq!(tree.left(root), Some(l));
+        assert_eq!(tree.right(root), Some(r));
+        assert_eq!(tree.height(), 2);
+    }
+
+    #[test]
+    fn fields_default_to_zero() {
+        let mut tree = ValueTree::single();
+        let root = tree.root();
+        assert_eq!(tree.field(root, "v"), 0);
+        tree.set_field(root, "v", 42);
+        assert_eq!(tree.field(root, "v"), 42);
+        assert_eq!(tree.field_snapshot().len(), 1);
+    }
+
+    #[test]
+    fn shape_conversion_preserves_structure() {
+        for labeled in all_trees_up_to(4) {
+            let tree = ValueTree::from_shape_of(&labeled);
+            assert_eq!(tree.len(), labeled.len());
+        }
+    }
+
+    #[test]
+    fn complete_tree_and_deterministic_fill() {
+        let tree = ValueTree::complete(3, &["v"], |i, _| i as i64);
+        assert_eq!(tree.len(), 7);
+        assert_eq!(tree.field(NodeId(3), "v"), 3);
+
+        let mut a = ValueTree::complete(3, &[], |_, _| 0);
+        let mut b = ValueTree::complete(3, &[], |_, _| 0);
+        a.fill_fields(&["v"], 7);
+        b.fill_fields(&["v"], 7);
+        assert_eq!(a, b, "filling is deterministic");
+        b.fill_fields(&["v"], 8);
+        assert_ne!(a, b, "different seeds give different valuations");
+    }
+
+    #[test]
+    fn test_tree_corpus_size() {
+        let trees = test_trees(3, &["v"], 2);
+        // (1 + 2 + 5) shapes × 2 valuations.
+        assert_eq!(trees.len(), 16);
+        assert!(trees.iter().all(|t| t.len() <= 3));
+    }
+}

@@ -1,0 +1,40 @@
+//! P3 — ablation: coarse (TreeFuser-style, field-granularity) dependence
+//! analysis vs. the fine-grained Retreet-style check.  The coarse baseline
+//! rejects the CSS and cycletree fusions that the fine-grained analysis
+//! accepts — the qualitative gap §1/§6 of the paper motivates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use retreet_analysis::coarse::coarse_fusion_ok;
+use retreet_bench::{ablation_granularity, Budget};
+use retreet_lang::corpus;
+
+fn bench(c: &mut Criterion) {
+    let rows = ablation_granularity(&Budget::default());
+    println!("\ncase                 coarse-accepts   fine-grained-accepts");
+    for row in &rows {
+        println!(
+            "{:<20} {:<16} {:<20}",
+            row.case, row.coarse_accepts, row.fine_grained_accepts
+        );
+    }
+    assert!(rows
+        .iter()
+        .filter(|r| matches!(r.case, "css_minification" | "cycletree"))
+        .all(|r| !r.coarse_accepts && r.fine_grained_accepts));
+
+    let mut group = c.benchmark_group("ablation_granularity");
+    group.sample_size(20);
+    group.bench_function("coarse_css", |b| {
+        b.iter(|| coarse_fusion_ok(&corpus::css_minify_original()))
+    });
+    group.bench_function("coarse_cycletree", |b| {
+        b.iter(|| coarse_fusion_ok(&corpus::cycletree_original()))
+    });
+    group.bench_function("full_ablation", |b| {
+        b.iter(|| ablation_granularity(&Budget::quick()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E1 — the mutually recursive size-counting case study (Fig. 3 / Fig. 6).
+//!
+//! Regenerates the three §5 rows: the valid fusion (E1a), the rejected
+//! invalid fusion (E1b), and data-race-freedom of the parallel composition
+//! (E1c).  Each bench iteration runs the full verification query; the
+//! verdicts are asserted so a regression cannot silently flip them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use retreet_bench::{
+    e1a_size_counting_fusion, e1b_size_counting_invalid_fusion, e1c_size_counting_race_freedom,
+    render_table, Budget,
+};
+
+fn bench(c: &mut Criterion) {
+    let budget = Budget::default();
+    let rows = vec![
+        e1a_size_counting_fusion(&budget),
+        e1b_size_counting_invalid_fusion(&budget),
+        e1c_size_counting_race_freedom(&budget),
+    ];
+    println!("\n{}", render_table(&rows));
+    assert!(rows.iter().all(|r| r.matches_paper()));
+
+    let mut group = c.benchmark_group("e1_size_counting");
+    group.sample_size(10);
+    group.bench_function("e1a_valid_fusion", |b| {
+        b.iter(|| assert!(e1a_size_counting_fusion(&budget).matches_paper()))
+    });
+    group.bench_function("e1b_invalid_fusion", |b| {
+        b.iter(|| assert!(e1b_size_counting_invalid_fusion(&budget).matches_paper()))
+    });
+    group.bench_function("e1c_race_freedom", |b| {
+        b.iter(|| assert!(e1c_size_counting_race_freedom(&budget).matches_paper()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E2 — the tree-mutation case study (Fig. 7): fusing `Swap`; `IncrmLeft`
+//! after the mutation-to-flag conversion of §5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use retreet_bench::{e2_tree_mutation_fusion, render_table, Budget};
+
+fn bench(c: &mut Criterion) {
+    let budget = Budget::default();
+    let row = e2_tree_mutation_fusion(&budget);
+    println!("\n{}", render_table(std::slice::from_ref(&row)));
+    assert!(row.matches_paper());
+
+    let mut group = c.benchmark_group("e2_tree_mutation");
+    group.sample_size(10);
+    group.bench_function("e2_fusion", |b| {
+        b.iter(|| assert!(e2_tree_mutation_fusion(&budget).matches_paper()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

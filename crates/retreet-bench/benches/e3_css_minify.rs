@@ -1,0 +1,28 @@
+//! E3 — the CSS-minification case study (Fig. 8): fusing `ConvertValues`;
+//! `MinifyFont`; `ReduceInit` on LCRS-binarized ASTs, plus the concrete-side
+//! validation that the executable fused minifier matches the unfused one.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use retreet_bench::{e3_css_minification_fusion, render_table, Budget};
+use retreet_css::css::generate_stylesheet;
+use retreet_css::minify::{minify_fused, minify_unfused};
+
+fn bench(c: &mut Criterion) {
+    let budget = Budget::default();
+    let row = e3_css_minification_fusion(&budget);
+    println!("\n{}", render_table(std::slice::from_ref(&row)));
+    assert!(row.matches_paper());
+
+    let sheet = generate_stylesheet(500, 11);
+    assert_eq!(minify_fused(&sheet), minify_unfused(&sheet));
+
+    let mut group = c.benchmark_group("e3_css_minify");
+    group.sample_size(10);
+    group.bench_function("e3_fusion_verification", |b| {
+        b.iter(|| assert!(e3_css_minification_fusion(&budget).matches_paper()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E4 — the cycletree case study (Fig. 9): the fusion of the four-mode
+//! numbering with the router-data computation is valid (E4a), while running
+//! the two traversals in parallel races on `num` (E4b).  This is the paper's
+//! hardest query (490.55 s in MONA), and it remains the most expensive
+//! verification bench here as well.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use retreet_bench::{e4a_cycletree_fusion, e4b_cycletree_parallelization_race, render_table, Budget};
+use retreet_cycletree::numbering::{complete_cycletree, fused_number_and_route, number_cycletree};
+use retreet_cycletree::routing::compute_routing;
+
+fn bench(c: &mut Criterion) {
+    let budget = Budget::default();
+    let rows = vec![
+        e4a_cycletree_fusion(&budget),
+        e4b_cycletree_parallelization_race(&budget),
+    ];
+    println!("\n{}", render_table(&rows));
+    assert!(rows.iter().all(|r| r.matches_paper()));
+
+    // Concrete-side validation: the fused executable traversal equals the
+    // two-pass composition.
+    let tree = complete_cycletree(12);
+    let mut two_pass = tree.clone();
+    number_cycletree(&mut two_pass);
+    compute_routing(&mut two_pass);
+    let mut fused = tree;
+    fused_number_and_route(&mut fused);
+    assert_eq!(two_pass, fused);
+
+    let mut group = c.benchmark_group("e4_cycletree");
+    group.sample_size(10);
+    group.bench_function("e4a_fusion_verification", |b| {
+        b.iter(|| assert!(e4a_cycletree_fusion(&budget).matches_paper()))
+    });
+    group.bench_function("e4b_race_detection", |b| {
+        b.iter(|| assert!(e4b_cycletree_parallelization_race(&budget).matches_paper()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

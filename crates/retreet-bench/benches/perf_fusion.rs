@@ -1,0 +1,50 @@
+//! P1 — the performance motivation for fusion: one traversal instead of
+//! several over the same tree.  Reported for the CSS minifier (three passes
+//! vs. the fused pass) and for the cycletree construction (numbering +
+//! routing vs. the fused traversal).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use retreet_css::css::generate_stylesheet;
+use retreet_css::minify::{minify_fused, minify_unfused};
+use retreet_cycletree::numbering::{complete_cycletree, fused_number_and_route, number_cycletree};
+use retreet_cycletree::routing::compute_routing;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_fusion_css");
+    group.sample_size(20);
+    for rules in [100usize, 1000, 5000] {
+        let sheet = generate_stylesheet(rules, 42);
+        group.bench_with_input(BenchmarkId::new("unfused_3_passes", rules), &sheet, |b, s| {
+            b.iter(|| minify_unfused(s))
+        });
+        group.bench_with_input(BenchmarkId::new("fused_1_pass", rules), &sheet, |b, s| {
+            b.iter(|| minify_fused(s))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("perf_fusion_cycletree");
+    group.sample_size(20);
+    for height in [10usize, 14, 17] {
+        let tree = complete_cycletree(height);
+        group.bench_with_input(BenchmarkId::new("two_passes", height), &tree, |b, t| {
+            b.iter(|| {
+                let mut tree = t.clone();
+                number_cycletree(&mut tree);
+                compute_routing(&mut tree);
+                tree.value.max
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fused_pass", height), &tree, |b, t| {
+            b.iter(|| {
+                let mut tree = t.clone();
+                fused_number_and_route(&mut tree);
+                tree.value.max
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

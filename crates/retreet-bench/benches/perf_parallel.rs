@@ -1,0 +1,58 @@
+//! P2 — the performance motivation for parallelization: rayon-parallel
+//! traversal of disjoint subtrees vs. the sequential schedule, for the
+//! size-counting fold of the running example and for a mutating post-order
+//! pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use retreet_runtime::tree::complete_tree;
+use retreet_runtime::visit::{par_fold, par_postorder_mut, postorder_mut, seq_fold};
+
+fn bench(c: &mut Criterion) {
+    let combine = |_: &u64, (lo, le): (u64, u64), (ro, re): (u64, u64)| (le + re + 1, lo + ro);
+
+    let mut group = c.benchmark_group("perf_parallel_size_counting");
+    group.sample_size(15);
+    for height in [16usize, 18, 20] {
+        let tree = complete_tree(height, &|i| i as u64);
+        group.bench_with_input(BenchmarkId::new("sequential_fold", height), &tree, |b, t| {
+            b.iter(|| seq_fold(t, &|| (0u64, 0u64), &combine))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_fold", height), &tree, |b, t| {
+            b.iter(|| par_fold(t, 1 << 10, &|| (0u64, 0u64), &combine))
+        });
+    }
+    group.finish();
+
+    #[derive(Clone)]
+    struct P {
+        v: u64,
+        sum: u64,
+    }
+    let visitor = |p: &mut P, l: Option<&P>, r: Option<&P>| {
+        p.sum = p.v + l.map_or(0, |x| x.sum) + r.map_or(0, |x| x.sum);
+    };
+
+    let mut group = c.benchmark_group("perf_parallel_postorder");
+    group.sample_size(15);
+    for height in [16usize, 18] {
+        let tree = complete_tree(height, &|i| P { v: i as u64, sum: 0 });
+        group.bench_with_input(BenchmarkId::new("sequential", height), &tree, |b, t| {
+            b.iter(|| {
+                let mut tree = t.clone();
+                postorder_mut(&mut tree, &visitor);
+                tree.value.sum
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", height), &tree, |b, t| {
+            b.iter(|| {
+                let mut tree = t.clone();
+                par_postorder_mut(&mut tree, &visitor, 1 << 10);
+                tree.value.sum
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,395 @@
+//! # retreet-bench — the experiment harness
+//!
+//! One function per row of the paper's evaluation (§5).  Each returns an
+//! [`ExperimentResult`] carrying the verdict, the paper's expected verdict,
+//! and the wall-clock time, so that the Criterion benches, the examples and
+//! EXPERIMENTS.md are all generated from the same code paths.
+//!
+//! Absolute times are not comparable to the paper's MONA runtimes (different
+//! decision procedure, different hardware); what must match is every verdict
+//! and the relative difficulty ordering (cycletree fusion ≫ CSS fusion ≫ the
+//! small cases; race queries cheaper than equivalence queries).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use retreet_analysis::equiv::{check_equivalence, EquivOptions};
+use retreet_analysis::race::{check_data_race, RaceOptions};
+use retreet_analysis::coarse;
+use retreet_lang::corpus;
+use serde::Serialize;
+
+/// The verdict of one experiment, in the vocabulary of §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Verdict {
+    /// The transformation was proven correct (fusion accepted).
+    Valid,
+    /// A counterexample to the transformation was found.
+    Invalid,
+    /// The parallel composition is data-race-free.
+    RaceFree,
+    /// A data race was found.
+    Race,
+}
+
+/// The outcome of one experiment run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentResult {
+    /// Experiment identifier (E1a, E1b, …) as used in DESIGN.md.
+    pub id: &'static str,
+    /// Human-readable description.
+    pub description: &'static str,
+    /// The verdict produced by this reproduction.
+    pub verdict: Verdict,
+    /// The verdict the paper reports.
+    pub expected: Verdict,
+    /// MONA's wall-clock time in the paper, in seconds (for context only).
+    pub paper_seconds: f64,
+    /// Wall-clock time of this run, in seconds.
+    pub measured_seconds: f64,
+    /// Extra detail (counterexample summary, model counts, …).
+    pub detail: String,
+}
+
+impl ExperimentResult {
+    /// True when this reproduction's verdict matches the paper's.
+    pub fn matches_paper(&self) -> bool {
+        self.verdict == self.expected
+    }
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Analysis budget used by the experiment harness; benches can scale it.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    /// Maximum tree size (nodes) for equivalence checking.
+    pub equiv_nodes: usize,
+    /// Field valuations per shape for equivalence checking.
+    pub equiv_valuations: usize,
+    /// Maximum tree size (nodes) for race checking.
+    pub race_nodes: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            equiv_nodes: 5,
+            equiv_valuations: 2,
+            race_nodes: 4,
+        }
+    }
+}
+
+impl Budget {
+    /// A smaller budget for quick smoke runs (used by `cargo test`).
+    pub fn quick() -> Self {
+        Budget {
+            equiv_nodes: 4,
+            equiv_valuations: 1,
+            race_nodes: 3,
+        }
+    }
+
+    fn equiv_options(&self) -> EquivOptions {
+        EquivOptions {
+            max_nodes: self.equiv_nodes,
+            valuations: self.equiv_valuations,
+            check_dependence_order: true,
+        }
+    }
+
+    fn race_options(&self) -> RaceOptions {
+        RaceOptions {
+            max_nodes: self.race_nodes,
+            valuations: 1,
+            ..RaceOptions::default()
+        }
+    }
+}
+
+fn equivalence_experiment(
+    id: &'static str,
+    description: &'static str,
+    paper_seconds: f64,
+    expected: Verdict,
+    original: &retreet_lang::ast::Program,
+    transformed: &retreet_lang::ast::Program,
+    budget: &Budget,
+) -> ExperimentResult {
+    let (verdict, elapsed) = timed(|| check_equivalence(original, transformed, &budget.equiv_options()));
+    let (verdict, detail) = match verdict {
+        retreet_analysis::equiv::EquivVerdict::Equivalent { trees_checked } => {
+            (Verdict::Valid, format!("equivalent on {trees_checked} bounded models"))
+        }
+        retreet_analysis::equiv::EquivVerdict::CounterExample(ce) => (
+            Verdict::Invalid,
+            format!("counterexample: {:?}", ce.disagreement),
+        ),
+    };
+    ExperimentResult {
+        id,
+        description,
+        verdict,
+        expected,
+        paper_seconds,
+        measured_seconds: elapsed.as_secs_f64(),
+        detail,
+    }
+}
+
+fn race_experiment(
+    id: &'static str,
+    description: &'static str,
+    paper_seconds: f64,
+    expected: Verdict,
+    program: &retreet_lang::ast::Program,
+    budget: &Budget,
+) -> ExperimentResult {
+    let (verdict, elapsed) = timed(|| check_data_race(program, &budget.race_options()));
+    let (verdict, detail) = match verdict {
+        retreet_analysis::race::RaceVerdict::RaceFree {
+            trees_checked,
+            configurations,
+        } => (
+            Verdict::RaceFree,
+            format!("race-free over {trees_checked} trees / {configurations} configurations"),
+        ),
+        retreet_analysis::race::RaceVerdict::Race(witness) => (
+            Verdict::Race,
+            format!(
+                "race on {}.{} between {} and {}",
+                witness.node, witness.field, witness.first, witness.second
+            ),
+        ),
+    };
+    ExperimentResult {
+        id,
+        description,
+        verdict,
+        expected,
+        paper_seconds,
+        measured_seconds: elapsed.as_secs_f64(),
+        detail,
+    }
+}
+
+/// E1a — fuse the mutually recursive `Odd`/`Even` traversals (Fig. 6a).
+pub fn e1a_size_counting_fusion(budget: &Budget) -> ExperimentResult {
+    equivalence_experiment(
+        "E1a",
+        "size counting: fuse Odd/Even into Fused (Fig. 6a)",
+        0.14,
+        Verdict::Valid,
+        &corpus::size_counting_sequential(),
+        &corpus::size_counting_fused(),
+        budget,
+    )
+}
+
+/// E1b — the invalid fusion of Fig. 6b must be rejected with a counterexample.
+pub fn e1b_size_counting_invalid_fusion(budget: &Budget) -> ExperimentResult {
+    equivalence_experiment(
+        "E1b",
+        "size counting: invalid fusion (Fig. 6b) is rejected",
+        0.14,
+        Verdict::Invalid,
+        &corpus::size_counting_sequential(),
+        &corpus::size_counting_fused_invalid(),
+        budget,
+    )
+}
+
+/// E1c — `Odd(n) ‖ Even(n)` is data-race-free.
+pub fn e1c_size_counting_race_freedom(budget: &Budget) -> ExperimentResult {
+    race_experiment(
+        "E1c",
+        "size counting: Odd(n) || Even(n) is data-race-free",
+        0.02,
+        Verdict::RaceFree,
+        &corpus::size_counting_parallel(),
+        budget,
+    )
+}
+
+/// E2 — fuse the tree-mutation pair `Swap`; `IncrmLeft` (Fig. 7).
+pub fn e2_tree_mutation_fusion(budget: &Budget) -> ExperimentResult {
+    equivalence_experiment(
+        "E2",
+        "tree mutation: fuse Swap; IncrmLeft after flag conversion (Fig. 7)",
+        0.12,
+        Verdict::Valid,
+        &corpus::tree_mutation_original(),
+        &corpus::tree_mutation_fused(),
+        budget,
+    )
+}
+
+/// E3 — fuse the three CSS minification traversals (Fig. 8).
+pub fn e3_css_minification_fusion(budget: &Budget) -> ExperimentResult {
+    equivalence_experiment(
+        "E3",
+        "CSS minification: fuse ConvertValues; MinifyFont; ReduceInit (Fig. 8)",
+        6.88,
+        Verdict::Valid,
+        &corpus::css_minify_original(),
+        &corpus::css_minify_fused(),
+        budget,
+    )
+}
+
+/// E4a — fuse the cycletree numbering and routing traversals (Fig. 9).
+pub fn e4a_cycletree_fusion(budget: &Budget) -> ExperimentResult {
+    equivalence_experiment(
+        "E4a",
+        "cycletree: fuse RootMode + ComputeRouting (Fig. 9)",
+        490.55,
+        Verdict::Valid,
+        &corpus::cycletree_original(),
+        &corpus::cycletree_fused(),
+        budget,
+    )
+}
+
+/// E4b — parallelizing the cycletree traversals races on `num`.
+pub fn e4b_cycletree_parallelization_race(budget: &Budget) -> ExperimentResult {
+    race_experiment(
+        "E4b",
+        "cycletree: RootMode || ComputeRouting has a data race on num",
+        0.95,
+        Verdict::Race,
+        &corpus::cycletree_parallel(),
+        budget,
+    )
+}
+
+/// The coarse-baseline ablation (P3): which fusions does a TreeFuser-style
+/// field-granularity analysis reject that the fine-grained check accepts?
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationRow {
+    /// Case-study name.
+    pub case: &'static str,
+    /// Verdict of the coarse (field-granularity) baseline.
+    pub coarse_accepts: bool,
+    /// Verdict of the fine-grained (Retreet-style) check.
+    pub fine_grained_accepts: bool,
+}
+
+/// Runs the granularity ablation for the three fusion case studies.
+pub fn ablation_granularity(budget: &Budget) -> Vec<AblationRow> {
+    let fine = |original: &retreet_lang::ast::Program, fused: &retreet_lang::ast::Program| {
+        check_equivalence(original, fused, &budget.equiv_options()).is_equivalent()
+    };
+    vec![
+        AblationRow {
+            case: "size_counting",
+            coarse_accepts: coarse::coarse_fusion_ok(&corpus::size_counting_sequential()),
+            fine_grained_accepts: fine(
+                &corpus::size_counting_sequential(),
+                &corpus::size_counting_fused(),
+            ),
+        },
+        AblationRow {
+            case: "css_minification",
+            coarse_accepts: coarse::coarse_fusion_ok(&corpus::css_minify_original()),
+            fine_grained_accepts: fine(&corpus::css_minify_original(), &corpus::css_minify_fused()),
+        },
+        AblationRow {
+            case: "cycletree",
+            coarse_accepts: coarse::coarse_fusion_ok(&corpus::cycletree_original()),
+            fine_grained_accepts: fine(&corpus::cycletree_original(), &corpus::cycletree_fused()),
+        },
+    ]
+}
+
+/// Runs every verification experiment (E1a–E4b) with the given budget.
+pub fn run_all(budget: &Budget) -> Vec<ExperimentResult> {
+    vec![
+        e1a_size_counting_fusion(budget),
+        e1b_size_counting_invalid_fusion(budget),
+        e1c_size_counting_race_freedom(budget),
+        e2_tree_mutation_fusion(budget),
+        e3_css_minification_fusion(budget),
+        e4a_cycletree_fusion(budget),
+        e4b_cycletree_parallelization_race(budget),
+    ]
+}
+
+/// Renders results as an aligned text table (used by examples and by the
+/// bench harness to regenerate EXPERIMENTS.md content).
+pub fn render_table(results: &[ExperimentResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<5} {:<62} {:>10} {:>12} {:>12} {:>8}\n",
+        "id", "experiment", "verdict", "paper (s)", "measured (s)", "match"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<5} {:<62} {:>10} {:>12.2} {:>12.4} {:>8}\n",
+            r.id,
+            r.description,
+            format!("{:?}", r.verdict),
+            r.paper_seconds,
+            r.measured_seconds,
+            if r.matches_paper() { "yes" } else { "NO" }
+        ));
+    }
+    out
+}
+
+/// Serializes results to JSON (machine-readable experiment record).
+pub fn to_json(results: &[ExperimentResult]) -> String {
+    serde_json::to_string_pretty(results).expect("results serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_matches_the_paper_verdict() {
+        let budget = Budget::quick();
+        let results = run_all(&budget);
+        assert_eq!(results.len(), 7);
+        for result in &results {
+            assert!(
+                result.matches_paper(),
+                "{} disagreed with the paper: {:?} (expected {:?}) — {}",
+                result.id,
+                result.verdict,
+                result.expected,
+                result.detail
+            );
+        }
+    }
+
+    #[test]
+    fn ablation_shows_the_granularity_gap() {
+        let rows = ablation_granularity(&Budget::quick());
+        // The coarse baseline rejects the CSS and cycletree fusions that the
+        // fine-grained analysis accepts — the paper's motivating gap.
+        let css = rows.iter().find(|r| r.case == "css_minification").unwrap();
+        assert!(!css.coarse_accepts && css.fine_grained_accepts);
+        let cyc = rows.iter().find(|r| r.case == "cycletree").unwrap();
+        assert!(!cyc.coarse_accepts && cyc.fine_grained_accepts);
+        // Both agree on the trivially disjoint size-counting case.
+        let size = rows.iter().find(|r| r.case == "size_counting").unwrap();
+        assert!(size.coarse_accepts && size.fine_grained_accepts);
+    }
+
+    #[test]
+    fn rendering_and_serialization() {
+        let budget = Budget::quick();
+        let results = vec![e1c_size_counting_race_freedom(&budget)];
+        let table = render_table(&results);
+        assert!(table.contains("E1c"));
+        let json = to_json(&results);
+        assert!(json.contains("RaceFree"));
+    }
+}

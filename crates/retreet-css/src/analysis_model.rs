@@ -1,0 +1,119 @@
+//! Bridge between concrete style sheets and the Retreet analysis model.
+//!
+//! §5 of the paper analyses the Fig. 8 traversals as Retreet programs whose
+//! string conditions have been replaced by arithmetic conditions over integer
+//! fields.  This module performs that abstraction on real style sheets: every
+//! LCRS node of the CSS AST becomes a node of an integer-field
+//! [`ValueTree`] carrying
+//!
+//! * `kind`   — 1 when `ConvertValues` would rewrite the declaration,
+//! * `prop`   — 1 when `MinifyFont` would rewrite it,
+//! * `initial`— the length of the literal `initial` when `ReduceInit`
+//!   applies (0 otherwise),
+//! * `value`  — the serialized length of the value text,
+//!
+//! which is exactly the field vocabulary of the corpus programs
+//! `css_minify_original` / `css_minify_fused`.  The experiments then check the
+//! fusion on those programs *and* validate, on the concrete side, that the
+//! fused executable minifier agrees with the unfused one.
+
+use retreet_analysis::vtree::ValueTree;
+use retreet_analysis::equiv::{check_equivalence, EquivOptions, EquivVerdict};
+use retreet_lang::corpus;
+use retreet_runtime::tree::TreeNode;
+
+use crate::css::Stylesheet;
+use crate::minify::{to_lcrs, CssNode};
+
+/// Converts a style sheet into the integer-field tree the Retreet analysis
+/// reasons about (same shape as the LCRS AST).
+pub fn stylesheet_to_value_tree(sheet: &Stylesheet) -> ValueTree {
+    let lcrs = to_lcrs(sheet);
+    let mut tree = ValueTree::single();
+    let root = tree.root();
+    fill(&lcrs, &mut tree, root);
+    tree
+}
+
+fn fill(node: &TreeNode<CssNode>, tree: &mut ValueTree, at: retreet_analysis::vtree::NodeId) {
+    let (kind, prop, initial, value) = match &node.value {
+        CssNode::Root | CssNode::Rule(_) => (0, 0, 0, 0),
+        CssNode::Declaration(decl) => {
+            let kind = i64::from(decl.value.ends_with("ms"));
+            let prop = i64::from(
+                decl.property == "font-weight" && (decl.value == "normal" || decl.value == "bold"),
+            );
+            let initial = if decl.value == "initial" { "initial".len() as i64 } else { 0 };
+            (kind, prop, initial, decl.value.len() as i64)
+        }
+    };
+    tree.set_field(at, "kind", kind);
+    tree.set_field(at, "prop", prop);
+    tree.set_field(at, "initial", initial);
+    tree.set_field(at, "value", value);
+    if let Some(left) = node.left.as_deref() {
+        let child = tree.add_left(at);
+        fill(left, tree, child);
+    }
+    if let Some(right) = node.right.as_deref() {
+        let child = tree.add_right(at);
+        fill(right, tree, child);
+    }
+}
+
+/// Runs the §5 CSS query: is fusing the three minification traversals into a
+/// single pass a correct transformation?  Returns the analysis verdict
+/// (expected: equivalent) together with the number of models checked.
+pub fn verify_css_fusion(options: &EquivOptions) -> EquivVerdict {
+    check_equivalence(
+        &corpus::css_minify_original(),
+        &corpus::css_minify_fused(),
+        options,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::css::generate_stylesheet;
+    use crate::minify::{minify_fused, minify_unfused};
+
+    #[test]
+    fn value_tree_mirrors_the_ast_shape() {
+        let sheet = generate_stylesheet(10, 1);
+        let lcrs = to_lcrs(&sheet);
+        let tree = stylesheet_to_value_tree(&sheet);
+        assert_eq!(tree.len(), lcrs.len());
+    }
+
+    #[test]
+    fn declaration_fields_reflect_pass_applicability() {
+        let sheet = crate::css::parse_css(
+            ".x{transition-duration:100ms;font-weight:normal;min-width:initial}",
+        )
+        .unwrap();
+        let tree = stylesheet_to_value_tree(&sheet);
+        // Some node has kind = 1 (the ms declaration), some has prop = 1, and
+        // some has initial = 7.
+        let nodes: Vec<_> = tree.nodes().collect();
+        assert!(nodes.iter().any(|&n| tree.field(n, "kind") == 1));
+        assert!(nodes.iter().any(|&n| tree.field(n, "prop") == 1));
+        assert!(nodes.iter().any(|&n| tree.field(n, "initial") == 7));
+    }
+
+    #[test]
+    fn the_verified_fusion_is_the_executed_fusion() {
+        // Analysis verdict (E3): the Fig. 8 fusion is correct…
+        let verdict = verify_css_fusion(&EquivOptions {
+            max_nodes: 4,
+            valuations: 2,
+            check_dependence_order: true,
+        });
+        assert!(verdict.is_equivalent());
+        // …and the executable minifier behaves identically fused or unfused.
+        for seed in 0..3 {
+            let sheet = generate_stylesheet(30, seed);
+            assert_eq!(minify_fused(&sheet), minify_unfused(&sheet));
+        }
+    }
+}

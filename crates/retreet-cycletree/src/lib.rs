@@ -1,0 +1,32 @@
+//! # retreet-cycletree — the cycletree case-study substrate (§5, Fig. 9)
+//!
+//! Cycletrees (Veanes & Barklund) are binary trees augmented with a
+//! Hamiltonian cycle over their nodes, used as an interconnection topology
+//! that supports both tree-style broadcast and ring-style point-to-point
+//! communication.  The paper's hardest case study fuses the cyclic-numbering
+//! construction (the four mutually recursive modes `RootMode`, `PreMode`,
+//! `InMode`, `PostMode`) with the router-data computation
+//! (`ComputeRouting`), and shows that *parallelizing* the two traversals
+//! instead is racy.
+//!
+//! This crate implements the substrate end to end:
+//!
+//! * [`numbering`] — the four-mode cyclic numbering over owned binary trees,
+//!   both as two separate passes (number, then route) and as the fused
+//!   single pass, plus the cycle-order extraction;
+//! * [`routing`] — router data (`lmin`/`lmax`/`rmin`/`rmax`/`min`/`max`) and
+//!   the point-to-point routing algorithm that uses it;
+//! * a bridge to the Retreet corpus programs so the analysis verdicts (E4a:
+//!   fusion valid, E4b: parallelization racy) are checked against the same
+//!   code that runs here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod numbering;
+pub mod routing;
+
+pub use numbering::{
+    cycle_order, fused_number_and_route, number_cycletree, CycleNode, Mode,
+};
+pub use routing::{compute_routing, route_next_hop, route_path};

@@ -1,0 +1,286 @@
+//! Cyclic numbering of binary trees via the four mutually recursive modes of
+//! Fig. 9.
+//!
+//! Every node receives a distinct position `num` in the cyclic order.  The
+//! *mode* of a subtree decides where its root is numbered relative to its
+//! children, exactly as in the paper's `RootMode` / `PreMode` / `InMode` /
+//! `PostMode` functions:
+//!
+//! | mode | order |
+//! |------|-------|
+//! | `Root` | self, left (`Pre`), right (`Post`) |
+//! | `Pre`  | self, left (`Pre`), right (`In`)   |
+//! | `In`   | left (`Post`), self, right (`Pre`) |
+//! | `Post` | left (`In`), right (`Post`), self  |
+//!
+//! The paper's Retreet rendering passes the counter by value (a
+//! simplification its analysis permits); the executable substrate threads a
+//! real counter so that the numbering is a permutation `0..n-1` — the cyclic
+//! order the routing algorithm of [`crate::routing`] relies on.  The analysis
+//! verdicts (fusion valid, parallelization racy) are established on the
+//! corpus programs in `retreet-lang::corpus`, which mirror Fig. 9 verbatim.
+
+use retreet_runtime::tree::TreeNode;
+
+/// The per-node payload of a cycletree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleNode {
+    /// A stable identifier assigned at construction (used by tests and the
+    /// routing examples).
+    pub id: usize,
+    /// Position of the node in the cyclic order.
+    pub num: i64,
+    /// Minimum `num` in the subtree rooted here.
+    pub min: i64,
+    /// Maximum `num` in the subtree rooted here.
+    pub max: i64,
+    /// Router data: minimum `num` in the left subtree (0 when absent).
+    pub lmin: i64,
+    /// Router data: maximum `num` in the left subtree.
+    pub lmax: i64,
+    /// Router data: minimum `num` in the right subtree.
+    pub rmin: i64,
+    /// Router data: maximum `num` in the right subtree.
+    pub rmax: i64,
+}
+
+impl CycleNode {
+    /// A fresh node with the given identifier.
+    pub fn with_id(id: usize) -> Self {
+        CycleNode {
+            id,
+            ..CycleNode::default()
+        }
+    }
+}
+
+/// The traversal mode of a subtree (Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The root mode (used once, at the root of the whole tree).
+    Root,
+    /// Pre-order style: the node comes before both subtrees.
+    Pre,
+    /// In-order style: the node comes between its subtrees.
+    In,
+    /// Post-order style: the node comes after both subtrees.
+    Post,
+}
+
+impl Mode {
+    /// The modes the two subtrees are numbered in.
+    pub fn child_modes(self) -> (Mode, Mode) {
+        match self {
+            Mode::Root => (Mode::Pre, Mode::Post),
+            Mode::Pre => (Mode::Pre, Mode::In),
+            Mode::In => (Mode::Post, Mode::Pre),
+            Mode::Post => (Mode::In, Mode::Post),
+        }
+    }
+}
+
+/// Numbers the tree in the cyclic order, starting at 0 (the standalone
+/// numbering traversal: the first pass of Fig. 9's `Main`).
+pub fn number_cycletree(tree: &mut TreeNode<CycleNode>) {
+    let mut counter = 0i64;
+    number(tree, Mode::Root, &mut counter);
+}
+
+fn number(node: &mut TreeNode<CycleNode>, mode: Mode, counter: &mut i64) {
+    let (left_mode, right_mode) = mode.child_modes();
+    match mode {
+        Mode::Root | Mode::Pre => {
+            node.value.num = *counter;
+            *counter += 1;
+            if let Some(left) = node.left.as_deref_mut() {
+                number(left, left_mode, counter);
+            }
+            if let Some(right) = node.right.as_deref_mut() {
+                number(right, right_mode, counter);
+            }
+        }
+        Mode::In => {
+            if let Some(left) = node.left.as_deref_mut() {
+                number(left, left_mode, counter);
+            }
+            node.value.num = *counter;
+            *counter += 1;
+            if let Some(right) = node.right.as_deref_mut() {
+                number(right, right_mode, counter);
+            }
+        }
+        Mode::Post => {
+            if let Some(left) = node.left.as_deref_mut() {
+                number(left, left_mode, counter);
+            }
+            if let Some(right) = node.right.as_deref_mut() {
+                number(right, right_mode, counter);
+            }
+            node.value.num = *counter;
+            *counter += 1;
+        }
+    }
+}
+
+/// The fused traversal of §5/E4a: numbering and router-data computation in a
+/// single pass over the tree (each node's routing block runs right after its
+/// subtrees are fully processed).
+pub fn fused_number_and_route(tree: &mut TreeNode<CycleNode>) {
+    let mut counter = 0i64;
+    fused(tree, Mode::Root, &mut counter);
+}
+
+fn fused(node: &mut TreeNode<CycleNode>, mode: Mode, counter: &mut i64) {
+    let (left_mode, right_mode) = mode.child_modes();
+    // Numbering part (position of `self` depends on the mode).
+    match mode {
+        Mode::Root | Mode::Pre => {
+            node.value.num = *counter;
+            *counter += 1;
+            if let Some(left) = node.left.as_deref_mut() {
+                fused(left, left_mode, counter);
+            }
+            if let Some(right) = node.right.as_deref_mut() {
+                fused(right, right_mode, counter);
+            }
+        }
+        Mode::In => {
+            if let Some(left) = node.left.as_deref_mut() {
+                fused(left, left_mode, counter);
+            }
+            node.value.num = *counter;
+            *counter += 1;
+            if let Some(right) = node.right.as_deref_mut() {
+                fused(right, right_mode, counter);
+            }
+        }
+        Mode::Post => {
+            if let Some(left) = node.left.as_deref_mut() {
+                fused(left, left_mode, counter);
+            }
+            if let Some(right) = node.right.as_deref_mut() {
+                fused(right, right_mode, counter);
+            }
+            node.value.num = *counter;
+            *counter += 1;
+        }
+    }
+    // Routing part — identical to `ComputeRouting`'s per-node block; children
+    // are already done at this point in every mode.
+    crate::routing::update_router_data(node);
+}
+
+/// The node identifiers listed in cyclic-number order (the Hamiltonian-cycle
+/// order broadcast and point-to-point traffic follows).
+pub fn cycle_order(tree: &TreeNode<CycleNode>) -> Vec<usize> {
+    let mut pairs: Vec<(i64, usize)> = tree
+        .preorder()
+        .into_iter()
+        .map(|node| (node.num, node.id))
+        .collect();
+    pairs.sort_unstable();
+    pairs.into_iter().map(|(_, id)| id).collect()
+}
+
+/// Builds a complete cycletree of the given height with breadth-first ids.
+pub fn complete_cycletree(height: usize) -> TreeNode<CycleNode> {
+    retreet_runtime::tree::complete_tree(height, &CycleNode::with_id)
+}
+
+/// Builds a deterministic random-shaped cycletree with `nodes` nodes.
+pub fn random_cycletree(nodes: usize, seed: u64) -> TreeNode<CycleNode> {
+    retreet_runtime::tree::random_tree(nodes, seed, &CycleNode::with_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::compute_routing;
+
+    #[test]
+    fn numbering_is_a_permutation() {
+        for height in 1..=5 {
+            let mut tree = complete_cycletree(height);
+            number_cycletree(&mut tree);
+            let mut nums: Vec<i64> = tree.preorder().into_iter().map(|n| n.num).collect();
+            nums.sort_unstable();
+            let expected: Vec<i64> = (0..tree.len() as i64).collect();
+            assert_eq!(nums, expected, "height {height}");
+        }
+    }
+
+    #[test]
+    fn numbering_is_a_permutation_on_irregular_shapes() {
+        for seed in 0..10 {
+            let mut tree = random_cycletree(33, seed);
+            number_cycletree(&mut tree);
+            let mut nums: Vec<i64> = tree.preorder().into_iter().map(|n| n.num).collect();
+            nums.sort_unstable();
+            assert_eq!(nums, (0..33).collect::<Vec<i64>>());
+        }
+    }
+
+    #[test]
+    fn root_is_numbered_first() {
+        let mut tree = complete_cycletree(4);
+        number_cycletree(&mut tree);
+        assert_eq!(tree.value.num, 0);
+    }
+
+    #[test]
+    fn consecutive_numbers_are_tree_neighbours_or_close() {
+        // The defining property we rely on for routing is milder than the
+        // full natural-cycletree adjacency: the numbering must cover each
+        // subtree with a contiguous block except for the deferred parent
+        // positions.  Sanity-check contiguity of the left+right+self blocks.
+        let mut tree = complete_cycletree(4);
+        number_cycletree(&mut tree);
+        compute_routing(&mut tree);
+        fn check(node: &TreeNode<CycleNode>) {
+            let span = node.value.max - node.value.min + 1;
+            assert_eq!(span as usize, node.len(), "subtree numbers are contiguous");
+            if let Some(left) = node.left.as_deref() {
+                check(left);
+            }
+            if let Some(right) = node.right.as_deref() {
+                check(right);
+            }
+        }
+        check(&tree);
+    }
+
+    #[test]
+    fn fused_pass_matches_the_two_pass_composition() {
+        for seed in 0..5 {
+            let tree = random_cycletree(40, seed);
+            let mut two_pass = tree.clone();
+            number_cycletree(&mut two_pass);
+            compute_routing(&mut two_pass);
+            let mut fused = tree;
+            fused_number_and_route(&mut fused);
+            assert_eq!(two_pass, fused, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cycle_order_lists_every_node_once() {
+        let mut tree = complete_cycletree(4);
+        number_cycletree(&mut tree);
+        let order = cycle_order(&tree);
+        assert_eq!(order.len(), 15);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 15);
+        // The root (id 0) leads the cycle because RootMode numbers it first.
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn child_modes_match_figure_9() {
+        assert_eq!(Mode::Root.child_modes(), (Mode::Pre, Mode::Post));
+        assert_eq!(Mode::Pre.child_modes(), (Mode::Pre, Mode::In));
+        assert_eq!(Mode::In.child_modes(), (Mode::Post, Mode::Pre));
+        assert_eq!(Mode::Post.child_modes(), (Mode::In, Mode::Post));
+    }
+}

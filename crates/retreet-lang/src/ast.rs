@@ -1,0 +1,643 @@
+//! Abstract syntax of the Retreet language (Fig. 2 of the paper).
+//!
+//! A Retreet program is a set of functions, each taking exactly one location
+//! (`Loc`) parameter — the current tree node — plus a vector of integer
+//! parameters.  Function bodies are built from *blocks* (function calls or
+//! straight-line assignment sequences) combined with conditionals, sequential
+//! composition, and parallel composition.
+//!
+//! Per the simplifying assumptions in §2.1 of the paper, trees are binary with
+//! pointer fields `l` and `r`, functions only call themselves or others on
+//! `n`, `n.l`, or `n.r`, and boolean conditions are built from nil-checks and
+//! integer comparisons against zero.
+
+use std::fmt;
+
+/// Identifiers (function names, parameter names, field names).
+pub type Ident = String;
+
+/// A child direction of a binary tree node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dir {
+    /// The left child (`n.l`).
+    Left,
+    /// The right child (`n.r`).
+    Right,
+}
+
+impl Dir {
+    /// The field name used in surface syntax.
+    pub fn field_name(self) -> &'static str {
+        match self {
+            Dir::Left => "l",
+            Dir::Right => "r",
+        }
+    }
+
+    /// The opposite direction.
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::Left => Dir::Right,
+            Dir::Right => Dir::Left,
+        }
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.field_name())
+    }
+}
+
+/// A location expression relative to the current `Loc` parameter.
+///
+/// The paper's standing assumptions (§2.1) restrict location expressions to
+/// the current node and its direct children, which is exactly what this enum
+/// captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeRef {
+    /// The current node `n`.
+    Cur,
+    /// A direct child `n.l` or `n.r`.
+    Child(Dir),
+}
+
+impl NodeRef {
+    /// All three node references, in a deterministic order.
+    pub fn all() -> [NodeRef; 3] {
+        [NodeRef::Cur, NodeRef::Child(Dir::Left), NodeRef::Child(Dir::Right)]
+    }
+}
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeRef::Cur => write!(f, "n"),
+            NodeRef::Child(d) => write!(f, "n.{d}"),
+        }
+    }
+}
+
+/// Integer (arithmetic) expressions: `AExpr` in Fig. 2.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AExpr {
+    /// An integer literal (the grammar only has 0 and 1; we allow any
+    /// constant, which is definable as a sum anyway).
+    Const(i64),
+    /// An integer parameter or local integer variable.
+    Var(Ident),
+    /// A local field read `n.f`, `n.l.f`, or `n.r.f`.
+    Field(NodeRef, Ident),
+    /// Addition.
+    Add(Box<AExpr>, Box<AExpr>),
+    /// Subtraction.
+    Sub(Box<AExpr>, Box<AExpr>),
+}
+
+impl AExpr {
+    /// Convenience constructor for addition.
+    pub fn add(lhs: AExpr, rhs: AExpr) -> AExpr {
+        AExpr::Add(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for subtraction.
+    pub fn sub(lhs: AExpr, rhs: AExpr) -> AExpr {
+        AExpr::Sub(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Variables read by the expression.
+    pub fn vars(&self) -> Vec<&Ident> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a Ident>) {
+        match self {
+            AExpr::Const(_) => {}
+            AExpr::Var(v) => out.push(v),
+            AExpr::Field(_, _) => {}
+            AExpr::Add(a, b) | AExpr::Sub(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Field reads `(node, field)` performed by the expression.
+    pub fn field_reads(&self) -> Vec<(NodeRef, &Ident)> {
+        let mut out = Vec::new();
+        self.collect_fields(&mut out);
+        out
+    }
+
+    fn collect_fields<'a>(&'a self, out: &mut Vec<(NodeRef, &'a Ident)>) {
+        match self {
+            AExpr::Const(_) | AExpr::Var(_) => {}
+            AExpr::Field(node, field) => out.push((*node, field)),
+            AExpr::Add(a, b) | AExpr::Sub(a, b) => {
+                a.collect_fields(out);
+                b.collect_fields(out);
+            }
+        }
+    }
+
+    /// Evaluates the expression with the given lookups for variables and
+    /// fields.  Returns `None` when a lookup fails (e.g. reading a field of a
+    /// nil child).
+    pub fn eval<V, F>(&self, var: &V, field: &F) -> Option<i64>
+    where
+        V: Fn(&Ident) -> Option<i64>,
+        F: Fn(NodeRef, &Ident) -> Option<i64>,
+    {
+        match self {
+            AExpr::Const(c) => Some(*c),
+            AExpr::Var(v) => var(v),
+            AExpr::Field(node, name) => field(*node, name),
+            AExpr::Add(a, b) => Some(a.eval(var, field)?.wrapping_add(b.eval(var, field)?)),
+            AExpr::Sub(a, b) => Some(a.eval(var, field)?.wrapping_sub(b.eval(var, field)?)),
+        }
+    }
+}
+
+impl fmt::Display for AExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AExpr::Const(c) => write!(f, "{c}"),
+            AExpr::Var(v) => write!(f, "{v}"),
+            AExpr::Field(node, name) => write!(f, "{node}.{name}"),
+            AExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            AExpr::Sub(a, b) => write!(f, "({a} - {b})"),
+        }
+    }
+}
+
+/// Boolean expressions: `BExpr` in Fig. 2 (atomic conditions are nil-checks
+/// and `AExpr > 0`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BExpr {
+    /// Constant true.
+    True,
+    /// `node == nil`.
+    IsNil(NodeRef),
+    /// `expr > 0`.
+    Gt(AExpr),
+    /// Negation.
+    Not(Box<BExpr>),
+    /// Conjunction.
+    And(Box<BExpr>, Box<BExpr>),
+}
+
+impl BExpr {
+    /// Convenience constructor for negation.
+    pub fn not(inner: BExpr) -> BExpr {
+        BExpr::Not(Box::new(inner))
+    }
+
+    /// Convenience constructor for conjunction.
+    pub fn and(lhs: BExpr, rhs: BExpr) -> BExpr {
+        BExpr::And(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// `lhs > rhs` desugars to `Gt(lhs - rhs)`.
+    pub fn gt(lhs: AExpr, rhs: AExpr) -> BExpr {
+        BExpr::Gt(AExpr::sub(lhs, rhs))
+    }
+
+    /// `lhs >= rhs` desugars to `Gt(lhs - rhs + 1)`.
+    pub fn ge(lhs: AExpr, rhs: AExpr) -> BExpr {
+        BExpr::Gt(AExpr::add(AExpr::sub(lhs, rhs), AExpr::Const(1)))
+    }
+
+    /// `lhs < rhs` desugars to `Gt(rhs - lhs)`.
+    pub fn lt(lhs: AExpr, rhs: AExpr) -> BExpr {
+        BExpr::Gt(AExpr::sub(rhs, lhs))
+    }
+
+    /// `lhs <= rhs` desugars to `Gt(rhs - lhs + 1)`.
+    pub fn le(lhs: AExpr, rhs: AExpr) -> BExpr {
+        BExpr::Gt(AExpr::add(AExpr::sub(rhs, lhs), AExpr::Const(1)))
+    }
+
+    /// `lhs == rhs` over integers desugars to `!(lhs > rhs) && !(rhs > lhs)`.
+    pub fn eq_int(lhs: AExpr, rhs: AExpr) -> BExpr {
+        BExpr::and(
+            BExpr::not(BExpr::gt(lhs.clone(), rhs.clone())),
+            BExpr::not(BExpr::gt(rhs, lhs)),
+        )
+    }
+
+    /// The atomic conditions (nil-checks and comparisons) appearing in the
+    /// expression, in syntactic order.
+    pub fn atoms(&self) -> Vec<&BExpr> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms<'a>(&'a self, out: &mut Vec<&'a BExpr>) {
+        match self {
+            BExpr::True => {}
+            BExpr::IsNil(_) | BExpr::Gt(_) => out.push(self),
+            BExpr::Not(inner) => inner.collect_atoms(out),
+            BExpr::And(a, b) => {
+                a.collect_atoms(out);
+                b.collect_atoms(out);
+            }
+        }
+    }
+
+    /// Evaluates the condition.
+    ///
+    /// * `is_nil(node)` answers whether the referenced node is nil,
+    /// * `var`/`field` resolve integer reads as in [`AExpr::eval`].
+    pub fn eval<N, V, F>(&self, is_nil: &N, var: &V, field: &F) -> Option<bool>
+    where
+        N: Fn(NodeRef) -> Option<bool>,
+        V: Fn(&Ident) -> Option<i64>,
+        F: Fn(NodeRef, &Ident) -> Option<i64>,
+    {
+        match self {
+            BExpr::True => Some(true),
+            BExpr::IsNil(node) => is_nil(*node),
+            BExpr::Gt(expr) => Some(expr.eval(var, field)? > 0),
+            BExpr::Not(inner) => inner.eval(is_nil, var, field).map(|b| !b),
+            BExpr::And(a, b) => Some(a.eval(is_nil, var, field)? && b.eval(is_nil, var, field)?),
+        }
+    }
+}
+
+impl fmt::Display for BExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BExpr::True => write!(f, "true"),
+            BExpr::IsNil(node) => write!(f, "{node} == nil"),
+            BExpr::Gt(expr) => write!(f, "{expr} > 0"),
+            BExpr::Not(inner) => write!(f, "!({inner})"),
+            BExpr::And(a, b) => write!(f, "({a} && {b})"),
+        }
+    }
+}
+
+/// A single non-call assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Assign {
+    /// `node.field = expr`.
+    SetField(NodeRef, Ident, AExpr),
+    /// `var = expr`.
+    SetVar(Ident, AExpr),
+}
+
+impl fmt::Display for Assign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Assign::SetField(node, field, expr) => write!(f, "{node}.{field} = {expr}"),
+            Assign::SetVar(var, expr) => write!(f, "{var} = {expr}"),
+        }
+    }
+}
+
+/// A function-call block: `v̄ = g(le, ē)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CallBlock {
+    /// Result variables bound to the call's return values (may be empty).
+    pub results: Vec<Ident>,
+    /// Name of the callee function.
+    pub callee: Ident,
+    /// The location argument (`n`, `n.l`, or `n.r`).
+    pub target: NodeRef,
+    /// Integer arguments.
+    pub args: Vec<AExpr>,
+}
+
+/// A straight-line block: one or more assignments, optionally ending in a
+/// `return`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct StraightBlock {
+    /// The assignments, in order.
+    pub assigns: Vec<Assign>,
+    /// Return values, when the block ends the function.
+    pub ret: Option<Vec<AExpr>>,
+}
+
+impl StraightBlock {
+    /// A block consisting of a single `return` statement.
+    pub fn ret(values: Vec<AExpr>) -> Self {
+        StraightBlock {
+            assigns: Vec::new(),
+            ret: Some(values),
+        }
+    }
+}
+
+/// The payload of a block.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// A function call.
+    Call(CallBlock),
+    /// A straight-line assignment sequence.
+    Straight(StraightBlock),
+}
+
+/// A code block — the atomic unit of Retreet programs (§3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Block {
+    /// The call or straight-line payload.
+    pub kind: BlockKind,
+    /// Optional user-facing label (`s0`, `s1`, … in the paper's figures).
+    pub label: Option<String>,
+}
+
+impl Block {
+    /// Wraps a call block.
+    pub fn call(call: CallBlock) -> Self {
+        Block {
+            kind: BlockKind::Call(call),
+            label: None,
+        }
+    }
+
+    /// Wraps a straight-line block.
+    pub fn straight(straight: StraightBlock) -> Self {
+        Block {
+            kind: BlockKind::Straight(straight),
+            label: None,
+        }
+    }
+
+    /// Attaches a label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// True when the block is a call.
+    pub fn is_call(&self) -> bool {
+        matches!(self.kind, BlockKind::Call(_))
+    }
+
+    /// The call payload, when the block is a call.
+    pub fn as_call(&self) -> Option<&CallBlock> {
+        match &self.kind {
+            BlockKind::Call(c) => Some(c),
+            BlockKind::Straight(_) => None,
+        }
+    }
+
+    /// The straight-line payload, when the block is not a call.
+    pub fn as_straight(&self) -> Option<&StraightBlock> {
+        match &self.kind {
+            BlockKind::Straight(s) => Some(s),
+            BlockKind::Call(_) => None,
+        }
+    }
+}
+
+/// Statements: blocks combined by conditionals, sequencing, and parallel
+/// composition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// A leaf block.
+    Block(Block),
+    /// `if (cond) then_branch else else_branch`.
+    If(BExpr, Box<Stmt>, Box<Stmt>),
+    /// Sequential composition.
+    Seq(Vec<Stmt>),
+    /// Parallel composition (`{ s ‖ t }` in the paper).
+    Par(Vec<Stmt>),
+}
+
+impl Stmt {
+    /// An empty statement (sequence of nothing).
+    pub fn skip() -> Stmt {
+        Stmt::Seq(Vec::new())
+    }
+
+    /// Convenience constructor for conditionals.
+    pub fn if_else(cond: BExpr, then_branch: Stmt, else_branch: Stmt) -> Stmt {
+        Stmt::If(cond, Box::new(then_branch), Box::new(else_branch))
+    }
+
+    /// Collects references to every block in the statement, in syntactic
+    /// order.
+    pub fn blocks(&self) -> Vec<&Block> {
+        let mut out = Vec::new();
+        self.collect_blocks(&mut out);
+        out
+    }
+
+    fn collect_blocks<'a>(&'a self, out: &mut Vec<&'a Block>) {
+        match self {
+            Stmt::Block(b) => out.push(b),
+            Stmt::If(_, t, e) => {
+                t.collect_blocks(out);
+                e.collect_blocks(out);
+            }
+            Stmt::Seq(stmts) | Stmt::Par(stmts) => {
+                for s in stmts {
+                    s.collect_blocks(out);
+                }
+            }
+        }
+    }
+}
+
+/// A Retreet function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Func {
+    /// Function name.
+    pub name: Ident,
+    /// The single `Loc` parameter.
+    pub loc_param: Ident,
+    /// Integer parameters.
+    pub int_params: Vec<Ident>,
+    /// Number of integer return values.
+    pub num_returns: usize,
+    /// The function body.
+    pub body: Stmt,
+}
+
+impl Func {
+    /// References to every block in the function body, in syntactic order.
+    pub fn blocks(&self) -> Vec<&Block> {
+        self.body.blocks()
+    }
+}
+
+/// A Retreet program: a set of functions with `Main` as the entry point.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// The functions, in declaration order.
+    pub funcs: Vec<Func>,
+}
+
+/// Name of the entry-point function.
+pub const MAIN: &str = "Main";
+
+impl Program {
+    /// Builds a program from a list of functions.
+    pub fn new(funcs: Vec<Func>) -> Self {
+        Program { funcs }
+    }
+
+    /// Looks up a function by name.
+    pub fn func(&self, name: &str) -> Option<&Func> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Index of a function by name.
+    pub fn func_index(&self, name: &str) -> Option<usize> {
+        self.funcs.iter().position(|f| f.name == name)
+    }
+
+    /// The entry-point function.
+    pub fn main(&self) -> Option<&Func> {
+        self.func(MAIN)
+    }
+
+    /// Total number of blocks across all functions.
+    pub fn num_blocks(&self) -> usize {
+        self.funcs.iter().map(|f| f.blocks().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_helpers() {
+        assert_eq!(Dir::Left.field_name(), "l");
+        assert_eq!(Dir::Left.flip(), Dir::Right);
+        assert_eq!(format!("{}", NodeRef::Child(Dir::Right)), "n.r");
+    }
+
+    #[test]
+    fn aexpr_eval_and_vars() {
+        let e = AExpr::add(
+            AExpr::Var("ls".into()),
+            AExpr::sub(AExpr::Field(NodeRef::Cur, "v".into()), AExpr::Const(2)),
+        );
+        assert_eq!(e.vars(), vec![&"ls".to_string()]);
+        assert_eq!(e.field_reads().len(), 1);
+        let value = e.eval(
+            &|v: &Ident| if v == "ls" { Some(10) } else { None },
+            &|node, f: &Ident| {
+                if node == NodeRef::Cur && f == "v" {
+                    Some(7)
+                } else {
+                    None
+                }
+            },
+        );
+        assert_eq!(value, Some(10 + 7 - 2));
+    }
+
+    #[test]
+    fn aexpr_eval_fails_on_missing_lookup() {
+        let e = AExpr::Var("missing".into());
+        assert_eq!(e.eval(&|_| None, &|_, _| None), None);
+    }
+
+    #[test]
+    fn bexpr_sugar_and_eval() {
+        // 3 >= 3 is true, 3 > 3 is false, 3 == 3 is true.
+        let no_nil = |_: NodeRef| Some(false);
+        let novar = |_: &Ident| None;
+        let nofield = |_: NodeRef, _: &Ident| None;
+        assert_eq!(
+            BExpr::ge(AExpr::Const(3), AExpr::Const(3)).eval(&no_nil, &novar, &nofield),
+            Some(true)
+        );
+        assert_eq!(
+            BExpr::gt(AExpr::Const(3), AExpr::Const(3)).eval(&no_nil, &novar, &nofield),
+            Some(false)
+        );
+        assert_eq!(
+            BExpr::eq_int(AExpr::Const(3), AExpr::Const(3)).eval(&no_nil, &novar, &nofield),
+            Some(true)
+        );
+        assert_eq!(
+            BExpr::lt(AExpr::Const(1), AExpr::Const(2)).eval(&no_nil, &novar, &nofield),
+            Some(true)
+        );
+        assert_eq!(
+            BExpr::le(AExpr::Const(3), AExpr::Const(2)).eval(&no_nil, &novar, &nofield),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn bexpr_nil_check() {
+        let cond = BExpr::IsNil(NodeRef::Cur);
+        assert_eq!(
+            cond.eval(&|_| Some(true), &|_| None, &|_, _| None),
+            Some(true)
+        );
+        let neg = BExpr::not(cond);
+        assert_eq!(
+            neg.eval(&|_| Some(true), &|_| None, &|_, _| None),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn bexpr_atoms_are_collected_in_order() {
+        let cond = BExpr::and(
+            BExpr::IsNil(NodeRef::Cur),
+            BExpr::not(BExpr::Gt(AExpr::Var("x".into()))),
+        );
+        let atoms = cond.atoms();
+        assert_eq!(atoms.len(), 2);
+        assert!(matches!(atoms[0], BExpr::IsNil(_)));
+        assert!(matches!(atoms[1], BExpr::Gt(_)));
+    }
+
+    #[test]
+    fn block_accessors() {
+        let call = Block::call(CallBlock {
+            results: vec!["x".into()],
+            callee: "F".into(),
+            target: NodeRef::Child(Dir::Left),
+            args: vec![],
+        })
+        .with_label("s1");
+        assert!(call.is_call());
+        assert!(call.as_call().is_some());
+        assert!(call.as_straight().is_none());
+        assert_eq!(call.label.as_deref(), Some("s1"));
+
+        let straight = Block::straight(StraightBlock::ret(vec![AExpr::Const(0)]));
+        assert!(!straight.is_call());
+        assert!(straight.as_straight().unwrap().ret.is_some());
+    }
+
+    #[test]
+    fn stmt_blocks_in_syntactic_order() {
+        let s = Stmt::Seq(vec![
+            Stmt::Block(Block::straight(StraightBlock::default()).with_label("a")),
+            Stmt::if_else(
+                BExpr::True,
+                Stmt::Block(Block::straight(StraightBlock::default()).with_label("b")),
+                Stmt::Block(Block::straight(StraightBlock::default()).with_label("c")),
+            ),
+        ]);
+        let labels: Vec<_> = s.blocks().iter().map(|b| b.label.clone().unwrap()).collect();
+        assert_eq!(labels, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn program_lookup() {
+        let prog = Program::new(vec![Func {
+            name: "Main".into(),
+            loc_param: "n".into(),
+            int_params: vec![],
+            num_returns: 0,
+            body: Stmt::skip(),
+        }]);
+        assert!(prog.main().is_some());
+        assert_eq!(prog.func_index("Main"), Some(0));
+        assert!(prog.func("Missing").is_none());
+        assert_eq!(prog.num_blocks(), 0);
+    }
+}

@@ -1,0 +1,643 @@
+//! Block extraction, canonical numbering, and the syntactic relations between
+//! blocks (Appendix B of the paper).
+//!
+//! Code blocks are the atomic units of Retreet programs.  The [`BlockTable`]
+//! assigns every block a [`BlockId`] in syntactic order (which reproduces the
+//! `s0 … s10` numbering of the running example), records which function each
+//! block belongs to, and answers the relations of Fig. 11:
+//!
+//! * `s ◁ t` — `s` is a call to the function `t` belongs to ([`BlockTable::calls_into`]),
+//! * `s ∼ t` — same function,
+//! * `s ≺ t` — the least common ancestor is a sequential composition,
+//! * `s ↑ t` — the LCA is a conditional (the blocks are in different branches),
+//! * `s ‖ t` — the LCA is a parallel composition.
+//!
+//! The table also enumerates, for every block `t`, the straight-line *paths*
+//! from the entry of its function to `t` (`Path(t)` in the paper), which feed
+//! the weakest-precondition computation of [`crate::wp`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{BExpr, Block, Func, Program, Stmt};
+
+/// A globally unique block identifier, assigned in syntactic order across the
+/// whole program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The raw index.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The syntactic relation between two blocks of the same function (Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// The two ids denote the same block.
+    Same,
+    /// The LCA is a sequential composition and the first block comes first
+    /// (`s ≺ t`).
+    SeqBefore,
+    /// The LCA is a sequential composition and the first block comes second
+    /// (`t ≺ s`).
+    SeqAfter,
+    /// The LCA is a conditional; the blocks are in different branches
+    /// (`s ↑ t`), so they never both execute in the same call.
+    Branch,
+    /// The LCA is a parallel composition (`s ‖ t`).
+    Parallel,
+    /// The blocks belong to different functions (no `∼` relation).
+    DifferentFunc,
+}
+
+/// A single step on the syntactic path from a function body root to a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PathStep {
+    /// Child `index` of a sequential composition.
+    Seq(usize),
+    /// Child `index` of a parallel composition.
+    Par(usize),
+    /// `then` (0) or `else` (1) branch of a conditional.
+    IfBranch(usize),
+}
+
+/// One element of a resolved straight-line path to a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathElem {
+    /// The branch condition of an enclosing or preceding conditional,
+    /// together with the polarity with which it must hold (`true` = the
+    /// `then` branch was taken).
+    Assume(BExpr, bool),
+    /// A block executed earlier on the path (call blocks contribute ghost
+    /// return values; straight blocks contribute their assignments).
+    Exec(BlockId),
+}
+
+/// A resolved straight-line path from the entry of a function to a target
+/// block: `l1; assume(c1); …; ln; t` in the notation of Appendix C.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockPath {
+    /// The elements executed/assumed before the target, in order.
+    pub elems: Vec<PathElem>,
+    /// The target block.
+    pub target: BlockId,
+}
+
+impl BlockPath {
+    /// The branch conditions (with polarity) along the path — `Path(t)` in
+    /// the paper.
+    pub fn conditions(&self) -> Vec<(&BExpr, bool)> {
+        self.elems
+            .iter()
+            .filter_map(|e| match e {
+                PathElem::Assume(cond, polarity) => Some((cond, *polarity)),
+                PathElem::Exec(_) => None,
+            })
+            .collect()
+    }
+}
+
+/// Metadata for a single block.
+#[derive(Debug, Clone)]
+pub struct BlockInfo {
+    /// The block id.
+    pub id: BlockId,
+    /// Index of the owning function in the program.
+    pub func: usize,
+    /// Canonical label (`s0`, `s1`, … or the user-provided label).
+    pub label: String,
+    /// The block payload.
+    pub block: Block,
+    /// Syntactic path from the function body root to this block.
+    steps: Vec<PathStep>,
+}
+
+impl BlockInfo {
+    /// True when the block is a function call.
+    pub fn is_call(&self) -> bool {
+        self.block.is_call()
+    }
+}
+
+/// The block table of a program.
+#[derive(Debug, Clone)]
+pub struct BlockTable {
+    program: Program,
+    blocks: Vec<BlockInfo>,
+    func_blocks: Vec<Vec<BlockId>>,
+    label_index: HashMap<String, BlockId>,
+    /// Map from (function index, syntactic position) to block id; positions
+    /// are unique even when two blocks have identical payloads.
+    pos_index: HashMap<(usize, Vec<PathStep>), BlockId>,
+}
+
+impl BlockTable {
+    /// Builds the table, numbering blocks in syntactic order.
+    pub fn build(program: &Program) -> Self {
+        let mut blocks = Vec::new();
+        let mut func_blocks = vec![Vec::new(); program.funcs.len()];
+        for (fidx, func) in program.funcs.iter().enumerate() {
+            let mut steps = Vec::new();
+            collect_blocks(&func.body, fidx, &mut steps, &mut blocks, &mut func_blocks[fidx]);
+        }
+        let mut label_index = HashMap::new();
+        let mut pos_index = HashMap::new();
+        for info in &blocks {
+            label_index.insert(info.label.clone(), info.id);
+            pos_index.insert((info.func, info.steps.clone()), info.id);
+        }
+        BlockTable {
+            program: program.clone(),
+            blocks,
+            func_blocks,
+            label_index,
+            pos_index,
+        }
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// All blocks, in id order.
+    pub fn blocks(&self) -> &[BlockInfo] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the program has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Metadata for a block.
+    pub fn info(&self, id: BlockId) -> &BlockInfo {
+        &self.blocks[id.as_usize()]
+    }
+
+    /// The function a block belongs to.
+    pub fn func_of(&self, id: BlockId) -> &Func {
+        &self.program.funcs[self.info(id).func]
+    }
+
+    /// Blocks of a function, by function index.
+    pub fn blocks_of_func(&self, func_index: usize) -> &[BlockId] {
+        &self.func_blocks[func_index]
+    }
+
+    /// Blocks of a function, by name.
+    pub fn blocks_of_func_named(&self, name: &str) -> &[BlockId] {
+        match self.program.func_index(name) {
+            Some(idx) => &self.func_blocks[idx],
+            None => &[],
+        }
+    }
+
+    /// Resolves a label (`"s3"` or a user label) to a block id.
+    pub fn by_label(&self, label: &str) -> Option<BlockId> {
+        self.label_index.get(label).copied()
+    }
+
+    /// All call blocks (`AllCalls`).
+    pub fn calls(&self) -> impl Iterator<Item = &BlockInfo> {
+        self.blocks.iter().filter(|b| b.is_call())
+    }
+
+    /// All non-call blocks (`AllNonCalls`).
+    pub fn non_calls(&self) -> impl Iterator<Item = &BlockInfo> {
+        self.blocks.iter().filter(|b| !b.is_call())
+    }
+
+    /// `s ◁ t`: true when `s` is a call to the function that `t` belongs to.
+    pub fn calls_into(&self, s: BlockId, t: BlockId) -> bool {
+        let s_info = self.info(s);
+        let Some(call) = s_info.block.as_call() else {
+            return false;
+        };
+        match self.program.func_index(&call.callee) {
+            Some(callee_idx) => self.info(t).func == callee_idx,
+            None => false,
+        }
+    }
+
+    /// All call blocks whose callee is `func_name`.
+    pub fn calls_to(&self, func_name: &str) -> Vec<BlockId> {
+        self.calls()
+            .filter(|b| b.block.as_call().map(|c| c.callee.as_str()) == Some(func_name))
+            .map(|b| b.id)
+            .collect()
+    }
+
+    /// The syntactic relation between two blocks (Fig. 11 / Lemma 2).
+    pub fn relation(&self, s: BlockId, t: BlockId) -> Relation {
+        if s == t {
+            return Relation::Same;
+        }
+        let a = self.info(s);
+        let b = self.info(t);
+        if a.func != b.func {
+            return Relation::DifferentFunc;
+        }
+        // Find the first step where the paths diverge; the container at that
+        // depth is the LCA.
+        for (sa, sb) in a.steps.iter().zip(b.steps.iter()) {
+            if sa == sb {
+                continue;
+            }
+            return match (sa, sb) {
+                (PathStep::Seq(i), PathStep::Seq(j)) => {
+                    if i < j {
+                        Relation::SeqBefore
+                    } else {
+                        Relation::SeqAfter
+                    }
+                }
+                (PathStep::Par(_), PathStep::Par(_)) => Relation::Parallel,
+                (PathStep::IfBranch(_), PathStep::IfBranch(_)) => Relation::Branch,
+                // Diverging steps always have the same container kind because
+                // the paths agreed up to this point.
+                _ => unreachable!("diverging steps with different container kinds"),
+            };
+        }
+        unreachable!("distinct leaf blocks cannot have prefix-related paths")
+    }
+
+    /// Enumerates the straight-line paths from the entry of `t`'s function to
+    /// `t` (`Path(t)` in the paper, resolved through every conditional on the
+    /// way).  Parallel siblings to the left of the path are *not* included:
+    /// their interleaving is handled at the configuration level, not at the
+    /// intra-procedural path level.
+    pub fn paths_to(&self, t: BlockId) -> Vec<BlockPath> {
+        let info = self.info(t);
+        let func = &self.program.funcs[info.func];
+        let mut out = Vec::new();
+        let mut pos = Vec::new();
+        let prefixes = self.prefixes_to(&func.body, info.func, &info.steps, 0, &mut pos);
+        for elems in prefixes {
+            out.push(BlockPath { elems, target: t });
+        }
+        out
+    }
+
+    /// Recursive helper for [`Self::paths_to`]: returns every resolved prefix
+    /// of path elements executed before reaching the target designated by
+    /// `steps[depth..]` inside `stmt`.  `pos` tracks the absolute syntactic
+    /// position of `stmt` within the function body.
+    fn prefixes_to(
+        &self,
+        stmt: &Stmt,
+        func: usize,
+        steps: &[PathStep],
+        depth: usize,
+        pos: &mut Vec<PathStep>,
+    ) -> Vec<Vec<PathElem>> {
+        match stmt {
+            Stmt::Block(_) => vec![Vec::new()],
+            Stmt::If(cond, then_branch, else_branch) => {
+                let Some(PathStep::IfBranch(which)) = steps.get(depth) else {
+                    return vec![Vec::new()];
+                };
+                let (branch, polarity) = if *which == 0 {
+                    (then_branch.as_ref(), true)
+                } else {
+                    (else_branch.as_ref(), false)
+                };
+                pos.push(PathStep::IfBranch(*which));
+                let tails = self.prefixes_to(branch, func, steps, depth + 1, pos);
+                pos.pop();
+                tails
+                    .into_iter()
+                    .map(|mut rest| {
+                        let mut elems = vec![PathElem::Assume(cond.clone(), polarity)];
+                        elems.append(&mut rest);
+                        elems
+                    })
+                    .collect()
+            }
+            Stmt::Seq(items) => {
+                let Some(PathStep::Seq(target_child)) = steps.get(depth) else {
+                    return vec![Vec::new()];
+                };
+                // Effects of every left sibling, then the prefix inside the
+                // target child.
+                let mut alternatives: Vec<Vec<PathElem>> = vec![Vec::new()];
+                for (i, item) in items.iter().enumerate().take(*target_child) {
+                    pos.push(PathStep::Seq(i));
+                    let effects = self.effects_of(item, func, pos);
+                    pos.pop();
+                    alternatives = cross_product(alternatives, effects);
+                }
+                pos.push(PathStep::Seq(*target_child));
+                let tails = self.prefixes_to(&items[*target_child], func, steps, depth + 1, pos);
+                pos.pop();
+                cross_product(alternatives, tails)
+            }
+            Stmt::Par(items) => {
+                let Some(PathStep::Par(target_child)) = steps.get(depth) else {
+                    return vec![Vec::new()];
+                };
+                // Parallel siblings are skipped (their effects are not on the
+                // intra-procedural path).
+                pos.push(PathStep::Par(*target_child));
+                let tails = self.prefixes_to(&items[*target_child], func, steps, depth + 1, pos);
+                pos.pop();
+                tails
+            }
+        }
+    }
+
+    /// All complete effect sequences of a statement (one alternative per
+    /// resolution of the conditionals inside).  `pos` is the absolute
+    /// syntactic position of `stmt`.
+    fn effects_of(&self, stmt: &Stmt, func: usize, pos: &mut Vec<PathStep>) -> Vec<Vec<PathElem>> {
+        match stmt {
+            Stmt::Block(_) => {
+                let id = self.pos_index[&(func, pos.clone())];
+                vec![vec![PathElem::Exec(id)]]
+            }
+            Stmt::If(cond, then_branch, else_branch) => {
+                let mut out = Vec::new();
+                pos.push(PathStep::IfBranch(0));
+                for effects in self.effects_of(then_branch, func, pos) {
+                    let mut elems = vec![PathElem::Assume(cond.clone(), true)];
+                    elems.extend(effects);
+                    out.push(elems);
+                }
+                pos.pop();
+                pos.push(PathStep::IfBranch(1));
+                for effects in self.effects_of(else_branch, func, pos) {
+                    let mut elems = vec![PathElem::Assume(cond.clone(), false)];
+                    elems.extend(effects);
+                    out.push(elems);
+                }
+                pos.pop();
+                out
+            }
+            Stmt::Seq(items) => {
+                let mut alternatives: Vec<Vec<PathElem>> = vec![Vec::new()];
+                for (i, item) in items.iter().enumerate() {
+                    pos.push(PathStep::Seq(i));
+                    alternatives = cross_product(alternatives, self.effects_of(item, func, pos));
+                    pos.pop();
+                }
+                alternatives
+            }
+            Stmt::Par(items) => {
+                // Parallel children are serialized in syntactic order for the
+                // purpose of intra-procedural effects.
+                let mut alternatives: Vec<Vec<PathElem>> = vec![Vec::new()];
+                for (i, item) in items.iter().enumerate() {
+                    pos.push(PathStep::Par(i));
+                    alternatives = cross_product(alternatives, self.effects_of(item, func, pos));
+                    pos.pop();
+                }
+                alternatives
+            }
+        }
+    }
+}
+
+fn cross_product(
+    prefixes: Vec<Vec<PathElem>>,
+    suffixes: Vec<Vec<PathElem>>,
+) -> Vec<Vec<PathElem>> {
+    let mut out = Vec::with_capacity(prefixes.len() * suffixes.len());
+    for prefix in &prefixes {
+        for suffix in &suffixes {
+            let mut combined = prefix.clone();
+            combined.extend(suffix.iter().cloned());
+            out.push(combined);
+        }
+    }
+    out
+}
+
+fn collect_blocks(
+    stmt: &Stmt,
+    func: usize,
+    steps: &mut Vec<PathStep>,
+    blocks: &mut Vec<BlockInfo>,
+    func_blocks: &mut Vec<BlockId>,
+) {
+    match stmt {
+        Stmt::Block(block) => {
+            let id = BlockId(blocks.len() as u32);
+            let label = block
+                .label
+                .clone()
+                .unwrap_or_else(|| format!("s{}", id.0));
+            blocks.push(BlockInfo {
+                id,
+                func,
+                label,
+                block: block.clone(),
+                steps: steps.clone(),
+            });
+            func_blocks.push(id);
+        }
+        Stmt::If(_, then_branch, else_branch) => {
+            steps.push(PathStep::IfBranch(0));
+            collect_blocks(then_branch, func, steps, blocks, func_blocks);
+            steps.pop();
+            steps.push(PathStep::IfBranch(1));
+            collect_blocks(else_branch, func, steps, blocks, func_blocks);
+            steps.pop();
+        }
+        Stmt::Seq(items) => {
+            for (i, item) in items.iter().enumerate() {
+                steps.push(PathStep::Seq(i));
+                collect_blocks(item, func, steps, blocks, func_blocks);
+                steps.pop();
+            }
+        }
+        Stmt::Par(items) => {
+            for (i, item) in items.iter().enumerate() {
+                steps.push(PathStep::Par(i));
+                collect_blocks(item, func, steps, blocks, func_blocks);
+                steps.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    const ODD_EVEN: &str = r#"
+        fn Odd(n) {
+            if (n == nil) {
+                return 0;
+            } else {
+                ls = Even(n.l);
+                rs = Even(n.r);
+                return ls + rs + 1;
+            }
+        }
+        fn Even(n) {
+            if (n == nil) {
+                return 0;
+            } else {
+                ls = Odd(n.l);
+                rs = Odd(n.r);
+                return ls + rs;
+            }
+        }
+        fn Main(n) {
+            {
+                o = Odd(n);
+                ||
+                e = Even(n);
+            }
+            return o, e;
+        }
+    "#;
+
+    fn table() -> BlockTable {
+        BlockTable::build(&parse_program(ODD_EVEN).unwrap())
+    }
+
+    #[test]
+    fn numbering_matches_the_paper() {
+        let table = table();
+        // Fig. 3: 11 blocks s0..s10.
+        assert_eq!(table.len(), 11);
+        // AllCalls = {s1, s2, s5, s6, s8, s9}; AllNonCalls = {s0, s3, s4, s7, s10}.
+        let calls: Vec<u32> = table.calls().map(|b| b.id.0).collect();
+        assert_eq!(calls, vec![1, 2, 5, 6, 8, 9]);
+        let non_calls: Vec<u32> = table.non_calls().map(|b| b.id.0).collect();
+        assert_eq!(non_calls, vec![0, 3, 4, 7, 10]);
+    }
+
+    #[test]
+    fn relations_match_example_1() {
+        let table = table();
+        let b = |i: u32| BlockId(i);
+        // s2 ◁ s7: s2 calls Even and s7 ∈ Blocks(Even).
+        assert!(table.calls_into(b(2), b(7)));
+        assert!(!table.calls_into(b(2), b(3)));
+        // s5 ≺ s7.
+        assert_eq!(table.relation(b(5), b(7)), Relation::SeqBefore);
+        assert_eq!(table.relation(b(7), b(5)), Relation::SeqAfter);
+        // s0 ↑ s1.
+        assert_eq!(table.relation(b(0), b(1)), Relation::Branch);
+        // s8 ‖ s9.
+        assert_eq!(table.relation(b(8), b(9)), Relation::Parallel);
+        // Different functions.
+        assert_eq!(table.relation(b(0), b(4)), Relation::DifferentFunc);
+        assert_eq!(table.relation(b(3), b(3)), Relation::Same);
+    }
+
+    #[test]
+    fn calls_to_by_name() {
+        let table = table();
+        let to_even: Vec<u32> = table.calls_to("Even").iter().map(|b| b.0).collect();
+        assert_eq!(to_even, vec![1, 2, 9]);
+    }
+
+    #[test]
+    fn path_to_s6_goes_through_the_else_branch_and_s5() {
+        let table = table();
+        let paths = table.paths_to(BlockId(6));
+        assert_eq!(paths.len(), 1);
+        let path = &paths[0];
+        // Path(s6): ¬c1 then s5 then s6 (Example 1 in Appendix B).
+        let conds = path.conditions();
+        assert_eq!(conds.len(), 1);
+        assert!(!conds[0].1, "the else branch must be taken (condition is false)");
+        let execs: Vec<BlockId> = path
+            .elems
+            .iter()
+            .filter_map(|e| match e {
+                PathElem::Exec(id) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(execs, vec![BlockId(5)]);
+    }
+
+    #[test]
+    fn path_to_then_branch_has_positive_condition() {
+        let table = table();
+        let paths = table.paths_to(BlockId(0));
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].conditions()[0].1, true);
+        assert!(paths[0].elems.len() == 1);
+    }
+
+    #[test]
+    fn parallel_siblings_are_not_on_the_path() {
+        let table = table();
+        // s10 (return in Main) is preceded by the parallel region; both call
+        // blocks appear as Execs of the sequential composition, because the
+        // Par node is a left sibling of the return inside the Seq.
+        let paths = table.paths_to(BlockId(10));
+        assert_eq!(paths.len(), 1);
+        let execs: Vec<BlockId> = paths[0]
+            .elems
+            .iter()
+            .filter_map(|e| match e {
+                PathElem::Exec(id) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(execs, vec![BlockId(8), BlockId(9)]);
+        // But the path to s9 itself does not include s8 (they are parallel).
+        let paths9 = table.paths_to(BlockId(9));
+        assert!(paths9[0].elems.is_empty());
+    }
+
+    #[test]
+    fn by_label_resolves_canonical_names() {
+        let table = table();
+        assert_eq!(table.by_label("s7"), Some(BlockId(7)));
+        assert_eq!(table.by_label("nope"), None);
+    }
+
+    #[test]
+    fn blocks_of_func_partitions_ids() {
+        let table = table();
+        assert_eq!(table.blocks_of_func_named("Odd").len(), 4);
+        assert_eq!(table.blocks_of_func_named("Even").len(), 4);
+        assert_eq!(table.blocks_of_func_named("Main").len(), 3);
+        assert_eq!(table.blocks_of_func_named("Missing").len(), 0);
+        let total: usize = (0..3).map(|i| table.blocks_of_func(i).len()).sum();
+        assert_eq!(total, table.len());
+    }
+
+    #[test]
+    fn nested_conditionals_enumerate_multiple_paths() {
+        let src = r#"
+            fn F(n) {
+                if (n.a > 0) {
+                    n.x = 1;
+                } else {
+                    n.x = 2;
+                }
+                return n.x;
+            }
+        "#;
+        let table = BlockTable::build(&parse_program(src).unwrap());
+        // Blocks: then-assign, else-assign, return.
+        assert_eq!(table.len(), 3);
+        let ret = table.blocks().iter().find(|b| !b.is_call() && b.block.as_straight().unwrap().ret.is_some()).unwrap().id;
+        let paths = table.paths_to(ret);
+        // The return is reachable through either branch of the conditional.
+        assert_eq!(paths.len(), 2);
+    }
+}

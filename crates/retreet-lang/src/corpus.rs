@@ -1,0 +1,796 @@
+//! The corpus of Retreet programs used throughout the paper and its
+//! evaluation (§5).
+//!
+//! Every case study of the evaluation is available here both as embedded
+//! `.retreet` source text (so the parser is exercised end-to-end) and as a
+//! parsed, validated [`Program`].  The programs are:
+//!
+//! * **Size counting** (Fig. 3): the mutually recursive `Odd`/`Even`
+//!   traversals, their sequential composition, the valid fusion (Fig. 6a) and
+//!   the invalid fusion (Fig. 6b).
+//! * **Tree mutation** (Fig. 7): `Swap`; `IncrmLeft` and their fusion, in the
+//!   flag-simulated and simplified form described in §5.
+//! * **CSS minification** (Fig. 8): `ConvertValues`; `MinifyFont`;
+//!   `ReduceInit` over left-child/right-sibling binarized ASTs, and their
+//!   fusion.
+//! * **Cycletree** (Fig. 9): the four mutually recursive numbering modes
+//!   (`RootMode`, `PreMode`, `InMode`, `PostMode`), `ComputeRouting`, their
+//!   fusion, and the (racy) parallel composition.
+
+use crate::ast::Program;
+use crate::parser::parse_program;
+use crate::validate::validate;
+
+/// Parses and validates an embedded corpus program, panicking on any error —
+/// the corpus is a compile-time-known artifact, so failures indicate a bug in
+/// the crate itself rather than user error.
+fn must_parse(name: &str, source: &str) -> Program {
+    let program = parse_program(source)
+        .unwrap_or_else(|err| panic!("corpus program `{name}` does not parse: {err}"));
+    let errors = validate(&program);
+    assert!(
+        errors.is_empty(),
+        "corpus program `{name}` fails validation: {errors:?}"
+    );
+    program
+}
+
+// ---------------------------------------------------------------------------
+// Size counting (Fig. 3 / Fig. 6)
+// ---------------------------------------------------------------------------
+
+/// Fig. 3: `Odd`/`Even` size counting with the two traversals composed in
+/// parallel inside `Main`.
+pub const SIZE_COUNTING_PARALLEL_SRC: &str = r#"
+fn Odd(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        ls = Even(n.l);
+        rs = Even(n.r);
+        return ls + rs + 1;
+    }
+}
+fn Even(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        ls = Odd(n.l);
+        rs = Odd(n.r);
+        return ls + rs;
+    }
+}
+fn Main(n) {
+    {
+        o = Odd(n);
+        ||
+        e = Even(n);
+    }
+    return o, e;
+}
+"#;
+
+/// The same traversals composed sequentially (the form fused in Fig. 6).
+pub const SIZE_COUNTING_SEQUENTIAL_SRC: &str = r#"
+fn Odd(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        ls = Even(n.l);
+        rs = Even(n.r);
+        return ls + rs + 1;
+    }
+}
+fn Even(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        ls = Odd(n.l);
+        rs = Odd(n.r);
+        return ls + rs;
+    }
+}
+fn Main(n) {
+    o = Odd(n);
+    e = Even(n);
+    return o, e;
+}
+"#;
+
+/// Fig. 6a: the valid fusion of `Odd` and `Even` into a single traversal that
+/// returns both counts.
+pub const SIZE_COUNTING_FUSED_SRC: &str = r#"
+fn Fused(n) {
+    if (n == nil) {
+        return 0, 0;
+    } else {
+        lo, le = Fused(n.l);
+        ro, re = Fused(n.r);
+        return le + re + 1, lo + ro;
+    }
+}
+fn Main(n) {
+    o, e = Fused(n);
+    return o, e;
+}
+"#;
+
+/// Fig. 6b: the *invalid* fusion — the return values are computed before the
+/// recursive calls, breaking the read-after-write dependence between a child
+/// and its parent.
+pub const SIZE_COUNTING_FUSED_INVALID_SRC: &str = r#"
+fn Fused(n) {
+    if (n == nil) {
+        return 0, 0;
+    } else {
+        ret1 = le + re + 1;
+        ret2 = lo + ro;
+        lo, le = Fused(n.l);
+        ro, re = Fused(n.r);
+        return ret1, ret2;
+    }
+}
+fn Main(n) {
+    o, e = Fused(n);
+    return o, e;
+}
+"#;
+
+/// Parsed [`SIZE_COUNTING_PARALLEL_SRC`].
+pub fn size_counting_parallel() -> Program {
+    must_parse("size_counting_parallel", SIZE_COUNTING_PARALLEL_SRC)
+}
+
+/// Parsed [`SIZE_COUNTING_SEQUENTIAL_SRC`].
+pub fn size_counting_sequential() -> Program {
+    must_parse("size_counting_sequential", SIZE_COUNTING_SEQUENTIAL_SRC)
+}
+
+/// Parsed [`SIZE_COUNTING_FUSED_SRC`].
+pub fn size_counting_fused() -> Program {
+    must_parse("size_counting_fused", SIZE_COUNTING_FUSED_SRC)
+}
+
+/// Parsed [`SIZE_COUNTING_FUSED_INVALID_SRC`].
+pub fn size_counting_fused_invalid() -> Program {
+    must_parse("size_counting_fused_invalid", SIZE_COUNTING_FUSED_INVALID_SRC)
+}
+
+// ---------------------------------------------------------------------------
+// Tree mutation (Fig. 7)
+// ---------------------------------------------------------------------------
+
+/// Fig. 7a after the mutation-to-flag conversion and branch simplification of
+/// §5: `Swap` records the sibling swap in the flag field `swapped`; the
+/// redirected `IncrmLeft` then traverses and reads through the *original
+/// right* child (which is the post-swap left child).
+pub const TREE_MUTATION_ORIGINAL_SRC: &str = r#"
+fn Swap(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = Swap(n.l);
+        b = Swap(n.r);
+        n.swapped = 1;
+        return 0;
+    }
+}
+fn IncrmLeft(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = IncrmLeft(n.r);
+        b = IncrmLeft(n.l);
+        if (n.r == nil) {
+            n.v = 1;
+        } else {
+            n.v = n.r.v + 1;
+        }
+        return 0;
+    }
+}
+fn Main(n) {
+    x = Swap(n);
+    y = IncrmLeft(n);
+    return 0;
+}
+"#;
+
+/// Fig. 7b after the same conversion: the fused traversal swaps and updates
+/// `v` in a single pass.
+pub const TREE_MUTATION_FUSED_SRC: &str = r#"
+fn Fused(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = Fused(n.l);
+        b = Fused(n.r);
+        n.swapped = 1;
+        if (n.r == nil) {
+            n.v = 1;
+        } else {
+            n.v = n.r.v + 1;
+        }
+        return 0;
+    }
+}
+fn Main(n) {
+    x = Fused(n);
+    return 0;
+}
+"#;
+
+/// Parsed [`TREE_MUTATION_ORIGINAL_SRC`].
+pub fn tree_mutation_original() -> Program {
+    must_parse("tree_mutation_original", TREE_MUTATION_ORIGINAL_SRC)
+}
+
+/// Parsed [`TREE_MUTATION_FUSED_SRC`].
+pub fn tree_mutation_fused() -> Program {
+    must_parse("tree_mutation_fused", TREE_MUTATION_FUSED_SRC)
+}
+
+// ---------------------------------------------------------------------------
+// CSS minification (Fig. 8)
+// ---------------------------------------------------------------------------
+
+/// Fig. 8 after binarization (left-child/right-sibling) and the replacement
+/// of string conditions by arithmetic conditions described in §5:
+///
+/// * `ConvertValues` rewrites unit-bearing values (`kind > 0`) to a smaller
+///   representation,
+/// * `MinifyFont` canonicalizes font weights (`prop > 0`),
+/// * `ReduceInit` replaces `initial` keywords that are longer than the value
+///   they stand for (`initial > value length`).
+pub const CSS_MINIFY_ORIGINAL_SRC: &str = r#"
+fn ConvertValues(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = ConvertValues(n.l);
+        b = ConvertValues(n.r);
+        if (n.kind > 0) {
+            n.value = n.value - 1;
+        }
+        return 0;
+    }
+}
+fn MinifyFont(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = MinifyFont(n.l);
+        b = MinifyFont(n.r);
+        if (n.prop > 0) {
+            n.value = 400;
+        }
+        return 0;
+    }
+}
+fn ReduceInit(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = ReduceInit(n.l);
+        b = ReduceInit(n.r);
+        if (n.initial > n.value) {
+            n.value = 0;
+        }
+        return 0;
+    }
+}
+fn Main(n) {
+    x = ConvertValues(n);
+    y = MinifyFont(n);
+    z = ReduceInit(n);
+    return 0;
+}
+"#;
+
+/// The fused single-pass minifier: the three per-node rewrites are applied in
+/// the original order at each node of one traversal.
+pub const CSS_MINIFY_FUSED_SRC: &str = r#"
+fn FusedMinify(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = FusedMinify(n.l);
+        b = FusedMinify(n.r);
+        if (n.kind > 0) {
+            n.value = n.value - 1;
+        }
+        if (n.prop > 0) {
+            n.value = 400;
+        }
+        if (n.initial > n.value) {
+            n.value = 0;
+        }
+        return 0;
+    }
+}
+fn Main(n) {
+    x = FusedMinify(n);
+    return 0;
+}
+"#;
+
+/// Parsed [`CSS_MINIFY_ORIGINAL_SRC`].
+pub fn css_minify_original() -> Program {
+    must_parse("css_minify_original", CSS_MINIFY_ORIGINAL_SRC)
+}
+
+/// Parsed [`CSS_MINIFY_FUSED_SRC`].
+pub fn css_minify_fused() -> Program {
+    must_parse("css_minify_fused", CSS_MINIFY_FUSED_SRC)
+}
+
+// ---------------------------------------------------------------------------
+// Cycletree construction and routing (Fig. 9)
+// ---------------------------------------------------------------------------
+
+/// Fig. 9: the mutually recursive cyclic-numbering traversal (four modes) and
+/// the post-order router-data computation, composed sequentially in `Main`.
+pub const CYCLETREE_ORIGINAL_SRC: &str = r#"
+fn RootMode(n, number) {
+    if (n == nil) {
+        return 0;
+    } else {
+        n.num = number;
+        a = PreMode(n.l, number + 1);
+        b = PostMode(n.r, number + 1);
+        return 0;
+    }
+}
+fn PreMode(n, number) {
+    if (n == nil) {
+        return 0;
+    } else {
+        n.num = number;
+        a = PreMode(n.l, number + 1);
+        b = InMode(n.r, number + 1);
+        return 0;
+    }
+}
+fn InMode(n, number) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = PostMode(n.l, number);
+        n.num = number;
+        b = PreMode(n.r, number + 1);
+        return 0;
+    }
+}
+fn PostMode(n, number) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = InMode(n.l, number);
+        b = PostMode(n.r, number);
+        n.num = number;
+        return 0;
+    }
+}
+fn ComputeRouting(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = ComputeRouting(n.l);
+        b = ComputeRouting(n.r);
+        n.min = n.num;
+        n.max = n.num;
+        if (n.l != nil) {
+            n.lmin = n.l.min;
+            n.lmax = n.l.max;
+            if (n.lmax > n.max) {
+                n.max = n.lmax;
+            }
+            if (n.min > n.lmin) {
+                n.min = n.lmin;
+            }
+        }
+        if (n.r != nil) {
+            n.rmin = n.r.min;
+            n.rmax = n.r.max;
+            if (n.rmax > n.max) {
+                n.max = n.rmax;
+            }
+            if (n.min > n.rmin) {
+                n.min = n.rmin;
+            }
+        }
+        return 0;
+    }
+}
+fn Main(n) {
+    x = RootMode(n, 0);
+    y = ComputeRouting(n);
+    return 0;
+}
+"#;
+
+/// The fused cycletree traversal: each numbering mode carries the routing
+/// computation with it, so one pass both numbers the tree and computes the
+/// router data.
+pub const CYCLETREE_FUSED_SRC: &str = r#"
+fn FRoot(n, number) {
+    if (n == nil) {
+        return 0;
+    } else {
+        n.num = number;
+        a = FPre(n.l, number + 1);
+        b = FPost(n.r, number + 1);
+        n.min = n.num;
+        n.max = n.num;
+        if (n.l != nil) {
+            n.lmin = n.l.min;
+            n.lmax = n.l.max;
+            if (n.lmax > n.max) {
+                n.max = n.lmax;
+            }
+            if (n.min > n.lmin) {
+                n.min = n.lmin;
+            }
+        }
+        if (n.r != nil) {
+            n.rmin = n.r.min;
+            n.rmax = n.r.max;
+            if (n.rmax > n.max) {
+                n.max = n.rmax;
+            }
+            if (n.min > n.rmin) {
+                n.min = n.rmin;
+            }
+        }
+        return 0;
+    }
+}
+fn FPre(n, number) {
+    if (n == nil) {
+        return 0;
+    } else {
+        n.num = number;
+        a = FPre(n.l, number + 1);
+        b = FIn(n.r, number + 1);
+        n.min = n.num;
+        n.max = n.num;
+        if (n.l != nil) {
+            n.lmin = n.l.min;
+            n.lmax = n.l.max;
+            if (n.lmax > n.max) {
+                n.max = n.lmax;
+            }
+            if (n.min > n.lmin) {
+                n.min = n.lmin;
+            }
+        }
+        if (n.r != nil) {
+            n.rmin = n.r.min;
+            n.rmax = n.r.max;
+            if (n.rmax > n.max) {
+                n.max = n.rmax;
+            }
+            if (n.min > n.rmin) {
+                n.min = n.rmin;
+            }
+        }
+        return 0;
+    }
+}
+fn FIn(n, number) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = FPost(n.l, number);
+        n.num = number;
+        b = FPre(n.r, number + 1);
+        n.min = n.num;
+        n.max = n.num;
+        if (n.l != nil) {
+            n.lmin = n.l.min;
+            n.lmax = n.l.max;
+            if (n.lmax > n.max) {
+                n.max = n.lmax;
+            }
+            if (n.min > n.lmin) {
+                n.min = n.lmin;
+            }
+        }
+        if (n.r != nil) {
+            n.rmin = n.r.min;
+            n.rmax = n.r.max;
+            if (n.rmax > n.max) {
+                n.max = n.rmax;
+            }
+            if (n.min > n.rmin) {
+                n.min = n.rmin;
+            }
+        }
+        return 0;
+    }
+}
+fn FPost(n, number) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = FIn(n.l, number);
+        b = FPost(n.r, number);
+        n.num = number;
+        n.min = n.num;
+        n.max = n.num;
+        if (n.l != nil) {
+            n.lmin = n.l.min;
+            n.lmax = n.l.max;
+            if (n.lmax > n.max) {
+                n.max = n.lmax;
+            }
+            if (n.min > n.lmin) {
+                n.min = n.lmin;
+            }
+        }
+        if (n.r != nil) {
+            n.rmin = n.r.min;
+            n.rmax = n.r.max;
+            if (n.rmax > n.max) {
+                n.max = n.rmax;
+            }
+            if (n.min > n.rmin) {
+                n.min = n.rmin;
+            }
+        }
+        return 0;
+    }
+}
+fn Main(n) {
+    x = FRoot(n, 0);
+    return 0;
+}
+"#;
+
+/// The (incorrect) parallelization checked in §5: numbering and routing run
+/// concurrently, racing on `num`.
+pub const CYCLETREE_PARALLEL_SRC: &str = r#"
+fn RootMode(n, number) {
+    if (n == nil) {
+        return 0;
+    } else {
+        n.num = number;
+        a = PreMode(n.l, number + 1);
+        b = PostMode(n.r, number + 1);
+        return 0;
+    }
+}
+fn PreMode(n, number) {
+    if (n == nil) {
+        return 0;
+    } else {
+        n.num = number;
+        a = PreMode(n.l, number + 1);
+        b = InMode(n.r, number + 1);
+        return 0;
+    }
+}
+fn InMode(n, number) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = PostMode(n.l, number);
+        n.num = number;
+        b = PreMode(n.r, number + 1);
+        return 0;
+    }
+}
+fn PostMode(n, number) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = InMode(n.l, number);
+        b = PostMode(n.r, number);
+        n.num = number;
+        return 0;
+    }
+}
+fn ComputeRouting(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = ComputeRouting(n.l);
+        b = ComputeRouting(n.r);
+        n.min = n.num;
+        n.max = n.num;
+        if (n.l != nil) {
+            n.lmin = n.l.min;
+            n.lmax = n.l.max;
+            if (n.lmax > n.max) {
+                n.max = n.lmax;
+            }
+            if (n.min > n.lmin) {
+                n.min = n.lmin;
+            }
+        }
+        if (n.r != nil) {
+            n.rmin = n.r.min;
+            n.rmax = n.r.max;
+            if (n.rmax > n.max) {
+                n.max = n.rmax;
+            }
+            if (n.min > n.rmin) {
+                n.min = n.rmin;
+            }
+        }
+        return 0;
+    }
+}
+fn Main(n) {
+    {
+        x = RootMode(n, 0);
+        ||
+        y = ComputeRouting(n);
+    }
+    return 0;
+}
+"#;
+
+/// Parsed [`CYCLETREE_ORIGINAL_SRC`].
+pub fn cycletree_original() -> Program {
+    must_parse("cycletree_original", CYCLETREE_ORIGINAL_SRC)
+}
+
+/// Parsed [`CYCLETREE_FUSED_SRC`].
+pub fn cycletree_fused() -> Program {
+    must_parse("cycletree_fused", CYCLETREE_FUSED_SRC)
+}
+
+/// Parsed [`CYCLETREE_PARALLEL_SRC`].
+pub fn cycletree_parallel() -> Program {
+    must_parse("cycletree_parallel", CYCLETREE_PARALLEL_SRC)
+}
+
+/// A small extra program: a parallel traversal of *disjoint subtrees*, which
+/// is race-free and used by tests and examples to exercise the positive side
+/// of the race checker.
+pub const DISJOINT_PARALLEL_SRC: &str = r#"
+fn Sum(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = Sum(n.l);
+        b = Sum(n.r);
+        n.total = a + b + n.v;
+        return a + b + n.v;
+    }
+}
+fn Main(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        {
+            a = Sum(n.l);
+            ||
+            b = Sum(n.r);
+        }
+        return a + b;
+    }
+}
+"#;
+
+/// A variant of [`DISJOINT_PARALLEL_SRC`] where both parallel branches
+/// traverse the *same* subtree and write to it — a textbook data race.
+pub const OVERLAPPING_PARALLEL_SRC: &str = r#"
+fn Sum(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = Sum(n.l);
+        b = Sum(n.r);
+        n.total = a + b + n.v;
+        return a + b + n.v;
+    }
+}
+fn Main(n) {
+    {
+        a = Sum(n);
+        ||
+        b = Sum(n);
+    }
+    return a + b;
+}
+"#;
+
+/// Parsed [`DISJOINT_PARALLEL_SRC`].
+pub fn disjoint_parallel() -> Program {
+    must_parse("disjoint_parallel", DISJOINT_PARALLEL_SRC)
+}
+
+/// Parsed [`OVERLAPPING_PARALLEL_SRC`].
+pub fn overlapping_parallel() -> Program {
+    must_parse("overlapping_parallel", OVERLAPPING_PARALLEL_SRC)
+}
+
+/// Every named corpus entry, for exhaustive tests and benchmarks.
+pub fn all() -> Vec<(&'static str, Program)> {
+    vec![
+        ("size_counting_parallel", size_counting_parallel()),
+        ("size_counting_sequential", size_counting_sequential()),
+        ("size_counting_fused", size_counting_fused()),
+        ("size_counting_fused_invalid", size_counting_fused_invalid()),
+        ("tree_mutation_original", tree_mutation_original()),
+        ("tree_mutation_fused", tree_mutation_fused()),
+        ("css_minify_original", css_minify_original()),
+        ("css_minify_fused", css_minify_fused()),
+        ("cycletree_original", cycletree_original()),
+        ("cycletree_fused", cycletree_fused()),
+        ("cycletree_parallel", cycletree_parallel()),
+        ("disjoint_parallel", disjoint_parallel()),
+        ("overlapping_parallel", overlapping_parallel()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::BlockTable;
+
+    #[test]
+    fn every_corpus_program_parses_and_validates() {
+        let entries = all();
+        assert_eq!(entries.len(), 13);
+        for (name, program) in entries {
+            assert!(program.main().is_some(), "{name} has a Main");
+            assert!(program.num_blocks() > 0, "{name} has blocks");
+        }
+    }
+
+    #[test]
+    fn running_example_has_the_expected_block_count() {
+        let table = BlockTable::build(&size_counting_parallel());
+        assert_eq!(table.len(), 11);
+    }
+
+    #[test]
+    fn cycletree_is_the_largest_case_study() {
+        let cycletree = BlockTable::build(&cycletree_original()).len();
+        let css = BlockTable::build(&css_minify_original()).len();
+        let size = BlockTable::build(&size_counting_sequential()).len();
+        assert!(cycletree > css && css > size);
+    }
+
+    #[test]
+    fn fused_programs_have_a_single_traversal_entry() {
+        for program in [size_counting_fused(), css_minify_fused(), tree_mutation_fused()] {
+            let main = program.main().unwrap();
+            let calls: Vec<_> = main
+                .blocks()
+                .into_iter()
+                .filter(|b| b.is_call())
+                .collect();
+            assert_eq!(calls.len(), 1, "fused Main performs a single call");
+        }
+    }
+
+    #[test]
+    fn parallel_corpus_entries_have_parallel_main() {
+        use crate::validate::has_parallelism;
+        for program in [
+            size_counting_parallel(),
+            cycletree_parallel(),
+            disjoint_parallel(),
+            overlapping_parallel(),
+        ] {
+            assert!(has_parallelism(&program.main().unwrap().body));
+        }
+        for program in [size_counting_sequential(), cycletree_original()] {
+            assert!(!has_parallelism(&program.main().unwrap().body));
+        }
+    }
+
+    #[test]
+    fn mutation_corpus_uses_flag_fields_not_pointer_writes() {
+        // The conversion of §5 keeps the programs inside the Retreet fragment:
+        // they must parse (no pointer-field assignment survives).
+        let original = tree_mutation_original();
+        let fused = tree_mutation_fused();
+        assert!(original.func("Swap").is_some());
+        assert!(fused.func("Fused").is_some());
+    }
+}

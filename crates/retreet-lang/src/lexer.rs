@@ -1,0 +1,359 @@
+//! Tokenizer for the `.retreet` surface syntax.
+//!
+//! The surface syntax is a lightly sugared rendering of Fig. 2 of the paper:
+//!
+//! ```text
+//! fn Odd(n) {
+//!     if (n == nil) {
+//!         return 0;                    // s0
+//!     } else {
+//!         ls = Even(n.l);              // s1
+//!         rs = Even(n.r);              // s2
+//!         return ls + rs + 1;          // s3
+//!     }
+//! }
+//! ```
+//!
+//! Line comments start with `//` and run to the end of the line.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier or keyword candidate.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// `fn`
+    KwFn,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `return`
+    KwReturn,
+    /// `par`
+    KwPar,
+    /// `nil`
+    KwNil,
+    /// `true`
+    KwTrue,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||` — parallel separator inside `{ a || b }` blocks (alternative to
+    /// the `par { ... }` form).
+    ParSep,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::KwFn => write!(f, "fn"),
+            Token::KwIf => write!(f, "if"),
+            Token::KwElse => write!(f, "else"),
+            Token::KwReturn => write!(f, "return"),
+            Token::KwPar => write!(f, "par"),
+            Token::KwNil => write!(f, "nil"),
+            Token::KwTrue => write!(f, "true"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Semi => write!(f, ";"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Assign => write!(f, "="),
+            Token::EqEq => write!(f, "=="),
+            Token::NotEq => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Bang => write!(f, "!"),
+            Token::AndAnd => write!(f, "&&"),
+            Token::ParSep => write!(f, "||"),
+        }
+    }
+}
+
+/// A token together with its 1-based source line (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Lexing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based source line where the error occurred.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes an entire source string.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Spanned { token: Token::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Spanned { token: Token::RParen, line });
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Spanned { token: Token::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Spanned { token: Token::RBrace, line });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Spanned { token: Token::Semi, line });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Spanned { token: Token::Comma, line });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Spanned { token: Token::Dot, line });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Spanned { token: Token::Plus, line });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Spanned { token: Token::Minus, line });
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Spanned { token: Token::EqEq, line });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Assign, line });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Spanned { token: Token::NotEq, line });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Bang, line });
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Spanned { token: Token::Le, line });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Lt, line });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Spanned { token: Token::Ge, line });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Gt, line });
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&'&') {
+                    tokens.push(Spanned { token: Token::AndAnd, line });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "expected `&&`".into(),
+                        line,
+                    });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&'|') {
+                    tokens.push(Spanned { token: Token::ParSep, line });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "expected `||`".into(),
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let value = text.parse::<i64>().map_err(|_| LexError {
+                    message: format!("integer literal `{text}` out of range"),
+                    line,
+                })?;
+                tokens.push(Spanned { token: Token::Int(value), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let token = match text.as_str() {
+                    "fn" => Token::KwFn,
+                    "if" => Token::KwIf,
+                    "else" => Token::KwElse,
+                    "return" => Token::KwReturn,
+                    "par" => Token::KwPar,
+                    "nil" => Token::KwNil,
+                    "true" => Token::KwTrue,
+                    _ => Token::Ident(text),
+                };
+                tokens.push(Spanned { token, line });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    line,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_simple_function_header() {
+        let toks = kinds("fn Odd(n) {");
+        assert_eq!(
+            toks,
+            vec![
+                Token::KwFn,
+                Token::Ident("Odd".into()),
+                Token::LParen,
+                Token::Ident("n".into()),
+                Token::RParen,
+                Token::LBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_and_comparisons() {
+        let toks = kinds("a == nil != < <= > >= + - ! && ||");
+        assert!(toks.contains(&Token::EqEq));
+        assert!(toks.contains(&Token::NotEq));
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::AndAnd));
+        assert!(toks.contains(&Token::ParSep));
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let toks = lex("x = 1; // comment\ny = 2;").unwrap();
+        assert_eq!(toks[0].line, 1);
+        let y = toks.iter().find(|t| t.token == Token::Ident("y".into())).unwrap();
+        assert_eq!(y.line, 2);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(lex("x # y").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42"), vec![Token::Int(42)]);
+        assert_eq!(kinds("0"), vec![Token::Int(0)]);
+    }
+
+    #[test]
+    fn keywords_are_not_identifiers() {
+        assert_eq!(kinds("return"), vec![Token::KwReturn]);
+        assert_eq!(kinds("returns"), vec![Token::Ident("returns".into())]);
+    }
+}

@@ -1,0 +1,64 @@
+//! # retreet-lang — the Retreet tree-traversal language
+//!
+//! This crate implements the front half of the Retreet framework from
+//! *"Reasoning About Recursive Tree Traversals"* (Wang, Liu, Zhang, Qiu):
+//!
+//! * [`ast`] — the abstract syntax of the language (Fig. 2): functions with a
+//!   single `Loc` parameter, integer parameters, blocks, conditionals,
+//!   sequential and parallel composition.
+//! * [`lexer`] / [`parser`] — a hand-written tokenizer and recursive-descent
+//!   parser for the `.retreet` surface syntax, and [`pretty`] — the inverse
+//!   pretty-printer.
+//! * [`validate`] — the well-formedness restrictions of §2.1 (entry point,
+//!   no-self-call, single-node traversal, no tree mutation, arity checks).
+//! * [`blocks`] — block extraction, the canonical `s0 … sN` numbering, the
+//!   syntactic relations of Fig. 11 (`◁`, `∼`, `≺`, `↑`, `‖`), and resolved
+//!   intra-procedural paths `Path(t)`.
+//! * [`rw`] — the block-level read/write analysis of Appendix B.
+//! * [`wp`] — symbolic weakest preconditions and path conditions
+//!   (`PathCond`, `Match`) of §3.1/Appendix C, expressed over
+//!   `retreet-logic` linear expressions.
+//! * [`corpus`] — every program used in the paper's evaluation (§5), both as
+//!   embedded `.retreet` sources and as parsed programs.
+//!
+//! The iteration-level reasoning (configurations, dependences, data-race and
+//! equivalence checking) lives in the `retreet-analysis` crate; the execution
+//! runtime (trees, interpreter, fused/parallel schedules) lives in
+//! `retreet-runtime`.
+//!
+//! # Example
+//!
+//! ```
+//! use retreet_lang::parser::parse_program;
+//! use retreet_lang::blocks::BlockTable;
+//! use retreet_lang::validate::validate;
+//!
+//! let program = parse_program(retreet_lang::corpus::SIZE_COUNTING_PARALLEL_SRC).unwrap();
+//! assert!(validate(&program).is_empty());
+//!
+//! let table = BlockTable::build(&program);
+//! // Fig. 3 of the paper: 11 blocks, s0 through s10.
+//! assert_eq!(table.len(), 11);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod blocks;
+pub mod corpus;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod rw;
+pub mod validate;
+pub mod wp;
+
+pub use ast::{
+    AExpr, Assign, BExpr, Block, BlockKind, CallBlock, Dir, Func, NodeRef, Program, Stmt,
+    StraightBlock,
+};
+pub use blocks::{BlockId, BlockPath, BlockTable, PathElem, Relation};
+pub use parser::{parse_program, ParseError};
+pub use rw::{rw_sets, rw_sets_of_block, Access, RwSets};
+pub use validate::{validate, validate_or_err, ValidationError};

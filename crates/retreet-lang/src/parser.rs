@@ -1,0 +1,749 @@
+//! Recursive-descent parser for the `.retreet` surface syntax.
+//!
+//! The surface syntax mirrors Fig. 2 of the paper with a little sugar:
+//!
+//! * `if (cond) { ... } else { ... }` — conditionals (the `else` branch is
+//!   optional and defaults to `skip`),
+//! * `par { a; b; }` or `{ a || b }` — parallel composition,
+//! * comparisons `<`, `<=`, `>`, `>=`, `==`, `!=` on integers desugar to the
+//!   paper's `AExpr > 0` atoms,
+//! * consecutive non-call assignments and a trailing `return` are grouped
+//!   into a single straight-line block, exactly like `Assgn+` in the grammar.
+//!
+//! Blocks are *not* labeled by the parser; `crate::blocks::BlockTable`
+//! assigns the canonical `s0, s1, …` numbering in syntactic order, matching
+//! the running example of the paper.
+
+use std::fmt;
+
+use crate::ast::{
+    AExpr, Assign, BExpr, Block, CallBlock, Dir, Func, Ident, NodeRef, Program, Stmt,
+    StraightBlock,
+};
+use crate::lexer::{lex, LexError, Spanned, Token};
+
+/// Parse errors with a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based source line (0 when at end of input).
+    pub line: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(err: LexError) -> Self {
+        ParseError {
+            message: err.message,
+            line: err.line,
+        }
+    }
+}
+
+/// Parses a complete program from source text.
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        loc_param: String::new(),
+    };
+    parser.program()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    /// The `Loc` parameter of the function currently being parsed; needed to
+    /// distinguish node references from integer variables.
+    loc_param: Ident,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + offset).map(|t| &t.token)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let tok = self.tokens.get(self.pos).map(|t| t.token.clone());
+        if tok.is_some() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            line: self.line(),
+        })
+    }
+
+    fn expect(&mut self, expected: Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(tok) if *tok == expected => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(tok) => {
+                let found = tok.clone();
+                self.error(format!("expected `{expected}`, found `{found}`"))
+            }
+            None => self.error(format!("expected `{expected}`, found end of input")),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<Ident, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                Ok(name)
+            }
+            Some(tok) => self.error(format!("expected identifier, found `{tok}`")),
+            None => self.error("expected identifier, found end of input"),
+        }
+    }
+
+    fn eat(&mut self, expected: &Token) -> bool {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    // ---- program / function -------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut funcs = Vec::new();
+        while self.peek().is_some() {
+            funcs.push(self.function()?);
+        }
+        Ok(Program::new(funcs))
+    }
+
+    fn function(&mut self) -> Result<Func, ParseError> {
+        self.expect(Token::KwFn)?;
+        let name = self.expect_ident()?;
+        self.expect(Token::LParen)?;
+        let loc_param = self.expect_ident()?;
+        let mut int_params = Vec::new();
+        while self.eat(&Token::Comma) {
+            int_params.push(self.expect_ident()?);
+        }
+        self.expect(Token::RParen)?;
+        self.loc_param = loc_param.clone();
+        self.expect(Token::LBrace)?;
+        let (body, num_returns) = self.stmt_list_until_rbrace()?;
+        Ok(Func {
+            name,
+            loc_param,
+            int_params,
+            num_returns,
+            body,
+        })
+    }
+
+    // ---- statements ---------------------------------------------------------
+
+    /// Parses statements until the matching `}` and returns the composed
+    /// statement together with the maximum return arity seen.
+    fn stmt_list_until_rbrace(&mut self) -> Result<(Stmt, usize), ParseError> {
+        let mut groups: Vec<Vec<Stmt>> = vec![Vec::new()];
+        let mut pending: Vec<Stmt> = Vec::new();
+        let mut straight = StraightBlock::default();
+        let mut num_returns = 0usize;
+        let mut parallel = false;
+
+        macro_rules! flush_straight {
+            () => {
+                if !straight.assigns.is_empty() || straight.ret.is_some() {
+                    pending.push(Stmt::Block(Block::straight(std::mem::take(&mut straight))));
+                }
+            };
+        }
+
+        loop {
+            match self.peek() {
+                None => return self.error("unexpected end of input inside `{ ... }`"),
+                Some(Token::RBrace) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(Token::ParSep) => {
+                    // `||` separates parallel branches inside this brace group.
+                    self.pos += 1;
+                    flush_straight!();
+                    groups.last_mut().unwrap().append(&mut pending);
+                    groups.push(Vec::new());
+                    parallel = true;
+                }
+                Some(Token::KwIf) => {
+                    flush_straight!();
+                    let (stmt, returns) = self.if_stmt()?;
+                    num_returns = num_returns.max(returns);
+                    pending.push(stmt);
+                }
+                Some(Token::KwPar) => {
+                    flush_straight!();
+                    self.pos += 1;
+                    self.expect(Token::LBrace)?;
+                    let (inner, returns) = self.stmt_list_until_rbrace()?;
+                    num_returns = num_returns.max(returns);
+                    let branches = match inner {
+                        Stmt::Seq(items) => items,
+                        other => vec![other],
+                    };
+                    pending.push(Stmt::Par(branches));
+                }
+                Some(Token::LBrace) => {
+                    flush_straight!();
+                    self.pos += 1;
+                    let (inner, returns) = self.stmt_list_until_rbrace()?;
+                    num_returns = num_returns.max(returns);
+                    pending.push(inner);
+                }
+                Some(Token::KwReturn) => {
+                    self.pos += 1;
+                    let mut values = Vec::new();
+                    if self.peek() != Some(&Token::Semi) {
+                        values.push(self.aexpr()?);
+                        while self.eat(&Token::Comma) {
+                            values.push(self.aexpr()?);
+                        }
+                    }
+                    self.expect(Token::Semi)?;
+                    num_returns = num_returns.max(values.len());
+                    straight.ret = Some(values);
+                    flush_straight!();
+                }
+                Some(Token::Ident(_)) => {
+                    // Either a call block (its own block) or a plain
+                    // assignment that joins the current straight-line block.
+                    let item = self.assignment_or_call()?;
+                    match item {
+                        AssignOrCall::Call(call) => {
+                            flush_straight!();
+                            pending.push(Stmt::Block(Block::call(call)));
+                        }
+                        AssignOrCall::Assign(assign) => {
+                            straight.assigns.push(assign);
+                        }
+                    }
+                }
+                Some(other) => {
+                    let found = other.clone();
+                    return self.error(format!("unexpected token `{found}` in statement position"));
+                }
+            }
+        }
+        flush_straight!();
+        groups.last_mut().unwrap().append(&mut pending);
+
+        let compose = |mut items: Vec<Stmt>| -> Stmt {
+            if items.len() == 1 {
+                items.pop().unwrap()
+            } else {
+                Stmt::Seq(items)
+            }
+        };
+
+        let stmt = if parallel {
+            Stmt::Par(groups.into_iter().map(compose).collect())
+        } else {
+            compose(groups.pop().unwrap())
+        };
+        Ok((stmt, num_returns))
+    }
+
+    fn if_stmt(&mut self) -> Result<(Stmt, usize), ParseError> {
+        self.expect(Token::KwIf)?;
+        self.expect(Token::LParen)?;
+        let cond = self.cond()?;
+        self.expect(Token::RParen)?;
+        self.expect(Token::LBrace)?;
+        let (then_branch, then_returns) = self.stmt_list_until_rbrace()?;
+        let (else_branch, else_returns) = if self.eat(&Token::KwElse) {
+            if self.peek() == Some(&Token::KwIf) {
+                self.if_stmt()?
+            } else {
+                self.expect(Token::LBrace)?;
+                self.stmt_list_until_rbrace()?
+            }
+        } else {
+            (Stmt::skip(), 0)
+        };
+        Ok((
+            Stmt::if_else(cond, then_branch, else_branch),
+            then_returns.max(else_returns),
+        ))
+    }
+
+    // ---- assignments and calls ----------------------------------------------
+
+    fn assignment_or_call(&mut self) -> Result<AssignOrCall, ParseError> {
+        // Gather the assignment targets: `x`, `x, y`, or `n.f` / `n.l.f`.
+        let first = self.expect_ident()?;
+        if first == self.loc_param {
+            // Field assignment `n.f = e` or `n.l.f = e`; pointer assignments
+            // `n.l = ...` are rejected (no tree mutation in Retreet).
+            self.expect(Token::Dot)?;
+            let second = self.expect_ident()?;
+            let (node, field) = if (second == "l" || second == "r") && self.peek() == Some(&Token::Dot) {
+                self.pos += 1;
+                let field = self.expect_ident()?;
+                let dir = if second == "l" { Dir::Left } else { Dir::Right };
+                (NodeRef::Child(dir), field)
+            } else if second == "l" || second == "r" {
+                return self.error(
+                    "assignment to a pointer field (tree mutation) is not allowed in Retreet; \
+                     simulate it with local flag fields as in §5 of the paper",
+                );
+            } else {
+                (NodeRef::Cur, second)
+            };
+            self.expect(Token::Assign)?;
+            let value = self.aexpr()?;
+            self.expect(Token::Semi)?;
+            return Ok(AssignOrCall::Assign(Assign::SetField(node, field, value)));
+        }
+
+        let mut results = vec![first];
+        while self.eat(&Token::Comma) {
+            results.push(self.expect_ident()?);
+        }
+        self.expect(Token::Assign)?;
+        // A call iff the right-hand side is `Ident (` where the identifier is
+        // not the Loc parameter (which cannot be called).
+        let is_call = matches!(
+            (self.peek(), self.peek_at(1)),
+            (Some(Token::Ident(name)), Some(Token::LParen)) if *name != self.loc_param
+        );
+        if is_call {
+            let callee = self.expect_ident()?;
+            self.expect(Token::LParen)?;
+            let target = self.node_ref()?;
+            let mut args = Vec::new();
+            while self.eat(&Token::Comma) {
+                args.push(self.aexpr()?);
+            }
+            self.expect(Token::RParen)?;
+            self.expect(Token::Semi)?;
+            Ok(AssignOrCall::Call(CallBlock {
+                results,
+                callee,
+                target,
+                args,
+            }))
+        } else {
+            if results.len() != 1 {
+                return self.error("multiple assignment targets are only allowed for calls");
+            }
+            let value = self.aexpr()?;
+            self.expect(Token::Semi)?;
+            Ok(AssignOrCall::Assign(Assign::SetVar(
+                results.pop().unwrap(),
+                value,
+            )))
+        }
+    }
+
+    /// Parses `n`, `n.l`, or `n.r`.
+    fn node_ref(&mut self) -> Result<NodeRef, ParseError> {
+        let name = self.expect_ident()?;
+        if name != self.loc_param {
+            return self.error(format!(
+                "expected the Loc parameter `{}`, found `{name}`",
+                self.loc_param
+            ));
+        }
+        if self.eat(&Token::Dot) {
+            let dir = self.expect_ident()?;
+            match dir.as_str() {
+                "l" => Ok(NodeRef::Child(Dir::Left)),
+                "r" => Ok(NodeRef::Child(Dir::Right)),
+                other => self.error(format!("expected child `l` or `r`, found `{other}`")),
+            }
+        } else {
+            Ok(NodeRef::Cur)
+        }
+    }
+
+    // ---- expressions --------------------------------------------------------
+
+    fn aexpr(&mut self) -> Result<AExpr, ParseError> {
+        let mut lhs = self.aexpr_primary()?;
+        loop {
+            if self.eat(&Token::Plus) {
+                let rhs = self.aexpr_primary()?;
+                lhs = AExpr::add(lhs, rhs);
+            } else if self.eat(&Token::Minus) {
+                let rhs = self.aexpr_primary()?;
+                lhs = AExpr::sub(lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn aexpr_primary(&mut self) -> Result<AExpr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Int(value)) => {
+                self.pos += 1;
+                Ok(AExpr::Const(value))
+            }
+            Some(Token::Minus) => {
+                self.pos += 1;
+                let inner = self.aexpr_primary()?;
+                Ok(AExpr::sub(AExpr::Const(0), inner))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let inner = self.aexpr()?;
+                self.expect(Token::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                if name == self.loc_param {
+                    self.expect(Token::Dot)?;
+                    let second = self.expect_ident()?;
+                    if (second == "l" || second == "r") && self.eat(&Token::Dot) {
+                        let field = self.expect_ident()?;
+                        let dir = if second == "l" { Dir::Left } else { Dir::Right };
+                        Ok(AExpr::Field(NodeRef::Child(dir), field))
+                    } else if second == "l" || second == "r" {
+                        self.error("a pointer value cannot be used in arithmetic")
+                    } else {
+                        Ok(AExpr::Field(NodeRef::Cur, second))
+                    }
+                } else {
+                    Ok(AExpr::Var(name))
+                }
+            }
+            Some(other) => self.error(format!("expected an integer expression, found `{other}`")),
+            None => self.error("expected an integer expression, found end of input"),
+        }
+    }
+
+    fn cond(&mut self) -> Result<BExpr, ParseError> {
+        let mut lhs = self.cond_atom()?;
+        while self.eat(&Token::AndAnd) {
+            let rhs = self.cond_atom()?;
+            lhs = BExpr::and(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cond_atom(&mut self) -> Result<BExpr, ParseError> {
+        if self.eat(&Token::KwTrue) {
+            return Ok(BExpr::True);
+        }
+        if self.eat(&Token::Bang) {
+            let inner = self.cond_atom()?;
+            return Ok(BExpr::not(inner));
+        }
+        // Try a nil-check first: `n == nil`, `n.l != nil`, …
+        let save = self.pos;
+        if let Ok(node) = self.node_ref() {
+            match self.peek() {
+                Some(Token::EqEq) if self.peek_at(1) == Some(&Token::KwNil) => {
+                    self.pos += 2;
+                    return Ok(BExpr::IsNil(node));
+                }
+                Some(Token::NotEq) if self.peek_at(1) == Some(&Token::KwNil) => {
+                    self.pos += 2;
+                    return Ok(BExpr::not(BExpr::IsNil(node)));
+                }
+                _ => {}
+            }
+        }
+        self.pos = save;
+        // Parenthesized condition: only when the content is not an arithmetic
+        // comparison; try it with backtracking.
+        if self.peek() == Some(&Token::LParen) {
+            let save = self.pos;
+            self.pos += 1;
+            if let Ok(inner) = self.cond() {
+                if self.eat(&Token::RParen) {
+                    let next_is_cmp = matches!(
+                        self.peek(),
+                        Some(Token::Lt | Token::Le | Token::Gt | Token::Ge | Token::EqEq | Token::NotEq | Token::Plus | Token::Minus)
+                    );
+                    if !next_is_cmp {
+                        return Ok(inner);
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        // Comparison between two integer expressions.
+        let lhs = self.aexpr()?;
+        let op = match self.bump() {
+            Some(tok @ (Token::Lt | Token::Le | Token::Gt | Token::Ge | Token::EqEq | Token::NotEq)) => tok,
+            Some(other) => return self.error(format!("expected a comparison operator, found `{other}`")),
+            None => return self.error("expected a comparison operator, found end of input"),
+        };
+        let rhs = self.aexpr()?;
+        Ok(match op {
+            Token::Lt => BExpr::lt(lhs, rhs),
+            Token::Le => BExpr::le(lhs, rhs),
+            Token::Gt => BExpr::gt(lhs, rhs),
+            Token::Ge => BExpr::ge(lhs, rhs),
+            Token::EqEq => BExpr::eq_int(lhs, rhs),
+            Token::NotEq => BExpr::not(BExpr::eq_int(lhs, rhs)),
+            _ => unreachable!(),
+        })
+    }
+}
+
+enum AssignOrCall {
+    Assign(Assign),
+    Call(CallBlock),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BlockKind;
+
+    const ODD_EVEN: &str = r#"
+        fn Odd(n) {
+            if (n == nil) {
+                return 0;
+            } else {
+                ls = Even(n.l);
+                rs = Even(n.r);
+                return ls + rs + 1;
+            }
+        }
+        fn Even(n) {
+            if (n == nil) {
+                return 0;
+            } else {
+                ls = Odd(n.l);
+                rs = Odd(n.r);
+                return ls + rs;
+            }
+        }
+        fn Main(n) {
+            {
+                o = Odd(n);
+                ||
+                e = Even(n);
+            }
+            return o, e;
+        }
+    "#;
+
+    #[test]
+    fn parses_the_running_example() {
+        let prog = parse_program(ODD_EVEN).expect("parse");
+        assert_eq!(prog.funcs.len(), 3);
+        let odd = prog.func("Odd").unwrap();
+        assert_eq!(odd.loc_param, "n");
+        assert_eq!(odd.num_returns, 1);
+        // Fig. 3: Odd has 4 blocks (s0..s3).
+        assert_eq!(odd.blocks().len(), 4);
+        let main = prog.main().unwrap();
+        assert_eq!(main.num_returns, 2);
+        // Main has 3 blocks (s8, s9, s10).
+        assert_eq!(main.blocks().len(), 3);
+    }
+
+    #[test]
+    fn parallel_composition_is_recognized() {
+        let prog = parse_program(ODD_EVEN).unwrap();
+        let main = prog.main().unwrap();
+        match &main.body {
+            Stmt::Seq(items) => {
+                assert!(matches!(items[0], Stmt::Par(_)));
+            }
+            other => panic!("expected a sequence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn par_keyword_form_is_equivalent() {
+        let src = r#"
+            fn A(n) { return 0; }
+            fn Main(n) {
+                par {
+                    x = A(n.l);
+                    y = A(n.r);
+                }
+                return x + y;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let main = prog.main().unwrap();
+        match &main.body {
+            Stmt::Seq(items) => match &items[0] {
+                Stmt::Par(branches) => assert_eq!(branches.len(), 2),
+                other => panic!("expected Par, got {other:?}"),
+            },
+            other => panic!("expected Seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn straight_line_assignments_group_into_one_block() {
+        let src = r#"
+            fn F(n) {
+                n.a = 1;
+                n.b = n.a + 2;
+                x = n.b;
+                return x;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let f = prog.func("F").unwrap();
+        let blocks = f.blocks();
+        assert_eq!(blocks.len(), 1);
+        match &blocks[0].kind {
+            BlockKind::Straight(s) => {
+                assert_eq!(s.assigns.len(), 3);
+                assert!(s.ret.is_some());
+            }
+            BlockKind::Call(_) => panic!("expected a straight block"),
+        }
+    }
+
+    #[test]
+    fn calls_split_straight_blocks() {
+        let src = r#"
+            fn G(n) { return 0; }
+            fn F(n) {
+                x = 1;
+                y = G(n.l);
+                z = x + y;
+                return z;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let f = prog.func("F").unwrap();
+        let blocks = f.blocks();
+        // x=1 | call | z=..; return
+        assert_eq!(blocks.len(), 3);
+        assert!(!blocks[0].is_call());
+        assert!(blocks[1].is_call());
+        assert!(!blocks[2].is_call());
+    }
+
+    #[test]
+    fn field_reads_and_children() {
+        let src = r#"
+            fn F(n) {
+                if (n.l != nil && n.v > 0) {
+                    n.v = n.l.v + 1;
+                }
+                return n.v;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let f = prog.func("F").unwrap();
+        assert_eq!(f.blocks().len(), 2);
+    }
+
+    #[test]
+    fn comparison_sugar() {
+        let src = r#"
+            fn F(n, k) {
+                if (k <= 3) {
+                    return 1;
+                } else {
+                    return 0;
+                }
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let f = prog.func("F").unwrap();
+        match &f.body {
+            Stmt::If(cond, _, _) => assert!(matches!(cond, BExpr::Gt(_))),
+            other => panic!("expected If, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_tree_mutation() {
+        let src = r#"
+            fn Swap(n) {
+                n.l = n.r;
+                return 0;
+            }
+        "#;
+        let err = parse_program(src).unwrap_err();
+        assert!(err.message.contains("mutation"));
+    }
+
+    #[test]
+    fn rejects_pointer_arithmetic() {
+        let src = r#"
+            fn F(n) {
+                x = n.l + 1;
+                return x;
+            }
+        "#;
+        assert!(parse_program(src).is_err());
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let src = "fn F(n) {\n  x = ;\n}";
+        let err = parse_program(src).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn multi_result_calls() {
+        let src = r#"
+            fn Pair(n) { return 1, 2; }
+            fn Main(n) {
+                a, b = Pair(n.l);
+                return a + b;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let main = prog.main().unwrap();
+        let blocks = main.blocks();
+        let call = blocks[0].as_call().unwrap();
+        assert_eq!(call.results, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(prog.func("Pair").unwrap().num_returns, 2);
+    }
+
+    #[test]
+    fn call_with_int_args() {
+        let src = r#"
+            fn F(n, k) { return k; }
+            fn Main(n) {
+                x = F(n.l, 3 + 4);
+                return x;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let call = prog.main().unwrap().blocks()[0].as_call().unwrap().clone();
+        assert_eq!(call.callee, "F");
+        assert_eq!(call.target, NodeRef::Child(Dir::Left));
+        assert_eq!(call.args.len(), 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Pretty-printer producing valid `.retreet` surface syntax.
+//!
+//! The printer is the inverse of [`crate::parser`]: printing a program and
+//! re-parsing it yields a structurally equal program (round-trip property,
+//! tested here and property-tested in the integration suite).
+
+use std::fmt::Write as _;
+
+use crate::ast::{AExpr, Assign, BExpr, Block, BlockKind, Func, Program, Stmt};
+
+/// Renders a whole program.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, func) in program.funcs.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_func(func, &mut out);
+    }
+    out
+}
+
+/// Renders a single function.
+pub fn print_func(func: &Func, out: &mut String) {
+    let params = if func.int_params.is_empty() {
+        func.loc_param.clone()
+    } else {
+        format!("{}, {}", func.loc_param, func.int_params.join(", "))
+    };
+    let _ = writeln!(out, "fn {}({}) {{", func.name, params);
+    print_stmt(&func.body, 1, out);
+    out.push_str("}\n");
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
+    match stmt {
+        Stmt::Block(block) => print_block(block, level, out),
+        Stmt::If(cond, then_branch, else_branch) => {
+            indent(level, out);
+            let _ = writeln!(out, "if ({}) {{", print_cond(cond));
+            print_stmt(then_branch, level + 1, out);
+            if matches!(else_branch.as_ref(), Stmt::Seq(items) if items.is_empty()) {
+                indent(level, out);
+                out.push_str("}\n");
+            } else {
+                indent(level, out);
+                out.push_str("} else {\n");
+                print_stmt(else_branch, level + 1, out);
+                indent(level, out);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::Seq(items) => {
+            for item in items {
+                print_stmt(item, level, out);
+            }
+        }
+        Stmt::Par(items) => {
+            indent(level, out);
+            out.push_str("{\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    indent(level, out);
+                    out.push_str("||\n");
+                }
+                print_stmt(item, level + 1, out);
+            }
+            indent(level, out);
+            out.push_str("}\n");
+        }
+    }
+}
+
+fn print_block(block: &Block, level: usize, out: &mut String) {
+    match &block.kind {
+        BlockKind::Call(call) => {
+            indent(level, out);
+            let results = call.results.join(", ");
+            let mut args = format!("{}", call.target);
+            for arg in &call.args {
+                let _ = write!(args, ", {}", print_aexpr(arg));
+            }
+            if results.is_empty() {
+                // The grammar requires at least one result variable; use a
+                // throw-away name for result-less calls.
+                let _ = writeln!(out, "_ignored = {}({});", call.callee, args);
+            } else {
+                let _ = writeln!(out, "{} = {}({});", results, call.callee, args);
+            }
+        }
+        BlockKind::Straight(straight) => {
+            for assign in &straight.assigns {
+                indent(level, out);
+                match assign {
+                    Assign::SetField(node, field, value) => {
+                        let _ = writeln!(out, "{node}.{field} = {};", print_aexpr(value));
+                    }
+                    Assign::SetVar(var, value) => {
+                        let _ = writeln!(out, "{var} = {};", print_aexpr(value));
+                    }
+                }
+            }
+            if let Some(ret) = &straight.ret {
+                indent(level, out);
+                if ret.is_empty() {
+                    out.push_str("return;\n");
+                } else {
+                    let values: Vec<String> = ret.iter().map(print_aexpr).collect();
+                    let _ = writeln!(out, "return {};", values.join(", "));
+                }
+            }
+        }
+    }
+}
+
+fn print_aexpr(expr: &AExpr) -> String {
+    match expr {
+        AExpr::Const(c) => format!("{c}"),
+        AExpr::Var(v) => v.clone(),
+        AExpr::Field(node, field) => format!("{node}.{field}"),
+        AExpr::Add(a, b) => format!("({} + {})", print_aexpr(a), print_aexpr(b)),
+        AExpr::Sub(a, b) => format!("({} - {})", print_aexpr(a), print_aexpr(b)),
+    }
+}
+
+fn print_cond(cond: &BExpr) -> String {
+    match cond {
+        BExpr::True => "true".to_string(),
+        BExpr::IsNil(node) => format!("{node} == nil"),
+        BExpr::Gt(expr) => format!("{} > 0", print_aexpr(expr)),
+        BExpr::Not(inner) => format!("!({})", print_cond(inner)),
+        BExpr::And(a, b) => format!("({}) && ({})", print_cond(a), print_cond(b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    const ODD_EVEN: &str = r#"
+        fn Odd(n) {
+            if (n == nil) { return 0; } else {
+                ls = Even(n.l);
+                rs = Even(n.r);
+                return ls + rs + 1;
+            }
+        }
+        fn Even(n) {
+            if (n == nil) { return 0; } else {
+                ls = Odd(n.l);
+                rs = Odd(n.r);
+                return ls + rs;
+            }
+        }
+        fn Main(n) {
+            { o = Odd(n); || e = Even(n); }
+            return o, e;
+        }
+    "#;
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let prog = parse_program(ODD_EVEN).unwrap();
+        let printed = print_program(&prog);
+        let reparsed = parse_program(&printed).expect("printed program parses");
+        assert_eq!(prog.funcs.len(), reparsed.funcs.len());
+        for (a, b) in prog.funcs.iter().zip(reparsed.funcs.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.blocks().len(), b.blocks().len());
+        }
+    }
+
+    #[test]
+    fn printed_text_contains_parallel_separator() {
+        let prog = parse_program(ODD_EVEN).unwrap();
+        let printed = print_program(&prog);
+        assert!(printed.contains("||"));
+        assert!(printed.contains("fn Main(n)"));
+    }
+
+    #[test]
+    fn prints_conditions_and_fields() {
+        let src = r#"
+            fn F(n, k) {
+                if (n.v > k && n.l != nil) {
+                    n.v = n.l.v - 1;
+                }
+                return n.v;
+            }
+            fn Main(n) {
+                x = F(n, 3);
+                return x;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let printed = print_program(&prog);
+        let reparsed = parse_program(&printed).expect("reparse");
+        assert_eq!(prog.func("F").unwrap().blocks().len(), reparsed.func("F").unwrap().blocks().len());
+        assert!(printed.contains("n.l.v"));
+    }
+
+    #[test]
+    fn round_trip_is_a_fixpoint() {
+        let prog = parse_program(ODD_EVEN).unwrap();
+        let once = print_program(&prog);
+        let twice = print_program(&parse_program(&once).unwrap());
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,269 @@
+//! Read/write analysis at the block level (Appendix B of the paper).
+//!
+//! For every non-call block `s` the analysis computes the *read set* `Rs` and
+//! the *write set* `Ws`: which local fields (of the current node or of one of
+//! its children) and which local integer variables the block may read or
+//! write.  These sets feed the `Write`/`ReadWrite` predicates used by the
+//! dependence formula in §4.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::ast::{Assign, BExpr, BlockKind, Ident, NodeRef};
+use crate::blocks::{BlockId, BlockTable, PathElem};
+
+/// A memory location accessed by a block, relative to the node the block runs
+/// on.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Access {
+    /// A local field of `n`, `n.l`, or `n.r`.
+    Field(NodeRef, Ident),
+    /// A local integer variable of the enclosing function activation.
+    Var(Ident),
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Access::Field(node, field) => write!(f, "{node}.{field}"),
+            Access::Var(var) => write!(f, "{var}"),
+        }
+    }
+}
+
+/// The read and write sets of a single block.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RwSets {
+    /// Locations possibly read.
+    pub reads: BTreeSet<Access>,
+    /// Locations possibly written.
+    pub writes: BTreeSet<Access>,
+}
+
+impl RwSets {
+    /// Locations read or written.
+    pub fn read_writes(&self) -> BTreeSet<Access> {
+        self.reads.union(&self.writes).cloned().collect()
+    }
+
+    /// The *field* accesses only (variable accesses are activation-local and
+    /// cannot race across iterations).
+    pub fn field_reads(&self) -> impl Iterator<Item = (&NodeRef, &Ident)> {
+        self.reads.iter().filter_map(|a| match a {
+            Access::Field(node, field) => Some((node, field)),
+            Access::Var(_) => None,
+        })
+    }
+
+    /// The field writes only.
+    pub fn field_writes(&self) -> impl Iterator<Item = (&NodeRef, &Ident)> {
+        self.writes.iter().filter_map(|a| match a {
+            Access::Field(node, field) => Some((node, field)),
+            Access::Var(_) => None,
+        })
+    }
+
+    /// True when the block performs no field access at all.
+    pub fn is_field_pure(&self) -> bool {
+        self.field_reads().next().is_none() && self.field_writes().next().is_none()
+    }
+}
+
+/// Computes the read/write sets of a block.
+///
+/// Call blocks get the accesses of their argument expressions only — the
+/// accesses performed *inside* the callee are attributed to the callee's own
+/// blocks (which run as separate iterations).
+pub fn rw_sets_of_block(table: &BlockTable, id: BlockId) -> RwSets {
+    let mut sets = RwSets::default();
+    let info = table.info(id);
+    match &info.block.kind {
+        BlockKind::Call(call) => {
+            for arg in &call.args {
+                add_expr_reads(arg, &mut sets);
+            }
+            for result in &call.results {
+                sets.writes.insert(Access::Var(result.clone()));
+            }
+        }
+        BlockKind::Straight(straight) => {
+            for assign in &straight.assigns {
+                match assign {
+                    Assign::SetField(node, field, value) => {
+                        add_expr_reads(value, &mut sets);
+                        sets.writes.insert(Access::Field(*node, field.clone()));
+                    }
+                    Assign::SetVar(var, value) => {
+                        add_expr_reads(value, &mut sets);
+                        sets.writes.insert(Access::Var(var.clone()));
+                    }
+                }
+            }
+            if let Some(ret) = &straight.ret {
+                for value in ret {
+                    add_expr_reads(value, &mut sets);
+                }
+            }
+        }
+    }
+    // Branch conditions guarding the block read fields too: the paper adds all
+    // fields occurring in an if-condition to the read set of the guarded
+    // blocks.
+    for path in table.paths_to(id) {
+        for elem in &path.elems {
+            if let PathElem::Assume(cond, _) = elem {
+                add_cond_reads(cond, &mut sets);
+            }
+        }
+    }
+    sets
+}
+
+/// Computes the read/write sets of every block, indexed by block id.
+pub fn rw_sets(table: &BlockTable) -> Vec<RwSets> {
+    (0..table.len())
+        .map(|i| rw_sets_of_block(table, BlockId(i as u32)))
+        .collect()
+}
+
+fn add_expr_reads(expr: &crate::ast::AExpr, sets: &mut RwSets) {
+    for (node, field) in expr.field_reads() {
+        sets.reads.insert(Access::Field(node, field.clone()));
+    }
+    for var in expr.vars() {
+        sets.reads.insert(Access::Var(var.clone()));
+    }
+}
+
+fn add_cond_reads(cond: &BExpr, sets: &mut RwSets) {
+    match cond {
+        BExpr::True | BExpr::IsNil(_) => {}
+        BExpr::Gt(expr) => add_expr_reads(expr, sets),
+        BExpr::Not(inner) => add_cond_reads(inner, sets),
+        BExpr::And(a, b) => {
+            add_cond_reads(a, sets);
+            add_cond_reads(b, sets);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Dir;
+    use crate::parser::parse_program;
+
+    fn table(src: &str) -> BlockTable {
+        BlockTable::build(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn straight_block_reads_and_writes() {
+        let table = table(
+            r#"
+            fn F(n) {
+                n.v = n.l.v + 1;
+                x = n.v;
+                return x;
+            }
+        "#,
+        );
+        let sets = rw_sets_of_block(&table, BlockId(0));
+        assert!(sets
+            .reads
+            .contains(&Access::Field(NodeRef::Child(Dir::Left), "v".into())));
+        assert!(sets.reads.contains(&Access::Field(NodeRef::Cur, "v".into())));
+        assert!(sets.writes.contains(&Access::Field(NodeRef::Cur, "v".into())));
+        assert!(sets.writes.contains(&Access::Var("x".into())));
+    }
+
+    #[test]
+    fn call_block_accounts_for_args_and_results() {
+        let table = table(
+            r#"
+            fn G(n, k) { return k; }
+            fn F(n) {
+                y = G(n.l, n.v + 1);
+                return y;
+            }
+        "#,
+        );
+        // Block 1 is the call inside F (block 0 is G's return).
+        let call_id = table.blocks_of_func_named("F")[0];
+        let sets = rw_sets_of_block(&table, call_id);
+        assert!(sets.reads.contains(&Access::Field(NodeRef::Cur, "v".into())));
+        assert!(sets.writes.contains(&Access::Var("y".into())));
+        // The call does not directly read or write fields of the child.
+        assert!(!sets
+            .writes
+            .iter()
+            .any(|a| matches!(a, Access::Field(NodeRef::Child(_), _))));
+    }
+
+    #[test]
+    fn guard_conditions_contribute_reads() {
+        let table = table(
+            r#"
+            fn F(n) {
+                if (n.weight > 3) {
+                    n.value = 0;
+                }
+                return 0;
+            }
+        "#,
+        );
+        // Block 0 is the guarded assignment.
+        let sets = rw_sets_of_block(&table, BlockId(0));
+        assert!(sets.reads.contains(&Access::Field(NodeRef::Cur, "weight".into())));
+        assert!(sets.writes.contains(&Access::Field(NodeRef::Cur, "value".into())));
+    }
+
+    #[test]
+    fn return_only_block_is_read_only() {
+        let table = table(
+            r#"
+            fn F(n) {
+                return n.v;
+            }
+        "#,
+        );
+        let sets = rw_sets_of_block(&table, BlockId(0));
+        assert!(sets.writes.is_empty());
+        assert_eq!(sets.reads.len(), 1);
+        assert!(!sets.is_field_pure());
+    }
+
+    #[test]
+    fn rw_sets_computes_all_blocks() {
+        let table = table(
+            r#"
+            fn F(n) {
+                x = 0;
+                y = F2(n.l);
+                return x + y;
+            }
+            fn F2(n) { return 1; }
+        "#,
+        );
+        let all = rw_sets(&table);
+        assert_eq!(all.len(), table.len());
+        // The pure-constant blocks are field-pure.
+        assert!(all.iter().any(|s| s.is_field_pure()));
+    }
+
+    #[test]
+    fn read_writes_union() {
+        let table = table(
+            r#"
+            fn F(n) {
+                n.a = n.b;
+                return 0;
+            }
+        "#,
+        );
+        let sets = rw_sets_of_block(&table, BlockId(0));
+        let rw = sets.read_writes();
+        assert!(rw.contains(&Access::Field(NodeRef::Cur, "a".into())));
+        assert!(rw.contains(&Access::Field(NodeRef::Cur, "b".into())));
+    }
+}

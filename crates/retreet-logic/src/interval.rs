@@ -1,0 +1,363 @@
+//! Interval propagation over conjunctions of linear constraints.
+//!
+//! This is a cheap pre-pass in front of Fourier–Motzkin elimination: it
+//! narrows per-variable integer intervals by repeatedly propagating each
+//! constraint, detecting many unsatisfiable systems early and providing
+//! finite ranges from which the model-construction step can pick witness
+//! values.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::constraint::{Atom, Rel, System};
+use crate::term::Sym;
+
+/// An integer interval with optionally unbounded endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Lower bound (`None` = −∞).
+    pub lo: Option<i64>,
+    /// Upper bound (`None` = +∞).
+    pub hi: Option<i64>,
+}
+
+impl Interval {
+    /// The full interval (−∞, +∞).
+    pub fn top() -> Self {
+        Interval { lo: None, hi: None }
+    }
+
+    /// A single-point interval.
+    pub fn point(value: i64) -> Self {
+        Interval {
+            lo: Some(value),
+            hi: Some(value),
+        }
+    }
+
+    /// A bounded interval `[lo, hi]`.
+    pub fn bounded(lo: i64, hi: i64) -> Self {
+        Interval {
+            lo: Some(lo),
+            hi: Some(hi),
+        }
+    }
+
+    /// True when no integer lies in the interval.
+    pub fn is_empty(&self) -> bool {
+        matches!((self.lo, self.hi), (Some(lo), Some(hi)) if lo > hi)
+    }
+
+    /// True when the interval contains `value`.
+    pub fn contains(&self, value: i64) -> bool {
+        self.lo.map_or(true, |lo| value >= lo) && self.hi.map_or(true, |hi| value <= hi)
+    }
+
+    /// Intersection of two intervals.
+    pub fn meet(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: match (self.lo, other.lo) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            },
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+        }
+    }
+
+    /// A representative integer in the interval, if any; prefers values close
+    /// to zero so counterexample models stay readable.
+    pub fn witness(&self) -> Option<i64> {
+        if self.is_empty() {
+            return None;
+        }
+        match (self.lo, self.hi) {
+            (Some(lo), Some(hi)) => {
+                if lo <= 0 && 0 <= hi {
+                    Some(0)
+                } else if lo > 0 {
+                    Some(lo)
+                } else {
+                    Some(hi)
+                }
+            }
+            (Some(lo), None) => Some(lo.max(0)),
+            (None, Some(hi)) => Some(hi.min(0)),
+            (None, None) => Some(0),
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.lo {
+            Some(lo) => write!(f, "[{lo}, ")?,
+            None => write!(f, "(-inf, ")?,
+        }
+        match self.hi {
+            Some(hi) => write!(f, "{hi}]"),
+            None => write!(f, "+inf)"),
+        }
+    }
+}
+
+/// A per-variable interval environment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalMap {
+    map: BTreeMap<Sym, Interval>,
+}
+
+impl IntervalMap {
+    /// Creates an environment where every variable is unconstrained.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current interval of `sym` (top if never narrowed).
+    pub fn get(&self, sym: Sym) -> Interval {
+        self.map.get(&sym).copied().unwrap_or_else(Interval::top)
+    }
+
+    /// Narrows the interval of `sym` by intersecting with `interval`.
+    ///
+    /// Returns `true` if the interval actually changed.
+    pub fn narrow(&mut self, sym: Sym, interval: Interval) -> bool {
+        let current = self.get(sym);
+        let next = current.meet(&interval);
+        if next != current {
+            self.map.insert(sym, next);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when some variable has been narrowed to the empty interval.
+    pub fn has_conflict(&self) -> bool {
+        self.map.values().any(Interval::is_empty)
+    }
+
+    /// Iterates over narrowed variables.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, Interval)> + '_ {
+        self.map.iter().map(|(&s, &i)| (s, i))
+    }
+
+    /// Picks a witness value for `sym` within its interval.
+    pub fn witness(&self, sym: Sym) -> Option<i64> {
+        self.get(sym).witness()
+    }
+}
+
+/// Result of running interval propagation on a [`System`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropagationResult {
+    /// A conflict was found; the system is unsatisfiable over the integers.
+    Conflict,
+    /// No conflict found; the returned map holds the narrowed intervals.
+    Narrowed(IntervalMap),
+}
+
+/// Propagates every atom of `system` until a fixpoint (or the iteration cap)
+/// is reached.
+///
+/// Only atoms where a variable appears with coefficient ±1 and all other
+/// variables are already bounded contribute to narrowing; everything else is
+/// left to the Fourier–Motzkin step.  The propagation is sound: it never
+/// reports `Conflict` for a satisfiable system.
+pub fn propagate(system: &System) -> PropagationResult {
+    let mut env = IntervalMap::new();
+    // The fixpoint terminates because intervals only shrink, but we still cap
+    // the number of sweeps to stay linear in pathological cases.
+    let max_sweeps = 4 * system.len().max(4);
+    for _ in 0..max_sweeps {
+        let mut changed = false;
+        for atom in system.atoms() {
+            if atom.rel() == Rel::Ne {
+                // Disequalities do not narrow intervals (they remove at most a
+                // single point); handled by the solver's case split.
+                continue;
+            }
+            for norm in atom.normalize() {
+                changed |= propagate_ge(&norm, &mut env);
+            }
+            if env.has_conflict() {
+                return PropagationResult::Conflict;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    if env.has_conflict() {
+        PropagationResult::Conflict
+    } else {
+        PropagationResult::Narrowed(env)
+    }
+}
+
+/// Narrows intervals using a single `expr ≥ 0` atom.  Returns true on change.
+fn propagate_ge(atom: &Atom, env: &mut IntervalMap) -> bool {
+    debug_assert_eq!(atom.rel(), Rel::Ge);
+    let expr = atom.expr();
+    let mut changed = false;
+    for (target, coeff) in expr.terms() {
+        if coeff != 1 && coeff != -1 {
+            continue;
+        }
+        // expr = coeff*target + rest ≥ 0
+        //   coeff = 1:  target ≥ -rest_max is useless; target ≥ -(upper bound of rest)?
+        // We need bounds of `rest = expr - coeff*target`.
+        let mut rest_lo: Option<i64> = Some(expr.constant_term());
+        let mut rest_hi: Option<i64> = Some(expr.constant_term());
+        for (sym, c) in expr.terms() {
+            if sym == target {
+                continue;
+            }
+            let iv = env.get(sym);
+            let (term_lo, term_hi) = if c >= 0 {
+                (
+                    iv.lo.and_then(|v| v.checked_mul(c)),
+                    iv.hi.and_then(|v| v.checked_mul(c)),
+                )
+            } else {
+                (
+                    iv.hi.and_then(|v| v.checked_mul(c)),
+                    iv.lo.and_then(|v| v.checked_mul(c)),
+                )
+            };
+            rest_lo = match (rest_lo, term_lo) {
+                (Some(a), Some(b)) => a.checked_add(b),
+                _ => None,
+            };
+            rest_hi = match (rest_hi, term_hi) {
+                (Some(a), Some(b)) => a.checked_add(b),
+                _ => None,
+            };
+        }
+        // coeff*target ≥ -rest, using the best available bound of rest.
+        if coeff == 1 {
+            // target ≥ -rest_hi  is wrong; we need target ≥ -(max of rest)?  No:
+            // target ≥ -rest for every admissible rest, so the *guaranteed*
+            // bound uses the maximum of rest: target ≥ -rest_max only follows
+            // when rest is fixed.  The sound derivation is:
+            //   target + rest ≥ 0  ⇒  target ≥ -rest  ⇒  target ≥ -(rest_hi)
+            // only if rest ≤ rest_hi always holds, which it does.  However the
+            // inequality must hold for the *actual* rest, so the strongest
+            // sound narrowing is target ≥ -rest_hi.
+            if let Some(hi) = rest_hi {
+                changed |= env.narrow(target, Interval { lo: Some(-hi), hi: None });
+            }
+        } else {
+            // -target + rest ≥ 0  ⇒  target ≤ rest ≤ rest_hi
+            if let Some(hi) = rest_hi {
+                changed |= env.narrow(target, Interval { lo: None, hi: Some(hi) });
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::LinExpr;
+
+    fn sym(i: usize) -> Sym {
+        Sym::from_usize(i)
+    }
+
+    fn var(i: usize) -> LinExpr {
+        LinExpr::var(sym(i))
+    }
+
+    #[test]
+    fn interval_meet_and_emptiness() {
+        let a = Interval::bounded(0, 10);
+        let b = Interval::bounded(5, 20);
+        assert_eq!(a.meet(&b), Interval::bounded(5, 10));
+        assert!(Interval::bounded(3, 2).is_empty());
+        assert!(!Interval::top().is_empty());
+    }
+
+    #[test]
+    fn interval_witness_prefers_zero() {
+        assert_eq!(Interval::bounded(-5, 5).witness(), Some(0));
+        assert_eq!(Interval::bounded(2, 9).witness(), Some(2));
+        assert_eq!(Interval::bounded(-9, -2).witness(), Some(-2));
+        assert_eq!(Interval::top().witness(), Some(0));
+        assert_eq!(Interval::bounded(1, 0).witness(), None);
+    }
+
+    #[test]
+    fn propagation_finds_simple_conflict() {
+        // x >= 5 && x <= 3  is unsatisfiable.
+        let sys = System::from_atoms(vec![
+            Atom::ge(var(0), LinExpr::constant(5)),
+            Atom::le(var(0), LinExpr::constant(3)),
+        ]);
+        assert_eq!(propagate(&sys), PropagationResult::Conflict);
+    }
+
+    #[test]
+    fn propagation_narrows_bounds() {
+        // 0 <= x <= 7
+        let sys = System::from_atoms(vec![
+            Atom::ge(var(0), LinExpr::constant(0)),
+            Atom::le(var(0), LinExpr::constant(7)),
+        ]);
+        match propagate(&sys) {
+            PropagationResult::Narrowed(env) => {
+                assert_eq!(env.get(sym(0)), Interval::bounded(0, 7));
+            }
+            PropagationResult::Conflict => panic!("expected narrowed"),
+        }
+    }
+
+    #[test]
+    fn propagation_chains_through_variables() {
+        // x >= 3, y >= x + 1  =>  y >= 4
+        let sys = System::from_atoms(vec![
+            Atom::ge(var(0), LinExpr::constant(3)),
+            Atom::ge(var(1), var(0) + LinExpr::constant(1)),
+        ]);
+        match propagate(&sys) {
+            PropagationResult::Narrowed(env) => {
+                assert_eq!(env.get(sym(1)).lo, Some(4));
+            }
+            PropagationResult::Conflict => panic!("expected narrowed"),
+        }
+    }
+
+    #[test]
+    fn propagation_ignores_disequalities() {
+        let sys = System::from_atoms(vec![Atom::ne(var(0), LinExpr::constant(0))]);
+        assert!(matches!(propagate(&sys), PropagationResult::Narrowed(_)));
+    }
+
+    #[test]
+    fn strict_bounds_are_tightened_to_integers() {
+        // x > 2 && x < 4 has the single integer solution 3.
+        let sys = System::from_atoms(vec![
+            Atom::gt(var(0), LinExpr::constant(2)),
+            Atom::lt(var(0), LinExpr::constant(4)),
+        ]);
+        match propagate(&sys) {
+            PropagationResult::Narrowed(env) => {
+                assert_eq!(env.get(sym(0)), Interval::bounded(3, 3));
+            }
+            PropagationResult::Conflict => panic!("expected narrowed"),
+        }
+    }
+
+    #[test]
+    fn empty_integer_gap_is_a_conflict() {
+        // x > 2 && x < 3 has no integer solution.
+        let sys = System::from_atoms(vec![
+            Atom::gt(var(0), LinExpr::constant(2)),
+            Atom::lt(var(0), LinExpr::constant(3)),
+        ]);
+        assert_eq!(propagate(&sys), PropagationResult::Conflict);
+    }
+}

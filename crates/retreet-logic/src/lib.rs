@@ -1,0 +1,72 @@
+//! # retreet-logic — linear integer arithmetic substrate
+//!
+//! The Retreet paper (§4) assumes that the consistency of a set of branch
+//! conditions (`ConsistentCondSet`) and the feasibility of path conditions can
+//! be discharged by an SMT solver for linear integer arithmetic.  This crate
+//! is the from-scratch substrate that plays that role in the reproduction.
+//!
+//! The crate provides:
+//!
+//! * [`term`] — interned symbols ([`term::Sym`]) and linear expressions
+//!   ([`term::LinExpr`]) with exact `i64` coefficients.
+//! * [`constraint`] — atomic constraints ([`constraint::Atom`]) of the form
+//!   `e ⋈ 0` for `⋈ ∈ {=, ≠, ≤, <, ≥, >}` and conjunctive constraint systems
+//!   ([`constraint::System`]).
+//! * [`interval`] — a cheap interval-propagation pre-pass that catches most
+//!   trivially (un)satisfiable systems.
+//! * [`fm`] — Fourier–Motzkin variable elimination with integer tightening,
+//!   the complete decision step for the conjunctions the Retreet encoding
+//!   produces.
+//! * [`solver`] — the public entry point: [`solver::Solver`] combines interval
+//!   propagation, equality substitution and Fourier–Motzkin elimination and
+//!   answers sat/unsat, optionally with a model.
+//! * [`symtab`] — a small symbol interner shared by the other Retreet crates.
+//!
+//! # Example
+//!
+//! ```
+//! use retreet_logic::prelude::*;
+//!
+//! let mut syms = SymTab::new();
+//! let x = syms.intern("x");
+//! let y = syms.intern("y");
+//!
+//! // x > y  ∧  y ≥ 3  ∧  x ≤ 4   has the single integer model x = 4, y = 3.
+//! let mut sys = System::new();
+//! sys.push(Atom::gt(LinExpr::var(x), LinExpr::var(y)));
+//! sys.push(Atom::ge(LinExpr::var(y), LinExpr::constant(3)));
+//! sys.push(Atom::le(LinExpr::var(x), LinExpr::constant(4)));
+//!
+//! let outcome = Solver::new().check(&sys);
+//! assert!(outcome.is_sat());
+//! let model = outcome.model().unwrap();
+//! assert_eq!(model.eval_var(x), Some(4));
+//! assert_eq!(model.eval_var(y), Some(3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraint;
+pub mod fm;
+pub mod interval;
+pub mod model;
+pub mod solver;
+pub mod symtab;
+pub mod term;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::constraint::{Atom, Rel, System};
+    pub use crate::interval::{Interval, IntervalMap};
+    pub use crate::model::Model;
+    pub use crate::solver::{Outcome, Solver};
+    pub use crate::symtab::SymTab;
+    pub use crate::term::{LinExpr, Sym};
+}
+
+pub use constraint::{Atom, Rel, System};
+pub use model::Model;
+pub use solver::{Outcome, Solver};
+pub use symtab::SymTab;
+pub use term::{LinExpr, Sym};

@@ -1,0 +1,148 @@
+//! Integer models (variable assignments) produced by the solver.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::constraint::System;
+use crate::symtab::SymTab;
+use crate::term::{LinExpr, Sym};
+
+/// A total-by-default integer assignment: unmentioned variables are zero.
+///
+/// Models are used both as satisfying witnesses from the solver and as
+/// concrete variable environments during speculative execution in
+/// `retreet-analysis`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Model {
+    values: BTreeMap<Sym, i64>,
+}
+
+impl Model {
+    /// The empty model (every variable is 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a model from explicit pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (Sym, i64)>>(pairs: I) -> Self {
+        Model {
+            values: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Assigns `sym := value`.
+    pub fn assign(&mut self, sym: Sym, value: i64) {
+        self.values.insert(sym, value);
+    }
+
+    /// The value of `sym` if explicitly assigned.
+    pub fn eval_var(&self, sym: Sym) -> Option<i64> {
+        self.values.get(&sym).copied()
+    }
+
+    /// The value of `sym`, defaulting to zero.
+    pub fn eval_var_or_zero(&self, sym: Sym) -> i64 {
+        self.eval_var(sym).unwrap_or(0)
+    }
+
+    /// Evaluates a linear expression under the model (zero-defaulting).
+    pub fn eval_expr(&self, expr: &LinExpr) -> i64 {
+        expr.eval(|s| Some(self.eval_var_or_zero(s)))
+            .expect("zero-defaulting evaluation cannot fail")
+    }
+
+    /// Checks that the model satisfies every atom of `system`.
+    pub fn satisfies(&self, system: &System) -> bool {
+        system
+            .eval(|s| Some(self.eval_var_or_zero(s)))
+            .unwrap_or(false)
+    }
+
+    /// Number of explicitly assigned variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no variable is explicitly assigned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over explicit assignments.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, i64)> + '_ {
+        self.values.iter().map(|(&s, &v)| (s, v))
+    }
+
+    /// Renders the model with symbol names from `syms`.
+    pub fn display_with(&self, syms: &SymTab) -> String {
+        let mut out = String::from("{");
+        for (i, (sym, value)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{} = {}", syms.display(sym), value));
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (sym, value)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{sym} = {value}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(Sym, i64)> for Model {
+    fn from_iter<T: IntoIterator<Item = (Sym, i64)>>(iter: T) -> Self {
+        Model::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Atom;
+
+    fn s(i: usize) -> Sym {
+        Sym::from_usize(i)
+    }
+
+    #[test]
+    fn default_value_is_zero() {
+        let m = Model::new();
+        assert_eq!(m.eval_var(s(0)), None);
+        assert_eq!(m.eval_var_or_zero(s(0)), 0);
+    }
+
+    #[test]
+    fn expression_evaluation() {
+        let m = Model::from_pairs(vec![(s(0), 2), (s(1), -3)]);
+        let e = LinExpr::scaled_var(s(0), 3) + LinExpr::var(s(1)) + LinExpr::constant(1);
+        assert_eq!(m.eval_expr(&e), 3 * 2 - 3 + 1);
+    }
+
+    #[test]
+    fn satisfies_checks_all_atoms() {
+        let m = Model::from_pairs(vec![(s(0), 5)]);
+        let sat = System::from_atoms(vec![Atom::gt(LinExpr::var(s(0)), LinExpr::constant(0))]);
+        let unsat = System::from_atoms(vec![Atom::lt(LinExpr::var(s(0)), LinExpr::constant(0))]);
+        assert!(m.satisfies(&sat));
+        assert!(!m.satisfies(&unsat));
+    }
+
+    #[test]
+    fn display_with_names() {
+        let mut tab = SymTab::new();
+        let x = tab.intern("x");
+        let m = Model::from_pairs(vec![(x, 7)]);
+        assert_eq!(m.display_with(&tab), "{x = 7}");
+    }
+}

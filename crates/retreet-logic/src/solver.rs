@@ -1,0 +1,399 @@
+//! The public satisfiability interface.
+//!
+//! [`Solver::check`] decides conjunctions of linear integer constraints by
+//! combining three ingredients:
+//!
+//! 1. **Interval propagation** ([`crate::interval`]) as a cheap filter and a
+//!    source of witness candidates,
+//! 2. **disequality case-splitting** — each `e ≠ 0` atom is split into
+//!    `e < 0 ∨ e > 0` and the cases are explored in turn, and
+//! 3. **Fourier–Motzkin elimination** ([`crate::fm`]) as the complete decision
+//!    step for the remaining conjunction of inequalities.
+//!
+//! When a system is satisfiable the solver additionally reconstructs an
+//! integer [`Model`] by projecting the system onto one variable at a time,
+//! picking a witness inside the implied bounds, and substituting it back.
+
+use crate::constraint::{Atom, Rel, System};
+use crate::fm::{check_inequalities, FmResult};
+use crate::interval::{propagate, PropagationResult};
+use crate::model::Model;
+use crate::term::{LinExpr, Sym};
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The system is satisfiable; a witness model is attached when model
+    /// reconstruction succeeded (it does for the unimodular fragment used by
+    /// the Retreet encodings).
+    Sat(Option<Model>),
+    /// The system has no integer solution.
+    Unsat,
+}
+
+impl Outcome {
+    /// True for either `Sat` variant.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Outcome::Sat(_))
+    }
+
+    /// True for `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, Outcome::Unsat)
+    }
+
+    /// The witness model, if one was constructed.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            Outcome::Sat(model) => model.as_ref(),
+            Outcome::Unsat => None,
+        }
+    }
+}
+
+/// Configuration for the satisfiability procedure.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    /// Maximum number of disequality atoms that are case-split exactly; any
+    /// system with more is still decided soundly but models may be missed.
+    pub max_disequality_splits: usize,
+    /// Whether to attempt witness-model reconstruction for satisfiable
+    /// systems.
+    pub build_models: bool,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver {
+            max_disequality_splits: 16,
+            build_models: true,
+        }
+    }
+}
+
+impl Solver {
+    /// A solver with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A solver that skips model construction (slightly faster for pure
+    /// yes/no queries such as `ConsistentCondSet` membership).
+    pub fn decision_only() -> Self {
+        Solver {
+            build_models: false,
+            ..Self::default()
+        }
+    }
+
+    /// Decides the conjunction `system`.
+    pub fn check(&self, system: &System) -> Outcome {
+        // Quick syntactic check for trivially false atoms.
+        for atom in system.atoms() {
+            if atom.as_trivial() == Some(false) {
+                return Outcome::Unsat;
+            }
+        }
+        // Cheap interval pre-pass.
+        if let PropagationResult::Conflict = propagate(system) {
+            return Outcome::Unsat;
+        }
+        // Split disequalities.
+        let disequalities: Vec<&Atom> = system
+            .atoms()
+            .iter()
+            .filter(|a| a.rel() == Rel::Ne && a.as_trivial().is_none())
+            .collect();
+        if disequalities.len() > self.max_disequality_splits {
+            // Too many splits: fall back to ignoring disequalities, which is
+            // sound for Sat answers (a superset system) but may report Sat for
+            // an Unsat-with-disequalities system.  The Retreet encodings stay
+            // far below the cap.
+            return match check_inequalities(system) {
+                FmResult::Sat => Outcome::Sat(None),
+                FmResult::Unsat => Outcome::Unsat,
+            };
+        }
+        self.check_with_splits(system, &disequalities, 0)
+    }
+
+    /// Convenience helper: decides whether `system ∧ extra` is satisfiable.
+    pub fn check_with(&self, system: &System, extra: &[Atom]) -> Outcome {
+        let mut combined = system.clone();
+        for atom in extra {
+            combined.push(atom.clone());
+        }
+        self.check(&combined)
+    }
+
+    /// Returns true when `system` entails `atom` (i.e. `system ∧ ¬atom` is
+    /// unsatisfiable).
+    pub fn entails(&self, system: &System, atom: &Atom) -> bool {
+        let mut combined = system.clone();
+        combined.push(atom.negate());
+        self.check(&combined).is_unsat()
+    }
+
+    fn check_with_splits(
+        &self,
+        system: &System,
+        disequalities: &[&Atom],
+        index: usize,
+    ) -> Outcome {
+        if index == disequalities.len() {
+            return match check_inequalities(system) {
+                FmResult::Unsat => Outcome::Unsat,
+                FmResult::Sat => {
+                    if self.build_models {
+                        Outcome::Sat(self.build_model(system))
+                    } else {
+                        Outcome::Sat(None)
+                    }
+                }
+            };
+        }
+        let atom = disequalities[index];
+        // e ≠ 0  ⇒  e ≤ -1  ∨  e ≥ 1  (integer tightening).
+        for replacement in [
+            Atom::new(atom.expr().clone().scale(-1) - LinExpr::constant(1), Rel::Ge),
+            Atom::new(atom.expr().clone() - LinExpr::constant(1), Rel::Ge),
+        ] {
+            let mut case = System::new();
+            for a in system.atoms() {
+                if a != atom {
+                    case.push(a.clone());
+                }
+            }
+            case.push(replacement);
+            let outcome = self.check_with_splits(&case, disequalities, index + 1);
+            if outcome.is_sat() {
+                return outcome;
+            }
+        }
+        Outcome::Unsat
+    }
+
+    /// Reconstructs a witness model for a system already known to be
+    /// satisfiable (over the rationals).  Returns `None` when the
+    /// reconstruction does not land on an integer model, which cannot happen
+    /// for the unimodular systems generated by the Retreet front-end but is
+    /// handled defensively.
+    fn build_model(&self, system: &System) -> Option<Model> {
+        let mut current = system.clone();
+        let mut model = Model::new();
+        let mut vars = current.vars();
+        // Deterministic order keeps counterexamples stable across runs.
+        vars.sort_unstable();
+        for var in vars {
+            let (lo, hi) = implied_bounds(&current, var);
+            let witness = pick_witness(lo, hi)?;
+            model.assign(var, witness);
+            current = current.substitute(var, &LinExpr::constant(witness));
+            if check_inequalities(&current) == FmResult::Unsat {
+                // The chosen integer witness is infeasible (non-unimodular
+                // corner); try the other end of the interval once before
+                // giving up.
+                let retry = match (lo, hi) {
+                    (Some(l), Some(h)) if l != h => Some(if witness == l { h } else { l }),
+                    _ => None,
+                };
+                let retry = retry?;
+                model.assign(var, retry);
+                current = system_with_model_prefix(system, &model);
+                if check_inequalities(&current) == FmResult::Unsat {
+                    return None;
+                }
+            }
+        }
+        if model.satisfies(system) {
+            Some(model)
+        } else {
+            None
+        }
+    }
+}
+
+/// Substitutes every assignment of `model` into `system`.
+fn system_with_model_prefix(system: &System, model: &Model) -> System {
+    let mut out = system.clone();
+    for (sym, value) in model.iter() {
+        out = out.substitute(sym, &LinExpr::constant(value));
+    }
+    out
+}
+
+/// Computes integer bounds implied for `var` by eliminating all other
+/// variables from the non-disequality part of `system`.
+fn implied_bounds(system: &System, var: Sym) -> (Option<i64>, Option<i64>) {
+    // Project by eliminating every other variable through pairwise
+    // combination — we reuse the FM machinery by substituting nothing and
+    // instead reading single-variable inequalities after normalization of the
+    // full projection.  For the small systems at hand a simpler sound
+    // approach suffices: collect bounds from atoms where `var` is the only
+    // variable, plus interval propagation results.
+    let mut lo: Option<i64> = None;
+    let mut hi: Option<i64> = None;
+    if let PropagationResult::Narrowed(env) = propagate(system) {
+        let iv = env.get(var);
+        lo = iv.lo;
+        hi = iv.hi;
+    }
+    for atom in system.atoms() {
+        if atom.rel() == Rel::Ne {
+            continue;
+        }
+        for norm in atom.normalize() {
+            let expr = norm.expr();
+            if expr.num_vars() != 1 {
+                continue;
+            }
+            let coeff = expr.coeff(var);
+            if coeff == 0 {
+                continue;
+            }
+            let c = expr.constant_term();
+            if coeff > 0 {
+                // coeff*var + c >= 0  =>  var >= ceil(-c / coeff)
+                let bound = (-c).div_euclid(coeff) + if (-c).rem_euclid(coeff) != 0 { 1 } else { 0 };
+                lo = Some(lo.map_or(bound, |b| b.max(bound)));
+            } else {
+                // coeff*var + c >= 0  =>  var <= floor(c / -coeff)
+                let bound = c.div_euclid(-coeff);
+                hi = Some(hi.map_or(bound, |b| b.min(bound)));
+            }
+        }
+    }
+    (lo, hi)
+}
+
+fn pick_witness(lo: Option<i64>, hi: Option<i64>) -> Option<i64> {
+    match (lo, hi) {
+        (Some(l), Some(h)) if l > h => None,
+        (Some(l), Some(h)) => Some(if l <= 0 && 0 <= h { 0 } else if l > 0 { l } else { h }),
+        (Some(l), None) => Some(l.max(0)),
+        (None, Some(h)) => Some(h.min(0)),
+        (None, None) => Some(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symtab::SymTab;
+
+    fn setup() -> (SymTab, Sym, Sym, Sym) {
+        let mut tab = SymTab::new();
+        let x = tab.intern("x");
+        let y = tab.intern("y");
+        let z = tab.intern("z");
+        (tab, x, y, z)
+    }
+
+    #[test]
+    fn empty_system_sat_with_empty_model() {
+        let outcome = Solver::new().check(&System::new());
+        assert!(outcome.is_sat());
+        assert!(outcome.model().unwrap().is_empty());
+    }
+
+    #[test]
+    fn bounded_system_produces_verified_model() {
+        let (_, x, y, _) = setup();
+        let sys = System::from_atoms(vec![
+            Atom::gt(LinExpr::var(x), LinExpr::var(y)),
+            Atom::ge(LinExpr::var(y), LinExpr::constant(3)),
+            Atom::le(LinExpr::var(x), LinExpr::constant(4)),
+        ]);
+        let outcome = Solver::new().check(&sys);
+        let model = outcome.model().expect("model");
+        assert!(model.satisfies(&sys));
+        assert_eq!(model.eval_var(x), Some(4));
+        assert_eq!(model.eval_var(y), Some(3));
+    }
+
+    #[test]
+    fn unsat_cycle() {
+        let (_, x, y, z) = setup();
+        let sys = System::from_atoms(vec![
+            Atom::lt(LinExpr::var(x), LinExpr::var(y)),
+            Atom::lt(LinExpr::var(y), LinExpr::var(z)),
+            Atom::lt(LinExpr::var(z), LinExpr::var(x)),
+        ]);
+        assert!(Solver::new().check(&sys).is_unsat());
+    }
+
+    #[test]
+    fn disequality_forces_split() {
+        let (_, x, _, _) = setup();
+        // 0 <= x <= 1 && x != 0  =>  x = 1.
+        let sys = System::from_atoms(vec![
+            Atom::ge(LinExpr::var(x), LinExpr::constant(0)),
+            Atom::le(LinExpr::var(x), LinExpr::constant(1)),
+            Atom::ne(LinExpr::var(x), LinExpr::constant(0)),
+        ]);
+        let outcome = Solver::new().check(&sys);
+        assert!(outcome.is_sat());
+        if let Some(model) = outcome.model() {
+            assert_eq!(model.eval_var(x), Some(1));
+        }
+    }
+
+    #[test]
+    fn disequality_makes_point_unsat() {
+        let (_, x, _, _) = setup();
+        // x = 5 && x != 5 is unsat.
+        let sys = System::from_atoms(vec![
+            Atom::eq(LinExpr::var(x), LinExpr::constant(5)),
+            Atom::ne(LinExpr::var(x), LinExpr::constant(5)),
+        ]);
+        assert!(Solver::new().check(&sys).is_unsat());
+    }
+
+    #[test]
+    fn entailment() {
+        let (_, x, y, _) = setup();
+        let sys = System::from_atoms(vec![
+            Atom::ge(LinExpr::var(x), LinExpr::var(y) + LinExpr::constant(1)),
+            Atom::ge(LinExpr::var(y), LinExpr::constant(0)),
+        ]);
+        let solver = Solver::new();
+        assert!(solver.entails(&sys, &Atom::gt(LinExpr::var(x), LinExpr::constant(0))));
+        assert!(!solver.entails(&sys, &Atom::gt(LinExpr::var(y), LinExpr::constant(0))));
+    }
+
+    #[test]
+    fn check_with_extra_atoms() {
+        let (_, x, _, _) = setup();
+        let sys = System::from_atoms(vec![Atom::ge(LinExpr::var(x), LinExpr::constant(0))]);
+        let solver = Solver::new();
+        assert!(solver
+            .check_with(&sys, &[Atom::le(LinExpr::var(x), LinExpr::constant(5))])
+            .is_sat());
+        assert!(solver
+            .check_with(&sys, &[Atom::lt(LinExpr::var(x), LinExpr::constant(0))])
+            .is_unsat());
+    }
+
+    #[test]
+    fn decision_only_skips_models() {
+        let (_, x, _, _) = setup();
+        let sys = System::from_atoms(vec![Atom::ge(LinExpr::var(x), LinExpr::constant(0))]);
+        let outcome = Solver::decision_only().check(&sys);
+        assert!(outcome.is_sat());
+        assert!(outcome.model().is_none());
+    }
+
+    #[test]
+    fn path_condition_shape_from_the_paper() {
+        // The example in §3.1: PathCond ≡ M(p) + 1 ≥ M(r0)  — satisfiable,
+        // and its conjunction with M(p) + 1 < M(r0) is not.
+        let mut tab = SymTab::new();
+        let p = tab.intern("p");
+        let r0 = tab.intern("r0");
+        let cond = Atom::ge(LinExpr::var(p) + LinExpr::constant(1), LinExpr::var(r0));
+        let sys = System::from_atoms(vec![cond.clone()]);
+        let solver = Solver::new();
+        assert!(solver.check(&sys).is_sat());
+        assert!(solver.check_with(&sys, &[cond.negate()]).is_unsat());
+    }
+}

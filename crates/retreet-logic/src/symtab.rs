@@ -1,0 +1,151 @@
+//! Symbol interning shared by the Retreet crates.
+//!
+//! Symbols ([`crate::term::Sym`]) are small copyable indices; the [`SymTab`]
+//! maps them back to their textual names.  Interning keeps linear expressions
+//! and constraint systems compact and makes symbol comparison `O(1)`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::term::Sym;
+
+/// A string interner producing [`Sym`] handles.
+///
+/// The table is append-only: once a name is interned its handle never changes,
+/// which lets analyses in other crates cache handles freely.
+#[derive(Debug, Default, Clone)]
+pub struct SymTab {
+    names: Vec<String>,
+    index: HashMap<String, Sym>,
+}
+
+impl SymTab {
+    /// Creates an empty symbol table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing handle if it was seen before.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&sym) = self.index.get(name) {
+            return sym;
+        }
+        let sym = Sym::from_usize(self.names.len());
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Interns a name built from a prefix and a numeric suffix, e.g. `ret#3`.
+    ///
+    /// This is the idiom the analysis crates use for ghost variables
+    /// (speculative return values of call blocks).
+    pub fn intern_indexed(&mut self, prefix: &str, index: usize) -> Sym {
+        let name = format!("{prefix}#{index}");
+        self.intern(&name)
+    }
+
+    /// Looks up an already-interned name without inserting it.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the textual name of `sym`, if it was produced by this table.
+    pub fn name(&self, sym: Sym) -> Option<&str> {
+        self.names.get(sym.as_usize()).map(String::as_str)
+    }
+
+    /// Returns the textual name of `sym`, falling back to a positional
+    /// placeholder for foreign symbols.
+    pub fn display(&self, sym: Sym) -> String {
+        match self.name(sym) {
+            Some(name) => name.to_owned(),
+            None => format!("$"),
+        }
+        .replace('$', &format!("sym{}", sym.as_usize()))
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no symbol has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(Sym, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Sym::from_usize(i), n.as_str()))
+    }
+}
+
+impl fmt::Display for SymTab {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SymTab[")?;
+        for (i, name) in self.names.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}:{name}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut tab = SymTab::new();
+        let a = tab.intern("a");
+        let b = tab.intern("b");
+        let a2 = tab.intern("a");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(tab.len(), 2);
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let mut tab = SymTab::new();
+        let x = tab.intern("node.value");
+        assert_eq!(tab.name(x), Some("node.value"));
+        assert_eq!(tab.lookup("node.value"), Some(x));
+        assert_eq!(tab.lookup("missing"), None);
+    }
+
+    #[test]
+    fn indexed_interning_produces_distinct_symbols() {
+        let mut tab = SymTab::new();
+        let a = tab.intern_indexed("ret", 0);
+        let b = tab.intern_indexed("ret", 1);
+        let a2 = tab.intern_indexed("ret", 0);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(tab.name(b), Some("ret#1"));
+    }
+
+    #[test]
+    fn display_handles_foreign_symbols() {
+        let tab = SymTab::new();
+        let foreign = Sym::from_usize(7);
+        assert_eq!(tab.display(foreign), "sym7");
+    }
+
+    #[test]
+    fn iteration_preserves_order() {
+        let mut tab = SymTab::new();
+        tab.intern("x");
+        tab.intern("y");
+        tab.intern("z");
+        let names: Vec<&str> = tab.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["x", "y", "z"]);
+    }
+}

@@ -1,0 +1,359 @@
+//! Symbols and linear integer expressions.
+//!
+//! A [`LinExpr`] is a finite sum `c + Σ aᵢ·xᵢ` with exact `i64` coefficients.
+//! All arithmetic in the Retreet language (Fig. 2: `AExpr ::= 0 | 1 | n.f | v |
+//! AExpr + AExpr | AExpr − AExpr`) denotes linear expressions, so this type is
+//! a lossless target for the weakest-precondition computation in
+//! `retreet-lang::wp`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// An interned symbol (variable, field access, or ghost return value).
+///
+/// The numeric payload is assigned by [`crate::symtab::SymTab`]; two symbols
+/// from the same table are equal exactly when they were interned from the same
+/// name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// Builds a symbol from a raw index (used by the interner).
+    pub fn from_usize(index: usize) -> Self {
+        Sym(u32::try_from(index).expect("symbol index overflow"))
+    }
+
+    /// Returns the raw index.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A linear integer expression `constant + Σ coeff·sym`.
+///
+/// The representation keeps coefficients in a `BTreeMap` so that expressions
+/// have a canonical form: equal expressions compare equal structurally, and
+/// iteration order is deterministic (important for reproducible analyses and
+/// goldens in the test-suite).  Zero coefficients are never stored.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct LinExpr {
+    constant: i64,
+    coeffs: BTreeMap<Sym, i64>,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(value: i64) -> Self {
+        LinExpr {
+            constant: value,
+            coeffs: BTreeMap::new(),
+        }
+    }
+
+    /// The expression `1·sym`.
+    pub fn var(sym: Sym) -> Self {
+        Self::scaled_var(sym, 1)
+    }
+
+    /// The expression `coeff·sym`.
+    pub fn scaled_var(sym: Sym, coeff: i64) -> Self {
+        let mut coeffs = BTreeMap::new();
+        if coeff != 0 {
+            coeffs.insert(sym, coeff);
+        }
+        LinExpr {
+            constant: 0,
+            coeffs,
+        }
+    }
+
+    /// Returns the constant term.
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// Returns the coefficient of `sym` (zero when absent).
+    pub fn coeff(&self, sym: Sym) -> i64 {
+        self.coeffs.get(&sym).copied().unwrap_or(0)
+    }
+
+    /// True when the expression is a constant (has no variables).
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Returns `Some(c)` when the expression is the constant `c`.
+    pub fn as_constant(&self) -> Option<i64> {
+        if self.is_constant() {
+            Some(self.constant)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over `(sym, coeff)` pairs with non-zero coefficients.
+    pub fn terms(&self) -> impl Iterator<Item = (Sym, i64)> + '_ {
+        self.coeffs.iter().map(|(&s, &c)| (s, c))
+    }
+
+    /// The set of variables mentioned by the expression.
+    pub fn vars(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.coeffs.keys().copied()
+    }
+
+    /// Number of variables with non-zero coefficient.
+    pub fn num_vars(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Adds `coeff·sym` in place.
+    pub fn add_term(&mut self, sym: Sym, coeff: i64) {
+        if coeff == 0 {
+            return;
+        }
+        let entry = self.coeffs.entry(sym).or_insert(0);
+        *entry = entry.checked_add(coeff).expect("coefficient overflow");
+        if *entry == 0 {
+            self.coeffs.remove(&sym);
+        }
+    }
+
+    /// Adds a constant in place.
+    pub fn add_constant(&mut self, value: i64) {
+        self.constant = self.constant.checked_add(value).expect("constant overflow");
+    }
+
+    /// Multiplies the whole expression by a scalar.
+    pub fn scale(&self, factor: i64) -> LinExpr {
+        if factor == 0 {
+            return LinExpr::zero();
+        }
+        let mut out = LinExpr::constant(self.constant.checked_mul(factor).expect("overflow"));
+        for (sym, coeff) in self.terms() {
+            out.add_term(sym, coeff.checked_mul(factor).expect("overflow"));
+        }
+        out
+    }
+
+    /// Substitutes `sym := replacement` and returns the resulting expression.
+    ///
+    /// This is the workhorse of the weakest-precondition computation
+    /// (`wp(n.f = e, φ) = φ[e/n.f]`).
+    pub fn substitute(&self, sym: Sym, replacement: &LinExpr) -> LinExpr {
+        let coeff = self.coeff(sym);
+        if coeff == 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.coeffs.remove(&sym);
+        out + replacement.scale(coeff)
+    }
+
+    /// Evaluates the expression under a (partial) assignment.
+    ///
+    /// Returns `None` when some variable is unassigned.
+    pub fn eval<F>(&self, lookup: F) -> Option<i64>
+    where
+        F: Fn(Sym) -> Option<i64>,
+    {
+        let mut acc = self.constant;
+        for (sym, coeff) in self.terms() {
+            let value = lookup(sym)?;
+            acc = acc.checked_add(coeff.checked_mul(value)?)?;
+        }
+        Some(acc)
+    }
+
+    /// Greatest common divisor of all variable coefficients (0 for constants).
+    pub fn coeff_gcd(&self) -> i64 {
+        self.coeffs.values().fold(0i64, |acc, &c| gcd(acc, c.abs()))
+    }
+}
+
+/// Euclid's gcd on non-negative integers; `gcd(0, x) = x`.
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        let mut out = self;
+        out.add_constant(rhs.constant);
+        for (sym, coeff) in rhs.terms() {
+            out.add_term(sym, coeff);
+        }
+        out
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + rhs.neg()
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        self.scale(-1)
+    }
+}
+
+impl Mul<i64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(self, rhs: i64) -> LinExpr {
+        self.scale(rhs)
+    }
+}
+
+impl From<i64> for LinExpr {
+    fn from(value: i64) -> Self {
+        LinExpr::constant(value)
+    }
+}
+
+impl From<Sym> for LinExpr {
+    fn from(sym: Sym) -> Self {
+        LinExpr::var(sym)
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (sym, coeff) in self.terms() {
+            if first {
+                if coeff == 1 {
+                    write!(f, "{sym}")?;
+                } else if coeff == -1 {
+                    write!(f, "-{sym}")?;
+                } else {
+                    write!(f, "{coeff}*{sym}")?;
+                }
+                first = false;
+            } else if coeff > 0 {
+                if coeff == 1 {
+                    write!(f, " + {sym}")?;
+                } else {
+                    write!(f, " + {coeff}*{sym}")?;
+                }
+            } else if coeff == -1 {
+                write!(f, " - {sym}")?;
+            } else {
+                write!(f, " - {}*{sym}", -coeff)?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: usize) -> Sym {
+        Sym::from_usize(i)
+    }
+
+    #[test]
+    fn constant_expression_roundtrip() {
+        let e = LinExpr::constant(42);
+        assert!(e.is_constant());
+        assert_eq!(e.as_constant(), Some(42));
+        assert_eq!(e.eval(|_| None), Some(42));
+    }
+
+    #[test]
+    fn addition_merges_coefficients() {
+        let e = LinExpr::var(s(0)) + LinExpr::scaled_var(s(0), 2) + LinExpr::constant(5);
+        assert_eq!(e.coeff(s(0)), 3);
+        assert_eq!(e.constant_term(), 5);
+    }
+
+    #[test]
+    fn subtraction_cancels_terms() {
+        let e = LinExpr::var(s(1)) - LinExpr::var(s(1));
+        assert!(e.is_constant());
+        assert_eq!(e.as_constant(), Some(0));
+    }
+
+    #[test]
+    fn scaling_by_zero_gives_zero() {
+        let e = (LinExpr::var(s(0)) + LinExpr::constant(9)).scale(0);
+        assert_eq!(e, LinExpr::zero());
+    }
+
+    #[test]
+    fn substitution_replaces_variable() {
+        // (2x + y + 1)[x := y - 3] = 3y - 5
+        let x = s(0);
+        let y = s(1);
+        let e = LinExpr::scaled_var(x, 2) + LinExpr::var(y) + LinExpr::constant(1);
+        let replacement = LinExpr::var(y) - LinExpr::constant(3);
+        let out = e.substitute(x, &replacement);
+        assert_eq!(out.coeff(x), 0);
+        assert_eq!(out.coeff(y), 3);
+        assert_eq!(out.constant_term(), -5);
+    }
+
+    #[test]
+    fn substitution_of_absent_variable_is_identity() {
+        let e = LinExpr::var(s(0)) + LinExpr::constant(7);
+        let out = e.substitute(s(5), &LinExpr::constant(100));
+        assert_eq!(out, e);
+    }
+
+    #[test]
+    fn evaluation_respects_assignment() {
+        let e = LinExpr::scaled_var(s(0), 2) - LinExpr::var(s(1)) + LinExpr::constant(1);
+        let value = e.eval(|sym| Some(if sym == s(0) { 4 } else { 3 }));
+        assert_eq!(value, Some(2 * 4 - 3 + 1));
+    }
+
+    #[test]
+    fn evaluation_is_none_for_missing_vars() {
+        let e = LinExpr::var(s(0));
+        assert_eq!(e.eval(|_| None), None);
+    }
+
+    #[test]
+    fn gcd_of_coefficients() {
+        let e = LinExpr::scaled_var(s(0), 6) + LinExpr::scaled_var(s(1), -9);
+        assert_eq!(e.coeff_gcd(), 3);
+        assert_eq!(LinExpr::constant(5).coeff_gcd(), 0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = LinExpr::scaled_var(s(0), 2) - LinExpr::var(s(1)) + LinExpr::constant(-4);
+        assert_eq!(format!("{e}"), "2*s0 - s1 - 4");
+        assert_eq!(format!("{}", LinExpr::zero()), "0");
+    }
+}

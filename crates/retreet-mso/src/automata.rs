@@ -1,0 +1,811 @@
+//! Bottom-up nondeterministic finite tree automata (NFTA) over labeled
+//! binary trees.
+//!
+//! This is the decision-procedure substrate that replaces MONA in the
+//! reproduction: the classical Thatcher–Wright correspondence compiles MSO
+//! formulas over trees to tree automata ([`crate::compile`]), and the
+//! automaton operations implemented here — intersection, union, complement
+//! via determinization, projection, emptiness — give an unbounded decision
+//! procedure for the compiled fragment.
+//!
+//! The alphabet is `2^bits` label bitmasks: the tree node's label set,
+//! restricted to the variables of the formula being decided.  Missing
+//! children are handled by rules whose child slot is `None`.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use crate::tree::{LabeledTree, NodeId};
+
+/// A transition rule: `(left_state?, right_state?, symbol) → target`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Rule {
+    /// Required state of the left child (`None` when the node must have no
+    /// left child).
+    pub left: Option<usize>,
+    /// Required state of the right child.
+    pub right: Option<usize>,
+    /// The node's label bitmask.
+    pub symbol: u32,
+    /// The state assigned to the node.
+    pub target: usize,
+}
+
+/// A bottom-up nondeterministic finite tree automaton.
+#[derive(Debug, Clone)]
+pub struct Nfta {
+    /// Number of states (numbered `0..num_states`).
+    pub num_states: usize,
+    /// Number of label bits; the alphabet is `0..2^bits`.
+    pub bits: u32,
+    /// Transition rules.
+    pub rules: Vec<Rule>,
+    /// Accepting states (checked at the root).
+    pub accepting: BTreeSet<usize>,
+}
+
+impl Nfta {
+    /// The automaton accepting nothing.
+    pub fn empty(bits: u32) -> Self {
+        Nfta {
+            num_states: 1,
+            bits,
+            rules: Vec::new(),
+            accepting: BTreeSet::new(),
+        }
+    }
+
+    /// The automaton accepting every labeled tree.
+    pub fn universal(bits: u32) -> Self {
+        let mut rules = Vec::new();
+        for symbol in 0..(1u32 << bits) {
+            for left in [None, Some(0)] {
+                for right in [None, Some(0)] {
+                    rules.push(Rule {
+                        left,
+                        right,
+                        symbol,
+                        target: 0,
+                    });
+                }
+            }
+        }
+        Nfta {
+            num_states: 1,
+            bits,
+            rules,
+            accepting: BTreeSet::from([0]),
+        }
+    }
+
+    /// Number of alphabet symbols.
+    pub fn alphabet_size(&self) -> u32 {
+        1 << self.bits
+    }
+
+    /// Runs the automaton bottom-up on a tree, returning the set of states
+    /// reachable at the root.
+    pub fn run(&self, tree: &LabeledTree) -> BTreeSet<usize> {
+        let mut memo: HashMap<NodeId, BTreeSet<usize>> = HashMap::new();
+        self.run_node(tree, tree.root(), &mut memo);
+        memo.remove(&tree.root()).unwrap_or_default()
+    }
+
+    fn run_node(
+        &self,
+        tree: &LabeledTree,
+        node: NodeId,
+        memo: &mut HashMap<NodeId, BTreeSet<usize>>,
+    ) {
+        let left_states = match tree.left(node) {
+            Some(child) => {
+                self.run_node(tree, child, memo);
+                Some(memo[&child].clone())
+            }
+            None => None,
+        };
+        let right_states = match tree.right(node) {
+            Some(child) => {
+                self.run_node(tree, child, memo);
+                Some(memo[&child].clone())
+            }
+            None => None,
+        };
+        let symbol = tree.label_mask(node, self.bits);
+        let mut states = BTreeSet::new();
+        for rule in &self.rules {
+            if rule.symbol != symbol {
+                continue;
+            }
+            let left_ok = match (&rule.left, &left_states) {
+                (None, None) => true,
+                (Some(q), Some(states)) => states.contains(q),
+                _ => false,
+            };
+            let right_ok = match (&rule.right, &right_states) {
+                (None, None) => true,
+                (Some(q), Some(states)) => states.contains(q),
+                _ => false,
+            };
+            if left_ok && right_ok {
+                states.insert(rule.target);
+            }
+        }
+        memo.insert(node, states);
+    }
+
+    /// True when the automaton accepts the tree.
+    pub fn accepts(&self, tree: &LabeledTree) -> bool {
+        self.run(tree).iter().any(|q| self.accepting.contains(q))
+    }
+
+    /// Product intersection: accepts exactly the trees accepted by both.
+    pub fn intersect(&self, other: &Nfta) -> Nfta {
+        assert_eq!(self.bits, other.bits, "intersection requires a common alphabet");
+        let pair = |a: usize, b: usize| a * other.num_states + b;
+        let mut rules = Vec::new();
+        for ra in &self.rules {
+            for rb in &other.rules {
+                if ra.symbol != rb.symbol {
+                    continue;
+                }
+                let left = match (ra.left, rb.left) {
+                    (None, None) => None,
+                    (Some(a), Some(b)) => Some(pair(a, b)),
+                    _ => continue,
+                };
+                let right = match (ra.right, rb.right) {
+                    (None, None) => None,
+                    (Some(a), Some(b)) => Some(pair(a, b)),
+                    _ => continue,
+                };
+                rules.push(Rule {
+                    left,
+                    right,
+                    symbol: ra.symbol,
+                    target: pair(ra.target, rb.target),
+                });
+            }
+        }
+        let mut accepting = BTreeSet::new();
+        for &a in &self.accepting {
+            for &b in &other.accepting {
+                accepting.insert(pair(a, b));
+            }
+        }
+        rules.sort();
+        rules.dedup();
+        Nfta {
+            num_states: self.num_states * other.num_states,
+            bits: self.bits,
+            rules,
+            accepting,
+        }
+        .trim()
+    }
+
+    /// Removes states that cannot appear in any run (not bottom-up
+    /// inhabited), shrinking rule sets after product constructions.
+    pub fn trim(&self) -> Nfta {
+        let mut inhabited: BTreeSet<usize> = BTreeSet::new();
+        loop {
+            let mut changed = false;
+            for rule in &self.rules {
+                if inhabited.contains(&rule.target) {
+                    continue;
+                }
+                let left_ok = rule.left.map_or(true, |q| inhabited.contains(&q));
+                let right_ok = rule.right.map_or(true, |q| inhabited.contains(&q));
+                if left_ok && right_ok {
+                    inhabited.insert(rule.target);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Renumber the inhabited states densely.
+        let remap: HashMap<usize, usize> = inhabited
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
+        let rules = self
+            .rules
+            .iter()
+            .filter(|rule| {
+                remap.contains_key(&rule.target)
+                    && rule.left.map_or(true, |q| remap.contains_key(&q))
+                    && rule.right.map_or(true, |q| remap.contains_key(&q))
+            })
+            .map(|rule| Rule {
+                left: rule.left.map(|q| remap[&q]),
+                right: rule.right.map(|q| remap[&q]),
+                symbol: rule.symbol,
+                target: remap[&rule.target],
+            })
+            .collect();
+        let accepting = self
+            .accepting
+            .iter()
+            .filter_map(|q| remap.get(q).copied())
+            .collect();
+        Nfta {
+            num_states: remap.len().max(1),
+            bits: self.bits,
+            rules,
+            accepting,
+        }
+    }
+
+    /// Union: accepts the trees accepted by either automaton.
+    pub fn union(&self, other: &Nfta) -> Nfta {
+        assert_eq!(self.bits, other.bits, "union requires a common alphabet");
+        let offset = self.num_states;
+        let mut rules = self.rules.clone();
+        for rule in &other.rules {
+            rules.push(Rule {
+                left: rule.left.map(|q| q + offset),
+                right: rule.right.map(|q| q + offset),
+                symbol: rule.symbol,
+                target: rule.target + offset,
+            });
+        }
+        let mut accepting = self.accepting.clone();
+        accepting.extend(other.accepting.iter().map(|q| q + offset));
+        Nfta {
+            num_states: self.num_states + other.num_states,
+            bits: self.bits,
+            rules,
+            accepting,
+        }
+    }
+
+    /// Determinizes the automaton via the subset construction, producing an
+    /// equivalent automaton whose runs are unique (one reachable state per
+    /// node).
+    pub fn determinize(&self) -> Nfta {
+        // Deterministic states are subsets of NFTA states; index them as they
+        // are discovered.
+        let mut subset_index: BTreeMap<BTreeSet<usize>, usize> = BTreeMap::new();
+        let mut subsets: Vec<BTreeSet<usize>> = Vec::new();
+        let mut rules: Vec<Rule> = Vec::new();
+        let intern = |set: BTreeSet<usize>,
+                          subsets: &mut Vec<BTreeSet<usize>>,
+                          subset_index: &mut BTreeMap<BTreeSet<usize>, usize>|
+         -> usize {
+            if let Some(&idx) = subset_index.get(&set) {
+                return idx;
+            }
+            let idx = subsets.len();
+            subsets.push(set.clone());
+            subset_index.insert(set, idx);
+            idx
+        };
+
+        // Group NFTA rules by symbol up front so the successor computation
+        // only scans the relevant rules.
+        let mut by_symbol: HashMap<u32, Vec<&Rule>> = HashMap::new();
+        for rule in &self.rules {
+            by_symbol.entry(rule.symbol).or_default().push(rule);
+        }
+        let successor = |left: Option<&BTreeSet<usize>>,
+                         right: Option<&BTreeSet<usize>>,
+                         symbol: u32|
+         -> BTreeSet<usize> {
+            let mut out = BTreeSet::new();
+            for rule in by_symbol.get(&symbol).map(Vec::as_slice).unwrap_or(&[]) {
+                let left_ok = match (&rule.left, left) {
+                    (None, None) => true,
+                    (Some(q), Some(set)) => set.contains(q),
+                    _ => false,
+                };
+                let right_ok = match (&rule.right, right) {
+                    (None, None) => true,
+                    (Some(q), Some(set)) => set.contains(q),
+                    _ => false,
+                };
+                if left_ok && right_ok {
+                    out.insert(rule.target);
+                }
+            }
+            out
+        };
+
+        // Discover reachable subsets with a work-list, starting from all leaf
+        // successors.
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for symbol in 0..self.alphabet_size() {
+            let set = successor(None, None, symbol);
+            let before = subsets.len();
+            let idx = intern(set, &mut subsets, &mut subset_index);
+            rules.push(Rule {
+                left: None,
+                right: None,
+                symbol,
+                target: idx,
+            });
+            if subsets.len() > before {
+                queue.push_back(idx);
+            }
+        }
+        let mut processed: BTreeSet<(Option<usize>, Option<usize>, u32)> = BTreeSet::new();
+        // Iterate until no new subset is discovered.  Every iteration
+        // re-scans pairs of known subsets, which is fine at the scales the
+        // compiler produces (a handful of states per atom).
+        loop {
+            let known = subsets.len();
+            let mut discovered = false;
+            let options: Vec<Option<usize>> =
+                std::iter::once(None).chain((0..known).map(Some)).collect();
+            for &left in &options {
+                for &right in &options {
+                    if left.is_none() && right.is_none() {
+                        continue;
+                    }
+                    for symbol in 0..self.alphabet_size() {
+                        if !processed.insert((left, right, symbol)) {
+                            continue;
+                        }
+                        let left_set = left.map(|i| subsets[i].clone());
+                        let right_set = right.map(|i| subsets[i].clone());
+                        let set = successor(left_set.as_ref(), right_set.as_ref(), symbol);
+                        let before = subsets.len();
+                        let idx = intern(set, &mut subsets, &mut subset_index);
+                        rules.push(Rule {
+                            left,
+                            right,
+                            symbol,
+                            target: idx,
+                        });
+                        if subsets.len() > before {
+                            discovered = true;
+                        }
+                    }
+                }
+            }
+            if !discovered && subsets.len() == known {
+                break;
+            }
+        }
+
+        let accepting = subsets
+            .iter()
+            .enumerate()
+            .filter(|(_, set)| set.iter().any(|q| self.accepting.contains(q)))
+            .map(|(i, _)| i)
+            .collect();
+        Nfta {
+            num_states: subsets.len().max(1),
+            bits: self.bits,
+            rules,
+            accepting,
+        }
+    }
+
+    /// Complement: accepts exactly the trees the original rejects.
+    pub fn complement(&self) -> Nfta {
+        let det = self.determinize();
+        let accepting = (0..det.num_states)
+            .filter(|q| !det.accepting.contains(q))
+            .collect();
+        Nfta {
+            accepting,
+            ..det
+        }
+    }
+
+    /// Projects away label bit `bit`: the result accepts a tree iff *some*
+    /// relabeling of that bit is accepted by the original automaton
+    /// (existential second-order quantification).
+    pub fn project_bit(&self, bit: u32) -> Nfta {
+        assert!(bit < self.bits);
+        let mask = 1u32 << bit;
+        let mut rules = Vec::with_capacity(self.rules.len() * 2);
+        for rule in &self.rules {
+            for value in [0, mask] {
+                rules.push(Rule {
+                    left: rule.left,
+                    right: rule.right,
+                    symbol: (rule.symbol & !mask) | value,
+                    target: rule.target,
+                });
+            }
+        }
+        rules.sort();
+        rules.dedup();
+        Nfta {
+            num_states: self.num_states,
+            bits: self.bits,
+            rules,
+            accepting: self.accepting.clone(),
+        }
+    }
+
+    /// True when the automaton accepts no tree at all.
+    ///
+    /// Standard bottom-up reachability: a state is *inhabited* when some tree
+    /// can reach it; the language is empty iff no accepting state is
+    /// inhabited.
+    pub fn is_empty(&self) -> bool {
+        let mut inhabited: BTreeSet<usize> = BTreeSet::new();
+        loop {
+            let mut changed = false;
+            for rule in &self.rules {
+                if inhabited.contains(&rule.target) {
+                    continue;
+                }
+                let left_ok = rule.left.map_or(true, |q| inhabited.contains(&q));
+                let right_ok = rule.right.map_or(true, |q| inhabited.contains(&q));
+                if left_ok && right_ok {
+                    inhabited.insert(rule.target);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        !inhabited.iter().any(|q| self.accepting.contains(q))
+    }
+}
+
+/// Atomic automata for the core MSO-over-trees fragment.  Variables are
+/// identified with label bits.
+pub mod atoms {
+    use super::*;
+
+    fn bit_set(symbol: u32, bit: u32) -> bool {
+        symbol & (1 << bit) != 0
+    }
+
+    fn all_symbols(bits: u32) -> impl Iterator<Item = u32> {
+        0..(1u32 << bits)
+    }
+
+    fn child_options(states: usize) -> Vec<Option<usize>> {
+        std::iter::once(None).chain((0..states).map(Some)).collect()
+    }
+
+    /// `X_i ⊆ X_j`: every node labeled `i` is also labeled `j`.
+    pub fn subset(i: u32, j: u32, bits: u32) -> Nfta {
+        // Single state; a node is admissible when its symbol respects the
+        // implication.
+        let mut rules = Vec::new();
+        for symbol in all_symbols(bits) {
+            if bit_set(symbol, i) && !bit_set(symbol, j) {
+                continue;
+            }
+            for left in child_options(1) {
+                for right in child_options(1) {
+                    rules.push(Rule {
+                        left,
+                        right,
+                        symbol,
+                        target: 0,
+                    });
+                }
+            }
+        }
+        Nfta {
+            num_states: 1,
+            bits,
+            rules,
+            accepting: BTreeSet::from([0]),
+        }
+    }
+
+    /// `Sing(X_i)`: exactly one node carries label `i`.
+    pub fn singleton(i: u32, bits: u32) -> Nfta {
+        // State 0: no occurrence in the subtree; state 1: exactly one.
+        let mut rules = Vec::new();
+        for symbol in all_symbols(bits) {
+            let here = usize::from(bit_set(symbol, i));
+            for left in child_options(2) {
+                for right in child_options(2) {
+                    let below = left.unwrap_or(0) + right.unwrap_or(0);
+                    let total = here + below;
+                    if total <= 1 {
+                        rules.push(Rule {
+                            left,
+                            right,
+                            symbol,
+                            target: total,
+                        });
+                    }
+                }
+            }
+        }
+        Nfta {
+            num_states: 2,
+            bits,
+            rules,
+            accepting: BTreeSet::from([1]),
+        }
+    }
+
+    /// `Empty(X_i)`: no node carries label `i`.
+    pub fn empty_set(i: u32, bits: u32) -> Nfta {
+        let mut rules = Vec::new();
+        for symbol in all_symbols(bits) {
+            if bit_set(symbol, i) {
+                continue;
+            }
+            for left in child_options(1) {
+                for right in child_options(1) {
+                    rules.push(Rule {
+                        left,
+                        right,
+                        symbol,
+                        target: 0,
+                    });
+                }
+            }
+        }
+        Nfta {
+            num_states: 1,
+            bits,
+            rules,
+            accepting: BTreeSet::from([0]),
+        }
+    }
+
+    /// "Some node labeled `i` is the root" — with `Sing(X_i)` this is
+    /// `root(x_i)`.
+    pub fn root_marked(i: u32, bits: u32) -> Nfta {
+        // State encodes whether the *root of the subtree* carries the label.
+        let mut rules = Vec::new();
+        for symbol in all_symbols(bits) {
+            let target = usize::from(bit_set(symbol, i));
+            for left in child_options(2) {
+                for right in child_options(2) {
+                    rules.push(Rule {
+                        left,
+                        right,
+                        symbol,
+                        target,
+                    });
+                }
+            }
+        }
+        Nfta {
+            num_states: 2,
+            bits,
+            rules,
+            accepting: BTreeSet::from([1]),
+        }
+    }
+
+    /// "Some node labeled `i` is a leaf" — with `Sing(X_i)` this is
+    /// `leaf(x_i)`.
+    pub fn leaf_marked(i: u32, bits: u32) -> Nfta {
+        // State 1: the subtree contains a leaf labeled i.
+        let mut rules = Vec::new();
+        for symbol in all_symbols(bits) {
+            for left in child_options(2) {
+                for right in child_options(2) {
+                    let is_leaf = left.is_none() && right.is_none();
+                    let below = left.unwrap_or(0).max(right.unwrap_or(0));
+                    let here = usize::from(is_leaf && bit_set(symbol, i));
+                    rules.push(Rule {
+                        left,
+                        right,
+                        symbol,
+                        target: here.max(below),
+                    });
+                }
+            }
+        }
+        Nfta {
+            num_states: 2,
+            bits,
+            rules,
+            accepting: BTreeSet::from([1]),
+        }
+    }
+
+    /// Encodes a pair relation between a node labeled `i` and a node labeled
+    /// `j`, where the `j` node stands in the requested structural relation to
+    /// the `i` node.  With `Sing(X_i) ∧ Sing(X_j)` this gives the first-order
+    /// `left(x_i) = x_j`, `right(x_i) = x_j`, `x_i = x_j` and
+    /// `reach(x_i, x_j)` atoms.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum PairRelation {
+        /// `x_j` is the left child of `x_i`.
+        LeftChild,
+        /// `x_j` is the right child of `x_i`.
+        RightChild,
+        /// `x_i` and `x_j` are the same node.
+        Same,
+        /// `x_i` is an ancestor of (or equal to) `x_j`.
+        Ancestor,
+    }
+
+    /// See [`PairRelation`].
+    pub fn pair(relation: PairRelation, i: u32, j: u32, bits: u32) -> Nfta {
+        // States are (matched, info) where `info` describes what the subtree
+        // root / subtree contains, as needed by the relation:
+        //   LeftChild / RightChild: info = "the subtree root carries j".
+        //   Ancestor:               info = "the subtree contains a j node".
+        //   Same:                   info unused.
+        // Encoded as matched * 2 + info.
+        let encode = |matched: bool, info: bool| usize::from(matched) * 2 + usize::from(info);
+        let mut rules = Vec::new();
+        for symbol in all_symbols(bits) {
+            let has_i = bit_set(symbol, i);
+            let has_j = bit_set(symbol, j);
+            for left in child_options(4) {
+                for right in child_options(4) {
+                    let l_matched = left.map_or(false, |q| q >= 2);
+                    let r_matched = right.map_or(false, |q| q >= 2);
+                    let l_info = left.map_or(false, |q| q % 2 == 1);
+                    let r_info = right.map_or(false, |q| q % 2 == 1);
+                    let (matched_here, info) = match relation {
+                        PairRelation::LeftChild => (has_i && l_info, has_j),
+                        PairRelation::RightChild => (has_i && r_info, has_j),
+                        PairRelation::Same => (has_i && has_j, false),
+                        PairRelation::Ancestor => {
+                            let contains_j = has_j || l_info || r_info;
+                            (has_i && contains_j, contains_j)
+                        }
+                    };
+                    let matched = matched_here || l_matched || r_matched;
+                    rules.push(Rule {
+                        left,
+                        right,
+                        symbol,
+                        target: encode(matched, info),
+                    });
+                }
+            }
+        }
+        Nfta {
+            num_states: 4,
+            bits,
+            rules,
+            accepting: BTreeSet::from([2, 3]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::atoms::*;
+    use super::*;
+    use crate::tree::complete_tree;
+
+    fn labeled_pair() -> LabeledTree {
+        // root labeled 0, left child labeled 1.
+        let mut tree = complete_tree(2);
+        let root = tree.root();
+        let left = tree.left(root).unwrap();
+        tree.add_label(root, 0);
+        tree.add_label(left, 1);
+        tree
+    }
+
+    #[test]
+    fn universal_and_empty() {
+        let tree = complete_tree(3);
+        assert!(Nfta::universal(2).accepts(&tree));
+        assert!(!Nfta::empty(2).accepts(&tree));
+        assert!(Nfta::empty(2).is_empty());
+        assert!(!Nfta::universal(2).is_empty());
+    }
+
+    #[test]
+    fn subset_atom() {
+        let automaton = subset(0, 1, 2);
+        let mut ok = complete_tree(2);
+        let root = ok.root();
+        ok.add_label(root, 0);
+        ok.add_label(root, 1);
+        assert!(automaton.accepts(&ok));
+
+        let mut bad = complete_tree(2);
+        let root = bad.root();
+        bad.add_label(root, 0);
+        assert!(!automaton.accepts(&bad));
+    }
+
+    #[test]
+    fn singleton_atom() {
+        let automaton = singleton(0, 1);
+        let mut one = complete_tree(2);
+        let root = one.root();
+        one.add_label(root, 0);
+        assert!(automaton.accepts(&one));
+
+        let none = complete_tree(2);
+        assert!(!automaton.accepts(&none));
+
+        let mut two = complete_tree(2);
+        let root = two.root();
+        let l = two.left(root).unwrap();
+        two.add_label(root, 0);
+        two.add_label(l, 0);
+        assert!(!automaton.accepts(&two));
+    }
+
+    #[test]
+    fn root_and_leaf_atoms() {
+        let tree = labeled_pair();
+        assert!(root_marked(0, 2).accepts(&tree));
+        assert!(!root_marked(1, 2).accepts(&tree));
+        assert!(leaf_marked(1, 2).accepts(&tree));
+        assert!(!leaf_marked(0, 2).accepts(&tree));
+    }
+
+    #[test]
+    fn pair_atoms() {
+        let tree = labeled_pair();
+        assert!(pair(PairRelation::LeftChild, 0, 1, 2).accepts(&tree));
+        assert!(!pair(PairRelation::RightChild, 0, 1, 2).accepts(&tree));
+        assert!(pair(PairRelation::Ancestor, 0, 1, 2).accepts(&tree));
+        assert!(!pair(PairRelation::Ancestor, 1, 0, 2).accepts(&tree));
+        assert!(!pair(PairRelation::Same, 0, 1, 2).accepts(&tree));
+
+        let mut same = complete_tree(1);
+        let root = same.root();
+        same.add_label(root, 0);
+        same.add_label(root, 1);
+        assert!(pair(PairRelation::Same, 0, 1, 2).accepts(&same));
+    }
+
+    #[test]
+    fn intersection_union_and_complement() {
+        let sing0 = singleton(0, 2);
+        let sing1 = singleton(1, 2);
+        let both = sing0.intersect(&sing1);
+        let either = sing0.union(&sing1);
+        let tree = labeled_pair();
+        assert!(both.accepts(&tree));
+        assert!(either.accepts(&tree));
+
+        let unlabeled = complete_tree(2);
+        assert!(!both.accepts(&unlabeled));
+        assert!(!either.accepts(&unlabeled));
+        assert!(both.complement().accepts(&unlabeled));
+        assert!(!both.complement().accepts(&tree));
+    }
+
+    #[test]
+    fn determinization_preserves_language() {
+        let automaton = pair(PairRelation::Ancestor, 0, 1, 2);
+        let det = automaton.determinize();
+        for tree_base in crate::tree::all_trees_up_to(3) {
+            // Try a few labelings.
+            for (a, b) in [(0usize, 0usize), (0, 1), (1, 0)] {
+                let mut tree = tree_base.clone();
+                let nodes: Vec<_> = tree.nodes().collect();
+                if a < nodes.len() {
+                    tree.add_label(nodes[a], 0);
+                }
+                if b < nodes.len() {
+                    tree.add_label(nodes[b], 1);
+                }
+                assert_eq!(automaton.accepts(&tree), det.accepts(&tree));
+            }
+        }
+    }
+
+    #[test]
+    fn projection_quantifies_existentially() {
+        // ∃X_0 . Sing(X_0) is true on every tree (pick any node).
+        let projected = singleton(0, 2).project_bit(0);
+        for tree in crate::tree::all_trees_up_to(3) {
+            assert!(projected.accepts(&tree));
+        }
+        // But ∃X_0. false is still false.
+        assert!(Nfta::empty(2).project_bit(0).is_empty());
+    }
+
+    #[test]
+    fn emptiness_of_contradictions() {
+        // Sing(X_0) ∧ Empty(X_0) is unsatisfiable.
+        let contradiction = singleton(0, 1).intersect(&empty_set(0, 1));
+        assert!(contradiction.is_empty());
+        // Sing(X_0) alone is satisfiable.
+        assert!(!singleton(0, 1).is_empty());
+    }
+}

@@ -1,0 +1,337 @@
+//! Explicit model checking of MSO formulas on finite labeled trees.
+//!
+//! Given a concrete [`LabeledTree`] and an assignment of the free variables,
+//! [`eval`] decides whether the formula holds.  Quantifiers are expanded
+//! exhaustively: first-order quantifiers range over the nodes, second-order
+//! quantifiers over all `2^n` subsets of nodes.  This is exponential in the
+//! quantifier depth but exact, and the trees the bounded checker feeds it are
+//! small; the automata pipeline in [`crate::automata`]/[`crate::compile`]
+//! provides the polynomial-per-tree alternative for the core fragment.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::formula::{FoVar, Formula, SoVar};
+use crate::tree::{LabeledTree, NodeId};
+
+/// An assignment of free variables to nodes and node sets.
+#[derive(Debug, Clone, Default)]
+pub struct Assignment {
+    /// First-order assignments.
+    pub fo: HashMap<FoVar, NodeId>,
+    /// Second-order assignments.
+    pub so: HashMap<SoVar, BTreeSet<NodeId>>,
+}
+
+impl Assignment {
+    /// The empty assignment (for closed formulas).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds a first-order variable.
+    pub fn bind_fo(mut self, var: impl Into<String>, node: NodeId) -> Self {
+        self.fo.insert(FoVar::new(var), node);
+        self
+    }
+
+    /// Binds a second-order variable.
+    pub fn bind_so<I: IntoIterator<Item = NodeId>>(mut self, var: impl Into<String>, nodes: I) -> Self {
+        self.so.insert(SoVar::new(var), nodes.into_iter().collect());
+        self
+    }
+}
+
+/// Evaluates `formula` on `tree` under `assignment`.
+///
+/// # Panics
+///
+/// Panics when the formula mentions a free variable that is not bound by the
+/// assignment (that is a bug in the calling encoding, not a property of the
+/// model).
+pub fn eval(formula: &Formula, tree: &LabeledTree, assignment: &Assignment) -> bool {
+    let mut env = Env {
+        tree,
+        fo: assignment.fo.clone(),
+        so: assignment.so.clone(),
+    };
+    go(formula, &mut env)
+}
+
+struct Env<'a> {
+    tree: &'a LabeledTree,
+    fo: HashMap<FoVar, NodeId>,
+    so: HashMap<SoVar, BTreeSet<NodeId>>,
+}
+
+impl Env<'_> {
+    fn node(&self, var: &FoVar) -> NodeId {
+        *self
+            .fo
+            .get(var)
+            .unwrap_or_else(|| panic!("unbound first-order variable {var}"))
+    }
+
+    fn set(&self, var: &SoVar) -> &BTreeSet<NodeId> {
+        self.so
+            .get(var)
+            .unwrap_or_else(|| panic!("unbound second-order variable {var}"))
+    }
+}
+
+fn go(formula: &Formula, env: &mut Env<'_>) -> bool {
+    match formula {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Eq(a, b) => env.node(a) == env.node(b),
+        Formula::Root(a) => env.node(a) == env.tree.root(),
+        Formula::Left(a, b) => env.tree.left(env.node(a)) == Some(env.node(b)),
+        Formula::Right(a, b) => env.tree.right(env.node(a)) == Some(env.node(b)),
+        Formula::Reach(a, b) => env.tree.reaches(env.node(a), env.node(b)),
+        Formula::Leaf(a) => env.tree.is_leaf(env.node(a)),
+        Formula::In(a, x) => {
+            let node = env.node(a);
+            env.set(x).contains(&node)
+        }
+        Formula::Subset(x, y) => env.set(x).is_subset(env.set(y)),
+        Formula::Not(inner) => !go(inner, env),
+        Formula::And(a, b) => go(a, env) && go(b, env),
+        Formula::Or(a, b) => go(a, env) || go(b, env),
+        Formula::Implies(a, b) => !go(a, env) || go(b, env),
+        Formula::Iff(a, b) => go(a, env) == go(b, env),
+        Formula::ExistsFo(var, body) => {
+            let saved = env.fo.get(var).copied();
+            let nodes: Vec<NodeId> = env.tree.nodes().collect();
+            let mut found = false;
+            for node in nodes {
+                env.fo.insert(var.clone(), node);
+                if go(body, env) {
+                    found = true;
+                    break;
+                }
+            }
+            restore_fo(env, var, saved);
+            found
+        }
+        Formula::ForallFo(var, body) => {
+            let saved = env.fo.get(var).copied();
+            let nodes: Vec<NodeId> = env.tree.nodes().collect();
+            let mut all = true;
+            for node in nodes {
+                env.fo.insert(var.clone(), node);
+                if !go(body, env) {
+                    all = false;
+                    break;
+                }
+            }
+            restore_fo(env, var, saved);
+            all
+        }
+        Formula::ExistsSo(var, body) => {
+            let saved = env.so.get(var).cloned();
+            let mut found = false;
+            let n = env.tree.len();
+            for subset in subsets(env.tree, n) {
+                env.so.insert(var.clone(), subset);
+                if go(body, env) {
+                    found = true;
+                    break;
+                }
+            }
+            restore_so(env, var, saved);
+            found
+        }
+        Formula::ForallSo(var, body) => {
+            let saved = env.so.get(var).cloned();
+            let mut all = true;
+            let n = env.tree.len();
+            for subset in subsets(env.tree, n) {
+                env.so.insert(var.clone(), subset);
+                if !go(body, env) {
+                    all = false;
+                    break;
+                }
+            }
+            restore_so(env, var, saved);
+            all
+        }
+    }
+}
+
+fn restore_fo(env: &mut Env<'_>, var: &FoVar, saved: Option<NodeId>) {
+    match saved {
+        Some(node) => {
+            env.fo.insert(var.clone(), node);
+        }
+        None => {
+            env.fo.remove(var);
+        }
+    }
+}
+
+fn restore_so(env: &mut Env<'_>, var: &SoVar, saved: Option<BTreeSet<NodeId>>) {
+    match saved {
+        Some(set) => {
+            env.so.insert(var.clone(), set);
+        }
+        None => {
+            env.so.remove(var);
+        }
+    }
+}
+
+/// Iterator over all subsets of the nodes of a tree (2^n of them).
+fn subsets(tree: &LabeledTree, n: usize) -> impl Iterator<Item = BTreeSet<NodeId>> + '_ {
+    assert!(n <= 20, "subset enumeration limited to 20 nodes");
+    let nodes: Vec<NodeId> = tree.nodes().collect();
+    (0u32..(1 << n)).map(move |mask| {
+        nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &node)| node)
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::complete_tree;
+
+    #[test]
+    fn structural_predicates() {
+        let mut tree = LabeledTree::single();
+        let root = tree.root();
+        let l = tree.add_left(root);
+        let r = tree.add_right(root);
+
+        let assignment = Assignment::new().bind_fo("x", root).bind_fo("y", l).bind_fo("z", r);
+        assert!(eval(&Formula::Root(FoVar::new("x")), &tree, &assignment));
+        assert!(!eval(&Formula::Root(FoVar::new("y")), &tree, &assignment));
+        assert!(eval(
+            &Formula::Left(FoVar::new("x"), FoVar::new("y")),
+            &tree,
+            &assignment
+        ));
+        assert!(eval(
+            &Formula::Right(FoVar::new("x"), FoVar::new("z")),
+            &tree,
+            &assignment
+        ));
+        assert!(eval(&Formula::Leaf(FoVar::new("y")), &tree, &assignment));
+        assert!(!eval(&Formula::Leaf(FoVar::new("x")), &tree, &assignment));
+        assert!(eval(
+            &Formula::Reach(FoVar::new("x"), FoVar::new("z")),
+            &tree,
+            &assignment
+        ));
+        assert!(!eval(
+            &Formula::Reach(FoVar::new("y"), FoVar::new("z")),
+            &tree,
+            &assignment
+        ));
+    }
+
+    #[test]
+    fn every_tree_has_a_unique_root() {
+        // ∃x. root(x) ∧ ∀y. (root(y) → y = x)
+        let formula = Formula::exists_fo(
+            "x",
+            Formula::and(
+                Formula::Root(FoVar::new("x")),
+                Formula::forall_fo(
+                    "y",
+                    Formula::implies(
+                        Formula::Root(FoVar::new("y")),
+                        Formula::Eq(FoVar::new("y"), FoVar::new("x")),
+                    ),
+                ),
+            ),
+        );
+        for tree in crate::tree::all_trees_up_to(4) {
+            assert!(eval(&formula, &tree, &Assignment::new()));
+        }
+    }
+
+    #[test]
+    fn membership_and_subset() {
+        let mut tree = complete_tree(2);
+        let root = tree.root();
+        let l = tree.left(root).unwrap();
+        tree.add_label(root, 0);
+
+        let assignment = Assignment::new()
+            .bind_fo("x", root)
+            .bind_so("X", vec![root])
+            .bind_so("Y", vec![root, l]);
+        assert!(eval(&Formula::In(FoVar::new("x"), SoVar::new("X")), &tree, &assignment));
+        assert!(eval(
+            &Formula::Subset(SoVar::new("X"), SoVar::new("Y")),
+            &tree,
+            &assignment
+        ));
+        assert!(!eval(
+            &Formula::Subset(SoVar::new("Y"), SoVar::new("X")),
+            &tree,
+            &assignment
+        ));
+    }
+
+    #[test]
+    fn second_order_quantification() {
+        // ∃X. (x ∈ X ∧ y ∉ X): holds whenever x ≠ y.
+        let formula = Formula::exists_so(
+            "X",
+            Formula::and(
+                Formula::In(FoVar::new("x"), SoVar::new("X")),
+                Formula::not(Formula::In(FoVar::new("y"), SoVar::new("X"))),
+            ),
+        );
+        let tree = complete_tree(2);
+        let root = tree.root();
+        let l = tree.left(root).unwrap();
+        assert!(eval(
+            &formula,
+            &tree,
+            &Assignment::new().bind_fo("x", root).bind_fo("y", l)
+        ));
+        assert!(!eval(
+            &formula,
+            &tree,
+            &Assignment::new().bind_fo("x", root).bind_fo("y", root)
+        ));
+    }
+
+    #[test]
+    fn downward_closed_sets() {
+        // ∀x ∀y. (x ∈ X ∧ reach(x, y)) → y ∈ X  — "X is downward closed".
+        let downward = Formula::forall_fo(
+            "x",
+            Formula::forall_fo(
+                "y",
+                Formula::implies(
+                    Formula::and(
+                        Formula::In(FoVar::new("x"), SoVar::new("X")),
+                        Formula::Reach(FoVar::new("x"), FoVar::new("y")),
+                    ),
+                    Formula::In(FoVar::new("y"), SoVar::new("X")),
+                ),
+            ),
+        );
+        let tree = complete_tree(3);
+        let root = tree.root();
+        let l = tree.left(root).unwrap();
+        // The whole subtree under l is downward closed …
+        let subtree: Vec<NodeId> = tree.nodes().filter(|&n| tree.reaches(l, n)).collect();
+        assert!(eval(&downward, &tree, &Assignment::new().bind_so("X", subtree)));
+        // … but {root} alone is not.
+        assert!(!eval(&downward, &tree, &Assignment::new().bind_so("X", vec![root])));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound first-order variable")]
+    fn unbound_variables_panic() {
+        let tree = LabeledTree::single();
+        eval(&Formula::Root(FoVar::new("missing")), &tree, &Assignment::new());
+    }
+}

@@ -1,0 +1,389 @@
+//! Compilation of MSO formulas to tree automata (the Thatcher–Wright
+//! construction), giving an *unbounded* decision procedure for the core
+//! fragment — the role MONA plays for the paper.
+//!
+//! Every variable of the formula (free or bound, first- or second-order) is
+//! assigned a label bit; first-order variables are encoded as singleton sets
+//! in the usual way.  Atomic formulas map to the atomic automata of
+//! [`crate::automata::atoms`], boolean connectives to product/union/
+//! complement, and quantifiers to bit projection (plus the singleton
+//! constraint for first-order quantifiers).
+//!
+//! The construction is exponential in the alternation of negation and
+//! quantification (each complement determinizes), exactly like MONA; it is
+//! practical for the structural lemmas exercised in the tests and serves as
+//! the reference decision procedure that the bounded checker is validated
+//! against.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::automata::atoms::{self, PairRelation};
+use crate::automata::Nfta;
+use crate::formula::Formula;
+
+/// A compiled formula: the automaton plus the variable-to-bit mapping.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The automaton over `2^bits` label masks.
+    pub automaton: Nfta,
+    /// Which label bit each variable name was assigned.
+    pub var_bits: BTreeMap<String, u32>,
+}
+
+/// Errors the compiler can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The same name is used for two different binders / free variables.
+    DuplicateVariable(String),
+    /// The formula uses more variables than the compiler supports (the
+    /// alphabet is `2^bits`, kept at 16 bits at most).
+    TooManyVariables(usize),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::DuplicateVariable(name) => {
+                write!(f, "variable `{name}` is bound or used more than once; rename binders apart")
+            }
+            CompileError::TooManyVariables(n) => {
+                write!(f, "{n} variables exceed the compiler's 16-bit alphabet limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles a formula to a tree automaton.
+///
+/// All variable names (first- and second-order, free and bound) must be
+/// pairwise distinct; rename binders apart before calling if needed.
+pub fn compile(formula: &Formula) -> Result<Compiled, CompileError> {
+    let mut names = Vec::new();
+    collect_names(formula, &mut names)?;
+    if names.len() > 16 {
+        return Err(CompileError::TooManyVariables(names.len()));
+    }
+    let var_bits: BTreeMap<String, u32> = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| (name.clone(), i as u32))
+        .collect();
+    let bits = names.len().max(1) as u32;
+    let automaton = go(formula, &var_bits, bits);
+    Ok(Compiled {
+        automaton,
+        var_bits,
+    })
+}
+
+/// Decides validity of a *closed* formula: true when every finite binary tree
+/// satisfies it.
+pub fn is_valid(formula: &Formula) -> Result<bool, CompileError> {
+    let compiled = compile(formula)?;
+    Ok(compiled.automaton.complement().is_empty())
+}
+
+/// Decides satisfiability of a *closed* formula: true when some finite binary
+/// tree satisfies it.
+pub fn is_satisfiable(formula: &Formula) -> Result<bool, CompileError> {
+    let compiled = compile(formula)?;
+    Ok(!compiled.automaton.is_empty())
+}
+
+fn collect_names(formula: &Formula, names: &mut Vec<String>) -> Result<(), CompileError> {
+    let add = |name: &str, names: &mut Vec<String>| -> Result<(), CompileError> {
+        if !names.iter().any(|n| n == name) {
+            names.push(name.to_string());
+        }
+        Ok(())
+    };
+    match formula {
+        Formula::True | Formula::False => Ok(()),
+        Formula::Eq(a, b)
+        | Formula::Left(a, b)
+        | Formula::Right(a, b)
+        | Formula::Reach(a, b) => {
+            add(&a.0, names)?;
+            add(&b.0, names)
+        }
+        Formula::Root(a) | Formula::Leaf(a) => add(&a.0, names),
+        Formula::In(a, x) => {
+            add(&a.0, names)?;
+            add(&x.0, names)
+        }
+        Formula::Subset(x, y) => {
+            add(&x.0, names)?;
+            add(&y.0, names)
+        }
+        Formula::Not(inner) => collect_names(inner, names),
+        Formula::And(a, b)
+        | Formula::Or(a, b)
+        | Formula::Implies(a, b)
+        | Formula::Iff(a, b) => {
+            collect_names(a, names)?;
+            collect_names(b, names)
+        }
+        Formula::ExistsFo(v, body) | Formula::ForallFo(v, body) => {
+            add(&v.0, names)?;
+            collect_names(body, names)
+        }
+        Formula::ExistsSo(v, body) | Formula::ForallSo(v, body) => {
+            add(&v.0, names)?;
+            collect_names(body, names)
+        }
+    }
+}
+
+fn bit(var_bits: &BTreeMap<String, u32>, name: &str) -> u32 {
+    *var_bits
+        .get(name)
+        .unwrap_or_else(|| panic!("variable `{name}` has no assigned bit"))
+}
+
+fn go(formula: &Formula, var_bits: &BTreeMap<String, u32>, bits: u32) -> Nfta {
+    match formula {
+        Formula::True => Nfta::universal(bits),
+        Formula::False => Nfta::empty(bits),
+        Formula::Eq(a, b) => atoms::pair(PairRelation::Same, bit(var_bits, &a.0), bit(var_bits, &b.0), bits),
+        Formula::Left(a, b) => {
+            atoms::pair(PairRelation::LeftChild, bit(var_bits, &a.0), bit(var_bits, &b.0), bits)
+        }
+        Formula::Right(a, b) => {
+            atoms::pair(PairRelation::RightChild, bit(var_bits, &a.0), bit(var_bits, &b.0), bits)
+        }
+        Formula::Reach(a, b) => {
+            atoms::pair(PairRelation::Ancestor, bit(var_bits, &a.0), bit(var_bits, &b.0), bits)
+        }
+        Formula::Root(a) => atoms::root_marked(bit(var_bits, &a.0), bits),
+        Formula::Leaf(a) => atoms::leaf_marked(bit(var_bits, &a.0), bits),
+        Formula::In(a, x) => atoms::subset(bit(var_bits, &a.0), bit(var_bits, &x.0), bits),
+        Formula::Subset(x, y) => atoms::subset(bit(var_bits, &x.0), bit(var_bits, &y.0), bits),
+        Formula::Not(inner) => go(inner, var_bits, bits).complement(),
+        Formula::And(a, b) => go(a, var_bits, bits).intersect(&go(b, var_bits, bits)),
+        Formula::Or(a, b) => go(a, var_bits, bits).union(&go(b, var_bits, bits)),
+        Formula::Implies(a, b) => go(a, var_bits, bits)
+            .complement()
+            .union(&go(b, var_bits, bits)),
+        Formula::Iff(a, b) => {
+            let fa = go(a, var_bits, bits);
+            let fb = go(b, var_bits, bits);
+            fa.complement()
+                .union(&fb)
+                .intersect(&fb.complement().union(&fa))
+        }
+        Formula::ExistsSo(v, body) => go(body, var_bits, bits).project_bit(bit(var_bits, &v.0)),
+        Formula::ForallSo(v, body) => {
+            // ∀X.φ ≡ ¬∃X.¬φ
+            go(body, var_bits, bits)
+                .complement()
+                .project_bit(bit(var_bits, &v.0))
+                .complement()
+        }
+        Formula::ExistsFo(v, body) => {
+            let var_bit = bit(var_bits, &v.0);
+            atoms::singleton(var_bit, bits)
+                .intersect(&go(body, var_bits, bits))
+                .project_bit(var_bit)
+        }
+        Formula::ForallFo(v, body) => {
+            // ∀x.φ ≡ ¬∃x.(Sing(x) ∧ ¬φ)
+            let var_bit = bit(var_bits, &v.0);
+            atoms::singleton(var_bit, bits)
+                .intersect(&go(body, var_bits, bits).complement())
+                .project_bit(var_bit)
+                .complement()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounded::check_validity;
+    use crate::checker::{eval, Assignment};
+    use crate::formula::{FoVar, SoVar};
+    use crate::tree::all_trees_up_to;
+
+    #[test]
+    fn root_exists_is_valid() {
+        let formula = Formula::exists_fo("x", Formula::Root(FoVar::new("x")));
+        assert!(is_valid(&formula).unwrap());
+        assert!(is_satisfiable(&formula).unwrap());
+    }
+
+    #[test]
+    fn two_roots_is_unsatisfiable() {
+        let formula = Formula::exists_fo(
+            "x",
+            Formula::exists_fo(
+                "y",
+                Formula::conj(vec![
+                    Formula::Root(FoVar::new("x")),
+                    Formula::Root(FoVar::new("y")),
+                    Formula::not(Formula::Eq(FoVar::new("x"), FoVar::new("y"))),
+                ]),
+            ),
+        );
+        assert!(!is_satisfiable(&formula).unwrap());
+        assert!(!is_valid(&formula).unwrap());
+    }
+
+    #[test]
+    fn root_reaches_every_node_is_valid() {
+        let formula = Formula::forall_fo(
+            "r",
+            Formula::implies(
+                Formula::Root(FoVar::new("r")),
+                Formula::forall_fo("x", Formula::Reach(FoVar::new("r"), FoVar::new("x"))),
+            ),
+        );
+        assert!(is_valid(&formula).unwrap());
+    }
+
+    #[test]
+    fn every_node_is_a_leaf_is_satisfiable_but_not_valid() {
+        let formula = Formula::forall_fo("x", Formula::Leaf(FoVar::new("x")));
+        assert!(is_satisfiable(&formula).unwrap());
+        assert!(!is_valid(&formula).unwrap());
+    }
+
+    #[test]
+    fn left_child_implies_reach_is_valid() {
+        let formula = Formula::forall_fo(
+            "x",
+            Formula::forall_fo(
+                "y",
+                Formula::implies(
+                    Formula::Left(FoVar::new("x"), FoVar::new("y")),
+                    Formula::Reach(FoVar::new("x"), FoVar::new("y")),
+                ),
+            ),
+        );
+        assert!(is_valid(&formula).unwrap());
+    }
+
+    #[test]
+    fn second_order_quantification_over_sets() {
+        // ∀X. ∀x. (x ∈ X → x ∈ X) is valid; ∃X. ∃x. (x ∈ X ∧ ¬(x ∈ X)) is
+        // unsatisfiable.  Small enough for the automata pipeline and still
+        // exercises SO quantification end to end.
+        let tautology = Formula::forall_so(
+            "X",
+            Formula::forall_fo(
+                "x",
+                Formula::implies(
+                    Formula::In(FoVar::new("x"), SoVar::new("X")),
+                    Formula::In(FoVar::new("x"), SoVar::new("X")),
+                ),
+            ),
+        );
+        assert!(is_valid(&tautology).unwrap());
+
+        let contradiction = Formula::exists_so(
+            "Y",
+            Formula::exists_fo(
+                "y",
+                Formula::and(
+                    Formula::In(FoVar::new("y"), SoVar::new("Y")),
+                    Formula::not(Formula::In(FoVar::new("y"), SoVar::new("Y"))),
+                ),
+            ),
+        );
+        assert!(!is_satisfiable(&contradiction).unwrap());
+    }
+
+    #[test]
+    fn subtree_membership_is_monotone() {
+        // ∀x ∀y. (reach(x, y) ∧ root ∈ … ) style check with a free SO var is
+        // covered by `compiled_automaton_agrees_with_explicit_checker`; here
+        // we check a small mixed FO/SO validity: ∃X. ∀x. x ∈ X (take X = all
+        // nodes).
+        let formula = Formula::exists_so(
+            "X",
+            Formula::forall_fo("x", Formula::In(FoVar::new("x"), SoVar::new("X"))),
+        );
+        assert!(is_valid(&formula).unwrap());
+    }
+
+    #[test]
+    fn compiled_automaton_agrees_with_explicit_checker() {
+        // A formula with one free second-order variable: "X is downward
+        // closed", checked both ways on all trees up to 4 nodes with a
+        // handful of labelings.
+        let formula = Formula::forall_fo(
+            "x",
+            Formula::forall_fo(
+                "y",
+                Formula::implies(
+                    Formula::and(
+                        Formula::In(FoVar::new("x"), SoVar::new("X")),
+                        Formula::Reach(FoVar::new("x"), FoVar::new("y")),
+                    ),
+                    Formula::In(FoVar::new("y"), SoVar::new("X")),
+                ),
+            ),
+        );
+        let compiled = compile(&formula).unwrap();
+        let x_bit = compiled.var_bits["X"];
+        for base in all_trees_up_to(3) {
+            let nodes: Vec<_> = base.nodes().collect();
+            // Labelings: empty, first node, first two nodes, all nodes.
+            let labelings: Vec<Vec<usize>> = vec![
+                vec![],
+                vec![0],
+                (0..nodes.len().min(2)).collect(),
+                (0..nodes.len()).collect(),
+            ];
+            for labeling in labelings {
+                let mut tree = base.clone();
+                for &i in &labeling {
+                    tree.add_label(nodes[i], x_bit);
+                }
+                let by_automaton = compiled.automaton.accepts(&tree);
+                let set: Vec<_> = labeling.iter().map(|&i| nodes[i]).collect();
+                let by_checker = eval(&formula, &tree, &Assignment::new().bind_so("X", set));
+                assert_eq!(by_automaton, by_checker, "disagreement on tree {tree:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn automata_and_bounded_checker_agree_on_closed_formulas() {
+        let formulas = vec![
+            Formula::exists_fo("x", Formula::Root(FoVar::new("x"))),
+            Formula::forall_fo("x", Formula::Leaf(FoVar::new("x"))),
+            Formula::forall_fo(
+                "x",
+                Formula::exists_fo("y", Formula::Left(FoVar::new("x"), FoVar::new("y"))),
+            ),
+        ];
+        for formula in formulas {
+            let automata_verdict = is_valid(&formula).unwrap();
+            let bounded_verdict = check_validity(&formula, 4).is_valid();
+            // Bounded validity can only over-approximate validity; when the
+            // automaton says valid, the bounded check must agree.
+            if automata_verdict {
+                assert!(bounded_verdict);
+            } else {
+                // All three example formulas that are invalid have small
+                // counterexamples, so the bounded check finds them too.
+                assert!(!bounded_verdict);
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_variables_is_an_error() {
+        let mut formula = Formula::True;
+        for i in 0..20 {
+            formula = Formula::exists_so(format!("X{i}"), formula);
+        }
+        assert!(matches!(
+            compile(&formula),
+            Err(CompileError::TooManyVariables(_))
+        ));
+    }
+}

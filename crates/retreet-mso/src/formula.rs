@@ -1,0 +1,316 @@
+//! Monadic second-order formulas over binary trees (§4 of the paper).
+//!
+//! The logic has first-order variables ranging over tree nodes, second-order
+//! variables ranging over *sets* of nodes, the structural predicates `root`,
+//! `left`, `right` and the transitive-closure predicate `reach`, plus the
+//! usual boolean connectives and quantifiers.  The Retreet encoding only ever
+//! uses this fragment (WS2S), which is what MONA decides for the authors and
+//! what [`crate::checker`]/[`crate::bounded`]/[`crate::automata`] decide here.
+
+use std::fmt;
+
+/// A first-order (node) variable.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FoVar(pub String);
+
+/// A second-order (node-set) variable.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SoVar(pub String);
+
+impl FoVar {
+    /// Builds a first-order variable from a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        FoVar(name.into())
+    }
+}
+
+impl SoVar {
+    /// Builds a second-order variable from a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SoVar(name.into())
+    }
+}
+
+impl fmt::Display for FoVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for SoVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An MSO formula over binary trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// `x = y`.
+    Eq(FoVar, FoVar),
+    /// `root(x)` — `x` is the root of the tree.
+    Root(FoVar),
+    /// `left(x) = y` — `y` is the left child of `x`.
+    Left(FoVar, FoVar),
+    /// `right(x) = y` — `y` is the right child of `x`.
+    Right(FoVar, FoVar),
+    /// `reach(x, y)` — `x` is an ancestor of `y` (reflexively).
+    Reach(FoVar, FoVar),
+    /// `leaf(x)` — `x` has no children.
+    Leaf(FoVar),
+    /// `x ∈ X`.
+    In(FoVar, SoVar),
+    /// `X ⊆ Y`.
+    Subset(SoVar, SoVar),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Bi-implication.
+    Iff(Box<Formula>, Box<Formula>),
+    /// First-order existential quantification.
+    ExistsFo(FoVar, Box<Formula>),
+    /// First-order universal quantification.
+    ForallFo(FoVar, Box<Formula>),
+    /// Second-order existential quantification.
+    ExistsSo(SoVar, Box<Formula>),
+    /// Second-order universal quantification.
+    ForallSo(SoVar, Box<Formula>),
+}
+
+impl Formula {
+    /// Negation helper.
+    pub fn not(inner: Formula) -> Formula {
+        Formula::Not(Box::new(inner))
+    }
+
+    /// Conjunction helper.
+    pub fn and(lhs: Formula, rhs: Formula) -> Formula {
+        Formula::And(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Disjunction helper.
+    pub fn or(lhs: Formula, rhs: Formula) -> Formula {
+        Formula::Or(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Implication helper.
+    pub fn implies(lhs: Formula, rhs: Formula) -> Formula {
+        Formula::Implies(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Bi-implication helper.
+    pub fn iff(lhs: Formula, rhs: Formula) -> Formula {
+        Formula::Iff(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// `∃x. body`.
+    pub fn exists_fo(var: impl Into<String>, body: Formula) -> Formula {
+        Formula::ExistsFo(FoVar::new(var), Box::new(body))
+    }
+
+    /// `∀x. body`.
+    pub fn forall_fo(var: impl Into<String>, body: Formula) -> Formula {
+        Formula::ForallFo(FoVar::new(var), Box::new(body))
+    }
+
+    /// `∃X. body`.
+    pub fn exists_so(var: impl Into<String>, body: Formula) -> Formula {
+        Formula::ExistsSo(SoVar::new(var), Box::new(body))
+    }
+
+    /// `∀X. body`.
+    pub fn forall_so(var: impl Into<String>, body: Formula) -> Formula {
+        Formula::ForallSo(SoVar::new(var), Box::new(body))
+    }
+
+    /// Conjunction of an arbitrary number of formulas (true when empty).
+    pub fn conj<I: IntoIterator<Item = Formula>>(parts: I) -> Formula {
+        let mut iter = parts.into_iter();
+        match iter.next() {
+            None => Formula::True,
+            Some(first) => iter.fold(first, Formula::and),
+        }
+    }
+
+    /// Disjunction of an arbitrary number of formulas (false when empty).
+    pub fn disj<I: IntoIterator<Item = Formula>>(parts: I) -> Formula {
+        let mut iter = parts.into_iter();
+        match iter.next() {
+            None => Formula::False,
+            Some(first) => iter.fold(first, Formula::or),
+        }
+    }
+
+    /// The free first-order variables of the formula.
+    pub fn free_fo_vars(&self) -> Vec<FoVar> {
+        let mut out = Vec::new();
+        self.collect_free_fo(&mut Vec::new(), &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The free second-order variables of the formula.
+    pub fn free_so_vars(&self) -> Vec<SoVar> {
+        let mut out = Vec::new();
+        self.collect_free_so(&mut Vec::new(), &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_free_fo(&self, bound: &mut Vec<FoVar>, out: &mut Vec<FoVar>) {
+        let visit = |v: &FoVar, bound: &Vec<FoVar>, out: &mut Vec<FoVar>| {
+            if !bound.contains(v) {
+                out.push(v.clone());
+            }
+        };
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Eq(a, b)
+            | Formula::Left(a, b)
+            | Formula::Right(a, b)
+            | Formula::Reach(a, b) => {
+                visit(a, bound, out);
+                visit(b, bound, out);
+            }
+            Formula::Root(a) | Formula::Leaf(a) => visit(a, bound, out),
+            Formula::In(a, _) => visit(a, bound, out),
+            Formula::Subset(_, _) => {}
+            Formula::Not(inner) => inner.collect_free_fo(bound, out),
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Iff(a, b) => {
+                a.collect_free_fo(bound, out);
+                b.collect_free_fo(bound, out);
+            }
+            Formula::ExistsFo(v, body) | Formula::ForallFo(v, body) => {
+                bound.push(v.clone());
+                body.collect_free_fo(bound, out);
+                bound.pop();
+            }
+            Formula::ExistsSo(_, body) | Formula::ForallSo(_, body) => {
+                body.collect_free_fo(bound, out);
+            }
+        }
+    }
+
+    fn collect_free_so(&self, bound: &mut Vec<SoVar>, out: &mut Vec<SoVar>) {
+        let visit = |v: &SoVar, bound: &Vec<SoVar>, out: &mut Vec<SoVar>| {
+            if !bound.contains(v) {
+                out.push(v.clone());
+            }
+        };
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Eq(_, _)
+            | Formula::Left(_, _)
+            | Formula::Right(_, _)
+            | Formula::Reach(_, _)
+            | Formula::Root(_)
+            | Formula::Leaf(_) => {}
+            Formula::In(_, x) => visit(x, bound, out),
+            Formula::Subset(x, y) => {
+                visit(x, bound, out);
+                visit(y, bound, out);
+            }
+            Formula::Not(inner) => inner.collect_free_so(bound, out),
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Iff(a, b) => {
+                a.collect_free_so(bound, out);
+                b.collect_free_so(bound, out);
+            }
+            Formula::ExistsFo(_, body) | Formula::ForallFo(_, body) => {
+                body.collect_free_so(bound, out);
+            }
+            Formula::ExistsSo(v, body) | Formula::ForallSo(v, body) => {
+                bound.push(v.clone());
+                body.collect_free_so(bound, out);
+                bound.pop();
+            }
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Eq(a, b) => write!(f, "{a} = {b}"),
+            Formula::Root(a) => write!(f, "root({a})"),
+            Formula::Left(a, b) => write!(f, "left({a}) = {b}"),
+            Formula::Right(a, b) => write!(f, "right({a}) = {b}"),
+            Formula::Reach(a, b) => write!(f, "reach({a}, {b})"),
+            Formula::Leaf(a) => write!(f, "leaf({a})"),
+            Formula::In(a, x) => write!(f, "{a} in {x}"),
+            Formula::Subset(x, y) => write!(f, "{x} sub {y}"),
+            Formula::Not(inner) => write!(f, "~({inner})"),
+            Formula::And(a, b) => write!(f, "({a} & {b})"),
+            Formula::Or(a, b) => write!(f, "({a} | {b})"),
+            Formula::Implies(a, b) => write!(f, "({a} => {b})"),
+            Formula::Iff(a, b) => write!(f, "({a} <=> {b})"),
+            Formula::ExistsFo(v, body) => write!(f, "ex1 {v}. ({body})"),
+            Formula::ForallFo(v, body) => write!(f, "all1 {v}. ({body})"),
+            Formula::ExistsSo(v, body) => write!(f, "ex2 {v}. ({body})"),
+            Formula::ForallSo(v, body) => write!(f, "all2 {v}. ({body})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_display() {
+        let x = FoVar::new("x");
+        let formula = Formula::exists_fo("x", Formula::Root(x));
+        let text = format!("{formula}");
+        assert!(text.contains("ex1 x"));
+        assert!(text.contains("root(x)"));
+    }
+
+    #[test]
+    fn conj_and_disj_handle_empty() {
+        assert_eq!(Formula::conj(Vec::new()), Formula::True);
+        assert_eq!(Formula::disj(Vec::new()), Formula::False);
+        let two = Formula::conj(vec![Formula::True, Formula::False]);
+        assert!(matches!(two, Formula::And(_, _)));
+    }
+
+    #[test]
+    fn free_variables_respect_binders() {
+        // ∃x. x ∈ X  has free SO var X and no free FO vars.
+        let formula = Formula::exists_fo("x", Formula::In(FoVar::new("x"), SoVar::new("X")));
+        assert!(formula.free_fo_vars().is_empty());
+        assert_eq!(formula.free_so_vars(), vec![SoVar::new("X")]);
+
+        // x ∈ X ∧ ∃X. y ∈ X  has free x, y and free X (outer occurrence only).
+        let formula = Formula::and(
+            Formula::In(FoVar::new("x"), SoVar::new("X")),
+            Formula::exists_so("X", Formula::In(FoVar::new("y"), SoVar::new("X"))),
+        );
+        assert_eq!(formula.free_fo_vars().len(), 2);
+        assert_eq!(formula.free_so_vars(), vec![SoVar::new("X")]);
+    }
+
+    #[test]
+    fn structural_predicates_have_two_fo_vars() {
+        let formula = Formula::Left(FoVar::new("u"), FoVar::new("v"));
+        assert_eq!(formula.free_fo_vars().len(), 2);
+        assert!(formula.free_so_vars().is_empty());
+    }
+}

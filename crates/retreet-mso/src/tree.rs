@@ -1,0 +1,402 @@
+//! Finite labeled binary trees — the models of MSO formulas.
+//!
+//! A [`LabeledTree`] is a finite binary tree whose nodes carry a set of
+//! *labels* (small integers).  Labels play the role of the second-order
+//! variables of the Retreet encoding: `Ls`, `Cc`, … are sets of nodes, and a
+//! node carries label `i` exactly when it belongs to the `i`-th set.
+//!
+//! The module also provides an exhaustive enumerator of all binary tree
+//! shapes up to a node bound, which is what the bounded validity checker in
+//! [`crate::bounded`] iterates over.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a node within a [`LabeledTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Node {
+    left: Option<NodeId>,
+    right: Option<NodeId>,
+    parent: Option<NodeId>,
+    labels: BTreeSet<u32>,
+}
+
+/// A finite binary tree with labeled nodes.  Node 0 is always the root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledTree {
+    nodes: Vec<Node>,
+}
+
+impl LabeledTree {
+    /// A tree with a single (root) node and no labels.
+    pub fn single() -> Self {
+        LabeledTree {
+            nodes: vec![Node {
+                left: None,
+                right: None,
+                parent: None,
+                labels: BTreeSet::new(),
+            }],
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree has no nodes; never true for trees built through
+    /// this API (there is always a root), but kept for completeness.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a left child to `parent`; panics if it already has one.
+    pub fn add_left(&mut self, parent: NodeId) -> NodeId {
+        assert!(self.left(parent).is_none(), "{parent} already has a left child");
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            left: None,
+            right: None,
+            parent: Some(parent),
+            labels: BTreeSet::new(),
+        });
+        self.nodes[parent.as_usize()].left = Some(id);
+        id
+    }
+
+    /// Adds a right child to `parent`; panics if it already has one.
+    pub fn add_right(&mut self, parent: NodeId) -> NodeId {
+        assert!(self.right(parent).is_none(), "{parent} already has a right child");
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            left: None,
+            right: None,
+            parent: Some(parent),
+            labels: BTreeSet::new(),
+        });
+        self.nodes[parent.as_usize()].right = Some(id);
+        id
+    }
+
+    /// The left child, if any.
+    pub fn left(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.as_usize()].left
+    }
+
+    /// The right child, if any.
+    pub fn right(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.as_usize()].right
+    }
+
+    /// The parent, if any.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.as_usize()].parent
+    }
+
+    /// True for nodes with no children.
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        self.left(node).is_none() && self.right(node).is_none()
+    }
+
+    /// Iterates over all nodes in id order (which is also a valid pre-order
+    /// prefix order for trees built through [`Self::add_left`] /
+    /// [`Self::add_right`]).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// `reach(a, b)`: `a` is an ancestor of `b` or equal to it.
+    pub fn reaches(&self, a: NodeId, b: NodeId) -> bool {
+        let mut current = Some(b);
+        while let Some(node) = current {
+            if node == a {
+                return true;
+            }
+            current = self.parent(node);
+        }
+        false
+    }
+
+    /// The depth of a node (root has depth 0).
+    pub fn depth(&self, node: NodeId) -> usize {
+        let mut depth = 0;
+        let mut current = self.parent(node);
+        while let Some(up) = current {
+            depth += 1;
+            current = self.parent(up);
+        }
+        depth
+    }
+
+    /// The height of the tree (single node has height 1).
+    pub fn height(&self) -> usize {
+        self.nodes()
+            .map(|n| self.depth(n) + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Adds a label to a node.
+    pub fn add_label(&mut self, node: NodeId, label: u32) {
+        self.nodes[node.as_usize()].labels.insert(label);
+    }
+
+    /// Removes a label from a node.
+    pub fn remove_label(&mut self, node: NodeId, label: u32) {
+        self.nodes[node.as_usize()].labels.remove(&label);
+    }
+
+    /// True when the node carries the label.
+    pub fn has_label(&self, node: NodeId, label: u32) -> bool {
+        self.nodes[node.as_usize()].labels.contains(&label)
+    }
+
+    /// The label set of a node.
+    pub fn labels(&self, node: NodeId) -> &BTreeSet<u32> {
+        &self.nodes[node.as_usize()].labels
+    }
+
+    /// The set of nodes carrying `label`.
+    pub fn nodes_with_label(&self, label: u32) -> BTreeSet<NodeId> {
+        self.nodes()
+            .filter(|&n| self.has_label(n, label))
+            .collect()
+    }
+
+    /// The label set of a node encoded as a bitmask over labels `< bits`.
+    pub fn label_mask(&self, node: NodeId, bits: u32) -> u32 {
+        let mut mask = 0;
+        for &label in self.labels(node) {
+            if label < bits {
+                mask |= 1 << label;
+            }
+        }
+        mask
+    }
+
+    /// Clears every label in the tree.
+    pub fn clear_labels(&mut self) {
+        for node in &mut self.nodes {
+            node.labels.clear();
+        }
+    }
+
+    /// Builds a tree from a nested shape description (see [`Shape`]).
+    pub fn from_shape(shape: &Shape) -> Self {
+        let mut tree = LabeledTree::single();
+        let root = tree.root();
+        build_shape(&mut tree, root, shape);
+        tree
+    }
+}
+
+fn build_shape(tree: &mut LabeledTree, node: NodeId, shape: &Shape) {
+    if let Some(left) = &shape.left {
+        let child = tree.add_left(node);
+        build_shape(tree, child, left);
+    }
+    if let Some(right) = &shape.right {
+        let child = tree.add_right(node);
+        build_shape(tree, child, right);
+    }
+}
+
+/// A binary tree *shape* (no labels): used by the exhaustive enumerator.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Shape {
+    /// Left subtree, if present.
+    pub left: Option<Box<Shape>>,
+    /// Right subtree, if present.
+    pub right: Option<Box<Shape>>,
+}
+
+impl Shape {
+    /// A single-node shape.
+    pub fn leaf() -> Shape {
+        Shape::default()
+    }
+
+    /// A shape with the given subtrees.
+    pub fn node(left: Option<Shape>, right: Option<Shape>) -> Shape {
+        Shape {
+            left: left.map(Box::new),
+            right: right.map(Box::new),
+        }
+    }
+
+    /// Number of nodes in the shape.
+    pub fn len(&self) -> usize {
+        1 + self.left.as_ref().map_or(0, |s| s.len()) + self.right.as_ref().map_or(0, |s| s.len())
+    }
+
+    /// True when the shape is a single leaf.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Enumerates every binary tree shape with exactly `n` nodes.
+pub fn shapes_with(n: usize) -> Vec<Shape> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![Shape::leaf()];
+    }
+    let mut out = Vec::new();
+    // Root plus a split of the remaining n-1 nodes between the two subtrees,
+    // each of which may be absent (0 nodes).
+    for left_count in 0..n {
+        let right_count = n - 1 - left_count;
+        let lefts: Vec<Option<Shape>> = if left_count == 0 {
+            vec![None]
+        } else {
+            shapes_with(left_count).into_iter().map(Some).collect()
+        };
+        let rights: Vec<Option<Shape>> = if right_count == 0 {
+            vec![None]
+        } else {
+            shapes_with(right_count).into_iter().map(Some).collect()
+        };
+        for l in &lefts {
+            for r in &rights {
+                out.push(Shape::node(l.clone(), r.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates every binary tree (as an unlabeled [`LabeledTree`]) with at
+/// most `max_nodes` nodes, from smallest to largest.
+pub fn all_trees_up_to(max_nodes: usize) -> Vec<LabeledTree> {
+    let mut out = Vec::new();
+    for n in 1..=max_nodes {
+        for shape in shapes_with(n) {
+            out.push(LabeledTree::from_shape(&shape));
+        }
+    }
+    out
+}
+
+/// Builds a complete binary tree of the given height (height 1 = single
+/// node); handy for tests and benchmarks.
+pub fn complete_tree(height: usize) -> LabeledTree {
+    assert!(height >= 1, "height must be at least 1");
+    let mut tree = LabeledTree::single();
+    grow_complete(&mut tree, NodeId(0), height - 1);
+    tree
+}
+
+fn grow_complete(tree: &mut LabeledTree, node: NodeId, remaining: usize) {
+    if remaining == 0 {
+        return;
+    }
+    let left = tree.add_left(node);
+    let right = tree.add_right(node);
+    grow_complete(tree, left, remaining - 1);
+    grow_complete(tree, right, remaining - 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn building_and_navigation() {
+        let mut tree = LabeledTree::single();
+        let root = tree.root();
+        let l = tree.add_left(root);
+        let r = tree.add_right(root);
+        let ll = tree.add_left(l);
+        assert_eq!(tree.len(), 4);
+        assert_eq!(tree.left(root), Some(l));
+        assert_eq!(tree.right(root), Some(r));
+        assert_eq!(tree.parent(ll), Some(l));
+        assert!(tree.is_leaf(r));
+        assert!(!tree.is_leaf(root));
+        assert_eq!(tree.depth(ll), 2);
+        assert_eq!(tree.height(), 3);
+    }
+
+    #[test]
+    fn reach_is_reflexive_and_transitive() {
+        let mut tree = LabeledTree::single();
+        let root = tree.root();
+        let l = tree.add_left(root);
+        let ll = tree.add_left(l);
+        let r = tree.add_right(root);
+        assert!(tree.reaches(root, ll));
+        assert!(tree.reaches(l, ll));
+        assert!(tree.reaches(ll, ll));
+        assert!(!tree.reaches(ll, root));
+        assert!(!tree.reaches(l, r));
+    }
+
+    #[test]
+    fn labels_and_masks() {
+        let mut tree = LabeledTree::single();
+        let root = tree.root();
+        tree.add_label(root, 0);
+        tree.add_label(root, 2);
+        assert!(tree.has_label(root, 0));
+        assert!(!tree.has_label(root, 1));
+        assert_eq!(tree.label_mask(root, 3), 0b101);
+        assert_eq!(tree.nodes_with_label(2).len(), 1);
+        tree.remove_label(root, 2);
+        assert_eq!(tree.label_mask(root, 3), 0b001);
+        tree.clear_labels();
+        assert!(tree.labels(root).is_empty());
+    }
+
+    #[test]
+    fn shape_enumeration_counts_are_catalan() {
+        // The number of binary trees with n nodes is the n-th Catalan number.
+        assert_eq!(shapes_with(1).len(), 1);
+        assert_eq!(shapes_with(2).len(), 2);
+        assert_eq!(shapes_with(3).len(), 5);
+        assert_eq!(shapes_with(4).len(), 14);
+        assert_eq!(shapes_with(5).len(), 42);
+        // And the cumulative enumeration matches.
+        assert_eq!(all_trees_up_to(4).len(), 1 + 2 + 5 + 14);
+    }
+
+    #[test]
+    fn shapes_round_trip_to_trees() {
+        for shape in shapes_with(4) {
+            let tree = LabeledTree::from_shape(&shape);
+            assert_eq!(tree.len(), 4);
+        }
+    }
+
+    #[test]
+    fn complete_tree_sizes() {
+        assert_eq!(complete_tree(1).len(), 1);
+        assert_eq!(complete_tree(2).len(), 3);
+        assert_eq!(complete_tree(3).len(), 7);
+        assert_eq!(complete_tree(4).len(), 15);
+        assert_eq!(complete_tree(3).height(), 3);
+    }
+}

@@ -1,0 +1,43 @@
+//! # retreet-runtime — executing (verified) tree-traversal schedules
+//!
+//! The Retreet paper answers the *legality* question for traversal
+//! transformations; this crate provides the *execution* side a downstream
+//! user needs once a transformation is known to be legal:
+//!
+//! * [`tree`] — owned binary trees ([`tree::TreeNode`]) whose disjoint
+//!   subtrees can be handed to different rayon workers,
+//! * [`visit`] — sequential, fused (`fuse2`/`fuse3`) and rayon-parallel
+//!   traversal schedules, plus parallel folds,
+//! * [`verified`] — capability types ([`verified::VerifiedFusion`],
+//!   [`verified::VerifiedParallelization`]) that are only constructible by
+//!   running the `retreet-analysis` checks, tying the analysis verdicts to
+//!   the schedules that rely on them.
+//!
+//! # Example
+//!
+//! ```
+//! use retreet_runtime::tree::complete_tree;
+//! use retreet_runtime::visit::{par_fold, seq_fold};
+//!
+//! // The running example of the paper as a runtime fold: count nodes on odd
+//! // and even layers in one (parallelizable) pass.
+//! let tree = complete_tree(10, &|_| ());
+//! let combine = |_: &(), (lo, le): (u64, u64), (ro, re): (u64, u64)| (le + re + 1, lo + ro);
+//! let seq = seq_fold(&tree, &|| (0, 0), &combine);
+//! let par = par_fold(&tree, 64, &|| (0, 0), &combine);
+//! assert_eq!(seq, par);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod tree;
+pub mod verified;
+pub mod visit;
+
+pub use tree::{complete_tree, random_tree, TreeNode};
+pub use verified::{TransformError, VerifiedFusion, VerifiedParallelization};
+pub use visit::{
+    fuse2, fuse3, par_fold, par_postorder_mut, par_preorder_mut, postorder_mut, preorder_mut,
+    run_passes, seq_fold, NodeVisitor,
+};

@@ -1,0 +1,251 @@
+//! Analysis-gated transformations: the runtime side of "check, then
+//! transform".
+//!
+//! A downstream user describes their traversals as Retreet programs (the
+//! original composition and the transformed one), asks the analysis for a
+//! verdict, and only receives a capability value — [`VerifiedFusion`] or
+//! [`VerifiedParallelization`] — when the transformation is justified.  The
+//! capability then unlocks the corresponding execution schedule from
+//! [`crate::visit`].  This mirrors how the paper envisions the framework
+//! being used by compilers: Retreet answers the legality question, the
+//! execution substrate applies the schedule.
+
+use retreet_analysis::equiv::{check_equivalence, EquivOptions, EquivVerdict};
+use retreet_analysis::race::{check_data_race, RaceOptions, RaceVerdict};
+use retreet_lang::ast::Program;
+use retreet_lang::validate::validate;
+
+use crate::tree::TreeNode;
+use crate::visit::{self, NodeVisitor};
+
+/// Why a transformation was refused.
+#[derive(Debug, Clone)]
+pub enum TransformError {
+    /// One of the programs is not a well-formed Retreet program.
+    InvalidProgram(String),
+    /// The equivalence check found a counterexample (fusion refused).
+    NotEquivalent(String),
+    /// The race check found a potential data race (parallelization refused).
+    DataRace(String),
+}
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformError::InvalidProgram(msg) => write!(f, "invalid Retreet program: {msg}"),
+            TransformError::NotEquivalent(msg) => {
+                write!(f, "the transformed program is not equivalent: {msg}")
+            }
+            TransformError::DataRace(msg) => write!(f, "the parallelization has a data race: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// A certificate that a fused schedule may replace the original sequence of
+/// traversals.
+#[derive(Debug, Clone)]
+pub struct VerifiedFusion {
+    trees_checked: usize,
+}
+
+impl VerifiedFusion {
+    /// Checks (with `retreet-analysis`) that `fused` is equivalent to
+    /// `original` and returns the capability on success.
+    pub fn verify(
+        original: &Program,
+        fused: &Program,
+        options: &EquivOptions,
+    ) -> Result<Self, TransformError> {
+        for (name, program) in [("original", original), ("fused", fused)] {
+            let errors = validate(program);
+            if !errors.is_empty() {
+                return Err(TransformError::InvalidProgram(format!(
+                    "{name}: {}",
+                    errors[0]
+                )));
+            }
+        }
+        match check_equivalence(original, fused, options) {
+            EquivVerdict::Equivalent { trees_checked } => Ok(VerifiedFusion { trees_checked }),
+            EquivVerdict::CounterExample(ce) => {
+                Err(TransformError::NotEquivalent(format!("{:?}", ce.disagreement)))
+            }
+        }
+    }
+
+    /// How many (tree, valuation) models the verdict rests on.
+    pub fn trees_checked(&self) -> usize {
+        self.trees_checked
+    }
+
+    /// Runs the fused pair of visitors in a single post-order traversal —
+    /// only reachable through a successful [`VerifiedFusion::verify`].
+    pub fn run_fused2<T>(
+        &self,
+        tree: &mut TreeNode<T>,
+        first: &dyn NodeVisitor<T>,
+        second: &dyn NodeVisitor<T>,
+    ) {
+        let fused = visit::fuse2(first, second);
+        visit::postorder_mut(tree, &fused);
+    }
+
+    /// Runs three fused visitors in a single post-order traversal.
+    pub fn run_fused3<T>(
+        &self,
+        tree: &mut TreeNode<T>,
+        first: &dyn NodeVisitor<T>,
+        second: &dyn NodeVisitor<T>,
+        third: &dyn NodeVisitor<T>,
+    ) {
+        let fused = visit::fuse3(first, second, third);
+        visit::postorder_mut(tree, &fused);
+    }
+}
+
+/// A certificate that a program's parallel composition is data-race-free.
+#[derive(Debug, Clone)]
+pub struct VerifiedParallelization {
+    trees_checked: usize,
+    configurations: usize,
+}
+
+impl VerifiedParallelization {
+    /// Checks data-race-freedom of `program` (which should contain the
+    /// parallel composition in `Main`) and returns the capability on success.
+    pub fn verify(program: &Program, options: &RaceOptions) -> Result<Self, TransformError> {
+        let errors = validate(program);
+        if !errors.is_empty() {
+            return Err(TransformError::InvalidProgram(errors[0].to_string()));
+        }
+        match check_data_race(program, options) {
+            RaceVerdict::RaceFree {
+                trees_checked,
+                configurations,
+            } => Ok(VerifiedParallelization {
+                trees_checked,
+                configurations,
+            }),
+            RaceVerdict::Race(witness) => Err(TransformError::DataRace(format!(
+                "{} and {} conflict on {}.{}",
+                witness.first, witness.second, witness.node, witness.field
+            ))),
+        }
+    }
+
+    /// How many trees the verdict rests on.
+    pub fn trees_checked(&self) -> usize {
+        self.trees_checked
+    }
+
+    /// How many configurations were enumerated in total.
+    pub fn configurations(&self) -> usize {
+        self.configurations
+    }
+
+    /// Runs a visitor over the tree with the rayon-parallel post-order
+    /// schedule — only reachable after a successful race check.
+    pub fn run_parallel<T: Send>(
+        &self,
+        tree: &mut TreeNode<T>,
+        visitor: &(impl NodeVisitor<T> + Sync),
+        seq_threshold: usize,
+    ) {
+        visit::par_postorder_mut(tree, visitor, seq_threshold);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::complete_tree;
+    use retreet_lang::corpus;
+
+    fn equiv_options() -> EquivOptions {
+        EquivOptions {
+            max_nodes: 4,
+            valuations: 2,
+            check_dependence_order: true,
+        }
+    }
+
+    fn race_options() -> RaceOptions {
+        RaceOptions {
+            max_nodes: 3,
+            valuations: 1,
+            ..RaceOptions::default()
+        }
+    }
+
+    #[test]
+    fn valid_fusion_grants_a_capability() {
+        let fusion = VerifiedFusion::verify(
+            &corpus::size_counting_sequential(),
+            &corpus::size_counting_fused(),
+            &equiv_options(),
+        )
+        .expect("the Fig. 6a fusion is valid");
+        assert!(fusion.trees_checked() > 0);
+
+        // Use the capability to actually fuse two runtime passes.
+        #[derive(Clone, Default, PartialEq, Debug)]
+        struct P {
+            v: i64,
+            a: i64,
+            b: i64,
+        }
+        let pass_a = |p: &mut P, _: Option<&P>, _: Option<&P>| p.a = p.v + 1;
+        let pass_b = |p: &mut P, _: Option<&P>, _: Option<&P>| p.b = p.a * 2;
+        let mut tree = complete_tree(4, &|i| P { v: i as i64, a: 0, b: 0 });
+        fusion.run_fused2(&mut tree, &pass_a, &pass_b);
+        assert!(tree.preorder().iter().all(|p| p.b == (p.v + 1) * 2));
+    }
+
+    #[test]
+    fn invalid_fusion_is_refused() {
+        let result = VerifiedFusion::verify(
+            &corpus::size_counting_sequential(),
+            &corpus::size_counting_fused_invalid(),
+            &equiv_options(),
+        );
+        assert!(matches!(result, Err(TransformError::NotEquivalent(_))));
+    }
+
+    #[test]
+    fn race_free_parallelization_grants_a_capability() {
+        let capability =
+            VerifiedParallelization::verify(&corpus::size_counting_parallel(), &race_options())
+                .expect("Odd ‖ Even is race-free");
+        assert!(capability.configurations() > 0);
+
+        let mut tree = complete_tree(8, &|i| i as i64);
+        let visitor = |v: &mut i64, _: Option<&i64>, _: Option<&i64>| *v += 1;
+        capability.run_parallel(&mut tree, &visitor, 16);
+        assert_eq!(tree.value, 1);
+    }
+
+    #[test]
+    fn racy_parallelization_is_refused() {
+        let result =
+            VerifiedParallelization::verify(&corpus::cycletree_parallel(), &race_options());
+        match result {
+            Err(TransformError::DataRace(message)) => assert!(message.contains("num")),
+            other => panic!("expected a data-race refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_programs_are_rejected_up_front() {
+        let no_main = retreet_lang::parse_program("fn F(n) { return 0; }").unwrap();
+        assert!(matches!(
+            VerifiedParallelization::verify(&no_main, &race_options()),
+            Err(TransformError::InvalidProgram(_))
+        ));
+        assert!(matches!(
+            VerifiedFusion::verify(&no_main, &no_main, &equiv_options()),
+            Err(TransformError::InvalidProgram(_))
+        ));
+    }
+}

@@ -1,0 +1,320 @@
+//! Traversal schedules: sequential, fused, and rayon-parallel execution of
+//! per-node visitors.
+//!
+//! The paper's motivation is that composing traversals (fusion) and running
+//! them on disjoint subtrees (parallelization) are profitable *when legal*.
+//! This module provides the execution side of that story:
+//!
+//! * [`postorder_mut`] / [`preorder_mut`] — the sequential schedules,
+//! * [`fuse2`] / [`fuse3`] — fusion combinators that run several visitors at
+//!   each node of a single traversal (one pass over the tree instead of
+//!   several),
+//! * [`par_postorder_mut`] / [`par_preorder_mut`] — parallel schedules that
+//!   recurse into the two subtrees with `rayon::join`, falling back to the
+//!   sequential schedule below a size threshold.
+//!
+//! The legality question — may these schedules replace the original program?
+//! — is answered by `retreet-analysis`; the [`crate::verified`] module ties
+//! the two together.
+
+use rayon::join;
+
+use crate::tree::TreeNode;
+
+/// A per-node visitor with mutable access to the payload of the current node
+/// and shared access to its children's payloads (the shape the paper's
+/// post-order case studies need: `ComputeRouting`, `IncrmLeft`, …).
+pub trait NodeVisitor<T>: Sync {
+    /// Visit one node.  `left`/`right` are the payloads of the children
+    /// (already visited for post-order schedules).
+    fn visit(&self, value: &mut T, left: Option<&T>, right: Option<&T>);
+}
+
+impl<T, F> NodeVisitor<T> for F
+where
+    F: Fn(&mut T, Option<&T>, Option<&T>) + Sync,
+{
+    fn visit(&self, value: &mut T, left: Option<&T>, right: Option<&T>) {
+        self(value, left, right)
+    }
+}
+
+/// Post-order sequential traversal: children first, then the node.
+pub fn postorder_mut<T>(node: &mut TreeNode<T>, visitor: &impl NodeVisitor<T>) {
+    if let Some(left) = node.left.as_deref_mut() {
+        postorder_mut(left, visitor);
+    }
+    if let Some(right) = node.right.as_deref_mut() {
+        postorder_mut(right, visitor);
+    }
+    visit_node(node, visitor);
+}
+
+fn visit_node<T>(node: &mut TreeNode<T>, visitor: &impl NodeVisitor<T>) {
+    let TreeNode { value, left, right } = node;
+    visitor.visit(
+        value,
+        left.as_deref().map(|n| &n.value),
+        right.as_deref().map(|n| &n.value),
+    );
+}
+
+/// Pre-order sequential traversal: the node first, then its children.
+pub fn preorder_mut<T>(node: &mut TreeNode<T>, visitor: &impl NodeVisitor<T>) {
+    visit_node(node, visitor);
+    if let Some(left) = node.left.as_deref_mut() {
+        preorder_mut(left, visitor);
+    }
+    if let Some(right) = node.right.as_deref_mut() {
+        preorder_mut(right, visitor);
+    }
+}
+
+/// Runs several independent traversals one after the other (the *unfused*
+/// baseline: one full pass per visitor).
+pub fn run_passes<T>(node: &mut TreeNode<T>, visitors: &[&dyn NodeVisitor<T>]) {
+    for visitor in visitors {
+        postorder_seq_dyn(node, *visitor);
+    }
+}
+
+fn postorder_seq_dyn<T>(node: &mut TreeNode<T>, visitor: &dyn NodeVisitor<T>) {
+    if let Some(left) = node.left.as_deref_mut() {
+        postorder_seq_dyn(left, visitor);
+    }
+    if let Some(right) = node.right.as_deref_mut() {
+        postorder_seq_dyn(right, visitor);
+    }
+    let TreeNode { value, left, right } = node;
+    visitor.visit(
+        value,
+        left.as_deref().map(|n| &n.value),
+        right.as_deref().map(|n| &n.value),
+    );
+}
+
+/// Fuses two visitors into a single visitor that applies them in order at
+/// each node — one traversal instead of two.
+pub fn fuse2<'a, T>(
+    first: &'a dyn NodeVisitor<T>,
+    second: &'a dyn NodeVisitor<T>,
+) -> impl NodeVisitor<T> + 'a {
+    move |value: &mut T, left: Option<&T>, right: Option<&T>| {
+        first.visit(value, left, right);
+        second.visit(value, left, right);
+    }
+}
+
+/// Fuses three visitors into one traversal.
+pub fn fuse3<'a, T>(
+    first: &'a dyn NodeVisitor<T>,
+    second: &'a dyn NodeVisitor<T>,
+    third: &'a dyn NodeVisitor<T>,
+) -> impl NodeVisitor<T> + 'a {
+    move |value: &mut T, left: Option<&T>, right: Option<&T>| {
+        first.visit(value, left, right);
+        second.visit(value, left, right);
+        third.visit(value, left, right);
+    }
+}
+
+/// Parallel post-order traversal: the two subtrees are processed by
+/// `rayon::join`; subtrees smaller than `seq_threshold` nodes fall back to
+/// the sequential schedule to amortize task overhead.
+pub fn par_postorder_mut<T: Send>(
+    node: &mut TreeNode<T>,
+    visitor: &(impl NodeVisitor<T> + Sync),
+    seq_threshold: usize,
+) {
+    if node.len() <= seq_threshold {
+        postorder_mut(node, visitor);
+        return;
+    }
+    {
+        let TreeNode { left, right, .. } = node;
+        join(
+            || {
+                if let Some(left) = left.as_deref_mut() {
+                    par_postorder_mut(left, visitor, seq_threshold);
+                }
+            },
+            || {
+                if let Some(right) = right.as_deref_mut() {
+                    par_postorder_mut(right, visitor, seq_threshold);
+                }
+            },
+        );
+    }
+    visit_node(node, visitor);
+}
+
+/// Parallel pre-order traversal (node first, subtrees in parallel).
+pub fn par_preorder_mut<T: Send>(
+    node: &mut TreeNode<T>,
+    visitor: &(impl NodeVisitor<T> + Sync),
+    seq_threshold: usize,
+) {
+    if node.len() <= seq_threshold {
+        preorder_mut(node, visitor);
+        return;
+    }
+    visit_node(node, visitor);
+    let TreeNode { left, right, .. } = node;
+    join(
+        || {
+            if let Some(left) = left.as_deref_mut() {
+                par_preorder_mut(left, visitor, seq_threshold);
+            }
+        },
+        || {
+            if let Some(right) = right.as_deref_mut() {
+                par_preorder_mut(right, visitor, seq_threshold);
+            }
+        },
+    );
+}
+
+/// A parallel fold over the tree: computes `combine(node, fold(left),
+/// fold(right))` bottom-up, with the two subtrees folded by `rayon::join`.
+/// This is the shape of the `Odd`/`Even` size-counting traversals.
+pub fn par_fold<T: Sync, R: Send>(
+    node: &TreeNode<T>,
+    seq_threshold: usize,
+    leaf_value: &(impl Fn() -> R + Sync),
+    combine: &(impl Fn(&T, R, R) -> R + Sync),
+) -> R {
+    if node.len() <= seq_threshold {
+        return seq_fold(node, leaf_value, combine);
+    }
+    let (left, right) = join(
+        || {
+            node.left
+                .as_deref()
+                .map(|n| par_fold(n, seq_threshold, leaf_value, combine))
+                .unwrap_or_else(leaf_value)
+        },
+        || {
+            node.right
+                .as_deref()
+                .map(|n| par_fold(n, seq_threshold, leaf_value, combine))
+                .unwrap_or_else(leaf_value)
+        },
+    );
+    combine(&node.value, left, right)
+}
+
+/// Sequential fold (the baseline for [`par_fold`]).
+pub fn seq_fold<T, R>(
+    node: &TreeNode<T>,
+    leaf_value: &impl Fn() -> R,
+    combine: &impl Fn(&T, R, R) -> R,
+) -> R {
+    let left = node
+        .left
+        .as_deref()
+        .map(|n| seq_fold(n, leaf_value, combine))
+        .unwrap_or_else(leaf_value);
+    let right = node
+        .right
+        .as_deref()
+        .map(|n| seq_fold(n, leaf_value, combine))
+        .unwrap_or_else(leaf_value);
+    combine(&node.value, left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::complete_tree;
+
+    #[derive(Debug, Clone, Default, PartialEq)]
+    struct Payload {
+        v: i64,
+        sum: i64,
+    }
+
+    fn sum_visitor() -> impl NodeVisitor<Payload> {
+        |value: &mut Payload, left: Option<&Payload>, right: Option<&Payload>| {
+            value.sum = value.v + left.map_or(0, |l| l.sum) + right.map_or(0, |r| r.sum);
+        }
+    }
+
+    #[test]
+    fn postorder_computes_subtree_sums() {
+        let mut tree = complete_tree(3, &|i| Payload { v: i as i64, sum: 0 });
+        postorder_mut(&mut tree, &sum_visitor());
+        // Sum over all nodes 0..7 = 21.
+        assert_eq!(tree.value.sum, 21);
+    }
+
+    #[test]
+    fn parallel_postorder_matches_sequential() {
+        let mut seq = complete_tree(10, &|i| Payload { v: i as i64, sum: 0 });
+        let mut par = seq.clone();
+        postorder_mut(&mut seq, &sum_visitor());
+        par_postorder_mut(&mut par, &sum_visitor(), 8);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_preorder_matches_sequential() {
+        let inc = |value: &mut Payload, _: Option<&Payload>, _: Option<&Payload>| {
+            value.v += 1;
+        };
+        let mut seq = complete_tree(9, &|i| Payload { v: i as i64, sum: 0 });
+        let mut par = seq.clone();
+        preorder_mut(&mut seq, &inc);
+        par_preorder_mut(&mut par, &inc, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn fused_passes_match_separate_passes() {
+        let scale = |value: &mut Payload, _: Option<&Payload>, _: Option<&Payload>| {
+            value.v *= 2;
+        };
+        let shift = |value: &mut Payload, _: Option<&Payload>, _: Option<&Payload>| {
+            value.v += 3;
+        };
+        let mut unfused = complete_tree(6, &|i| Payload { v: i as i64, sum: 0 });
+        let mut fused = unfused.clone();
+        run_passes(&mut unfused, &[&scale, &shift]);
+        let combined = fuse2(&scale, &shift);
+        postorder_mut(&mut fused, &combined);
+        assert_eq!(unfused, fused);
+    }
+
+    #[test]
+    fn fuse3_applies_in_order() {
+        let a = |value: &mut i64, _: Option<&i64>, _: Option<&i64>| *value += 1;
+        let b = |value: &mut i64, _: Option<&i64>, _: Option<&i64>| *value *= 10;
+        let c = |value: &mut i64, _: Option<&i64>, _: Option<&i64>| *value -= 2;
+        let mut tree = complete_tree(2, &|_| 0i64);
+        let fused = fuse3(&a, &b, &c);
+        postorder_mut(&mut tree, &fused);
+        // (0 + 1) * 10 - 2 = 8 at every node.
+        assert!(tree.preorder().iter().all(|&&v| v == 8));
+    }
+
+    #[test]
+    fn par_fold_counts_odd_and_even_layers() {
+        // The runtime equivalent of the running example: fold computing both
+        // counts in one pass (the Fig. 6a fusion).
+        let tree = complete_tree(5, &|_| ());
+        let (odd, even) = par_fold(
+            &tree,
+            4,
+            &|| (0i64, 0i64),
+            &|_, (lo, le): (i64, i64), (ro, re): (i64, i64)| (le + re + 1, lo + ro),
+        );
+        // Complete tree of height 5: layers 1..=5 have 1,2,4,8,16 nodes.
+        assert_eq!(odd, 1 + 4 + 16);
+        assert_eq!(even, 2 + 8);
+        let seq = seq_fold(
+            &tree,
+            &|| (0i64, 0i64),
+            &|_, (lo, le): (i64, i64), (ro, re): (i64, i64)| (le + re + 1, lo + ro),
+        );
+        assert_eq!(seq, (odd, even));
+    }
+}

@@ -1,0 +1,29 @@
+//! Reproduces every verification row of the paper's evaluation (§5) and
+//! prints a paper-vs-measured table (the same rows EXPERIMENTS.md records).
+//!
+//! ```bash
+//! cargo run --release --example verify_fusion
+//! ```
+
+use retreet_bench::{ablation_granularity, render_table, run_all, to_json, Budget};
+
+fn main() {
+    let budget = Budget::default();
+    let results = run_all(&budget);
+    println!("{}", render_table(&results));
+    let all_match = results.iter().all(|r| r.matches_paper());
+    println!(
+        "all verdicts match the paper: {}",
+        if all_match { "yes" } else { "NO" }
+    );
+
+    println!("\ngranularity ablation (coarse TreeFuser-style baseline vs. fine-grained):");
+    for row in ablation_granularity(&budget) {
+        println!(
+            "  {:<18} coarse accepts: {:<5}  fine-grained accepts: {}",
+            row.case, row.coarse_accepts, row.fine_grained_accepts
+        );
+    }
+
+    println!("\nmachine-readable record:\n{}", to_json(&results));
+}

@@ -1,0 +1,27 @@
+//! # retreet-repro — umbrella crate for the Retreet reproduction
+//!
+//! This crate only re-exports the workspace members so that the examples and
+//! the cross-crate integration tests under `tests/` have a single dependency
+//! root.  See the individual crates for the actual functionality:
+//!
+//! * [`retreet_lang`] — the Retreet language (AST, parser, blocks, read/write
+//!   analysis, weakest preconditions, the §5 program corpus);
+//! * [`retreet_logic`] — the linear-integer-arithmetic solver substrate;
+//! * [`retreet_mso`] — MSO over binary trees, bounded checking and the
+//!   tree-automata decision procedure (the MONA substitute);
+//! * [`retreet_analysis`] — configurations, data-race detection and
+//!   fusion-equivalence checking;
+//! * [`retreet_runtime`] — owned trees, fused and rayon-parallel schedules,
+//!   and analysis-gated transformation capabilities;
+//! * [`retreet_css`] / [`retreet_cycletree`] — the two real-world case-study
+//!   substrates of the evaluation.
+
+#![forbid(unsafe_code)]
+
+pub use retreet_analysis;
+pub use retreet_css;
+pub use retreet_cycletree;
+pub use retreet_lang;
+pub use retreet_logic;
+pub use retreet_mso;
+pub use retreet_runtime;

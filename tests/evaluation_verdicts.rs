@@ -1,0 +1,64 @@
+//! Cross-crate integration tests pinning every verdict of the paper's
+//! evaluation (§5).  These are the rows EXPERIMENTS.md reports; if any of
+//! them flips, the reproduction no longer reproduces the paper.
+
+use retreet_bench::{run_all, ablation_granularity, Budget, Verdict};
+
+#[test]
+fn all_evaluation_rows_match_the_paper() {
+    let results = run_all(&Budget::quick());
+    assert_eq!(results.len(), 7);
+    for result in &results {
+        assert!(
+            result.matches_paper(),
+            "{}: got {:?}, paper reports {:?} ({})",
+            result.id,
+            result.verdict,
+            result.expected,
+            result.detail
+        );
+    }
+}
+
+#[test]
+fn the_difficulty_ordering_holds() {
+    // The paper's hardest query is the cycletree fusion (490 s), then CSS
+    // (6.9 s), then the small cases (< 0.2 s).  Our absolute times differ,
+    // but the ordering of the equivalence queries must be preserved.
+    let results = run_all(&Budget::default());
+    let seconds = |id: &str| {
+        results
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.measured_seconds)
+            .unwrap()
+    };
+    assert!(seconds("E4a") > seconds("E1a"));
+    assert!(seconds("E3") > seconds("E1a"));
+}
+
+#[test]
+fn race_queries_report_the_expected_verdict_kinds() {
+    let results = run_all(&Budget::quick());
+    let by_id = |id: &str| results.iter().find(|r| r.id == id).unwrap().verdict;
+    assert_eq!(by_id("E1c"), Verdict::RaceFree);
+    assert_eq!(by_id("E4b"), Verdict::Race);
+    assert_eq!(by_id("E1b"), Verdict::Invalid);
+}
+
+#[test]
+fn coarse_baseline_is_strictly_less_precise() {
+    let rows = ablation_granularity(&Budget::quick());
+    // Fine-grained accepts everything the coarse baseline accepts…
+    for row in &rows {
+        if row.coarse_accepts {
+            assert!(row.fine_grained_accepts, "{} regressed", row.case);
+        }
+    }
+    // …and accepts at least two fusions the baseline rejects.
+    let gap = rows
+        .iter()
+        .filter(|r| !r.coarse_accepts && r.fine_grained_accepts)
+        .count();
+    assert!(gap >= 2);
+}
