@@ -32,7 +32,10 @@ pub struct TraversalFootprint {
 impl TraversalFootprint {
     /// True when the two traversals conflict at field granularity.
     pub fn conflicts_with(&self, other: &TraversalFootprint) -> bool {
-        let rw_conflict = self.writes.iter().any(|f| other.reads.contains(f) || other.writes.contains(f));
+        let rw_conflict = self
+            .writes
+            .iter()
+            .any(|f| other.reads.contains(f) || other.writes.contains(f));
         let wr_conflict = other.writes.iter().any(|f| self.reads.contains(f));
         rw_conflict || wr_conflict
     }

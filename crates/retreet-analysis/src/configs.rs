@@ -118,7 +118,10 @@ pub enum ConfigRelation {
 }
 
 /// Options controlling configuration enumeration.
-#[derive(Debug, Clone)]
+///
+/// Construct with [`EnumOptions::builder`] (or take the defaults); prefer
+/// the builder over mutating fields in place.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EnumOptions {
     /// Hard cap on the number of stack frames explored (defensive; the
     /// no-self-call restriction already bounds depth by tree height × number
@@ -137,8 +140,46 @@ impl Default for EnumOptions {
     }
 }
 
+impl EnumOptions {
+    /// Starts a builder seeded with the default options.
+    pub fn builder() -> EnumOptionsBuilder {
+        EnumOptionsBuilder {
+            options: EnumOptions::default(),
+        }
+    }
+}
+
+/// Builder for [`EnumOptions`].
+#[derive(Debug, Clone, Default)]
+pub struct EnumOptionsBuilder {
+    options: EnumOptions,
+}
+
+impl EnumOptionsBuilder {
+    /// Hard cap on the number of stack frames explored.
+    pub fn max_depth(mut self, max_depth: usize) -> Self {
+        self.options.max_depth = max_depth;
+        self
+    }
+
+    /// Hard cap on the number of configurations produced per tree.
+    pub fn max_configurations(mut self, max_configurations: usize) -> Self {
+        self.options.max_configurations = max_configurations;
+        self
+    }
+
+    /// Finalizes the options.
+    pub fn build(self) -> EnumOptions {
+        self.options
+    }
+}
+
 /// Enumerates every feasible configuration of `table`'s program over `tree`.
-pub fn enumerate(table: &BlockTable, tree: &ValueTree, options: &EnumOptions) -> Vec<Configuration> {
+pub fn enumerate(
+    table: &BlockTable,
+    tree: &ValueTree,
+    options: &EnumOptions,
+) -> Vec<Configuration> {
     let program = table.program();
     let Some(main_idx) = program.func_index(retreet_lang::ast::MAIN) else {
         return Vec::new();
@@ -242,7 +283,13 @@ fn explore(
                         .iter()
                         .map(|arg| {
                             ground_expr(
-                                arg, tree, frame.node, &local2, &params, &param_names, symtab,
+                                arg,
+                                tree,
+                                frame.node,
+                                &local2,
+                                &params,
+                                &param_names,
+                                symtab,
                                 stack_sig,
                             )
                         })
@@ -255,9 +302,9 @@ fn explore(
                                 .iter()
                                 .enumerate()
                                 .map(|(i, _)| {
-                                    LinExpr::var(symtab.intern(&format!(
-                                        "arg:{stack_sig}:{block}:{i}"
-                                    )))
+                                    LinExpr::var(
+                                        symtab.intern(&format!("arg:{stack_sig}:{block}:{i}")),
+                                    )
                                 })
                                 .collect()
                         });
@@ -334,7 +381,16 @@ fn ground_summary(
             }
         }
         // Ground the arithmetic system.
-        match ground_system(&case.arith, tree, loc, local, params, param_names, symtab, stack_sig) {
+        match ground_system(
+            &case.arith,
+            tree,
+            loc,
+            local,
+            params,
+            param_names,
+            symtab,
+            stack_sig,
+        ) {
             Some(system) => feasible_cases.push(system),
             None => continue 'cases,
         }
@@ -369,7 +425,16 @@ fn ground_system(
 ) -> Option<System> {
     let mut out = System::new();
     for atom in system.atoms() {
-        let grounded = ground_atom(atom, tree, loc, local, params, param_names, symtab, stack_sig)?;
+        let grounded = ground_atom(
+            atom,
+            tree,
+            loc,
+            local,
+            params,
+            param_names,
+            symtab,
+            stack_sig,
+        )?;
         out.push(grounded);
     }
     Some(out)
@@ -388,7 +453,16 @@ fn ground_atom(
 ) -> Option<Atom> {
     let mut expr = atom.expr().clone();
     for sym in atom.expr().vars().collect::<Vec<_>>() {
-        let replacement = ground_sym(sym, tree, loc, local, params, param_names, symtab, stack_sig)?;
+        let replacement = ground_sym(
+            sym,
+            tree,
+            loc,
+            local,
+            params,
+            param_names,
+            symtab,
+            stack_sig,
+        )?;
         expr = expr.substitute(sym, &replacement);
     }
     Some(Atom::new(expr, atom.rel()))
@@ -407,7 +481,16 @@ fn ground_expr(
 ) -> Option<LinExpr> {
     let mut out = expr.clone();
     for sym in expr.vars().collect::<Vec<_>>() {
-        let replacement = ground_sym(sym, tree, loc, local, params, param_names, symtab, stack_sig)?;
+        let replacement = ground_sym(
+            sym,
+            tree,
+            loc,
+            local,
+            params,
+            param_names,
+            symtab,
+            stack_sig,
+        )?;
         out = out.substitute(sym, &replacement);
     }
     Some(out)
@@ -458,17 +541,25 @@ fn ground_sym(
         ));
     }
     // Unknown symbol kind: keep it opaque but stack-qualified.
-    Some(LinExpr::var(symtab.intern(&format!("opaque:{stack_sig}:{name}"))))
+    Some(LinExpr::var(
+        symtab.intern(&format!("opaque:{stack_sig}:{name}")),
+    ))
 }
 
 fn parse_field_name(text: &str) -> Option<(NodeRef, String)> {
     // Formats produced by wp::syms::field: "n.f", "n.l.f", "n.r.f".
     let rest = text.strip_prefix("n.")?;
     if let Some(field) = rest.strip_prefix("l.") {
-        return Some((NodeRef::Child(retreet_lang::ast::Dir::Left), field.to_string()));
+        return Some((
+            NodeRef::Child(retreet_lang::ast::Dir::Left),
+            field.to_string(),
+        ));
     }
     if let Some(field) = rest.strip_prefix("r.") {
-        return Some((NodeRef::Child(retreet_lang::ast::Dir::Right), field.to_string()));
+        return Some((
+            NodeRef::Child(retreet_lang::ast::Dir::Right),
+            field.to_string(),
+        ));
     }
     Some((NodeRef::Cur, rest.to_string()))
 }
@@ -482,12 +573,16 @@ pub fn relation(table: &BlockTable, a: &Configuration, b: &Configuration) -> Con
         k += 1;
     }
     let block_a = if k < a.frames.len() {
-        a.frames[k].call_block.expect("non-main diverging frame has a call block")
+        a.frames[k]
+            .call_block
+            .expect("non-main diverging frame has a call block")
     } else {
         a.target
     };
     let block_b = if k < b.frames.len() {
-        b.frames[k].call_block.expect("non-main diverging frame has a call block")
+        b.frames[k]
+            .call_block
+            .expect("non-main diverging frame has a call block")
     } else {
         b.target
     };
@@ -723,6 +818,8 @@ mod tests {
             }
         }
         // Feasibility of each configuration individually.
-        assert!(configs.iter().all(|c| Solver::decision_only().check(&c.constraints).is_sat()));
+        assert!(configs
+            .iter()
+            .all(|c| Solver::decision_only().check(&c.constraints).is_sat()));
     }
 }

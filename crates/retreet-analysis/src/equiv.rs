@@ -22,7 +22,17 @@ use crate::interp::{self, ExecOrder, Iteration, RunResult};
 use crate::vtree::{test_trees, ValueTree};
 
 /// Options for the bounded equivalence check.
-#[derive(Debug, Clone)]
+///
+/// Construct with [`EquivOptions::builder`] (or take the defaults); prefer
+/// the builder over mutating fields in place:
+///
+/// ```
+/// use retreet_analysis::equiv::EquivOptions;
+///
+/// let options = EquivOptions::builder().max_nodes(4).valuations(2).build();
+/// assert!(options.check_dependence_order);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EquivOptions {
     /// Largest tree (in nodes) to test.
     pub max_nodes: usize,
@@ -41,6 +51,46 @@ impl Default for EquivOptions {
             valuations: 3,
             check_dependence_order: true,
         }
+    }
+}
+
+impl EquivOptions {
+    /// Starts a builder seeded with the default options.
+    pub fn builder() -> EquivOptionsBuilder {
+        EquivOptionsBuilder {
+            options: EquivOptions::default(),
+        }
+    }
+}
+
+/// Builder for [`EquivOptions`].
+#[derive(Debug, Clone, Default)]
+pub struct EquivOptionsBuilder {
+    options: EquivOptions,
+}
+
+impl EquivOptionsBuilder {
+    /// Largest tree (in nodes) to test.
+    pub fn max_nodes(mut self, max_nodes: usize) -> Self {
+        self.options.max_nodes = max_nodes;
+        self
+    }
+
+    /// Number of deterministic field valuations per tree shape.
+    pub fn valuations(mut self, valuations: usize) -> Self {
+        self.options.valuations = valuations;
+        self
+    }
+
+    /// Whether to enforce the Theorem 3 dependence-order condition.
+    pub fn check_dependence_order(mut self, check: bool) -> Self {
+        self.options.check_dependence_order = check;
+        self
+    }
+
+    /// Finalizes the options.
+    pub fn build(self) -> EquivOptions {
+        self.options
     }
 }
 
@@ -212,7 +262,14 @@ fn dependence_order_violation(a: &RunResult, b: &RunResult) -> Option<String> {
         let mut parts: Vec<String> = it
             .accesses
             .iter()
-            .map(|acc| format!("{}.{}:{}", acc.node, acc.field, if acc.is_write { "w" } else { "r" }))
+            .map(|acc| {
+                format!(
+                    "{}.{}:{}",
+                    acc.node,
+                    acc.field,
+                    if acc.is_write { "w" } else { "r" }
+                )
+            })
             .collect();
         parts.sort();
         parts.dedup();
@@ -231,7 +288,10 @@ fn dependence_order_violation(a: &RunResult, b: &RunResult) -> Option<String> {
             index_b.entry(s).or_insert(i);
         }
     }
-    let shared: Vec<&String> = index_a.keys().filter(|k| index_b.contains_key(*k)).collect();
+    let shared: Vec<&String> = index_a
+        .keys()
+        .filter(|k| index_b.contains_key(*k))
+        .collect();
     for (i, sig_x) in shared.iter().enumerate() {
         for sig_y in shared.iter().skip(i + 1) {
             let (xa, ya) = (index_a[*sig_x], index_a[*sig_y]);

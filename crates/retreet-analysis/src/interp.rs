@@ -381,7 +381,7 @@ impl Interp<'_> {
         self.trace.iterations.push(Iteration {
             block: id,
             node: activation.node,
-            path: path.clone(),
+            path: path.to_vec(),
             accesses,
         });
         path.pop();
@@ -408,7 +408,7 @@ impl Interp<'_> {
         &mut self,
         id: BlockId,
         activation: &mut Activation,
-        path: &mut Vec<SchedStep>,
+        path: &[SchedStep],
         guards: &[FieldAccess],
     ) -> Result<Option<Vec<i64>>, InterpError> {
         let info = self.table.info(id).clone();
@@ -445,7 +445,7 @@ impl Interp<'_> {
         self.trace.iterations.push(Iteration {
             block: id,
             node: activation.node,
-            path: path.clone(),
+            path: path.to_vec(),
             accesses,
         });
         Ok(result)
@@ -666,7 +666,10 @@ mod tests {
             .iter()
             .find(|it| it.accesses.iter().any(|a| a.field == "out"))
             .expect("guarded block executed");
-        assert!(guarded.accesses.iter().any(|a| a.field == "flag" && !a.is_write));
+        assert!(guarded
+            .accesses
+            .iter()
+            .any(|a| a.field == "flag" && !a.is_write));
     }
 
     #[test]

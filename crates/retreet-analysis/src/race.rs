@@ -23,7 +23,17 @@ use crate::interp;
 use crate::vtree::{test_trees, NodeId, ValueTree};
 
 /// Options for the bounded race analysis.
-#[derive(Debug, Clone)]
+///
+/// Construct with [`RaceOptions::builder`] (or take the defaults); prefer
+/// the builder over mutating fields in place:
+///
+/// ```
+/// use retreet_analysis::race::RaceOptions;
+///
+/// let options = RaceOptions::builder().max_nodes(3).valuations(1).build();
+/// assert_eq!(options.max_nodes, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RaceOptions {
     /// Largest tree (in nodes) to enumerate.
     pub max_nodes: usize,
@@ -40,6 +50,46 @@ impl Default for RaceOptions {
             valuations: 2,
             enumeration: EnumOptions::default(),
         }
+    }
+}
+
+impl RaceOptions {
+    /// Starts a builder seeded with the default options.
+    pub fn builder() -> RaceOptionsBuilder {
+        RaceOptionsBuilder {
+            options: RaceOptions::default(),
+        }
+    }
+}
+
+/// Builder for [`RaceOptions`].
+#[derive(Debug, Clone, Default)]
+pub struct RaceOptionsBuilder {
+    options: RaceOptions,
+}
+
+impl RaceOptionsBuilder {
+    /// Largest tree (in nodes) to enumerate.
+    pub fn max_nodes(mut self, max_nodes: usize) -> Self {
+        self.options.max_nodes = max_nodes;
+        self
+    }
+
+    /// Number of deterministic field valuations per tree shape.
+    pub fn valuations(mut self, valuations: usize) -> Self {
+        self.options.valuations = valuations;
+        self
+    }
+
+    /// Configuration-enumeration limits.
+    pub fn enumeration(mut self, enumeration: EnumOptions) -> Self {
+        self.options.enumeration = enumeration;
+        self
+    }
+
+    /// Finalizes the options.
+    pub fn build(self) -> RaceOptions {
+        self.options
     }
 }
 

@@ -199,7 +199,9 @@ impl ValueTree {
     /// congruential generator, good enough for differential testing and
     /// reproducible across runs).
     pub fn fill_fields(&mut self, fields: &[&str], seed: u64) {
-        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut state = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let nodes: Vec<NodeId> = self.nodes().collect();
         for node in nodes {
             for field in fields {

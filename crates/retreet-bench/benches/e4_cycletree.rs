@@ -5,7 +5,9 @@
 //! verification bench here as well.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use retreet_bench::{e4a_cycletree_fusion, e4b_cycletree_parallelization_race, render_table, Budget};
+use retreet_bench::{
+    e4a_cycletree_fusion, e4b_cycletree_parallelization_race, render_table, Budget,
+};
 use retreet_cycletree::numbering::{complete_cycletree, fused_number_and_route, number_cycletree};
 use retreet_cycletree::routing::compute_routing;
 

@@ -14,9 +14,11 @@ fn bench(c: &mut Criterion) {
     group.sample_size(20);
     for rules in [100usize, 1000, 5000] {
         let sheet = generate_stylesheet(rules, 42);
-        group.bench_with_input(BenchmarkId::new("unfused_3_passes", rules), &sheet, |b, s| {
-            b.iter(|| minify_unfused(s))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("unfused_3_passes", rules),
+            &sheet,
+            |b, s| b.iter(|| minify_unfused(s)),
+        );
         group.bench_with_input(BenchmarkId::new("fused_1_pass", rules), &sheet, |b, s| {
             b.iter(|| minify_fused(s))
         });

@@ -14,9 +14,11 @@ fn bench(c: &mut Criterion) {
     group.sample_size(15);
     for height in [16usize, 18, 20] {
         let tree = complete_tree(height, &|i| i as u64);
-        group.bench_with_input(BenchmarkId::new("sequential_fold", height), &tree, |b, t| {
-            b.iter(|| seq_fold(t, &|| (0u64, 0u64), &combine))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sequential_fold", height),
+            &tree,
+            |b, t| b.iter(|| seq_fold(t, &|| (0u64, 0u64), &combine)),
+        );
         group.bench_with_input(BenchmarkId::new("parallel_fold", height), &tree, |b, t| {
             b.iter(|| par_fold(t, 1 << 10, &|| (0u64, 0u64), &combine))
         });
@@ -35,7 +37,10 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("perf_parallel_postorder");
     group.sample_size(15);
     for height in [16usize, 18] {
-        let tree = complete_tree(height, &|i| P { v: i as u64, sum: 0 });
+        let tree = complete_tree(height, &|i| P {
+            v: i as u64,
+            sum: 0,
+        });
         group.bench_with_input(BenchmarkId::new("sequential", height), &tree, |b, t| {
             b.iter(|| {
                 let mut tree = t.clone();

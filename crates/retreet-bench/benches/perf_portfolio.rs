@@ -1,0 +1,117 @@
+//! P4 — dispatch overhead of the unified `Verifier` façade: single-engine
+//! dispatch vs. the parallel portfolio (first definitive verdict wins) vs.
+//! the verdict cache, on the E1/E2 corpus queries.  Future scaling PRs
+//! (sharding, batching, an async service front-end) measure against these
+//! baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use retreet_lang::corpus;
+use retreet_verify::{Engine, Query, Verifier};
+
+fn bench(c: &mut Criterion) {
+    let single_configuration = Verifier::builder()
+        .max_nodes(4)
+        .valuations(1)
+        .engines([Engine::Configuration])
+        .cache_capacity(0)
+        .build();
+    let single_trace = Verifier::builder()
+        .max_nodes(4)
+        .valuations(1)
+        .engines([Engine::Trace])
+        .cache_capacity(0)
+        .build();
+    let portfolio = Verifier::builder()
+        .max_nodes(4)
+        .valuations(1)
+        .parallel(true)
+        .cache_capacity(0)
+        .build();
+    let cached = Verifier::builder().max_nodes(4).valuations(1).build();
+
+    let race_program = corpus::size_counting_parallel();
+    let equiv_original = corpus::size_counting_sequential();
+    let equiv_fused = corpus::size_counting_fused();
+    let e2_original = corpus::tree_mutation_original();
+    let e2_fused = corpus::tree_mutation_fused();
+
+    // Sanity: every dispatch strategy must agree before we time anything.
+    assert!(single_configuration
+        .verify(Query::DataRace(&race_program))
+        .unwrap()
+        .is_race_free());
+    assert!(single_trace
+        .verify(Query::DataRace(&race_program))
+        .unwrap()
+        .is_race_free());
+    assert!(portfolio
+        .verify(Query::DataRace(&race_program))
+        .unwrap()
+        .is_race_free());
+
+    let mut group = c.benchmark_group("portfolio_race_e1c");
+    group.sample_size(15);
+    group.bench_function("single_engine_configuration", |b| {
+        b.iter(|| {
+            single_configuration
+                .verify(Query::DataRace(&race_program))
+                .unwrap()
+        })
+    });
+    group.bench_function("single_engine_trace", |b| {
+        b.iter(|| single_trace.verify(Query::DataRace(&race_program)).unwrap())
+    });
+    group.bench_function("parallel_portfolio", |b| {
+        b.iter(|| portfolio.verify(Query::DataRace(&race_program)).unwrap())
+    });
+    group.bench_function("verdict_cache_hit", |b| {
+        b.iter(|| cached.verify(Query::DataRace(&race_program)).unwrap())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("portfolio_equivalence_e1a_e2");
+    group.sample_size(10);
+    group.bench_function("e1a_sequential_dispatch", |b| {
+        b.iter(|| {
+            single_trace
+                .verify(Query::Equivalence(&equiv_original, &equiv_fused))
+                .unwrap()
+        })
+    });
+    group.bench_function("e1a_parallel_portfolio", |b| {
+        b.iter(|| {
+            portfolio
+                .verify(Query::Equivalence(&equiv_original, &equiv_fused))
+                .unwrap()
+        })
+    });
+    group.bench_function("e2_sequential_dispatch", |b| {
+        b.iter(|| {
+            single_trace
+                .verify(Query::Equivalence(&e2_original, &e2_fused))
+                .unwrap()
+        })
+    });
+    group.bench_function("e2_verdict_cache_hit", |b| {
+        b.iter(|| {
+            cached
+                .verify(Query::Equivalence(&e2_original, &e2_fused))
+                .unwrap()
+        })
+    });
+    group.finish();
+
+    let stats = cached.cache_stats();
+    println!(
+        "verdict cache after the run: {} hits / {} misses / {} entries",
+        stats.hits, stats.misses, stats.entries
+    );
+    // A CLI filter can deselect every cached-verifier bench; only assert
+    // when the cache actually saw traffic.
+    if stats.hits + stats.misses > 0 {
+        assert!(stats.hits > stats.misses, "cache hits should dominate");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -5,6 +5,11 @@
 //! and the wall-clock time, so that the Criterion benches, the examples and
 //! EXPERIMENTS.md are all generated from the same code paths.
 //!
+//! Every query goes through the unified [`retreet_verify::Verifier`] façade;
+//! the harness builds its verifiers with the cache *disabled* so measured
+//! times reflect real engine work, not cache hits (the cache's own win is
+//! measured separately by the `perf_portfolio` bench).
+//!
 //! Absolute times are not comparable to the paper's MONA runtimes (different
 //! decision procedure, different hardware); what must match is every verdict
 //! and the relative difficulty ordering (cycletree fusion ≫ CSS fusion ≫ the
@@ -13,16 +18,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::time::{Duration, Instant};
-
-use retreet_analysis::equiv::{check_equivalence, EquivOptions};
-use retreet_analysis::race::{check_data_race, RaceOptions};
 use retreet_analysis::coarse;
 use retreet_lang::corpus;
-use serde::Serialize;
+use retreet_verify::{Outcome, Query, Verifier};
 
 /// The verdict of one experiment, in the vocabulary of §5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
     /// The transformation was proven correct (fusion accepted).
     Valid,
@@ -34,8 +35,19 @@ pub enum Verdict {
     Race,
 }
 
+impl Verdict {
+    fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Valid => "Valid",
+            Verdict::Invalid => "Invalid",
+            Verdict::RaceFree => "RaceFree",
+            Verdict::Race => "Race",
+        }
+    }
+}
+
 /// The outcome of one experiment run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// Experiment identifier (E1a, E1b, …) as used in DESIGN.md.
     pub id: &'static str,
@@ -47,8 +59,10 @@ pub struct ExperimentResult {
     pub expected: Verdict,
     /// MONA's wall-clock time in the paper, in seconds (for context only).
     pub paper_seconds: f64,
-    /// Wall-clock time of this run, in seconds.
+    /// Wall-clock time of the winning engine, in seconds.
     pub measured_seconds: f64,
+    /// Which portfolio engine produced the verdict.
+    pub engine: &'static str,
     /// Extra detail (counterexample summary, model counts, …).
     pub detail: String,
 }
@@ -60,14 +74,8 @@ impl ExperimentResult {
     }
 }
 
-fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
-    let start = Instant::now();
-    let value = f();
-    (value, start.elapsed())
-}
-
 /// Analysis budget used by the experiment harness; benches can scale it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Budget {
     /// Maximum tree size (nodes) for equivalence checking.
     pub equiv_nodes: usize,
@@ -97,20 +105,25 @@ impl Budget {
         }
     }
 
-    fn equiv_options(&self) -> EquivOptions {
-        EquivOptions {
-            max_nodes: self.equiv_nodes,
-            valuations: self.equiv_valuations,
-            check_dependence_order: true,
-        }
+    /// The façade verifier this budget induces for equivalence queries
+    /// (cache disabled so every run measures real engine work).
+    pub fn equivalence_verifier(&self) -> Verifier {
+        Verifier::builder()
+            .equiv_nodes(self.equiv_nodes)
+            .valuations(self.equiv_valuations)
+            .check_dependence_order(true)
+            .cache_capacity(0)
+            .build()
     }
 
-    fn race_options(&self) -> RaceOptions {
-        RaceOptions {
-            max_nodes: self.race_nodes,
-            valuations: 1,
-            ..RaceOptions::default()
-        }
+    /// The façade verifier this budget induces for race queries (one
+    /// valuation per shape, like the paper's race rows; cache disabled).
+    pub fn race_verifier(&self) -> Verifier {
+        Verifier::builder()
+            .race_nodes(self.race_nodes)
+            .valuations(1)
+            .cache_capacity(0)
+            .build()
     }
 }
 
@@ -123,23 +136,29 @@ fn equivalence_experiment(
     transformed: &retreet_lang::ast::Program,
     budget: &Budget,
 ) -> ExperimentResult {
-    let (verdict, elapsed) = timed(|| check_equivalence(original, transformed, &budget.equiv_options()));
-    let (verdict, detail) = match verdict {
-        retreet_analysis::equiv::EquivVerdict::Equivalent { trees_checked } => {
-            (Verdict::Valid, format!("equivalent on {trees_checked} bounded models"))
-        }
-        retreet_analysis::equiv::EquivVerdict::CounterExample(ce) => (
+    let verifier = budget.equivalence_verifier();
+    let verdict = verifier
+        .verify(Query::Equivalence(original, transformed))
+        .expect("corpus programs are well-formed");
+    let (kind, detail) = match &verdict.outcome {
+        Outcome::Equivalent { trees_checked } => (
+            Verdict::Valid,
+            format!("equivalent on {trees_checked} bounded models"),
+        ),
+        Outcome::NotEquivalent(ce) => (
             Verdict::Invalid,
             format!("counterexample: {:?}", ce.disagreement),
         ),
+        other => unreachable!("equivalence query produced {other:?}"),
     };
     ExperimentResult {
         id,
         description,
-        verdict,
+        verdict: kind,
         expected,
         paper_seconds,
-        measured_seconds: elapsed.as_secs_f64(),
+        measured_seconds: verdict.elapsed.as_secs_f64(),
+        engine: verdict.engine.name(),
         detail,
     }
 }
@@ -152,30 +171,35 @@ fn race_experiment(
     program: &retreet_lang::ast::Program,
     budget: &Budget,
 ) -> ExperimentResult {
-    let (verdict, elapsed) = timed(|| check_data_race(program, &budget.race_options()));
-    let (verdict, detail) = match verdict {
-        retreet_analysis::race::RaceVerdict::RaceFree {
+    let verifier = budget.race_verifier();
+    let verdict = verifier
+        .verify(Query::DataRace(program))
+        .expect("corpus programs are well-formed");
+    let (kind, detail) = match &verdict.outcome {
+        Outcome::RaceFree {
             trees_checked,
             configurations,
         } => (
             Verdict::RaceFree,
             format!("race-free over {trees_checked} trees / {configurations} configurations"),
         ),
-        retreet_analysis::race::RaceVerdict::Race(witness) => (
+        Outcome::Race(witness) => (
             Verdict::Race,
             format!(
                 "race on {}.{} between {} and {}",
                 witness.node, witness.field, witness.first, witness.second
             ),
         ),
+        other => unreachable!("race query produced {other:?}"),
     };
     ExperimentResult {
         id,
         description,
-        verdict,
+        verdict: kind,
         expected,
         paper_seconds,
-        measured_seconds: elapsed.as_secs_f64(),
+        measured_seconds: verdict.elapsed.as_secs_f64(),
+        engine: verdict.engine.name(),
         detail,
     }
 }
@@ -271,7 +295,7 @@ pub fn e4b_cycletree_parallelization_race(budget: &Budget) -> ExperimentResult {
 
 /// The coarse-baseline ablation (P3): which fusions does a TreeFuser-style
 /// field-granularity analysis reject that the fine-grained check accepts?
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Case-study name.
     pub case: &'static str,
@@ -283,8 +307,12 @@ pub struct AblationRow {
 
 /// Runs the granularity ablation for the three fusion case studies.
 pub fn ablation_granularity(budget: &Budget) -> Vec<AblationRow> {
+    let verifier = budget.equivalence_verifier();
     let fine = |original: &retreet_lang::ast::Program, fused: &retreet_lang::ast::Program| {
-        check_equivalence(original, fused, &budget.equiv_options()).is_equivalent()
+        verifier
+            .verify(Query::Equivalence(original, fused))
+            .expect("corpus programs are well-formed")
+            .is_equivalent()
     };
     vec![
         AblationRow {
@@ -326,15 +354,16 @@ pub fn run_all(budget: &Budget) -> Vec<ExperimentResult> {
 pub fn render_table(results: &[ExperimentResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<5} {:<62} {:>10} {:>12} {:>12} {:>8}\n",
-        "id", "experiment", "verdict", "paper (s)", "measured (s)", "match"
+        "{:<5} {:<62} {:>10} {:>14} {:>12} {:>12} {:>8}\n",
+        "id", "experiment", "verdict", "engine", "paper (s)", "measured (s)", "match"
     ));
     for r in results {
         out.push_str(&format!(
-            "{:<5} {:<62} {:>10} {:>12.2} {:>12.4} {:>8}\n",
+            "{:<5} {:<62} {:>10} {:>14} {:>12.2} {:>12.4} {:>8}\n",
             r.id,
             r.description,
-            format!("{:?}", r.verdict),
+            r.verdict.as_str(),
+            r.engine,
             r.paper_seconds,
             r.measured_seconds,
             if r.matches_paper() { "yes" } else { "NO" }
@@ -343,9 +372,47 @@ pub fn render_table(results: &[ExperimentResult]) -> String {
     out
 }
 
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for c in input.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Serializes results to JSON (machine-readable experiment record).
+///
+/// Hand-rolled: the build environment is fully offline, so `serde_json`
+/// cannot be a dependency; the emitted document is plain JSON regardless.
 pub fn to_json(results: &[ExperimentResult]) -> String {
-    serde_json::to_string_pretty(results).expect("results serialize")
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\n    \"id\": \"{}\",\n    \"description\": \"{}\",\n    \"verdict\": \"{}\",\n    \
+             \"expected\": \"{}\",\n    \"paper_seconds\": {},\n    \"measured_seconds\": {},\n    \
+             \"engine\": \"{}\",\n    \"detail\": \"{}\"\n  }}{}\n",
+            json_escape(r.id),
+            json_escape(r.description),
+            r.verdict.as_str(),
+            r.expected.as_str(),
+            r.paper_seconds,
+            r.measured_seconds,
+            json_escape(r.engine),
+            json_escape(&r.detail),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push(']');
+    out
 }
 
 #[cfg(test)]
@@ -384,6 +451,19 @@ mod tests {
     }
 
     #[test]
+    fn every_result_reports_engine_provenance() {
+        let results = run_all(&Budget::quick());
+        for result in &results {
+            assert!(
+                ["configuration", "trace"].contains(&result.engine),
+                "{}: unexpected engine {}",
+                result.id,
+                result.engine
+            );
+        }
+    }
+
+    #[test]
     fn rendering_and_serialization() {
         let budget = Budget::quick();
         let results = vec![e1c_size_counting_race_freedom(&budget)];
@@ -391,5 +471,11 @@ mod tests {
         assert!(table.contains("E1c"));
         let json = to_json(&results);
         assert!(json.contains("RaceFree"));
+        assert!(json.contains("\"engine\""));
+    }
+
+    #[test]
+    fn json_escaping_handles_special_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 }

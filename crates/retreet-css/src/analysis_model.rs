@@ -17,10 +17,11 @@
 //! fusion on those programs *and* validate, on the concrete side, that the
 //! fused executable minifier agrees with the unfused one.
 
+use retreet_analysis::equiv::EquivOptions;
 use retreet_analysis::vtree::ValueTree;
-use retreet_analysis::equiv::{check_equivalence, EquivOptions, EquivVerdict};
 use retreet_lang::corpus;
 use retreet_runtime::tree::TreeNode;
+use retreet_verify::{Query, Verdict, Verifier, VerifyError};
 
 use crate::css::Stylesheet;
 use crate::minify::{to_lcrs, CssNode};
@@ -43,7 +44,11 @@ fn fill(node: &TreeNode<CssNode>, tree: &mut ValueTree, at: retreet_analysis::vt
             let prop = i64::from(
                 decl.property == "font-weight" && (decl.value == "normal" || decl.value == "bold"),
             );
-            let initial = if decl.value == "initial" { "initial".len() as i64 } else { 0 };
+            let initial = if decl.value == "initial" {
+                "initial".len() as i64
+            } else {
+                0
+            };
             (kind, prop, initial, decl.value.len() as i64)
         }
     };
@@ -61,15 +66,31 @@ fn fill(node: &TreeNode<CssNode>, tree: &mut ValueTree, at: retreet_analysis::vt
     }
 }
 
-/// Runs the §5 CSS query: is fusing the three minification traversals into a
-/// single pass a correct transformation?  Returns the analysis verdict
-/// (expected: equivalent) together with the number of models checked.
-pub fn verify_css_fusion(options: &EquivOptions) -> EquivVerdict {
-    check_equivalence(
+/// Runs the §5 CSS query through a shared [`Verifier`]: is fusing the three
+/// minification traversals into a single pass a correct transformation?
+/// Returns the unified verdict (expected: equivalent) with engine
+/// provenance and timing.
+pub fn verify_css_fusion_with(verifier: &Verifier) -> Result<Verdict, VerifyError> {
+    verifier.verify(Query::Equivalence(
         &corpus::css_minify_original(),
         &corpus::css_minify_fused(),
-        options,
-    )
+    ))
+}
+
+/// Deprecated shim over [`verify_css_fusion_with`]: builds a throwaway
+/// verifier from the option struct.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a shared retreet_verify::Verifier and use verify_css_fusion_with"
+)]
+pub fn verify_css_fusion(options: &EquivOptions) -> Verdict {
+    let verifier = Verifier::builder()
+        .equiv_nodes(options.max_nodes)
+        .valuations(options.valuations)
+        .check_dependence_order(options.check_dependence_order)
+        .cache_capacity(0)
+        .build();
+    verify_css_fusion_with(&verifier).expect("the corpus CSS programs are well-formed")
 }
 
 #[cfg(test)]
@@ -104,11 +125,8 @@ mod tests {
     #[test]
     fn the_verified_fusion_is_the_executed_fusion() {
         // Analysis verdict (E3): the Fig. 8 fusion is correct…
-        let verdict = verify_css_fusion(&EquivOptions {
-            max_nodes: 4,
-            valuations: 2,
-            check_dependence_order: true,
-        });
+        let verifier = Verifier::builder().equiv_nodes(4).valuations(2).build();
+        let verdict = verify_css_fusion_with(&verifier).expect("well-formed corpus programs");
         assert!(verdict.is_equivalent());
         // …and the executable minifier behaves identically fused or unfused.
         for seed in 0..3 {

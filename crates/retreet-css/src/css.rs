@@ -84,7 +84,11 @@ pub struct CssParseError {
 
 impl fmt::Display for CssParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CSS parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "CSS parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -112,7 +116,11 @@ pub fn parse_css(input: &str) -> Result<Stylesheet, CssParseError> {
                 offset: selector_start,
             });
         }
-        let selector: String = bytes[selector_start..pos].iter().collect::<String>().trim().to_string();
+        let selector: String = bytes[selector_start..pos]
+            .iter()
+            .collect::<String>()
+            .trim()
+            .to_string();
         if selector.is_empty() {
             return Err(CssParseError {
                 message: "empty selector".into(),
@@ -147,13 +155,21 @@ pub fn parse_css(input: &str) -> Result<Stylesheet, CssParseError> {
                     offset: prop_start,
                 });
             }
-            let property: String = bytes[prop_start..pos].iter().collect::<String>().trim().to_string();
+            let property: String = bytes[prop_start..pos]
+                .iter()
+                .collect::<String>()
+                .trim()
+                .to_string();
             pos += 1; // ':'
             let value_start = pos;
             while pos < bytes.len() && bytes[pos] != ';' && bytes[pos] != '}' {
                 pos += 1;
             }
-            let value: String = bytes[value_start..pos].iter().collect::<String>().trim().to_string();
+            let value: String = bytes[value_start..pos]
+                .iter()
+                .collect::<String>()
+                .trim()
+                .to_string();
             if bytes.get(pos) == Some(&';') {
                 pos += 1;
             }
@@ -199,7 +215,14 @@ pub fn generate_stylesheet(rules: usize, seed: u64) -> Stylesheet {
             .wrapping_add(1442695040888963407);
         (state >> 33) as usize
     };
-    let selectors = [".card", "#header", "nav a", ".btn-primary", "article p", "ul > li"];
+    let selectors = [
+        ".card",
+        "#header",
+        "nav a",
+        ".btn-primary",
+        "article p",
+        "ul > li",
+    ];
     let mut sheet = Stylesheet::default();
     for r in 0..rules {
         let mut rule = Rule {
@@ -215,7 +238,11 @@ pub fn generate_stylesheet(rules: usize, seed: u64) -> Stylesheet {
                 },
                 1 => Declaration {
                     property: "font-weight".into(),
-                    value: if next() % 2 == 0 { "normal".into() } else { "bold".into() },
+                    value: if next() % 2 == 0 {
+                        "normal".into()
+                    } else {
+                        "bold".into()
+                    },
                 },
                 2 => Declaration {
                     property: "min-width".into(),

@@ -120,9 +120,7 @@ pub fn reduce_init_decl(decl: &mut Declaration) {
     }
 }
 
-fn declaration_visitor(
-    apply: impl Fn(&mut Declaration) + Sync,
-) -> impl NodeVisitor<CssNode> {
+fn declaration_visitor(apply: impl Fn(&mut Declaration) + Sync) -> impl NodeVisitor<CssNode> {
     move |node: &mut CssNode, _: Option<&CssNode>, _: Option<&CssNode>| {
         if let CssNode::Declaration(decl) = node {
             apply(decl);
@@ -262,8 +260,8 @@ mod tests {
         // "100ms will be represented as .1s", "font-weight: normal will be
         // rewritten to font-weight: 400", "min-width: initial will be
         // converted to min-width: 0".
-        let sheet =
-            parse_css(".x{transition-duration:100ms;font-weight:normal;min-width:initial}").unwrap();
+        let sheet = parse_css(".x{transition-duration:100ms;font-weight:normal;min-width:initial}")
+            .unwrap();
         let out = minify_fused(&sheet);
         let css = out.to_css();
         assert!(css.contains("transition-duration:.1s"));

@@ -26,7 +26,5 @@
 pub mod numbering;
 pub mod routing;
 
-pub use numbering::{
-    cycle_order, fused_number_and_route, number_cycletree, CycleNode, Mode,
-};
+pub use numbering::{cycle_order, fused_number_and_route, number_cycletree, CycleNode, Mode};
 pub use routing::{compute_routing, route_next_hop, route_path};

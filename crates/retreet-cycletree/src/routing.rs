@@ -97,11 +97,17 @@ pub fn route_path(root: &TreeNode<CycleNode>, from: i64, to: i64) -> Vec<i64> {
         match route_next_hop(&current.value, has_left, has_right, from) {
             NextHop::Left => {
                 ancestors.push(current);
-                current = current.left.as_deref().expect("router data promised a left child");
+                current = current
+                    .left
+                    .as_deref()
+                    .expect("router data promised a left child");
             }
             NextHop::Right => {
                 ancestors.push(current);
-                current = current.right.as_deref().expect("router data promised a right child");
+                current = current
+                    .right
+                    .as_deref()
+                    .expect("router data promised a right child");
             }
             NextHop::Deliver => break,
             NextHop::Up => panic!("source position {from} does not exist in the tree"),

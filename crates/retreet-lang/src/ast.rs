@@ -65,7 +65,11 @@ pub enum NodeRef {
 impl NodeRef {
     /// All three node references, in a deterministic order.
     pub fn all() -> [NodeRef; 3] {
-        [NodeRef::Cur, NodeRef::Child(Dir::Left), NodeRef::Child(Dir::Right)]
+        [
+            NodeRef::Cur,
+            NodeRef::Child(Dir::Left),
+            NodeRef::Child(Dir::Right),
+        ]
     }
 }
 
@@ -96,11 +100,13 @@ pub enum AExpr {
 
 impl AExpr {
     /// Convenience constructor for addition.
+    #[allow(clippy::should_implement_trait)] // an associated constructor, not `a + b`
     pub fn add(lhs: AExpr, rhs: AExpr) -> AExpr {
         AExpr::Add(Box::new(lhs), Box::new(rhs))
     }
 
     /// Convenience constructor for subtraction.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(lhs: AExpr, rhs: AExpr) -> AExpr {
         AExpr::Sub(Box::new(lhs), Box::new(rhs))
     }
@@ -190,6 +196,7 @@ pub enum BExpr {
 
 impl BExpr {
     /// Convenience constructor for negation.
+    #[allow(clippy::should_implement_trait)] // an associated constructor, not `!b`
     pub fn not(inner: BExpr) -> BExpr {
         BExpr::Not(Box::new(inner))
     }
@@ -622,7 +629,11 @@ mod tests {
                 Stmt::Block(Block::straight(StraightBlock::default()).with_label("c")),
             ),
         ]);
-        let labels: Vec<_> = s.blocks().iter().map(|b| b.label.clone().unwrap()).collect();
+        let labels: Vec<_> = s
+            .blocks()
+            .iter()
+            .map(|b| b.label.clone().unwrap())
+            .collect();
         assert_eq!(labels, vec!["a", "b", "c"]);
     }
 

@@ -147,7 +147,13 @@ impl BlockTable {
         let mut func_blocks = vec![Vec::new(); program.funcs.len()];
         for (fidx, func) in program.funcs.iter().enumerate() {
             let mut steps = Vec::new();
-            collect_blocks(&func.body, fidx, &mut steps, &mut blocks, &mut func_blocks[fidx]);
+            collect_blocks(
+                &func.body,
+                fidx,
+                &mut steps,
+                &mut blocks,
+                &mut func_blocks[fidx],
+            );
         }
         let mut label_index = HashMap::new();
         let mut pos_index = HashMap::new();
@@ -411,10 +417,7 @@ impl BlockTable {
     }
 }
 
-fn cross_product(
-    prefixes: Vec<Vec<PathElem>>,
-    suffixes: Vec<Vec<PathElem>>,
-) -> Vec<Vec<PathElem>> {
+fn cross_product(prefixes: Vec<Vec<PathElem>>, suffixes: Vec<Vec<PathElem>>) -> Vec<Vec<PathElem>> {
     let mut out = Vec::with_capacity(prefixes.len() * suffixes.len());
     for prefix in &prefixes {
         for suffix in &suffixes {
@@ -436,10 +439,7 @@ fn collect_blocks(
     match stmt {
         Stmt::Block(block) => {
             let id = BlockId(blocks.len() as u32);
-            let label = block
-                .label
-                .clone()
-                .unwrap_or_else(|| format!("s{}", id.0));
+            let label = block.label.clone().unwrap_or_else(|| format!("s{}", id.0));
             blocks.push(BlockInfo {
                 id,
                 func,
@@ -559,7 +559,10 @@ mod tests {
         // Path(s6): ¬c1 then s5 then s6 (Example 1 in Appendix B).
         let conds = path.conditions();
         assert_eq!(conds.len(), 1);
-        assert!(!conds[0].1, "the else branch must be taken (condition is false)");
+        assert!(
+            !conds[0].1,
+            "the else branch must be taken (condition is false)"
+        );
         let execs: Vec<BlockId> = path
             .elems
             .iter()
@@ -576,7 +579,7 @@ mod tests {
         let table = table();
         let paths = table.paths_to(BlockId(0));
         assert_eq!(paths.len(), 1);
-        assert_eq!(paths[0].conditions()[0].1, true);
+        assert!(paths[0].conditions()[0].1);
         assert!(paths[0].elems.len() == 1);
     }
 
@@ -635,7 +638,12 @@ mod tests {
         let table = BlockTable::build(&parse_program(src).unwrap());
         // Blocks: then-assign, else-assign, return.
         assert_eq!(table.len(), 3);
-        let ret = table.blocks().iter().find(|b| !b.is_call() && b.block.as_straight().unwrap().ret.is_some()).unwrap().id;
+        let ret = table
+            .blocks()
+            .iter()
+            .find(|b| !b.is_call() && b.block.as_straight().unwrap().ret.is_some())
+            .unwrap()
+            .id;
         let paths = table.paths_to(ret);
         // The return is reachable through either branch of the conditional.
         assert_eq!(paths.len(), 2);

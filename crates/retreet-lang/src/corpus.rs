@@ -153,7 +153,10 @@ pub fn size_counting_fused() -> Program {
 
 /// Parsed [`SIZE_COUNTING_FUSED_INVALID_SRC`].
 pub fn size_counting_fused_invalid() -> Program {
-    must_parse("size_counting_fused_invalid", SIZE_COUNTING_FUSED_INVALID_SRC)
+    must_parse(
+        "size_counting_fused_invalid",
+        SIZE_COUNTING_FUSED_INVALID_SRC,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -757,13 +760,13 @@ mod tests {
 
     #[test]
     fn fused_programs_have_a_single_traversal_entry() {
-        for program in [size_counting_fused(), css_minify_fused(), tree_mutation_fused()] {
+        for program in [
+            size_counting_fused(),
+            css_minify_fused(),
+            tree_mutation_fused(),
+        ] {
             let main = program.main().unwrap();
-            let calls: Vec<_> = main
-                .blocks()
-                .into_iter()
-                .filter(|b| b.is_call())
-                .collect();
+            let calls: Vec<_> = main.blocks().into_iter().filter(|b| b.is_call()).collect();
             assert_eq!(calls.len(), 1, "fused Main performs a single call");
         }
     }

@@ -161,80 +161,134 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
                 }
             }
             '(' => {
-                tokens.push(Spanned { token: Token::LParen, line });
+                tokens.push(Spanned {
+                    token: Token::LParen,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Spanned { token: Token::RParen, line });
+                tokens.push(Spanned {
+                    token: Token::RParen,
+                    line,
+                });
                 i += 1;
             }
             '{' => {
-                tokens.push(Spanned { token: Token::LBrace, line });
+                tokens.push(Spanned {
+                    token: Token::LBrace,
+                    line,
+                });
                 i += 1;
             }
             '}' => {
-                tokens.push(Spanned { token: Token::RBrace, line });
+                tokens.push(Spanned {
+                    token: Token::RBrace,
+                    line,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Spanned { token: Token::Semi, line });
+                tokens.push(Spanned {
+                    token: Token::Semi,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Spanned { token: Token::Comma, line });
+                tokens.push(Spanned {
+                    token: Token::Comma,
+                    line,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Spanned { token: Token::Dot, line });
+                tokens.push(Spanned {
+                    token: Token::Dot,
+                    line,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Spanned { token: Token::Plus, line });
+                tokens.push(Spanned {
+                    token: Token::Plus,
+                    line,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(Spanned { token: Token::Minus, line });
+                tokens.push(Spanned {
+                    token: Token::Minus,
+                    line,
+                });
                 i += 1;
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&'=') {
-                    tokens.push(Spanned { token: Token::EqEq, line });
+                    tokens.push(Spanned {
+                        token: Token::EqEq,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Assign, line });
+                    tokens.push(Spanned {
+                        token: Token::Assign,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&'=') {
-                    tokens.push(Spanned { token: Token::NotEq, line });
+                    tokens.push(Spanned {
+                        token: Token::NotEq,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Bang, line });
+                    tokens.push(Spanned {
+                        token: Token::Bang,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&'=') {
-                    tokens.push(Spanned { token: Token::Le, line });
+                    tokens.push(Spanned {
+                        token: Token::Le,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Lt, line });
+                    tokens.push(Spanned {
+                        token: Token::Lt,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&'=') {
-                    tokens.push(Spanned { token: Token::Ge, line });
+                    tokens.push(Spanned {
+                        token: Token::Ge,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Gt, line });
+                    tokens.push(Spanned {
+                        token: Token::Gt,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '&' => {
                 if bytes.get(i + 1) == Some(&'&') {
-                    tokens.push(Spanned { token: Token::AndAnd, line });
+                    tokens.push(Spanned {
+                        token: Token::AndAnd,
+                        line,
+                    });
                     i += 2;
                 } else {
                     return Err(LexError {
@@ -245,7 +299,10 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
             }
             '|' => {
                 if bytes.get(i + 1) == Some(&'|') {
-                    tokens.push(Spanned { token: Token::ParSep, line });
+                    tokens.push(Spanned {
+                        token: Token::ParSep,
+                        line,
+                    });
                     i += 2;
                 } else {
                     return Err(LexError {
@@ -264,7 +321,10 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
                     message: format!("integer literal `{text}` out of range"),
                     line,
                 })?;
-                tokens.push(Spanned { token: Token::Int(value), line });
+                tokens.push(Spanned {
+                    token: Token::Int(value),
+                    line,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -334,7 +394,10 @@ mod tests {
     fn skips_comments_and_tracks_lines() {
         let toks = lex("x = 1; // comment\ny = 2;").unwrap();
         assert_eq!(toks[0].line, 1);
-        let y = toks.iter().find(|t| t.token == Token::Ident("y".into())).unwrap();
+        let y = toks
+            .iter()
+            .find(|t| t.token == Token::Ident("y".into()))
+            .unwrap();
         assert_eq!(y.line, 2);
     }
 

@@ -17,8 +17,7 @@
 use std::fmt;
 
 use crate::ast::{
-    AExpr, Assign, BExpr, Block, CallBlock, Dir, Func, Ident, NodeRef, Program, Stmt,
-    StraightBlock,
+    AExpr, Assign, BExpr, Block, CallBlock, Dir, Func, Ident, NodeRef, Program, Stmt, StraightBlock,
 };
 use crate::lexer::{lex, LexError, Spanned, Token};
 
@@ -309,19 +308,20 @@ impl Parser {
             // `n.l = ...` are rejected (no tree mutation in Retreet).
             self.expect(Token::Dot)?;
             let second = self.expect_ident()?;
-            let (node, field) = if (second == "l" || second == "r") && self.peek() == Some(&Token::Dot) {
-                self.pos += 1;
-                let field = self.expect_ident()?;
-                let dir = if second == "l" { Dir::Left } else { Dir::Right };
-                (NodeRef::Child(dir), field)
-            } else if second == "l" || second == "r" {
-                return self.error(
-                    "assignment to a pointer field (tree mutation) is not allowed in Retreet; \
+            let (node, field) =
+                if (second == "l" || second == "r") && self.peek() == Some(&Token::Dot) {
+                    self.pos += 1;
+                    let field = self.expect_ident()?;
+                    let dir = if second == "l" { Dir::Left } else { Dir::Right };
+                    (NodeRef::Child(dir), field)
+                } else if second == "l" || second == "r" {
+                    return self.error(
+                        "assignment to a pointer field (tree mutation) is not allowed in Retreet; \
                      simulate it with local flag fields as in §5 of the paper",
-                );
-            } else {
-                (NodeRef::Cur, second)
-            };
+                    );
+                } else {
+                    (NodeRef::Cur, second)
+                };
             self.expect(Token::Assign)?;
             let value = self.aexpr()?;
             self.expect(Token::Semi)?;
@@ -488,7 +488,16 @@ impl Parser {
                 if self.eat(&Token::RParen) {
                     let next_is_cmp = matches!(
                         self.peek(),
-                        Some(Token::Lt | Token::Le | Token::Gt | Token::Ge | Token::EqEq | Token::NotEq | Token::Plus | Token::Minus)
+                        Some(
+                            Token::Lt
+                                | Token::Le
+                                | Token::Gt
+                                | Token::Ge
+                                | Token::EqEq
+                                | Token::NotEq
+                                | Token::Plus
+                                | Token::Minus
+                        )
                     );
                     if !next_is_cmp {
                         return Ok(inner);
@@ -500,8 +509,12 @@ impl Parser {
         // Comparison between two integer expressions.
         let lhs = self.aexpr()?;
         let op = match self.bump() {
-            Some(tok @ (Token::Lt | Token::Le | Token::Gt | Token::Ge | Token::EqEq | Token::NotEq)) => tok,
-            Some(other) => return self.error(format!("expected a comparison operator, found `{other}`")),
+            Some(
+                tok @ (Token::Lt | Token::Le | Token::Gt | Token::Ge | Token::EqEq | Token::NotEq),
+            ) => tok,
+            Some(other) => {
+                return self.error(format!("expected a comparison operator, found `{other}`"))
+            }
             None => return self.error("expected a comparison operator, found end of input"),
         };
         let rhs = self.aexpr()?;

@@ -202,7 +202,10 @@ mod tests {
         let prog = parse_program(src).unwrap();
         let printed = print_program(&prog);
         let reparsed = parse_program(&printed).expect("reparse");
-        assert_eq!(prog.func("F").unwrap().blocks().len(), reparsed.func("F").unwrap().blocks().len());
+        assert_eq!(
+            prog.func("F").unwrap().blocks().len(),
+            reparsed.func("F").unwrap().blocks().len()
+        );
         assert!(printed.contains("n.l.v"));
     }
 

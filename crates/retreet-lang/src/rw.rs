@@ -172,8 +172,12 @@ mod tests {
         assert!(sets
             .reads
             .contains(&Access::Field(NodeRef::Child(Dir::Left), "v".into())));
-        assert!(sets.reads.contains(&Access::Field(NodeRef::Cur, "v".into())));
-        assert!(sets.writes.contains(&Access::Field(NodeRef::Cur, "v".into())));
+        assert!(sets
+            .reads
+            .contains(&Access::Field(NodeRef::Cur, "v".into())));
+        assert!(sets
+            .writes
+            .contains(&Access::Field(NodeRef::Cur, "v".into())));
         assert!(sets.writes.contains(&Access::Var("x".into())));
     }
 
@@ -191,7 +195,9 @@ mod tests {
         // Block 1 is the call inside F (block 0 is G's return).
         let call_id = table.blocks_of_func_named("F")[0];
         let sets = rw_sets_of_block(&table, call_id);
-        assert!(sets.reads.contains(&Access::Field(NodeRef::Cur, "v".into())));
+        assert!(sets
+            .reads
+            .contains(&Access::Field(NodeRef::Cur, "v".into())));
         assert!(sets.writes.contains(&Access::Var("y".into())));
         // The call does not directly read or write fields of the child.
         assert!(!sets
@@ -214,8 +220,12 @@ mod tests {
         );
         // Block 0 is the guarded assignment.
         let sets = rw_sets_of_block(&table, BlockId(0));
-        assert!(sets.reads.contains(&Access::Field(NodeRef::Cur, "weight".into())));
-        assert!(sets.writes.contains(&Access::Field(NodeRef::Cur, "value".into())));
+        assert!(sets
+            .reads
+            .contains(&Access::Field(NodeRef::Cur, "weight".into())));
+        assert!(sets
+            .writes
+            .contains(&Access::Field(NodeRef::Cur, "value".into())));
     }
 
     #[test]

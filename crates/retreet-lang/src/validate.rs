@@ -101,36 +101,34 @@ fn validate_func(program: &Program, func: &Func, errors: &mut Vec<ValidationErro
     let mut return_arities: Vec<usize> = Vec::new();
     for block in func.blocks() {
         match &block.kind {
-            BlockKind::Call(call) => {
-                match program.func(&call.callee) {
-                    None => push(format!("call to undefined function `{}`", call.callee)),
-                    Some(callee) => {
-                        if call.args.len() != callee.int_params.len() {
-                            push(format!(
-                                "call to `{}` passes {} integer argument(s), expected {}",
-                                call.callee,
-                                call.args.len(),
-                                callee.int_params.len()
-                            ));
-                        }
-                        if !call.results.is_empty() && call.results.len() != callee.num_returns {
-                            push(format!(
-                                "call to `{}` binds {} result(s), but it returns {}",
-                                call.callee,
-                                call.results.len(),
-                                callee.num_returns
-                            ));
-                        }
-                        if call.callee == func.name && call.target == NodeRef::Cur {
-                            push(format!(
-                                "function `{}` calls itself on the same node `{}` (violates the \
+            BlockKind::Call(call) => match program.func(&call.callee) {
+                None => push(format!("call to undefined function `{}`", call.callee)),
+                Some(callee) => {
+                    if call.args.len() != callee.int_params.len() {
+                        push(format!(
+                            "call to `{}` passes {} integer argument(s), expected {}",
+                            call.callee,
+                            call.args.len(),
+                            callee.int_params.len()
+                        ));
+                    }
+                    if !call.results.is_empty() && call.results.len() != callee.num_returns {
+                        push(format!(
+                            "call to `{}` binds {} result(s), but it returns {}",
+                            call.callee,
+                            call.results.len(),
+                            callee.num_returns
+                        ));
+                    }
+                    if call.callee == func.name && call.target == NodeRef::Cur {
+                        push(format!(
+                            "function `{}` calls itself on the same node `{}` (violates the \
                                  no-self-call restriction)",
-                                func.name, func.loc_param
-                            ));
-                        }
+                            func.name, func.loc_param
+                        ));
                     }
                 }
-            }
+            },
             BlockKind::Straight(straight) => {
                 for assign in &straight.assigns {
                     if let Assign::SetField(_, field, _) = assign {
@@ -296,9 +294,7 @@ mod tests {
             }
         "#;
         let errors = errors_of(src);
-        assert!(errors
-            .iter()
-            .any(|e| e.message.contains("no-self-call")));
+        assert!(errors.iter().any(|e| e.message.contains("no-self-call")));
     }
 
     #[test]
@@ -318,7 +314,13 @@ mod tests {
             }
         "#;
         let errors = errors_of(src);
-        assert!(errors.iter().filter(|e| e.message.contains("same-node")).count() >= 2);
+        assert!(
+            errors
+                .iter()
+                .filter(|e| e.message.contains("same-node"))
+                .count()
+                >= 2
+        );
     }
 
     #[test]

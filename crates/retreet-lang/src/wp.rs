@@ -311,10 +311,7 @@ pub fn symbolic_call_args(
     let Some(call) = info.block.as_call() else {
         return Vec::new();
     };
-    call.args
-        .iter()
-        .map(|arg| env.eval(arg, symtab))
-        .collect()
+    call.args.iter().map(|arg| env.eval(arg, symtab)).collect()
 }
 
 #[cfg(test)]
@@ -504,8 +501,12 @@ mod tests {
             .find(|&b| table.info(b).is_call())
             .unwrap();
         let mut symtab = SymTab::new();
-        let mut summary =
-            summarize_path(&table, &table.paths_to(call)[0], &["k".to_string()], &mut symtab);
+        let mut summary = summarize_path(
+            &table,
+            &table.paths_to(call)[0],
+            &["k".to_string()],
+            &mut symtab,
+        );
         let args = symbolic_call_args(&table, call, &mut summary.env, &mut symtab);
         assert_eq!(args.len(), 1);
         // k + 1 + 2 = param:k + 3.

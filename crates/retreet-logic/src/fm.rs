@@ -249,8 +249,14 @@ mod tests {
         // 2x >= 1 && 2x <= 1 has the rational solution x = 1/2 but no integer
         // solution; the gcd tightening turns it into x >= 1 && x <= 0.
         let sys = System::from_atoms(vec![
-            Atom::ge(LinExpr::scaled_var(Sym::from_usize(0), 2), LinExpr::constant(1)),
-            Atom::le(LinExpr::scaled_var(Sym::from_usize(0), 2), LinExpr::constant(1)),
+            Atom::ge(
+                LinExpr::scaled_var(Sym::from_usize(0), 2),
+                LinExpr::constant(1),
+            ),
+            Atom::le(
+                LinExpr::scaled_var(Sym::from_usize(0), 2),
+                LinExpr::constant(1),
+            ),
         ]);
         assert_eq!(check_inequalities(&sys), FmResult::Unsat);
     }

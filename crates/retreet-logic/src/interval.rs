@@ -50,7 +50,7 @@ impl Interval {
 
     /// True when the interval contains `value`.
     pub fn contains(&self, value: i64) -> bool {
-        self.lo.map_or(true, |lo| value >= lo) && self.hi.map_or(true, |hi| value <= hi)
+        self.lo.is_none_or(|lo| value >= lo) && self.hi.is_none_or(|hi| value <= hi)
     }
 
     /// Intersection of two intervals.
@@ -247,12 +247,24 @@ fn propagate_ge(atom: &Atom, env: &mut IntervalMap) -> bool {
             // inequality must hold for the *actual* rest, so the strongest
             // sound narrowing is target ≥ -rest_hi.
             if let Some(hi) = rest_hi {
-                changed |= env.narrow(target, Interval { lo: Some(-hi), hi: None });
+                changed |= env.narrow(
+                    target,
+                    Interval {
+                        lo: Some(-hi),
+                        hi: None,
+                    },
+                );
             }
         } else {
             // -target + rest ≥ 0  ⇒  target ≤ rest ≤ rest_hi
             if let Some(hi) = rest_hi {
-                changed |= env.narrow(target, Interval { lo: None, hi: Some(hi) });
+                changed |= env.narrow(
+                    target,
+                    Interval {
+                        lo: None,
+                        hi: Some(hi),
+                    },
+                );
             }
         }
     }

@@ -134,12 +134,7 @@ impl Solver {
         self.check(&combined).is_unsat()
     }
 
-    fn check_with_splits(
-        &self,
-        system: &System,
-        disequalities: &[&Atom],
-        index: usize,
-    ) -> Outcome {
+    fn check_with_splits(&self, system: &System, disequalities: &[&Atom], index: usize) -> Outcome {
         if index == disequalities.len() {
             return match check_inequalities(system) {
                 FmResult::Unsat => Outcome::Unsat,
@@ -155,7 +150,10 @@ impl Solver {
         let atom = disequalities[index];
         // e ≠ 0  ⇒  e ≤ -1  ∨  e ≥ 1  (integer tightening).
         for replacement in [
-            Atom::new(atom.expr().clone().scale(-1) - LinExpr::constant(1), Rel::Ge),
+            Atom::new(
+                atom.expr().clone().scale(-1) - LinExpr::constant(1),
+                Rel::Ge,
+            ),
             Atom::new(atom.expr().clone() - LinExpr::constant(1), Rel::Ge),
         ] {
             let mut case = System::new();
@@ -254,7 +252,8 @@ fn implied_bounds(system: &System, var: Sym) -> (Option<i64>, Option<i64>) {
             let c = expr.constant_term();
             if coeff > 0 {
                 // coeff*var + c >= 0  =>  var >= ceil(-c / coeff)
-                let bound = (-c).div_euclid(coeff) + if (-c).rem_euclid(coeff) != 0 { 1 } else { 0 };
+                let bound =
+                    (-c).div_euclid(coeff) + if (-c).rem_euclid(coeff) != 0 { 1 } else { 0 };
                 lo = Some(lo.map_or(bound, |b| b.max(bound)));
             } else {
                 // coeff*var + c >= 0  =>  var <= floor(c / -coeff)
@@ -269,7 +268,13 @@ fn implied_bounds(system: &System, var: Sym) -> (Option<i64>, Option<i64>) {
 fn pick_witness(lo: Option<i64>, hi: Option<i64>) -> Option<i64> {
     match (lo, hi) {
         (Some(l), Some(h)) if l > h => None,
-        (Some(l), Some(h)) => Some(if l <= 0 && 0 <= h { 0 } else if l > 0 { l } else { h }),
+        (Some(l), Some(h)) => Some(if l <= 0 && 0 <= h {
+            0
+        } else if l > 0 {
+            l
+        } else {
+            h
+        }),
         (Some(l), None) => Some(l.max(0)),
         (None, Some(h)) => Some(h.min(0)),
         (None, None) => Some(0),

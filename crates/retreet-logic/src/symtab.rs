@@ -60,7 +60,7 @@ impl SymTab {
     pub fn display(&self, sym: Sym) -> String {
         match self.name(sym) {
             Some(name) => name.to_owned(),
-            None => format!("$"),
+            None => "$".to_string(),
         }
         .replace('$', &format!("sym{}", sym.as_usize()))
     }

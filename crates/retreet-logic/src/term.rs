@@ -207,6 +207,8 @@ impl Add for LinExpr {
 
 impl Sub for LinExpr {
     type Output = LinExpr;
+    // Subtraction really is addition of the negation here.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn sub(self, rhs: LinExpr) -> LinExpr {
         self + rhs.neg()
     }

@@ -140,7 +140,10 @@ impl Nfta {
 
     /// Product intersection: accepts exactly the trees accepted by both.
     pub fn intersect(&self, other: &Nfta) -> Nfta {
-        assert_eq!(self.bits, other.bits, "intersection requires a common alphabet");
+        assert_eq!(
+            self.bits, other.bits,
+            "intersection requires a common alphabet"
+        );
         let pair = |a: usize, b: usize| a * other.num_states + b;
         let mut rules = Vec::new();
         for ra in &self.rules {
@@ -193,8 +196,8 @@ impl Nfta {
                 if inhabited.contains(&rule.target) {
                     continue;
                 }
-                let left_ok = rule.left.map_or(true, |q| inhabited.contains(&q));
-                let right_ok = rule.right.map_or(true, |q| inhabited.contains(&q));
+                let left_ok = rule.left.is_none_or(|q| inhabited.contains(&q));
+                let right_ok = rule.right.is_none_or(|q| inhabited.contains(&q));
                 if left_ok && right_ok {
                     inhabited.insert(rule.target);
                     changed = true;
@@ -215,8 +218,8 @@ impl Nfta {
             .iter()
             .filter(|rule| {
                 remap.contains_key(&rule.target)
-                    && rule.left.map_or(true, |q| remap.contains_key(&q))
-                    && rule.right.map_or(true, |q| remap.contains_key(&q))
+                    && rule.left.is_none_or(|q| remap.contains_key(&q))
+                    && rule.right.is_none_or(|q| remap.contains_key(&q))
             })
             .map(|rule| Rule {
                 left: rule.left.map(|q| remap[&q]),
@@ -271,8 +274,8 @@ impl Nfta {
         let mut subsets: Vec<BTreeSet<usize>> = Vec::new();
         let mut rules: Vec<Rule> = Vec::new();
         let intern = |set: BTreeSet<usize>,
-                          subsets: &mut Vec<BTreeSet<usize>>,
-                          subset_index: &mut BTreeMap<BTreeSet<usize>, usize>|
+                      subsets: &mut Vec<BTreeSet<usize>>,
+                      subset_index: &mut BTreeMap<BTreeSet<usize>, usize>|
          -> usize {
             if let Some(&idx) = subset_index.get(&set) {
                 return idx;
@@ -389,10 +392,7 @@ impl Nfta {
         let accepting = (0..det.num_states)
             .filter(|q| !det.accepting.contains(q))
             .collect();
-        Nfta {
-            accepting,
-            ..det
-        }
+        Nfta { accepting, ..det }
     }
 
     /// Projects away label bit `bit`: the result accepts a tree iff *some*
@@ -435,8 +435,8 @@ impl Nfta {
                 if inhabited.contains(&rule.target) {
                     continue;
                 }
-                let left_ok = rule.left.map_or(true, |q| inhabited.contains(&q));
-                let right_ok = rule.right.map_or(true, |q| inhabited.contains(&q));
+                let left_ok = rule.left.is_none_or(|q| inhabited.contains(&q));
+                let right_ok = rule.right.is_none_or(|q| inhabited.contains(&q));
                 if left_ok && right_ok {
                     inhabited.insert(rule.target);
                     changed = true;
@@ -636,10 +636,10 @@ pub mod atoms {
             let has_j = bit_set(symbol, j);
             for left in child_options(4) {
                 for right in child_options(4) {
-                    let l_matched = left.map_or(false, |q| q >= 2);
-                    let r_matched = right.map_or(false, |q| q >= 2);
-                    let l_info = left.map_or(false, |q| q % 2 == 1);
-                    let r_info = right.map_or(false, |q| q % 2 == 1);
+                    let l_matched = left.is_some_and(|q| q >= 2);
+                    let r_matched = right.is_some_and(|q| q >= 2);
+                    let l_info = left.is_some_and(|q| q % 2 == 1);
+                    let r_info = right.is_some_and(|q| q % 2 == 1);
                     let (matched_here, info) = match relation {
                         PairRelation::LeftChild => (has_i && l_info, has_j),
                         PairRelation::RightChild => (has_i && r_info, has_j),

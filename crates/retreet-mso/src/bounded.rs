@@ -65,12 +65,9 @@ pub fn check_validity(formula: &Formula, max_nodes: usize) -> BoundedVerdict {
 /// Checks whether a *closed* formula is satisfiable by some binary tree with
 /// at most `max_nodes` nodes; returns a witness if so.
 pub fn check_satisfiability(formula: &Formula, max_nodes: usize) -> Option<LabeledTree> {
-    for tree in all_trees_up_to(max_nodes) {
-        if eval(formula, &tree, &Assignment::new()) {
-            return Some(tree);
-        }
-    }
-    None
+    all_trees_up_to(max_nodes)
+        .into_iter()
+        .find(|tree| eval(formula, tree, &Assignment::new()))
 }
 
 #[cfg(test)]
@@ -84,10 +81,7 @@ mod tests {
             "r",
             Formula::implies(
                 Formula::Root(FoVar::new("r")),
-                Formula::forall_fo(
-                    "x",
-                    Formula::Reach(FoVar::new("r"), FoVar::new("x")),
-                ),
+                Formula::forall_fo("x", Formula::Reach(FoVar::new("r"), FoVar::new("x"))),
             ),
         )
     }

@@ -35,7 +35,11 @@ impl Assignment {
     }
 
     /// Binds a second-order variable.
-    pub fn bind_so<I: IntoIterator<Item = NodeId>>(mut self, var: impl Into<String>, nodes: I) -> Self {
+    pub fn bind_so<I: IntoIterator<Item = NodeId>>(
+        mut self,
+        var: impl Into<String>,
+        nodes: I,
+    ) -> Self {
         self.so.insert(SoVar::new(var), nodes.into_iter().collect());
         self
     }
@@ -205,7 +209,10 @@ mod tests {
         let l = tree.add_left(root);
         let r = tree.add_right(root);
 
-        let assignment = Assignment::new().bind_fo("x", root).bind_fo("y", l).bind_fo("z", r);
+        let assignment = Assignment::new()
+            .bind_fo("x", root)
+            .bind_fo("y", l)
+            .bind_fo("z", r);
         assert!(eval(&Formula::Root(FoVar::new("x")), &tree, &assignment));
         assert!(!eval(&Formula::Root(FoVar::new("y")), &tree, &assignment));
         assert!(eval(
@@ -264,7 +271,11 @@ mod tests {
             .bind_fo("x", root)
             .bind_so("X", vec![root])
             .bind_so("Y", vec![root, l]);
-        assert!(eval(&Formula::In(FoVar::new("x"), SoVar::new("X")), &tree, &assignment));
+        assert!(eval(
+            &Formula::In(FoVar::new("x"), SoVar::new("X")),
+            &tree,
+            &assignment
+        ));
         assert!(eval(
             &Formula::Subset(SoVar::new("X"), SoVar::new("Y")),
             &tree,
@@ -323,15 +334,27 @@ mod tests {
         let l = tree.left(root).unwrap();
         // The whole subtree under l is downward closed …
         let subtree: Vec<NodeId> = tree.nodes().filter(|&n| tree.reaches(l, n)).collect();
-        assert!(eval(&downward, &tree, &Assignment::new().bind_so("X", subtree)));
+        assert!(eval(
+            &downward,
+            &tree,
+            &Assignment::new().bind_so("X", subtree)
+        ));
         // … but {root} alone is not.
-        assert!(!eval(&downward, &tree, &Assignment::new().bind_so("X", vec![root])));
+        assert!(!eval(
+            &downward,
+            &tree,
+            &Assignment::new().bind_so("X", vec![root])
+        ));
     }
 
     #[test]
     #[should_panic(expected = "unbound first-order variable")]
     fn unbound_variables_panic() {
         let tree = LabeledTree::single();
-        eval(&Formula::Root(FoVar::new("missing")), &tree, &Assignment::new());
+        eval(
+            &Formula::Root(FoVar::new("missing")),
+            &tree,
+            &Assignment::new(),
+        );
     }
 }

@@ -45,10 +45,16 @@ impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::DuplicateVariable(name) => {
-                write!(f, "variable `{name}` is bound or used more than once; rename binders apart")
+                write!(
+                    f,
+                    "variable `{name}` is bound or used more than once; rename binders apart"
+                )
             }
             CompileError::TooManyVariables(n) => {
-                write!(f, "{n} variables exceed the compiler's 16-bit alphabet limit")
+                write!(
+                    f,
+                    "{n} variables exceed the compiler's 16-bit alphabet limit"
+                )
             }
         }
     }
@@ -102,10 +108,7 @@ fn collect_names(formula: &Formula, names: &mut Vec<String>) -> Result<(), Compi
     };
     match formula {
         Formula::True | Formula::False => Ok(()),
-        Formula::Eq(a, b)
-        | Formula::Left(a, b)
-        | Formula::Right(a, b)
-        | Formula::Reach(a, b) => {
+        Formula::Eq(a, b) | Formula::Left(a, b) | Formula::Right(a, b) | Formula::Reach(a, b) => {
             add(&a.0, names)?;
             add(&b.0, names)
         }
@@ -119,10 +122,7 @@ fn collect_names(formula: &Formula, names: &mut Vec<String>) -> Result<(), Compi
             add(&y.0, names)
         }
         Formula::Not(inner) => collect_names(inner, names),
-        Formula::And(a, b)
-        | Formula::Or(a, b)
-        | Formula::Implies(a, b)
-        | Formula::Iff(a, b) => {
+        Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) | Formula::Iff(a, b) => {
             collect_names(a, names)?;
             collect_names(b, names)
         }
@@ -147,16 +147,30 @@ fn go(formula: &Formula, var_bits: &BTreeMap<String, u32>, bits: u32) -> Nfta {
     match formula {
         Formula::True => Nfta::universal(bits),
         Formula::False => Nfta::empty(bits),
-        Formula::Eq(a, b) => atoms::pair(PairRelation::Same, bit(var_bits, &a.0), bit(var_bits, &b.0), bits),
-        Formula::Left(a, b) => {
-            atoms::pair(PairRelation::LeftChild, bit(var_bits, &a.0), bit(var_bits, &b.0), bits)
-        }
-        Formula::Right(a, b) => {
-            atoms::pair(PairRelation::RightChild, bit(var_bits, &a.0), bit(var_bits, &b.0), bits)
-        }
-        Formula::Reach(a, b) => {
-            atoms::pair(PairRelation::Ancestor, bit(var_bits, &a.0), bit(var_bits, &b.0), bits)
-        }
+        Formula::Eq(a, b) => atoms::pair(
+            PairRelation::Same,
+            bit(var_bits, &a.0),
+            bit(var_bits, &b.0),
+            bits,
+        ),
+        Formula::Left(a, b) => atoms::pair(
+            PairRelation::LeftChild,
+            bit(var_bits, &a.0),
+            bit(var_bits, &b.0),
+            bits,
+        ),
+        Formula::Right(a, b) => atoms::pair(
+            PairRelation::RightChild,
+            bit(var_bits, &a.0),
+            bit(var_bits, &b.0),
+            bits,
+        ),
+        Formula::Reach(a, b) => atoms::pair(
+            PairRelation::Ancestor,
+            bit(var_bits, &a.0),
+            bit(var_bits, &b.0),
+            bits,
+        ),
         Formula::Root(a) => atoms::root_marked(bit(var_bits, &a.0), bits),
         Formula::Leaf(a) => atoms::leaf_marked(bit(var_bits, &a.0), bits),
         Formula::In(a, x) => atoms::subset(bit(var_bits, &a.0), bit(var_bits, &x.0), bits),

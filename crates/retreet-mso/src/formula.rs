@@ -88,6 +88,7 @@ pub enum Formula {
 
 impl Formula {
     /// Negation helper.
+    #[allow(clippy::should_implement_trait)] // an associated constructor, not `!f`
     pub fn not(inner: Formula) -> Formula {
         Formula::Not(Box::new(inner))
     }

@@ -74,7 +74,10 @@ impl LabeledTree {
 
     /// Adds a left child to `parent`; panics if it already has one.
     pub fn add_left(&mut self, parent: NodeId) -> NodeId {
-        assert!(self.left(parent).is_none(), "{parent} already has a left child");
+        assert!(
+            self.left(parent).is_none(),
+            "{parent} already has a left child"
+        );
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node {
             left: None,
@@ -88,7 +91,10 @@ impl LabeledTree {
 
     /// Adds a right child to `parent`; panics if it already has one.
     pub fn add_right(&mut self, parent: NodeId) -> NodeId {
-        assert!(self.right(parent).is_none(), "{parent} already has a right child");
+        assert!(
+            self.right(parent).is_none(),
+            "{parent} already has a right child"
+        );
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node {
             left: None,
@@ -152,10 +158,7 @@ impl LabeledTree {
 
     /// The height of the tree (single node has height 1).
     pub fn height(&self) -> usize {
-        self.nodes()
-            .map(|n| self.depth(n) + 1)
-            .max()
-            .unwrap_or(0)
+        self.nodes().map(|n| self.depth(n) + 1).max().unwrap_or(0)
     }
 
     /// Adds a label to a node.
@@ -180,9 +183,7 @@ impl LabeledTree {
 
     /// The set of nodes carrying `label`.
     pub fn nodes_with_label(&self, label: u32) -> BTreeSet<NodeId> {
-        self.nodes()
-            .filter(|&n| self.has_label(n, label))
-            .collect()
+        self.nodes().filter(|&n| self.has_label(n, label)).collect()
     }
 
     /// The label set of a node encoded as a bitmask over labels `< bits`.

@@ -2,18 +2,25 @@
 //! transform".
 //!
 //! A downstream user describes their traversals as Retreet programs (the
-//! original composition and the transformed one), asks the analysis for a
-//! verdict, and only receives a capability value — [`VerifiedFusion`] or
-//! [`VerifiedParallelization`] — when the transformation is justified.  The
-//! capability then unlocks the corresponding execution schedule from
-//! [`crate::visit`].  This mirrors how the paper envisions the framework
-//! being used by compilers: Retreet answers the legality question, the
-//! execution substrate applies the schedule.
+//! original composition and the transformed one), asks the unified
+//! [`Verifier`] façade for a verdict, and only receives a capability value —
+//! [`VerifiedFusion`] or [`VerifiedParallelization`] — when the
+//! transformation is justified.  The capability then unlocks the
+//! corresponding execution schedule from [`crate::visit`].  This mirrors how
+//! the paper envisions the framework being used by compilers: Retreet
+//! answers the legality question, the execution substrate applies the
+//! schedule.
+//!
+//! Use [`VerifiedFusion::verify_with`] / [`VerifiedParallelization::verify_with`]
+//! with a shared [`Verifier`] so repeated legality questions hit its verdict
+//! cache; the option-struct entry points ([`VerifiedFusion::verify`],
+//! [`VerifiedParallelization::verify`]) remain as deprecated shims over the
+//! façade.
 
-use retreet_analysis::equiv::{check_equivalence, EquivOptions, EquivVerdict};
-use retreet_analysis::race::{check_data_race, RaceOptions, RaceVerdict};
+use retreet_analysis::equiv::{EquivCounterExample, EquivOptions};
+use retreet_analysis::race::{RaceOptions, RaceWitness};
 use retreet_lang::ast::Program;
-use retreet_lang::validate::validate;
+use retreet_verify::{Engine, Outcome, Query, Verdict, Verifier, VerifyError};
 
 use crate::tree::TreeNode;
 use crate::visit::{self, NodeVisitor};
@@ -21,57 +28,103 @@ use crate::visit::{self, NodeVisitor};
 /// Why a transformation was refused.
 #[derive(Debug, Clone)]
 pub enum TransformError {
-    /// One of the programs is not a well-formed Retreet program.
-    InvalidProgram(String),
+    /// The façade rejected the query before any engine ran (malformed
+    /// program, empty portfolio, …).
+    Rejected(VerifyError),
     /// The equivalence check found a counterexample (fusion refused).
-    NotEquivalent(String),
+    NotEquivalent(Box<EquivCounterExample>),
     /// The race check found a potential data race (parallelization refused).
-    DataRace(String),
+    DataRace(Box<RaceWitness>),
 }
 
 impl std::fmt::Display for TransformError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TransformError::InvalidProgram(msg) => write!(f, "invalid Retreet program: {msg}"),
-            TransformError::NotEquivalent(msg) => {
-                write!(f, "the transformed program is not equivalent: {msg}")
-            }
-            TransformError::DataRace(msg) => write!(f, "the parallelization has a data race: {msg}"),
+            TransformError::Rejected(err) => write!(f, "verification rejected: {err}"),
+            TransformError::NotEquivalent(ce) => write!(
+                f,
+                "the transformed program is not equivalent: {:?}",
+                ce.disagreement
+            ),
+            TransformError::DataRace(witness) => write!(
+                f,
+                "the parallelization has a data race: {} and {} conflict on {}.{}",
+                witness.first, witness.second, witness.node, witness.field
+            ),
         }
     }
 }
 
-impl std::error::Error for TransformError {}
+impl std::error::Error for TransformError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransformError::Rejected(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<VerifyError> for TransformError {
+    fn from(err: VerifyError) -> Self {
+        TransformError::Rejected(err)
+    }
+}
 
 /// A certificate that a fused schedule may replace the original sequence of
 /// traversals.
 #[derive(Debug, Clone)]
 pub struct VerifiedFusion {
     trees_checked: usize,
+    engine: Engine,
 }
 
 impl VerifiedFusion {
-    /// Checks (with `retreet-analysis`) that `fused` is equivalent to
-    /// `original` and returns the capability on success.
+    /// Checks through `verifier` that `fused` is equivalent to `original`
+    /// and returns the capability on success.  Repeated calls with the same
+    /// programs are answered from the verifier's verdict cache.
+    pub fn verify_with(
+        verifier: &Verifier,
+        original: &Program,
+        fused: &Program,
+    ) -> Result<Self, TransformError> {
+        let verdict = verifier.verify(Query::Equivalence(original, fused))?;
+        Self::from_verdict(verdict)
+    }
+
+    /// Deprecated shim over [`Self::verify_with`]: builds a throwaway
+    /// single-query [`Verifier`] from the option struct.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a shared retreet_verify::Verifier and use VerifiedFusion::verify_with"
+    )]
     pub fn verify(
         original: &Program,
         fused: &Program,
         options: &EquivOptions,
     ) -> Result<Self, TransformError> {
-        for (name, program) in [("original", original), ("fused", fused)] {
-            let errors = validate(program);
-            if !errors.is_empty() {
-                return Err(TransformError::InvalidProgram(format!(
-                    "{name}: {}",
-                    errors[0]
-                )));
-            }
-        }
-        match check_equivalence(original, fused, options) {
-            EquivVerdict::Equivalent { trees_checked } => Ok(VerifiedFusion { trees_checked }),
-            EquivVerdict::CounterExample(ce) => {
-                Err(TransformError::NotEquivalent(format!("{:?}", ce.disagreement)))
-            }
+        let verifier = Verifier::builder()
+            .equiv_nodes(options.max_nodes)
+            .valuations(options.valuations)
+            .check_dependence_order(options.check_dependence_order)
+            .cache_capacity(0)
+            .build();
+        Self::verify_with(&verifier, original, fused)
+    }
+
+    fn from_verdict(verdict: Verdict) -> Result<Self, TransformError> {
+        match verdict.outcome {
+            Outcome::Equivalent { trees_checked } => Ok(VerifiedFusion {
+                trees_checked,
+                engine: verdict.engine,
+            }),
+            Outcome::NotEquivalent(ce) => Err(TransformError::NotEquivalent(ce)),
+            other => Err(TransformError::Rejected(VerifyError::NoApplicableEngine {
+                query: retreet_verify::QueryKind::Equivalence,
+                skipped: vec![retreet_verify::EngineSkip {
+                    engine: verdict.engine,
+                    reason: format!("unexpected outcome {other:?} for an equivalence query"),
+                }],
+            })),
         }
     }
 
@@ -80,8 +133,13 @@ impl VerifiedFusion {
         self.trees_checked
     }
 
+    /// Which portfolio engine certified the fusion.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
     /// Runs the fused pair of visitors in a single post-order traversal —
-    /// only reachable through a successful [`VerifiedFusion::verify`].
+    /// only reachable through a successful verification.
     pub fn run_fused2<T>(
         &self,
         tree: &mut TreeNode<T>,
@@ -110,28 +168,52 @@ impl VerifiedFusion {
 pub struct VerifiedParallelization {
     trees_checked: usize,
     configurations: usize,
+    engine: Engine,
 }
 
 impl VerifiedParallelization {
-    /// Checks data-race-freedom of `program` (which should contain the
-    /// parallel composition in `Main`) and returns the capability on success.
+    /// Checks through `verifier` that `program` (which should contain the
+    /// parallel composition in `Main`) is data-race-free and returns the
+    /// capability on success.
+    pub fn verify_with(verifier: &Verifier, program: &Program) -> Result<Self, TransformError> {
+        let verdict = verifier.verify(Query::DataRace(program))?;
+        Self::from_verdict(verdict)
+    }
+
+    /// Deprecated shim over [`Self::verify_with`]: builds a throwaway
+    /// single-query [`Verifier`] from the option struct.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a shared retreet_verify::Verifier and use VerifiedParallelization::verify_with"
+    )]
     pub fn verify(program: &Program, options: &RaceOptions) -> Result<Self, TransformError> {
-        let errors = validate(program);
-        if !errors.is_empty() {
-            return Err(TransformError::InvalidProgram(errors[0].to_string()));
-        }
-        match check_data_race(program, options) {
-            RaceVerdict::RaceFree {
+        let verifier = Verifier::builder()
+            .race_nodes(options.max_nodes)
+            .valuations(options.valuations)
+            .enumeration(options.enumeration.clone())
+            .cache_capacity(0)
+            .build();
+        Self::verify_with(&verifier, program)
+    }
+
+    fn from_verdict(verdict: Verdict) -> Result<Self, TransformError> {
+        match verdict.outcome {
+            Outcome::RaceFree {
                 trees_checked,
                 configurations,
             } => Ok(VerifiedParallelization {
                 trees_checked,
                 configurations,
+                engine: verdict.engine,
             }),
-            RaceVerdict::Race(witness) => Err(TransformError::DataRace(format!(
-                "{} and {} conflict on {}.{}",
-                witness.first, witness.second, witness.node, witness.field
-            ))),
+            Outcome::Race(witness) => Err(TransformError::DataRace(witness)),
+            other => Err(TransformError::Rejected(VerifyError::NoApplicableEngine {
+                query: retreet_verify::QueryKind::DataRace,
+                skipped: vec![retreet_verify::EngineSkip {
+                    engine: verdict.engine,
+                    reason: format!("unexpected outcome {other:?} for a race query"),
+                }],
+            })),
         }
     }
 
@@ -145,12 +227,17 @@ impl VerifiedParallelization {
         self.configurations
     }
 
+    /// Which portfolio engine certified the parallelization.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
     /// Runs a visitor over the tree with the rayon-parallel post-order
     /// schedule — only reachable after a successful race check.
     pub fn run_parallel<T: Send>(
         &self,
         tree: &mut TreeNode<T>,
-        visitor: &(impl NodeVisitor<T> + Sync),
+        visitor: &impl NodeVisitor<T>,
         seq_threshold: usize,
     ) {
         visit::par_postorder_mut(tree, visitor, seq_threshold);
@@ -163,31 +250,25 @@ mod tests {
     use crate::tree::complete_tree;
     use retreet_lang::corpus;
 
-    fn equiv_options() -> EquivOptions {
-        EquivOptions {
-            max_nodes: 4,
-            valuations: 2,
-            check_dependence_order: true,
-        }
-    }
-
-    fn race_options() -> RaceOptions {
-        RaceOptions {
-            max_nodes: 3,
-            valuations: 1,
-            ..RaceOptions::default()
-        }
+    fn verifier() -> Verifier {
+        Verifier::builder()
+            .equiv_nodes(4)
+            .race_nodes(3)
+            .valuations(2)
+            .build()
     }
 
     #[test]
     fn valid_fusion_grants_a_capability() {
-        let fusion = VerifiedFusion::verify(
+        let verifier = verifier();
+        let fusion = VerifiedFusion::verify_with(
+            &verifier,
             &corpus::size_counting_sequential(),
             &corpus::size_counting_fused(),
-            &equiv_options(),
         )
         .expect("the Fig. 6a fusion is valid");
         assert!(fusion.trees_checked() > 0);
+        assert_eq!(fusion.engine(), Engine::Trace);
 
         // Use the capability to actually fuse two runtime passes.
         #[derive(Clone, Default, PartialEq, Debug)]
@@ -198,25 +279,30 @@ mod tests {
         }
         let pass_a = |p: &mut P, _: Option<&P>, _: Option<&P>| p.a = p.v + 1;
         let pass_b = |p: &mut P, _: Option<&P>, _: Option<&P>| p.b = p.a * 2;
-        let mut tree = complete_tree(4, &|i| P { v: i as i64, a: 0, b: 0 });
+        let mut tree = complete_tree(4, &|i| P {
+            v: i as i64,
+            a: 0,
+            b: 0,
+        });
         fusion.run_fused2(&mut tree, &pass_a, &pass_b);
         assert!(tree.preorder().iter().all(|p| p.b == (p.v + 1) * 2));
     }
 
     #[test]
     fn invalid_fusion_is_refused() {
-        let result = VerifiedFusion::verify(
+        let result = VerifiedFusion::verify_with(
+            &verifier(),
             &corpus::size_counting_sequential(),
             &corpus::size_counting_fused_invalid(),
-            &equiv_options(),
         );
         assert!(matches!(result, Err(TransformError::NotEquivalent(_))));
     }
 
     #[test]
     fn race_free_parallelization_grants_a_capability() {
+        let verifier = verifier();
         let capability =
-            VerifiedParallelization::verify(&corpus::size_counting_parallel(), &race_options())
+            VerifiedParallelization::verify_with(&verifier, &corpus::size_counting_parallel())
                 .expect("Odd ‖ Even is race-free");
         assert!(capability.configurations() > 0);
 
@@ -227,25 +313,51 @@ mod tests {
     }
 
     #[test]
-    fn racy_parallelization_is_refused() {
+    fn racy_parallelization_is_refused_with_a_witness() {
         let result =
-            VerifiedParallelization::verify(&corpus::cycletree_parallel(), &race_options());
+            VerifiedParallelization::verify_with(&verifier(), &corpus::cycletree_parallel());
         match result {
-            Err(TransformError::DataRace(message)) => assert!(message.contains("num")),
+            Err(TransformError::DataRace(witness)) => assert_eq!(witness.field, "num"),
             other => panic!("expected a data-race refusal, got {other:?}"),
         }
     }
 
     #[test]
     fn invalid_programs_are_rejected_up_front() {
+        let verifier = verifier();
         let no_main = retreet_lang::parse_program("fn F(n) { return 0; }").unwrap();
         assert!(matches!(
-            VerifiedParallelization::verify(&no_main, &race_options()),
-            Err(TransformError::InvalidProgram(_))
+            VerifiedParallelization::verify_with(&verifier, &no_main),
+            Err(TransformError::Rejected(VerifyError::InvalidProgram { .. }))
         ));
         assert!(matches!(
-            VerifiedFusion::verify(&no_main, &no_main, &equiv_options()),
-            Err(TransformError::InvalidProgram(_))
+            VerifiedFusion::verify_with(&verifier, &no_main, &no_main),
+            Err(TransformError::Rejected(VerifyError::InvalidProgram { .. }))
         ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_option_struct_shims_still_work() {
+        let fusion = VerifiedFusion::verify(
+            &corpus::size_counting_sequential(),
+            &corpus::size_counting_fused(),
+            &EquivOptions::builder().max_nodes(4).valuations(2).build(),
+        );
+        assert!(fusion.is_ok());
+        let parallelization = VerifiedParallelization::verify(
+            &corpus::size_counting_parallel(),
+            &RaceOptions::builder().max_nodes(3).valuations(1).build(),
+        );
+        assert!(parallelization.is_ok());
+    }
+
+    #[test]
+    fn capability_reuses_the_verifier_cache() {
+        let verifier = verifier();
+        let program = corpus::size_counting_parallel();
+        VerifiedParallelization::verify_with(&verifier, &program).unwrap();
+        VerifiedParallelization::verify_with(&verifier, &program).unwrap();
+        assert_eq!(verifier.cache_stats().hits, 1);
     }
 }

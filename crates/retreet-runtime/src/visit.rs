@@ -123,7 +123,7 @@ pub fn fuse3<'a, T>(
 /// the sequential schedule to amortize task overhead.
 pub fn par_postorder_mut<T: Send>(
     node: &mut TreeNode<T>,
-    visitor: &(impl NodeVisitor<T> + Sync),
+    visitor: &impl NodeVisitor<T>,
     seq_threshold: usize,
 ) {
     if node.len() <= seq_threshold {
@@ -151,7 +151,7 @@ pub fn par_postorder_mut<T: Send>(
 /// Parallel pre-order traversal (node first, subtrees in parallel).
 pub fn par_preorder_mut<T: Send>(
     node: &mut TreeNode<T>,
-    visitor: &(impl NodeVisitor<T> + Sync),
+    visitor: &impl NodeVisitor<T>,
     seq_threshold: usize,
 ) {
     if node.len() <= seq_threshold {
@@ -241,7 +241,10 @@ mod tests {
 
     #[test]
     fn postorder_computes_subtree_sums() {
-        let mut tree = complete_tree(3, &|i| Payload { v: i as i64, sum: 0 });
+        let mut tree = complete_tree(3, &|i| Payload {
+            v: i as i64,
+            sum: 0,
+        });
         postorder_mut(&mut tree, &sum_visitor());
         // Sum over all nodes 0..7 = 21.
         assert_eq!(tree.value.sum, 21);
@@ -249,7 +252,10 @@ mod tests {
 
     #[test]
     fn parallel_postorder_matches_sequential() {
-        let mut seq = complete_tree(10, &|i| Payload { v: i as i64, sum: 0 });
+        let mut seq = complete_tree(10, &|i| Payload {
+            v: i as i64,
+            sum: 0,
+        });
         let mut par = seq.clone();
         postorder_mut(&mut seq, &sum_visitor());
         par_postorder_mut(&mut par, &sum_visitor(), 8);
@@ -261,7 +267,10 @@ mod tests {
         let inc = |value: &mut Payload, _: Option<&Payload>, _: Option<&Payload>| {
             value.v += 1;
         };
-        let mut seq = complete_tree(9, &|i| Payload { v: i as i64, sum: 0 });
+        let mut seq = complete_tree(9, &|i| Payload {
+            v: i as i64,
+            sum: 0,
+        });
         let mut par = seq.clone();
         preorder_mut(&mut seq, &inc);
         par_preorder_mut(&mut par, &inc, 4);
@@ -276,7 +285,10 @@ mod tests {
         let shift = |value: &mut Payload, _: Option<&Payload>, _: Option<&Payload>| {
             value.v += 3;
         };
-        let mut unfused = complete_tree(6, &|i| Payload { v: i as i64, sum: 0 });
+        let mut unfused = complete_tree(6, &|i| Payload {
+            v: i as i64,
+            sum: 0,
+        });
         let mut fused = unfused.clone();
         run_passes(&mut unfused, &[&scale, &shift]);
         let combined = fuse2(&scale, &shift);

@@ -1,0 +1,183 @@
+//! The verdict cache: program-hash-keyed memoization of verdicts.
+//!
+//! In the ROADMAP's serving scenario the same legality questions are asked
+//! over and over (every user fusing the same two library traversals asks
+//! the same `Conflict⟦P, P′⟧` query).  Queries are keyed by the canonical
+//! text of their subjects plus the option fingerprint, so a repeated query
+//! is O(key construction) instead of O(model enumeration) — and the cached
+//! verdict carries the *same witness* the original run produced.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::verdict::Verdict;
+
+/// Cache hit/miss counters (monotonic over the verifier's lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to run the portfolio.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+/// A bounded FIFO-evicting verdict store, safe to share across threads.
+pub(crate) struct VerdictCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+struct CacheState {
+    map: HashMap<String, Verdict>,
+    insertion_order: VecDeque<String>,
+}
+
+impl VerdictCache {
+    /// Creates a cache holding at most `capacity` verdicts (0 disables
+    /// caching entirely).
+    pub(crate) fn new(capacity: usize) -> Self {
+        VerdictCache {
+            capacity,
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                insertion_order: VecDeque::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// True when the cache can store anything at all; a disabled cache lets
+    /// the verifier skip key construction entirely.
+    pub(crate) fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Looks up a verdict; counts a hit or miss.  The returned clone is
+    /// marked `cached` but keeps the original engine, soundness, witness and
+    /// timing.
+    pub(crate) fn get(&self, key: &str) -> Option<Verdict> {
+        let state = self.state.lock().expect("verdict cache poisoned");
+        match state.map.get(key) {
+            Some(verdict) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let mut verdict = verdict.clone();
+                verdict.cached = true;
+                Some(verdict)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a verdict, evicting the oldest entry when full.
+    pub(crate) fn insert(&self, key: String, verdict: Verdict) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut state = self.state.lock().expect("verdict cache poisoned");
+        if !state.map.contains_key(&key) {
+            if state.map.len() >= self.capacity {
+                if let Some(oldest) = state.insertion_order.pop_front() {
+                    state.map.remove(&oldest);
+                }
+            }
+            state.insertion_order.push_back(key.clone());
+        }
+        state.map.insert(key, verdict);
+    }
+
+    /// Current hit/miss/entry counters.
+    pub(crate) fn stats(&self) -> CacheStats {
+        let entries = self.state.lock().expect("verdict cache poisoned").map.len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    /// Drops every stored verdict (counters are preserved).
+    pub(crate) fn clear(&self) {
+        let mut state = self.state.lock().expect("verdict cache poisoned");
+        state.map.clear();
+        state.insertion_order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::verdict::{Outcome, Soundness};
+    use std::time::Duration;
+
+    fn verdict(n: usize) -> Verdict {
+        Verdict {
+            outcome: Outcome::Valid { trees_checked: n },
+            engine: Engine::Automata,
+            soundness: Soundness::Unbounded,
+            elapsed: Duration::from_millis(1),
+            cached: false,
+        }
+    }
+
+    #[test]
+    fn hit_returns_clone_marked_cached() {
+        let cache = VerdictCache::new(8);
+        cache.insert("k".into(), verdict(7));
+        let got = cache.get("k").expect("hit");
+        assert!(got.cached);
+        assert_eq!(got.trees_checked(), 7);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 0, 1));
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_capacity_bounded() {
+        let cache = VerdictCache::new(2);
+        cache.insert("a".into(), verdict(1));
+        cache.insert("b".into(), verdict(2));
+        cache.insert("c".into(), verdict(3));
+        assert!(cache.get("a").is_none(), "oldest entry evicted");
+        assert!(cache.get("b").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache = VerdictCache::new(0);
+        cache.insert("k".into(), verdict(1));
+        assert!(cache.get("k").is_none());
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_updates_in_place() {
+        let cache = VerdictCache::new(2);
+        cache.insert("a".into(), verdict(1));
+        cache.insert("a".into(), verdict(9));
+        assert_eq!(cache.get("a").unwrap().trees_checked(), 9);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let cache = VerdictCache::new(2);
+        cache.insert("a".into(), verdict(1));
+        let _ = cache.get("a");
+        cache.clear();
+        assert!(cache.get("a").is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! The engine portfolio: which decision procedures can answer which query
+//! kinds, and the adapter that runs one engine on one query.
+//!
+//! The paper answers every query through one MONA pipeline; the
+//! reproduction has three complementary procedures instead, and this module
+//! is where they are normalized into interchangeable portfolio members:
+//!
+//! * [`Engine::Configuration`] — the §3 stack-configuration abstraction
+//!   (race queries),
+//! * [`Engine::Trace`] — the reference interpreter (race queries
+//!   dynamically; equivalence queries differentially, including the
+//!   Theorem 3 dependence-order condition),
+//! * [`Engine::Automata`] — the Thatcher–Wright compilation to tree
+//!   automata, *unbounded* on the MSO fragment it covers (validity queries),
+//! * [`Engine::BoundedEnumeration`] — exhaustive model enumeration up to a
+//!   node bound (validity queries).
+
+use std::fmt;
+use std::time::Instant;
+
+use retreet_analysis::equiv::{check_equivalence, EquivOptions, EquivVerdict};
+use retreet_analysis::race::{check_data_race, check_data_race_dynamic, RaceOptions, RaceVerdict};
+use retreet_mso::bounded::{check_validity, BoundedVerdict};
+use retreet_mso::compile;
+
+use crate::error::EngineSkip;
+use crate::query::{Query, QueryKind};
+use crate::verdict::{Outcome, Soundness};
+
+/// One member of the verification portfolio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// The configuration-enumeration engine of §3 (race queries).
+    Configuration,
+    /// The trace (reference-interpreter) engine (race and equivalence
+    /// queries).
+    Trace,
+    /// The unbounded tree-automata engine (validity queries on the core
+    /// fragment) — the reproduction's stand-in for MONA.
+    Automata,
+    /// Bounded validity by exhaustive model enumeration.
+    BoundedEnumeration,
+}
+
+impl Engine {
+    /// Every engine, in the façade's preferred dispatch order (most
+    /// authoritative first).
+    pub const ALL: [Engine; 4] = [
+        Engine::Automata,
+        Engine::Configuration,
+        Engine::Trace,
+        Engine::BoundedEnumeration,
+    ];
+
+    /// The engine's stable lower-case name (also its `Display` rendering).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Engine::Configuration => "configuration",
+            Engine::Trace => "trace",
+            Engine::Automata => "automata",
+            Engine::BoundedEnumeration => "bounded-enumeration",
+        }
+    }
+
+    /// Whether this engine can answer queries of the given kind at all.
+    pub fn supports(self, kind: QueryKind) -> bool {
+        matches!(
+            (self, kind),
+            (Engine::Configuration, QueryKind::DataRace)
+                | (Engine::Trace, QueryKind::DataRace | QueryKind::Equivalence)
+                | (
+                    Engine::Automata | Engine::BoundedEnumeration,
+                    QueryKind::Validity
+                )
+        )
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The resolved option set an engine run receives (built by
+/// [`crate::VerifierBuilder`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Largest tree (in nodes) for race queries.
+    pub race_nodes: usize,
+    /// Largest tree (in nodes) for equivalence queries.
+    pub equiv_nodes: usize,
+    /// Largest tree (in nodes) for bounded validity queries.
+    pub validity_nodes: usize,
+    /// Deterministic field valuations per tree shape.
+    pub valuations: usize,
+    /// Enforce the Theorem 3 dependence-order condition in equivalence
+    /// queries.
+    pub check_dependence_order: bool,
+    /// Configuration-enumeration limits (depth / configuration caps).
+    pub enumeration: retreet_analysis::configs::EnumOptions,
+}
+
+impl EngineConfig {
+    /// The race-engine options this configuration induces.
+    pub fn race_options(&self) -> RaceOptions {
+        RaceOptions::builder()
+            .max_nodes(self.race_nodes)
+            .valuations(self.valuations)
+            .enumeration(self.enumeration.clone())
+            .build()
+    }
+
+    /// The equivalence-engine options this configuration induces.
+    pub fn equiv_options(&self) -> EquivOptions {
+        EquivOptions::builder()
+            .max_nodes(self.equiv_nodes)
+            .valuations(self.valuations)
+            .check_dependence_order(self.check_dependence_order)
+            .build()
+    }
+
+    /// A short stable fingerprint of every option that can change a
+    /// verdict; part of the verdict-cache key.
+    pub(crate) fn fingerprint(&self) -> String {
+        format!(
+            "r{}e{}v{}f{}d{}cap{}/{}",
+            self.race_nodes,
+            self.equiv_nodes,
+            self.validity_nodes,
+            self.valuations,
+            u8::from(self.check_dependence_order),
+            self.enumeration.max_depth,
+            self.enumeration.max_configurations,
+        )
+    }
+}
+
+/// What one engine produced for one query.
+pub(crate) type EngineAnswer = Result<(Outcome, Soundness), EngineSkip>;
+
+/// Runs `engine` on `query` under `config`, returning the outcome with its
+/// soundness caveat, or a skip report when the engine does not apply.
+/// Also reports the engine's own wall-clock time.
+pub(crate) fn run_engine(
+    engine: Engine,
+    query: &Query<'_>,
+    config: &EngineConfig,
+) -> (EngineAnswer, std::time::Duration) {
+    let start = Instant::now();
+    let answer = run_engine_inner(engine, query, config);
+    (answer, start.elapsed())
+}
+
+fn skip(engine: Engine, reason: impl Into<String>) -> EngineAnswer {
+    Err(EngineSkip {
+        engine,
+        reason: reason.into(),
+    })
+}
+
+fn run_engine_inner(engine: Engine, query: &Query<'_>, config: &EngineConfig) -> EngineAnswer {
+    if !engine.supports(query.kind()) {
+        return skip(engine, format!("does not answer {} queries", query.kind()));
+    }
+    match (engine, query) {
+        (Engine::Configuration, Query::DataRace(program)) => {
+            let verdict = check_data_race(program, &config.race_options());
+            Ok(race_outcome(verdict, config.race_nodes))
+        }
+        (Engine::Trace, Query::DataRace(program)) => {
+            let verdict = check_data_race_dynamic(program, &config.race_options());
+            Ok(race_outcome(verdict, config.race_nodes))
+        }
+        (Engine::Trace, Query::Equivalence(original, transformed)) => {
+            let verdict = check_equivalence(original, transformed, &config.equiv_options());
+            Ok(match verdict {
+                EquivVerdict::Equivalent { trees_checked } => (
+                    Outcome::Equivalent { trees_checked },
+                    Soundness::BoundedUpTo {
+                        max_nodes: config.equiv_nodes,
+                    },
+                ),
+                EquivVerdict::CounterExample(ce) => {
+                    (Outcome::NotEquivalent(ce), Soundness::Unbounded)
+                }
+            })
+        }
+        (Engine::Automata, Query::Validity(formula)) => match compile::is_valid(formula) {
+            Ok(true) => Ok((Outcome::Valid { trees_checked: 0 }, Soundness::Unbounded)),
+            Ok(false) => Ok((Outcome::Invalid(None), Soundness::Unbounded)),
+            // Outside the compiler's fragment (too many variables, duplicate
+            // binders): let the bounded engine answer instead.
+            Err(err) => skip(engine, err.to_string()),
+        },
+        (Engine::BoundedEnumeration, Query::Validity(formula)) => {
+            if !formula.free_fo_vars().is_empty() || !formula.free_so_vars().is_empty() {
+                return skip(engine, "bounded validity requires a closed formula");
+            }
+            Ok(match check_validity(formula, config.validity_nodes) {
+                BoundedVerdict::ValidUpTo {
+                    max_nodes,
+                    trees_checked,
+                } => (
+                    Outcome::Valid { trees_checked },
+                    Soundness::BoundedUpTo { max_nodes },
+                ),
+                BoundedVerdict::CounterExample(tree) => {
+                    (Outcome::Invalid(Some(Box::new(tree))), Soundness::Unbounded)
+                }
+            })
+        }
+        _ => skip(engine, "engine/query pairing not implemented"),
+    }
+}
+
+/// Negative race/equivalence verdicts carry a concrete witness and are
+/// therefore sound unconditionally; positive ones are bounded.
+fn race_outcome(verdict: RaceVerdict, max_nodes: usize) -> (Outcome, Soundness) {
+    match verdict {
+        RaceVerdict::RaceFree {
+            trees_checked,
+            configurations,
+        } => (
+            Outcome::RaceFree {
+                trees_checked,
+                configurations,
+            },
+            Soundness::BoundedUpTo { max_nodes },
+        ),
+        RaceVerdict::Race(witness) => (Outcome::Race(Box::new(witness)), Soundness::Unbounded),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applicability_table_is_exact() {
+        use QueryKind::*;
+        assert!(Engine::Configuration.supports(DataRace));
+        assert!(!Engine::Configuration.supports(Equivalence));
+        assert!(!Engine::Configuration.supports(Validity));
+        assert!(Engine::Trace.supports(DataRace));
+        assert!(Engine::Trace.supports(Equivalence));
+        assert!(!Engine::Trace.supports(Validity));
+        assert!(Engine::Automata.supports(Validity));
+        assert!(!Engine::Automata.supports(DataRace));
+        assert!(Engine::BoundedEnumeration.supports(Validity));
+        assert!(!Engine::BoundedEnumeration.supports(Equivalence));
+    }
+}

@@ -1,0 +1,664 @@
+//! # retreet-verify — the unified verification façade
+//!
+//! The paper answers three kinds of dependence queries — data race
+//! (Theorem 2), transformation conflict/equivalence (Theorem 3), and the
+//! MSO validity questions both reduce to — through one MONA-backed
+//! pipeline.  Earlier revisions of this reproduction exposed them as three
+//! disconnected per-crate entry points, each with its own options struct and
+//! verdict shape.  This crate is the single coherent entry point that
+//! replaces them:
+//!
+//! * [`Verifier`] — built once via [`Verifier::builder`], holds the analysis
+//!   budget, the engine portfolio and the verdict cache;
+//! * [`Query`] — the typed query surface: [`Query::DataRace`],
+//!   [`Query::Equivalence`], [`Query::Validity`];
+//! * [`Verdict`] — the unified answer: a structured [`Outcome`] (with the
+//!   concrete [`retreet_analysis::race::RaceWitness`] /
+//!   [`retreet_analysis::equiv::EquivCounterExample`] / falsifying-tree
+//!   witnesses), engine provenance, a [`Soundness`] caveat for bounded-only
+//!   answers, and timing;
+//! * [`VerifyError`] — the typed error hierarchy replacing the ad-hoc
+//!   `String` errors of the old entry points.
+//!
+//! # The portfolio
+//!
+//! Each query kind is answered by every applicable engine in the portfolio
+//! (see [`Engine`]): configurations and traces for races, traces for
+//! equivalence, tree automata (unbounded, where the fragment allows) and
+//! bounded enumeration for validity.  With [`VerifierBuilder::parallel`]
+//! enabled, the applicable engines race each other on worker threads and
+//! the first definitive verdict wins — the portfolio style of TreeFuser's
+//! sound fusion checking, and the reproduction's answer to the paper's
+//! MONA-vs-bounded substitution argument.
+//!
+//! # Example
+//!
+//! ```
+//! use retreet_verify::{Query, Verifier};
+//! use retreet_lang::corpus;
+//!
+//! let verifier = Verifier::builder().max_nodes(3).valuations(1).build();
+//!
+//! // Theorem 2: Odd(n) ‖ Even(n) is data-race-free.
+//! let verdict = verifier
+//!     .verify(Query::DataRace(&corpus::size_counting_parallel()))
+//!     .unwrap();
+//! assert!(verdict.is_race_free());
+//!
+//! // Theorem 3: the Fig. 6a fusion is correct.
+//! let verdict = verifier
+//!     .verify(Query::Equivalence(
+//!         &corpus::size_counting_sequential(),
+//!         &corpus::size_counting_fused(),
+//!     ))
+//!     .unwrap();
+//! assert!(verdict.is_equivalent());
+//!
+//! // Repeated queries are served from the verdict cache.
+//! let again = verifier
+//!     .verify(Query::DataRace(&corpus::size_counting_parallel()))
+//!     .unwrap();
+//! assert!(again.cached);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod engine;
+mod error;
+mod query;
+mod verdict;
+
+pub use cache::CacheStats;
+pub use engine::{Engine, EngineConfig};
+pub use error::{EngineSkip, ProgramRole, VerifyError};
+pub use query::{Query, QueryKind};
+pub use verdict::{Outcome, Soundness, Verdict};
+
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use retreet_analysis::configs::EnumOptions;
+use retreet_lang::ast::Program;
+use retreet_lang::validate::validate;
+use retreet_mso::formula::Formula;
+
+use cache::VerdictCache;
+use engine::run_engine;
+
+/// Builder for [`Verifier`]; obtain one with [`Verifier::builder`].
+///
+/// ```
+/// use retreet_verify::{Engine, Verifier};
+///
+/// let verifier = Verifier::builder()
+///     .max_nodes(4)
+///     .valuations(2)
+///     .engines([Engine::Configuration, Engine::Trace])
+///     .parallel(true)
+///     .cache_capacity(1024)
+///     .build();
+/// assert_eq!(verifier.engines().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VerifierBuilder {
+    config: EngineConfig,
+    engines: Vec<Engine>,
+    parallel: bool,
+    cache_capacity: usize,
+}
+
+impl Default for VerifierBuilder {
+    fn default() -> Self {
+        VerifierBuilder {
+            config: EngineConfig {
+                race_nodes: 4,
+                equiv_nodes: 5,
+                validity_nodes: 5,
+                valuations: 2,
+                check_dependence_order: true,
+                enumeration: EnumOptions::default(),
+            },
+            engines: Engine::ALL.to_vec(),
+            parallel: false,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+impl VerifierBuilder {
+    /// Sets one tree-size bound for *all* query kinds (race, equivalence
+    /// and bounded validity).  Use [`Self::race_nodes`] /
+    /// [`Self::equiv_nodes`] / [`Self::validity_nodes`] for per-kind bounds.
+    pub fn max_nodes(mut self, nodes: usize) -> Self {
+        self.config.race_nodes = nodes;
+        self.config.equiv_nodes = nodes;
+        self.config.validity_nodes = nodes;
+        self
+    }
+
+    /// Largest tree (in nodes) enumerated for data-race queries.
+    pub fn race_nodes(mut self, nodes: usize) -> Self {
+        self.config.race_nodes = nodes;
+        self
+    }
+
+    /// Largest tree (in nodes) enumerated for equivalence queries.
+    pub fn equiv_nodes(mut self, nodes: usize) -> Self {
+        self.config.equiv_nodes = nodes;
+        self
+    }
+
+    /// Largest tree (in nodes) enumerated for bounded validity queries.
+    pub fn validity_nodes(mut self, nodes: usize) -> Self {
+        self.config.validity_nodes = nodes;
+        self
+    }
+
+    /// Deterministic field valuations per tree shape.
+    pub fn valuations(mut self, valuations: usize) -> Self {
+        self.config.valuations = valuations;
+        self
+    }
+
+    /// Enforce the Theorem 3 dependence-order condition in equivalence
+    /// queries (on by default; disable to compare observable behaviour
+    /// only).
+    pub fn check_dependence_order(mut self, check: bool) -> Self {
+        self.config.check_dependence_order = check;
+        self
+    }
+
+    /// Configuration-enumeration limits (stack depth / configuration caps).
+    pub fn enumeration(mut self, options: EnumOptions) -> Self {
+        self.config.enumeration = options;
+        self
+    }
+
+    /// Restricts the portfolio to the given engines, in dispatch-preference
+    /// order.  Duplicates are dropped; an empty list restores the default
+    /// full portfolio.
+    pub fn engines(mut self, engines: impl IntoIterator<Item = Engine>) -> Self {
+        let mut chosen: Vec<Engine> = Vec::new();
+        for engine in engines {
+            if !chosen.contains(&engine) {
+                chosen.push(engine);
+            }
+        }
+        self.engines = if chosen.is_empty() {
+            Engine::ALL.to_vec()
+        } else {
+            chosen
+        };
+        self
+    }
+
+    /// Race the applicable engines on worker threads, first definitive
+    /// verdict wins (off by default: engines run in dispatch order).
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Maximum number of cached verdicts (0 disables the cache).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Finalizes the verifier.
+    pub fn build(self) -> Verifier {
+        Verifier {
+            cache: VerdictCache::new(self.cache_capacity),
+            config: self.config,
+            engines: self.engines,
+            parallel: self.parallel,
+        }
+    }
+}
+
+/// The unified verification façade: one `verify` call for all three query
+/// kinds, backed by an engine portfolio and a verdict cache.  See the crate
+/// docs for the full story.
+pub struct Verifier {
+    config: EngineConfig,
+    engines: Vec<Engine>,
+    parallel: bool,
+    cache: VerdictCache,
+}
+
+/// An owned copy of a query, so parallel engine workers can outlive the
+/// borrow the caller handed to [`Verifier::verify`].
+enum OwnedQuery {
+    DataRace(Program),
+    Equivalence(Program, Program),
+    Validity(Formula),
+}
+
+impl OwnedQuery {
+    fn from_query(query: &Query<'_>) -> Self {
+        match query {
+            Query::DataRace(p) => OwnedQuery::DataRace((*p).clone()),
+            Query::Equivalence(a, b) => OwnedQuery::Equivalence((*a).clone(), (*b).clone()),
+            Query::Validity(f) => OwnedQuery::Validity((*f).clone()),
+        }
+    }
+
+    fn as_query(&self) -> Query<'_> {
+        match self {
+            OwnedQuery::DataRace(p) => Query::DataRace(p),
+            OwnedQuery::Equivalence(a, b) => Query::Equivalence(a, b),
+            OwnedQuery::Validity(f) => Query::Validity(f),
+        }
+    }
+}
+
+impl Verifier {
+    /// Starts building a verifier.
+    pub fn builder() -> VerifierBuilder {
+        VerifierBuilder::default()
+    }
+
+    /// A verifier with the default budget, full portfolio and cache.
+    pub fn with_defaults() -> Self {
+        VerifierBuilder::default().build()
+    }
+
+    /// The engines in this verifier's portfolio, in dispatch order.
+    pub fn engines(&self) -> &[Engine] {
+        &self.engines
+    }
+
+    /// The resolved option set engine runs receive.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Hit/miss/entry counters of the verdict cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached verdict (counters are preserved).
+    pub fn clear_cache(&self) {
+        self.cache.clear()
+    }
+
+    /// Answers a query: validates its subjects, consults the verdict cache,
+    /// and otherwise dispatches to the portfolio.  This is *the* entry
+    /// point; [`Self::check_data_race`], [`Self::check_equivalence`] and
+    /// [`Self::check_validity`] are thin conveniences over it.
+    pub fn verify(&self, query: Query<'_>) -> Result<Verdict, VerifyError> {
+        self.validate_subjects(&query)?;
+        // Key construction pretty-prints the query subjects; skip it (and
+        // the cache mutex) entirely when the cache is disabled.
+        let key = self.cache.enabled().then(|| {
+            format!(
+                "{}\u{2}{}",
+                self.config.fingerprint(),
+                query.canonical_key()
+            )
+        });
+        if let Some(key) = &key {
+            if let Some(cached) = self.cache.get(key) {
+                return Ok(cached);
+            }
+        }
+        let applicable: Vec<Engine> = self
+            .engines
+            .iter()
+            .copied()
+            .filter(|engine| engine.supports(query.kind()))
+            .collect();
+        if applicable.is_empty() {
+            return Err(VerifyError::NoApplicableEngine {
+                query: query.kind(),
+                skipped: Vec::new(),
+            });
+        }
+        let verdict = if self.parallel && applicable.len() > 1 {
+            self.run_portfolio_parallel(&query, &applicable)?
+        } else {
+            self.run_portfolio_sequential(&query, &applicable)?
+        };
+        if let Some(key) = key {
+            self.cache.insert(key, verdict.clone());
+        }
+        Ok(verdict)
+    }
+
+    /// Convenience: `verify(Query::DataRace(program))`.
+    pub fn check_data_race(&self, program: &Program) -> Result<Verdict, VerifyError> {
+        self.verify(Query::DataRace(program))
+    }
+
+    /// Convenience: `verify(Query::Equivalence(original, transformed))`.
+    pub fn check_equivalence(
+        &self,
+        original: &Program,
+        transformed: &Program,
+    ) -> Result<Verdict, VerifyError> {
+        self.verify(Query::Equivalence(original, transformed))
+    }
+
+    /// Convenience: `verify(Query::Validity(formula))`.
+    pub fn check_validity(&self, formula: &Formula) -> Result<Verdict, VerifyError> {
+        self.verify(Query::Validity(formula))
+    }
+
+    /// Runs a *single named engine* on a query, bypassing cache and
+    /// portfolio — the hook differential tests and the agreement test suite
+    /// use to compare engines against each other.
+    pub fn verify_with_engine(
+        &self,
+        engine: Engine,
+        query: Query<'_>,
+    ) -> Result<Verdict, VerifyError> {
+        self.validate_subjects(&query)?;
+        let (answer, elapsed) = run_engine(engine, &query, &self.config);
+        match answer {
+            Ok((outcome, soundness)) => Ok(Verdict {
+                outcome,
+                engine,
+                soundness,
+                elapsed,
+                cached: false,
+            }),
+            Err(skip) => Err(VerifyError::NoApplicableEngine {
+                query: query.kind(),
+                skipped: vec![skip],
+            }),
+        }
+    }
+
+    fn validate_subjects(&self, query: &Query<'_>) -> Result<(), VerifyError> {
+        let check = |role: ProgramRole, program: &Program| -> Result<(), VerifyError> {
+            let errors = validate(program);
+            match errors.first() {
+                Some(first) => Err(VerifyError::InvalidProgram {
+                    role,
+                    message: first.to_string(),
+                }),
+                None => Ok(()),
+            }
+        };
+        match query {
+            Query::DataRace(program) => check(ProgramRole::Queried, program),
+            Query::Equivalence(original, transformed) => {
+                check(ProgramRole::Original, original)?;
+                check(ProgramRole::Transformed, transformed)
+            }
+            Query::Validity(_) => Ok(()),
+        }
+    }
+
+    /// Engines run one after the other in dispatch order; the first one
+    /// that produces an answer wins.
+    fn run_portfolio_sequential(
+        &self,
+        query: &Query<'_>,
+        engines: &[Engine],
+    ) -> Result<Verdict, VerifyError> {
+        let mut skipped = Vec::new();
+        for &engine in engines {
+            let (answer, elapsed) = run_engine(engine, query, &self.config);
+            match answer {
+                Ok((outcome, soundness)) => {
+                    return Ok(Verdict {
+                        outcome,
+                        engine,
+                        soundness,
+                        elapsed,
+                        cached: false,
+                    })
+                }
+                Err(skip) => skipped.push(skip),
+            }
+        }
+        Err(VerifyError::NoApplicableEngine {
+            query: query.kind(),
+            skipped,
+        })
+    }
+
+    /// Engines race on worker threads; the first *definitive* verdict wins.
+    /// An answer with [`Soundness::Unbounded`] (a concrete witness, or the
+    /// automata engine's unbounded yes/no) wins immediately.  A
+    /// bounded-positive answer only wins once no still-running engine could
+    /// strictly strengthen it to an unbounded one — otherwise a fast bounded
+    /// enumerator could pre-empt (and cache over) the automata engine's
+    /// definitive verdict.  Losing engines keep running detached until they
+    /// finish on their own (they cannot be cancelled), but the caller gets
+    /// the winner as soon as it is decidable.
+    fn run_portfolio_parallel(
+        &self,
+        query: &Query<'_>,
+        engines: &[Engine],
+    ) -> Result<Verdict, VerifyError> {
+        let owned = Arc::new(OwnedQuery::from_query(query));
+        let config = Arc::new(self.config.clone());
+        let (sender, receiver) = mpsc::channel();
+        for &engine in engines {
+            let owned = Arc::clone(&owned);
+            let config = Arc::clone(&config);
+            let sender = sender.clone();
+            rayon::spawn(move || {
+                let (answer, elapsed) = run_engine(engine, &owned.as_query(), &config);
+                // The receiver hangs up once a winner is picked; losing
+                // sends fail silently, which is exactly what we want.
+                let _ = sender.send((engine, answer, elapsed));
+            });
+        }
+        drop(sender);
+        let mut pending: Vec<Engine> = engines.to_vec();
+        let mut provisional: Option<Verdict> = None;
+        let mut skipped = Vec::new();
+        while let Ok((engine, answer, elapsed)) = receiver.recv() {
+            pending.retain(|&e| e != engine);
+            match answer {
+                Ok((outcome, soundness)) => {
+                    let verdict = Verdict {
+                        outcome,
+                        engine,
+                        soundness,
+                        elapsed,
+                        cached: false,
+                    };
+                    let could_be_strengthened =
+                        soundness != Soundness::Unbounded && pending.contains(&Engine::Automata);
+                    if !could_be_strengthened {
+                        return Ok(verdict);
+                    }
+                    provisional.get_or_insert(verdict);
+                }
+                Err(skip) => skipped.push(skip),
+            }
+        }
+        if let Some(verdict) = provisional {
+            return Ok(verdict);
+        }
+        if skipped.is_empty() {
+            Err(VerifyError::PortfolioFailed {
+                query: query.kind(),
+            })
+        } else {
+            Err(VerifyError::NoApplicableEngine {
+                query: query.kind(),
+                skipped,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retreet_lang::corpus;
+    use retreet_mso::formula::FoVar;
+
+    fn small_verifier() -> Verifier {
+        Verifier::builder().max_nodes(3).valuations(1).build()
+    }
+
+    #[test]
+    fn all_three_query_kinds_are_answered_with_provenance() {
+        let verifier = small_verifier();
+
+        let race = verifier
+            .verify(Query::DataRace(&corpus::size_counting_parallel()))
+            .unwrap();
+        assert!(race.is_race_free());
+        assert!(matches!(race.engine, Engine::Configuration | Engine::Trace));
+
+        let equiv = verifier
+            .verify(Query::Equivalence(
+                &corpus::size_counting_sequential(),
+                &corpus::size_counting_fused(),
+            ))
+            .unwrap();
+        assert!(equiv.is_equivalent());
+        assert_eq!(equiv.engine, Engine::Trace);
+
+        let formula = Formula::exists_fo("x", Formula::Root(FoVar::new("x")));
+        let valid = verifier.verify(Query::Validity(&formula)).unwrap();
+        assert!(valid.is_valid());
+        assert_eq!(valid.engine, Engine::Automata);
+        assert_eq!(valid.soundness, Soundness::Unbounded);
+    }
+
+    #[test]
+    fn negative_verdicts_carry_structured_witnesses() {
+        let verifier = small_verifier();
+
+        let race = verifier
+            .verify(Query::DataRace(&corpus::cycletree_parallel()))
+            .unwrap();
+        let witness = race.race_witness().expect("race witness");
+        assert_eq!(witness.field, "num");
+        assert_eq!(race.soundness, Soundness::Unbounded);
+
+        let equiv = verifier
+            .verify(Query::Equivalence(
+                &corpus::size_counting_sequential(),
+                &corpus::size_counting_fused_invalid(),
+            ))
+            .unwrap();
+        assert!(equiv.counterexample().is_some());
+    }
+
+    #[test]
+    fn cache_hit_returns_identical_witness() {
+        let verifier = small_verifier();
+        let program = corpus::cycletree_parallel();
+        let first = verifier.verify(Query::DataRace(&program)).unwrap();
+        assert!(!first.cached);
+        let second = verifier.verify(Query::DataRace(&program)).unwrap();
+        assert!(second.cached);
+        assert_eq!(
+            format!("{:?}", first.race_witness().unwrap()),
+            format!("{:?}", second.race_witness().unwrap()),
+        );
+        let stats = verifier.cache_stats();
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn parallel_portfolio_agrees_with_sequential() {
+        let sequential = Verifier::builder().max_nodes(3).valuations(1).build();
+        let parallel = Verifier::builder()
+            .max_nodes(3)
+            .valuations(1)
+            .parallel(true)
+            .build();
+        for (_, program) in corpus::all() {
+            let a = sequential.verify(Query::DataRace(&program));
+            let b = parallel.verify(Query::DataRace(&program));
+            match (a, b) {
+                (Ok(a), Ok(b)) => assert_eq!(a.is_race_free(), b.is_race_free()),
+                (a, b) => panic!("sequential {a:?} vs parallel {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_programs_are_rejected_with_typed_errors() {
+        let verifier = small_verifier();
+        let no_main = retreet_lang::parse_program("fn F(n) { return 0; }").unwrap();
+        match verifier.verify(Query::DataRace(&no_main)) {
+            Err(VerifyError::InvalidProgram { role, .. }) => {
+                assert_eq!(role, ProgramRole::Queried)
+            }
+            other => panic!("expected InvalidProgram, got {other:?}"),
+        }
+        match verifier.verify(Query::Equivalence(
+            &corpus::size_counting_sequential(),
+            &no_main,
+        )) {
+            Err(VerifyError::InvalidProgram { role, .. }) => {
+                assert_eq!(role, ProgramRole::Transformed)
+            }
+            other => panic!("expected InvalidProgram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restricted_portfolio_reports_no_applicable_engine() {
+        let verifier = Verifier::builder().engines([Engine::Automata]).build();
+        match verifier.verify(Query::DataRace(&corpus::size_counting_parallel())) {
+            Err(VerifyError::NoApplicableEngine { query, .. }) => {
+                assert_eq!(query, QueryKind::DataRace)
+            }
+            other => panic!("expected NoApplicableEngine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_portfolio_waits_for_the_unbounded_engine_on_validity() {
+        // "There do not exist three pairwise-distinct nodes" holds on every
+        // tree up to 2 nodes but fails on larger trees.  With a tiny bounded
+        // budget and the parallel portfolio, the fast bounded enumerator
+        // answers Valid first — but the automata engine's unbounded Invalid
+        // must win, not be pre-empted and cached over.
+        let three_nodes = Formula::exists_fo(
+            "x",
+            Formula::exists_fo(
+                "y",
+                Formula::exists_fo(
+                    "z",
+                    Formula::conj(vec![
+                        Formula::not(Formula::Eq(FoVar::new("x"), FoVar::new("y"))),
+                        Formula::not(Formula::Eq(FoVar::new("y"), FoVar::new("z"))),
+                        Formula::not(Formula::Eq(FoVar::new("x"), FoVar::new("z"))),
+                    ]),
+                ),
+            ),
+        );
+        let formula = Formula::not(three_nodes);
+        let verifier = Verifier::builder().validity_nodes(2).parallel(true).build();
+        let verdict = verifier.verify(Query::Validity(&formula)).unwrap();
+        assert!(
+            !verdict.is_valid(),
+            "bounded Valid must not pre-empt the automata Invalid"
+        );
+        assert_eq!(verdict.engine, Engine::Automata);
+        assert_eq!(verdict.soundness, Soundness::Unbounded);
+    }
+
+    #[test]
+    fn oversized_formula_falls_back_to_bounded_enumeration() {
+        // 20 nested SO quantifiers exceed the automata compiler's 16-bit
+        // alphabet; the portfolio answers with the bounded engine instead.
+        let mut formula = Formula::True;
+        for i in 0..20 {
+            formula = Formula::exists_so(format!("X{i}"), formula);
+        }
+        let verifier = Verifier::builder().validity_nodes(2).build();
+        let verdict = verifier.verify(Query::Validity(&formula)).unwrap();
+        assert_eq!(verdict.engine, Engine::BoundedEnumeration);
+        assert!(matches!(
+            verdict.soundness,
+            Soundness::BoundedUpTo { max_nodes: 2 }
+        ));
+    }
+}

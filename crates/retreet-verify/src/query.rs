@@ -1,0 +1,79 @@
+//! The typed query surface of the façade.
+//!
+//! The three dependence questions of the paper — data race (Theorem 2),
+//! transformation equivalence (Theorem 3) and MSO validity (the substrate
+//! both encode into) — were previously exposed as three disconnected entry
+//! points.  [`Query`] makes them one type, so a single [`crate::Verifier`]
+//! can dispatch, cache and report all of them uniformly.
+
+use std::fmt;
+
+use retreet_lang::ast::Program;
+use retreet_lang::pretty;
+use retreet_mso::formula::Formula;
+
+/// One verification question, borrowing its subject(s) from the caller.
+#[derive(Debug, Clone, Copy)]
+pub enum Query<'a> {
+    /// Is the (parallel composition in the) program data-race-free?
+    /// The paper's `DataRace⟦P⟧` query, Theorem 2.
+    DataRace(&'a Program),
+    /// Is the transformed program equivalent to the original?  The paper's
+    /// `Conflict⟦P, P′⟧` query, Theorem 3 (original first, transformed
+    /// second).
+    Equivalence(&'a Program, &'a Program),
+    /// Does the closed MSO formula hold on every finite binary tree?
+    Validity(&'a Formula),
+}
+
+/// The kind of a query, without its subjects (used in errors, stats and
+/// engine-applicability tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// A [`Query::DataRace`] query.
+    DataRace,
+    /// A [`Query::Equivalence`] query.
+    Equivalence,
+    /// A [`Query::Validity`] query.
+    Validity,
+}
+
+impl fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryKind::DataRace => write!(f, "data-race"),
+            QueryKind::Equivalence => write!(f, "equivalence"),
+            QueryKind::Validity => write!(f, "validity"),
+        }
+    }
+}
+
+impl Query<'_> {
+    /// The kind of this query.
+    pub fn kind(&self) -> QueryKind {
+        match self {
+            Query::DataRace(_) => QueryKind::DataRace,
+            Query::Equivalence(_, _) => QueryKind::Equivalence,
+            Query::Validity(_) => QueryKind::Validity,
+        }
+    }
+
+    /// A canonical textual key for this query, independent of how the
+    /// subject was constructed (parsed, built programmatically, cloned):
+    /// programs are keyed by their pretty-printed source, formulas by their
+    /// structural debug rendering.  Combined with the verifier's option
+    /// fingerprint this is the verdict-cache key.
+    pub(crate) fn canonical_key(&self) -> String {
+        match self {
+            Query::DataRace(program) => {
+                format!("race\u{1}{}", pretty::print_program(program))
+            }
+            Query::Equivalence(original, transformed) => format!(
+                "equiv\u{1}{}\u{1}{}",
+                pretty::print_program(original),
+                pretty::print_program(transformed)
+            ),
+            Query::Validity(formula) => format!("valid\u{1}{formula:?}"),
+        }
+    }
+}

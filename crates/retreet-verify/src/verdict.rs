@@ -1,0 +1,179 @@
+//! The unified verdict type: one structured answer shape for all three
+//! query kinds, carrying the witness, the engine that produced it, the
+//! soundness caveat and the wall-clock time.
+
+use std::fmt;
+use std::time::Duration;
+
+use retreet_analysis::equiv::EquivCounterExample;
+use retreet_analysis::race::RaceWitness;
+use retreet_mso::tree::LabeledTree;
+
+use crate::engine::Engine;
+
+/// How far a verdict's guarantee extends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Soundness {
+    /// The verdict holds on *every* finite binary tree (the tree-automata
+    /// engine's answers, playing MONA's role).
+    Unbounded,
+    /// The verdict was established by exhausting every model up to a node
+    /// bound — the reproduction's bounded substitute for MONA.  Negative
+    /// verdicts (a race, a counterexample) are definitive either way; only
+    /// positive verdicts carry this caveat.
+    BoundedUpTo {
+        /// The exhausted node bound.
+        max_nodes: usize,
+    },
+}
+
+impl fmt::Display for Soundness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Soundness::Unbounded => write!(f, "unbounded"),
+            Soundness::BoundedUpTo { max_nodes } => {
+                write!(f, "bounded (all models up to {max_nodes} nodes)")
+            }
+        }
+    }
+}
+
+/// The answer proper, with its structured witness.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// No data race on any enumerated model.
+    RaceFree {
+        /// Trees enumerated.
+        trees_checked: usize,
+        /// Configurations (or trace iterations) examined.
+        configurations: usize,
+    },
+    /// A data race, with its concrete witness.
+    Race(Box<RaceWitness>),
+    /// The two programs agree on every tested model.
+    Equivalent {
+        /// (tree, valuation) models tested.
+        trees_checked: usize,
+    },
+    /// The programs disagree on the attached counterexample.
+    NotEquivalent(Box<EquivCounterExample>),
+    /// The formula holds (see the verdict's [`Soundness`] for how far).
+    Valid {
+        /// Models checked (0 for the unbounded automata engine, whose
+        /// answer does not come from enumeration).
+        trees_checked: usize,
+    },
+    /// The formula fails; the bounded engine attaches the falsifying tree,
+    /// the automata engine reports failure without a model.
+    Invalid(Option<Box<LabeledTree>>),
+}
+
+impl Outcome {
+    /// True for the positive verdicts (`RaceFree`, `Equivalent`, `Valid`).
+    pub fn is_positive(&self) -> bool {
+        matches!(
+            self,
+            Outcome::RaceFree { .. } | Outcome::Equivalent { .. } | Outcome::Valid { .. }
+        )
+    }
+}
+
+/// A unified verdict: outcome, engine provenance, soundness and timing.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// The structured answer.
+    pub outcome: Outcome,
+    /// Which portfolio engine produced the answer.
+    pub engine: Engine,
+    /// How far the answer's guarantee extends.
+    pub soundness: Soundness,
+    /// Wall-clock time of the winning engine (preserved across cache hits).
+    pub elapsed: Duration,
+    /// True when this verdict was served from the verdict cache.
+    pub cached: bool,
+}
+
+impl Verdict {
+    /// True for the positive verdicts (`RaceFree`, `Equivalent`, `Valid`).
+    pub fn is_positive(&self) -> bool {
+        self.outcome.is_positive()
+    }
+
+    /// True when the outcome is `RaceFree`.
+    pub fn is_race_free(&self) -> bool {
+        matches!(self.outcome, Outcome::RaceFree { .. })
+    }
+
+    /// True when the outcome is `Equivalent`.
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self.outcome, Outcome::Equivalent { .. })
+    }
+
+    /// True when the outcome is `Valid`.
+    pub fn is_valid(&self) -> bool {
+        matches!(self.outcome, Outcome::Valid { .. })
+    }
+
+    /// The race witness, when the outcome is `Race`.
+    pub fn race_witness(&self) -> Option<&RaceWitness> {
+        match &self.outcome {
+            Outcome::Race(witness) => Some(witness),
+            _ => None,
+        }
+    }
+
+    /// The equivalence counterexample, when the outcome is `NotEquivalent`.
+    pub fn counterexample(&self) -> Option<&EquivCounterExample> {
+        match &self.outcome {
+            Outcome::NotEquivalent(ce) => Some(ce),
+            _ => None,
+        }
+    }
+
+    /// The falsifying tree, when the outcome is `Invalid` with a model.
+    pub fn invalidity_model(&self) -> Option<&LabeledTree> {
+        match &self.outcome {
+            Outcome::Invalid(Some(tree)) => Some(tree),
+            _ => None,
+        }
+    }
+
+    /// How many models the verdict rests on (0 for unbounded answers and
+    /// negative verdicts, which rest on a single witness).
+    pub fn trees_checked(&self) -> usize {
+        match &self.outcome {
+            Outcome::RaceFree { trees_checked, .. }
+            | Outcome::Equivalent { trees_checked }
+            | Outcome::Valid { trees_checked } => *trees_checked,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let answer = match &self.outcome {
+            Outcome::RaceFree {
+                trees_checked,
+                configurations,
+            } => format!("race-free ({trees_checked} trees, {configurations} configurations)"),
+            Outcome::Race(witness) => {
+                format!("RACE on {}.{}", witness.node, witness.field)
+            }
+            Outcome::Equivalent { trees_checked } => {
+                format!("equivalent ({trees_checked} models)")
+            }
+            Outcome::NotEquivalent(ce) => format!("NOT equivalent: {:?}", ce.disagreement),
+            Outcome::Valid { .. } => String::from("valid"),
+            Outcome::Invalid(_) => String::from("INVALID"),
+        };
+        write!(
+            f,
+            "{answer} [engine: {}, {}{}, {:?}]",
+            self.engine,
+            self.soundness,
+            if self.cached { ", cached" } else { "" },
+            self.elapsed
+        )
+    }
+}

@@ -1,0 +1,259 @@
+//! Offline, in-tree substitute for the subset of the [criterion] benchmark
+//! harness this workspace uses.
+//!
+//! The container has no registry access, so the real criterion cannot be
+//! vendored.  This shim keeps the bench sources unchanged — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros — and
+//! implements a simple but honest measurement loop: each benchmark is warmed
+//! up once, then timed over `sample_size` samples, and the per-iteration
+//! mean, minimum and maximum are printed in a criterion-like format.
+//!
+//! CLI arguments (criterion filters, `--bench`, `--save-baseline`, …) are
+//! accepted and ignored except for a positional substring filter, which
+//! selects matching benchmark ids just like the real harness.
+//!
+//! [criterion]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimization barrier.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// A benchmark identifier made of a function name and a parameter, printed
+/// as `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id with a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Mean/min/max per-iteration time of the last `iter` call.
+    last: Option<(Duration, Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then `samples` timed calls.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        black_box(routine()); // warm-up
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
+            max = max.max(elapsed);
+        }
+        let mean = total / self.samples as u32;
+        self.last = Some((mean, min, max));
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// The top-level harness: owns configuration and the benchmark filter.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Positional (non-flag) CLI argument acts as a substring filter on
+        // benchmark ids, like the real harness; flags are ignored.
+        let filter = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+        Criterion {
+            filter,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples for benches in this harness.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.default_sample_size = samples.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let samples = self.default_sample_size;
+        self.run_one(id, samples, f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter
+            .as_deref()
+            .is_none_or(|needle| id.contains(needle))
+    }
+
+    fn run_one(&self, id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+        if !self.matches(id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            samples,
+            last: None,
+        };
+        f(&mut bencher);
+        match bencher.last {
+            Some((mean, min, max)) => println!(
+                "{id:<60} time: [{} {} {}]",
+                format_duration(min),
+                format_duration(mean),
+                format_duration(max),
+            ),
+            None => println!("{id:<60} (no measurement)"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and a sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benches in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = Some(samples.max(1));
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        self.samples.unwrap_or(self.criterion.default_sample_size)
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, self.effective_samples(), f);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&full, self.effective_samples(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut criterion = Criterion::default().sample_size(3);
+        let mut ran = 0usize;
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(2);
+        group.bench_function("count", |b| b.iter(|| ran += 1));
+        group.finish();
+        // warm-up + 2 samples
+        assert_eq!(ran, 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("fused", 100).to_string(), "fused/100");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn duration_formatting_picks_sensible_units() {
+        assert!(format_duration(Duration::from_nanos(10)).ends_with("ns"));
+        assert!(format_duration(Duration::from_micros(10)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(10)).ends_with("ms"));
+    }
+}

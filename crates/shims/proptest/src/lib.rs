@@ -1,0 +1,277 @@
+//! Offline, in-tree substitute for the subset of [proptest] this workspace
+//! uses.
+//!
+//! The container has no registry access, so the real proptest cannot be
+//! vendored.  This shim keeps the property-test sources unchanged — the
+//! `proptest!` macro with `arg in strategy` bindings, `any::<T>()`, integer
+//! range strategies, tuple strategies, `proptest::collection::vec`, and the
+//! `prop_assert*` macros — and runs each property over a deterministic
+//! pseudo-random sample (default 32 cases, `PROPTEST_CASES` overrides).
+//! There is no shrinking: a failing case panics with the sampled inputs via
+//! the ordinary assert messages, which is enough for a CI signal.
+//!
+//! [proptest]: https://crates.io/crates/proptest
+
+#![forbid(unsafe_code)]
+
+/// Deterministic random number generation for test-case sampling.
+pub mod test_runner {
+    /// How many cases each property runs (override with `PROPTEST_CASES`).
+    pub fn case_count() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32)
+    }
+
+    /// A splitmix64 generator, seeded deterministically per test name so
+    /// failures are reproducible run over run.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test name.
+        pub fn deterministic(name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+            for byte in name.bytes() {
+                seed ^= u64::from(byte);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Strategies: how to sample a value of some type.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A source of sampled values (the shim's take on proptest's trait of
+    /// the same name; no shrinking).
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+        /// Samples one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(width) as i128) as $ty
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident/$idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A / 0);
+    tuple_strategy!(A / 0, B / 1);
+    tuple_strategy!(A / 0, B / 1, C / 2);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+
+    /// Strategy for "any value of `T`" — see [`crate::arbitrary::any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T> Any<T> {
+        pub(crate) fn new() -> Self {
+            Any {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Types that can be sampled unconstrained.
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+
+    /// A type with a canonical unconstrained sampling strategy.
+    pub trait Arbitrary {
+        /// Samples an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The `any::<T>()` entry point of the real proptest.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any::new()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A strategy producing vectors with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Samples `Vec`s whose elements come from `element` and whose length is
+    /// drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.len.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests: each `arg in strategy` binding is sampled per
+/// case, and the body runs for every case.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for _case in 0..cases {
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng); )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges_stay_in_bounds");
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(-10i64..10), &mut rng);
+            assert!((-10..10).contains(&v));
+            let u = Strategy::sample(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let mut rng = TestRng::deterministic("vec_strategy_respects_length_range");
+        for _ in 0..200 {
+            let v = Strategy::sample(&crate::collection::vec((-5i64..5, 0i64..3), 1..6), &mut rng);
+            assert!((1..6).contains(&v.len()));
+            for (a, b) in v {
+                assert!((-5..5).contains(&a));
+                assert!((0..3).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = TestRng::deterministic("same");
+        let mut b = TestRng::deterministic("same");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        /// The macro itself works end to end.
+        #[test]
+        fn macro_smoke(x in 0i64..100, y in any::<u64>()) {
+            prop_assert!((0..100).contains(&x));
+            prop_assert_eq!(y, y);
+            prop_assert_ne!(x, 100);
+        }
+    }
+}

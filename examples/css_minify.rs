@@ -6,17 +6,24 @@
 //! cargo run --release --example css_minify
 //! ```
 
-use retreet_analysis::equiv::EquivOptions;
-use retreet_css::analysis_model::verify_css_fusion;
+use retreet_css::analysis_model::verify_css_fusion_with;
 use retreet_css::css::generate_stylesheet;
 use retreet_css::minify::{minify_fused, minify_unfused};
+use retreet_verify::Verifier;
 
 fn main() {
-    // 1. The legality question (E3 of the evaluation).
-    let verdict = verify_css_fusion(&EquivOptions::default());
+    // 1. The legality question (E3 of the evaluation), through the façade.
+    let verifier = Verifier::with_defaults();
+    let verdict = verify_css_fusion_with(&verifier).expect("well-formed corpus programs");
     println!(
-        "fusing ConvertValues; MinifyFont; ReduceInit is {}",
-        if verdict.is_equivalent() { "valid" } else { "INVALID" }
+        "fusing ConvertValues; MinifyFont; ReduceInit is {} ({} engine, {:?})",
+        if verdict.is_equivalent() {
+            "valid"
+        } else {
+            "INVALID"
+        },
+        verdict.engine,
+        verdict.elapsed,
     );
 
     // 2. The execution: one pass instead of three on a realistic workload.

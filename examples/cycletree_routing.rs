@@ -15,8 +15,14 @@ fn main() {
     let budget = Budget::quick();
     let fusion = e4a_cycletree_fusion(&budget);
     let race = e4b_cycletree_parallelization_race(&budget);
-    println!("E4a (fuse numbering + routing): {:?} — {}", fusion.verdict, fusion.detail);
-    println!("E4b (parallelize instead):      {:?} — {}", race.verdict, race.detail);
+    println!(
+        "E4a (fuse numbering + routing): {:?} — {}",
+        fusion.verdict, fusion.detail
+    );
+    println!(
+        "E4b (parallelize instead):      {:?} — {}",
+        race.verdict, race.detail
+    );
 
     // Build a cycletree with the fused traversal and route some messages.
     let mut tree = random_cycletree(31, 3);

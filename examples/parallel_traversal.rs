@@ -8,23 +8,23 @@
 
 use std::time::Instant;
 
-use retreet_analysis::race::RaceOptions;
 use retreet_lang::corpus;
 use retreet_runtime::tree::complete_tree;
 use retreet_runtime::visit::{par_fold, seq_fold};
 use retreet_runtime::VerifiedParallelization;
+use retreet_verify::Verifier;
 
 fn main() {
     // 1. Legality: Odd(n) ‖ Even(n) is race-free.
-    let capability = VerifiedParallelization::verify(
-        &corpus::size_counting_parallel(),
-        &RaceOptions { max_nodes: 3, valuations: 1, ..RaceOptions::default() },
-    )
-    .expect("the parallel composition is race-free");
+    let verifier = Verifier::builder().race_nodes(3).valuations(1).build();
+    let capability =
+        VerifiedParallelization::verify_with(&verifier, &corpus::size_counting_parallel())
+            .expect("the parallel composition is race-free");
     println!(
-        "race-freedom established over {} trees ({} configurations)",
+        "race-freedom established over {} trees ({} configurations) by the {} engine",
         capability.trees_checked(),
-        capability.configurations()
+        capability.configurations(),
+        capability.engine()
     );
 
     // 2. Execution: count odd-layer and even-layer nodes of a large tree,

@@ -1,14 +1,15 @@
-//! Quickstart: write a pair of Retreet traversals, check that fusing them is
-//! legal, and run the fused schedule on a real tree.
+//! Quickstart: write a pair of Retreet traversals, ask the unified
+//! `Verifier` façade whether fusing them is legal, and run the fused
+//! schedule on a real tree.
 //!
 //! ```bash
 //! cargo run --example quickstart
 //! ```
 
-use retreet_analysis::equiv::EquivOptions;
 use retreet_lang::parse_program;
 use retreet_runtime::tree::complete_tree;
 use retreet_runtime::VerifiedFusion;
+use retreet_verify::Verifier;
 
 fn main() {
     // Two simple traversals over the same tree: `Scale` doubles every node's
@@ -67,13 +68,22 @@ fn main() {
     )
     .expect("fused parses");
 
-    // Ask the analysis whether the fusion is legal.
-    let options = EquivOptions::default();
-    let capability = VerifiedFusion::verify(&original, &fused, &options)
+    // Build the verifier once: one budget, the full engine portfolio, and a
+    // verdict cache that makes repeated legality questions O(1).
+    let verifier = Verifier::builder()
+        .max_nodes(5)
+        .valuations(3)
+        .parallel(true)
+        .build();
+
+    // Ask the façade whether the fusion is legal; the capability is only
+    // granted on an `Equivalent` verdict.
+    let capability = VerifiedFusion::verify_with(&verifier, &original, &fused)
         .expect("the fusion is equivalent to the two-pass original");
     println!(
-        "fusion verified on {} bounded models — running the fused schedule",
-        capability.trees_checked()
+        "fusion verified on {} bounded models by the {} engine — running the fused schedule",
+        capability.trees_checked(),
+        capability.engine(),
     );
 
     // Run the fused schedule on a concrete tree with the runtime.
@@ -88,5 +98,18 @@ fn main() {
     };
     let mut tree = complete_tree(16, &|i| Payload { v: i as i64, s: 0 });
     capability.run_fused2(&mut tree, &scale, &shift);
-    println!("root after fused run: v = {}, s = {}", tree.value.v, tree.value.s);
+    println!(
+        "root after fused run: v = {}, s = {}",
+        tree.value.v, tree.value.s
+    );
+
+    // A second, identical query is answered from the verdict cache.
+    let again = VerifiedFusion::verify_with(&verifier, &original, &fused).expect("cached verdict");
+    let stats = verifier.cache_stats();
+    println!(
+        "re-verified instantly from cache ({} hit / {} miss): {} models",
+        stats.hits,
+        stats.misses,
+        again.trees_checked(),
+    );
 }

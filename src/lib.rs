@@ -1,20 +1,68 @@
 //! # retreet-repro — umbrella crate for the Retreet reproduction
 //!
-//! This crate only re-exports the workspace members so that the examples and
-//! the cross-crate integration tests under `tests/` have a single dependency
-//! root.  See the individual crates for the actual functionality:
+//! Reproduction of *"Reasoning about recursive tree traversals"* (Wang,
+//! Liu, Zhang, Qiu; PPoPP 2021).  The entry point for every verification
+//! question is the unified [`retreet_verify::Verifier`] façade:
 //!
+//! ```
+//! use retreet_repro::retreet_verify::{Query, Verifier};
+//! use retreet_repro::retreet_lang::corpus;
+//!
+//! let verifier = Verifier::builder()
+//!     .max_nodes(3)      // exhaust every tree up to this many nodes
+//!     .valuations(1)     // deterministic field valuations per shape
+//!     .parallel(true)    // race the applicable engines, first verdict wins
+//!     .build();
+//!
+//! // Theorem 2 (data race), Theorem 3 (equivalence) and MSO validity all go
+//! // through the same call:
+//! let verdict = verifier
+//!     .verify(Query::DataRace(&corpus::size_counting_parallel()))
+//!     .unwrap();
+//! assert!(verdict.is_race_free());
+//! println!("{verdict}"); // verdict, engine provenance, soundness, timing
+//! ```
+//!
+//! The workspace members underneath:
+//!
+//! * [`retreet_verify`] — **the façade**: `Verifier` builder, typed
+//!   `Query` → `Verdict` pipeline, engine portfolio, verdict cache, typed
+//!   `VerifyError`s;
 //! * [`retreet_lang`] — the Retreet language (AST, parser, blocks, read/write
 //!   analysis, weakest preconditions, the §5 program corpus);
 //! * [`retreet_logic`] — the linear-integer-arithmetic solver substrate;
 //! * [`retreet_mso`] — MSO over binary trees, bounded checking and the
 //!   tree-automata decision procedure (the MONA substitute);
-//! * [`retreet_analysis`] — configurations, data-race detection and
-//!   fusion-equivalence checking;
+//! * [`retreet_analysis`] — the engine layer: configurations, data-race
+//!   detection and fusion-equivalence checking;
 //! * [`retreet_runtime`] — owned trees, fused and rayon-parallel schedules,
-//!   and analysis-gated transformation capabilities;
+//!   and verifier-gated transformation capabilities;
 //! * [`retreet_css`] / [`retreet_cycletree`] — the two real-world case-study
 //!   substrates of the evaluation.
+//!
+//! # MIGRATION — old per-crate entry points → the façade
+//!
+//! The pre-façade entry points remain as thin deprecated shims; new code
+//! should use the mappings below.
+//!
+//! | Old call | New call |
+//! |----------|----------|
+//! | `retreet_analysis::race::check_data_race(&p, &RaceOptions { max_nodes, valuations, .. })` | `Verifier::builder().race_nodes(n).valuations(v).build().verify(Query::DataRace(&p))` |
+//! | `retreet_analysis::equiv::check_equivalence(&a, &b, &EquivOptions { .. })` | `verifier.verify(Query::Equivalence(&a, &b))` |
+//! | `retreet_mso::bounded::check_validity(&f, bound)` | `Verifier::builder().validity_nodes(bound).engines([Engine::BoundedEnumeration]).build().verify(Query::Validity(&f))` |
+//! | `retreet_mso::compile::is_valid(&f)` | `verifier.verify(Query::Validity(&f))` (the automata engine wins where the fragment allows; `Soundness::Unbounded` in the verdict) |
+//! | `VerifiedFusion::verify(&a, &b, &EquivOptions)` | `VerifiedFusion::verify_with(&verifier, &a, &b)` |
+//! | `VerifiedParallelization::verify(&p, &RaceOptions)` | `VerifiedParallelization::verify_with(&verifier, &p)` |
+//! | `retreet_css::analysis_model::verify_css_fusion(&EquivOptions)` | `retreet_css::analysis_model::verify_css_fusion_with(&verifier)` |
+//! | mutating `RaceOptions` / `EquivOptions` / `EnumOptions` fields | `RaceOptions::builder()…build()` etc., or set the budget once on the `Verifier` builder |
+//!
+//! Old verdict shapes map to [`retreet_verify::Outcome`] variants: race
+//! witnesses, equivalence counterexamples and falsifying trees ride along
+//! unchanged inside the unified [`retreet_verify::Verdict`], which adds
+//! engine provenance ([`retreet_verify::Engine`]), a bounded-soundness
+//! caveat ([`retreet_verify::Soundness`]) and wall-clock timing.  Errors
+//! that used to be ad-hoc `String`s are now the typed
+//! [`retreet_verify::VerifyError`] hierarchy.
 
 #![forbid(unsafe_code)]
 
@@ -25,3 +73,7 @@ pub use retreet_lang;
 pub use retreet_logic;
 pub use retreet_mso;
 pub use retreet_runtime;
+pub use retreet_verify;
+
+// The façade types, re-exported at the top level for downstream brevity.
+pub use retreet_verify::{Query, Verdict, Verifier, VerifyError};

@@ -1,16 +1,15 @@
 //! End-to-end pipeline tests: parse → validate → analyse → execute, across
 //! crates, for the two real-world substrates.
 
-use retreet_analysis::equiv::EquivOptions;
-use retreet_analysis::race::RaceOptions;
 use retreet_css::css::generate_stylesheet;
 use retreet_css::minify::{minify_fused, minify_reference, minify_unfused};
 use retreet_cycletree::numbering::{
-    cycle_order, complete_cycletree, fused_number_and_route, number_cycletree, random_cycletree,
+    complete_cycletree, cycle_order, fused_number_and_route, number_cycletree, random_cycletree,
 };
 use retreet_cycletree::routing::{compute_routing, route_path};
 use retreet_lang::{corpus, parse_program, pretty, validate, BlockTable};
 use retreet_runtime::{VerifiedFusion, VerifiedParallelization};
+use retreet_verify::Verifier;
 
 #[test]
 fn corpus_programs_round_trip_through_the_pretty_printer() {
@@ -34,10 +33,11 @@ fn css_pipeline_from_source_text_to_minified_output() {
     assert_eq!(minify_fused(&sheet), reference);
     assert!(reference.serialized_len() <= sheet.serialized_len());
     // And the corresponding Retreet-level fusion is certified.
-    assert!(VerifiedFusion::verify(
+    let verifier = Verifier::builder().equiv_nodes(4).valuations(1).build();
+    assert!(VerifiedFusion::verify_with(
+        &verifier,
         &corpus::css_minify_original(),
         &corpus::css_minify_fused(),
-        &EquivOptions { max_nodes: 4, valuations: 1, check_dependence_order: true },
     )
     .is_ok());
 }
@@ -63,9 +63,13 @@ fn cycletree_pipeline_constructs_and_routes() {
 
 #[test]
 fn parallelization_capability_is_refused_for_the_racy_cycletree_main() {
-    let options = RaceOptions { max_nodes: 3, valuations: 1, ..RaceOptions::default() };
-    assert!(VerifiedParallelization::verify(&corpus::cycletree_parallel(), &options).is_err());
-    assert!(VerifiedParallelization::verify(&corpus::size_counting_parallel(), &options).is_ok());
+    let verifier = Verifier::builder().race_nodes(3).valuations(1).build();
+    assert!(
+        VerifiedParallelization::verify_with(&verifier, &corpus::cycletree_parallel()).is_err()
+    );
+    assert!(
+        VerifiedParallelization::verify_with(&verifier, &corpus::size_counting_parallel()).is_ok()
+    );
 }
 
 #[test]

@@ -2,7 +2,7 @@
 //! evaluation (§5).  These are the rows EXPERIMENTS.md reports; if any of
 //! them flips, the reproduction no longer reproduces the paper.
 
-use retreet_bench::{run_all, ablation_granularity, Budget, Verdict};
+use retreet_bench::{ablation_granularity, run_all, Budget, Verdict};
 
 #[test]
 fn all_evaluation_rows_match_the_paper() {

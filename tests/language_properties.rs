@@ -4,8 +4,8 @@
 
 use retreet_analysis::configs::{enumerate, EnumOptions};
 use retreet_analysis::interp;
-use retreet_analysis::vtree::{test_trees, ValueTree};
 use retreet_analysis::race::program_fields;
+use retreet_analysis::vtree::{test_trees, ValueTree};
 use retreet_lang::{corpus, BlockTable, Relation};
 
 #[test]
