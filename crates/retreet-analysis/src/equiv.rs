@@ -16,10 +16,10 @@
 use std::collections::BTreeMap;
 
 use retreet_lang::ast::Program;
-use retreet_lang::blocks::BlockTable;
 
 use crate::interp::{self, ExecOrder, Iteration, RunResult};
-use crate::vtree::{test_trees, ValueTree};
+use crate::par;
+use crate::vtree::{TreeCorpus, ValueTree};
 
 /// Options for the bounded equivalence check.
 ///
@@ -165,41 +165,65 @@ pub fn check_equivalence(
     transformed: &Program,
     options: &EquivOptions,
 ) -> EquivVerdict {
-    let table_a = BlockTable::build(original);
-    let table_b = BlockTable::build(transformed);
+    // Per-program derived state (block table, field sets) is memoized
+    // process-wide; a repeated query pays only for the actual runs.
+    let ctx_a = crate::configs::AnalysisContext::for_program(original);
+    let ctx_b = crate::configs::AnalysisContext::for_program(transformed);
     // Test trees must initialize the union of both programs' fields so that
     // reads observe the same initial values on both sides.
-    let mut fields = crate::race::program_fields(&table_a);
-    for field in crate::race::program_fields(&table_b) {
-        if !fields.contains(&field) {
-            fields.push(field);
+    let mut fields = ctx_a.fields.clone();
+    for field in &ctx_b.fields {
+        if !fields.contains(field) {
+            fields.push(field.clone());
         }
     }
     let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
-    let trees = test_trees(options.max_nodes, &field_refs, options.valuations);
-    for tree in &trees {
-        let run_a = interp::run_with_table(&table_a, tree);
-        let run_b = interp::run_with_table(&table_b, tree);
-        let (result_a, result_b) = match (run_a, run_b) {
-            (Ok(a), Ok(b)) => (a, b),
-            (Err(err), _) | (_, Err(err)) => {
-                return EquivVerdict::CounterExample(Box::new(EquivCounterExample {
-                    tree: tree.clone(),
-                    disagreement: Disagreement::ExecutionError {
-                        message: err.to_string(),
-                    },
-                }));
-            }
-        };
-        if let Some(disagreement) = compare_runs(&result_a, &result_b, options) {
+    let corpus = TreeCorpus::new(options.max_nodes, &field_refs, options.valuations);
+    if corpus.is_empty() {
+        return EquivVerdict::Equivalent { trees_checked: 0 };
+    }
+    // The per-program interpreter setup is hoisted out of the tree loop.
+    let (runner_a, runner_b) = match (
+        interp::Runner::new(&ctx_a.table),
+        interp::Runner::new(&ctx_b.table),
+    ) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(err), _) | (_, Err(err)) => {
             return EquivVerdict::CounterExample(Box::new(EquivCounterExample {
-                tree: tree.clone(),
-                disagreement,
+                tree: corpus.tree(0),
+                disagreement: Disagreement::ExecutionError {
+                    message: err.to_string(),
+                },
             }));
         }
-    }
-    EquivVerdict::Equivalent {
-        trees_checked: trees.len(),
+    };
+    // Identical trees (same shape, no fields to value) produce identical
+    // deterministic runs; checking one representative per duplicate group is
+    // exact, and the representative is the tree the sequential loop would
+    // report first, so witnesses are unchanged.
+    let reps = corpus.representatives();
+    // Trees are checked in parallel with deterministic lowest-index-wins
+    // reduction, so the counterexample (when one exists) is exactly the one
+    // the sequential loop would report.
+    let hit = par::first_hit(reps.len(), |k| {
+        let tree = corpus.tree(reps[k]);
+        let run_a = runner_a.run(&tree);
+        let run_b = runner_b.run(&tree);
+        let disagreement = match (run_a, run_b) {
+            (Ok(a), Ok(b)) => compare_runs(&a, &b, options),
+            (Err(err), _) | (_, Err(err)) => Some(Disagreement::ExecutionError {
+                message: err.to_string(),
+            }),
+        };
+        disagreement.map(|disagreement| {
+            EquivVerdict::CounterExample(Box::new(EquivCounterExample { tree, disagreement }))
+        })
+    });
+    match hit {
+        Some((_, verdict)) => verdict,
+        None => EquivVerdict::Equivalent {
+            trees_checked: corpus.len(),
+        },
     }
 }
 
@@ -210,11 +234,16 @@ fn compare_runs(a: &RunResult, b: &RunResult, options: &EquivOptions) -> Option<
             second: b.returns.clone(),
         });
     }
-    let fields_a = a.tree.field_snapshot();
-    let fields_b = b.tree.field_snapshot();
-    if fields_a != fields_b {
-        let detail = first_field_difference(&fields_a, &fields_b);
-        return Some(Disagreement::Fields { detail });
+    // Structurally equal final trees have equal snapshots; only build the
+    // (allocating) snapshots when the trees actually differ, to locate the
+    // first differing field.
+    if a.tree != b.tree {
+        let fields_a = a.tree.field_snapshot();
+        let fields_b = b.tree.field_snapshot();
+        if fields_a != fields_b {
+            let detail = first_field_difference(&fields_a, &fields_b);
+            return Some(Disagreement::Fields { detail });
+        }
     }
     if options.check_dependence_order {
         if let Some(detail) = dependence_order_violation(a, b) {
@@ -254,48 +283,101 @@ fn first_field_difference(
 /// signature, which is exactly what the bisimulation relation preserves for
 /// the transformations considered in §5 (fusion and parallelization reorder
 /// iterations but keep their per-node effects).
-fn dependence_order_violation(a: &RunResult, b: &RunResult) -> Option<String> {
-    let sig = |it: &Iteration| -> Option<String> {
-        if it.accesses.is_empty() {
-            return None;
-        }
-        let mut parts: Vec<String> = it
-            .accesses
-            .iter()
-            .map(|acc| {
-                format!(
-                    "{}.{}:{}",
-                    acc.node,
-                    acc.field,
-                    if acc.is_write { "w" } else { "r" }
-                )
-            })
-            .collect();
-        parts.sort();
-        parts.dedup();
-        Some(parts.join(","))
-    };
-    // Map signature -> first index in each trace.
-    let mut index_a: BTreeMap<String, usize> = BTreeMap::new();
-    for (i, it) in a.trace.iterations.iter().enumerate() {
-        if let Some(s) = sig(it) {
-            index_a.entry(s).or_insert(i);
-        }
+/// An iteration's footprint signature: its deduplicated, sorted accesses as
+/// structural keys.  The naive engine keys the same information as a
+/// formatted string; working structurally avoids one string allocation per
+/// trace iteration, and the matching render (see [`render_sig`]) is only
+/// produced for the one violating pair actually reported.
+type Sig<'t> = Vec<(crate::vtree::NodeId, &'t str, bool)>;
+
+fn sig_of(it: &Iteration) -> Option<Sig<'_>> {
+    if it.accesses.is_empty() {
+        return None;
     }
-    let mut index_b: BTreeMap<String, usize> = BTreeMap::new();
-    for (i, it) in b.trace.iterations.iter().enumerate() {
-        if let Some(s) = sig(it) {
-            index_b.entry(s).or_insert(i);
-        }
-    }
-    let shared: Vec<&String> = index_a
-        .keys()
-        .filter(|k| index_b.contains_key(*k))
+    let mut parts: Sig<'_> = it
+        .accesses
+        .iter()
+        .map(|acc| (acc.node, acc.field.as_str(), acc.is_write))
         .collect();
-    for (i, sig_x) in shared.iter().enumerate() {
-        for sig_y in shared.iter().skip(i + 1) {
-            let (xa, ya) = (index_a[*sig_x], index_a[*sig_y]);
-            let (xb, yb) = (index_b[*sig_x], index_b[*sig_y]);
+    parts.sort_unstable();
+    parts.dedup();
+    Some(parts)
+}
+
+/// Renders a signature in the naive engine's exact format (parts sorted
+/// *lexicographically as strings*, then joined), e.g. `n0.val:w,n1.k:r`.
+fn render_sig(sig: &Sig<'_>) -> String {
+    let mut parts: Vec<String> = sig
+        .iter()
+        .map(|(node, field, is_write)| {
+            format!("{}.{}:{}", node, field, if *is_write { "w" } else { "r" })
+        })
+        .collect();
+    parts.sort();
+    parts.join(",")
+}
+
+/// `(signature, first index)` pairs of a trace, sorted by signature —
+/// the sorted-vector equivalent of the naive engine's `BTreeMap`, without
+/// the per-node tree allocations.
+fn first_sigs(trace: &crate::interp::Trace) -> Vec<(Sig<'_>, usize)> {
+    let mut sigs: Vec<(Sig<'_>, usize)> = trace
+        .iterations
+        .iter()
+        .enumerate()
+        .filter_map(|(i, it)| sig_of(it).map(|s| (s, i)))
+        .collect();
+    // Sort by (signature, index) then keep the first (lowest-index)
+    // occurrence of each signature — `BTreeMap::entry(..).or_insert`
+    // semantics.
+    sigs.sort_unstable();
+    sigs.dedup_by(|next, prev| next.0 == prev.0);
+    sigs
+}
+
+fn dependence_order_violation(a: &RunResult, b: &RunResult) -> Option<String> {
+    let index_a = first_sigs(&a.trace);
+    let index_b = first_sigs(&b.trace);
+    // Merge-intersect the two sorted signature lists, so the O(k²) pair
+    // loop below works on plain indices, not map keys.
+    let mut shared: Vec<(&Sig<'_>, usize, usize)> = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < index_a.len() && j < index_b.len() {
+        match index_a[i].0.cmp(&index_b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                shared.push((&index_a[i].0, index_a[i].1, index_b[j].1));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    // Scan pairs in the naive engine's order: its maps are keyed by the
+    // *rendered* signature strings.  For node ids 0–9 the rendered
+    // lexicographic order coincides with the structural order the merge
+    // above produced (single-digit ids compare like their digits, and the
+    // `.`/`:`/`,` separators sort below alphanumerics consistently with
+    // field/flag/part boundaries), so the rendering pass is only needed —
+    // and only paid — once a trace touches node ids with two digits.
+    let two_digit_ids = shared
+        .iter()
+        .flat_map(|(sig, _, _)| sig.iter())
+        .any(|(node, _, _)| node.0 >= 10);
+    let shared: Vec<(&Sig<'_>, usize, usize)> = if two_digit_ids {
+        let mut rendered: Vec<(String, usize)> = shared
+            .iter()
+            .enumerate()
+            .map(|(k, (sig, _, _))| (render_sig(sig), k))
+            .collect();
+        rendered.sort();
+        rendered.iter().map(|&(_, k)| shared[k]).collect()
+    } else {
+        shared
+    };
+    let hit = par::first_hit(shared.len(), |i| {
+        let (sig_x, xa, xb) = shared[i];
+        for &(sig_y, ya, yb) in shared.iter().skip(i + 1) {
             if !crate::interp::conflicting(&a.trace.iterations[xa], &a.trace.iterations[ya]) {
                 continue;
             }
@@ -306,14 +388,16 @@ fn dependence_order_violation(a: &RunResult, b: &RunResult) -> Option<String> {
                 (ExecOrder::Before, ExecOrder::After) | (ExecOrder::After, ExecOrder::Before)
             );
             if conflict {
+                let (sig_x, sig_y) = (render_sig(sig_x), render_sig(sig_y));
                 return Some(format!(
                     "dependent iterations `{sig_x}` and `{sig_y}` are ordered {order_a:?} in the \
                      original but {order_b:?} in the transformed program"
                 ));
             }
         }
-    }
-    None
+        None
+    });
+    hit.map(|(_, detail)| detail)
 }
 
 #[cfg(test)]

@@ -16,8 +16,8 @@
 //! iterations are concurrent, exactly like a dynamic race detector running on
 //! a canonical schedule.
 
-use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use retreet_lang::ast::{AExpr, Assign, BExpr, Dir, NodeRef, Program, Stmt};
 use retreet_lang::blocks::{BlockId, BlockTable};
@@ -66,8 +66,11 @@ pub struct Iteration {
     /// The node the block ran on (`None` when the enclosing activation was
     /// called on `nil`).
     pub node: Option<NodeId>,
-    /// Series-parallel position of the iteration.
-    pub path: Vec<SchedStep>,
+    /// Series-parallel position of the iteration: a `(start, len)` range
+    /// into the owning [`Trace`]'s shared position buffer.  Storing a range
+    /// instead of an owned vector removes one heap allocation per executed
+    /// iteration; read it back through [`Trace::path`].
+    path: (u32, u32),
     /// The field accesses the iteration performed (including reads done by
     /// the branch conditions guarding it).
     pub accesses: Vec<FieldAccess>,
@@ -78,6 +81,9 @@ pub struct Iteration {
 pub struct Trace {
     /// The iterations, in execution order of the canonical schedule.
     pub iterations: Vec<Iteration>,
+    /// Flat buffer of every iteration's series-parallel position (see
+    /// [`Iteration::path`]).
+    positions: Vec<SchedStep>,
 }
 
 impl Trace {
@@ -91,12 +97,37 @@ impl Trace {
         self.iterations.is_empty()
     }
 
+    /// The series-parallel position of iteration `i`.
+    pub fn path(&self, i: usize) -> &[SchedStep] {
+        let (start, len) = self.iterations[i].path;
+        &self.positions[start as usize..start as usize + len as usize]
+    }
+
+    /// Appends an iteration, copying its position into the shared buffer.
+    fn push_iteration(
+        &mut self,
+        block: BlockId,
+        node: Option<NodeId>,
+        path: &[SchedStep],
+        accesses: Vec<FieldAccess>,
+    ) {
+        let start = u32::try_from(self.positions.len()).expect("trace position overflow");
+        let len = u32::try_from(path.len()).expect("trace position overflow");
+        self.positions.extend_from_slice(path);
+        self.iterations.push(Iteration {
+            block,
+            node,
+            path: (start, len),
+            accesses,
+        });
+    }
+
     /// The structural order between two iterations (by index).
     pub fn order(&self, a: usize, b: usize) -> ExecOrder {
         if a == b {
             return ExecOrder::Same;
         }
-        order_of_paths(&self.iterations[a].path, &self.iterations[b].path)
+        order_of_paths(self.path(a), self.path(b))
     }
 
     /// All pairs `(i, j)` of parallel iterations with conflicting accesses
@@ -211,33 +242,94 @@ pub fn run(program: &Program, tree: &ValueTree) -> Result<RunResult, InterpError
 /// Like [`run`], but reuses an existing [`BlockTable`] (avoids rebuilding it
 /// when the same program is run on many trees).
 pub fn run_with_table(table: &BlockTable, tree: &ValueTree) -> Result<RunResult, InterpError> {
-    let program = table.program();
-    let main_idx = program
-        .func_index(retreet_lang::ast::MAIN)
-        .ok_or(InterpError::NoMain)?;
-    let bodies: Vec<AStmt> = program
-        .funcs
-        .iter()
-        .enumerate()
-        .map(|(idx, func)| {
-            let mut ids = table.blocks_of_func(idx).iter().copied();
-            annotate(&func.body, &mut ids)
+    Runner::new(table)?.run(tree)
+}
+
+/// Shared implementation behind [`run_with_table`] and the frozen naive
+/// baseline in [`crate::naive`].  `deep_clone_bodies` reproduces the
+/// pre-optimization work profile (a full AST clone per activation, bodies
+/// re-annotated per run) for honest before/after benchmarking.
+pub(crate) fn run_with_table_impl(
+    table: &BlockTable,
+    tree: &ValueTree,
+    deep_clone_bodies: bool,
+) -> Result<RunResult, InterpError> {
+    let mut runner = Runner::new(table)?;
+    runner.deep_clone_bodies = deep_clone_bodies;
+    runner.run(tree)
+}
+
+/// A reusable interpreter for one program: the per-program setup (annotating
+/// every function body with its block ids) happens once in [`Runner::new`],
+/// and each [`Runner::run`] only pays for the actual execution on its tree.
+///
+/// The differential engines run the same program on hundreds of trees, so
+/// hoisting the annotation out of the per-tree loop matters.
+pub struct Runner<'a> {
+    table: &'a BlockTable,
+    bodies: Vec<Arc<AStmt>>,
+    /// Callee function index per call block (indexed by raw block id), so
+    /// the interpreter never resolves callee names by string comparison on
+    /// the hot path.  `None` marks a call to an unknown function.
+    callee_of: Vec<Option<usize>>,
+    main_idx: usize,
+    deep_clone_bodies: bool,
+}
+
+impl<'a> Runner<'a> {
+    /// Prepares an interpreter for `table`'s program.
+    pub fn new(table: &'a BlockTable) -> Result<Self, InterpError> {
+        let program = table.program();
+        let main_idx = program
+            .func_index(retreet_lang::ast::MAIN)
+            .ok_or(InterpError::NoMain)?;
+        let bodies: Vec<Arc<AStmt>> = program
+            .funcs
+            .iter()
+            .enumerate()
+            .map(|(idx, func)| {
+                let mut ids = table.blocks_of_func(idx).iter().copied();
+                Arc::new(annotate(&func.body, &mut ids))
+            })
+            .collect();
+        let mut callee_of = vec![None; table.len()];
+        for idx in 0..program.funcs.len() {
+            for &block in table.blocks_of_func(idx) {
+                if let Some(call) = table.info(block).block.as_call() {
+                    callee_of[block.0 as usize] = program.func_index(&call.callee);
+                }
+            }
+        }
+        Ok(Runner {
+            table,
+            bodies,
+            callee_of,
+            main_idx,
+            deep_clone_bodies: false,
         })
-        .collect();
-    let mut state = Interp {
-        table,
-        bodies,
-        tree: tree.clone(),
-        trace: Trace::default(),
-        depth: 0,
-    };
-    let root = Some(state.tree.root());
-    let returns = state.call(main_idx, root, Vec::new(), &mut vec![], &[])?;
-    Ok(RunResult {
-        returns,
-        trace: state.trace,
-        tree: state.tree,
-    })
+    }
+
+    /// Runs the program on a copy of `tree`.
+    pub fn run(&self, tree: &ValueTree) -> Result<RunResult, InterpError> {
+        let mut state = Interp {
+            table: self.table,
+            bodies: &self.bodies,
+            callee_of: &self.callee_of,
+            deep_clone_bodies: self.deep_clone_bodies,
+            tree: tree.clone(),
+            trace: Trace::default(),
+            depth: 0,
+            env_pool: Vec::new(),
+            vals_pool: Vec::new(),
+        };
+        let root = Some(state.tree.root());
+        let returns = state.call(self.main_idx, root, Vec::new(), &mut vec![], &[])?;
+        Ok(RunResult {
+            returns,
+            trace: state.trace,
+            tree: state.tree,
+        })
+    }
 }
 
 struct Interp<'a> {
@@ -246,10 +338,23 @@ struct Interp<'a> {
     /// (same syntactic order as [`BlockTable::blocks_of_func`]), so the trace
     /// attributes iterations to the correct block even when two blocks of a
     /// function have identical payloads (e.g. two `return 0;` branches).
-    bodies: Vec<AStmt>,
+    /// `Arc`-shared so each activation borrows the body instead of cloning
+    /// the whole annotated AST.
+    bodies: &'a [Arc<AStmt>],
+    /// Precomputed callee function index per call block (see [`Runner`]).
+    callee_of: &'a [Option<usize>],
+    /// Reproduce the pre-optimization clone-per-activation behaviour (naive
+    /// baseline only).
+    deep_clone_bodies: bool,
     tree: ValueTree,
     trace: Trace,
     depth: usize,
+    /// Recycled activation environments: an activation returns its (cleared)
+    /// binding vector here instead of freeing it, so steady-state execution
+    /// allocates no per-activation storage.
+    env_pool: Vec<Vec<(&'a str, i64)>>,
+    /// Recycled `i64` buffers (call arguments and return values).
+    vals_pool: Vec<Vec<i64>>,
 }
 
 /// A function body with block leaves resolved to their table ids.
@@ -277,14 +382,39 @@ fn annotate(stmt: &Stmt, ids: &mut impl Iterator<Item = BlockId>) -> AStmt {
 }
 
 /// Per-activation state: the node and the integer environment.
-struct Activation {
+///
+/// The environment is a tiny association list over variable names borrowed
+/// from the program AST — Retreet activations hold a handful of locals, so
+/// a linear scan beats hashing and the borrowed keys avoid a `String`
+/// allocation per binding.
+struct Activation<'a> {
     node: Option<NodeId>,
-    env: HashMap<String, i64>,
+    env: Vec<(&'a str, i64)>,
+}
+
+impl<'a> Activation<'a> {
+    /// Both accessors resolve the *last* matching binding, which reproduces
+    /// `HashMap::insert` semantics exactly even for degenerate programs with
+    /// duplicate parameter names (the last duplicate wins, and a later `set`
+    /// is visible to every subsequent `get`).
+    fn get(&self, var: &str) -> Option<i64> {
+        self.env
+            .iter()
+            .rev()
+            .find_map(|&(name, value)| (name == var).then_some(value))
+    }
+
+    fn set(&mut self, var: &'a str, value: i64) {
+        match self.env.iter_mut().rev().find(|(name, _)| *name == var) {
+            Some(slot) => slot.1 = value,
+            None => self.env.push((var, value)),
+        }
+    }
 }
 
 const MAX_DEPTH: usize = 10_000;
 
-impl Interp<'_> {
+impl<'a> Interp<'a> {
     fn call(
         &mut self,
         func_idx: usize,
@@ -297,22 +427,38 @@ impl Interp<'_> {
         if self.depth > MAX_DEPTH {
             return Err(InterpError::DepthExceeded);
         }
-        let func = &self.table.program().funcs[func_idx];
-        let mut env = HashMap::new();
+        let table: &'a BlockTable = self.table;
+        let func = &table.program().funcs[func_idx];
+        let mut env = self.env_pool.pop().unwrap_or_default();
         for (param, value) in func.int_params.iter().zip(args.iter()) {
-            env.insert(param.clone(), *value);
+            env.push((param.as_str(), *value));
         }
+        self.recycle_vals(args);
         let mut activation = Activation { node, env };
-        let body = self.bodies[func_idx].clone();
+        let body = if self.deep_clone_bodies {
+            Arc::new((*self.bodies[func_idx]).clone())
+        } else {
+            Arc::clone(&self.bodies[func_idx])
+        };
         let result = self.exec_stmt(&body, &mut activation, path, guards)?;
         self.depth -= 1;
+        activation.env.clear();
+        self.env_pool.push(activation.env);
         Ok(result.unwrap_or_default())
+    }
+
+    /// Returns an `i64` buffer to the pool for reuse.
+    fn recycle_vals(&mut self, mut vals: Vec<i64>) {
+        if vals.capacity() > 0 {
+            vals.clear();
+            self.vals_pool.push(vals);
+        }
     }
 
     fn exec_stmt(
         &mut self,
         stmt: &AStmt,
-        activation: &mut Activation,
+        activation: &mut Activation<'a>,
         path: &mut Vec<SchedStep>,
         guards: &[FieldAccess],
     ) -> Result<Option<Vec<i64>>, InterpError> {
@@ -365,61 +511,57 @@ impl Interp<'_> {
     fn exec_call(
         &mut self,
         id: BlockId,
-        activation: &mut Activation,
+        activation: &mut Activation<'a>,
         path: &mut Vec<SchedStep>,
         guards: &[FieldAccess],
     ) -> Result<(), InterpError> {
-        let info = self.table.info(id).clone();
-        let call = info.block.as_call().expect("call block");
+        // `self.table` is a shared reference independent of `self`'s borrow,
+        // so block info can be read without cloning it.
+        let table: &'a BlockTable = self.table;
+        let call = table.info(id).block.as_call().expect("call block");
         let mut accesses: Vec<FieldAccess> = guards.to_vec();
-        let mut args = Vec::with_capacity(call.args.len());
+        let mut args = self.vals_pool.pop().unwrap_or_default();
         for arg in &call.args {
             args.push(self.eval_expr(arg, activation, id, &mut accesses)?);
         }
         // Record the call iteration itself (argument evaluation reads).
         path.push(SchedStep::Seq(0));
-        self.trace.iterations.push(Iteration {
-            block: id,
-            node: activation.node,
-            path: path.to_vec(),
-            accesses,
-        });
+        self.trace
+            .push_iteration(id, activation.node, path, accesses);
         path.pop();
 
         let target_node = match call.target {
             NodeRef::Cur => activation.node,
             NodeRef::Child(dir) => activation.node.and_then(|n| self.child(n, dir)),
         };
-        let callee_idx = self
-            .table
-            .program()
-            .func_index(&call.callee)
+        let callee_idx = self.callee_of[id.0 as usize]
             .ok_or_else(|| InterpError::UnknownFunction(call.callee.clone()))?;
         path.push(SchedStep::Seq(1));
         let results = self.call(callee_idx, target_node, args, path, &[])?;
         path.pop();
         for (var, value) in call.results.iter().zip(results.iter()) {
-            activation.env.insert(var.clone(), *value);
+            activation.set(var, *value);
         }
+        self.recycle_vals(results);
         Ok(())
     }
 
     fn exec_straight(
         &mut self,
         id: BlockId,
-        activation: &mut Activation,
+        activation: &mut Activation<'a>,
         path: &[SchedStep],
         guards: &[FieldAccess],
     ) -> Result<Option<Vec<i64>>, InterpError> {
-        let info = self.table.info(id).clone();
-        let straight = info.block.as_straight().expect("straight block");
+        let table: &'a BlockTable = self.table;
+        let straight = table.info(id).block.as_straight().expect("straight block");
         let mut accesses: Vec<FieldAccess> = guards.to_vec();
         let mut result = None;
         for assign in &straight.assigns {
             match assign {
                 Assign::SetVar(var, expr) => {
                     let value = self.eval_expr(expr, activation, id, &mut accesses)?;
-                    activation.env.insert(var.clone(), value);
+                    activation.set(var, value);
                 }
                 Assign::SetField(node_ref, field, expr) => {
                     let value = self.eval_expr(expr, activation, id, &mut accesses)?;
@@ -436,18 +578,14 @@ impl Interp<'_> {
             }
         }
         if let Some(ret) = &straight.ret {
-            let mut values = Vec::with_capacity(ret.len());
+            let mut values = self.vals_pool.pop().unwrap_or_default();
             for expr in ret {
                 values.push(self.eval_expr(expr, activation, id, &mut accesses)?);
             }
             result = Some(values);
         }
-        self.trace.iterations.push(Iteration {
-            block: id,
-            node: activation.node,
-            path: path.to_vec(),
-            accesses,
-        });
+        self.trace
+            .push_iteration(id, activation.node, path, accesses);
         Ok(result)
     }
 
@@ -477,7 +615,7 @@ impl Interp<'_> {
             // Reading an unassigned variable yields 0; this is what makes the
             // invalid fusion of Fig. 6b produce observably wrong results
             // rather than crashing.
-            AExpr::Var(v) => Ok(activation.env.get(v).copied().unwrap_or(0)),
+            AExpr::Var(v) => Ok(activation.get(v).unwrap_or(0)),
             AExpr::Field(node_ref, field) => {
                 let node = self
                     .resolve(node_ref, activation)

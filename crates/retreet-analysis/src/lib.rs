@@ -56,10 +56,15 @@ pub mod coarse;
 pub mod configs;
 pub mod equiv;
 pub mod interp;
+pub mod naive;
+mod par;
 pub mod race;
 pub mod vtree;
 
-pub use configs::{ConfigRelation, Configuration, EnumOptions, Frame, Loc};
+pub use configs::{
+    AnalysisContext, ConfigRelation, Configuration, EnumOptions, Frame, Loc, PathSummaries,
+    SharedSymTab,
+};
 pub use equiv::{check_equivalence, Disagreement, EquivCounterExample, EquivOptions, EquivVerdict};
 pub use interp::{run, ExecOrder, FieldAccess, Iteration, RunResult, Trace};
 pub use race::{check_data_race, check_data_race_dynamic, RaceOptions, RaceVerdict, RaceWitness};

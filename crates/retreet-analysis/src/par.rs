@@ -1,0 +1,139 @@
+//! Deterministic parallel search primitives for the bounded engines.
+//!
+//! The race and equivalence engines spend their time in two places: a loop
+//! over test trees and an O(n²) loop over item pairs.  Both searches want
+//! the *first* witness in a canonical order (lowest index / lexicographically
+//! lowest pair) — that is what keeps verdicts, and therefore the façade's
+//! cached-identical-witness guarantee, bit-for-bit reproducible whether the
+//! search runs on one thread or many.
+//!
+//! The helpers here fan work out over contiguous index chunks (one per
+//! worker the `rayon` shim is willing to give us), let every worker abandon
+//! indices that can no longer win (a lower-index witness already exists:
+//! early-exit, first-witness-wins), and reduce by *minimum index* — never by
+//! completion order.  On a single-core host the shim hands out no worker
+//! tokens and both helpers degrade to the plain sequential loop, byte-
+//! identical to the pre-parallel code.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Evaluates `f(0..n)` and returns `Some((i, r))` for the lowest `i` where
+/// `f(i)` is `Some(r)`, searching index chunks in parallel.
+///
+/// `f` must be pure modulo interior-mutability caches: the helper may skip
+/// calling it for indices that provably cannot win.
+pub(crate) fn first_hit<R, F>(n: usize, f: F) -> Option<(usize, R)>
+where
+    R: Send,
+    F: Fn(usize) -> Option<R> + Sync,
+{
+    let workers = rayon::current_num_threads().min(n);
+    if workers <= 1 {
+        return (0..n).find_map(|i| f(i).map(|r| (i, r)));
+    }
+    let best = AtomicUsize::new(usize::MAX);
+    let found: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
+    let chunk = n.div_ceil(workers);
+    rayon::scope(|s| {
+        for start in (0..n).step_by(chunk) {
+            let (best, found, f) = (&best, &found, &f);
+            s.spawn(move |_| {
+                for i in start..(start + chunk).min(n) {
+                    // A strictly lower index already produced a witness;
+                    // this chunk scans ascending, so nothing here can win.
+                    if best.load(Ordering::Relaxed) < i {
+                        break;
+                    }
+                    if let Some(r) = f(i) {
+                        best.fetch_min(i, Ordering::Relaxed);
+                        found.lock().expect("first_hit poisoned").push((i, r));
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    let mut results = found.into_inner().expect("first_hit poisoned");
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().next()
+}
+
+/// Parallel scan that both *counts* and *searches*: every index yields a
+/// `usize` tally plus an optional witness.  Returns the summed tally of the
+/// evaluated indices and the lowest-index witness.
+///
+/// Indices are only skipped when a strictly lower index already found a
+/// witness, so: if a witness is returned it is exactly the one the
+/// sequential loop would return, and if none is returned every index was
+/// evaluated and the tally is complete.
+pub(crate) fn tally_until_hit<R, F>(n: usize, f: F) -> (usize, Option<(usize, R)>)
+where
+    R: Send,
+    F: Fn(usize) -> (usize, Option<R>) + Sync,
+{
+    let workers = rayon::current_num_threads().min(n);
+    if workers <= 1 {
+        let mut tally = 0usize;
+        for i in 0..n {
+            let (count, witness) = f(i);
+            tally += count;
+            if let Some(r) = witness {
+                return (tally, Some((i, r)));
+            }
+        }
+        return (tally, None);
+    }
+    let best = AtomicUsize::new(usize::MAX);
+    let tally = AtomicUsize::new(0);
+    let found: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
+    let chunk = n.div_ceil(workers);
+    rayon::scope(|s| {
+        for start in (0..n).step_by(chunk) {
+            let (best, tally, found, f) = (&best, &tally, &found, &f);
+            s.spawn(move |_| {
+                for i in start..(start + chunk).min(n) {
+                    if best.load(Ordering::Relaxed) < i {
+                        break;
+                    }
+                    let (count, witness) = f(i);
+                    tally.fetch_add(count, Ordering::Relaxed);
+                    if let Some(r) = witness {
+                        best.fetch_min(i, Ordering::Relaxed);
+                        found.lock().expect("tally_until_hit poisoned").push((i, r));
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    let mut results = found.into_inner().expect("tally_until_hit poisoned");
+    results.sort_by_key(|(i, _)| *i);
+    (tally.load(Ordering::Relaxed), results.into_iter().next())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_hit_returns_the_lowest_index() {
+        let hit = first_hit(100, |i| (i % 7 == 3).then_some(i * 10));
+        assert_eq!(hit, Some((3, 30)));
+        assert_eq!(first_hit(10, |_| None::<()>), None);
+        assert_eq!(first_hit(0, |_| Some(())), None);
+    }
+
+    #[test]
+    fn tally_is_complete_when_nothing_hits() {
+        let (tally, hit) = tally_until_hit(10, |i| (i, None::<()>));
+        assert_eq!(tally, 45);
+        assert!(hit.is_none());
+    }
+
+    #[test]
+    fn tally_hit_matches_sequential_witness() {
+        let (_, hit) = tally_until_hit(50, |i| (1, (i >= 20).then_some(i)));
+        assert_eq!(hit, Some((20, 20)));
+    }
+}

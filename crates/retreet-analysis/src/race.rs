@@ -17,10 +17,12 @@ use std::collections::BTreeSet;
 use retreet_lang::ast::Program;
 use retreet_lang::blocks::BlockTable;
 use retreet_lang::rw::{rw_sets, Access};
+use retreet_logic::SolverCache;
 
-use crate::configs::{self, ConfigRelation, Configuration, EnumOptions};
+use crate::configs::{self, AnalysisContext, ConfigRelation, Configuration, EnumOptions};
 use crate::interp;
-use crate::vtree::{test_trees, NodeId, ValueTree};
+use crate::par;
+use crate::vtree::{test_trees, NodeId, TreeCorpus, ValueTree};
 
 /// Options for the bounded race analysis.
 ///
@@ -152,39 +154,80 @@ pub fn program_fields(table: &BlockTable) -> Vec<String> {
 }
 
 /// The configuration-based data-race check (Theorem 2, bounded).
+///
+/// The hot path shares the program's [`AnalysisContext`] — tree-independent
+/// path summaries, the solver memo cache, and the symbol table that keeps
+/// constraint symbols consistent between trees (and between repeated
+/// queries on the same program) — and walks both the tree loop and the
+/// configuration-pair loop in parallel with deterministic
+/// first-witness-wins selection (lowest tree index, then lexicographically
+/// lowest pair), so the verdict and witness are identical to the sequential
+/// engine's.
 pub fn check_data_race(program: &Program, options: &RaceOptions) -> RaceVerdict {
-    let table = BlockTable::build(program);
-    let fields = program_fields(&table);
-    let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
-    let trees = test_trees(options.max_nodes, &field_refs, options.valuations);
-    let mut total_configs = 0usize;
-    for tree in &trees {
-        let configs = configs::enumerate(&table, tree, &options.enumeration);
-        total_configs += configs.len();
-        if let Some(witness) = find_race(&table, tree, &configs) {
-            return RaceVerdict::Race(witness);
-        }
-    }
-    RaceVerdict::RaceFree {
-        trees_checked: trees.len(),
-        configurations: total_configs,
+    let ctx = AnalysisContext::for_program(program);
+    let table = &*ctx.table;
+    let field_refs: Vec<&str> = ctx.fields.iter().map(String::as_str).collect();
+    let corpus = TreeCorpus::new(options.max_nodes, &field_refs, options.valuations);
+    let (total_configs, hit) = par::tally_until_hit(corpus.len(), |i| {
+        let tree = corpus.tree(i);
+        let configs = configs::enumerate_shared(
+            table,
+            &ctx.summaries,
+            &tree,
+            &options.enumeration,
+            &ctx.cache,
+            &ctx.symtab,
+        );
+        let witness = find_race(table, &tree, &configs, &ctx.cache);
+        (configs.len(), witness)
+    });
+    match hit {
+        Some((_, witness)) => RaceVerdict::Race(witness),
+        None => RaceVerdict::RaceFree {
+            trees_checked: corpus.len(),
+            configurations: total_configs,
+        },
     }
 }
 
+/// Searches the configuration-pair space of one tree for a parallel,
+/// dependent, mutually feasible pair — the §4 race condition.
+///
+/// The concrete access footprints are computed once per configuration (the
+/// naive engine recomputed them per *pair*), the pair loop fans out over the
+/// first index with lexicographically-lowest-pair reduction, and mutual
+/// feasibility is decided through the shared solver cache.
 fn find_race(
     table: &BlockTable,
     tree: &ValueTree,
     configs: &[Configuration],
+    cache: &SolverCache,
 ) -> Option<RaceWitness> {
-    for (i, a) in configs.iter().enumerate() {
-        for b in configs.iter().skip(i + 1) {
+    let footprints: Vec<Vec<(NodeId, String, bool)>> = configs
+        .iter()
+        .map(|c| configs::concrete_accesses(table, tree, c))
+        .collect();
+    let conflict =
+        |a: &[(NodeId, String, bool)], b: &[(NodeId, String, bool)]| -> Option<(NodeId, String)> {
+            for (node_a, field_a, write_a) in a {
+                for (node_b, field_b, write_b) in b {
+                    if node_a == node_b && field_a == field_b && (*write_a || *write_b) {
+                        return Some((*node_a, field_a.clone()));
+                    }
+                }
+            }
+            None
+        };
+    let hit = par::first_hit(configs.len(), |i| {
+        let a = &configs[i];
+        for (j, b) in configs.iter().enumerate().skip(i + 1) {
             if configs::relation(table, a, b) != ConfigRelation::Parallel {
                 continue;
             }
-            let Some((node, field)) = configs::dependence(table, tree, a, b) else {
+            let Some((node, field)) = conflict(&footprints[i], &footprints[j]) else {
                 continue;
             };
-            if !configs::mutually_feasible(a, b) {
+            if !configs::mutually_feasible_cached(a, b, cache) {
                 continue;
             }
             return Some(RaceWitness {
@@ -195,8 +238,9 @@ fn find_race(
                 field,
             });
         }
-    }
-    None
+        None
+    });
+    hit.map(|(_, witness)| witness)
 }
 
 /// The trace-based data-race check (dynamic validation engine).
@@ -205,9 +249,15 @@ pub fn check_data_race_dynamic(program: &Program, options: &RaceOptions) -> Race
     let fields = program_fields(&table);
     let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
     let trees = test_trees(options.max_nodes, &field_refs, options.valuations);
+    let Ok(runner) = interp::Runner::new(&table) else {
+        return RaceVerdict::RaceFree {
+            trees_checked: trees.len(),
+            configurations: 0,
+        };
+    };
     let mut total = 0usize;
     for tree in &trees {
-        let Ok(result) = interp::run_with_table(&table, tree) else {
+        let Ok(result) = runner.run(tree) else {
             continue;
         };
         total += result.trace.len();

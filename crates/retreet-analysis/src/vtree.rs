@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use retreet_mso::tree::{all_trees_up_to, LabeledTree};
+use retreet_mso::tree::{shared_trees_up_to, LabeledTree};
 
 /// Identifier of a node inside a [`ValueTree`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -221,20 +221,73 @@ impl ValueTree {
 /// to `max_nodes` nodes, each with `valuations` different deterministic field
 /// valuations for the given field names.
 pub fn test_trees(max_nodes: usize, fields: &[&str], valuations: usize) -> Vec<ValueTree> {
-    let mut out = Vec::new();
-    for shape in all_trees_up_to(max_nodes) {
-        for v in 0..valuations.max(1) {
-            let mut tree = ValueTree::from_shape_of(&shape);
-            tree.fill_fields(fields, 0x9E3779B9u64.wrapping_add(v as u64 * 0x1234567));
-            out.push(tree);
+    let corpus = TreeCorpus::new(max_nodes, fields, valuations);
+    (0..corpus.len()).map(|i| corpus.tree(i)).collect()
+}
+
+/// A *lazily materialized* corpus of test trees: the shapes come from the
+/// process-wide shape cache, and each tree is only built (shape copy plus
+/// deterministic field fill) when an engine actually asks for its index.
+///
+/// Queries that terminate on an early witness (a race or a counterexample
+/// on the first few trees) therefore never pay for the hundreds of larger
+/// trees behind it.  Index order is identical to [`test_trees`].
+pub struct TreeCorpus {
+    shapes: std::sync::Arc<Vec<LabeledTree>>,
+    fields: Vec<String>,
+    valuations: usize,
+}
+
+impl TreeCorpus {
+    /// The corpus of every shape up to `max_nodes` with `valuations`
+    /// deterministic field valuations each.
+    pub fn new(max_nodes: usize, fields: &[&str], valuations: usize) -> Self {
+        TreeCorpus {
+            shapes: shared_trees_up_to(max_nodes),
+            fields: fields.iter().map(|f| f.to_string()).collect(),
+            valuations: valuations.max(1),
         }
     }
-    out
+
+    /// Number of trees in the corpus.
+    pub fn len(&self) -> usize {
+        self.shapes.len() * self.valuations
+    }
+
+    /// True when the corpus is empty (a zero node bound).
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// Materializes the `index`-th tree (same order as [`test_trees`]).
+    pub fn tree(&self, index: usize) -> ValueTree {
+        let shape = &self.shapes[index / self.valuations];
+        let v = index % self.valuations;
+        let fields: Vec<&str> = self.fields.iter().map(String::as_str).collect();
+        let mut tree = ValueTree::from_shape_of(shape);
+        tree.fill_fields(&fields, 0x9E3779B9u64.wrapping_add(v as u64 * 0x1234567));
+        tree
+    }
+
+    /// The indices whose trees are pairwise distinct representatives:
+    /// when there are no fields to value, the `valuations` copies of each
+    /// shape are identical and only the first is kept.  (Distinct seeds can
+    /// in principle coincide on tiny trees too; re-checking such a
+    /// coincidence is sound, just redundant, so only the field-free case is
+    /// deduplicated.)
+    pub fn representatives(&self) -> Vec<usize> {
+        if self.fields.is_empty() {
+            (0..self.len()).step_by(self.valuations).collect()
+        } else {
+            (0..self.len()).collect()
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use retreet_mso::tree::all_trees_up_to;
 
     #[test]
     fn build_and_navigate() {

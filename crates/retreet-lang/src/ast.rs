@@ -402,7 +402,7 @@ impl Block {
 
 /// Statements: blocks combined by conditionals, sequencing, and parallel
 /// composition.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Stmt {
     /// A leaf block.
     Block(Block),
@@ -450,7 +450,7 @@ impl Stmt {
 }
 
 /// A Retreet function.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Func {
     /// Function name.
     pub name: Ident,
@@ -472,7 +472,7 @@ impl Func {
 }
 
 /// A Retreet program: a set of functions with `Main` as the entry point.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Program {
     /// The functions, in declaration order.
     pub funcs: Vec<Func>,

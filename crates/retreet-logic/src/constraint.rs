@@ -8,7 +8,9 @@
 //! plain conjunction.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
+use crate::intern::{atom_id, AtomId};
 use crate::term::{LinExpr, Sym};
 
 /// Comparison relation of an [`Atom`], always against zero.
@@ -243,6 +245,28 @@ impl System {
         vars
     }
 
+    /// The *normalized key* of the conjunction: the interned ids of its
+    /// atoms, sorted and deduplicated.  Two systems with the same key are
+    /// the same conjunction up to atom order and duplication — which makes
+    /// the key an exact memo-cache key for satisfiability (see
+    /// [`crate::solver::SolverCache`]).
+    pub fn interned_key(&self) -> Vec<AtomId> {
+        let mut ids: Vec<AtomId> = self.atoms.iter().map(atom_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// A 64-bit fingerprint of the normalized key — order- and
+    /// duplication-insensitive, stable within one process.  Cheap identity
+    /// for logging and coarse bucketing; exact comparisons should use
+    /// [`Self::interned_key`].
+    pub fn fingerprint(&self) -> u64 {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.interned_key().hash(&mut hasher);
+        hasher.finish()
+    }
+
     /// Substitutes a symbol everywhere in the system.
     pub fn substitute(&self, sym: Sym, replacement: &LinExpr) -> System {
         System::from_atoms(self.atoms.iter().map(|a| a.substitute(sym, replacement)))
@@ -382,6 +406,18 @@ mod tests {
         sys.push(Atom::gt(x(), LinExpr::constant(0)));
         let substituted = sys.substitute(Sym::from_usize(0), &LinExpr::constant(-1));
         assert_eq!(substituted.atoms()[0].as_trivial(), Some(false));
+    }
+
+    #[test]
+    fn interned_key_is_order_and_duplication_insensitive() {
+        let a = Atom::gt(x(), LinExpr::constant(0));
+        let b = Atom::eq(y(), LinExpr::constant(2));
+        let forward = System::from_atoms(vec![a.clone(), b.clone()]);
+        let backward = System::from_atoms(vec![b.clone(), a.clone(), a.clone()]);
+        assert_eq!(forward.interned_key(), backward.interned_key());
+        assert_eq!(forward.fingerprint(), backward.fingerprint());
+        let other = System::from_atoms(vec![a]);
+        assert_ne!(forward.interned_key(), other.interned_key());
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Incremental satisfiability over push/pop assumption frames.
+//!
+//! The configuration DFS in `retreet-analysis` extends one constraint
+//! system along every branch of the search tree: each recursion step
+//! conjoins the atoms of one more intra-procedural path and re-asks
+//! "still satisfiable?".  Re-solving the whole conjunction from scratch at
+//! every step is what made the bounded engines quadratic-ish in practice.
+//!
+//! [`IncrementalSolver`] keeps the conjunction as a stack of *frames*:
+//!
+//! * [`IncrementalSolver::push`] opens a frame, [`IncrementalSolver::pop`]
+//!   drops every atom assumed since the matching push — the DFS backtrack
+//!   operation, O(1) amortized, no system cloning;
+//! * [`IncrementalSolver::check`] decides the current conjunction through a
+//!   shared [`SolverCache`], decomposed into variable-connected components —
+//!   so the already-SAT prefix of the stack is never re-solved (its
+//!   components hit the cache) and only components touched by newly assumed
+//!   atoms run the decision procedure;
+//! * once a prefix is known UNSAT, every deeper `check` is answered
+//!   immediately without looking at the solver at all (extension pruning:
+//!   a superset of an unsatisfiable set is unsatisfiable).
+
+use crate::constraint::{Atom, System};
+use crate::solver::{Outcome, Solver, SolverCache};
+
+/// A push/pop satisfiability stack over a shared [`SolverCache`].
+pub struct IncrementalSolver<'c> {
+    solver: Solver,
+    cache: &'c SolverCache,
+    atoms: Vec<Atom>,
+    /// Atom-stack length at each `push`.
+    frames: Vec<usize>,
+    /// `Some(frame_depth)` once the conjunction was found UNSAT at that
+    /// frame depth; cleared when popping above it.
+    unsat_at: Option<usize>,
+}
+
+impl<'c> IncrementalSolver<'c> {
+    /// A fresh stack deciding with `solver` through `cache`.
+    pub fn new(solver: Solver, cache: &'c SolverCache) -> Self {
+        IncrementalSolver {
+            solver,
+            cache,
+            atoms: Vec::new(),
+            frames: Vec::new(),
+            unsat_at: None,
+        }
+    }
+
+    /// Opens an assumption frame.
+    pub fn push(&mut self) {
+        self.frames.push(self.atoms.len());
+    }
+
+    /// Drops every atom assumed since the matching [`Self::push`].
+    ///
+    /// # Panics
+    /// Panics when there is no open frame.
+    pub fn pop(&mut self) {
+        let mark = self.frames.pop().expect("pop without matching push");
+        self.atoms.truncate(mark);
+        if self.unsat_at.is_some_and(|depth| self.frames.len() < depth) {
+            self.unsat_at = None;
+        }
+    }
+
+    /// Number of open frames.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Assumes one atom in the current frame.
+    pub fn assume(&mut self, atom: Atom) {
+        self.atoms.push(atom);
+    }
+
+    /// Assumes every atom of `system` in the current frame.
+    pub fn assume_all(&mut self, system: &System) {
+        self.atoms.extend(system.atoms().iter().cloned());
+    }
+
+    /// The current conjunction as an owned [`System`] (used to attach the
+    /// constraints to an enumerated configuration at a DFS leaf).
+    pub fn current_system(&self) -> System {
+        System::from_atoms(self.atoms.iter().cloned())
+    }
+
+    /// Decides the current conjunction.
+    ///
+    /// UNSAT prefixes are pruned: once a check at some frame depth answered
+    /// UNSAT, every deeper (or same-depth, extended) conjunction is UNSAT
+    /// without re-solving.  SAT prefixes are never re-solved either — their
+    /// variable-connected components hit the shared cache.
+    pub fn check(&mut self) -> Outcome {
+        if self
+            .unsat_at
+            .is_some_and(|depth| self.frames.len() >= depth)
+        {
+            return Outcome::Unsat;
+        }
+        let outcome = self.solver.check_cached(&self.current_system(), self.cache);
+        if outcome.is_unsat() {
+            self.unsat_at = Some(self.frames.len());
+        }
+        outcome
+    }
+
+    /// True when the current conjunction is satisfiable (convenience over
+    /// [`Self::check`]).
+    pub fn is_sat(&mut self) -> bool {
+        self.check().is_sat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{LinExpr, Sym};
+
+    fn var(i: usize) -> LinExpr {
+        LinExpr::var(Sym::from_usize(i))
+    }
+
+    #[test]
+    fn push_pop_restores_satisfiability() {
+        let cache = SolverCache::new();
+        let mut inc = IncrementalSolver::new(Solver::decision_only(), &cache);
+        inc.assume(Atom::ge(var(0), LinExpr::constant(0)));
+        assert!(inc.is_sat());
+        inc.push();
+        inc.assume(Atom::lt(var(0), LinExpr::constant(0)));
+        assert!(!inc.is_sat());
+        inc.pop();
+        assert!(inc.is_sat());
+    }
+
+    #[test]
+    fn unsat_prefix_prunes_deeper_checks_without_solving() {
+        let cache = SolverCache::new();
+        let mut inc = IncrementalSolver::new(Solver::decision_only(), &cache);
+        inc.push();
+        inc.assume(Atom::gt(var(0), LinExpr::constant(0)));
+        inc.assume(Atom::lt(var(0), LinExpr::constant(0)));
+        assert!(!inc.is_sat());
+        let after_unsat = cache.stats();
+        inc.push();
+        // Constraints over a *fresh* variable: a non-incremental solver
+        // would re-solve; the pruned stack answers UNSAT from the prefix.
+        inc.assume(Atom::ge(var(1), LinExpr::constant(3)));
+        assert!(!inc.is_sat());
+        let after_pruned = cache.stats();
+        assert_eq!(after_unsat.misses, after_pruned.misses, "no new solve");
+        inc.pop();
+        inc.pop();
+        assert!(inc.is_sat(), "empty stack is trivially satisfiable");
+    }
+
+    #[test]
+    fn sat_prefix_components_hit_the_cache() {
+        let cache = SolverCache::new();
+        let mut inc = IncrementalSolver::new(Solver::decision_only(), &cache);
+        inc.assume(Atom::ge(var(0), LinExpr::constant(1)));
+        assert!(inc.is_sat());
+        let first = cache.stats();
+        inc.push();
+        inc.assume(Atom::ge(var(1), LinExpr::constant(2)));
+        assert!(inc.is_sat());
+        let second = cache.stats();
+        // The prefix component `x0 >= 1` was answered from the cache; only
+        // the fresh `x1 >= 2` component ran the solver.
+        assert_eq!(second.misses, first.misses + 1);
+        assert!(second.hits > first.hits);
+    }
+
+    #[test]
+    fn current_system_reflects_the_stack() {
+        let cache = SolverCache::new();
+        let mut inc = IncrementalSolver::new(Solver::decision_only(), &cache);
+        inc.assume(Atom::ge(var(0), LinExpr::constant(0)));
+        inc.push();
+        inc.assume(Atom::le(var(0), LinExpr::constant(5)));
+        assert_eq!(inc.current_system().len(), 2);
+        inc.pop();
+        assert_eq!(inc.current_system().len(), 1);
+        assert_eq!(inc.depth(), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Hash-consing of atoms and linear expressions.
+//!
+//! The bounded engines create the *same* constraints over and over: every
+//! tree shape re-grounds the same path conditions, and every configuration
+//! pair re-conjoins the same feasibility systems.  Interning maps each
+//! distinct [`Atom`] / [`LinExpr`] to a small integer id exactly once, so
+//!
+//! * structural equality degrades to an integer compare,
+//! * a [`crate::constraint::System`] has a compact *normalized key* (its
+//!   sorted, deduplicated atom ids) suitable as an exact memo-cache key, and
+//! * the solver memo cache ([`crate::solver::SolverCache`]) never has to hash
+//!   a full expression tree on the hot path more than once per distinct atom.
+//!
+//! The pools are process-global and append-only: ids staying stable for
+//! the lifetime of the process is what makes them usable as exact cache
+//! keys (evicting pool entries while any [`crate::solver::SolverCache`]
+//! still holds their ids would let a recycled id alias a different atom).
+//! One program's enumeration produces a few thousand distinct atoms, so the
+//! cost is a few hundred KB per distinct program verified; a process
+//! serving an unbounded stream of *distinct* programs will grow the pools
+//! without bound — epoch-scoped pools tied to the per-program analysis
+//! context are the planned fix if that workload materializes.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+use crate::constraint::Atom;
+use crate::term::LinExpr;
+
+/// The interned identity of an [`Atom`]: equal ids ⇔ structurally equal
+/// atoms (within one process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AtomId(u32);
+
+impl AtomId {
+    /// The raw pool index.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for AtomId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// The interned identity of a [`LinExpr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExprId(u32);
+
+impl ExprId {
+    /// The raw pool index.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ExprId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+struct Pool<T> {
+    ids: HashMap<T, u32>,
+    items: Vec<T>,
+}
+
+impl<T: Clone + Eq + std::hash::Hash> Pool<T> {
+    fn new() -> Self {
+        Pool {
+            ids: HashMap::new(),
+            items: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, value: &T) -> u32 {
+        if let Some(&id) = self.ids.get(value) {
+            return id;
+        }
+        let id = u32::try_from(self.items.len()).expect("intern pool overflow");
+        self.items.push(value.clone());
+        self.ids.insert(value.clone(), id);
+        id
+    }
+
+    fn get(&self, id: u32) -> Option<T> {
+        self.items.get(id as usize).cloned()
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+fn atom_pool() -> &'static Mutex<Pool<Atom>> {
+    static POOL: OnceLock<Mutex<Pool<Atom>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(Pool::new()))
+}
+
+fn expr_pool() -> &'static Mutex<Pool<LinExpr>> {
+    static POOL: OnceLock<Mutex<Pool<LinExpr>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(Pool::new()))
+}
+
+/// Interns an atom, returning its stable process-wide id.
+pub fn atom_id(atom: &Atom) -> AtomId {
+    AtomId(atom_pool().lock().expect("atom pool poisoned").intern(atom))
+}
+
+/// Recovers the atom behind an id (a clone of the pooled value).
+pub fn atom_of(id: AtomId) -> Option<Atom> {
+    atom_pool().lock().expect("atom pool poisoned").get(id.0)
+}
+
+/// Interns a linear expression, returning its stable process-wide id.
+pub fn expr_id(expr: &LinExpr) -> ExprId {
+    ExprId(expr_pool().lock().expect("expr pool poisoned").intern(expr))
+}
+
+/// Recovers the expression behind an id (a clone of the pooled value).
+pub fn expr_of(id: ExprId) -> Option<LinExpr> {
+    expr_pool().lock().expect("expr pool poisoned").get(id.0)
+}
+
+/// Number of distinct atoms interned so far (diagnostics).
+pub fn atom_pool_len() -> usize {
+    atom_pool().lock().expect("atom pool poisoned").len()
+}
+
+/// Number of distinct expressions interned so far (diagnostics).
+pub fn expr_pool_len() -> usize {
+    expr_pool().lock().expect("expr pool poisoned").len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Rel;
+    use crate::term::Sym;
+
+    fn atom(c: i64) -> Atom {
+        Atom::new(
+            LinExpr::var(Sym::from_usize(0)) + LinExpr::constant(c),
+            Rel::Ge,
+        )
+    }
+
+    #[test]
+    fn equal_atoms_share_an_id() {
+        let a = atom_id(&atom(3));
+        let b = atom_id(&atom(3));
+        assert_eq!(a, b);
+        assert_eq!(atom_of(a), Some(atom(3)));
+    }
+
+    #[test]
+    fn distinct_atoms_get_distinct_ids() {
+        assert_ne!(atom_id(&atom(1)), atom_id(&atom(2)));
+    }
+
+    #[test]
+    fn expressions_intern_independently_of_atoms() {
+        let e = LinExpr::var(Sym::from_usize(1)) + LinExpr::constant(7);
+        let a = expr_id(&e);
+        let b = expr_id(&e);
+        assert_eq!(a, b);
+        assert_eq!(expr_of(a), Some(e));
+        assert!(expr_pool_len() >= 1);
+        assert!(atom_pool_len() >= 1 || atom_pool_len() == 0);
+    }
+}

@@ -19,7 +19,14 @@
 //!   produces.
 //! * [`solver`] — the public entry point: [`solver::Solver`] combines interval
 //!   propagation, equality substitution and Fourier–Motzkin elimination and
-//!   answers sat/unsat, optionally with a model.
+//!   answers sat/unsat, optionally with a model.  [`solver::SolverCache`]
+//!   memoizes outcomes per normalized system, decomposed into
+//!   variable-connected components.
+//! * [`intern`] — hash-consing of atoms and expressions; the source of the
+//!   normalized system keys the memo cache is exact over.
+//! * [`incremental`] — [`incremental::IncrementalSolver`], push/pop
+//!   assumption frames with cached-UNSAT prefix pruning (the DFS engine's
+//!   backtracking interface).
 //! * [`symtab`] — a small symbol interner shared by the other Retreet crates.
 //!
 //! # Example
@@ -49,6 +56,8 @@
 
 pub mod constraint;
 pub mod fm;
+pub mod incremental;
+pub mod intern;
 pub mod interval;
 pub mod model;
 pub mod solver;
@@ -58,15 +67,19 @@ pub mod term;
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::constraint::{Atom, Rel, System};
+    pub use crate::incremental::IncrementalSolver;
+    pub use crate::intern::{AtomId, ExprId};
     pub use crate::interval::{Interval, IntervalMap};
     pub use crate::model::Model;
-    pub use crate::solver::{Outcome, Solver};
+    pub use crate::solver::{Outcome, Solver, SolverCache};
     pub use crate::symtab::SymTab;
     pub use crate::term::{LinExpr, Sym};
 }
 
 pub use constraint::{Atom, Rel, System};
+pub use incremental::IncrementalSolver;
+pub use intern::{AtomId, ExprId};
 pub use model::Model;
-pub use solver::{Outcome, Solver};
+pub use solver::{Outcome, Solver, SolverCache, SolverCacheStats};
 pub use symtab::SymTab;
 pub use term::{LinExpr, Sym};

@@ -14,8 +14,13 @@
 //! integer [`Model`] by projecting the system onto one variable at a time,
 //! picking a witness inside the implied bounds, and substituting it back.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
 use crate::constraint::{Atom, Rel, System};
 use crate::fm::{check_inequalities, FmResult};
+use crate::intern::AtomId;
 use crate::interval::{propagate, PropagationResult};
 use crate::model::Model;
 use crate::term::{LinExpr, Sym};
@@ -71,6 +76,78 @@ impl Default for Solver {
     }
 }
 
+/// A memo cache mapping *normalized systems* (their sorted, deduplicated
+/// interned atom ids — see [`System::interned_key`]) to solver [`Outcome`]s.
+///
+/// The bounded engines discharge the same conjunctions thousands of times:
+/// every tree shape re-grounds the same path conditions, and the O(n²)
+/// configuration-pair loops re-conjoin the same feasibility systems.  With a
+/// shared cache each distinct conjunction is decided exactly once per
+/// process; every repeat is a hash lookup.
+///
+/// [`Solver::check_cached`] additionally splits a system into its
+/// variable-connected *components* and caches each component separately, so
+/// extending an already-checked system with constraints over fresh variables
+/// never re-solves the untouched part.
+///
+/// Keys are exact (interned atom id sets plus the solver configuration), so
+/// a hit can never return the verdict of a different conjunction.  The cache
+/// is thread-safe; share one per analysis run (or longer).
+#[derive(Debug, Default)]
+pub struct SolverCache {
+    map: Mutex<HashMap<(Vec<AtomId>, u32), Outcome>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Hit/miss/entry counters of a [`SolverCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverCacheStats {
+    /// Component checks answered from the cache.
+    pub hits: u64,
+    /// Component checks that ran the decision procedure.
+    pub misses: u64,
+    /// Distinct components stored.
+    pub entries: usize,
+}
+
+impl SolverCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current hit/miss/entry counters.
+    pub fn stats(&self) -> SolverCacheStats {
+        SolverCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("solver cache poisoned").len(),
+        }
+    }
+
+    fn get(&self, key: &(Vec<AtomId>, u32)) -> Option<Outcome> {
+        let map = self.map.lock().expect("solver cache poisoned");
+        match map.get(key) {
+            Some(outcome) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(outcome.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: (Vec<AtomId>, u32), outcome: Outcome) {
+        self.map
+            .lock()
+            .expect("solver cache poisoned")
+            .insert(key, outcome);
+    }
+}
+
 impl Solver {
     /// A solver with default settings.
     pub fn new() -> Self {
@@ -115,6 +192,64 @@ impl Solver {
             };
         }
         self.check_with_splits(system, &disequalities, 0)
+    }
+
+    /// Like [`Self::check`], but memoized through `cache` and decomposed
+    /// into variable-connected components first.
+    ///
+    /// Two atoms belong to the same component when they (transitively) share
+    /// a variable; a conjunction is satisfiable iff every component is.
+    /// Decomposition makes the memoization *incremental*: conjoining two
+    /// already-checked systems (as the configuration-pair loops do) mostly
+    /// re-encounters components that are already in the cache, and only the
+    /// components actually connected by shared variables are re-decided.
+    pub fn check_cached(&self, system: &System, cache: &SolverCache) -> Outcome {
+        let cfg = self.cache_tag();
+        let mut models: Option<Vec<Model>> = self.build_models.then(Vec::new);
+        for component in components(system) {
+            let outcome = match component {
+                Component::TriviallyFalse => return Outcome::Unsat,
+                Component::TriviallyTrue => continue,
+                Component::System(subsystem) => {
+                    let key = (subsystem.interned_key(), cfg);
+                    match cache.get(&key) {
+                        Some(outcome) => outcome,
+                        None => {
+                            let outcome = self.check(&subsystem);
+                            cache.insert(key, outcome.clone());
+                            outcome
+                        }
+                    }
+                }
+            };
+            match outcome {
+                Outcome::Unsat => return Outcome::Unsat,
+                Outcome::Sat(Some(model)) => {
+                    if let Some(models) = models.as_mut() {
+                        models.push(model);
+                    }
+                }
+                Outcome::Sat(None) => models = None,
+            }
+        }
+        let merged = models.map(|parts| {
+            let mut model = Model::new();
+            for part in parts {
+                for (sym, value) in part.iter() {
+                    model.assign(sym, value);
+                }
+            }
+            model
+        });
+        Outcome::Sat(merged)
+    }
+
+    /// The part of the solver configuration that can change an outcome —
+    /// mixed into [`SolverCache`] keys so differently-configured solvers can
+    /// share one cache exactly.
+    fn cache_tag(&self) -> u32 {
+        (u32::try_from(self.max_disequality_splits.min(0x7fff_ffff)).unwrap_or(0x7fff_ffff) << 1)
+            | u32::from(self.build_models)
     }
 
     /// Convenience helper: decides whether `system ∧ extra` is satisfiable.
@@ -209,6 +344,86 @@ impl Solver {
             None
         }
     }
+}
+
+/// One variable-connected component of a system.
+enum Component {
+    /// A constant atom that holds (contributes nothing).
+    TriviallyTrue,
+    /// A constant atom that fails (the whole system is unsatisfiable).
+    TriviallyFalse,
+    /// A sub-conjunction whose atoms transitively share variables.
+    System(System),
+}
+
+/// Splits a conjunction into variable-connected components (union–find over
+/// the atoms' variables).  Constant atoms are folded immediately.  The
+/// decomposition is deterministic: components come out ordered by the first
+/// atom of each component in the original system.
+fn components(system: &System) -> Vec<Component> {
+    let atoms = system.atoms();
+    let mut out = Vec::new();
+    // Union–find over atom indices, linked through shared variables.
+    let mut parent: Vec<usize> = (0..atoms.len()).collect();
+    fn find(parent: &mut [usize], i: usize) -> usize {
+        let mut root = i;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = i;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    let mut owner_of_var: HashMap<Sym, usize> = HashMap::new();
+    for (i, atom) in atoms.iter().enumerate() {
+        if atom.as_trivial().is_some() {
+            continue;
+        }
+        for var in atom.vars() {
+            match owner_of_var.get(&var) {
+                Some(&j) => {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        // Keep the smaller index as the root so component
+                        // order follows the original atom order.
+                        let (lo, hi) = if ri < rj { (ri, rj) } else { (rj, ri) };
+                        parent[hi] = lo;
+                    }
+                }
+                None => {
+                    owner_of_var.insert(var, i);
+                }
+            }
+        }
+    }
+    let mut groups: HashMap<usize, System> = HashMap::new();
+    let mut order: Vec<usize> = Vec::new();
+    for (i, atom) in atoms.iter().enumerate() {
+        match atom.as_trivial() {
+            Some(true) => out.push(Component::TriviallyTrue),
+            Some(false) => {
+                out.push(Component::TriviallyFalse);
+            }
+            None => {
+                let root = find(&mut parent, i);
+                groups
+                    .entry(root)
+                    .or_insert_with(|| {
+                        order.push(root);
+                        System::new()
+                    })
+                    .push(atom.clone());
+            }
+        }
+    }
+    for root in order {
+        out.push(Component::System(groups.remove(&root).expect("grouped")));
+    }
+    out
 }
 
 /// Substitutes every assignment of `model` into `system`.
@@ -386,6 +601,73 @@ mod tests {
         let outcome = Solver::decision_only().check(&sys);
         assert!(outcome.is_sat());
         assert!(outcome.model().is_none());
+    }
+
+    #[test]
+    fn cached_check_agrees_with_direct_check() {
+        let (_, x, y, z) = setup();
+        let cache = SolverCache::new();
+        let systems = vec![
+            System::new(),
+            System::from_atoms(vec![
+                Atom::gt(LinExpr::var(x), LinExpr::var(y)),
+                Atom::ge(LinExpr::var(y), LinExpr::constant(3)),
+                Atom::le(LinExpr::var(x), LinExpr::constant(4)),
+            ]),
+            System::from_atoms(vec![
+                Atom::lt(LinExpr::var(x), LinExpr::var(y)),
+                Atom::lt(LinExpr::var(y), LinExpr::var(z)),
+                Atom::lt(LinExpr::var(z), LinExpr::var(x)),
+            ]),
+            System::from_atoms(vec![
+                Atom::eq(LinExpr::var(x), LinExpr::constant(5)),
+                Atom::ne(LinExpr::var(x), LinExpr::constant(5)),
+            ]),
+            System::from_atoms(vec![Atom::falsity()]),
+        ];
+        for solver in [Solver::new(), Solver::decision_only()] {
+            for sys in &systems {
+                let direct = solver.check(sys);
+                let cached = solver.check_cached(sys, &cache);
+                assert_eq!(direct.is_sat(), cached.is_sat(), "system {sys}");
+                if let Some(model) = cached.model() {
+                    assert!(model.satisfies(sys));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_splits_independent_components() {
+        let (_, x, y, _) = setup();
+        let cache = SolverCache::new();
+        let solver = Solver::decision_only();
+        let a = System::from_atoms(vec![Atom::ge(LinExpr::var(x), LinExpr::constant(0))]);
+        let b = System::from_atoms(vec![Atom::ge(LinExpr::var(y), LinExpr::constant(1))]);
+        assert!(solver.check_cached(&a, &cache).is_sat());
+        assert!(solver.check_cached(&b, &cache).is_sat());
+        let before = cache.stats();
+        // The conjunction decomposes into the two already-cached components:
+        // no new solver run.
+        let mut ab = a.clone();
+        ab.extend_from(&b);
+        assert!(solver.check_cached(&ab, &cache).is_sat());
+        let after = cache.stats();
+        assert_eq!(before.misses, after.misses);
+        assert_eq!(after.hits, before.hits + 2);
+    }
+
+    #[test]
+    fn cached_models_merge_across_components() {
+        let (_, x, y, _) = setup();
+        let cache = SolverCache::new();
+        let sys = System::from_atoms(vec![
+            Atom::ge(LinExpr::var(x), LinExpr::constant(7)),
+            Atom::le(LinExpr::var(y), LinExpr::constant(-2)),
+        ]);
+        let outcome = Solver::new().check_cached(&sys, &cache);
+        let model = outcome.model().expect("merged model");
+        assert!(model.satisfies(&sys));
     }
 
     #[test]

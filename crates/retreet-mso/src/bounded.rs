@@ -11,7 +11,7 @@
 
 use crate::checker::{eval, Assignment};
 use crate::formula::Formula;
-use crate::tree::{all_trees_up_to, LabeledTree};
+use crate::tree::{shared_trees_up_to, LabeledTree};
 
 /// The verdict of a bounded validity query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,10 +50,10 @@ pub fn check_validity(formula: &Formula, max_nodes: usize) -> BoundedVerdict {
         "bounded validity requires a closed formula; quantify the free variables"
     );
     let mut trees_checked = 0;
-    for tree in all_trees_up_to(max_nodes) {
+    for tree in shared_trees_up_to(max_nodes).iter() {
         trees_checked += 1;
-        if !eval(formula, &tree, &Assignment::new()) {
-            return BoundedVerdict::CounterExample(tree);
+        if !eval(formula, tree, &Assignment::new()) {
+            return BoundedVerdict::CounterExample(tree.clone());
         }
     }
     BoundedVerdict::ValidUpTo {
@@ -65,9 +65,10 @@ pub fn check_validity(formula: &Formula, max_nodes: usize) -> BoundedVerdict {
 /// Checks whether a *closed* formula is satisfiable by some binary tree with
 /// at most `max_nodes` nodes; returns a witness if so.
 pub fn check_satisfiability(formula: &Formula, max_nodes: usize) -> Option<LabeledTree> {
-    all_trees_up_to(max_nodes)
-        .into_iter()
+    shared_trees_up_to(max_nodes)
+        .iter()
         .find(|tree| eval(formula, tree, &Assignment::new()))
+        .cloned()
 }
 
 #[cfg(test)]

@@ -44,7 +44,7 @@ impl fmt::Display for SoVar {
 }
 
 /// An MSO formula over binary trees.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Formula {
     /// Constant true.
     True,

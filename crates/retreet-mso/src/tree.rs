@@ -302,6 +302,25 @@ pub fn all_trees_up_to(max_nodes: usize) -> Vec<LabeledTree> {
     out
 }
 
+/// [`all_trees_up_to`], memoized per bound for the lifetime of the process.
+///
+/// Every bounded query (race, equivalence, validity) walks the same shape
+/// corpus; enumerating Catalan-many shapes once per *bound* instead of once
+/// per *query* removes a fixed cost from every engine run.  The returned
+/// `Arc` shares one immutable vector across all callers and threads.
+pub fn shared_trees_up_to(max_nodes: usize) -> std::sync::Arc<Vec<LabeledTree>> {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Vec<LabeledTree>>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().expect("shape cache poisoned");
+    Arc::clone(
+        cache
+            .entry(max_nodes)
+            .or_insert_with(|| Arc::new(all_trees_up_to(max_nodes))),
+    )
+}
+
 /// Builds a complete binary tree of the given height (height 1 = single
 /// node); handy for tests and benchmarks.
 pub fn complete_tree(height: usize) -> LabeledTree {
@@ -382,6 +401,13 @@ mod tests {
         assert_eq!(shapes_with(5).len(), 42);
         // And the cumulative enumeration matches.
         assert_eq!(all_trees_up_to(4).len(), 1 + 2 + 5 + 14);
+        let shared = shared_trees_up_to(4);
+        assert_eq!(shared.len(), 1 + 2 + 5 + 14);
+        let again = shared_trees_up_to(4);
+        assert!(
+            std::sync::Arc::ptr_eq(&shared, &again),
+            "second lookup shares the cached vector"
+        );
     }
 
     #[test]

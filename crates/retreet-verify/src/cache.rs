@@ -2,17 +2,31 @@
 //!
 //! In the ROADMAP's serving scenario the same legality questions are asked
 //! over and over (every user fusing the same two library traversals asks
-//! the same `Conflict⟦P, P′⟧` query).  Queries are keyed by the canonical
-//! text of their subjects plus the option fingerprint, so a repeated query
-//! is O(key construction) instead of O(model enumeration) — and the cached
-//! verdict carries the *same witness* the original run produced.
+//! the same `Conflict⟦P, P′⟧` query).  Queries are keyed by a fixed-size
+//! structural hash of their subjects plus the option set ([`CacheKey`],
+//! computed once per query — no per-lookup re-canonicalization of program
+//! text), so a repeated query is O(hashing the AST) instead of O(model
+//! enumeration) — and the cached verdict carries the *same witness* the
+//! original run produced.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use crate::query::{OwnedQuery, Query, QueryKind};
 use crate::verdict::Verdict;
+
+/// A verdict-cache key: the query kind plus a 128-bit structural hash of
+/// the query subjects and the verifier's option set (see
+/// [`crate::Query::cache_key`]).  Fixed-size and `Copy`, so lookups hash a
+/// few machine words instead of the canonical program text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    pub(crate) kind: QueryKind,
+    pub(crate) h1: u64,
+    pub(crate) h2: u64,
+}
 
 /// Cache hit/miss counters (monotonic over the verifier's lifetime).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,8 +48,8 @@ pub(crate) struct VerdictCache {
 }
 
 struct CacheState {
-    map: HashMap<String, Verdict>,
-    insertion_order: VecDeque<String>,
+    map: HashMap<CacheKey, (OwnedQuery, Verdict)>,
+    insertion_order: VecDeque<CacheKey>,
 }
 
 impl VerdictCache {
@@ -59,27 +73,32 @@ impl VerdictCache {
         self.capacity > 0
     }
 
-    /// Looks up a verdict; counts a hit or miss.  The returned clone is
-    /// marked `cached` but keeps the original engine, soundness, witness and
-    /// timing.
-    pub(crate) fn get(&self, key: &str) -> Option<Verdict> {
+    /// Looks up a verdict; counts a hit or miss.  A key hit is only
+    /// trusted after the stored subjects compare equal to `query` (the
+    /// 128-bit hash key makes collisions astronomically unlikely, but a
+    /// verifier must not return another query's verdict even then); a
+    /// mismatch counts as a miss and the colliding entry is left in place.
+    /// The returned clone is marked `cached` but keeps the original engine,
+    /// soundness, witness and timing.
+    pub(crate) fn get(&self, key: &CacheKey, query: &Query<'_>) -> Option<Verdict> {
         let state = self.state.lock().expect("verdict cache poisoned");
         match state.map.get(key) {
-            Some(verdict) => {
+            Some((subjects, verdict)) if subjects.matches(query) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 let mut verdict = verdict.clone();
                 verdict.cached = true;
                 Some(verdict)
             }
-            None => {
+            _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Stores a verdict, evicting the oldest entry when full.
-    pub(crate) fn insert(&self, key: String, verdict: Verdict) {
+    /// Stores a verdict with its owning subjects, evicting the oldest
+    /// entry when full.
+    pub(crate) fn insert(&self, key: CacheKey, subjects: OwnedQuery, verdict: Verdict) {
         if self.capacity == 0 {
             return;
         }
@@ -90,9 +109,9 @@ impl VerdictCache {
                     state.map.remove(&oldest);
                 }
             }
-            state.insertion_order.push_back(key.clone());
+            state.insertion_order.push_back(key);
         }
-        state.map.insert(key, verdict);
+        state.map.insert(key, (subjects, verdict));
     }
 
     /// Current hit/miss/entry counters.
@@ -118,6 +137,7 @@ mod tests {
     use super::*;
     use crate::engine::Engine;
     use crate::verdict::{Outcome, Soundness};
+    use retreet_mso::formula::Formula;
     use std::time::Duration;
 
     fn verdict(n: usize) -> Verdict {
@@ -130,11 +150,29 @@ mod tests {
         }
     }
 
+    fn key(n: u64) -> CacheKey {
+        CacheKey {
+            kind: QueryKind::Validity,
+            h1: n,
+            h2: n.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    fn subjects() -> OwnedQuery {
+        OwnedQuery::Validity(Formula::True)
+    }
+
+    const QUERY_FORMULA: Formula = Formula::True;
+
+    fn query() -> Query<'static> {
+        Query::Validity(&QUERY_FORMULA)
+    }
+
     #[test]
     fn hit_returns_clone_marked_cached() {
         let cache = VerdictCache::new(8);
-        cache.insert("k".into(), verdict(7));
-        let got = cache.get("k").expect("hit");
+        cache.insert(key(0), subjects(), verdict(7));
+        let got = cache.get(&key(0), &query()).expect("hit");
         assert!(got.cached);
         assert_eq!(got.trees_checked(), 7);
         let stats = cache.stats();
@@ -144,40 +182,53 @@ mod tests {
     #[test]
     fn eviction_is_fifo_and_capacity_bounded() {
         let cache = VerdictCache::new(2);
-        cache.insert("a".into(), verdict(1));
-        cache.insert("b".into(), verdict(2));
-        cache.insert("c".into(), verdict(3));
-        assert!(cache.get("a").is_none(), "oldest entry evicted");
-        assert!(cache.get("b").is_some());
-        assert!(cache.get("c").is_some());
+        cache.insert(key(1), subjects(), verdict(1));
+        cache.insert(key(2), subjects(), verdict(2));
+        cache.insert(key(3), subjects(), verdict(3));
+        assert!(
+            cache.get(&key(1), &query()).is_none(),
+            "oldest entry evicted"
+        );
+        assert!(cache.get(&key(2), &query()).is_some());
+        assert!(cache.get(&key(3), &query()).is_some());
         assert_eq!(cache.stats().entries, 2);
     }
 
     #[test]
     fn zero_capacity_disables_storage() {
         let cache = VerdictCache::new(0);
-        cache.insert("k".into(), verdict(1));
-        assert!(cache.get("k").is_none());
+        cache.insert(key(0), subjects(), verdict(1));
+        assert!(cache.get(&key(0), &query()).is_none());
     }
 
     #[test]
     fn reinserting_an_existing_key_updates_in_place() {
         let cache = VerdictCache::new(2);
-        cache.insert("a".into(), verdict(1));
-        cache.insert("a".into(), verdict(9));
-        assert_eq!(cache.get("a").unwrap().trees_checked(), 9);
+        cache.insert(key(1), subjects(), verdict(1));
+        cache.insert(key(1), subjects(), verdict(9));
+        assert_eq!(cache.get(&key(1), &query()).unwrap().trees_checked(), 9);
         assert_eq!(cache.stats().entries, 1);
     }
 
     #[test]
     fn clear_preserves_counters() {
         let cache = VerdictCache::new(2);
-        cache.insert("a".into(), verdict(1));
-        let _ = cache.get("a");
+        cache.insert(key(1), subjects(), verdict(1));
+        let _ = cache.get(&key(1), &query());
         cache.clear();
-        assert!(cache.get("a").is_none());
+        assert!(cache.get(&key(1), &query()).is_none());
         let stats = cache.stats();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn key_collision_with_different_subjects_is_a_miss() {
+        let cache = VerdictCache::new(2);
+        cache.insert(key(1), OwnedQuery::Validity(Formula::False), verdict(1));
+        // Same key, different stored subjects: the equality guard must
+        // refuse to serve another query's verdict.
+        assert!(cache.get(&key(1), &query()).is_none());
+        assert_eq!(cache.stats().misses, 1);
     }
 }

@@ -84,7 +84,7 @@ impl fmt::Display for Engine {
 
 /// The resolved option set an engine run receives (built by
 /// [`crate::VerifierBuilder`]).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct EngineConfig {
     /// Largest tree (in nodes) for race queries.
     pub race_nodes: usize,
@@ -118,21 +118,6 @@ impl EngineConfig {
             .valuations(self.valuations)
             .check_dependence_order(self.check_dependence_order)
             .build()
-    }
-
-    /// A short stable fingerprint of every option that can change a
-    /// verdict; part of the verdict-cache key.
-    pub(crate) fn fingerprint(&self) -> String {
-        format!(
-            "r{}e{}v{}f{}d{}cap{}/{}",
-            self.race_nodes,
-            self.equiv_nodes,
-            self.validity_nodes,
-            self.valuations,
-            u8::from(self.check_dependence_order),
-            self.enumeration.max_depth,
-            self.enumeration.max_configurations,
-        )
     }
 }
 

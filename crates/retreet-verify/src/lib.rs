@@ -228,32 +228,6 @@ pub struct Verifier {
     cache: VerdictCache,
 }
 
-/// An owned copy of a query, so parallel engine workers can outlive the
-/// borrow the caller handed to [`Verifier::verify`].
-enum OwnedQuery {
-    DataRace(Program),
-    Equivalence(Program, Program),
-    Validity(Formula),
-}
-
-impl OwnedQuery {
-    fn from_query(query: &Query<'_>) -> Self {
-        match query {
-            Query::DataRace(p) => OwnedQuery::DataRace((*p).clone()),
-            Query::Equivalence(a, b) => OwnedQuery::Equivalence((*a).clone(), (*b).clone()),
-            Query::Validity(f) => OwnedQuery::Validity((*f).clone()),
-        }
-    }
-
-    fn as_query(&self) -> Query<'_> {
-        match self {
-            OwnedQuery::DataRace(p) => Query::DataRace(p),
-            OwnedQuery::Equivalence(a, b) => Query::Equivalence(a, b),
-            OwnedQuery::Validity(f) => Query::Validity(f),
-        }
-    }
-}
-
 impl Verifier {
     /// Starts building a verifier.
     pub fn builder() -> VerifierBuilder {
@@ -291,17 +265,13 @@ impl Verifier {
     /// [`Self::check_validity`] are thin conveniences over it.
     pub fn verify(&self, query: Query<'_>) -> Result<Verdict, VerifyError> {
         self.validate_subjects(&query)?;
-        // Key construction pretty-prints the query subjects; skip it (and
-        // the cache mutex) entirely when the cache is disabled.
-        let key = self.cache.enabled().then(|| {
-            format!(
-                "{}\u{2}{}",
-                self.config.fingerprint(),
-                query.canonical_key()
-            )
-        });
+        // The cache key is a fixed-size structural hash of the subjects and
+        // options, computed once here at query construction (no per-lookup
+        // re-canonicalization of program text); skip it (and the cache
+        // mutex) entirely when the cache is disabled.
+        let key = self.cache.enabled().then(|| query.cache_key(&self.config));
         if let Some(key) = &key {
-            if let Some(cached) = self.cache.get(key) {
+            if let Some(cached) = self.cache.get(key, &query) {
                 return Ok(cached);
             }
         }
@@ -323,7 +293,8 @@ impl Verifier {
             self.run_portfolio_sequential(&query, &applicable)?
         };
         if let Some(key) = key {
-            self.cache.insert(key, verdict.clone());
+            self.cache
+                .insert(key, query.to_owned_query(), verdict.clone());
         }
         Ok(verdict)
     }
@@ -436,7 +407,7 @@ impl Verifier {
         query: &Query<'_>,
         engines: &[Engine],
     ) -> Result<Verdict, VerifyError> {
-        let owned = Arc::new(OwnedQuery::from_query(query));
+        let owned = Arc::new(query.to_owned_query());
         let config = Arc::new(self.config.clone());
         let (sender, receiver) = mpsc::channel();
         for &engine in engines {

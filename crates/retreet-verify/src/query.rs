@@ -7,10 +7,13 @@
 //! can dispatch, cache and report all of them uniformly.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use retreet_lang::ast::Program;
-use retreet_lang::pretty;
 use retreet_mso::formula::Formula;
+
+use crate::cache::CacheKey;
+use crate::engine::EngineConfig;
 
 /// One verification question, borrowing its subject(s) from the caller.
 #[derive(Debug, Clone, Copy)]
@@ -58,22 +61,81 @@ impl Query<'_> {
         }
     }
 
-    /// A canonical textual key for this query, independent of how the
-    /// subject was constructed (parsed, built programmatically, cloned):
-    /// programs are keyed by their pretty-printed source, formulas by their
-    /// structural debug rendering.  Combined with the verifier's option
-    /// fingerprint this is the verdict-cache key.
-    pub(crate) fn canonical_key(&self) -> String {
+    /// An owned copy of this query (used by the verdict cache to verify
+    /// key hits by full subject equality, and by the parallel portfolio so
+    /// worker threads can outlive the caller's borrow).
+    pub(crate) fn to_owned_query(self) -> OwnedQuery {
         match self {
-            Query::DataRace(program) => {
-                format!("race\u{1}{}", pretty::print_program(program))
+            Query::DataRace(p) => OwnedQuery::DataRace((*p).clone()),
+            Query::Equivalence(a, b) => OwnedQuery::Equivalence((*a).clone(), (*b).clone()),
+            Query::Validity(f) => OwnedQuery::Validity((*f).clone()),
+        }
+    }
+
+    /// The verdict-cache key of this query under `config`: a 128-bit
+    /// structural hash of the query subjects (two independently seeded
+    /// 64-bit hashes over the ASTs) combined with the query kind and the
+    /// option set.
+    ///
+    /// Earlier revisions keyed the cache on the *pretty-printed program
+    /// text*, re-canonicalizing every subject on every lookup; hashing the
+    /// AST directly at query construction is allocation-free and O(subject)
+    /// with a far smaller constant, and the stored key is a fixed-size
+    /// value instead of the whole program text.  The key remains
+    /// construction-independent: parsed, built and cloned subjects hash
+    /// identically because the hash walks the AST, not the source.
+    pub(crate) fn cache_key(&self, config: &EngineConfig) -> CacheKey {
+        let digest = |domain: u8| -> u64 {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            domain.hash(&mut hasher);
+            config.hash(&mut hasher);
+            match self {
+                Query::DataRace(program) => program.hash(&mut hasher),
+                Query::Equivalence(original, transformed) => {
+                    original.hash(&mut hasher);
+                    transformed.hash(&mut hasher);
+                }
+                Query::Validity(formula) => formula.hash(&mut hasher),
             }
-            Query::Equivalence(original, transformed) => format!(
-                "equiv\u{1}{}\u{1}{}",
-                pretty::print_program(original),
-                pretty::print_program(transformed)
-            ),
-            Query::Validity(formula) => format!("valid\u{1}{formula:?}"),
+            hasher.finish()
+        };
+        CacheKey {
+            kind: self.kind(),
+            h1: digest(0),
+            h2: digest(1),
+        }
+    }
+}
+
+/// An owned copy of a [`Query`]'s subjects.
+pub(crate) enum OwnedQuery {
+    /// Owned [`Query::DataRace`].
+    DataRace(Program),
+    /// Owned [`Query::Equivalence`].
+    Equivalence(Program, Program),
+    /// Owned [`Query::Validity`].
+    Validity(Formula),
+}
+
+impl OwnedQuery {
+    /// The borrowed view of the owned subjects.
+    pub(crate) fn as_query(&self) -> Query<'_> {
+        match self {
+            OwnedQuery::DataRace(p) => Query::DataRace(p),
+            OwnedQuery::Equivalence(a, b) => Query::Equivalence(a, b),
+            OwnedQuery::Validity(f) => Query::Validity(f),
+        }
+    }
+
+    /// Full structural equality of the subjects — the collision guard the
+    /// verdict cache runs on every key hit (a 128-bit hash hit alone is not
+    /// proof the queries are the same).
+    pub(crate) fn matches(&self, query: &Query<'_>) -> bool {
+        match (self, query) {
+            (OwnedQuery::DataRace(p), Query::DataRace(q)) => p == *q,
+            (OwnedQuery::Equivalence(a, b), Query::Equivalence(c, d)) => a == *c && b == *d,
+            (OwnedQuery::Validity(f), Query::Validity(g)) => f == *g,
+            _ => false,
         }
     }
 }

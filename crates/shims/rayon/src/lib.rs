@@ -16,15 +16,23 @@
 #![forbid(unsafe_code)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
 
 /// Number of threads the shim is willing to keep busy (the machine's
 /// available parallelism).
+///
+/// Cached after the first call: `std::thread::available_parallelism` reads
+/// procfs/cgroupfs on Linux (tens of microseconds), and this function sits
+/// on the `join`/`spawn` hot path.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Tries to reserve one worker token; returns whether the reservation

@@ -55,6 +55,20 @@
 //! | `VerifiedParallelization::verify(&p, &RaceOptions)` | `VerifiedParallelization::verify_with(&verifier, &p)` |
 //! | `retreet_css::analysis_model::verify_css_fusion(&EquivOptions)` | `retreet_css::analysis_model::verify_css_fusion_with(&verifier)` |
 //! | mutating `RaceOptions` / `EquivOptions` / `EnumOptions` fields | `RaceOptions::builder()…build()` etc., or set the budget once on the `Verifier` builder |
+//! | repeated `Solver::check(&growing_system)` along a search | [`retreet_logic::IncrementalSolver`]: `push()` / `assume_all(&new_atoms)` / `check()` / `pop()` over a shared [`retreet_logic::SolverCache`] — the SAT prefix is never re-solved and a cached-UNSAT prefix prunes the extension outright |
+//! | `Solver::check` on systems that repeat across a query | `Solver::check_cached(&system, &cache)` (component-decomposed memoization keyed by [`retreet_logic::intern`]-ed atom ids) |
+//! | per-query `BlockTable::build` + re-summarized paths | `retreet_analysis::AnalysisContext::for_program(&p)` — block table, field sets, lazy path summaries, solver cache and symbol table, memoized process-wide per program |
+//! | the seed (pre-optimization) engine behaviour | preserved verbatim in `retreet_analysis::naive` (differential tests and the `bench_engines` "before" column only) |
+//!
+//! # Benchmarks
+//!
+//! `cargo run --release -p retreet-bench --bin bench_engines` writes
+//! `BENCH_engines.json` at the repository root: every §5 experiment timed
+//! through both the frozen naive engines and the optimized portfolio under
+//! the quick and the full budget (schema `retreet-bench-engines/v1`; format
+//! documented in `crates/README.md`).  CI's perf-smoke job runs the quick
+//! budget with a generous wall-clock ceiling to catch accidental
+//! exponential regressions.
 //!
 //! Old verdict shapes map to [`retreet_verify::Outcome`] variants: race
 //! witnesses, equivalence counterexamples and falsifying trees ride along

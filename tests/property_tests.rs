@@ -2,10 +2,13 @@
 //! invariants of the reproduction.
 
 use proptest::prelude::*;
+use retreet_analysis::equiv::{check_equivalence, EquivOptions};
+use retreet_analysis::race::{check_data_race, RaceOptions};
 use retreet_css::css::{generate_stylesheet, parse_css};
 use retreet_css::minify::{minify_fused, minify_reference, minify_unfused};
 use retreet_cycletree::numbering::{fused_number_and_route, number_cycletree, random_cycletree};
 use retreet_cycletree::routing::{compute_routing, route_path};
+use retreet_lang::corpus;
 use retreet_logic::{Atom, LinExpr, Solver, Sym, System};
 use retreet_runtime::tree::random_tree;
 use retreet_runtime::visit::{par_fold, seq_fold};
@@ -101,5 +104,87 @@ proptest! {
         prop_assert_eq!(&minify_unfused(&sheet), &reference);
         prop_assert_eq!(&minify_fused(&sheet), &reference);
         prop_assert_eq!(parse_css(&reference.to_css()).unwrap(), reference);
+    }
+
+    /// The optimized race engine (incremental solving, memo caches,
+    /// parallel pair loops) returns a verdict — and, for races, the exact
+    /// same witness — as the frozen pre-optimization naive engine, for
+    /// every program of the §5 corpus under arbitrary bounded budgets.
+    #[test]
+    fn optimized_race_engine_matches_naive_across_corpus(
+        max_nodes in 1usize..4,
+        valuations in 1usize..3,
+    ) {
+        let options = RaceOptions::builder()
+            .max_nodes(max_nodes)
+            .valuations(valuations)
+            .build();
+        for (name, program) in corpus::all() {
+            let naive = retreet_analysis::naive::check_data_race(&program, &options);
+            let optimized = check_data_race(&program, &options);
+            prop_assert_eq!(
+                naive.is_race_free(),
+                optimized.is_race_free(),
+                "{}: race verdicts diverge at max_nodes={} valuations={}",
+                name,
+                max_nodes,
+                valuations
+            );
+            match (naive.witness(), optimized.witness()) {
+                (None, None) => {}
+                (Some(a), Some(b)) => prop_assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "{}: race witnesses diverge",
+                    name
+                ),
+                _ => prop_assert!(false, "{}: witness presence diverges", name),
+            }
+        }
+    }
+
+    /// The optimized equivalence engine returns verdicts — and identical
+    /// counterexamples — matching the naive path on every §5 fusion pair
+    /// under arbitrary bounded budgets.
+    #[test]
+    fn optimized_equivalence_engine_matches_naive_across_corpus(
+        max_nodes in 1usize..5,
+        valuations in 1usize..3,
+        check_dependence_order in any::<bool>(),
+    ) {
+        let options = EquivOptions::builder()
+            .max_nodes(max_nodes)
+            .valuations(valuations)
+            .check_dependence_order(check_dependence_order)
+            .build();
+        let pairs = [
+            ("E1a", corpus::size_counting_sequential(), corpus::size_counting_fused()),
+            ("E1b", corpus::size_counting_sequential(), corpus::size_counting_fused_invalid()),
+            ("E2", corpus::tree_mutation_original(), corpus::tree_mutation_fused()),
+            ("E3", corpus::css_minify_original(), corpus::css_minify_fused()),
+            ("E4a", corpus::cycletree_original(), corpus::cycletree_fused()),
+        ];
+        for (name, original, transformed) in &pairs {
+            let naive = retreet_analysis::naive::check_equivalence(original, transformed, &options);
+            let optimized = check_equivalence(original, transformed, &options);
+            prop_assert_eq!(
+                naive.is_equivalent(),
+                optimized.is_equivalent(),
+                "{}: equivalence verdicts diverge at max_nodes={} valuations={}",
+                name,
+                max_nodes,
+                valuations
+            );
+            match (naive.counterexample(), optimized.counterexample()) {
+                (None, None) => {}
+                (Some(a), Some(b)) => prop_assert_eq!(
+                    format!("{:?}", a.disagreement),
+                    format!("{:?}", b.disagreement),
+                    "{}: counterexamples diverge",
+                    name
+                ),
+                _ => prop_assert!(false, "{}: counterexample presence diverges", name),
+            }
+        }
     }
 }
