@@ -1,0 +1,134 @@
+//! `bench_transform` — the certified-transform benchmark.
+//!
+//! Synthesizes every fusable §5 case through `retreet-transform`, checks
+//! the certificates, measures the fused single pass against the sequential
+//! pass composition on concrete workloads, and writes the machine-readable
+//! report to `BENCH_transform.json` at the repository root.
+//!
+//! ```text
+//! bench_transform [--quick] [--out PATH] [--min-speedup X]
+//!                 [--batches N] [--per-batch N]
+//! ```
+//!
+//! * `--quick` — quick certification budget and smaller workloads (the CI
+//!   perf-smoke mode).
+//! * `--out PATH` — where to write the JSON report (default
+//!   `BENCH_transform.json` in the current directory).
+//! * `--min-speedup X` — exit non-zero when any fused workload fails to
+//!   reach `X`× over its sequential composition (default 1.0: the fused
+//!   pass must at least match the sequential composition).
+//! * `--batches N` / `--per-batch N` — timing loop shape (default 5 × 3,
+//!   best-of-batches).
+//!
+//! The process fails on **certificate drift**: any §5 fusion the transform
+//! layer can no longer synthesize-and-certify as an equivalence (or whose
+//! output stops validating/roundtripping) is a correctness regression, not
+//! a performance number.
+
+use retreet_bench::{
+    certify_transforms, measure_transform_perf, render_transform_report, transform_report_to_json,
+    Budget,
+};
+
+struct Args {
+    quick: bool,
+    out: String,
+    min_speedup: f64,
+    batches: usize,
+    per_batch: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        out: String::from("BENCH_transform.json"),
+        min_speedup: 1.0,
+        batches: 5,
+        per_batch: 3,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} expects a value"));
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = value("--out")?,
+            "--min-speedup" => {
+                args.min_speedup = value("--min-speedup")?
+                    .parse()
+                    .map_err(|e| format!("--min-speedup: {e}"))?
+            }
+            "--batches" => {
+                args.batches = value("--batches")?
+                    .parse()
+                    .map_err(|e| format!("--batches: {e}"))?
+            }
+            "--per-batch" => {
+                args.per_batch = value("--per-batch")?
+                    .parse()
+                    .map_err(|e| format!("--per-batch: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "bench_transform [--quick] [--out PATH] [--min-speedup X] \
+                     [--batches N] [--per-batch N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("bench_transform: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    let (label, budget, tree_height, css_rules) = if args.quick {
+        ("quick", Budget::quick(), 14, 500)
+    } else {
+        ("full", Budget::default(), 18, 5_000)
+    };
+
+    println!("== certificates ({label} budget) ==");
+    let certs = certify_transforms(&budget);
+    let perf = measure_transform_perf(args.batches, args.per_batch, tree_height, css_rules);
+    print!("{}", render_transform_report(&certs, &perf));
+
+    let json = transform_report_to_json(label, &budget, &certs, &perf);
+    if let Err(err) = std::fs::write(&args.out, &json) {
+        eprintln!("bench_transform: cannot write {}: {err}", args.out);
+        std::process::exit(1);
+    }
+    println!("report written to {}", args.out);
+
+    let mut failed = false;
+    for row in &certs {
+        if !row.certified || row.kind != "equivalence" {
+            eprintln!(
+                "bench_transform: certificate drift on {} ({}): {}",
+                row.id, row.case, row.detail
+            );
+            failed = true;
+        }
+    }
+    for row in &perf {
+        if row.speedup() < args.min_speedup {
+            eprintln!(
+                "bench_transform: {} fused pass reached only {:.2}x (minimum {:.2}x)",
+                row.id,
+                row.speedup(),
+                args.min_speedup
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -699,6 +699,265 @@ pub fn engine_perf_to_json(sections: &[(&str, &Budget, Vec<EnginePerfRow>)]) -> 
     out
 }
 
+// ---------------------------------------------------------------------------
+// The transform report: certificates + fused-vs-sequential runtime
+// ---------------------------------------------------------------------------
+
+/// One certificate row of the transform report: a §5 fusion synthesized by
+/// `retreet_transform::fuse_main_passes` with its equivalence certificate.
+#[derive(Debug, Clone)]
+pub struct TransformCertRow {
+    /// Experiment identifier (E1, E2, E3, E4a).
+    pub id: &'static str,
+    /// Corpus case name.
+    pub case: &'static str,
+    /// How many fused functions the worklist synthesized.
+    pub fused_functions: usize,
+    /// Certificate kind (`"equivalence"` when certified).
+    pub kind: String,
+    /// Engine provenance of the certifying verdict.
+    pub engine: &'static str,
+    /// Bounded models the certificate rests on.
+    pub trees_checked: usize,
+    /// True when the transform layer produced a certified program that
+    /// validates and roundtrips; false records a drift (and fails the run).
+    pub certified: bool,
+    /// Wall-clock of the certifying verdict, seconds.
+    pub elapsed_seconds: f64,
+    /// Failure detail when `certified` is false.
+    pub detail: String,
+}
+
+/// Synthesizes and certifies every fusable §5 case through the transform
+/// layer under `budget`, recording certificate provenance.  A row with
+/// `certified == false` is *certificate drift* — the construction or the
+/// verdict changed — and `bench_transform` fails on it.
+pub fn certify_transforms(budget: &Budget) -> Vec<TransformCertRow> {
+    use retreet_transform::fuse_main_passes;
+
+    let verifier = budget.equivalence_verifier();
+    let cases: [(&'static str, &'static str, retreet_lang::ast::Program); 4] = [
+        ("E1", "size_counting", corpus::size_counting_sequential()),
+        ("E2", "tree_mutation", corpus::tree_mutation_original()),
+        ("E3", "css_minify", corpus::css_minify_original()),
+        ("E4a", "cycletree", corpus::cycletree_original()),
+    ];
+    cases
+        .into_iter()
+        .map(
+            |(id, case, original)| match fuse_main_passes(&verifier, &original) {
+                Ok(certified) => TransformCertRow {
+                    id,
+                    case,
+                    fused_functions: certified
+                        .transformed
+                        .funcs
+                        .iter()
+                        .filter(|f| f.name.starts_with("Fused_"))
+                        .count(),
+                    kind: certified.certificate.kind.to_string(),
+                    engine: certified.certificate.engine().name(),
+                    trees_checked: certified.certificate.trees_checked(),
+                    certified: true,
+                    elapsed_seconds: certified.certificate.verdict.elapsed.as_secs_f64(),
+                    detail: String::new(),
+                },
+                Err(err) => TransformCertRow {
+                    id,
+                    case,
+                    fused_functions: 0,
+                    kind: String::from("none"),
+                    engine: "none",
+                    trees_checked: 0,
+                    certified: false,
+                    elapsed_seconds: 0.0,
+                    detail: err.to_string(),
+                },
+            },
+        )
+        .collect()
+}
+
+/// One runtime row of the transform report: the fused single pass against
+/// the sequential composition of passes, on a concrete workload.
+#[derive(Debug, Clone)]
+pub struct TransformPerfRow {
+    /// Experiment identifier (E1, E3).
+    pub id: &'static str,
+    /// Workload description.
+    pub case: &'static str,
+    /// How many passes the sequential baseline runs.
+    pub passes: usize,
+    /// Workload size (tree nodes / CSS declarations).
+    pub input_size: usize,
+    /// Best-of-batches wall-clock of the sequential composition, seconds.
+    pub sequential_seconds: f64,
+    /// Best-of-batches wall-clock of the fused single pass, seconds.
+    pub fused_seconds: f64,
+}
+
+impl TransformPerfRow {
+    /// sequential / fused.
+    pub fn speedup(&self) -> f64 {
+        self.sequential_seconds / self.fused_seconds
+    }
+}
+
+/// Measures the fused-vs-sequential runtime on the two executable
+/// workloads of the evaluation: the E1 size-counting fold over a complete
+/// tree and the E3 CSS minifier over a generated style sheet.  `scale`
+/// controls workload size (tree height / rule count).
+pub fn measure_transform_perf(
+    batches: usize,
+    per_batch: usize,
+    tree_height: usize,
+    css_rules: usize,
+) -> Vec<TransformPerfRow> {
+    use retreet_css::css::generate_stylesheet;
+    use retreet_css::minify::{minify_fused, minify_unfused};
+    use retreet_runtime::tree::complete_tree;
+    use retreet_runtime::visit::seq_fold;
+
+    let mut rows = Vec::new();
+
+    // E1 — Odd; Even as two full traversals vs the fused pair-returning
+    // traversal (Fig. 6a as a runtime fold).
+    let tree = complete_tree(tree_height, &|_| ());
+    let combine = |_: &(), (lo, le): (u64, u64), (ro, re): (u64, u64)| (le + re + 1, lo + ro);
+    let sequential_seconds = best_of(batches, per_batch, || {
+        let odd = seq_fold(&tree, &|| (0u64, 0u64), &combine).0;
+        let even = seq_fold(&tree, &|| (0u64, 0u64), &combine).1;
+        std::hint::black_box((odd, even));
+    });
+    let fused_seconds = best_of(batches, per_batch, || {
+        let both = seq_fold(&tree, &|| (0u64, 0u64), &combine);
+        std::hint::black_box(both);
+    });
+    rows.push(TransformPerfRow {
+        id: "E1",
+        case: "size counting: Odd; Even (2 traversals) vs fused (1 traversal)",
+        passes: 2,
+        input_size: tree.len(),
+        sequential_seconds,
+        fused_seconds,
+    });
+
+    // E3 — the three-pass minifier vs the fused single pass, on a realistic
+    // style sheet.
+    let sheet = generate_stylesheet(css_rules, 42);
+    let sequential_seconds = best_of(batches, per_batch, || {
+        std::hint::black_box(minify_unfused(&sheet));
+    });
+    let fused_seconds = best_of(batches, per_batch, || {
+        std::hint::black_box(minify_fused(&sheet));
+    });
+    rows.push(TransformPerfRow {
+        id: "E3",
+        case: "CSS minify: ConvertValues; MinifyFont; ReduceInit (3 passes) vs fused (1 pass)",
+        passes: 3,
+        input_size: sheet.num_declarations(),
+        sequential_seconds,
+        fused_seconds,
+    });
+
+    rows
+}
+
+/// Renders the transform report as aligned text tables.
+pub fn render_transform_report(certs: &[TransformCertRow], perf: &[TransformPerfRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<5} {:<16} {:>6} {:>14} {:>14} {:>8} {:>10}\n",
+        "id", "case", "fused", "certificate", "engine", "models", "certified"
+    ));
+    for row in certs {
+        out.push_str(&format!(
+            "{:<5} {:<16} {:>6} {:>14} {:>14} {:>8} {:>10}\n",
+            row.id,
+            row.case,
+            row.fused_functions,
+            row.kind,
+            row.engine,
+            row.trees_checked,
+            if row.certified { "yes" } else { "NO" }
+        ));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<5} {:>7} {:>10} {:>16} {:>12} {:>9}\n",
+        "id", "passes", "size", "sequential (ms)", "fused (ms)", "speedup"
+    ));
+    for row in perf {
+        out.push_str(&format!(
+            "{:<5} {:>7} {:>10} {:>16.4} {:>12.4} {:>8.2}x\n",
+            row.id,
+            row.passes,
+            row.input_size,
+            row.sequential_seconds * 1e3,
+            row.fused_seconds * 1e3,
+            row.speedup()
+        ));
+    }
+    out
+}
+
+/// Serializes the transform report to the `BENCH_transform.json` document
+/// (schema `retreet-bench-transform/v1`; format in `crates/README.md`).
+pub fn transform_report_to_json(
+    budget_label: &str,
+    budget: &Budget,
+    certs: &[TransformCertRow],
+    perf: &[TransformPerfRow],
+) -> String {
+    let mut out = String::from("{\n  \"schema\": \"retreet-bench-transform/v1\",\n");
+    out.push_str(
+        "  \"methodology\": \"certificates: fuse_main_passes under the stated budget, \
+         verdict cache disabled; runtime: best-of-batches wall-clock of the sequential \
+         pass composition vs the fused single pass on concrete workloads\",\n",
+    );
+    out.push_str(&format!(
+        "  \"budget\": {{ \"label\": \"{}\", \"equiv_nodes\": {}, \"equiv_valuations\": {} }},\n",
+        json_escape(budget_label),
+        budget.equiv_nodes,
+        budget.equiv_valuations,
+    ));
+    out.push_str("  \"certificates\": [\n");
+    for (i, row) in certs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"case\": \"{}\", \"fused_functions\": {}, \
+             \"kind\": \"{}\", \"engine\": \"{}\", \"trees_checked\": {}, \
+             \"certified\": {}, \"elapsed_seconds\": {:.6}, \"detail\": \"{}\" }}{}\n",
+            json_escape(row.id),
+            json_escape(row.case),
+            row.fused_functions,
+            json_escape(&row.kind),
+            json_escape(row.engine),
+            row.trees_checked,
+            row.certified,
+            row.elapsed_seconds,
+            json_escape(&row.detail),
+            if i + 1 < certs.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"runtime\": [\n");
+    for (i, row) in perf.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"case\": \"{}\", \"passes\": {}, \"input_size\": {}, \
+             \"sequential_seconds\": {:.6}, \"fused_seconds\": {:.6}, \"speedup\": {:.2} }}{}\n",
+            json_escape(row.id),
+            json_escape(row.case),
+            row.passes,
+            row.input_size,
+            row.sequential_seconds,
+            row.fused_seconds,
+            row.speedup(),
+            if i + 1 < perf.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -761,5 +1020,32 @@ mod tests {
     #[test]
     fn json_escaping_handles_special_characters() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn transform_certificates_hold_under_the_quick_budget() {
+        let certs = certify_transforms(&Budget::quick());
+        assert_eq!(certs.len(), 4);
+        for row in &certs {
+            assert!(row.certified, "{} drifted: {}", row.id, row.detail);
+            assert_eq!(row.kind, "equivalence", "{}", row.id);
+            assert!(row.trees_checked > 0, "{}", row.id);
+        }
+        // The cycletree fusion is the only multi-function tuple family.
+        let cycletree = certs.iter().find(|r| r.id == "E4a").unwrap();
+        assert_eq!(cycletree.fused_functions, 4);
+    }
+
+    #[test]
+    fn transform_report_serializes_with_the_versioned_schema() {
+        let certs = certify_transforms(&Budget::quick());
+        let perf = measure_transform_perf(1, 1, 8, 50);
+        assert_eq!(perf.len(), 2);
+        let json = transform_report_to_json("quick", &Budget::quick(), &certs, &perf);
+        assert!(json.contains("\"schema\": \"retreet-bench-transform/v1\""));
+        assert!(json.contains("\"certificates\""));
+        assert!(json.contains("\"speedup\""));
+        let table = render_transform_report(&certs, &perf);
+        assert!(table.contains("E4a") && table.contains("speedup"));
     }
 }

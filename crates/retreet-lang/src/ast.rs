@@ -206,9 +206,15 @@ impl BExpr {
         BExpr::And(Box::new(lhs), Box::new(rhs))
     }
 
-    /// `lhs > rhs` desugars to `Gt(lhs - rhs)`.
+    /// `lhs > rhs` desugars to `Gt(lhs - rhs)`; the common `lhs > 0` case
+    /// stays `Gt(lhs)` (no redundant `- 0`), which keeps parsed conditions
+    /// structurally identical across a pretty-print/re-parse roundtrip.
     pub fn gt(lhs: AExpr, rhs: AExpr) -> BExpr {
-        BExpr::Gt(AExpr::sub(lhs, rhs))
+        if rhs == AExpr::Const(0) {
+            BExpr::Gt(lhs)
+        } else {
+            BExpr::Gt(AExpr::sub(lhs, rhs))
+        }
     }
 
     /// `lhs >= rhs` desugars to `Gt(lhs - rhs + 1)`.
@@ -216,9 +222,10 @@ impl BExpr {
         BExpr::Gt(AExpr::add(AExpr::sub(lhs, rhs), AExpr::Const(1)))
     }
 
-    /// `lhs < rhs` desugars to `Gt(rhs - lhs)`.
+    /// `lhs < rhs` desugars to `Gt(rhs - lhs)` (with the same zero-operand
+    /// simplification as [`BExpr::gt`]).
     pub fn lt(lhs: AExpr, rhs: AExpr) -> BExpr {
-        BExpr::Gt(AExpr::sub(rhs, lhs))
+        BExpr::gt(rhs, lhs)
     }
 
     /// `lhs <= rhs` desugars to `Gt(rhs - lhs + 1)`.

@@ -9,8 +9,12 @@
 //! * [`lexer`] / [`parser`] — a hand-written tokenizer and recursive-descent
 //!   parser for the `.retreet` surface syntax, and [`pretty`] — the inverse
 //!   pretty-printer.
-//! * [`validate`] — the well-formedness restrictions of §2.1 (entry point,
-//!   no-self-call, single-node traversal, no tree mutation, arity checks).
+//! * [`mod@validate`] — the well-formedness restrictions of §2.1 (entry
+//!   point, no-self-call, single-node traversal, no tree mutation, arity
+//!   checks).
+//! * [`rewrite`] — AST-rewriting utilities (fresh names, alpha renaming,
+//!   callee renaming, block splicing, inlining, parser-shape normalization)
+//!   used by the `retreet-transform` source-to-source layer.
 //! * [`blocks`] — block extraction, the canonical `s0 … sN` numbering, the
 //!   syntactic relations of Fig. 11 (`◁`, `∼`, `≺`, `↑`, `‖`), and resolved
 //!   intra-procedural paths `Path(t)`.
@@ -50,6 +54,7 @@ pub mod corpus;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
+pub mod rewrite;
 pub mod rw;
 pub mod validate;
 pub mod wp;

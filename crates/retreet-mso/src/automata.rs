@@ -3,7 +3,7 @@
 //!
 //! This is the decision-procedure substrate that replaces MONA in the
 //! reproduction: the classical Thatcher–Wright correspondence compiles MSO
-//! formulas over trees to tree automata ([`crate::compile`]), and the
+//! formulas over trees to tree automata ([`mod@crate::compile`]), and the
 //! automaton operations implemented here — intersection, union, complement
 //! via determinization, projection, emptiness — give an unbounded decision
 //! procedure for the compiled fragment.

@@ -5,7 +5,7 @@
 //! exhaustively: first-order quantifiers range over the nodes, second-order
 //! quantifiers over all `2^n` subsets of nodes.  This is exponential in the
 //! quantifier depth but exact, and the trees the bounded checker feeds it are
-//! small; the automata pipeline in [`crate::automata`]/[`crate::compile`]
+//! small; the automata pipeline in [`crate::automata`]/[`mod@crate::compile`]
 //! provides the polynomial-per-tree alternative for the core fragment.
 
 use std::collections::{BTreeSet, HashMap};

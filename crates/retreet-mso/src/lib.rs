@@ -16,7 +16,7 @@
 //! * [`bounded`] — bounded validity / satisfiability by enumerating every
 //!   tree up to a node bound (the workhorse the analysis crate uses, with
 //!   counterexamples reported as concrete trees exactly like MONA's);
-//! * [`automata`] / [`compile`] — a bottom-up tree-automata library
+//! * [`automata`] / [`mod@compile`] — a bottom-up tree-automata library
 //!   (intersection, union, complement via determinization, projection,
 //!   emptiness) and the Thatcher–Wright compilation of the core MSO fragment
 //!   onto it, giving *unbounded* answers for that fragment.

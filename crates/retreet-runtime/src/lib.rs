@@ -6,12 +6,12 @@
 //!
 //! * [`tree`] — owned binary trees ([`tree::TreeNode`]) whose disjoint
 //!   subtrees can be handed to different rayon workers,
-//! * [`visit`] — sequential, fused (`fuse2`/`fuse3`) and rayon-parallel
-//!   traversal schedules, plus parallel folds,
+//! * [`visit`] — sequential, fused (the arity-generic [`visit::fuse_all`])
+//!   and rayon-parallel traversal schedules, plus parallel folds,
 //! * [`verified`] — capability types ([`verified::VerifiedFusion`],
-//!   [`verified::VerifiedParallelization`]) that are only constructible by
-//!   running the `retreet-analysis` checks, tying the analysis verdicts to
-//!   the schedules that rely on them.
+//!   [`verified::VerifiedParallelization`]) that are only constructible
+//!   from a `retreet-transform` certificate of the right kind, tying the
+//!   verifier's verdicts to the schedules that rely on them.
 //!
 //! # Example
 //!
@@ -38,6 +38,6 @@ pub mod visit;
 pub use tree::{complete_tree, random_tree, TreeNode};
 pub use verified::{TransformError, VerifiedFusion, VerifiedParallelization};
 pub use visit::{
-    fuse2, fuse3, par_fold, par_postorder_mut, par_preorder_mut, postorder_mut, preorder_mut,
+    fuse_all, par_fold, par_postorder_mut, par_preorder_mut, postorder_mut, preorder_mut,
     run_passes, seq_fold, NodeVisitor,
 };

@@ -1,174 +1,95 @@
-//! Analysis-gated transformations: the runtime side of "check, then
-//! transform".
+//! Transformation capabilities: the runtime side of "certify, then run".
 //!
-//! A downstream user describes their traversals as Retreet programs (the
-//! original composition and the transformed one), asks the unified
-//! [`Verifier`] façade for a verdict, and only receives a capability value —
-//! [`VerifiedFusion`] or [`VerifiedParallelization`] — when the
-//! transformation is justified.  The capability then unlocks the
-//! corresponding execution schedule from [`crate::visit`].  This mirrors how
-//! the paper envisions the framework being used by compilers: Retreet
-//! answers the legality question, the execution substrate applies the
-//! schedule.
+//! This module is a thin wrapper over the `retreet-transform` layer.  A
+//! downstream user obtains a [`CertifiedTransform`] — either by certifying
+//! their own candidate ([`VerifiedFusion::verify_with`] /
+//! [`VerifiedParallelization::verify_with`]) or by letting the transform
+//! layer synthesize one (`retreet_transform::fuse_main_passes`,
+//! `retreet_transform::synthesize_parallel_main`) — and exchanges it here
+//! for a capability value that unlocks the matching execution schedule from
+//! [`crate::visit`]: [`VerifiedFusion::run_fused`] runs any number of
+//! passes in one traversal, [`VerifiedParallelization::run_parallel`] runs
+//! the rayon-parallel schedule.  The certificate (with engine provenance
+//! and soundness) rides along on the capability.
 //!
-//! Use [`VerifiedFusion::verify_with`] / [`VerifiedParallelization::verify_with`]
-//! with a shared [`Verifier`] so repeated legality questions hit its verdict
-//! cache; the option-struct entry points ([`VerifiedFusion::verify`],
-//! [`VerifiedParallelization::verify`]) remain as deprecated shims over the
-//! façade.
+//! Capabilities are only constructible from a certificate of the right
+//! kind, which keeps the paper's story intact: the verifier answers the
+//! legality question, the transform layer produces the certified program,
+//! and the execution substrate applies the schedule.
 
-use retreet_analysis::equiv::{EquivCounterExample, EquivOptions};
-use retreet_analysis::race::{RaceOptions, RaceWitness};
 use retreet_lang::ast::Program;
-use retreet_verify::{Engine, Outcome, Query, Verdict, Verifier, VerifyError};
+use retreet_transform::{
+    certify_fusion, certify_parallelization, Certificate, CertificateKind, CertifiedTransform,
+};
+use retreet_verify::{Engine, Outcome, Verifier};
+
+pub use retreet_transform::TransformError;
 
 use crate::tree::TreeNode;
 use crate::visit::{self, NodeVisitor};
 
-/// Why a transformation was refused.
-#[derive(Debug, Clone)]
-pub enum TransformError {
-    /// The façade rejected the query before any engine ran (malformed
-    /// program, empty portfolio, …).
-    Rejected(VerifyError),
-    /// The equivalence check found a counterexample (fusion refused).
-    NotEquivalent(Box<EquivCounterExample>),
-    /// The race check found a potential data race (parallelization refused).
-    DataRace(Box<RaceWitness>),
-}
-
-impl std::fmt::Display for TransformError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            TransformError::Rejected(err) => write!(f, "verification rejected: {err}"),
-            TransformError::NotEquivalent(ce) => write!(
-                f,
-                "the transformed program is not equivalent: {:?}",
-                ce.disagreement
-            ),
-            TransformError::DataRace(witness) => write!(
-                f,
-                "the parallelization has a data race: {} and {} conflict on {}.{}",
-                witness.first, witness.second, witness.node, witness.field
-            ),
-        }
-    }
-}
-
-impl std::error::Error for TransformError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            TransformError::Rejected(err) => Some(err),
-            _ => None,
-        }
-    }
-}
-
-impl From<VerifyError> for TransformError {
-    fn from(err: VerifyError) -> Self {
-        TransformError::Rejected(err)
-    }
-}
-
-/// A certificate that a fused schedule may replace the original sequence of
-/// traversals.
+/// A capability certifying that a fused schedule may replace the original
+/// sequence of traversals, carrying the equivalence certificate.
 #[derive(Debug, Clone)]
 pub struct VerifiedFusion {
-    trees_checked: usize,
-    engine: Engine,
+    certificate: Certificate,
 }
 
 impl VerifiedFusion {
     /// Checks through `verifier` that `fused` is equivalent to `original`
     /// and returns the capability on success.  Repeated calls with the same
-    /// programs are answered from the verifier's verdict cache.
+    /// programs and a shared verifier are answered from its verdict cache.
     pub fn verify_with(
         verifier: &Verifier,
         original: &Program,
         fused: &Program,
     ) -> Result<Self, TransformError> {
-        let verdict = verifier.verify(Query::Equivalence(original, fused))?;
-        Self::from_verdict(verdict)
+        certify_fusion(verifier, original, fused).and_then(|t| Self::from_certified(&t))
     }
 
-    /// Deprecated shim over [`Self::verify_with`]: builds a throwaway
-    /// single-query [`Verifier`] from the option struct.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a shared retreet_verify::Verifier and use VerifiedFusion::verify_with"
-    )]
-    pub fn verify(
-        original: &Program,
-        fused: &Program,
-        options: &EquivOptions,
-    ) -> Result<Self, TransformError> {
-        let verifier = Verifier::builder()
-            .equiv_nodes(options.max_nodes)
-            .valuations(options.valuations)
-            .check_dependence_order(options.check_dependence_order)
-            .cache_capacity(0)
-            .build();
-        Self::verify_with(&verifier, original, fused)
-    }
-
-    fn from_verdict(verdict: Verdict) -> Result<Self, TransformError> {
-        match verdict.outcome {
-            Outcome::Equivalent { trees_checked } => Ok(VerifiedFusion {
-                trees_checked,
-                engine: verdict.engine,
+    /// Exchanges a certified transform for the fusion capability.  Refuses
+    /// certificates of the wrong kind (a race-freedom certificate does not
+    /// license fusion).
+    pub fn from_certified(transform: &CertifiedTransform) -> Result<Self, TransformError> {
+        match transform.certificate.kind {
+            CertificateKind::Equivalence => Ok(VerifiedFusion {
+                certificate: transform.certificate.clone(),
             }),
-            Outcome::NotEquivalent(ce) => Err(TransformError::NotEquivalent(ce)),
-            other => Err(TransformError::Rejected(VerifyError::NoApplicableEngine {
-                query: retreet_verify::QueryKind::Equivalence,
-                skipped: vec![retreet_verify::EngineSkip {
-                    engine: verdict.engine,
-                    reason: format!("unexpected outcome {other:?} for an equivalence query"),
-                }],
-            })),
+            other => Err(TransformError::UnsupportedShape(format!(
+                "a {other} certificate does not license fusion"
+            ))),
         }
+    }
+
+    /// The equivalence certificate backing this capability.
+    pub fn certificate(&self) -> &Certificate {
+        &self.certificate
     }
 
     /// How many (tree, valuation) models the verdict rests on.
     pub fn trees_checked(&self) -> usize {
-        self.trees_checked
+        self.certificate.trees_checked()
     }
 
     /// Which portfolio engine certified the fusion.
     pub fn engine(&self) -> Engine {
-        self.engine
+        self.certificate.engine()
     }
 
-    /// Runs the fused pair of visitors in a single post-order traversal —
-    /// only reachable through a successful verification.
-    pub fn run_fused2<T>(
-        &self,
-        tree: &mut TreeNode<T>,
-        first: &dyn NodeVisitor<T>,
-        second: &dyn NodeVisitor<T>,
-    ) {
-        let fused = visit::fuse2(first, second);
-        visit::postorder_mut(tree, &fused);
-    }
-
-    /// Runs three fused visitors in a single post-order traversal.
-    pub fn run_fused3<T>(
-        &self,
-        tree: &mut TreeNode<T>,
-        first: &dyn NodeVisitor<T>,
-        second: &dyn NodeVisitor<T>,
-        third: &dyn NodeVisitor<T>,
-    ) {
-        let fused = visit::fuse3(first, second, third);
+    /// Runs any number of fused passes in a single post-order traversal —
+    /// the arity-generic replacement for the old `run_fused2`/`run_fused3`
+    /// pair, only reachable through a successful certification.
+    pub fn run_fused<T>(&self, tree: &mut TreeNode<T>, passes: &[&dyn NodeVisitor<T>]) {
+        let fused = visit::fuse_all(passes);
         visit::postorder_mut(tree, &fused);
     }
 }
 
-/// A certificate that a program's parallel composition is data-race-free.
+/// A capability certifying that a program's parallel composition is
+/// data-race-free, carrying the race-freedom certificate.
 #[derive(Debug, Clone)]
 pub struct VerifiedParallelization {
-    trees_checked: usize,
-    configurations: usize,
-    engine: Engine,
+    certificate: Certificate,
 }
 
 impl VerifiedParallelization {
@@ -176,60 +97,43 @@ impl VerifiedParallelization {
     /// parallel composition in `Main`) is data-race-free and returns the
     /// capability on success.
     pub fn verify_with(verifier: &Verifier, program: &Program) -> Result<Self, TransformError> {
-        let verdict = verifier.verify(Query::DataRace(program))?;
-        Self::from_verdict(verdict)
+        certify_parallelization(verifier, program, program).and_then(|t| Self::from_certified(&t))
     }
 
-    /// Deprecated shim over [`Self::verify_with`]: builds a throwaway
-    /// single-query [`Verifier`] from the option struct.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a shared retreet_verify::Verifier and use VerifiedParallelization::verify_with"
-    )]
-    pub fn verify(program: &Program, options: &RaceOptions) -> Result<Self, TransformError> {
-        let verifier = Verifier::builder()
-            .race_nodes(options.max_nodes)
-            .valuations(options.valuations)
-            .enumeration(options.enumeration.clone())
-            .cache_capacity(0)
-            .build();
-        Self::verify_with(&verifier, program)
-    }
-
-    fn from_verdict(verdict: Verdict) -> Result<Self, TransformError> {
-        match verdict.outcome {
-            Outcome::RaceFree {
-                trees_checked,
-                configurations,
-            } => Ok(VerifiedParallelization {
-                trees_checked,
-                configurations,
-                engine: verdict.engine,
+    /// Exchanges a certified transform for the parallelization capability.
+    /// Refuses certificates of the wrong kind.
+    pub fn from_certified(transform: &CertifiedTransform) -> Result<Self, TransformError> {
+        match transform.certificate.kind {
+            CertificateKind::RaceFreedom => Ok(VerifiedParallelization {
+                certificate: transform.certificate.clone(),
             }),
-            Outcome::Race(witness) => Err(TransformError::DataRace(witness)),
-            other => Err(TransformError::Rejected(VerifyError::NoApplicableEngine {
-                query: retreet_verify::QueryKind::DataRace,
-                skipped: vec![retreet_verify::EngineSkip {
-                    engine: verdict.engine,
-                    reason: format!("unexpected outcome {other:?} for a race query"),
-                }],
-            })),
+            other => Err(TransformError::UnsupportedShape(format!(
+                "a {other} certificate does not license parallelization"
+            ))),
         }
+    }
+
+    /// The race-freedom certificate backing this capability.
+    pub fn certificate(&self) -> &Certificate {
+        &self.certificate
     }
 
     /// How many trees the verdict rests on.
     pub fn trees_checked(&self) -> usize {
-        self.trees_checked
+        self.certificate.trees_checked()
     }
 
     /// How many configurations were enumerated in total.
     pub fn configurations(&self) -> usize {
-        self.configurations
+        match &self.certificate.verdict.outcome {
+            Outcome::RaceFree { configurations, .. } => *configurations,
+            _ => 0,
+        }
     }
 
     /// Which portfolio engine certified the parallelization.
     pub fn engine(&self) -> Engine {
-        self.engine
+        self.certificate.engine()
     }
 
     /// Runs a visitor over the tree with the rayon-parallel post-order
@@ -249,6 +153,7 @@ mod tests {
     use super::*;
     use crate::tree::complete_tree;
     use retreet_lang::corpus;
+    use retreet_verify::VerifyError;
 
     fn verifier() -> Verifier {
         Verifier::builder()
@@ -284,8 +189,35 @@ mod tests {
             a: 0,
             b: 0,
         });
-        fusion.run_fused2(&mut tree, &pass_a, &pass_b);
+        fusion.run_fused(&mut tree, &[&pass_a, &pass_b]);
         assert!(tree.preorder().iter().all(|p| p.b == (p.v + 1) * 2));
+    }
+
+    #[test]
+    fn synthesized_transforms_grant_capabilities_too() {
+        let verifier = verifier();
+        let certified =
+            retreet_transform::fuse_main_passes(&verifier, &corpus::css_minify_original())
+                .expect("the CSS fusion is synthesizable");
+        let fusion = VerifiedFusion::from_certified(&certified).expect("equivalence certificate");
+
+        // Three passes, one traversal.
+        let inc = |v: &mut i64, _: Option<&i64>, _: Option<&i64>| *v += 1;
+        let dbl = |v: &mut i64, _: Option<&i64>, _: Option<&i64>| *v *= 2;
+        let dec = |v: &mut i64, _: Option<&i64>, _: Option<&i64>| *v -= 1;
+        let mut tree = complete_tree(4, &|_| 1i64);
+        fusion.run_fused(&mut tree, &[&inc, &dbl, &dec]);
+        assert!(tree.preorder().iter().all(|&&v| v == 3));
+
+        // The wrong certificate kind is refused on both sides.
+        assert!(VerifiedParallelization::from_certified(&certified).is_err());
+        let parallel = retreet_transform::synthesize_parallel_main(
+            &verifier,
+            &corpus::size_counting_sequential(),
+        )
+        .expect("Odd ‖ Even synthesizes");
+        assert!(VerifiedFusion::from_certified(&parallel).is_err());
+        assert!(VerifiedParallelization::from_certified(&parallel).is_ok());
     }
 
     #[test]
@@ -334,22 +266,6 @@ mod tests {
             VerifiedFusion::verify_with(&verifier, &no_main, &no_main),
             Err(TransformError::Rejected(VerifyError::InvalidProgram { .. }))
         ));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_option_struct_shims_still_work() {
-        let fusion = VerifiedFusion::verify(
-            &corpus::size_counting_sequential(),
-            &corpus::size_counting_fused(),
-            &EquivOptions::builder().max_nodes(4).valuations(2).build(),
-        );
-        assert!(fusion.is_ok());
-        let parallelization = VerifiedParallelization::verify(
-            &corpus::size_counting_parallel(),
-            &RaceOptions::builder().max_nodes(3).valuations(1).build(),
-        );
-        assert!(parallelization.is_ok());
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! This module provides the execution side of that story:
 //!
 //! * [`postorder_mut`] / [`preorder_mut`] — the sequential schedules,
-//! * [`fuse2`] / [`fuse3`] — fusion combinators that run several visitors at
-//!   each node of a single traversal (one pass over the tree instead of
-//!   several),
+//! * [`fuse_all`] — the arity-generic fusion combinator that runs any
+//!   number of visitors at each node of a single traversal (one pass over
+//!   the tree instead of several),
 //! * [`par_postorder_mut`] / [`par_preorder_mut`] — parallel schedules that
 //!   recurse into the two subtrees with `rayon::join`, falling back to the
 //!   sequential schedule below a size threshold.
@@ -93,28 +93,14 @@ fn postorder_seq_dyn<T>(node: &mut TreeNode<T>, visitor: &dyn NodeVisitor<T>) {
     );
 }
 
-/// Fuses two visitors into a single visitor that applies them in order at
-/// each node — one traversal instead of two.
-pub fn fuse2<'a, T>(
-    first: &'a dyn NodeVisitor<T>,
-    second: &'a dyn NodeVisitor<T>,
-) -> impl NodeVisitor<T> + 'a {
+/// Fuses any number of visitors into a single visitor that applies them in
+/// order at each node — one traversal instead of N.  This is the
+/// arity-generic replacement for the old `fuse2`/`fuse3` pair.
+pub fn fuse_all<'a, T>(visitors: &'a [&'a dyn NodeVisitor<T>]) -> impl NodeVisitor<T> + 'a {
     move |value: &mut T, left: Option<&T>, right: Option<&T>| {
-        first.visit(value, left, right);
-        second.visit(value, left, right);
-    }
-}
-
-/// Fuses three visitors into one traversal.
-pub fn fuse3<'a, T>(
-    first: &'a dyn NodeVisitor<T>,
-    second: &'a dyn NodeVisitor<T>,
-    third: &'a dyn NodeVisitor<T>,
-) -> impl NodeVisitor<T> + 'a {
-    move |value: &mut T, left: Option<&T>, right: Option<&T>| {
-        first.visit(value, left, right);
-        second.visit(value, left, right);
-        third.visit(value, left, right);
+        for visitor in visitors {
+            visitor.visit(value, left, right);
+        }
     }
 }
 
@@ -291,21 +277,32 @@ mod tests {
         });
         let mut fused = unfused.clone();
         run_passes(&mut unfused, &[&scale, &shift]);
-        let combined = fuse2(&scale, &shift);
+        let passes: [&dyn NodeVisitor<Payload>; 2] = [&scale, &shift];
+        let combined = fuse_all(&passes);
         postorder_mut(&mut fused, &combined);
         assert_eq!(unfused, fused);
     }
 
     #[test]
-    fn fuse3_applies_in_order() {
+    fn fuse_all_applies_in_order_at_any_arity() {
         let a = |value: &mut i64, _: Option<&i64>, _: Option<&i64>| *value += 1;
         let b = |value: &mut i64, _: Option<&i64>, _: Option<&i64>| *value *= 10;
         let c = |value: &mut i64, _: Option<&i64>, _: Option<&i64>| *value -= 2;
         let mut tree = complete_tree(2, &|_| 0i64);
-        let fused = fuse3(&a, &b, &c);
+        let passes: [&dyn NodeVisitor<i64>; 3] = [&a, &b, &c];
+        let fused = fuse_all(&passes);
         postorder_mut(&mut tree, &fused);
         // (0 + 1) * 10 - 2 = 8 at every node.
         assert!(tree.preorder().iter().all(|&&v| v == 8));
+
+        // A single-visitor fusion degenerates to the visitor itself, and an
+        // empty fusion is the identity pass.
+        let mut one = complete_tree(2, &|_| 1i64);
+        postorder_mut(&mut one, &fuse_all(&[&a as &dyn NodeVisitor<i64>]));
+        assert!(one.preorder().iter().all(|&&v| v == 2));
+        let empty: [&dyn NodeVisitor<i64>; 0] = [];
+        postorder_mut(&mut one, &fuse_all(&empty));
+        assert!(one.preorder().iter().all(|&&v| v == 2));
     }
 
     #[test]

@@ -1,6 +1,8 @@
-//! Parallel traversal of disjoint subtrees with rayon, gated by the
-//! data-race-freedom verdict (E1c of the evaluation): the running example's
-//! Odd/Even counts computed by a parallel fold.
+//! Parallel traversal gated by a synthesized, certified schedule: the
+//! transform layer rewrites the *sequential* size-counting program into the
+//! parallel composition of Fig. 3, the race-freedom verdict certifies it
+//! (E1c of the evaluation), and the runtime then computes the Odd/Even
+//! counts with a parallel fold.
 //!
 //! ```bash
 //! cargo run --release --example parallel_traversal
@@ -12,14 +14,21 @@ use retreet_lang::corpus;
 use retreet_runtime::tree::complete_tree;
 use retreet_runtime::visit::{par_fold, seq_fold};
 use retreet_runtime::VerifiedParallelization;
+use retreet_transform::synthesize_parallel_main;
 use retreet_verify::Verifier;
 
 fn main() {
-    // 1. Legality: Odd(n) ‖ Even(n) is race-free.
+    // 1. Synthesis + legality: `o = Odd(n); e = Even(n);` becomes
+    //    `Odd(n) ‖ Even(n)`, certified race-free.
     let verifier = Verifier::builder().race_nodes(3).valuations(1).build();
+    let certified = synthesize_parallel_main(&verifier, &corpus::size_counting_sequential())
+        .expect("the parallel composition is race-free");
+    println!(
+        "synthesized this parallel schedule:\n{}",
+        certified.transformed_source()
+    );
     let capability =
-        VerifiedParallelization::verify_with(&verifier, &corpus::size_counting_parallel())
-            .expect("the parallel composition is race-free");
+        VerifiedParallelization::from_certified(&certified).expect("race-freedom certificate");
     println!(
         "race-freedom established over {} trees ({} configurations) by the {} engine",
         capability.trees_checked(),

@@ -1,6 +1,6 @@
-//! Quickstart: write a pair of Retreet traversals, ask the unified
-//! `Verifier` façade whether fusing them is legal, and run the fused
-//! schedule on a real tree.
+//! Quickstart: write a pair of Retreet traversals, let the certified
+//! transform layer *synthesize* their fusion, and run the fused schedule on
+//! a real tree.
 //!
 //! ```bash
 //! cargo run --example quickstart
@@ -8,7 +8,9 @@
 
 use retreet_lang::parse_program;
 use retreet_runtime::tree::complete_tree;
+use retreet_runtime::visit::NodeVisitor;
 use retreet_runtime::VerifiedFusion;
+use retreet_transform::fuse_main_passes;
 use retreet_verify::Verifier;
 
 fn main() {
@@ -45,29 +47,6 @@ fn main() {
     )
     .expect("original parses");
 
-    let fused = parse_program(
-        r#"
-        fn Fused(n) {
-            if (n == nil) { return 0; } else {
-                a = Fused(n.l);
-                b = Fused(n.r);
-                n.v = n.v + n.v;
-                if (n.l == nil) {
-                    n.s = n.v;
-                } else {
-                    n.s = n.v + n.l.v;
-                }
-                return 0;
-            }
-        }
-        fn Main(n) {
-            x = Fused(n);
-            return 0;
-        }
-        "#,
-    )
-    .expect("fused parses");
-
     // Build the verifier once: one budget, the full engine portfolio, and a
     // verdict cache that makes repeated legality questions O(1).
     let verifier = Verifier::builder()
@@ -76,17 +55,20 @@ fn main() {
         .parallel(true)
         .build();
 
-    // Ask the façade whether the fusion is legal; the capability is only
-    // granted on an `Equivalent` verdict.
-    let capability = VerifiedFusion::verify_with(&verifier, &original, &fused)
+    // Ask the transform layer to fuse the two passes of `Main`.  The fused
+    // program is synthesized at the AST level and only returned with an
+    // equivalence certificate from the verifier.
+    let certified = fuse_main_passes(&verifier, &original)
         .expect("the fusion is equivalent to the two-pass original");
     println!(
-        "fusion verified on {} bounded models by the {} engine — running the fused schedule",
-        capability.trees_checked(),
-        capability.engine(),
+        "synthesized this fused traversal:\n{}",
+        certified.transformed_source()
     );
+    println!("{}", certified.certificate);
 
-    // Run the fused schedule on a concrete tree with the runtime.
+    // Exchange the certificate for the runtime capability and run the fused
+    // schedule on a concrete tree.
+    let capability = VerifiedFusion::from_certified(&certified).expect("equivalence certificate");
     #[derive(Clone, Default)]
     struct Payload {
         v: i64,
@@ -97,19 +79,20 @@ fn main() {
         p.s = p.v + l.map_or(0, |l| l.v);
     };
     let mut tree = complete_tree(16, &|i| Payload { v: i as i64, s: 0 });
-    capability.run_fused2(&mut tree, &scale, &shift);
+    let passes: [&dyn NodeVisitor<Payload>; 2] = [&scale, &shift];
+    capability.run_fused(&mut tree, &passes);
     println!(
         "root after fused run: v = {}, s = {}",
         tree.value.v, tree.value.s
     );
 
     // A second, identical query is answered from the verdict cache.
-    let again = VerifiedFusion::verify_with(&verifier, &original, &fused).expect("cached verdict");
+    let again = fuse_main_passes(&verifier, &original).expect("cached verdict");
     let stats = verifier.cache_stats();
     println!(
-        "re-verified instantly from cache ({} hit / {} miss): {} models",
+        "re-certified instantly from cache ({} hit / {} miss): {} models",
         stats.hits,
         stats.misses,
-        again.trees_checked(),
+        again.certificate.trees_checked(),
     );
 }

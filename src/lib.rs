@@ -35,15 +35,19 @@
 //!   tree-automata decision procedure (the MONA substitute);
 //! * [`retreet_analysis`] — the engine layer: configurations, data-race
 //!   detection and fusion-equivalence checking;
+//! * [`retreet_transform`] — **the certified transform tier**: AST-level
+//!   traversal fusion and parallel schedule synthesis, each returning a
+//!   `CertifiedTransform` whose certificate is a façade verdict;
 //! * [`retreet_runtime`] — owned trees, fused and rayon-parallel schedules,
-//!   and verifier-gated transformation capabilities;
+//!   and capability types gated by transform certificates;
 //! * [`retreet_css`] / [`retreet_cycletree`] — the two real-world case-study
 //!   substrates of the evaluation.
 //!
-//! # MIGRATION — old per-crate entry points → the façade
+//! # MIGRATION — old per-crate entry points → the façade + transform tier
 //!
-//! The pre-façade entry points remain as thin deprecated shims; new code
-//! should use the mappings below.
+//! The PR 1 deprecated option-struct shims have been **removed**; every
+//! in-tree caller goes through the façade (verdicts) or the transform tier
+//! (certified programs).  New code should use the mappings below.
 //!
 //! | Old call | New call |
 //! |----------|----------|
@@ -51,9 +55,13 @@
 //! | `retreet_analysis::equiv::check_equivalence(&a, &b, &EquivOptions { .. })` | `verifier.verify(Query::Equivalence(&a, &b))` |
 //! | `retreet_mso::bounded::check_validity(&f, bound)` | `Verifier::builder().validity_nodes(bound).engines([Engine::BoundedEnumeration]).build().verify(Query::Validity(&f))` |
 //! | `retreet_mso::compile::is_valid(&f)` | `verifier.verify(Query::Validity(&f))` (the automata engine wins where the fragment allows; `Soundness::Unbounded` in the verdict) |
-//! | `VerifiedFusion::verify(&a, &b, &EquivOptions)` | `VerifiedFusion::verify_with(&verifier, &a, &b)` |
-//! | `VerifiedParallelization::verify(&p, &RaceOptions)` | `VerifiedParallelization::verify_with(&verifier, &p)` |
-//! | `retreet_css::analysis_model::verify_css_fusion(&EquivOptions)` | `retreet_css::analysis_model::verify_css_fusion_with(&verifier)` |
+//! | `VerifiedFusion::verify(&a, &b, &EquivOptions)` *(removed)* | `VerifiedFusion::verify_with(&verifier, &a, &b)`, or synthesize: `retreet_transform::fuse_main_passes(&verifier, &original)` + `VerifiedFusion::from_certified(&t)` |
+//! | `VerifiedParallelization::verify(&p, &RaceOptions)` *(removed)* | `VerifiedParallelization::verify_with(&verifier, &p)`, or synthesize: `retreet_transform::synthesize_parallel_main(&verifier, &sequential)` + `VerifiedParallelization::from_certified(&t)` |
+//! | `VerifiedFusion::run_fused2(&mut tree, &a, &b)` / `run_fused3(…)` *(removed)* | the arity-generic `VerifiedFusion::run_fused(&mut tree, &[&a, &b, …])` |
+//! | `retreet_runtime::visit::fuse2(&a, &b)` / `fuse3(…)` *(removed)* | `retreet_runtime::visit::fuse_all(&[&a, &b, …])` |
+//! | hand-writing a fused program and checking `Query::Equivalence` | `retreet_transform::fuse_main_passes(&verifier, &original)` — the fused program is synthesized and returned with its certificate |
+//! | hand-writing a parallel `Main` and checking `Query::DataRace` | `retreet_transform::synthesize_parallel_main(&verifier, &sequential)` (pass level) / `retreet_transform::parallelize_recursive_calls(&verifier, &p)` (sibling recursion) |
+//! | `retreet_css::analysis_model::verify_css_fusion(&EquivOptions)` *(removed)* | `retreet_css::analysis_model::verify_css_fusion_with(&verifier)` (verdict only) or `certify_css_fusion(&verifier)` (synthesized certified transform) |
 //! | mutating `RaceOptions` / `EquivOptions` / `EnumOptions` fields | `RaceOptions::builder()…build()` etc., or set the budget once on the `Verifier` builder |
 //! | repeated `Solver::check(&growing_system)` along a search | [`retreet_logic::IncrementalSolver`]: `push()` / `assume_all(&new_atoms)` / `check()` / `pop()` over a shared [`retreet_logic::SolverCache`] — the SAT prefix is never re-solved and a cached-UNSAT prefix prunes the extension outright |
 //! | `Solver::check` on systems that repeat across a query | `Solver::check_cached(&system, &cache)` (component-decomposed memoization keyed by [`retreet_logic::intern`]-ed atom ids) |
@@ -69,6 +77,12 @@
 //! documented in `crates/README.md`).  CI's perf-smoke job runs the quick
 //! budget with a generous wall-clock ceiling to catch accidental
 //! exponential regressions.
+//!
+//! `cargo run --release -p retreet-bench --bin bench_transform` writes
+//! `BENCH_transform.json` (schema `retreet-bench-transform/v1`): every
+//! fusable §5 case synthesized and certified through the transform tier,
+//! plus fused-vs-sequential runtime on concrete workloads.  CI runs it in
+//! quick mode and fails on certificate drift.
 //!
 //! Old verdict shapes map to [`retreet_verify::Outcome`] variants: race
 //! witnesses, equivalence counterexamples and falsifying trees ride along
@@ -87,6 +101,7 @@ pub use retreet_lang;
 pub use retreet_logic;
 pub use retreet_mso;
 pub use retreet_runtime;
+pub use retreet_transform;
 pub use retreet_verify;
 
 // The façade types, re-exported at the top level for downstream brevity.

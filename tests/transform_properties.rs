@@ -1,0 +1,161 @@
+//! Property tests for the certified transform layer:
+//!
+//! 1. **Roundtrip identity** — `parse_program(print_program(p)) == p`
+//!    structurally, across the whole paper corpus *and* every program the
+//!    transform layer generates (fused traversals and synthesized parallel
+//!    schedules).
+//! 2. **Differential execution** — the reference interpreter produces the
+//!    same return values and the same final field state for the original
+//!    and the transformed program, on exhaustive bounded tree corpora and
+//!    on randomly-valued trees.
+
+use proptest::prelude::*;
+use retreet_analysis::interp;
+use retreet_analysis::race::program_fields;
+use retreet_analysis::vtree::{test_trees, ValueTree};
+use retreet_lang::ast::Program;
+use retreet_lang::corpus;
+use retreet_lang::parser::parse_program;
+use retreet_lang::pretty::print_program;
+use retreet_lang::BlockTable;
+use retreet_transform::{
+    fuse_main_passes, parallelize_recursive_calls, synthesize_parallel_main, CertificateKind,
+};
+use retreet_verify::Verifier;
+
+fn verifier() -> Verifier {
+    Verifier::builder()
+        .equiv_nodes(4)
+        .race_nodes(3)
+        .valuations(1)
+        .build()
+}
+
+/// Every certified transform the layer can produce on the corpus:
+/// `(label, original, transformed)`.  Synthesized and certified once —
+/// the proptest below runs per generated case, and re-certifying seven
+/// transforms per case would redo identical engine work.
+fn certified_pairs() -> &'static Vec<(String, Program, Program)> {
+    static PAIRS: std::sync::OnceLock<Vec<(String, Program, Program)>> = std::sync::OnceLock::new();
+    PAIRS.get_or_init(build_certified_pairs)
+}
+
+fn build_certified_pairs() -> Vec<(String, Program, Program)> {
+    let verifier = verifier();
+    let mut pairs = Vec::new();
+    for (name, original) in [
+        ("size_counting", corpus::size_counting_sequential()),
+        ("tree_mutation", corpus::tree_mutation_original()),
+        ("css_minify", corpus::css_minify_original()),
+        ("cycletree", corpus::cycletree_original()),
+    ] {
+        let certified = fuse_main_passes(&verifier, &original)
+            .unwrap_or_else(|err| panic!("fusing {name} failed: {err}"));
+        assert_eq!(certified.certificate.kind, CertificateKind::Equivalence);
+        pairs.push((
+            format!("fuse:{name}"),
+            certified.original,
+            certified.transformed,
+        ));
+    }
+    let certified = synthesize_parallel_main(&verifier, &corpus::size_counting_sequential())
+        .unwrap_or_else(|err| panic!("parallelizing size_counting failed: {err}"));
+    assert_eq!(certified.certificate.kind, CertificateKind::RaceFreedom);
+    pairs.push((
+        String::from("par_main:size_counting"),
+        certified.original,
+        certified.transformed,
+    ));
+    for (name, original) in [
+        ("size_counting", corpus::size_counting_sequential()),
+        ("css_minify", corpus::css_minify_original()),
+    ] {
+        let certified = parallelize_recursive_calls(&verifier, &original)
+            .unwrap_or_else(|err| panic!("parallelizing recursion of {name} failed: {err}"));
+        assert_eq!(certified.certificate.kind, CertificateKind::RaceFreedom);
+        pairs.push((
+            format!("par_rec:{name}"),
+            certified.original,
+            certified.transformed,
+        ));
+    }
+    pairs
+}
+
+/// The union of both programs' field vocabularies, so differential trees
+/// carry every field either side reads.
+fn shared_fields(a: &Program, b: &Program) -> Vec<String> {
+    let mut fields = program_fields(&BlockTable::build(a));
+    for field in program_fields(&BlockTable::build(b)) {
+        if !fields.contains(&field) {
+            fields.push(field);
+        }
+    }
+    fields
+}
+
+fn assert_same_behaviour(label: &str, original: &Program, transformed: &Program, tree: &ValueTree) {
+    let before = interp::run(original, tree)
+        .unwrap_or_else(|err| panic!("{label}: original run failed: {err}"));
+    let after = interp::run(transformed, tree)
+        .unwrap_or_else(|err| panic!("{label}: transformed run failed: {err}"));
+    assert_eq!(
+        before.returns, after.returns,
+        "{label}: return values diverge"
+    );
+    assert_eq!(
+        before.tree.field_snapshot(),
+        after.tree.field_snapshot(),
+        "{label}: final field states diverge"
+    );
+}
+
+#[test]
+fn parse_print_roundtrip_is_identity_on_the_corpus() {
+    for (name, program) in corpus::all() {
+        let printed = print_program(&program);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|err| panic!("printed {name} does not re-parse: {err}"));
+        assert_eq!(reparsed, program, "{name} roundtrips to identity");
+    }
+}
+
+#[test]
+fn parse_print_roundtrip_is_identity_on_generated_transforms() {
+    for (label, _, transformed) in certified_pairs().iter() {
+        let printed = print_program(transformed);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|err| panic!("printed {label} output does not re-parse: {err}"));
+        assert_eq!(&reparsed, transformed, "{label} output roundtrips");
+    }
+}
+
+#[test]
+fn transformed_programs_match_originals_on_exhaustive_bounded_trees() {
+    for (label, original, transformed) in certified_pairs().iter() {
+        let fields = shared_fields(original, transformed);
+        let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+        for tree in test_trees(5, &field_refs, 2) {
+            assert_same_behaviour(label, original, transformed, &tree);
+        }
+    }
+}
+
+proptest! {
+    /// Differential runs on complete trees with pseudo-random field
+    /// valuations: the certified transform never changes observable
+    /// behaviour.
+    #[test]
+    fn transformed_programs_match_originals_on_random_trees(
+        height in 1usize..5,
+        seed in 0u64..25,
+    ) {
+        for (label, original, transformed) in certified_pairs().iter() {
+            let fields = shared_fields(original, transformed);
+            let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+            let mut tree = ValueTree::complete(height, &field_refs, |_, _| 0);
+            tree.fill_fields(&field_refs, seed);
+            assert_same_behaviour(label, original, transformed, &tree);
+        }
+    }
+}

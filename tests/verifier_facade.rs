@@ -166,8 +166,8 @@ fn different_budgets_do_not_share_cache_entries() {
 
 #[test]
 fn facade_and_legacy_entry_points_agree() {
-    // The deprecated per-crate entry points are shims over the façade; both
-    // routes must produce the same verdicts on the headline queries.
+    // The per-crate engine entry points underpin the façade; both routes
+    // must produce the same verdicts on the headline queries.
     let verifier = Verifier::builder()
         .race_nodes(3)
         .equiv_nodes(4)
@@ -176,7 +176,6 @@ fn facade_and_legacy_entry_points_agree() {
     let race = verifier
         .verify(Query::DataRace(&corpus::size_counting_parallel()))
         .unwrap();
-    #[allow(deprecated)]
     let legacy_race = retreet_analysis::race::check_data_race(
         &corpus::size_counting_parallel(),
         &retreet_analysis::race::RaceOptions::builder()
@@ -192,7 +191,6 @@ fn facade_and_legacy_entry_points_agree() {
             &corpus::size_counting_fused(),
         ))
         .unwrap();
-    #[allow(deprecated)]
     let legacy_equiv = retreet_analysis::equiv::check_equivalence(
         &corpus::size_counting_sequential(),
         &corpus::size_counting_fused(),
