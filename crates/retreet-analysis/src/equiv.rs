@@ -14,6 +14,7 @@
 //! artifact MONA's counterexamples are manually mapped to in §5.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::AtomicBool;
 
 use retreet_lang::ast::Program;
 
@@ -165,6 +166,20 @@ pub fn check_equivalence(
     transformed: &Program,
     options: &EquivOptions,
 ) -> EquivVerdict {
+    check_equivalence_cancellable(original, transformed, options, &crate::par::NEVER_CANCELLED)
+        .expect("never-raised cancel flag cannot cancel the analysis")
+}
+
+/// [`check_equivalence`] with a cooperative cancel flag, checked once per
+/// tested tree; returns `None` (and no verdict) when the flag is observed
+/// raised.  The façade's parallel portfolio raises the flag on losing
+/// engines once a winner is decided.
+pub fn check_equivalence_cancellable(
+    original: &Program,
+    transformed: &Program,
+    options: &EquivOptions,
+    cancel: &AtomicBool,
+) -> Option<EquivVerdict> {
     // Per-program derived state (block table, field sets) is memoized
     // process-wide; a repeated query pays only for the actual runs.
     let ctx_a = crate::configs::AnalysisContext::for_program(original);
@@ -180,7 +195,7 @@ pub fn check_equivalence(
     let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
     let corpus = TreeCorpus::new(options.max_nodes, &field_refs, options.valuations);
     if corpus.is_empty() {
-        return EquivVerdict::Equivalent { trees_checked: 0 };
+        return Some(EquivVerdict::Equivalent { trees_checked: 0 });
     }
     // The per-program interpreter setup is hoisted out of the tree loop.
     let (runner_a, runner_b) = match (
@@ -189,12 +204,14 @@ pub fn check_equivalence(
     ) {
         (Ok(a), Ok(b)) => (a, b),
         (Err(err), _) | (_, Err(err)) => {
-            return EquivVerdict::CounterExample(Box::new(EquivCounterExample {
-                tree: corpus.tree(0),
-                disagreement: Disagreement::ExecutionError {
-                    message: err.to_string(),
+            return Some(EquivVerdict::CounterExample(Box::new(
+                EquivCounterExample {
+                    tree: corpus.tree(0),
+                    disagreement: Disagreement::ExecutionError {
+                        message: err.to_string(),
+                    },
                 },
-            }));
+            )));
         }
     };
     // Identical trees (same shape, no fields to value) produce identical
@@ -205,7 +222,7 @@ pub fn check_equivalence(
     // Trees are checked in parallel with deterministic lowest-index-wins
     // reduction, so the counterexample (when one exists) is exactly the one
     // the sequential loop would report.
-    let hit = par::first_hit(reps.len(), |k| {
+    let hit = par::first_hit(reps.len(), cancel, |k| {
         let tree = corpus.tree(reps[k]);
         let run_a = runner_a.run(&tree);
         let run_b = runner_b.run(&tree);
@@ -220,10 +237,11 @@ pub fn check_equivalence(
         })
     });
     match hit {
-        Some((_, verdict)) => verdict,
-        None => EquivVerdict::Equivalent {
+        par::Search::Hit(_, verdict) => Some(verdict),
+        par::Search::Cancelled => None,
+        par::Search::Exhausted => Some(EquivVerdict::Equivalent {
             trees_checked: corpus.len(),
-        },
+        }),
     }
 }
 
@@ -375,7 +393,9 @@ fn dependence_order_violation(a: &RunResult, b: &RunResult) -> Option<String> {
     } else {
         shared
     };
-    let hit = par::first_hit(shared.len(), |i| {
+    // The per-tree pair scan is bounded by one trace's length; tree-level
+    // cancellation (in the caller's corpus loop) is granular enough.
+    let hit = par::first_hit(shared.len(), &par::NEVER_CANCELLED, |i| {
         let (sig_x, xa, xb) = shared[i];
         for &(sig_y, ya, yb) in shared.iter().skip(i + 1) {
             if !crate::interp::conflicting(&a.trace.iterations[xa], &a.trace.iterations[ya]) {
@@ -397,7 +417,7 @@ fn dependence_order_violation(a: &RunResult, b: &RunResult) -> Option<String> {
         }
         None
     });
-    hit.map(|(_, detail)| detail)
+    hit.into_hit().map(|(_, detail)| detail)
 }
 
 #[cfg(test)]
@@ -411,6 +431,27 @@ mod tests {
             valuations: 2,
             check_dependence_order: true,
         }
+    }
+
+    #[test]
+    fn raised_cancel_flag_aborts_the_equivalence_engine_without_a_verdict() {
+        let cancel = AtomicBool::new(true);
+        assert!(check_equivalence_cancellable(
+            &corpus::size_counting_sequential(),
+            &corpus::size_counting_fused(),
+            &options(),
+            &cancel,
+        )
+        .is_none());
+        let cancel = AtomicBool::new(false);
+        let verdict = check_equivalence_cancellable(
+            &corpus::size_counting_sequential(),
+            &corpus::size_counting_fused(),
+            &options(),
+            &cancel,
+        )
+        .unwrap();
+        assert!(verdict.is_equivalent());
     }
 
     #[test]

@@ -65,7 +65,13 @@ pub use configs::{
     AnalysisContext, ConfigRelation, Configuration, EnumOptions, Frame, Loc, PathSummaries,
     SharedSymTab,
 };
-pub use equiv::{check_equivalence, Disagreement, EquivCounterExample, EquivOptions, EquivVerdict};
+pub use equiv::{
+    check_equivalence, check_equivalence_cancellable, Disagreement, EquivCounterExample,
+    EquivOptions, EquivVerdict,
+};
 pub use interp::{run, ExecOrder, FieldAccess, Iteration, RunResult, Trace};
-pub use race::{check_data_race, check_data_race_dynamic, RaceOptions, RaceVerdict, RaceWitness};
+pub use race::{
+    check_data_race, check_data_race_cancellable, check_data_race_dynamic,
+    check_data_race_dynamic_cancellable, RaceOptions, RaceVerdict, RaceWitness,
+};
 pub use vtree::{test_trees, NodeId, ValueTree};

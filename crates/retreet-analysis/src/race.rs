@@ -13,6 +13,7 @@
 //!   independent validation of the configuration engine's verdicts.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use retreet_lang::ast::Program;
 use retreet_lang::blocks::BlockTable;
@@ -164,11 +165,27 @@ pub fn program_fields(table: &BlockTable) -> Vec<String> {
 /// lowest pair), so the verdict and witness are identical to the sequential
 /// engine's.
 pub fn check_data_race(program: &Program, options: &RaceOptions) -> RaceVerdict {
+    check_data_race_cancellable(program, options, &par::NEVER_CANCELLED)
+        .expect("never-raised cancel flag cannot cancel the analysis")
+}
+
+/// [`check_data_race`] with a cooperative cancel flag: returns `None` (and
+/// no verdict) as soon as `cancel` is observed raised, checking the flag
+/// once per enumerated tree and once per configuration-pair scan chunk.
+///
+/// The façade's parallel portfolio raises the flag on losing engines once a
+/// winner is decided, so a lost run stops within one loop iteration instead
+/// of enumerating the remaining trees.
+pub fn check_data_race_cancellable(
+    program: &Program,
+    options: &RaceOptions,
+    cancel: &AtomicBool,
+) -> Option<RaceVerdict> {
     let ctx = AnalysisContext::for_program(program);
     let table = &*ctx.table;
     let field_refs: Vec<&str> = ctx.fields.iter().map(String::as_str).collect();
     let corpus = TreeCorpus::new(options.max_nodes, &field_refs, options.valuations);
-    let (total_configs, hit) = par::tally_until_hit(corpus.len(), |i| {
+    let (total_configs, hit) = par::tally_until_hit(corpus.len(), cancel, |i| {
         let tree = corpus.tree(i);
         let configs = configs::enumerate_shared(
             table,
@@ -178,15 +195,22 @@ pub fn check_data_race(program: &Program, options: &RaceOptions) -> RaceVerdict 
             &ctx.cache,
             &ctx.symtab,
         );
-        let witness = find_race(table, &tree, &configs, &ctx.cache);
+        let witness = find_race(table, &tree, &configs, &ctx.cache, cancel);
         (configs.len(), witness)
     });
     match hit {
-        Some((_, witness)) => RaceVerdict::Race(witness),
-        None => RaceVerdict::RaceFree {
+        par::Search::Hit(_, witness) => Some(RaceVerdict::Race(witness)),
+        par::Search::Cancelled => None,
+        // The per-tree pair scan inside the closure observes the flag too,
+        // and its cancellation surfaces there as "no witness" — which the
+        // tree loop only notices at its *next* iteration.  A raised flag
+        // after the final tree therefore means the scan may be partial:
+        // never derive a RaceFree verdict from it.
+        par::Search::Exhausted if cancel.load(Ordering::Relaxed) => None,
+        par::Search::Exhausted => Some(RaceVerdict::RaceFree {
             trees_checked: corpus.len(),
             configurations: total_configs,
-        },
+        }),
     }
 }
 
@@ -202,6 +226,7 @@ fn find_race(
     tree: &ValueTree,
     configs: &[Configuration],
     cache: &SolverCache,
+    cancel: &AtomicBool,
 ) -> Option<RaceWitness> {
     let footprints: Vec<Vec<(NodeId, String, bool)>> = configs
         .iter()
@@ -218,7 +243,7 @@ fn find_race(
             }
             None
         };
-    let hit = par::first_hit(configs.len(), |i| {
+    let hit = par::first_hit(configs.len(), cancel, |i| {
         let a = &configs[i];
         for (j, b) in configs.iter().enumerate().skip(i + 1) {
             if configs::relation(table, a, b) != ConfigRelation::Parallel {
@@ -240,23 +265,37 @@ fn find_race(
         }
         None
     });
-    hit.map(|(_, witness)| witness)
+    hit.into_hit().map(|(_, witness)| witness)
 }
 
 /// The trace-based data-race check (dynamic validation engine).
 pub fn check_data_race_dynamic(program: &Program, options: &RaceOptions) -> RaceVerdict {
+    check_data_race_dynamic_cancellable(program, options, &par::NEVER_CANCELLED)
+        .expect("never-raised cancel flag cannot cancel the analysis")
+}
+
+/// [`check_data_race_dynamic`] with a cooperative cancel flag, checked once
+/// per interpreted tree; returns `None` when the flag is observed raised.
+pub fn check_data_race_dynamic_cancellable(
+    program: &Program,
+    options: &RaceOptions,
+    cancel: &AtomicBool,
+) -> Option<RaceVerdict> {
     let table = BlockTable::build(program);
     let fields = program_fields(&table);
     let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
     let trees = test_trees(options.max_nodes, &field_refs, options.valuations);
     let Ok(runner) = interp::Runner::new(&table) else {
-        return RaceVerdict::RaceFree {
+        return Some(RaceVerdict::RaceFree {
             trees_checked: trees.len(),
             configurations: 0,
-        };
+        });
     };
     let mut total = 0usize;
     for tree in &trees {
+        if cancel.load(Ordering::Relaxed) {
+            return None;
+        }
         let Ok(result) = runner.run(tree) else {
             continue;
         };
@@ -277,19 +316,19 @@ pub fn check_data_race_dynamic(program: &Program, options: &RaceOptions) -> Race
                     })
                 })
                 .expect("racy pair has a conflicting access");
-            return RaceVerdict::Race(RaceWitness {
+            return Some(RaceVerdict::Race(RaceWitness {
                 tree: tree.clone(),
                 first: format!("{} on {:?}", a.block, a.node),
                 second: format!("{} on {:?}", b.block, b.node),
                 node,
                 field,
-            });
+            }));
         }
     }
-    RaceVerdict::RaceFree {
+    Some(RaceVerdict::RaceFree {
         trees_checked: trees.len(),
         configurations: total,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -350,6 +389,26 @@ mod tests {
             let verdict = check_data_race(&program, &small());
             assert!(verdict.is_race_free());
         }
+    }
+
+    #[test]
+    fn raised_cancel_flag_aborts_both_race_engines_without_a_verdict() {
+        let cancel = AtomicBool::new(true);
+        assert!(
+            check_data_race_cancellable(&corpus::size_counting_parallel(), &small(), &cancel)
+                .is_none()
+        );
+        assert!(check_data_race_dynamic_cancellable(
+            &corpus::size_counting_parallel(),
+            &small(),
+            &cancel
+        )
+        .is_none());
+        // An unraised flag reproduces the plain entry point exactly.
+        let cancel = AtomicBool::new(false);
+        let verdict =
+            check_data_race_cancellable(&corpus::cycletree_parallel(), &small(), &cancel).unwrap();
+        assert_eq!(verdict.witness().unwrap().field, "num");
     }
 
     #[test]

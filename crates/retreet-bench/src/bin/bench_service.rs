@@ -1,0 +1,449 @@
+//! `bench_service` — the serving-tier benchmark.
+//!
+//! Drives a `retreet_serve::Service` (one shared verifier: sharded verdict
+//! cache, single-flight coalescing) with a warm-cache NDJSON workload from
+//! 1, 4 and 8 client threads, and writes the machine-readable report to
+//! `BENCH_service.json` at the repository root.
+//!
+//! ```text
+//! bench_service [--quick] [--out PATH] [--ceiling-seconds S]
+//!               [--rounds N] [--min-scaling F]
+//! ```
+//!
+//! * `--quick` — smaller budget and fewer rounds (the CI perf-smoke mode).
+//! * `--out PATH` — where to write the JSON report (default
+//!   `BENCH_service.json` in the current directory).
+//! * `--ceiling-seconds S` — exit non-zero when any timed section exceeds
+//!   `S` seconds of wall clock (default 120; catches accidental
+//!   exponential regressions, not noise).
+//! * `--rounds N` — workload repetitions per client thread.
+//! * `--min-scaling F` — exit non-zero when 8-thread throughput is below
+//!   `F ×` the single-thread throughput (default 0: shared CI runners and
+//!   single-core hosts cannot honestly promise parallel speedups).
+//!
+//! Like `bench_engines`, the run **fails on verdict drift**: every response
+//! is checked against the §5 expectation, single-threaded first and then
+//! under every concurrency level — a serving layer that changes answers
+//! under load is a bug, not a throughput result.  A cold-burst phase
+//! additionally asserts single-flight coalescing: 8 threads issuing the
+//! same cold query must trigger exactly one engine run.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use retreet_lang::corpus;
+use retreet_serve::{json, ServeOptions, Service};
+
+struct Args {
+    quick: bool,
+    out: String,
+    ceiling_seconds: f64,
+    rounds: usize,
+    min_scaling: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        out: String::from("BENCH_service.json"),
+        ceiling_seconds: 120.0,
+        rounds: 0,
+        min_scaling: 0.0,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} expects a value"));
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = value("--out")?,
+            "--ceiling-seconds" => {
+                args.ceiling_seconds = value("--ceiling-seconds")?
+                    .parse()
+                    .map_err(|e| format!("--ceiling-seconds: {e}"))?
+            }
+            "--rounds" => {
+                args.rounds = value("--rounds")?
+                    .parse()
+                    .map_err(|e| format!("--rounds: {e}"))?
+            }
+            "--min-scaling" => {
+                args.min_scaling = value("--min-scaling")?
+                    .parse()
+                    .map_err(|e| format!("--min-scaling: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "bench_service [--quick] [--out PATH] [--ceiling-seconds S] \
+                     [--rounds N] [--min-scaling F]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.rounds == 0 {
+        args.rounds = if args.quick { 20 } else { 60 };
+    }
+    Ok(args)
+}
+
+/// One request of the workload: the NDJSON line plus the verdict word every
+/// response must carry (the drift gate).
+struct WorkItem {
+    line: String,
+    expected_verdict: &'static str,
+}
+
+/// The §5 serving mix: every corpus race query, every known fusion pair,
+/// and a pair of validity queries — with the paper's expected verdicts.
+fn workload() -> Vec<WorkItem> {
+    let race = |source: &str, expected: &'static str| WorkItem {
+        line: format!(r#"{{"kind":"race","program":"{}"}}"#, json::escape(source)),
+        expected_verdict: expected,
+    };
+    let equiv = |original: &str, transformed: &str, expected: &'static str| WorkItem {
+        line: format!(
+            r#"{{"kind":"equivalence","original":"{}","transformed":"{}"}}"#,
+            json::escape(original),
+            json::escape(transformed)
+        ),
+        expected_verdict: expected,
+    };
+    let validity = |formula: &str, expected: &'static str| WorkItem {
+        line: format!(r#"{{"kind":"validity","formula":"{formula}"}}"#),
+        expected_verdict: expected,
+    };
+    vec![
+        race(corpus::SIZE_COUNTING_PARALLEL_SRC, "race-free"),
+        race(corpus::SIZE_COUNTING_SEQUENTIAL_SRC, "race-free"),
+        race(corpus::TREE_MUTATION_ORIGINAL_SRC, "race-free"),
+        race(corpus::CSS_MINIFY_ORIGINAL_SRC, "race-free"),
+        race(corpus::CYCLETREE_ORIGINAL_SRC, "race-free"),
+        race(corpus::CYCLETREE_PARALLEL_SRC, "race"),
+        race(corpus::DISJOINT_PARALLEL_SRC, "race-free"),
+        race(corpus::OVERLAPPING_PARALLEL_SRC, "race"),
+        equiv(
+            corpus::SIZE_COUNTING_SEQUENTIAL_SRC,
+            corpus::SIZE_COUNTING_FUSED_SRC,
+            "equivalent",
+        ),
+        equiv(
+            corpus::SIZE_COUNTING_SEQUENTIAL_SRC,
+            corpus::SIZE_COUNTING_FUSED_INVALID_SRC,
+            "not-equivalent",
+        ),
+        equiv(
+            corpus::TREE_MUTATION_ORIGINAL_SRC,
+            corpus::TREE_MUTATION_FUSED_SRC,
+            "equivalent",
+        ),
+        equiv(
+            corpus::CSS_MINIFY_ORIGINAL_SRC,
+            corpus::CSS_MINIFY_FUSED_SRC,
+            "equivalent",
+        ),
+        equiv(
+            corpus::CYCLETREE_ORIGINAL_SRC,
+            corpus::CYCLETREE_FUSED_SRC,
+            "equivalent",
+        ),
+        validity(
+            "(forall r (implies (root r) (forall x (reach r x))))",
+            "valid",
+        ),
+        validity("(forall x (leaf x))", "invalid"),
+    ]
+}
+
+/// Checks one response line against its expectation; returns the drift
+/// message on mismatch.
+fn check_response(response: &str, expected_verdict: &str) -> Result<(), String> {
+    if response.contains(r#""status":"ok""#)
+        && response.contains(&format!(r#""verdict":"{expected_verdict}""#))
+    {
+        Ok(())
+    } else {
+        Err(format!(
+            "expected verdict `{expected_verdict}`, got: {response}"
+        ))
+    }
+}
+
+struct Section {
+    client_threads: usize,
+    requests: usize,
+    wall_seconds: f64,
+    throughput_rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+/// Runs `rounds` passes over the workload from `threads` client threads
+/// against the shared service, collecting per-request latencies.
+fn run_section(
+    service: &Arc<Service>,
+    work: &Arc<Vec<WorkItem>>,
+    threads: usize,
+    rounds: usize,
+    drifted: &Arc<AtomicBool>,
+) -> Section {
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let mut handles = Vec::new();
+    for thread in 0..threads {
+        let service = Arc::clone(service);
+        let work = Arc::clone(work);
+        let barrier = Arc::clone(&barrier);
+        let drifted = Arc::clone(drifted);
+        handles.push(std::thread::spawn(move || {
+            let mut latencies = Vec::with_capacity(rounds * work.len());
+            barrier.wait();
+            for round in 0..rounds {
+                // Stagger thread start positions so concurrent threads hit
+                // different cache shards at any instant.
+                let offset = (thread * 7 + round) % work.len();
+                for i in 0..work.len() {
+                    let item = &work[(i + offset) % work.len()];
+                    let start = Instant::now();
+                    let response = service.handle_line(&item.line);
+                    latencies.push(start.elapsed().as_micros() as u64);
+                    if let Err(err) = check_response(&response, item.expected_verdict) {
+                        if !drifted.swap(true, Ordering::Relaxed) {
+                            eprintln!(
+                                "bench_service: verdict drift under {threads} threads: {err}"
+                            );
+                        }
+                    }
+                }
+            }
+            latencies
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    let mut latencies: Vec<u64> = Vec::new();
+    for handle in handles {
+        latencies.extend(handle.join().expect("client thread panicked"));
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let percentile = |p: f64| -> u64 {
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx]
+    };
+    Section {
+        client_threads: threads,
+        requests: latencies.len(),
+        wall_seconds,
+        throughput_rps: latencies.len() as f64 / wall_seconds,
+        p50_us: percentile(0.50),
+        p99_us: percentile(0.99),
+    }
+}
+
+/// The cold-burst single-flight check: 8 threads issue the *same* cold
+/// query against a fresh service; exactly one engine run may happen, and
+/// everyone must receive the same witness.
+fn cold_burst(options: &ServeOptions) -> Result<(usize, u64, u64), String> {
+    const THREADS: usize = 8;
+    let service = Arc::new(Service::new(options));
+    let line = Arc::new(format!(
+        r#"{{"kind":"race","program":"{}"}}"#,
+        json::escape(corpus::CYCLETREE_PARALLEL_SRC)
+    ));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let mut handles = Vec::new();
+    for _ in 0..THREADS {
+        let service = Arc::clone(&service);
+        let line = Arc::clone(&line);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            service.handle_line(&line)
+        }));
+    }
+    let responses: Vec<String> = handles
+        .into_iter()
+        .map(|h| h.join().expect("burst thread panicked"))
+        .collect();
+    for response in &responses {
+        check_response(response, "race")?;
+    }
+    let serving = service.verifier().serving_stats();
+    if serving.engine_runs != 1 {
+        return Err(format!(
+            "cold burst ran the engine {} times; single-flight must run it once",
+            serving.engine_runs
+        ));
+    }
+    // Every lookup counts as exactly one hit or miss; `collisions` is a
+    // separate diagnostic and must stay 0 here (all threads send the same
+    // query, so no key collision is possible).
+    let cache = service.verifier().cache_stats();
+    if cache.hits + cache.misses != THREADS as u64 || cache.collisions != 0 {
+        return Err(format!(
+            "cold burst accounting off: {} hits + {} misses != {THREADS} queries \
+             (collisions {})",
+            cache.hits, cache.misses, cache.collisions
+        ));
+    }
+    Ok((THREADS, serving.coalesced, cache.hits))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("bench_service: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    let options = if args.quick {
+        ServeOptions {
+            race_nodes: 3,
+            equiv_nodes: 4,
+            validity_nodes: 4,
+            valuations: 1,
+            ..ServeOptions::default()
+        }
+    } else {
+        ServeOptions::default()
+    };
+    let budget_label = if args.quick { "quick" } else { "full" };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Warm start: preload the corpus, then one single-threaded correctness
+    // pass over the full workload (which also warms the two validity
+    // entries the preload does not cover).
+    let service = Arc::new(Service::new(&options));
+    let preloaded = service.warm_start();
+    let work = Arc::new(workload());
+    let mut failed = false;
+    for item in work.iter() {
+        let response = service.handle_line(&item.line);
+        if let Err(err) = check_response(&response, item.expected_verdict) {
+            eprintln!("bench_service: verdict drift (single-threaded): {err}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+
+    println!("== warm-cache serving throughput ({budget_label} budget, {cores} core(s)) ==");
+    println!(
+        "{:>7} {:>10} {:>9} {:>12} {:>9} {:>9}",
+        "threads", "requests", "wall (s)", "rps", "p50 (us)", "p99 (us)"
+    );
+    let drifted = Arc::new(AtomicBool::new(false));
+    let mut sections = Vec::new();
+    for threads in [1usize, 4, 8] {
+        let section = run_section(&service, &work, threads, args.rounds, &drifted);
+        println!(
+            "{:>7} {:>10} {:>9.3} {:>12.0} {:>9} {:>9}",
+            section.client_threads,
+            section.requests,
+            section.wall_seconds,
+            section.throughput_rps,
+            section.p50_us,
+            section.p99_us
+        );
+        if section.wall_seconds > args.ceiling_seconds {
+            eprintln!(
+                "bench_service: {} threads took {:.2}s, over the {:.0}s ceiling",
+                threads, section.wall_seconds, args.ceiling_seconds
+            );
+            failed = true;
+        }
+        sections.push(section);
+    }
+    if drifted.load(Ordering::Relaxed) {
+        failed = true;
+    }
+
+    let burst = match cold_burst(&options) {
+        Ok(burst) => burst,
+        Err(err) => {
+            eprintln!("bench_service: {err}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "cold burst: {} threads, 1 engine run, {} coalesced, {} cache hits",
+        burst.0, burst.1, burst.2
+    );
+
+    let cache = service.verifier().cache_stats();
+    let serving = service.verifier().serving_stats();
+    let hit_rate = cache.hits as f64 / (cache.hits + cache.misses).max(1) as f64;
+    let coalescing_rate = serving.coalesced as f64 / service.requests_handled().max(1) as f64;
+    let scaling = sections[2].throughput_rps / sections[0].throughput_rps;
+    println!(
+        "hit rate {:.4}, coalescing rate {:.4}, 8-thread scaling {scaling:.2}x",
+        hit_rate, coalescing_rate
+    );
+
+    let mut out = String::from("{\n  \"schema\": \"retreet-bench-service/v1\",\n");
+    out.push_str(
+        "  \"methodology\": \"warm-cache NDJSON serving: corpus preloaded via warm_start, \
+         then N client threads replay the full \\u00a75 request mix (race + equivalence + \
+         validity) against one shared Service; every response is checked against the \
+         paper's verdict; latencies are per-request wall clock including JSON parse; the \
+         cold burst issues one identical cold query from 8 threads and asserts exactly one \
+         engine run (single-flight)\",\n",
+    );
+    out.push_str(&format!("  \"cores\": {cores},\n"));
+    out.push_str(&format!(
+        "  \"budget\": {{ \"label\": \"{budget_label}\", \"race_nodes\": {}, \"equiv_nodes\": {}, \
+         \"validity_nodes\": {}, \"valuations\": {} }},\n",
+        options.race_nodes, options.equiv_nodes, options.validity_nodes, options.valuations
+    ));
+    out.push_str(&format!("  \"warm_start_preloaded\": {preloaded},\n"));
+    out.push_str("  \"sections\": [\n");
+    for (i, s) in sections.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"client_threads\": {}, \"requests\": {}, \"wall_seconds\": {:.4}, \
+             \"throughput_rps\": {:.0}, \"p50_us\": {}, \"p99_us\": {} }}{}\n",
+            s.client_threads,
+            s.requests,
+            s.wall_seconds,
+            s.throughput_rps,
+            s.p50_us,
+            s.p99_us,
+            if i + 1 < sections.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"scaling_8_over_1\": {scaling:.3},\n  \"cold_burst\": {{ \"threads\": {}, \
+         \"engine_runs\": 1, \"coalesced\": {}, \"cache_hits\": {} }},\n",
+        burst.0, burst.1, burst.2
+    ));
+    out.push_str(&format!(
+        "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"collisions\": {}, \"entries\": {}, \
+         \"hit_rate\": {hit_rate:.4} }},\n",
+        cache.hits, cache.misses, cache.collisions, cache.entries
+    ));
+    out.push_str(&format!(
+        "  \"serving\": {{ \"engine_runs\": {}, \"cancelled_runs\": {}, \"coalesced\": {}, \
+         \"coalescing_rate\": {coalescing_rate:.4} }}\n}}\n",
+        serving.engine_runs, serving.cancelled_runs, serving.coalesced
+    ));
+    if let Err(err) = std::fs::write(&args.out, &out) {
+        eprintln!("bench_service: cannot write {}: {err}", args.out);
+        std::process::exit(1);
+    }
+    println!("report written to {}", args.out);
+
+    if scaling < args.min_scaling {
+        eprintln!(
+            "bench_service: 8-thread scaling {scaling:.2}x below the required {:.2}x",
+            args.min_scaling
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -372,40 +372,10 @@ pub fn render_table(results: &[ExperimentResult]) -> String {
     out
 }
 
-/// Escapes a string for inclusion in a JSON document.
-///
-/// Only ASCII bytes ever need escaping, so the input is scanned bytewise
-/// and maximal escape-free runs are appended as whole slices (UTF-8
-/// continuation bytes are all ≥ 0x80 and pass through untouched).  The
-/// output reserves the input length plus escape headroom up front, so the
-/// common no-escape case does exactly one allocation and one memcpy.
-fn json_escape(input: &str) -> String {
-    let bytes = input.as_bytes();
-    let mut out = String::with_capacity(input.len() + 2);
-    let mut run_start = 0;
-    for (i, &byte) in bytes.iter().enumerate() {
-        let escape: Option<&str> = match byte {
-            b'"' => Some("\\\""),
-            b'\\' => Some("\\\\"),
-            b'\n' => Some("\\n"),
-            b'\r' => Some("\\r"),
-            b'\t' => Some("\\t"),
-            0x00..=0x1f => Some(""), // \u escape, formatted below
-            _ => None,
-        };
-        if let Some(escape) = escape {
-            out.push_str(&input[run_start..i]);
-            if escape.is_empty() {
-                out.push_str(&format!("\\u{byte:04x}"));
-            } else {
-                out.push_str(escape);
-            }
-            run_start = i + 1;
-        }
-    }
-    out.push_str(&input[run_start..]);
-    out
-}
+// The one JSON string-escaping implementation lives with the NDJSON wire
+// protocol in `retreet-serve`; the report writers here share it rather
+// than keep a drifting duplicate in sync by hand.
+use retreet_serve::json::escape as json_escape;
 
 /// Serializes results to JSON (machine-readable experiment record).
 ///

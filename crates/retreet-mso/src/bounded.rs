@@ -9,9 +9,11 @@
 //! of MONA's unbounded "valid" in the experiment harness, and the bound is
 //! reported alongside so results are never over-claimed.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use crate::checker::{eval, Assignment};
 use crate::formula::Formula;
-use crate::tree::{shared_trees_up_to, LabeledTree};
+use crate::tree::{shared_trees_up_to, shared_trees_with, LabeledTree};
 
 /// The verdict of a bounded validity query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,21 +47,52 @@ impl BoundedVerdict {
 /// Checks that a *closed* formula holds on every binary tree with at most
 /// `max_nodes` nodes.
 pub fn check_validity(formula: &Formula, max_nodes: usize) -> BoundedVerdict {
+    static NEVER_CANCELLED: AtomicBool = AtomicBool::new(false);
+    check_validity_cancellable(formula, max_nodes, &NEVER_CANCELLED)
+        .expect("never-raised cancel flag cannot cancel the check")
+}
+
+/// [`check_validity`] with a cooperative cancel flag: returns `None` (and
+/// no verdict) as soon as `cancel` is observed raised.  The verifier
+/// façade's parallel portfolio raises the flag on losing engines once a
+/// winner is decided.
+///
+/// The flag is checked once per evaluated model *and* once per tree-size
+/// tranche: the corpus is materialized through [`shared_trees_with`] one
+/// size at a time (instead of [`shared_trees_up_to`]'s monolithic build,
+/// which at 13 nodes spends seconds and hundreds of MB before any check
+/// could run), so a lost run reacts within one tranche rather than after
+/// the whole Catalan-sized corpus exists.  Model order is unchanged —
+/// smallest trees first — so counterexamples are identical to
+/// [`check_validity`]'s.
+pub fn check_validity_cancellable(
+    formula: &Formula,
+    max_nodes: usize,
+    cancel: &AtomicBool,
+) -> Option<BoundedVerdict> {
     debug_assert!(
         formula.free_fo_vars().is_empty() && formula.free_so_vars().is_empty(),
         "bounded validity requires a closed formula; quantify the free variables"
     );
     let mut trees_checked = 0;
-    for tree in shared_trees_up_to(max_nodes).iter() {
-        trees_checked += 1;
-        if !eval(formula, tree, &Assignment::new()) {
-            return BoundedVerdict::CounterExample(tree.clone());
+    for size in 1..=max_nodes {
+        if cancel.load(Ordering::Relaxed) {
+            return None;
+        }
+        for tree in shared_trees_with(size).iter() {
+            if cancel.load(Ordering::Relaxed) {
+                return None;
+            }
+            trees_checked += 1;
+            if !eval(formula, tree, &Assignment::new()) {
+                return Some(BoundedVerdict::CounterExample(tree.clone()));
+            }
         }
     }
-    BoundedVerdict::ValidUpTo {
+    Some(BoundedVerdict::ValidUpTo {
         max_nodes,
         trees_checked,
-    }
+    })
 }
 
 /// Checks whether a *closed* formula is satisfiable by some binary tree with
@@ -128,6 +161,15 @@ mod tests {
         let witness = check_satisfiability(&formula, 3).expect("witness");
         assert_eq!(witness.len(), 3);
         assert!(check_satisfiability(&formula, 2).is_none());
+    }
+
+    #[test]
+    fn raised_cancel_flag_aborts_bounded_validity_without_a_verdict() {
+        let cancel = AtomicBool::new(true);
+        assert!(check_validity_cancellable(&root_reaches_all(), 5, &cancel).is_none());
+        let cancel = AtomicBool::new(false);
+        let verdict = check_validity_cancellable(&root_reaches_all(), 5, &cancel).unwrap();
+        assert!(verdict.is_valid());
     }
 
     #[test]

@@ -309,16 +309,55 @@ pub fn all_trees_up_to(max_nodes: usize) -> Vec<LabeledTree> {
 /// per *query* removes a fixed cost from every engine run.  The returned
 /// `Arc` shares one immutable vector across all callers and threads.
 pub fn shared_trees_up_to(max_nodes: usize) -> std::sync::Arc<Vec<LabeledTree>> {
-    use std::collections::HashMap;
-    use std::sync::{Arc, Mutex, OnceLock};
-    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Vec<LabeledTree>>>>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut cache = cache.lock().expect("shape cache poisoned");
-    Arc::clone(
-        cache
-            .entry(max_nodes)
-            .or_insert_with(|| Arc::new(all_trees_up_to(max_nodes))),
-    )
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<ShapeCache> = OnceLock::new();
+    CACHE
+        .get_or_init(ShapeCache::default)
+        .get_or_build(max_nodes, all_trees_up_to)
+}
+
+/// Every binary tree with *exactly* `nodes` nodes, memoized per size — the
+/// incremental sibling of [`shared_trees_up_to`].  A bound-`n` corpus is
+/// Catalan-sized and [`shared_trees_up_to`] materializes all of it before
+/// returning (seconds and hundreds of MB around `n = 13`); callers that
+/// need to react between size tranches — the cancellable bounded-validity
+/// engine — iterate `1..=n` over this accessor instead, paying for one
+/// tranche at a time.
+pub fn shared_trees_with(nodes: usize) -> std::sync::Arc<Vec<LabeledTree>> {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<ShapeCache> = OnceLock::new();
+    CACHE
+        .get_or_init(ShapeCache::default)
+        .get_or_build(nodes, |n| {
+            shapes_with(n).iter().map(LabeledTree::from_shape).collect()
+        })
+}
+
+/// The memo behind the two shared-corpus accessors.  A Catalan-sized build
+/// takes seconds, so it runs *outside* the map lock: other threads reading
+/// resident entries (or building different keys) are never blocked behind
+/// a builder.  Two threads racing on the same cold key may both build;
+/// the first insert wins and the duplicate is dropped — bounded wasted
+/// work, traded for never holding the lock across a multi-second build.
+#[derive(Default)]
+struct ShapeCache {
+    map: std::sync::Mutex<std::collections::HashMap<usize, std::sync::Arc<Vec<LabeledTree>>>>,
+}
+
+impl ShapeCache {
+    fn get_or_build(
+        &self,
+        key: usize,
+        build: impl FnOnce(usize) -> Vec<LabeledTree>,
+    ) -> std::sync::Arc<Vec<LabeledTree>> {
+        use std::sync::Arc;
+        if let Some(hit) = self.map.lock().expect("shape cache poisoned").get(&key) {
+            return Arc::clone(hit);
+        }
+        let built = Arc::new(build(key));
+        let mut map = self.map.lock().expect("shape cache poisoned");
+        Arc::clone(map.entry(key).or_insert(built))
+    }
 }
 
 /// Builds a complete binary tree of the given height (height 1 = single

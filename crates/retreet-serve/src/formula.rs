@@ -1,0 +1,261 @@
+//! The wire syntax for MSO validity queries: parenthesized prefix
+//! expressions over the [`retreet_mso::formula::Formula`] constructors.
+//!
+//! The in-tree crates build formulas programmatically; a service request
+//! arrives as text, so validity queries carry a compact s-expression:
+//!
+//! ```text
+//! (forall r (implies (root r) (forall x (reach r x))))
+//! ```
+//!
+//! | form | meaning |
+//! |------|---------|
+//! | `true` / `false` | constants |
+//! | `(eq x y)` `(root x)` `(leaf x)` | node predicates |
+//! | `(left x y)` `(right x y)` `(reach x y)` | structural predicates |
+//! | `(in x X)` `(subset X Y)` | set predicates |
+//! | `(not f)` `(and f…)` `(or f…)` `(implies f g)` `(iff f g)` | connectives |
+//! | `(exists x f)` `(forall x f)` | first-order quantifiers |
+//! | `(exists2 X f)` `(forall2 X f)` | second-order quantifiers |
+//!
+//! `and`/`or` accept any number of operands (folded with
+//! [`Formula::conj`]/[`Formula::disj`]).
+
+use retreet_mso::formula::{FoVar, Formula, SoVar};
+
+/// Maximum formula-nesting depth.  The parser is recursive-descent, so a
+/// hostile `(not (not (not …` request line must come back as a parse error
+/// rather than overflow the serving thread's stack; real queries nest a
+/// few dozen levels at most.
+const MAX_DEPTH: usize = 64;
+
+/// Parses the s-expression wire syntax into a [`Formula`].
+pub fn parse_formula(input: &str) -> Result<Formula, String> {
+    let tokens = tokenize(input)?;
+    let mut pos = 0;
+    let formula = parse_expr(&tokens, &mut pos, 0)?;
+    if pos != tokens.len() {
+        return Err(format!("trailing input after formula: `{}`", tokens[pos]));
+    }
+    Ok(formula)
+}
+
+fn tokenize(input: &str) -> Result<Vec<String>, String> {
+    let mut tokens = Vec::new();
+    let mut symbol = String::new();
+    for c in input.chars() {
+        match c {
+            '(' | ')' => {
+                if !symbol.is_empty() {
+                    tokens.push(std::mem::take(&mut symbol));
+                }
+                tokens.push(c.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !symbol.is_empty() {
+                    tokens.push(std::mem::take(&mut symbol));
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '-' || c == '2' => symbol.push(c),
+            c => return Err(format!("unexpected character `{c}` in formula")),
+        }
+    }
+    if !symbol.is_empty() {
+        tokens.push(symbol);
+    }
+    if tokens.is_empty() {
+        return Err(String::from("empty formula"));
+    }
+    Ok(tokens)
+}
+
+fn parse_expr(tokens: &[String], pos: &mut usize, depth: usize) -> Result<Formula, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("formula nests deeper than {MAX_DEPTH} levels"));
+    }
+    let token = tokens
+        .get(*pos)
+        .ok_or("unexpected end of formula")?
+        .as_str();
+    *pos += 1;
+    match token {
+        "true" => Ok(Formula::True),
+        "false" => Ok(Formula::False),
+        "(" => {
+            let head = tokens
+                .get(*pos)
+                .ok_or("unexpected end of formula after `(`")?
+                .clone();
+            *pos += 1;
+            let formula = parse_form(&head, tokens, pos, depth)?;
+            match tokens.get(*pos).map(String::as_str) {
+                Some(")") => {
+                    *pos += 1;
+                    Ok(formula)
+                }
+                _ => Err(format!("missing `)` after `{head}` form")),
+            }
+        }
+        ")" => Err(String::from("unexpected `)`")),
+        other => Err(format!("expected `true`, `false` or `(`, found `{other}`")),
+    }
+}
+
+fn parse_form(
+    head: &str,
+    tokens: &[String],
+    pos: &mut usize,
+    depth: usize,
+) -> Result<Formula, String> {
+    let mut symbol = |role: &str| -> Result<String, String> {
+        match tokens.get(*pos).map(String::as_str) {
+            Some("(") | Some(")") | None => Err(format!("`{head}` expects a {role} name")),
+            Some(name) => {
+                *pos += 1;
+                Ok(name.to_string())
+            }
+        }
+    };
+    match head {
+        "eq" => Ok(Formula::Eq(
+            FoVar::new(symbol("variable")?),
+            FoVar::new(symbol("variable")?),
+        )),
+        "root" => Ok(Formula::Root(FoVar::new(symbol("variable")?))),
+        "leaf" => Ok(Formula::Leaf(FoVar::new(symbol("variable")?))),
+        "left" => Ok(Formula::Left(
+            FoVar::new(symbol("variable")?),
+            FoVar::new(symbol("variable")?),
+        )),
+        "right" => Ok(Formula::Right(
+            FoVar::new(symbol("variable")?),
+            FoVar::new(symbol("variable")?),
+        )),
+        "reach" => Ok(Formula::Reach(
+            FoVar::new(symbol("variable")?),
+            FoVar::new(symbol("variable")?),
+        )),
+        "in" => Ok(Formula::In(
+            FoVar::new(symbol("variable")?),
+            SoVar::new(symbol("set-variable")?),
+        )),
+        "subset" => Ok(Formula::Subset(
+            SoVar::new(symbol("set-variable")?),
+            SoVar::new(symbol("set-variable")?),
+        )),
+        "not" => Ok(Formula::not(parse_expr(tokens, pos, depth + 1)?)),
+        "and" | "or" => {
+            let mut parts = Vec::new();
+            while tokens.get(*pos).map(String::as_str) != Some(")") {
+                // The fold below nests one `And`/`Or` level per operand
+                // beyond the first, so operands count toward the depth
+                // budget: a flat `(and true × 500k)` would otherwise pass
+                // the s-expression depth guard yet produce a 500k-deep
+                // formula whose recursive Hash/eval/Drop overflow the
+                // serving thread's stack.
+                if depth + parts.len() > MAX_DEPTH {
+                    return Err(format!(
+                        "`{head}` with this many operands nests deeper than {MAX_DEPTH} levels"
+                    ));
+                }
+                parts.push(parse_expr(tokens, pos, depth + 1)?);
+            }
+            Ok(if head == "and" {
+                Formula::conj(parts)
+            } else {
+                Formula::disj(parts)
+            })
+        }
+        "implies" => Ok(Formula::implies(
+            parse_expr(tokens, pos, depth + 1)?,
+            parse_expr(tokens, pos, depth + 1)?,
+        )),
+        "iff" => Ok(Formula::iff(
+            parse_expr(tokens, pos, depth + 1)?,
+            parse_expr(tokens, pos, depth + 1)?,
+        )),
+        "exists" => {
+            let var = symbol("variable")?;
+            Ok(Formula::exists_fo(var, parse_expr(tokens, pos, depth + 1)?))
+        }
+        "forall" => {
+            let var = symbol("variable")?;
+            Ok(Formula::forall_fo(var, parse_expr(tokens, pos, depth + 1)?))
+        }
+        "exists2" => {
+            let var = symbol("set-variable")?;
+            Ok(Formula::exists_so(var, parse_expr(tokens, pos, depth + 1)?))
+        }
+        "forall2" => {
+            let var = symbol("set-variable")?;
+            Ok(Formula::forall_so(var, parse_expr(tokens, pos, depth + 1)?))
+        }
+        other => Err(format!("unknown formula form `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_root_reaches_all_tautology() {
+        let formula =
+            parse_formula("(forall r (implies (root r) (forall x (reach r x))))").unwrap();
+        let expected = Formula::forall_fo(
+            "r",
+            Formula::implies(
+                Formula::Root(FoVar::new("r")),
+                Formula::forall_fo("x", Formula::Reach(FoVar::new("r"), FoVar::new("x"))),
+            ),
+        );
+        assert_eq!(formula, expected);
+    }
+
+    #[test]
+    fn variadic_and_folds_like_conj() {
+        let formula = parse_formula("(and true false true)").unwrap();
+        assert_eq!(
+            formula,
+            Formula::conj(vec![Formula::True, Formula::False, Formula::True])
+        );
+        assert_eq!(parse_formula("(and)").unwrap(), Formula::True);
+        assert_eq!(parse_formula("(or)").unwrap(), Formula::False);
+    }
+
+    #[test]
+    fn second_order_quantifiers_and_set_predicates() {
+        let formula = parse_formula("(exists2 X (forall x (in x X)))").unwrap();
+        assert_eq!(
+            formula,
+            Formula::exists_so(
+                "X",
+                Formula::forall_fo("x", Formula::In(FoVar::new("x"), SoVar::new("X")))
+            )
+        );
+    }
+
+    #[test]
+    fn pathological_nesting_is_rejected_not_a_stack_overflow() {
+        let deep = format!("{}true{}", "(not ".repeat(100_000), ")".repeat(100_000));
+        assert!(parse_formula(&deep).is_err());
+        let fine = format!("{}true{}", "(not ".repeat(60), ")".repeat(60));
+        assert!(parse_formula(&fine).is_ok());
+        // A flat variadic conjunction folds into a chain one level deep per
+        // operand — the operand count must hit the same depth budget.
+        let wide = format!("(and {})", "true ".repeat(500_000));
+        assert!(parse_formula(&wide).is_err());
+        let wide_ok = format!("(and {})", "true ".repeat(50));
+        assert!(parse_formula(&wide_ok).is_ok());
+    }
+
+    #[test]
+    fn malformed_formulas_are_rejected_with_messages() {
+        assert!(parse_formula("").is_err());
+        assert!(parse_formula("(unknown x)").is_err());
+        assert!(parse_formula("(root x").is_err());
+        assert!(parse_formula("(eq x)").is_err());
+        assert!(parse_formula("(root x) extra").is_err());
+        assert!(parse_formula("(exists (root x) true)").is_err());
+    }
+}

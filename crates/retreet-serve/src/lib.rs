@@ -1,0 +1,731 @@
+//! # retreet-serve — the concurrent verification service
+//!
+//! The ROADMAP's north star is a verifier that serves heavy concurrent
+//! traffic; this crate is that serving tier.  It wraps one shared
+//! [`retreet_verify::Verifier`] — sharded verdict cache, single-flight
+//! coalescing, batch fan-out — in a long-running loop speaking
+//! newline-delimited JSON over stdin/stdout or a TCP listener:
+//!
+//! ```text
+//! → {"id": 1, "kind": "race", "program": "fn Main(n) { ... }"}
+//! ← {"id": 1, "status": "ok", "kind": "race", "verdict": "race-free",
+//!    "positive": true, "engine": "configuration", "soundness": "bounded:4",
+//!    "cached": false, "coalesced": false, "elapsed_us": 1234,
+//!    "trees_checked": 14, "detail": ""}
+//! ```
+//!
+//! Request kinds:
+//!
+//! * `race` — `program` (Retreet source); Theorem 2.
+//! * `equivalence` — `original` + `transformed` (Retreet source); Theorem 3.
+//! * `validity` — `formula` (the s-expression syntax of [`formula`]).
+//! * `batch` — `queries`: an array of the above; answered through
+//!   [`Verifier::verify_batch`], results in input order.
+//! * `stats` — cache and serving counters of the shared verifier.
+//!
+//! Every verdict response carries the engine provenance, the soundness
+//! caveat, and the `cached` / `coalesced` serving flags, so a client can
+//! always tell how its answer was produced.  Malformed requests are
+//! answered with `{"status": "error", ...}` on the same line — the
+//! connection (and the service) stays up.
+//!
+//! [`Service::warm_start`] preloads the §5 corpus verdicts so a fresh
+//! replica answers the common queries from the cache immediately.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod formula;
+pub mod json;
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use retreet_lang::ast::Program;
+use retreet_lang::corpus;
+use retreet_mso::formula::Formula;
+use retreet_verify::{Outcome, Query, Soundness, Verdict, Verifier, VerifyError};
+
+use json::Value;
+
+/// Budget and portfolio options of a service verifier (a trimmed mirror of
+/// the [`Verifier`] builder knobs, so `main` can parse them from flags).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Largest tree (in nodes) enumerated for data-race queries.
+    pub race_nodes: usize,
+    /// Largest tree (in nodes) enumerated for equivalence queries.
+    pub equiv_nodes: usize,
+    /// Largest tree (in nodes) enumerated for bounded validity queries.
+    pub validity_nodes: usize,
+    /// Deterministic field valuations per tree shape.
+    pub valuations: usize,
+    /// Run the applicable engines concurrently per query.
+    pub parallel: bool,
+    /// Verdict-cache capacity (0 disables caching and coalescing).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            race_nodes: 4,
+            equiv_nodes: 5,
+            validity_nodes: 5,
+            valuations: 2,
+            parallel: false,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Builds the verifier these options describe.
+    pub fn build_verifier(&self) -> Verifier {
+        Verifier::builder()
+            .race_nodes(self.race_nodes)
+            .equiv_nodes(self.equiv_nodes)
+            .validity_nodes(self.validity_nodes)
+            .valuations(self.valuations)
+            .parallel(self.parallel)
+            .cache_capacity(self.cache_capacity)
+            .build()
+    }
+}
+
+/// The service: one shared verifier plus request accounting.  `Sync` — one
+/// instance serves any number of client threads/connections.
+pub struct Service {
+    verifier: Verifier,
+    requests: AtomicU64,
+}
+
+/// One parsed sub-query with owned subjects (the borrow source for the
+/// [`Query`]s handed to the verifier).
+enum ParsedQuery {
+    Race(Program),
+    Equivalence(Program, Program),
+    Validity(Formula),
+}
+
+impl ParsedQuery {
+    fn kind(&self) -> &'static str {
+        match self {
+            ParsedQuery::Race(_) => "race",
+            ParsedQuery::Equivalence(_, _) => "equivalence",
+            ParsedQuery::Validity(_) => "validity",
+        }
+    }
+
+    fn as_query(&self) -> Query<'_> {
+        match self {
+            ParsedQuery::Race(p) => Query::DataRace(p),
+            ParsedQuery::Equivalence(a, b) => Query::Equivalence(a, b),
+            ParsedQuery::Validity(f) => Query::Validity(f),
+        }
+    }
+}
+
+impl Service {
+    /// A service over a fresh verifier built from `options`.
+    pub fn new(options: &ServeOptions) -> Self {
+        Service::from_verifier(options.build_verifier())
+    }
+
+    /// A service over a caller-built verifier.
+    pub fn from_verifier(verifier: Verifier) -> Self {
+        Service {
+            verifier,
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared verifier (for stats or direct queries).
+    pub fn verifier(&self) -> &Verifier {
+        &self.verifier
+    }
+
+    /// Total requests handled so far (every NDJSON line counts once;
+    /// a batch counts once plus nothing per sub-query).
+    pub fn requests_handled(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Preloads the verdict cache with the §5 corpus: a race query per
+    /// corpus program and an equivalence query per known fusion pair.
+    /// Returns the number of queries preloaded, so a fresh replica starts
+    /// warm instead of paying the engine cost on first contact.
+    pub fn warm_start(&self) -> usize {
+        let mut preloaded = 0;
+        for (_, program) in corpus::all() {
+            if self.verifier.verify(Query::DataRace(&program)).is_ok() {
+                preloaded += 1;
+            }
+        }
+        let pairs = [
+            (
+                corpus::size_counting_sequential(),
+                corpus::size_counting_fused(),
+            ),
+            (
+                corpus::size_counting_sequential(),
+                corpus::size_counting_fused_invalid(),
+            ),
+            (
+                corpus::tree_mutation_original(),
+                corpus::tree_mutation_fused(),
+            ),
+            (corpus::css_minify_original(), corpus::css_minify_fused()),
+            (corpus::cycletree_original(), corpus::cycletree_fused()),
+        ];
+        for (original, transformed) in &pairs {
+            if self
+                .verifier
+                .verify(Query::Equivalence(original, transformed))
+                .is_ok()
+            {
+                preloaded += 1;
+            }
+        }
+        preloaded
+    }
+
+    /// Handles one NDJSON request line and returns the one-line response.
+    /// Never panics on malformed input — parse and protocol errors come
+    /// back as `{"status": "error", ...}`.
+    pub fn handle_line(&self, line: &str) -> String {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let value = match json::parse(line) {
+            Ok(value) => value,
+            Err(err) => return error_response(None, &format!("invalid JSON: {err}")),
+        };
+        let Some(request) = value.as_object() else {
+            return error_response(None, "request must be a JSON object");
+        };
+        let id = request.get("id");
+        let kind = match request.get("kind").and_then(Value::as_str) {
+            Some(kind) => kind,
+            None => return error_response(id, "missing string field `kind`"),
+        };
+        match kind {
+            "race" | "equivalence" | "validity" => match parse_query(kind, request) {
+                Ok(parsed) => {
+                    let result = self.verifier.verify(parsed.as_query());
+                    verdict_response(id, &parsed, &result)
+                }
+                Err(err) => error_response(id, &err),
+            },
+            "batch" => self.handle_batch(id, request),
+            "stats" => self.stats_response(id),
+            other => error_response(id, &format!("unknown request kind `{other}`")),
+        }
+    }
+
+    fn handle_batch(
+        &self,
+        id: Option<&Value>,
+        request: &std::collections::BTreeMap<String, Value>,
+    ) -> String {
+        let Some(items) = request.get("queries").and_then(Value::as_array) else {
+            return error_response(id, "batch requests need an array field `queries`");
+        };
+        // Parse every sub-request first; parse failures keep their slot so
+        // `results[i]` always answers `queries[i]`.
+        let parsed: Vec<Result<ParsedQuery, String>> = items
+            .iter()
+            .map(|item| {
+                let Some(object) = item.as_object() else {
+                    return Err(String::from("batch query must be a JSON object"));
+                };
+                let kind = object
+                    .get("kind")
+                    .and_then(Value::as_str)
+                    .ok_or("missing string field `kind`")?;
+                parse_query(kind, object)
+            })
+            .collect();
+        let queries: Vec<Query<'_>> = parsed
+            .iter()
+            .filter_map(|p| p.as_ref().ok())
+            .map(ParsedQuery::as_query)
+            .collect();
+        let mut verdicts = self.verifier.verify_batch(&queries).into_iter();
+        let results: Vec<String> = parsed
+            .iter()
+            .map(|entry| match entry {
+                Ok(parsed) => {
+                    let result = verdicts.next().expect("one verdict per parsed query");
+                    verdict_response(None, parsed, &result)
+                }
+                Err(err) => error_response(None, err),
+            })
+            .collect();
+        let mut out = String::from("{");
+        push_id(&mut out, id);
+        out.push_str("\"status\":\"ok\",\"kind\":\"batch\",\"results\":[");
+        out.push_str(&results.join(","));
+        out.push_str("]}");
+        out
+    }
+
+    fn stats_response(&self, id: Option<&Value>) -> String {
+        let cache = self.verifier.cache_stats();
+        let serving = self.verifier.serving_stats();
+        let mut out = String::from("{");
+        push_id(&mut out, id);
+        out.push_str(&format!(
+            "\"status\":\"ok\",\"kind\":\"stats\",\"requests\":{},\
+             \"cache\":{{\"hits\":{},\"misses\":{},\"collisions\":{},\"entries\":{}}},\
+             \"serving\":{{\"engine_runs\":{},\"cancelled_runs\":{},\"coalesced\":{}}}}}",
+            self.requests_handled(),
+            cache.hits,
+            cache.misses,
+            cache.collisions,
+            cache.entries,
+            serving.engine_runs,
+            serving.cancelled_runs,
+            serving.coalesced,
+        ));
+        out
+    }
+}
+
+/// Deepest brace/parenthesis nesting a request program may use.  The
+/// Retreet parser (and the analyses behind it) recurse per nesting level
+/// with no cap of their own, so a hostile `fn Main(n) {{{{…` line — one
+/// byte per level, far under the request-size bound — would abort the
+/// shared service by stack overflow.  Corpus programs nest under 10.
+const MAX_PROGRAM_NESTING: usize = 256;
+
+/// Maximum brace/paren nesting of a candidate source, scanned iteratively
+/// (so the guard itself is O(n) with no recursion).
+fn source_nesting(source: &str) -> usize {
+    let mut depth = 0usize;
+    let mut max = 0;
+    for byte in source.bytes() {
+        match byte {
+            b'{' | b'(' => {
+                depth += 1;
+                max = max.max(depth);
+            }
+            b'}' | b')' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+    }
+    max
+}
+
+fn parse_query(
+    kind: &str,
+    request: &std::collections::BTreeMap<String, Value>,
+) -> Result<ParsedQuery, String> {
+    let program = |field: &str| -> Result<Program, String> {
+        let source = request
+            .get(field)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("`{kind}` requests need a string field `{field}`"))?;
+        if source_nesting(source) > MAX_PROGRAM_NESTING {
+            return Err(format!(
+                "`{field}` nests deeper than {MAX_PROGRAM_NESTING} levels"
+            ));
+        }
+        retreet_lang::parse_program(source).map_err(|err| format!("cannot parse `{field}`: {err}"))
+    };
+    match kind {
+        "race" => Ok(ParsedQuery::Race(program("program")?)),
+        "equivalence" => Ok(ParsedQuery::Equivalence(
+            program("original")?,
+            program("transformed")?,
+        )),
+        "validity" => {
+            let text = request
+                .get("formula")
+                .and_then(Value::as_str)
+                .ok_or("`validity` requests need a string field `formula`")?;
+            let formula = formula::parse_formula(text)
+                .map_err(|err| format!("cannot parse `formula`: {err}"))?;
+            Ok(ParsedQuery::Validity(formula))
+        }
+        other => Err(format!("unknown request kind `{other}`")),
+    }
+}
+
+fn push_id(out: &mut String, id: Option<&Value>) {
+    if let Some(id) = id {
+        out.push_str(&format!("\"id\":{id},"));
+    }
+}
+
+fn error_response(id: Option<&Value>, message: &str) -> String {
+    let mut out = String::from("{");
+    push_id(&mut out, id);
+    out.push_str(&format!(
+        "\"status\":\"error\",\"error\":\"{}\"}}",
+        json::escape(message)
+    ));
+    out
+}
+
+fn verdict_response(
+    id: Option<&Value>,
+    parsed: &ParsedQuery,
+    result: &Result<Verdict, VerifyError>,
+) -> String {
+    let verdict = match result {
+        Ok(verdict) => verdict,
+        Err(err) => return error_response(id, &err.to_string()),
+    };
+    let (word, detail) = describe_outcome(&verdict.outcome);
+    let soundness = match verdict.soundness {
+        Soundness::Unbounded => String::from("unbounded"),
+        Soundness::BoundedUpTo { max_nodes } => format!("bounded:{max_nodes}"),
+    };
+    let mut out = String::from("{");
+    push_id(&mut out, id);
+    out.push_str(&format!(
+        "\"status\":\"ok\",\"kind\":\"{}\",\"verdict\":\"{}\",\"positive\":{},\
+         \"engine\":\"{}\",\"soundness\":\"{}\",\"cached\":{},\"coalesced\":{},\
+         \"elapsed_us\":{},\"trees_checked\":{},\"detail\":\"{}\"}}",
+        parsed.kind(),
+        word,
+        verdict.is_positive(),
+        verdict.engine.name(),
+        soundness,
+        verdict.cached,
+        verdict.coalesced,
+        verdict.elapsed.as_micros(),
+        verdict.trees_checked(),
+        json::escape(&detail),
+    ));
+    out
+}
+
+fn describe_outcome(outcome: &Outcome) -> (&'static str, String) {
+    match outcome {
+        Outcome::RaceFree { .. } => ("race-free", String::new()),
+        Outcome::Race(witness) => (
+            "race",
+            format!(
+                "race on {}.{} between {} and {}",
+                witness.node, witness.field, witness.first, witness.second
+            ),
+        ),
+        Outcome::Equivalent { .. } => ("equivalent", String::new()),
+        Outcome::NotEquivalent(ce) => (
+            "not-equivalent",
+            format!("counterexample: {:?}", ce.disagreement),
+        ),
+        Outcome::Valid { .. } => ("valid", String::new()),
+        Outcome::Invalid(model) => (
+            "invalid",
+            match model {
+                Some(tree) => format!("falsified by a {}-node tree", tree.len()),
+                None => String::from("refuted by the automata engine (no model attached)"),
+            },
+        ),
+    }
+}
+
+/// Longest request line the service buffers.  The §5 corpus programs are a
+/// few KB each; 8 MiB leaves two orders of magnitude of headroom while
+/// keeping one newline-less client from growing an unbounded `String` and
+/// taking the shared service down with it.
+const MAX_REQUEST_LINE_BYTES: usize = 8 * 1024 * 1024;
+
+/// One read request line, bounded and UTF-8-checked.
+enum RequestLine {
+    /// End of the input stream.
+    Eof,
+    /// A complete line (without the trailing newline / carriage return).
+    Line(String),
+    /// The line was not valid UTF-8 — a malformed request, not a dead
+    /// connection.
+    NotUtf8,
+    /// The line exceeded [`MAX_REQUEST_LINE_BYTES`]; the remainder was
+    /// discarded (without buffering) up to the next newline.
+    TooLong,
+}
+
+/// Reads one newline-terminated line with a hard memory bound.
+/// `BufRead::lines` has no cap — one hostile client streaming bytes
+/// without a newline would OOM the process — so the service reads through
+/// this instead.
+fn read_request_line(input: &mut impl BufRead) -> std::io::Result<RequestLine> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let available = input.fill_buf()?;
+        if available.is_empty() {
+            if buf.is_empty() {
+                return Ok(RequestLine::Eof);
+            }
+            return Ok(line_from(buf));
+        }
+        if let Some(newline) = available.iter().position(|&b| b == b'\n') {
+            if buf.len() + newline > MAX_REQUEST_LINE_BYTES {
+                input.consume(newline + 1);
+                return Ok(RequestLine::TooLong);
+            }
+            buf.extend_from_slice(&available[..newline]);
+            input.consume(newline + 1);
+            return Ok(line_from(buf));
+        }
+        let chunk = available.len();
+        buf.extend_from_slice(available);
+        input.consume(chunk);
+        if buf.len() > MAX_REQUEST_LINE_BYTES {
+            drop(buf);
+            // Resynchronize on the next newline, discarding as we go (no
+            // buffering, so the hostile line costs no memory).
+            loop {
+                let available = input.fill_buf()?;
+                if available.is_empty() {
+                    return Ok(RequestLine::TooLong);
+                }
+                match available.iter().position(|&b| b == b'\n') {
+                    Some(newline) => {
+                        input.consume(newline + 1);
+                        return Ok(RequestLine::TooLong);
+                    }
+                    None => {
+                        let chunk = available.len();
+                        input.consume(chunk);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn line_from(mut buf: Vec<u8>) -> RequestLine {
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => RequestLine::Line(line),
+        Err(_) => RequestLine::NotUtf8,
+    }
+}
+
+/// Serves NDJSON requests from `input` to `output` until EOF — the stdin
+/// mode of the `retreet-serve` binary, and the harness tests' entry point.
+/// Malformed lines (invalid UTF-8, over the size bound) are answered with
+/// an error response and the loop keeps serving; real I/O errors end it.
+pub fn serve_lines(
+    service: &Service,
+    mut input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<()> {
+    loop {
+        let response = match read_request_line(&mut input)? {
+            RequestLine::Eof => return Ok(()),
+            RequestLine::Line(line) if line.trim().is_empty() => continue,
+            RequestLine::Line(line) => service.handle_line(&line),
+            RequestLine::NotUtf8 => error_response(None, "request line is not valid UTF-8"),
+            RequestLine::TooLong => error_response(
+                None,
+                &format!("request line exceeds {MAX_REQUEST_LINE_BYTES} bytes and was dropped"),
+            ),
+        };
+        output.write_all(response.as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+    }
+}
+
+/// Accepts TCP connections forever, one handler thread per client, all
+/// sharing `service` (and therefore one cache and one in-flight table).
+/// Returns only when the listener errors.
+pub fn serve_tcp(service: Arc<Service>, listener: TcpListener) -> std::io::Result<()> {
+    loop {
+        let (stream, peer) = listener.accept()?;
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            if let Err(err) = serve_connection(&service, &stream) {
+                eprintln!("retreet-serve: connection {peer} closed: {err}");
+            }
+        });
+    }
+}
+
+fn serve_connection(service: &Service, stream: &TcpStream) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    serve_lines(service, reader, stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_service() -> Service {
+        Service::new(&ServeOptions {
+            race_nodes: 3,
+            equiv_nodes: 3,
+            validity_nodes: 3,
+            valuations: 1,
+            parallel: false,
+            cache_capacity: 1024,
+        })
+    }
+
+    fn field(response: &str, name: &str) -> Value {
+        let parsed = json::parse(response).expect("response is valid JSON");
+        parsed.as_object().unwrap()[name].clone()
+    }
+
+    #[test]
+    fn race_requests_round_trip() {
+        let service = quick_service();
+        let program = json::escape(corpus::SIZE_COUNTING_PARALLEL_SRC);
+        let request = format!(r#"{{"id": 1, "kind": "race", "program": "{program}"}}"#);
+        let response = service.handle_line(&request);
+        assert_eq!(field(&response, "status").as_str(), Some("ok"));
+        assert_eq!(field(&response, "verdict").as_str(), Some("race-free"));
+        assert_eq!(field(&response, "id"), Value::Number(1.0));
+        assert_eq!(field(&response, "cached"), Value::Bool(false));
+        // The identical query again: served from the cache.
+        let response = service.handle_line(&request);
+        assert_eq!(field(&response, "cached"), Value::Bool(true));
+    }
+
+    #[test]
+    fn equivalence_and_validity_requests_round_trip() {
+        let service = quick_service();
+        let original = json::escape(corpus::SIZE_COUNTING_SEQUENTIAL_SRC);
+        let transformed = json::escape(corpus::SIZE_COUNTING_FUSED_SRC);
+        let request = format!(
+            r#"{{"kind": "equivalence", "original": "{original}", "transformed": "{transformed}"}}"#
+        );
+        let response = service.handle_line(&request);
+        assert_eq!(field(&response, "verdict").as_str(), Some("equivalent"));
+
+        let response =
+            service.handle_line(r#"{"kind": "validity", "formula": "(exists x (root x))"}"#);
+        assert_eq!(field(&response, "verdict").as_str(), Some("valid"));
+        assert_eq!(field(&response, "engine").as_str(), Some("automata"));
+        assert_eq!(field(&response, "soundness").as_str(), Some("unbounded"));
+    }
+
+    #[test]
+    fn malformed_requests_are_errors_not_crashes() {
+        let service = quick_service();
+        let deep_program = format!(
+            r#"{{"kind": "race", "program": "fn Main(n) {}"}}"#,
+            "{".repeat(500_000)
+        );
+        for request in [
+            "not json at all",
+            "[1, 2, 3]",
+            r#"{"kind": "unknown"}"#,
+            r#"{"kind": "race"}"#,
+            r#"{"kind": "race", "program": "fn !! syntax error"}"#,
+            r#"{"kind": "validity", "formula": "(unknown x)"}"#,
+            r#"{"kind": "batch"}"#,
+            // One byte per nesting level: must be rejected by the nesting
+            // guard before the recursive-descent program parser sees it.
+            deep_program.as_str(),
+        ] {
+            let response = service.handle_line(request);
+            assert_eq!(
+                field(&response, "status").as_str(),
+                Some("error"),
+                "request {request:?} must answer an error"
+            );
+        }
+        // The service keeps answering after errors.
+        let response =
+            service.handle_line(r#"{"kind": "validity", "formula": "(exists x (root x))"}"#);
+        assert_eq!(field(&response, "status").as_str(), Some("ok"));
+    }
+
+    #[test]
+    fn batch_requests_answer_in_input_order_with_errors_in_place() {
+        let service = quick_service();
+        let racy = json::escape(corpus::CYCLETREE_PARALLEL_SRC);
+        let free = json::escape(corpus::SIZE_COUNTING_PARALLEL_SRC);
+        let request = format!(
+            r#"{{"id": "b1", "kind": "batch", "queries": [
+                {{"kind": "race", "program": "{racy}"}},
+                {{"kind": "race", "program": "not a program"}},
+                {{"kind": "race", "program": "{free}"}},
+                {{"kind": "validity", "formula": "(exists x (root x))"}}
+            ]}}"#
+        );
+        let response = service.handle_line(&request);
+        let parsed = json::parse(&response).unwrap();
+        let object = parsed.as_object().unwrap();
+        assert_eq!(object["status"].as_str(), Some("ok"));
+        let results = object["results"].as_array().unwrap();
+        assert_eq!(results.len(), 4);
+        let verdict =
+            |i: usize, key: &str| -> Value { results[i].as_object().unwrap()[key].clone() };
+        assert_eq!(verdict(0, "verdict").as_str(), Some("race"));
+        assert_eq!(verdict(1, "status").as_str(), Some("error"));
+        assert_eq!(verdict(2, "verdict").as_str(), Some("race-free"));
+        assert_eq!(verdict(3, "verdict").as_str(), Some("valid"));
+    }
+
+    #[test]
+    fn warm_start_preloads_and_stats_report_it() {
+        let service = quick_service();
+        let preloaded = service.warm_start();
+        assert!(preloaded >= 10, "corpus + fusion pairs, got {preloaded}");
+        let response = service.handle_line(r#"{"id": 9, "kind": "stats"}"#);
+        let parsed = json::parse(&response).unwrap();
+        let object = parsed.as_object().unwrap();
+        assert_eq!(object["status"].as_str(), Some("ok"));
+        let cache = object["cache"].as_object().unwrap();
+        assert_eq!(cache["entries"], Value::Number(preloaded as f64));
+        // A corpus query after warm start is a cache hit.
+        let program = json::escape(corpus::CYCLETREE_PARALLEL_SRC);
+        let request = format!(r#"{{"kind": "race", "program": "{program}"}}"#);
+        let response = service.handle_line(&request);
+        assert_eq!(field(&response, "cached"), Value::Bool(true));
+    }
+
+    #[test]
+    fn non_utf8_lines_answer_an_error_and_the_service_keeps_running() {
+        let service = quick_service();
+        let mut input: Vec<u8> = Vec::new();
+        input.extend_from_slice(b"\xff\xfe garbage\n");
+        input.extend_from_slice(b"{\"id\": 1, \"kind\": \"stats\"}\n");
+        let mut output = Vec::new();
+        serve_lines(&service, &input[..], &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(field(lines[0], "status").as_str(), Some("error"));
+        assert_eq!(field(lines[1], "status").as_str(), Some("ok"));
+    }
+
+    #[test]
+    fn oversized_lines_answer_an_error_without_buffering_the_line() {
+        let service = quick_service();
+        let mut input: Vec<u8> = Vec::with_capacity(MAX_REQUEST_LINE_BYTES + 64);
+        input.resize(MAX_REQUEST_LINE_BYTES + 10, b'[');
+        input.push(b'\n');
+        input.extend_from_slice(b"{\"id\": 1, \"kind\": \"stats\"}\n");
+        let mut output = Vec::new();
+        serve_lines(&service, &input[..], &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(field(lines[0], "status").as_str(), Some("error"));
+        assert!(lines[0].contains("exceeds"), "{}", lines[0]);
+        assert_eq!(field(lines[1], "status").as_str(), Some("ok"));
+    }
+
+    #[test]
+    fn serve_lines_speaks_ndjson_until_eof() {
+        let service = quick_service();
+        let input = b"{\"id\": 1, \"kind\": \"stats\"}\n\n{\"id\": 2, \"kind\": \"stats\"}\n";
+        let mut output = Vec::new();
+        serve_lines(&service, &input[..], &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "blank lines are skipped");
+        assert_eq!(field(lines[0], "id"), Value::Number(1.0));
+        assert_eq!(field(lines[1], "id"), Value::Number(2.0));
+    }
+}

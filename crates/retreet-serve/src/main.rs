@@ -1,0 +1,119 @@
+//! The `retreet-serve` binary: a long-running verification service.
+//!
+//! ```text
+//! retreet-serve [--listen ADDR] [--parallel] [--warm-start]
+//!               [--max-nodes N] [--race-nodes N] [--equiv-nodes N]
+//!               [--validity-nodes N] [--valuations N] [--cache-capacity N]
+//! ```
+//!
+//! Without `--listen` the service speaks newline-delimited JSON on
+//! stdin/stdout (one request per line, one response per line) until EOF.
+//! With `--listen ADDR` (e.g. `127.0.0.1:7878`) it accepts any number of
+//! concurrent TCP clients, all sharing one verifier — one sharded verdict
+//! cache, one single-flight table.  See the crate docs for the request and
+//! response schema.
+
+use std::io::{stdin, stdout, BufWriter};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use retreet_serve::{serve_lines, serve_tcp, ServeOptions, Service};
+
+struct Args {
+    options: ServeOptions,
+    listen: Option<String>,
+    warm_start: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        options: ServeOptions::default(),
+        listen: None,
+        warm_start: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} expects a value"));
+        let parse = |name: &str, value: String| -> Result<usize, String> {
+            value.parse().map_err(|e| format!("{name}: {e}"))
+        };
+        match arg.as_str() {
+            "--listen" => args.listen = Some(value("--listen")?),
+            "--parallel" => args.options.parallel = true,
+            "--warm-start" => args.warm_start = true,
+            "--max-nodes" => {
+                let nodes = parse("--max-nodes", value("--max-nodes")?)?;
+                args.options.race_nodes = nodes;
+                args.options.equiv_nodes = nodes;
+                args.options.validity_nodes = nodes;
+            }
+            "--race-nodes" => {
+                args.options.race_nodes = parse("--race-nodes", value("--race-nodes")?)?
+            }
+            "--equiv-nodes" => {
+                args.options.equiv_nodes = parse("--equiv-nodes", value("--equiv-nodes")?)?
+            }
+            "--validity-nodes" => {
+                args.options.validity_nodes = parse("--validity-nodes", value("--validity-nodes")?)?
+            }
+            "--valuations" => {
+                args.options.valuations = parse("--valuations", value("--valuations")?)?
+            }
+            "--cache-capacity" => {
+                args.options.cache_capacity = parse("--cache-capacity", value("--cache-capacity")?)?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "retreet-serve [--listen ADDR] [--parallel] [--warm-start] \
+                     [--max-nodes N] [--race-nodes N] [--equiv-nodes N] \
+                     [--validity-nodes N] [--valuations N] [--cache-capacity N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("retreet-serve: {message}");
+            std::process::exit(2);
+        }
+    };
+    let service = Service::new(&args.options);
+    if args.warm_start {
+        let preloaded = service.warm_start();
+        eprintln!("retreet-serve: warm start preloaded {preloaded} corpus verdicts");
+    }
+    match args.listen {
+        Some(addr) => {
+            let listener = match TcpListener::bind(&addr) {
+                Ok(listener) => listener,
+                Err(err) => {
+                    eprintln!("retreet-serve: cannot listen on {addr}: {err}");
+                    std::process::exit(1);
+                }
+            };
+            eprintln!(
+                "retreet-serve: listening on {}",
+                listener.local_addr().map_or(addr, |a| a.to_string())
+            );
+            if let Err(err) = serve_tcp(Arc::new(service), listener) {
+                eprintln!("retreet-serve: listener failed: {err}");
+                std::process::exit(1);
+            }
+        }
+        None => {
+            let input = stdin().lock();
+            let output = BufWriter::new(stdout().lock());
+            if let Err(err) = serve_lines(&service, input, output) {
+                eprintln!("retreet-serve: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

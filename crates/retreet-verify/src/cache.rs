@@ -8,14 +8,29 @@
 //! text), so a repeated query is O(hashing the AST) instead of O(model
 //! enumeration) — and the cached verdict carries the *same witness* the
 //! original run produced.
+//!
+//! # Sharding
+//!
+//! The store is *lock-striped*: entries are spread over up to
+//! [`SHARD_COUNT`] independent shards (selected by the key's own hash
+//! bits), each behind its own mutex with its own FIFO eviction queue.
+//! Concurrent serving threads with different queries therefore contend on
+//! different locks instead of one global one; the hit/miss/collision
+//! counters are lock-free atomics aggregated across shards by
+//! [`VerdictCache::stats`].
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::sync::Mutex;
 
 use crate::query::{OwnedQuery, Query, QueryKind};
 use crate::verdict::Verdict;
+
+/// Upper bound on the number of lock stripes; small capacities use fewer
+/// shards so that every shard can hold at least one entry.
+const SHARD_COUNT: usize = 16;
 
 /// A verdict-cache key: the query kind plus a 128-bit structural hash of
 /// the query subjects and the verifier's option set (see
@@ -35,53 +50,97 @@ pub struct CacheStats {
     pub hits: u64,
     /// Queries that had to run the portfolio.
     pub misses: u64,
-    /// Entries currently stored.
+    /// Key collisions detected: an insert found a resident entry under the
+    /// same 128-bit key whose subjects differ.  The resident entry is kept
+    /// and the colliding verdict is simply not cached, so two colliding
+    /// queries never evict each other.  Every lookup counts as exactly one
+    /// hit or miss (`hits + misses == lookups` always); `collisions` is a
+    /// separate diagnostic counter on top, astronomically unlikely to be
+    /// non-zero and worth alerting on when it is.
+    pub collisions: u64,
+    /// Entries currently stored (aggregated across shards).
     pub entries: usize,
 }
 
-/// A bounded FIFO-evicting verdict store, safe to share across threads.
+/// A bounded, lock-striped FIFO-evicting verdict store, safe to share
+/// across threads.
 pub(crate) struct VerdictCache {
-    capacity: usize,
-    state: Mutex<CacheState>,
+    shards: Vec<Shard>,
     hits: AtomicU64,
     misses: AtomicU64,
+    collisions: AtomicU64,
 }
 
+struct Shard {
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
+#[derive(Default)]
 struct CacheState {
-    map: HashMap<CacheKey, (OwnedQuery, Verdict)>,
+    map: HashMap<CacheKey, (Arc<OwnedQuery>, Verdict)>,
     insertion_order: VecDeque<CacheKey>,
 }
 
 impl VerdictCache {
     /// Creates a cache holding at most `capacity` verdicts (0 disables
-    /// caching entirely).
+    /// caching entirely).  The store is striped over up to [`SHARD_COUNT`]
+    /// shards, but only when every shard can hold at least a few entries:
+    /// a small cache sliced into one-entry shards would let two hot keys
+    /// that stripe together evict each other forever (where a single FIFO
+    /// map keeps both resident), so capacities below `4 × SHARD_COUNT`
+    /// use proportionally fewer shards — down to one global-FIFO shard.
     pub(crate) fn new(capacity: usize) -> Self {
+        let shard_count = if capacity == 0 {
+            0
+        } else {
+            (capacity / 4).clamp(1, SHARD_COUNT)
+        };
+        let shards = (0..shard_count)
+            .map(|i| Shard {
+                // Distribute the capacity as evenly as possible; the first
+                // `capacity % shard_count` shards hold one extra entry.
+                capacity: capacity / shard_count + usize::from(i < capacity % shard_count),
+                state: Mutex::new(CacheState::default()),
+            })
+            .collect();
         VerdictCache {
-            capacity,
-            state: Mutex::new(CacheState {
-                map: HashMap::new(),
-                insertion_order: VecDeque::new(),
-            }),
+            shards,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
         }
     }
 
     /// True when the cache can store anything at all; a disabled cache lets
     /// the verifier skip key construction entirely.
     pub(crate) fn enabled(&self) -> bool {
-        self.capacity > 0
+        !self.shards.is_empty()
     }
 
-    /// Looks up a verdict; counts a hit or miss.  A key hit is only
-    /// trusted after the stored subjects compare equal to `query` (the
+    fn shard(&self, key: &CacheKey) -> &Shard {
+        // h2 carries an independently seeded hash of the subjects, so the
+        // stripe index is uncorrelated with the HashMap's use of the key.
+        &self.shards[(key.h2 as usize) % self.shards.len()]
+    }
+
+    /// Looks up a verdict; counts exactly one hit or miss.  A key hit is
+    /// only trusted after the stored subjects compare equal to `query` (the
     /// 128-bit hash key makes collisions astronomically unlikely, but a
     /// verifier must not return another query's verdict even then); a
-    /// mismatch counts as a miss and the colliding entry is left in place.
-    /// The returned clone is marked `cached` but keeps the original engine,
-    /// soundness, witness and timing.
+    /// mismatch counts as a plain miss and the resident entry is left in
+    /// place — the collision is counted once, at the blocked [`Self::insert`]
+    /// that follows.  The returned clone is marked `cached` but keeps the
+    /// original engine, soundness, witness and timing.
     pub(crate) fn get(&self, key: &CacheKey, query: &Query<'_>) -> Option<Verdict> {
-        let state = self.state.lock().expect("verdict cache poisoned");
+        if !self.enabled() {
+            return None;
+        }
+        let state = self
+            .shard(key)
+            .state
+            .lock()
+            .expect("verdict cache poisoned");
         match state.map.get(key) {
             Some((subjects, verdict)) if subjects.matches(query) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -96,39 +155,90 @@ impl VerdictCache {
         }
     }
 
-    /// Stores a verdict with its owning subjects, evicting the oldest
-    /// entry when full.
-    pub(crate) fn insert(&self, key: CacheKey, subjects: OwnedQuery, verdict: Verdict) {
-        if self.capacity == 0 {
+    /// Like [`Self::get`] but without touching the hit/miss/collision
+    /// counters — the single-flight leader's double-check after winning
+    /// leadership, which must not distort the per-query accounting.
+    pub(crate) fn peek(&self, key: &CacheKey, query: &Query<'_>) -> Option<Verdict> {
+        if !self.enabled() {
+            return None;
+        }
+        let state = self
+            .shard(key)
+            .state
+            .lock()
+            .expect("verdict cache poisoned");
+        match state.map.get(key) {
+            Some((subjects, verdict)) if subjects.matches(query) => {
+                let mut verdict = verdict.clone();
+                verdict.cached = true;
+                Some(verdict)
+            }
+            _ => None,
+        }
+    }
+
+    /// Stores a verdict with its owning subjects, evicting the shard's
+    /// oldest entry when the shard is full.
+    ///
+    /// A resident entry under the same key is only replaced when its
+    /// subjects equal the new entry's (a refresh).  When the subjects
+    /// *differ* — a 128-bit key collision — the resident entry is kept and
+    /// the event is counted in [`CacheStats::collisions`]: replacing it
+    /// would make the two colliding queries evict each other forever and
+    /// silently re-run their engines on every call.
+    pub(crate) fn insert(&self, key: CacheKey, subjects: Arc<OwnedQuery>, verdict: Verdict) {
+        if !self.enabled() {
             return;
         }
-        let mut state = self.state.lock().expect("verdict cache poisoned");
-        if !state.map.contains_key(&key) {
-            if state.map.len() >= self.capacity {
-                if let Some(oldest) = state.insertion_order.pop_front() {
-                    state.map.remove(&oldest);
-                }
+        let shard = self.shard(&key);
+        let mut state = shard.state.lock().expect("verdict cache poisoned");
+        match state.map.get(&key) {
+            Some((resident, _)) if !resident.matches(&subjects.as_query()) => {
+                self.collisions.fetch_add(1, Ordering::Relaxed);
+                return;
             }
-            state.insertion_order.push_back(key);
+            Some(_) => {}
+            None => {
+                if state.map.len() >= shard.capacity {
+                    if let Some(oldest) = state.insertion_order.pop_front() {
+                        state.map.remove(&oldest);
+                    }
+                }
+                state.insertion_order.push_back(key);
+            }
         }
         state.map.insert(key, (subjects, verdict));
     }
 
-    /// Current hit/miss/entry counters.
+    /// Current hit/miss/collision/entry counters, aggregated over shards.
     pub(crate) fn stats(&self) -> CacheStats {
-        let entries = self.state.lock().expect("verdict cache poisoned").map.len();
+        let entries = self
+            .shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .state
+                    .lock()
+                    .expect("verdict cache poisoned")
+                    .map
+                    .len()
+            })
+            .sum();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            collisions: self.collisions.load(Ordering::Relaxed),
             entries,
         }
     }
 
     /// Drops every stored verdict (counters are preserved).
     pub(crate) fn clear(&self) {
-        let mut state = self.state.lock().expect("verdict cache poisoned");
-        state.map.clear();
-        state.insertion_order.clear();
+        for shard in &self.shards {
+            let mut state = shard.state.lock().expect("verdict cache poisoned");
+            state.map.clear();
+            state.insertion_order.clear();
+        }
     }
 }
 
@@ -147,6 +257,7 @@ mod tests {
             soundness: Soundness::Unbounded,
             elapsed: Duration::from_millis(1),
             cached: false,
+            coalesced: false,
         }
     }
 
@@ -154,12 +265,12 @@ mod tests {
         CacheKey {
             kind: QueryKind::Validity,
             h1: n,
-            h2: n.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            h2: n,
         }
     }
 
-    fn subjects() -> OwnedQuery {
-        OwnedQuery::Validity(Formula::True)
+    fn subjects() -> Arc<OwnedQuery> {
+        Arc::new(OwnedQuery::Validity(Formula::True))
     }
 
     const QUERY_FORMULA: Formula = Formula::True;
@@ -181,6 +292,8 @@ mod tests {
 
     #[test]
     fn eviction_is_fifo_and_capacity_bounded() {
+        // A capacity this small uses one global-FIFO shard (striping it
+        // into one-entry shards would let two hot keys evict each other).
         let cache = VerdictCache::new(2);
         cache.insert(key(1), subjects(), verdict(1));
         cache.insert(key(2), subjects(), verdict(2));
@@ -195,9 +308,28 @@ mod tests {
     }
 
     #[test]
+    fn small_capacities_hold_their_full_hot_set_without_thrashing() {
+        // Regression: with per-shard FIFO over one-entry shards, two hot
+        // keys striping to the same shard would evict each other on every
+        // insert and miss forever.  A small cache must behave like the
+        // single global FIFO it replaces.
+        let cache = VerdictCache::new(2);
+        for round in 0..10 {
+            cache.insert(key(0), subjects(), verdict(0));
+            cache.insert(key(2), subjects(), verdict(2));
+            assert!(
+                cache.get(&key(0), &query()).is_some() && cache.get(&key(2), &query()).is_some(),
+                "round {round}: both hot entries must stay resident"
+            );
+        }
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
     fn zero_capacity_disables_storage() {
         let cache = VerdictCache::new(0);
         cache.insert(key(0), subjects(), verdict(1));
+        assert!(!cache.enabled());
         assert!(cache.get(&key(0), &query()).is_none());
     }
 
@@ -208,6 +340,7 @@ mod tests {
         cache.insert(key(1), subjects(), verdict(9));
         assert_eq!(cache.get(&key(1), &query()).unwrap().trees_checked(), 9);
         assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().collisions, 0);
     }
 
     #[test]
@@ -225,10 +358,58 @@ mod tests {
     #[test]
     fn key_collision_with_different_subjects_is_a_miss() {
         let cache = VerdictCache::new(2);
-        cache.insert(key(1), OwnedQuery::Validity(Formula::False), verdict(1));
+        cache.insert(
+            key(1),
+            Arc::new(OwnedQuery::Validity(Formula::False)),
+            verdict(1),
+        );
         // Same key, different stored subjects: the equality guard must
-        // refuse to serve another query's verdict.
+        // refuse to serve another query's verdict.  The lookup is a plain
+        // miss (every lookup is exactly one hit or miss); the collision is
+        // counted at the blocked insert, not here.
         assert!(cache.get(&key(1), &query()).is_none());
         assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().collisions, 0);
+    }
+
+    #[test]
+    fn key_collision_on_insert_keeps_the_resident_entry() {
+        // Regression: two queries whose subjects differ but whose 128-bit
+        // keys collide must not evict each other forever.  The resident
+        // entry survives, its verdict is still served, and the event is
+        // counted in `collisions` instead of silently thrashing.
+        let cache = VerdictCache::new(8);
+        cache.insert(key(1), subjects(), verdict(7));
+        cache.insert(
+            key(1),
+            Arc::new(OwnedQuery::Validity(Formula::False)),
+            verdict(2),
+        );
+        let resident = cache.get(&key(1), &query()).expect("resident entry kept");
+        assert_eq!(resident.trees_checked(), 7, "resident verdict unchanged");
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().collisions, 1);
+    }
+
+    #[test]
+    fn peek_does_not_touch_the_counters() {
+        let cache = VerdictCache::new(8);
+        cache.insert(key(1), subjects(), verdict(3));
+        assert!(cache.peek(&key(1), &query()).is_some());
+        assert!(cache.peek(&key(2), &query()).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.collisions), (0, 0, 0));
+    }
+
+    #[test]
+    fn shards_hold_the_full_capacity_in_aggregate() {
+        let cache = VerdictCache::new(64);
+        for n in 0..64 {
+            cache.insert(key(n), subjects(), verdict(n as usize));
+        }
+        assert_eq!(cache.stats().entries, 64);
+        for n in 0..64 {
+            assert!(cache.get(&key(n), &query()).is_some(), "key {n} resident");
+        }
     }
 }

@@ -16,11 +16,14 @@
 //!   node bound (validity queries).
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
-use retreet_analysis::equiv::{check_equivalence, EquivOptions, EquivVerdict};
-use retreet_analysis::race::{check_data_race, check_data_race_dynamic, RaceOptions, RaceVerdict};
-use retreet_mso::bounded::{check_validity, BoundedVerdict};
+use retreet_analysis::equiv::{check_equivalence_cancellable, EquivOptions, EquivVerdict};
+use retreet_analysis::race::{
+    check_data_race_cancellable, check_data_race_dynamic_cancellable, RaceOptions, RaceVerdict,
+};
+use retreet_mso::bounded::{check_validity_cancellable, BoundedVerdict};
 use retreet_mso::compile;
 
 use crate::error::EngineSkip;
@@ -122,58 +125,94 @@ impl EngineConfig {
 }
 
 /// What one engine produced for one query.
-pub(crate) type EngineAnswer = Result<(Outcome, Soundness), EngineSkip>;
+#[derive(Debug, Clone)]
+pub(crate) enum EngineAnswer {
+    /// The engine produced a verdict.
+    Verdict(Outcome, Soundness),
+    /// The engine declined the query (fragment restriction, unsupported
+    /// kind); other portfolio members may still answer.
+    Skip(EngineSkip),
+    /// The engine observed the cooperative cancel flag and abandoned its
+    /// enumeration: a winner was already decided, so no verdict may (or
+    /// needs to) be derived from the partial run.
+    Cancelled,
+}
+
+/// A cancel flag that is never raised, for the sequential portfolio and
+/// single-engine runs (nothing can out-race them).
+pub(crate) static NEVER_CANCELLED: AtomicBool = AtomicBool::new(false);
 
 /// Runs `engine` on `query` under `config`, returning the outcome with its
-/// soundness caveat, or a skip report when the engine does not apply.
-/// Also reports the engine's own wall-clock time.
+/// soundness caveat, a skip report when the engine does not apply, or
+/// [`EngineAnswer::Cancelled`] when `cancel` was observed raised.  Also
+/// reports the engine's own wall-clock time.
 pub(crate) fn run_engine(
     engine: Engine,
     query: &Query<'_>,
     config: &EngineConfig,
+    cancel: &AtomicBool,
 ) -> (EngineAnswer, std::time::Duration) {
     let start = Instant::now();
-    let answer = run_engine_inner(engine, query, config);
+    let answer = run_engine_inner(engine, query, config, cancel);
     (answer, start.elapsed())
 }
 
 fn skip(engine: Engine, reason: impl Into<String>) -> EngineAnswer {
-    Err(EngineSkip {
+    EngineAnswer::Skip(EngineSkip {
         engine,
         reason: reason.into(),
     })
 }
 
-fn run_engine_inner(engine: Engine, query: &Query<'_>, config: &EngineConfig) -> EngineAnswer {
+fn run_engine_inner(
+    engine: Engine,
+    query: &Query<'_>,
+    config: &EngineConfig,
+    cancel: &AtomicBool,
+) -> EngineAnswer {
     if !engine.supports(query.kind()) {
         return skip(engine, format!("does not answer {} queries", query.kind()));
     }
+    // A losing engine whose portfolio already has a winner skips the whole
+    // run, not just the remaining loop iterations.
+    if cancel.load(Ordering::Relaxed) {
+        return EngineAnswer::Cancelled;
+    }
     match (engine, query) {
         (Engine::Configuration, Query::DataRace(program)) => {
-            let verdict = check_data_race(program, &config.race_options());
-            Ok(race_outcome(verdict, config.race_nodes))
+            match check_data_race_cancellable(program, &config.race_options(), cancel) {
+                Some(verdict) => answer(race_outcome(verdict, config.race_nodes)),
+                None => EngineAnswer::Cancelled,
+            }
         }
         (Engine::Trace, Query::DataRace(program)) => {
-            let verdict = check_data_race_dynamic(program, &config.race_options());
-            Ok(race_outcome(verdict, config.race_nodes))
+            match check_data_race_dynamic_cancellable(program, &config.race_options(), cancel) {
+                Some(verdict) => answer(race_outcome(verdict, config.race_nodes)),
+                None => EngineAnswer::Cancelled,
+            }
         }
         (Engine::Trace, Query::Equivalence(original, transformed)) => {
-            let verdict = check_equivalence(original, transformed, &config.equiv_options());
-            Ok(match verdict {
-                EquivVerdict::Equivalent { trees_checked } => (
+            match check_equivalence_cancellable(
+                original,
+                transformed,
+                &config.equiv_options(),
+                cancel,
+            ) {
+                Some(EquivVerdict::Equivalent { trees_checked }) => answer((
                     Outcome::Equivalent { trees_checked },
                     Soundness::BoundedUpTo {
                         max_nodes: config.equiv_nodes,
                     },
-                ),
-                EquivVerdict::CounterExample(ce) => {
-                    (Outcome::NotEquivalent(ce), Soundness::Unbounded)
+                )),
+                Some(EquivVerdict::CounterExample(ce)) => {
+                    answer((Outcome::NotEquivalent(ce), Soundness::Unbounded))
                 }
-            })
+                None => EngineAnswer::Cancelled,
+            }
         }
         (Engine::Automata, Query::Validity(formula)) => match compile::is_valid(formula) {
-            Ok(true) => Ok((Outcome::Valid { trees_checked: 0 }, Soundness::Unbounded)),
-            Ok(false) => Ok((Outcome::Invalid(None), Soundness::Unbounded)),
+            Ok(true) => answer((Outcome::Valid { trees_checked: 0 }, Soundness::Unbounded)),
+            Ok(false) => answer((Outcome::Invalid(None), Soundness::Unbounded)),
             // Outside the compiler's fragment (too many variables, duplicate
             // binders): let the bounded engine answer instead.
             Err(err) => skip(engine, err.to_string()),
@@ -182,21 +221,26 @@ fn run_engine_inner(engine: Engine, query: &Query<'_>, config: &EngineConfig) ->
             if !formula.free_fo_vars().is_empty() || !formula.free_so_vars().is_empty() {
                 return skip(engine, "bounded validity requires a closed formula");
             }
-            Ok(match check_validity(formula, config.validity_nodes) {
-                BoundedVerdict::ValidUpTo {
+            match check_validity_cancellable(formula, config.validity_nodes, cancel) {
+                Some(BoundedVerdict::ValidUpTo {
                     max_nodes,
                     trees_checked,
-                } => (
+                }) => answer((
                     Outcome::Valid { trees_checked },
                     Soundness::BoundedUpTo { max_nodes },
-                ),
-                BoundedVerdict::CounterExample(tree) => {
-                    (Outcome::Invalid(Some(Box::new(tree))), Soundness::Unbounded)
+                )),
+                Some(BoundedVerdict::CounterExample(tree)) => {
+                    answer((Outcome::Invalid(Some(Box::new(tree))), Soundness::Unbounded))
                 }
-            })
+                None => EngineAnswer::Cancelled,
+            }
         }
         _ => skip(engine, "engine/query pairing not implemented"),
     }
+}
+
+fn answer((outcome, soundness): (Outcome, Soundness)) -> EngineAnswer {
+    EngineAnswer::Verdict(outcome, soundness)
 }
 
 /// Negative race/equivalence verdicts carry a concrete witness and are

@@ -26,10 +26,28 @@
 //! (see [`Engine`]): configurations and traces for races, traces for
 //! equivalence, tree automata (unbounded, where the fragment allows) and
 //! bounded enumeration for validity.  With [`VerifierBuilder::parallel`]
-//! enabled, the applicable engines race each other on worker threads and
-//! the first definitive verdict wins — the portfolio style of TreeFuser's
-//! sound fusion checking, and the reproduction's answer to the paper's
-//! MONA-vs-bounded substitution argument.
+//! enabled, the applicable engines run concurrently on worker threads —
+//! but the verdict is always the one the *most authoritative* answering
+//! engine produces (dispatch order, unbounded engines first), identical in
+//! outcome **and witness** to the sequential portfolio's.  Losing engines
+//! are cooperatively cancelled as soon as the winner is decided.
+//!
+//! # The serving tier
+//!
+//! A [`Verifier`] is `Sync` and built to be shared across serving threads
+//! (the `retreet-serve` crate wraps one in a long-running NDJSON service):
+//!
+//! * the verdict cache is *lock-striped* over independent shards, so
+//!   concurrent distinct queries contend on different locks;
+//! * identical concurrent queries are *single-flighted*: one of them runs
+//!   the portfolio, the rest block on that in-flight run and receive the
+//!   same witness (marked [`Verdict::coalesced`]) instead of racing the
+//!   engines N times;
+//! * [`Verifier::verify_batch`] fans a batch out over worker threads and
+//!   returns results in input order;
+//! * [`Verifier::cache_stats`] / [`Verifier::serving_stats`] expose the
+//!   hit/miss/collision and run/cancel/coalesce counters the service and
+//!   `bench_service` report.
 //!
 //! # Example
 //!
@@ -76,16 +94,20 @@ pub use error::{EngineSkip, ProgramRole, VerifyError};
 pub use query::{Query, QueryKind};
 pub use verdict::{Outcome, Soundness, Verdict};
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use retreet_analysis::configs::EnumOptions;
 use retreet_lang::ast::Program;
 use retreet_lang::validate::validate;
 use retreet_mso::formula::Formula;
 
-use cache::VerdictCache;
-use engine::run_engine;
+use cache::{CacheKey, VerdictCache};
+use engine::{run_engine, EngineAnswer, NEVER_CANCELLED};
+use query::OwnedQuery;
 
 /// Builder for [`Verifier`]; obtain one with [`Verifier::builder`].
 ///
@@ -177,8 +199,10 @@ impl VerifierBuilder {
     }
 
     /// Restricts the portfolio to the given engines, in dispatch-preference
-    /// order.  Duplicates are dropped; an empty list restores the default
-    /// full portfolio.
+    /// order (the order doubles as the *authority* order: the verdict of
+    /// the earliest answering engine wins, sequentially and in parallel).
+    /// Duplicates are dropped; an empty list restores the default full
+    /// portfolio.
     pub fn engines(mut self, engines: impl IntoIterator<Item = Engine>) -> Self {
         let mut chosen: Vec<Engine> = Vec::new();
         for engine in engines {
@@ -194,14 +218,18 @@ impl VerifierBuilder {
         self
     }
 
-    /// Race the applicable engines on worker threads, first definitive
-    /// verdict wins (off by default: engines run in dispatch order).
+    /// Run the applicable engines concurrently on worker threads (off by
+    /// default: engines run one after the other).  The verdict — outcome
+    /// *and* witness — is the same either way: the most authoritative
+    /// answering engine (dispatch order) wins, and losers are cooperatively
+    /// cancelled once the winner is decided.
     pub fn parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
         self
     }
 
-    /// Maximum number of cached verdicts (0 disables the cache).
+    /// Maximum number of cached verdicts (0 disables the cache *and*
+    /// single-flight coalescing).
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
         self
@@ -214,18 +242,119 @@ impl VerifierBuilder {
             config: self.config,
             engines: self.engines,
             parallel: self.parallel,
+            inflight: Mutex::new(HashMap::new()),
+            counters: Arc::new(Counters::default()),
+        }
+    }
+}
+
+/// Portfolio-side counters of a verifier (monotonic over its lifetime);
+/// see [`Verifier::serving_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServingStats {
+    /// Individual engine executions started (sequential and parallel,
+    /// including cancelled ones).
+    pub engine_runs: u64,
+    /// Engine runs that observed the cooperative cancel flag and exited
+    /// early because another engine's verdict had already won.
+    pub cancelled_runs: u64,
+    /// Queries that were *coalesced*: they arrived while an identical query
+    /// was in flight and waited on that single run instead of racing the
+    /// portfolio again.
+    pub coalesced: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    engine_runs: AtomicU64,
+    cancelled_runs: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// One in-flight engine run that concurrent identical queries wait on.
+struct Flight {
+    subjects: Arc<OwnedQuery>,
+    result: Mutex<Option<Result<Verdict, VerifyError>>>,
+    ready: Condvar,
+}
+
+impl Flight {
+    fn new(subjects: Arc<OwnedQuery>) -> Self {
+        Flight {
+            subjects,
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, result: Result<Verdict, VerifyError>) {
+        let mut slot = self.result.lock().expect("flight slot poisoned");
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<Verdict, VerifyError> {
+        let mut slot = self.result.lock().expect("flight slot poisoned");
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.ready.wait(slot).expect("flight slot poisoned");
+        }
+    }
+}
+
+/// Leadership guard: guarantees the flight is published and deregistered
+/// even if the leader's engine run panics (waiters would otherwise block
+/// forever).
+struct FlightLead<'a> {
+    verifier: &'a Verifier,
+    key: CacheKey,
+    flight: &'a Arc<Flight>,
+    query_kind: QueryKind,
+    finished: bool,
+}
+
+impl FlightLead<'_> {
+    fn finish(mut self, result: Result<Verdict, VerifyError>) {
+        self.flight.publish(result);
+        self.deregister();
+        self.finished = true;
+    }
+
+    fn deregister(&self) {
+        self.verifier
+            .inflight
+            .lock()
+            .expect("in-flight table poisoned")
+            .remove(&self.key);
+    }
+}
+
+impl Drop for FlightLead<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.flight.publish(Err(VerifyError::PortfolioFailed {
+                query: self.query_kind,
+            }));
+            self.deregister();
         }
     }
 }
 
 /// The unified verification façade: one `verify` call for all three query
-/// kinds, backed by an engine portfolio and a verdict cache.  See the crate
-/// docs for the full story.
+/// kinds, backed by an engine portfolio, a sharded verdict cache and
+/// single-flight coalescing of identical concurrent queries.  See the
+/// crate docs for the full story.
 pub struct Verifier {
     config: EngineConfig,
     engines: Vec<Engine>,
     parallel: bool,
     cache: VerdictCache,
+    inflight: Mutex<HashMap<CacheKey, Arc<Flight>>>,
+    counters: Arc<Counters>,
 }
 
 impl Verifier {
@@ -249,9 +378,18 @@ impl Verifier {
         &self.config
     }
 
-    /// Hit/miss/entry counters of the verdict cache.
+    /// Hit/miss/collision/entry counters of the verdict cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Engine-run / cancellation / coalescing counters of the portfolio.
+    pub fn serving_stats(&self) -> ServingStats {
+        ServingStats {
+            engine_runs: self.counters.engine_runs.load(Ordering::Relaxed),
+            cancelled_runs: self.counters.cancelled_runs.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+        }
     }
 
     /// Drops every cached verdict (counters are preserved).
@@ -260,43 +398,117 @@ impl Verifier {
     }
 
     /// Answers a query: validates its subjects, consults the verdict cache,
-    /// and otherwise dispatches to the portfolio.  This is *the* entry
-    /// point; [`Self::check_data_race`], [`Self::check_equivalence`] and
+    /// coalesces with an identical in-flight query if there is one, and
+    /// otherwise dispatches to the portfolio.  This is *the* entry point;
+    /// [`Self::check_data_race`], [`Self::check_equivalence`] and
     /// [`Self::check_validity`] are thin conveniences over it.
     pub fn verify(&self, query: Query<'_>) -> Result<Verdict, VerifyError> {
         self.validate_subjects(&query)?;
+        if !self.cache.enabled() {
+            // Without a cache there is no key to coalesce on either; the
+            // query goes straight to the portfolio.
+            return self.dispatch(&query, None);
+        }
         // The cache key is a fixed-size structural hash of the subjects and
         // options, computed once here at query construction (no per-lookup
-        // re-canonicalization of program text); skip it (and the cache
-        // mutex) entirely when the cache is disabled.
-        let key = self.cache.enabled().then(|| query.cache_key(&self.config));
-        if let Some(key) = &key {
-            if let Some(cached) = self.cache.get(key, &query) {
-                return Ok(cached);
+        // re-canonicalization of program text).
+        let key = query.cache_key(&self.config);
+        if let Some(cached) = self.cache.get(&key, &query) {
+            return Ok(cached);
+        }
+        // The owned subjects are cloned *before* taking the in-flight lock:
+        // an O(program) clone inside that critical section would serialize
+        // every cache-missing query across all serving threads on one
+        // mutex.  The Arc is shared by the flight, the cache entry and the
+        // parallel portfolio's workers; only the (rare) coalesced and
+        // collision paths clone it for nothing.
+        let owned = Arc::new(query.to_owned_query());
+        enum Role {
+            Lead(Arc<Flight>),
+            Wait(Arc<Flight>),
+            Collide,
+        }
+        let role = {
+            let mut inflight = self.inflight.lock().expect("in-flight table poisoned");
+            match inflight.get(&key) {
+                // Coalescing is only sound when the in-flight *subjects*
+                // match, not just the 128-bit key: a colliding query must
+                // run on its own rather than adopt another query's verdict.
+                Some(flight) if flight.subjects.matches(&query) => Role::Wait(Arc::clone(flight)),
+                Some(_) => Role::Collide,
+                None => {
+                    let flight = Arc::new(Flight::new(Arc::clone(&owned)));
+                    inflight.insert(key, Arc::clone(&flight));
+                    Role::Lead(flight)
+                }
+            }
+        };
+        match role {
+            Role::Wait(flight) => {
+                self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                let mut result = flight.wait();
+                if let Ok(verdict) = &mut result {
+                    verdict.coalesced = true;
+                }
+                result
+            }
+            Role::Collide => {
+                let result = self.dispatch(&query, Some(&owned));
+                if let Ok(verdict) = &result {
+                    // The insert keeps whatever the colliding leader cached
+                    // and counts the collision (or takes the slot if the
+                    // leader failed without caching) — the same accounting
+                    // a sequential arrival of the colliding pair gets.
+                    self.cache.insert(key, owned, verdict.clone());
+                }
+                result
+            }
+            Role::Lead(flight) => {
+                let lead = FlightLead {
+                    verifier: self,
+                    key,
+                    flight: &flight,
+                    query_kind: query.kind(),
+                    finished: false,
+                };
+                // Double-check after winning leadership: the previous
+                // leader may have populated the cache between this query's
+                // miss and its registration (peek keeps the per-query
+                // hit/miss accounting exact).
+                let result = match self.cache.peek(&key, &query) {
+                    Some(cached) => Ok(cached),
+                    None => {
+                        let result = self.dispatch(&query, Some(&owned));
+                        if let Ok(verdict) = &result {
+                            self.cache.insert(key, owned, verdict.clone());
+                        }
+                        result
+                    }
+                };
+                lead.finish(result.clone());
+                result
             }
         }
-        let applicable: Vec<Engine> = self
-            .engines
-            .iter()
-            .copied()
-            .filter(|engine| engine.supports(query.kind()))
-            .collect();
-        if applicable.is_empty() {
-            return Err(VerifyError::NoApplicableEngine {
-                query: query.kind(),
-                skipped: Vec::new(),
-            });
-        }
-        let verdict = if self.parallel && applicable.len() > 1 {
-            self.run_portfolio_parallel(&query, &applicable)?
-        } else {
-            self.run_portfolio_sequential(&query, &applicable)?
-        };
-        if let Some(key) = key {
-            self.cache
-                .insert(key, query.to_owned_query(), verdict.clone());
-        }
-        Ok(verdict)
+    }
+
+    /// Answers a batch of queries, fanning them out over worker threads.
+    /// `results[i]` is always the answer to `queries[i]` — the fan-out
+    /// never reorders — and identical queries within (or across) batches
+    /// coalesce onto a single engine run via the cache and single-flight.
+    pub fn verify_batch(&self, queries: &[Query<'_>]) -> Vec<Result<Verdict, VerifyError>> {
+        let mut results: Vec<Option<Result<Verdict, VerifyError>>> = Vec::new();
+        results.resize_with(queries.len(), || None);
+        rayon::scope(|s| {
+            for (slot, query) in results.iter_mut().zip(queries.iter()) {
+                s.spawn(move |_| {
+                    *slot = Some(self.verify(*query));
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every batch slot is filled before the scope joins"))
+            .collect()
     }
 
     /// Convenience: `verify(Query::DataRace(program))`.
@@ -327,19 +539,22 @@ impl Verifier {
         query: Query<'_>,
     ) -> Result<Verdict, VerifyError> {
         self.validate_subjects(&query)?;
-        let (answer, elapsed) = run_engine(engine, &query, &self.config);
+        self.counters.engine_runs.fetch_add(1, Ordering::Relaxed);
+        let (answer, elapsed) = run_engine(engine, &query, &self.config, &NEVER_CANCELLED);
         match answer {
-            Ok((outcome, soundness)) => Ok(Verdict {
+            EngineAnswer::Verdict(outcome, soundness) => Ok(Verdict {
                 outcome,
                 engine,
                 soundness,
                 elapsed,
                 cached: false,
+                coalesced: false,
             }),
-            Err(skip) => Err(VerifyError::NoApplicableEngine {
+            EngineAnswer::Skip(skip) => Err(VerifyError::NoApplicableEngine {
                 query: query.kind(),
                 skipped: vec![skip],
             }),
+            EngineAnswer::Cancelled => unreachable!("the never-raised flag cannot cancel a run"),
         }
     }
 
@@ -364,6 +579,38 @@ impl Verifier {
         }
     }
 
+    /// Routes a cache-missed query to the applicable engines.  `owned` is
+    /// the already-cloned subjects when the caller has them (the
+    /// single-flight paths), so the parallel portfolio can reuse the Arc
+    /// instead of cloning the ASTs again.
+    fn dispatch(
+        &self,
+        query: &Query<'_>,
+        owned: Option<&Arc<OwnedQuery>>,
+    ) -> Result<Verdict, VerifyError> {
+        let applicable: Vec<Engine> = self
+            .engines
+            .iter()
+            .copied()
+            .filter(|engine| engine.supports(query.kind()))
+            .collect();
+        if applicable.is_empty() {
+            return Err(VerifyError::NoApplicableEngine {
+                query: query.kind(),
+                skipped: Vec::new(),
+            });
+        }
+        if self.parallel && applicable.len() > 1 {
+            let owned = match owned {
+                Some(owned) => Arc::clone(owned),
+                None => Arc::new(query.to_owned_query()),
+            };
+            self.run_portfolio_parallel(query, &applicable, owned)
+        } else {
+            self.run_portfolio_sequential(query, &applicable)
+        }
+    }
+
     /// Engines run one after the other in dispatch order; the first one
     /// that produces an answer wins.
     fn run_portfolio_sequential(
@@ -373,18 +620,23 @@ impl Verifier {
     ) -> Result<Verdict, VerifyError> {
         let mut skipped = Vec::new();
         for &engine in engines {
-            let (answer, elapsed) = run_engine(engine, query, &self.config);
+            self.counters.engine_runs.fetch_add(1, Ordering::Relaxed);
+            let (answer, elapsed) = run_engine(engine, query, &self.config, &NEVER_CANCELLED);
             match answer {
-                Ok((outcome, soundness)) => {
+                EngineAnswer::Verdict(outcome, soundness) => {
                     return Ok(Verdict {
                         outcome,
                         engine,
                         soundness,
                         elapsed,
                         cached: false,
+                        coalesced: false,
                     })
                 }
-                Err(skip) => skipped.push(skip),
+                EngineAnswer::Skip(skip) => skipped.push(skip),
+                EngineAnswer::Cancelled => {
+                    unreachable!("the never-raised flag cannot cancel a run")
+                }
             }
         }
         Err(VerifyError::NoApplicableEngine {
@@ -393,71 +645,127 @@ impl Verifier {
         })
     }
 
-    /// Engines race on worker threads; the first *definitive* verdict wins.
-    /// An answer with [`Soundness::Unbounded`] (a concrete witness, or the
-    /// automata engine's unbounded yes/no) wins immediately.  A
-    /// bounded-positive answer only wins once no still-running engine could
-    /// strictly strengthen it to an unbounded one — otherwise a fast bounded
-    /// enumerator could pre-empt (and cache over) the automata engine's
-    /// definitive verdict.  Losing engines keep running detached until they
-    /// finish on their own (they cannot be cancelled), but the caller gets
-    /// the winner as soon as it is decidable.
+    /// Engines run concurrently on worker threads, but the verdict is
+    /// decided by *authority*, not by arrival: engine `i`'s answer wins
+    /// exactly when every engine before it in dispatch order has resolved
+    /// without an answer (skip) — the verdict, witness included, is
+    /// therefore identical to [`Self::run_portfolio_sequential`]'s on every
+    /// run, on any thread count.
+    ///
+    /// Earlier revisions returned the *first* definitive verdict to arrive,
+    /// holding bounded positives back only while `Engine::Automata` was
+    /// pending.  Automata only answers validity queries, so for race and
+    /// equivalence queries a fast engine's bounded positive could pre-empt
+    /// a pending engine's unbounded refutation (or another engine's
+    /// differently-phrased witness) and the weaker nondeterministic verdict
+    /// was then cached.  Deciding by authority under a shared lock removes
+    /// both the soundness race and the nondeterminism.
+    ///
+    /// The decision is made *by the workers themselves* (under the slot
+    /// lock) rather than by the caller draining a channel: the moment the
+    /// decision exists the shared cancel flag is raised, so losing engines
+    /// abandon their enumerations cooperatively — even when the `rayon`
+    /// shim runs the spawns inline on a single-core host, where a
+    /// caller-side decision would only happen after every engine had
+    /// already run to completion.
     fn run_portfolio_parallel(
         &self,
         query: &Query<'_>,
         engines: &[Engine],
+        owned: Arc<OwnedQuery>,
     ) -> Result<Verdict, VerifyError> {
-        let owned = Arc::new(query.to_owned_query());
+        struct PortfolioState {
+            slots: Mutex<PortfolioSlots>,
+            cancel: AtomicBool,
+        }
+        struct PortfolioSlots {
+            answers: Vec<Option<(Engine, EngineAnswer, Duration)>>,
+            decided: bool,
+        }
+        /// Scans the slots in dispatch (authority) order: the first answer
+        /// wins once everything before it has resolved; `None` while a more
+        /// authoritative engine is still running.
+        fn decide(
+            answers: &[Option<(Engine, EngineAnswer, Duration)>],
+        ) -> Option<Result<Verdict, Vec<EngineSkip>>> {
+            let mut skipped = Vec::new();
+            for entry in answers {
+                match entry {
+                    None => return None,
+                    Some((engine, EngineAnswer::Verdict(outcome, soundness), elapsed)) => {
+                        return Some(Ok(Verdict {
+                            outcome: outcome.clone(),
+                            engine: *engine,
+                            soundness: *soundness,
+                            elapsed: *elapsed,
+                            cached: false,
+                            coalesced: false,
+                        }));
+                    }
+                    Some((_, EngineAnswer::Skip(skip), _)) => skipped.push(skip.clone()),
+                    // Cancellation presupposes a decision, so a cancelled
+                    // slot can only be observed after `decided`; treat it
+                    // like a skip for the defensive rescan.
+                    Some((_, EngineAnswer::Cancelled, _)) => {}
+                }
+            }
+            Some(Err(skipped))
+        }
+
         let config = Arc::new(self.config.clone());
+        let state = Arc::new(PortfolioState {
+            slots: Mutex::new(PortfolioSlots {
+                answers: vec![None; engines.len()],
+                decided: false,
+            }),
+            cancel: AtomicBool::new(false),
+        });
         let (sender, receiver) = mpsc::channel();
-        for &engine in engines {
+        for (slot, &engine) in engines.iter().enumerate() {
             let owned = Arc::clone(&owned);
             let config = Arc::clone(&config);
+            let state = Arc::clone(&state);
+            let counters = Arc::clone(&self.counters);
             let sender = sender.clone();
             rayon::spawn(move || {
-                let (answer, elapsed) = run_engine(engine, &owned.as_query(), &config);
-                // The receiver hangs up once a winner is picked; losing
-                // sends fail silently, which is exactly what we want.
-                let _ = sender.send((engine, answer, elapsed));
+                counters.engine_runs.fetch_add(1, Ordering::Relaxed);
+                let (answer, elapsed) =
+                    run_engine(engine, &owned.as_query(), &config, &state.cancel);
+                if matches!(answer, EngineAnswer::Cancelled) {
+                    counters.cancelled_runs.fetch_add(1, Ordering::Relaxed);
+                }
+                let decision = {
+                    let mut slots = state.slots.lock().expect("portfolio slots poisoned");
+                    if slots.decided {
+                        None
+                    } else {
+                        slots.answers[slot] = Some((engine, answer, elapsed));
+                        let decision = decide(&slots.answers);
+                        slots.decided = decision.is_some();
+                        decision
+                    }
+                };
+                if let Some(decision) = decision {
+                    state.cancel.store(true, Ordering::Relaxed);
+                    // The caller may have given up (worker panic elsewhere);
+                    // a failed send is fine.
+                    let _ = sender.send(decision);
+                }
             });
         }
         drop(sender);
-        let mut pending: Vec<Engine> = engines.to_vec();
-        let mut provisional: Option<Verdict> = None;
-        let mut skipped = Vec::new();
-        while let Ok((engine, answer, elapsed)) = receiver.recv() {
-            pending.retain(|&e| e != engine);
-            match answer {
-                Ok((outcome, soundness)) => {
-                    let verdict = Verdict {
-                        outcome,
-                        engine,
-                        soundness,
-                        elapsed,
-                        cached: false,
-                    };
-                    let could_be_strengthened =
-                        soundness != Soundness::Unbounded && pending.contains(&Engine::Automata);
-                    if !could_be_strengthened {
-                        return Ok(verdict);
-                    }
-                    provisional.get_or_insert(verdict);
-                }
-                Err(skip) => skipped.push(skip),
-            }
-        }
-        if let Some(verdict) = provisional {
-            return Ok(verdict);
-        }
-        if skipped.is_empty() {
-            Err(VerifyError::PortfolioFailed {
-                query: query.kind(),
-            })
-        } else {
-            Err(VerifyError::NoApplicableEngine {
+        match receiver.recv() {
+            Ok(Ok(verdict)) => Ok(verdict),
+            Ok(Err(skipped)) if !skipped.is_empty() => Err(VerifyError::NoApplicableEngine {
                 query: query.kind(),
                 skipped,
-            })
+            }),
+            // Every worker terminated without producing a decision (panic),
+            // or the decision carried no skip reports: nothing to report
+            // beyond the portfolio failure itself.
+            Ok(Err(_)) | Err(_) => Err(VerifyError::PortfolioFailed {
+                query: query.kind(),
+            }),
         }
     }
 }
@@ -470,6 +778,26 @@ mod tests {
 
     fn small_verifier() -> Verifier {
         Verifier::builder().max_nodes(3).valuations(1).build()
+    }
+
+    /// A closed formula that is bounded-Valid up to 2 nodes but Invalid in
+    /// general: "there do not exist three pairwise-distinct nodes".
+    fn three_node_formula() -> Formula {
+        let three_nodes = Formula::exists_fo(
+            "x",
+            Formula::exists_fo(
+                "y",
+                Formula::exists_fo(
+                    "z",
+                    Formula::conj(vec![
+                        Formula::not(Formula::Eq(FoVar::new("x"), FoVar::new("y"))),
+                        Formula::not(Formula::Eq(FoVar::new("y"), FoVar::new("z"))),
+                        Formula::not(Formula::Eq(FoVar::new("x"), FoVar::new("z"))),
+                    ]),
+                ),
+            ),
+        );
+        Formula::not(three_nodes)
     }
 
     #[test]
@@ -553,6 +881,162 @@ mod tests {
     }
 
     #[test]
+    fn parallel_portfolio_verdicts_equal_sequential_engine_witness_and_all() {
+        // Regression for the soundness-priority race: the parallel verdict
+        // must carry the *same engine provenance and witness* as the
+        // sequential (authoritative-first) portfolio's, not whichever
+        // engine happened to finish first.
+        let sequential = Verifier::builder()
+            .max_nodes(3)
+            .valuations(1)
+            .cache_capacity(0)
+            .build();
+        let parallel = Verifier::builder()
+            .max_nodes(3)
+            .valuations(1)
+            .parallel(true)
+            .cache_capacity(0)
+            .build();
+        for (name, program) in corpus::all() {
+            let a = sequential.verify(Query::DataRace(&program)).unwrap();
+            let b = parallel.verify(Query::DataRace(&program)).unwrap();
+            assert_eq!(a.engine, b.engine, "{name}: engine provenance differs");
+            assert_eq!(a.soundness, b.soundness, "{name}: soundness differs");
+            assert_eq!(
+                format!("{:?}", a.outcome),
+                format!("{:?}", b.outcome),
+                "{name}: outcome/witness differs"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_positive_cannot_preempt_a_pending_refuting_engine() {
+        // Regression for the headline bugfix, with bound-skewed engines:
+        // the bounded enumerator exhausts every tree up to 2 nodes almost
+        // instantly and answers Valid, while the automata engine holds the
+        // unbounded refutation (Invalid).  The bounded positive must stay
+        // provisional while the more authoritative engine is pending — on
+        // *every* run — and the sequential and parallel verdicts must agree.
+        let formula = three_node_formula();
+        let sequential = Verifier::builder()
+            .validity_nodes(2)
+            .cache_capacity(0)
+            .build();
+        let parallel = Verifier::builder()
+            .validity_nodes(2)
+            .parallel(true)
+            .cache_capacity(0)
+            .build();
+        let expected = sequential.verify(Query::Validity(&formula)).unwrap();
+        assert!(!expected.is_valid());
+        for run in 0..100 {
+            let verdict = parallel.verify(Query::Validity(&formula)).unwrap();
+            assert!(
+                !verdict.is_valid(),
+                "run {run}: bounded Valid pre-empted the automata Invalid"
+            );
+            assert_eq!(verdict.engine, Engine::Automata, "run {run}");
+            assert_eq!(verdict.soundness, Soundness::Unbounded, "run {run}");
+        }
+    }
+
+    #[test]
+    fn user_supplied_engine_order_is_the_authority_order() {
+        // With the bounded engine deliberately placed first, its bounded
+        // Valid *is* the sequential verdict — and the parallel portfolio
+        // must reproduce it rather than "upgrade" to the automata answer.
+        let formula = three_node_formula();
+        let order = [Engine::BoundedEnumeration, Engine::Automata];
+        let sequential = Verifier::builder()
+            .validity_nodes(2)
+            .engines(order)
+            .cache_capacity(0)
+            .build();
+        let parallel = Verifier::builder()
+            .validity_nodes(2)
+            .engines(order)
+            .parallel(true)
+            .cache_capacity(0)
+            .build();
+        let a = sequential.verify(Query::Validity(&formula)).unwrap();
+        let b = parallel.verify(Query::Validity(&formula)).unwrap();
+        assert_eq!(a.engine, Engine::BoundedEnumeration);
+        assert_eq!(b.engine, Engine::BoundedEnumeration);
+        assert!(a.is_valid() && b.is_valid());
+    }
+
+    #[test]
+    fn losing_engines_observe_the_cancel_flag() {
+        // The automata engine answers the validity query instantly and
+        // authoritatively; the bounded enumerator faces a Catalan-sized
+        // corpus (~3.3e5 trees up to 12 nodes) it could never finish
+        // quickly.  Once the winner is decided the cancel flag is raised,
+        // and the loser must abandon its enumeration — it checks the flag
+        // before running, per tree-size tranche during corpus
+        // materialization, and per evaluated model — and count itself
+        // cancelled.
+        let verifier = Verifier::builder()
+            .validity_nodes(12)
+            .parallel(true)
+            .cache_capacity(0)
+            .build();
+        let formula = Formula::exists_fo("x", Formula::Root(FoVar::new("x")));
+        let verdict = verifier.verify(Query::Validity(&formula)).unwrap();
+        assert_eq!(verdict.engine, Engine::Automata);
+        // The loser finishes asynchronously on multi-core hosts; its worst
+        // case is finishing the size tranche it was materializing when the
+        // flag was raised, so poll generously.
+        for _ in 0..3000 {
+            if verifier.serving_stats().cancelled_runs >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let stats = verifier.serving_stats();
+        assert_eq!(stats.cancelled_runs, 1, "loser did not observe the flag");
+        assert_eq!(stats.engine_runs, 2);
+    }
+
+    #[test]
+    fn verify_batch_preserves_input_order() {
+        let verifier = small_verifier();
+        let race_free = corpus::size_counting_parallel();
+        let racy = corpus::cycletree_parallel();
+        let formula = Formula::exists_fo("x", Formula::Root(FoVar::new("x")));
+        let queries = [
+            Query::DataRace(&racy),
+            Query::Validity(&formula),
+            Query::DataRace(&race_free),
+            Query::DataRace(&racy),
+        ];
+        let results = verifier.verify_batch(&queries);
+        assert_eq!(results.len(), 4);
+        assert!(!results[0].as_ref().unwrap().is_race_free());
+        assert!(results[1].as_ref().unwrap().is_valid());
+        assert!(results[2].as_ref().unwrap().is_race_free());
+        assert!(!results[3].as_ref().unwrap().is_race_free());
+        // The duplicate query was answered by cache or coalescing, not by a
+        // second portfolio dispatch.
+        let dup = results[3].as_ref().unwrap();
+        assert!(dup.cached || dup.coalesced);
+    }
+
+    #[test]
+    fn verify_batch_reports_errors_in_place() {
+        let verifier = small_verifier();
+        let ok = corpus::size_counting_parallel();
+        let no_main = retreet_lang::parse_program("fn F(n) { return 0; }").unwrap();
+        let queries = [Query::DataRace(&no_main), Query::DataRace(&ok)];
+        let results = verifier.verify_batch(&queries);
+        assert!(matches!(
+            results[0],
+            Err(VerifyError::InvalidProgram { .. })
+        ));
+        assert!(results[1].as_ref().unwrap().is_race_free());
+    }
+
+    #[test]
     fn invalid_programs_are_rejected_with_typed_errors() {
         let verifier = small_verifier();
         let no_main = retreet_lang::parse_program("fn F(n) { return 0; }").unwrap();
@@ -591,21 +1075,7 @@ mod tests {
         // budget and the parallel portfolio, the fast bounded enumerator
         // answers Valid first — but the automata engine's unbounded Invalid
         // must win, not be pre-empted and cached over.
-        let three_nodes = Formula::exists_fo(
-            "x",
-            Formula::exists_fo(
-                "y",
-                Formula::exists_fo(
-                    "z",
-                    Formula::conj(vec![
-                        Formula::not(Formula::Eq(FoVar::new("x"), FoVar::new("y"))),
-                        Formula::not(Formula::Eq(FoVar::new("y"), FoVar::new("z"))),
-                        Formula::not(Formula::Eq(FoVar::new("x"), FoVar::new("z"))),
-                    ]),
-                ),
-            ),
-        );
-        let formula = Formula::not(three_nodes);
+        let formula = three_node_formula();
         let verifier = Verifier::builder().validity_nodes(2).parallel(true).build();
         let verdict = verifier.verify(Query::Validity(&formula)).unwrap();
         assert!(
@@ -631,5 +1101,19 @@ mod tests {
             verdict.soundness,
             Soundness::BoundedUpTo { max_nodes: 2 }
         ));
+    }
+
+    #[test]
+    fn serving_stats_count_runs_and_coalescing() {
+        let verifier = small_verifier();
+        let program = corpus::size_counting_parallel();
+        verifier.verify(Query::DataRace(&program)).unwrap();
+        let stats = verifier.serving_stats();
+        assert_eq!(stats.engine_runs, 1, "sequential portfolio stops at one");
+        assert_eq!(stats.cancelled_runs, 0);
+        assert_eq!(stats.coalesced, 0);
+        // A cache hit does not touch the portfolio.
+        verifier.verify(Query::DataRace(&program)).unwrap();
+        assert_eq!(verifier.serving_stats().engine_runs, 1);
     }
 }

@@ -91,6 +91,11 @@ pub struct Verdict {
     pub elapsed: Duration,
     /// True when this verdict was served from the verdict cache.
     pub cached: bool,
+    /// True when this verdict was *coalesced*: the query arrived while an
+    /// identical query was already in flight, waited on that single engine
+    /// run, and received the same witness — without racing the portfolio a
+    /// second time.
+    pub coalesced: bool,
 }
 
 impl Verdict {
@@ -169,10 +174,11 @@ impl fmt::Display for Verdict {
         };
         write!(
             f,
-            "{answer} [engine: {}, {}{}, {:?}]",
+            "{answer} [engine: {}, {}{}{}, {:?}]",
             self.engine,
             self.soundness,
             if self.cached { ", cached" } else { "" },
+            if self.coalesced { ", coalesced" } else { "" },
             self.elapsed
         )
     }

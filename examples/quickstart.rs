@@ -95,4 +95,23 @@ fn main() {
         stats.misses,
         again.certificate.trees_checked(),
     );
+
+    // The serving surface: a batch of queries fans out over worker threads
+    // and comes back in input order; identical queries coalesce onto one
+    // engine run (the `retreet-serve` crate speaks NDJSON over this).
+    use retreet_verify::Query;
+    let racy = retreet_lang::corpus::cycletree_parallel();
+    let queries = [
+        Query::DataRace(&original),
+        Query::DataRace(&racy),
+        Query::DataRace(&original),
+    ];
+    for (i, result) in verifier.verify_batch(&queries).iter().enumerate() {
+        println!("batch[{i}]: {}", result.as_ref().expect("well-formed"));
+    }
+    let serving = verifier.serving_stats();
+    println!(
+        "serving stats: {} engine runs, {} cancelled, {} coalesced",
+        serving.engine_runs, serving.cancelled_runs, serving.coalesced
+    );
 }

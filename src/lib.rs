@@ -26,8 +26,11 @@
 //! The workspace members underneath:
 //!
 //! * [`retreet_verify`] — **the façade**: `Verifier` builder, typed
-//!   `Query` → `Verdict` pipeline, engine portfolio, verdict cache, typed
-//!   `VerifyError`s;
+//!   `Query` → `Verdict` pipeline, engine portfolio, sharded verdict cache
+//!   with single-flight coalescing, batch fan-out, typed `VerifyError`s;
+//! * [`retreet_serve`] — **the serving tier**: a long-running NDJSON
+//!   service (stdin or TCP) over one shared `Verifier`, with corpus
+//!   warm-start and per-response cache/coalesce provenance;
 //! * [`retreet_lang`] — the Retreet language (AST, parser, blocks, read/write
 //!   analysis, weakest preconditions, the §5 program corpus);
 //! * [`retreet_logic`] — the linear-integer-arithmetic solver substrate;
@@ -67,6 +70,12 @@
 //! | `Solver::check` on systems that repeat across a query | `Solver::check_cached(&system, &cache)` (component-decomposed memoization keyed by [`retreet_logic::intern`]-ed atom ids) |
 //! | per-query `BlockTable::build` + re-summarized paths | `retreet_analysis::AnalysisContext::for_program(&p)` — block table, field sets, lazy path summaries, solver cache and symbol table, memoized process-wide per program |
 //! | the seed (pre-optimization) engine behaviour | preserved verbatim in `retreet_analysis::naive` (differential tests and the `bench_engines` "before" column only) |
+//! | `CacheStats { hits, misses, entries }` | gains `collisions` (an insert that found a same-key, different-subjects resident; the resident entry is kept, never evicted by the collider, and the lookup side stays a plain miss so `hits + misses == lookups` always) — exhaustive-match constructors must add the field |
+//! | `Verdict { outcome, engine, soundness, elapsed, cached }` | gains `coalesced: bool` (the verdict was adopted from an identical in-flight query's single engine run) |
+//! | `.parallel(true)` first-definitive-verdict-wins dispatch | **removed** (it could cache a bounded positive over a pending engine's unbounded refutation, nondeterministically): parallel dispatch now decides by *authority* — dispatch order, unbounded engines first — and verdict + witness are identical to sequential on every run; losing engines are cooperatively cancelled |
+//! | looping `verifier.verify(q)` over a batch | `verifier.verify_batch(&[q1, q2, …])` — worker-thread fan-out, results in input order, duplicates coalesced |
+//! | hand-rolled serving loops around a `Verifier` | `retreet_serve::Service` + `serve_lines` / `serve_tcp` (NDJSON protocol), or the `retreet-serve` binary (`--listen ADDR --warm-start --parallel`) |
+//! | `check_data_race` / `check_equivalence` / `check_validity` in a portfolio worker | the `*_cancellable(…, cancel: &AtomicBool)` variants — return `None` instead of a verdict once the flag is raised |
 //!
 //! # Benchmarks
 //!
@@ -83,6 +92,13 @@
 //! fusable §5 case synthesized and certified through the transform tier,
 //! plus fused-vs-sequential runtime on concrete workloads.  CI runs it in
 //! quick mode and fails on certificate drift.
+//!
+//! `cargo run --release -p retreet-bench --bin bench_service` writes
+//! `BENCH_service.json` (schema `retreet-bench-service/v1`): warm-cache
+//! serving throughput and p50/p99 latency under 1/4/8 client threads,
+//! cache hit and coalescing rates, and a cold-burst single-flight check.
+//! Every response is verified against the paper's verdict — drift under
+//! concurrency fails the run.
 //!
 //! Old verdict shapes map to [`retreet_verify::Outcome`] variants: race
 //! witnesses, equivalence counterexamples and falsifying trees ride along
@@ -101,6 +117,7 @@ pub use retreet_lang;
 pub use retreet_logic;
 pub use retreet_mso;
 pub use retreet_runtime;
+pub use retreet_serve;
 pub use retreet_transform;
 pub use retreet_verify;
 

@@ -1,0 +1,276 @@
+//! Concurrency tests for the serving tier: one shared `Verifier` (and one
+//! shared `retreet_serve::Service`) under many client threads.
+//!
+//! What must hold under concurrency:
+//!
+//! * **Single-flight** — N identical concurrent queries trigger exactly one
+//!   engine run; every waiter receives the identical witness.
+//! * **Determinism** — the parallel portfolio returns the same verdict
+//!   (outcome, witness, engine provenance) as the sequential portfolio, on
+//!   every run.
+//! * **Accounting** — sharded-cache stats stay consistent: every lookup is
+//!   exactly one hit or miss (`hits + misses == total cache lookups`), and
+//!   the separate `collisions` diagnostic stays 0 for distinct real
+//!   queries (a 128-bit key collision is astronomically unlikely).
+
+use std::sync::{Arc, Barrier};
+
+use retreet_repro::retreet_lang::corpus;
+use retreet_repro::retreet_serve::{json, ServeOptions, Service};
+use retreet_repro::retreet_verify::{Query, Verifier};
+
+fn shared_verifier() -> Arc<Verifier> {
+    Arc::new(Verifier::builder().max_nodes(3).valuations(1).build())
+}
+
+#[test]
+fn single_flight_runs_the_engine_once_for_identical_concurrent_queries() {
+    const THREADS: usize = 8;
+    let verifier = shared_verifier();
+    let program = Arc::new(corpus::cycletree_parallel());
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let mut handles = Vec::new();
+    for _ in 0..THREADS {
+        let verifier = Arc::clone(&verifier);
+        let program = Arc::clone(&program);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            verifier.verify(Query::DataRace(&program)).unwrap()
+        }));
+    }
+    let verdicts: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread panicked"))
+        .collect();
+
+    // One portfolio dispatch total: every other query was served by the
+    // cache, by coalescing onto the in-flight run, or by the leader's
+    // double-check — never by a second engine run.
+    let serving = verifier.serving_stats();
+    assert_eq!(serving.engine_runs, 1, "single-flight must run once");
+
+    // All N verdicts carry the identical witness.
+    let reference = format!("{:?}", verdicts[0].race_witness().unwrap());
+    for verdict in &verdicts {
+        assert!(!verdict.is_race_free());
+        assert_eq!(format!("{:?}", verdict.race_witness().unwrap()), reference);
+    }
+
+    // Accounting: every thread did exactly one cache lookup, each counted
+    // as exactly one hit or miss.
+    let cache = verifier.cache_stats();
+    assert_eq!(
+        cache.hits + cache.misses,
+        THREADS as u64,
+        "hits + misses must equal total queries"
+    );
+    assert_eq!(cache.collisions, 0);
+    assert_eq!(cache.entries, 1);
+}
+
+#[test]
+fn concurrent_identical_and_distinct_queries_keep_stats_consistent() {
+    const THREADS: usize = 6;
+    const ROUNDS: usize = 4;
+    let verifier = shared_verifier();
+    let programs: Arc<Vec<_>> = Arc::new(corpus::all().into_iter().collect());
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let mut handles = Vec::new();
+    for thread in 0..THREADS {
+        let verifier = Arc::clone(&verifier);
+        let programs = Arc::clone(&programs);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut issued = 0u64;
+            for round in 0..ROUNDS {
+                // Every thread walks the same corpus from a different
+                // offset: plenty of identical-query overlap, plus distinct
+                // queries in flight at the same time.
+                let offset = (thread * 5 + round) % programs.len();
+                for i in 0..programs.len() {
+                    let (name, program) = &programs[(i + offset) % programs.len()];
+                    let verdict = verifier.verify(Query::DataRace(program)).unwrap();
+                    issued += 1;
+                    // Spot-check the two †-racy programs and one free one.
+                    match *name {
+                        "cycletree_parallel" | "overlapping_parallel" => {
+                            assert!(!verdict.is_race_free(), "{name} must race")
+                        }
+                        "size_counting_parallel" => {
+                            assert!(verdict.is_race_free(), "{name} must be race-free")
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            issued
+        }));
+    }
+    let total: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread panicked"))
+        .sum();
+    assert_eq!(total, (THREADS * ROUNDS * programs.len()) as u64);
+
+    let cache = verifier.cache_stats();
+    assert_eq!(
+        cache.hits + cache.misses,
+        total,
+        "hits + misses must equal total queries"
+    );
+    assert_eq!(cache.collisions, 0, "no collisions among distinct programs");
+    assert_eq!(cache.entries, programs.len());
+    // Engine runs can never exceed one per distinct program (single-flight
+    // + cache), and at least one per program had to happen.
+    let serving = verifier.serving_stats();
+    assert_eq!(serving.engine_runs, programs.len() as u64);
+}
+
+#[test]
+fn parallel_portfolio_matches_sequential_across_the_corpus_100_runs() {
+    // The §5 differential: across 100+ parallel-portfolio runs, the verdict
+    // (outcome, witness, engine provenance, soundness) must be identical to
+    // the sequential ("authoritative first") portfolio's.  Caches are off
+    // so every run exercises the real dispatch race.
+    let sequential = Verifier::builder()
+        .max_nodes(3)
+        .valuations(1)
+        .cache_capacity(0)
+        .build();
+    let parallel = Verifier::builder()
+        .max_nodes(3)
+        .valuations(1)
+        .parallel(true)
+        .cache_capacity(0)
+        .build();
+    let programs = corpus::all();
+    let mut runs = 0;
+    for round in 0..8 {
+        for (name, program) in &programs {
+            let expected = sequential.verify(Query::DataRace(program)).unwrap();
+            let got = parallel.verify(Query::DataRace(program)).unwrap();
+            runs += 1;
+            assert_eq!(
+                expected.engine, got.engine,
+                "round {round}, {name}: engine provenance drifted"
+            );
+            assert_eq!(
+                expected.soundness, got.soundness,
+                "round {round}, {name}: soundness drifted"
+            );
+            assert_eq!(
+                format!("{:?}", expected.outcome),
+                format!("{:?}", got.outcome),
+                "round {round}, {name}: outcome or witness drifted"
+            );
+        }
+    }
+    assert!(runs >= 100, "need 100+ differential runs, did {runs}");
+}
+
+#[test]
+fn shared_service_answers_concurrent_ndjson_clients_consistently() {
+    const THREADS: usize = 8;
+    let service = Arc::new(Service::new(&ServeOptions {
+        race_nodes: 3,
+        equiv_nodes: 3,
+        validity_nodes: 3,
+        valuations: 1,
+        parallel: false,
+        cache_capacity: 1024,
+    }));
+    let racy = Arc::new(format!(
+        r#"{{"kind":"race","program":"{}"}}"#,
+        json::escape(corpus::CYCLETREE_PARALLEL_SRC)
+    ));
+    let free = Arc::new(format!(
+        r#"{{"kind":"race","program":"{}"}}"#,
+        json::escape(corpus::SIZE_COUNTING_PARALLEL_SRC)
+    ));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let mut handles = Vec::new();
+    for thread in 0..THREADS {
+        let service = Arc::clone(&service);
+        let racy = Arc::clone(&racy);
+        let free = Arc::clone(&free);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            for i in 0..6 {
+                let (line, expected) = if (thread + i) % 2 == 0 {
+                    (&racy, r#""verdict":"race""#)
+                } else {
+                    (&free, r#""verdict":"race-free""#)
+                };
+                let response = service.handle_line(line);
+                assert!(
+                    response.contains(r#""status":"ok""#) && response.contains(expected),
+                    "thread {thread} round {i}: unexpected response {response}"
+                );
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("client thread panicked");
+    }
+    // Two distinct programs → two engine dispatches, everything else from
+    // cache/coalescing; the accounting invariant holds under concurrency.
+    let serving = service.verifier().serving_stats();
+    assert_eq!(serving.engine_runs, 2);
+    let cache = service.verifier().cache_stats();
+    assert_eq!(cache.hits + cache.misses, (THREADS * 6) as u64);
+    assert_eq!(cache.collisions, 0);
+    assert_eq!(service.requests_handled(), (THREADS * 6) as u64);
+}
+
+#[test]
+fn tcp_service_round_trips_ndjson_over_a_real_socket() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    let service = Arc::new(Service::new(&ServeOptions {
+        race_nodes: 3,
+        equiv_nodes: 3,
+        validity_nodes: 3,
+        valuations: 1,
+        parallel: false,
+        cache_capacity: 1024,
+    }));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let server = Arc::clone(&service);
+    // The acceptor loops forever; it dies with the test process.
+    std::thread::spawn(move || {
+        let _ = retreet_repro::retreet_serve::serve_tcp(server, listener);
+    });
+
+    let mut clients = Vec::new();
+    for client in 0..3 {
+        clients.push(std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut stream = stream;
+            let request = format!(
+                "{{\"id\": {client}, \"kind\": \"validity\", \
+                 \"formula\": \"(exists x (root x))\"}}\n"
+            );
+            stream.write_all(request.as_bytes()).unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains(&format!("\"id\":{client}")), "{line}");
+            assert!(line.contains(r#""verdict":"valid""#), "{line}");
+            // A second request on the same connection still works, and is
+            // now a cache hit.
+            stream.write_all(request.as_bytes()).unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains(r#""cached":true"#), "{line}");
+        }));
+    }
+    for client in clients {
+        client.join().expect("tcp client panicked");
+    }
+    assert_eq!(service.requests_handled(), 6);
+}
