@@ -928,9 +928,316 @@ pub fn transform_report_to_json(
     out
 }
 
+// ---------------------------------------------------------------------------
+// Codegen tier: interpreter vs bytecode VM
+// ---------------------------------------------------------------------------
+
+/// One executable workload timed on both execution tiers (and, where the
+/// workload's `Main` fuses, on the VM running the certifiably fused form).
+#[derive(Debug, Clone)]
+pub struct CodegenPerfRow {
+    /// Workload identifier (C1…).
+    pub id: &'static str,
+    /// Workload description.
+    pub case: &'static str,
+    /// Nodes in the input tree.
+    pub nodes: usize,
+    /// Functions compiled to certified worklist loops.
+    pub lowered_funcs: usize,
+    /// Best-of-batches wall-clock of the reference interpreter, seconds.
+    pub interp_seconds: f64,
+    /// Best-of-batches wall-clock of the bytecode VM, seconds.
+    pub vm_seconds: f64,
+    /// Best-of-batches wall-clock of the VM running the certified fusion of
+    /// the workload (`None` when `Main` has no certifiable fusion).
+    pub vm_fused_seconds: Option<f64>,
+    /// True when the VM's returns or post-run tree diverged from the
+    /// interpreter's — a correctness regression that fails the bench.
+    pub drift: bool,
+}
+
+impl CodegenPerfRow {
+    /// interpreter / VM.
+    pub fn vm_speedup(&self) -> f64 {
+        self.interp_seconds / self.vm_seconds
+    }
+
+    /// interpreter / VM-on-fused, when a certified fusion exists.
+    pub fn fused_speedup(&self) -> Option<f64> {
+        self.vm_fused_seconds.map(|s| self.interp_seconds / s)
+    }
+}
+
+/// One lowering-equivalence certificate line, with the serving provenance
+/// (`cached` / `coalesced`) of its verdict reported honestly — the second
+/// compilation of a workload must show `cached: true`, not pretend the
+/// engine ran again.
+#[derive(Debug, Clone)]
+pub struct CodegenCertRow {
+    /// Workload identifier the lowering belongs to.
+    pub workload: &'static str,
+    /// The lowered function.
+    pub func: String,
+    /// `"fresh"` for the first compilation, `"recompile"` for the second.
+    pub phase: &'static str,
+    /// The engine that produced the equivalence verdict.
+    pub engine: &'static str,
+    /// Whether the verdict came from the verifier's cache.
+    pub cached: bool,
+    /// Whether the verdict was coalesced onto a concurrent identical query.
+    pub coalesced: bool,
+    /// Verdict wall-clock, seconds (the original engine run's time when
+    /// cached).
+    pub elapsed_seconds: f64,
+}
+
+/// The four executable §5 workloads of the codegen bench.
+fn codegen_workloads() -> Vec<(&'static str, &'static str, retreet_lang::ast::Program)> {
+    vec![
+        (
+            "C1",
+            "size counting: Odd; Even (mutual recursion, frame bytecode)",
+            corpus::size_counting_sequential(),
+        ),
+        (
+            "C2",
+            "tree mutation: Swap; IncrmLeft (certified worklist loops)",
+            corpus::tree_mutation_original(),
+        ),
+        (
+            "C3",
+            "CSS minify: ConvertValues; MinifyFont; ReduceInit",
+            corpus::css_minify_original(),
+        ),
+        (
+            "C4",
+            "cycletree: four numbering modes + ComputeRouting",
+            corpus::cycletree_original(),
+        ),
+    ]
+}
+
+/// Runs the codegen benchmark: for each executable §5 workload, compile
+/// with certified lowering (twice, so the certificate lines show the
+/// fresh-then-cached serving path), differential-check the VM against the
+/// interpreter on the same tree, then time interpreter vs VM vs
+/// VM-on-certified-fusion.  The `verifier` should have its cache *enabled*
+/// — honest `cached`/`coalesced` reporting is part of what this bench
+/// demonstrates.
+pub fn measure_codegen_perf(
+    verifier: &Verifier,
+    batches: usize,
+    per_batch: usize,
+    tree_height: usize,
+) -> (Vec<CodegenPerfRow>, Vec<CodegenCertRow>) {
+    use retreet_analysis::interp;
+    use retreet_analysis::vtree::ValueTree;
+    use retreet_codegen::{compile_with_lowering, trees_agree, Vm};
+    use retreet_lang::blocks::BlockTable;
+    use retreet_transform::fuse_main_passes;
+
+    let mut rows = Vec::new();
+    let mut certs = Vec::new();
+    for (id, case, program) in codegen_workloads() {
+        let compiled = match compile_with_lowering(verifier, &program) {
+            Ok(compiled) => compiled,
+            Err(err) => panic!("{id}: codegen failed: {err}"),
+        };
+        for cert in &compiled.lowerings {
+            certs.push(CodegenCertRow {
+                workload: id,
+                func: cert.func.clone(),
+                phase: "fresh",
+                engine: cert.verdict.engine.name(),
+                cached: cert.verdict.cached,
+                coalesced: cert.verdict.coalesced,
+                elapsed_seconds: cert.verdict.elapsed.as_secs_f64(),
+            });
+        }
+        // Compile again: the same equivalence queries must now be served
+        // from the verdict cache, and the rows must say so.
+        if let Ok(recompiled) = compile_with_lowering(verifier, &program) {
+            for cert in &recompiled.lowerings {
+                certs.push(CodegenCertRow {
+                    workload: id,
+                    func: cert.func.clone(),
+                    phase: "recompile",
+                    engine: cert.verdict.engine.name(),
+                    cached: cert.verdict.cached,
+                    coalesced: cert.verdict.coalesced,
+                    elapsed_seconds: cert.verdict.elapsed.as_secs_f64(),
+                });
+            }
+        }
+
+        let fields = retreet_codegen::program_fields(&program);
+        let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+        let mut tree = ValueTree::complete(tree_height, &field_refs, |_, _| 0);
+        tree.fill_fields(&field_refs, 7);
+
+        // Differential gate before any timing: identical returns and
+        // semantically identical trees, or the row is marked as drift.
+        let table = BlockTable::build(&program);
+        let mut vm = Vm::new();
+        let drift = match (
+            interp::run_with_table(&table, &tree),
+            vm.run(&compiled, &tree),
+        ) {
+            (Ok(exp), Ok(act)) => exp.returns != act.returns || !trees_agree(&exp.tree, &act.tree),
+            (Err(_), Err(_)) => false,
+            _ => true,
+        };
+
+        let interp_seconds = best_of(batches, per_batch, || {
+            std::hint::black_box(interp::run_with_table(&table, &tree).ok());
+        });
+        let vm_seconds = best_of(batches, per_batch, || {
+            std::hint::black_box(vm.run(&compiled, &tree).ok());
+        });
+        let vm_fused_seconds = fuse_main_passes(verifier, &program)
+            .ok()
+            .and_then(|fused| compile_with_lowering(verifier, &fused.transformed).ok())
+            .map(|compiled_fused| {
+                best_of(batches, per_batch, || {
+                    std::hint::black_box(vm.run(&compiled_fused, &tree).ok());
+                })
+            });
+
+        rows.push(CodegenPerfRow {
+            id,
+            case,
+            nodes: tree.len(),
+            lowered_funcs: compiled.lowerings.len(),
+            interp_seconds,
+            vm_seconds,
+            vm_fused_seconds,
+            drift,
+        });
+    }
+    (rows, certs)
+}
+
+/// Renders the codegen report as aligned text tables.
+pub fn render_codegen_report(rows: &[CodegenPerfRow], certs: &[CodegenCertRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<4} {:>8} {:>8} {:>12} {:>10} {:>8} {:>12} {:>7}\n",
+        "id", "nodes", "lowered", "interp (ms)", "vm (ms)", "speedup", "fused (ms)", "drift"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<4} {:>8} {:>8} {:>12.4} {:>10.4} {:>7.2}x {:>12} {:>7}\n",
+            row.id,
+            row.nodes,
+            row.lowered_funcs,
+            row.interp_seconds * 1e3,
+            row.vm_seconds * 1e3,
+            row.vm_speedup(),
+            row.vm_fused_seconds
+                .map(|s| format!("{:.4}", s * 1e3))
+                .unwrap_or_else(|| String::from("-")),
+            if row.drift { "DRIFT" } else { "ok" },
+        ));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<4} {:<12} {:<10} {:<14} {:>7} {:>10}\n",
+        "id", "func", "phase", "engine", "cached", "coalesced"
+    ));
+    for cert in certs {
+        out.push_str(&format!(
+            "{:<4} {:<12} {:<10} {:<14} {:>7} {:>10}\n",
+            cert.workload, cert.func, cert.phase, cert.engine, cert.cached, cert.coalesced,
+        ));
+    }
+    out
+}
+
+/// Serializes the codegen report to the `BENCH_codegen.json` document
+/// (schema `retreet-bench-codegen/v1`; format in `crates/README.md`).
+pub fn codegen_report_to_json(
+    label: &str,
+    tree_height: usize,
+    rows: &[CodegenPerfRow],
+    certs: &[CodegenCertRow],
+) -> String {
+    let mut out = String::from("{\n  \"schema\": \"retreet-bench-codegen/v1\",\n");
+    out.push_str(
+        "  \"methodology\": \"best-of-batches wall-clock of the reference interpreter vs the \
+         retreet-codegen bytecode VM on complete trees; every iterative lowering certified by \
+         an equivalence verdict (fresh-then-cached serving path shown); VM outputs \
+         differential-checked against the interpreter before timing\",\n",
+    );
+    out.push_str(&format!(
+        "  \"budget\": {{ \"label\": \"{}\", \"tree_height\": {} }},\n",
+        json_escape(label),
+        tree_height,
+    ));
+    out.push_str("  \"workloads\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let fused = match (row.vm_fused_seconds, row.fused_speedup()) {
+            (Some(seconds), Some(speedup)) => {
+                format!("\"vm_fused_seconds\": {seconds:.6}, \"fused_speedup\": {speedup:.2}")
+            }
+            _ => String::from("\"vm_fused_seconds\": null, \"fused_speedup\": null"),
+        };
+        out.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"case\": \"{}\", \"nodes\": {}, \"lowered_funcs\": {}, \
+             \"interp_seconds\": {:.6}, \"vm_seconds\": {:.6}, \"vm_speedup\": {:.2}, \
+             {}, \"drift\": {} }}{}\n",
+            json_escape(row.id),
+            json_escape(row.case),
+            row.nodes,
+            row.lowered_funcs,
+            row.interp_seconds,
+            row.vm_seconds,
+            row.vm_speedup(),
+            fused,
+            row.drift,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"lowering_certificates\": [\n");
+    for (i, cert) in certs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"workload\": \"{}\", \"func\": \"{}\", \"phase\": \"{}\", \
+             \"engine\": \"{}\", \"cached\": {}, \"coalesced\": {}, \
+             \"elapsed_seconds\": {:.6} }}{}\n",
+            json_escape(cert.workload),
+            json_escape(&cert.func),
+            json_escape(cert.phase),
+            json_escape(cert.engine),
+            cert.cached,
+            cert.coalesced,
+            cert.elapsed_seconds,
+            if i + 1 < certs.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn codegen_report_has_no_drift_and_honest_cache_flags() {
+        let verifier = Verifier::builder().build();
+        let (rows, certs) = measure_codegen_perf(&verifier, 1, 1, 6);
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(!row.drift, "{}: VM diverged from the interpreter", row.id);
+        }
+        // At least one §5 workload lowers, and the recompile phase is
+        // served from the verdict cache and says so.
+        assert!(rows.iter().any(|r| r.lowered_funcs > 0));
+        assert!(certs.iter().any(|c| c.phase == "fresh" && !c.cached));
+        assert!(certs.iter().any(|c| c.phase == "recompile" && c.cached));
+        let json = codegen_report_to_json("quick", 6, &rows, &certs);
+        assert!(json.contains("\"schema\": \"retreet-bench-codegen/v1\""));
+        assert!(json.contains("\"lowering_certificates\""));
+    }
 
     #[test]
     fn every_experiment_matches_the_paper_verdict() {

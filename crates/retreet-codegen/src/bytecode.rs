@@ -1,0 +1,231 @@
+//! The compact register-based bytecode the VM executes.
+//!
+//! Each function compiles to a flat instruction vector over a zero-initialized
+//! register file (one `i64` window per activation).  Field names are resolved
+//! to column ids at compile time, node references to a three-way selector
+//! against the activation's node index, and structured control flow
+//! (`if`/`seq`/`par` and early returns) to conditional jumps — including the
+//! interpreter's exact `Par` semantics (branches run in syntactic order, the
+//! *last* returning branch wins, and the pending return propagates only after
+//! every branch has run).
+
+use retreet_lang::ast::{Dir, Ident};
+
+use crate::lower::LoweringCertificate;
+
+/// Which node an instruction addresses, relative to the activation's node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeSel {
+    /// The activation's own node `n`.
+    Cur,
+    /// `n.l` (nil when `n` is nil or has no left child).
+    Left,
+    /// `n.r` (nil when `n` is nil or has no right child).
+    Right,
+}
+
+impl NodeSel {
+    /// The selector for a child direction.
+    pub fn child(dir: Dir) -> NodeSel {
+        match dir {
+            Dir::Left => NodeSel::Left,
+            Dir::Right => NodeSel::Right,
+        }
+    }
+}
+
+/// One bytecode instruction.  Registers are `u16` indices into the
+/// activation's window; jump targets are absolute instruction indices
+/// within the owning function's code vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst ← value`.
+    Const {
+        /// Destination register.
+        dst: u16,
+        /// The literal.
+        value: i64,
+    },
+    /// `dst ← src`.
+    Copy {
+        /// Destination register.
+        dst: u16,
+        /// Source register.
+        src: u16,
+    },
+    /// `dst ← a + b` (wrapping, like the interpreter).
+    Add {
+        /// Destination register.
+        dst: u16,
+        /// Left operand register.
+        a: u16,
+        /// Right operand register.
+        b: u16,
+    },
+    /// `dst ← a - b` (wrapping).
+    Sub {
+        /// Destination register.
+        dst: u16,
+        /// Left operand register.
+        a: u16,
+        /// Right operand register.
+        b: u16,
+    },
+    /// `dst ← node.field`; nil dereference when the selector resolves to nil.
+    Load {
+        /// Destination register.
+        dst: u16,
+        /// Addressed node.
+        node: NodeSel,
+        /// Field column id.
+        field: u16,
+    },
+    /// `node.field ← src`; nil dereference when the selector resolves to nil.
+    Store {
+        /// Addressed node.
+        node: NodeSel,
+        /// Field column id.
+        field: u16,
+        /// Source register.
+        src: u16,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Jump when the selector resolves to nil (a child selector on a nil
+    /// node resolves to nil without error, like the interpreter's `resolve`).
+    JumpIfNil {
+        /// Addressed node.
+        node: NodeSel,
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Jump when `src > 0` (the `Gt` guard of the language).
+    JumpIfPos {
+        /// Tested register.
+        src: u16,
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Call `func` on the selected node.  Arguments are the contiguous
+    /// registers `args_start .. args_start + num_args`; on return, the
+    /// callee's values are scattered into the listed result registers
+    /// (zip semantics: extra result registers keep their old values, like
+    /// the interpreter binding fewer returns than result variables).
+    Call {
+        /// Callee function index.
+        func: u16,
+        /// The node the callee runs on.
+        target: NodeSel,
+        /// First argument register.
+        args_start: u16,
+        /// Number of arguments.
+        num_args: u16,
+        /// Result registers, in binding order.
+        results: Box<[u16]>,
+    },
+    /// Return the contiguous registers `start .. start + count`.
+    Ret {
+        /// First returned register.
+        start: u16,
+        /// Number of returned values.
+        count: u16,
+    },
+    /// Terminates a lowered traversal's straight-line segment (never appears
+    /// in frame-based code).
+    EndSegment,
+}
+
+/// A function compiled for frame-based execution (the general case,
+/// including mutual recursion and `Par`).
+#[derive(Debug, Clone)]
+pub struct FrameFunc {
+    /// The instruction vector.
+    pub code: Vec<Instr>,
+    /// Size of the activation's register window.
+    pub num_regs: u16,
+    /// Register of each integer parameter, in declaration order (duplicate
+    /// parameter names share a register, so the last binding wins exactly
+    /// like the interpreter's environment).
+    pub param_regs: Box<[u16]>,
+    /// Declared number of returned values.
+    pub num_returns: u16,
+}
+
+/// A self-recursive traversal lowered to an explicit-worklist loop: the
+/// recursion is replaced by an iterative depth-first schedule over the tree,
+/// with the function's straight-line work split into up-to-three segments
+/// (before the first child, between the children, after the second child).
+///
+/// Only certified lowerings are ever compiled to this form — see
+/// [`crate::lower`].
+#[derive(Debug, Clone)]
+pub struct IterativeFunc {
+    /// Segment code (each segment ends with [`Instr::EndSegment`]).
+    pub code: Vec<Instr>,
+    /// Entry pc of the segment run before the first child's subtree.
+    pub pre: u32,
+    /// Entry pc of the segment run between the two subtrees.
+    pub mid: u32,
+    /// Entry pc of the segment run after the second child's subtree.
+    pub post: u32,
+    /// The child visited first.
+    pub first: Dir,
+    /// The child visited second.
+    pub second: Dir,
+    /// The constants the traversal returns (on nil and non-nil nodes alike —
+    /// a requirement of the lowerable shape).
+    pub returns: Vec<i64>,
+    /// Scratch registers the segments use.
+    pub num_regs: u16,
+}
+
+/// How a function executes.
+#[derive(Debug, Clone)]
+pub enum FuncCode {
+    /// Frame-based bytecode.
+    Frames(FrameFunc),
+    /// Certified explicit-worklist loop.
+    Iterative(IterativeFunc),
+}
+
+/// A whole program, compiled.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// Per-function code, indexed like the source program's function list.
+    pub funcs: Vec<FuncCode>,
+    /// Function names (for diagnostics), same indexing.
+    pub func_names: Vec<Ident>,
+    /// Field names in column-id order.
+    pub fields: Vec<String>,
+    /// Index of `Main`.
+    pub main: u16,
+    /// The equivalence certificates of every iterative lowering baked into
+    /// [`Self::funcs`] (empty when compiled without lowering).
+    pub lowerings: Vec<LoweringCertificate>,
+}
+
+impl CompiledProgram {
+    /// Names of the functions compiled to certified worklist loops.
+    pub fn lowered_funcs(&self) -> Vec<&str> {
+        self.funcs
+            .iter()
+            .zip(self.func_names.iter())
+            .filter(|(code, _)| matches!(code, FuncCode::Iterative(_)))
+            .map(|(_, name)| name.as_str())
+            .collect()
+    }
+
+    /// Total instruction count across all functions.
+    pub fn code_len(&self) -> usize {
+        self.funcs
+            .iter()
+            .map(|f| match f {
+                FuncCode::Frames(f) => f.code.len(),
+                FuncCode::Iterative(f) => f.code.len(),
+            })
+            .sum()
+    }
+}

@@ -1,0 +1,635 @@
+//! Lowering Retreet ASTs to bytecode.
+//!
+//! The compiler resolves every name at compile time: variables to registers
+//! (one window per activation, zero-initialized, so an unassigned variable
+//! reads 0 exactly like the interpreter's environment), fields to column
+//! ids, callees to function indices.  Structured control flow becomes
+//! jump-threaded conditionals — `&&` short-circuits exactly like the
+//! interpreter's guard evaluation — and the interpreter's `Par` return
+//! discipline (run every branch, last return wins, propagate afterwards)
+//! compiles to a per-activation pending-return window plus a flag register.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use retreet_lang::ast::{
+    AExpr, Assign, BExpr, BlockKind, CallBlock, Func, Ident, NodeRef, Program, Stmt, StraightBlock,
+    MAIN,
+};
+use retreet_lang::rewrite::local_names;
+
+use crate::bytecode::{CompiledProgram, FrameFunc, FuncCode, Instr, IterativeFunc, NodeSel};
+use crate::lower::{IterativeLowering, LoweringCertificate};
+
+/// Why a program could not be compiled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The program has no `Main`.
+    NoMain,
+    /// A call block references an undefined function (the interpreter fails
+    /// lazily at execution time; the compiler is strict).
+    UnknownFunction(String),
+    /// A single activation needs more than `u16::MAX` registers.
+    TooManyRegisters(Ident),
+    /// A construct the bytecode tier does not support (only reachable for
+    /// lowered-segment compilation, which rejects calls/returns/`Par`).
+    Unsupported(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NoMain => write!(f, "the program has no Main function"),
+            CompileError::UnknownFunction(name) => {
+                write!(f, "call to unknown function `{name}`")
+            }
+            CompileError::TooManyRegisters(func) => {
+                write!(f, "function `{func}` needs more than 65535 registers")
+            }
+            CompileError::Unsupported(what) => write!(f, "unsupported construct: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Every field name the program reads or writes, sorted (the column-id
+/// assignment of the compiled program).
+pub fn program_fields(program: &Program) -> Vec<String> {
+    let mut fields = std::collections::BTreeSet::new();
+    for func in &program.funcs {
+        collect_stmt_fields(&func.body, &mut fields);
+    }
+    fields.into_iter().collect()
+}
+
+fn collect_stmt_fields(stmt: &Stmt, out: &mut std::collections::BTreeSet<String>) {
+    match stmt {
+        Stmt::Block(block) => match &block.kind {
+            BlockKind::Call(call) => {
+                for arg in &call.args {
+                    collect_aexpr_fields(arg, out);
+                }
+            }
+            BlockKind::Straight(straight) => {
+                for assign in &straight.assigns {
+                    match assign {
+                        Assign::SetVar(_, value) => collect_aexpr_fields(value, out),
+                        Assign::SetField(_, field, value) => {
+                            out.insert(field.clone());
+                            collect_aexpr_fields(value, out);
+                        }
+                    }
+                }
+                if let Some(ret) = &straight.ret {
+                    for value in ret {
+                        collect_aexpr_fields(value, out);
+                    }
+                }
+            }
+        },
+        Stmt::If(cond, then_branch, else_branch) => {
+            collect_bexpr_fields(cond, out);
+            collect_stmt_fields(then_branch, out);
+            collect_stmt_fields(else_branch, out);
+        }
+        Stmt::Seq(items) | Stmt::Par(items) => {
+            for item in items {
+                collect_stmt_fields(item, out);
+            }
+        }
+    }
+}
+
+fn collect_aexpr_fields(expr: &AExpr, out: &mut std::collections::BTreeSet<String>) {
+    match expr {
+        AExpr::Const(_) | AExpr::Var(_) => {}
+        AExpr::Field(_, field) => {
+            out.insert(field.clone());
+        }
+        AExpr::Add(a, b) | AExpr::Sub(a, b) => {
+            collect_aexpr_fields(a, out);
+            collect_aexpr_fields(b, out);
+        }
+    }
+}
+
+fn collect_bexpr_fields(cond: &BExpr, out: &mut std::collections::BTreeSet<String>) {
+    match cond {
+        BExpr::True | BExpr::IsNil(_) => {}
+        BExpr::Gt(expr) => collect_aexpr_fields(expr, out),
+        BExpr::Not(inner) => collect_bexpr_fields(inner, out),
+        BExpr::And(a, b) => {
+            collect_bexpr_fields(a, out);
+            collect_bexpr_fields(b, out);
+        }
+    }
+}
+
+/// Compiles a program for frame-based execution only (no iterative
+/// lowering; every function gets [`FuncCode::Frames`]).
+pub fn compile(program: &Program) -> Result<CompiledProgram, CompileError> {
+    compile_program(program, &[])
+}
+
+/// Compiles a program, baking the given *already certified* lowerings into
+/// iterative worklist loops.  Callers outside the crate go through
+/// [`crate::compile_with_lowering`], which is what certifies them.
+pub(crate) fn compile_program(
+    program: &Program,
+    lowered: &[(IterativeLowering, LoweringCertificate)],
+) -> Result<CompiledProgram, CompileError> {
+    let main = program.func_index(MAIN).ok_or(CompileError::NoMain)?;
+    let fields = program_fields(program);
+    let field_ids: HashMap<&str, u16> = fields
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.as_str(), i as u16))
+        .collect();
+    let func_ids: HashMap<&str, u16> = program
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), i as u16))
+        .collect();
+    let by_name: HashMap<&str, &IterativeLowering> =
+        lowered.iter().map(|(l, _)| (l.func.as_str(), l)).collect();
+    let mut funcs = Vec::with_capacity(program.funcs.len());
+    for func in &program.funcs {
+        match by_name.get(func.name.as_str()) {
+            Some(lowering) => funcs.push(FuncCode::Iterative(compile_iterative(
+                lowering, &field_ids,
+            )?)),
+            None => funcs.push(FuncCode::Frames(compile_frame_func(
+                func, &field_ids, &func_ids,
+            )?)),
+        }
+    }
+    Ok(CompiledProgram {
+        funcs,
+        func_names: program.funcs.iter().map(|f| f.name.clone()).collect(),
+        fields,
+        main: main as u16,
+        lowerings: lowered.iter().map(|(_, c)| c.clone()).collect(),
+    })
+}
+
+/// The return discipline a statement compiles under.
+#[derive(Clone, Copy)]
+enum RetCtx {
+    /// Returns emit [`Instr::Ret`] directly.
+    Direct,
+    /// Inside a `Par` branch: returns fill the pending window, raise the
+    /// flag, and jump to the branch's end so the remaining branches still
+    /// run (the interpreter's last-return-wins discipline).
+    Par {
+        /// Label of the enclosing branch's end.
+        branch_end: usize,
+    },
+}
+
+struct FuncCompiler<'a> {
+    code: Vec<Instr>,
+    /// Variable name → register.
+    names: HashMap<&'a str, u16>,
+    /// First register past the named (and pending-return) area.
+    temp_base: u16,
+    temp_next: u16,
+    max_regs: u16,
+    /// Label id → bound pc (`u32::MAX` while unbound).
+    labels: Vec<u32>,
+    field_ids: &'a HashMap<&'a str, u16>,
+    func_ids: Option<&'a HashMap<&'a str, u16>>,
+    /// Pending-return window (`Par` support); `None` in segment mode.
+    pend: Option<(u16, u16)>, // (start, flag)
+    pend_ret_label: Option<usize>,
+    num_returns: u16,
+}
+
+impl<'a> FuncCompiler<'a> {
+    fn emit(&mut self, instr: Instr) {
+        self.code.push(instr);
+    }
+
+    fn new_label(&mut self) -> usize {
+        self.labels.push(u32::MAX);
+        self.labels.len() - 1
+    }
+
+    fn bind(&mut self, label: usize) {
+        self.labels[label] = self.code.len() as u32;
+    }
+
+    fn temp(&mut self) -> Result<u16, CompileError> {
+        let reg = self.temp_next;
+        self.temp_next = self
+            .temp_next
+            .checked_add(1)
+            .ok_or_else(|| CompileError::TooManyRegisters("<segment>".into()))?;
+        self.max_regs = self.max_regs.max(self.temp_next);
+        Ok(reg)
+    }
+
+    fn named(&self, var: &str) -> u16 {
+        // Pass 1 collected every local name, so the lookup cannot miss for
+        // names the AST walker saw; fall back to a diagnostic panic rather
+        // than silent miscompilation.
+        *self
+            .names
+            .get(var)
+            .unwrap_or_else(|| panic!("unallocated local `{var}`"))
+    }
+
+    fn field(&self, name: &str) -> u16 {
+        *self
+            .field_ids
+            .get(name)
+            .unwrap_or_else(|| panic!("unresolved field `{name}`"))
+    }
+
+    fn sel(node: NodeRef) -> NodeSel {
+        match node {
+            NodeRef::Cur => NodeSel::Cur,
+            NodeRef::Child(dir) => NodeSel::child(dir),
+        }
+    }
+
+    /// Evaluates an arithmetic expression, returning the register holding
+    /// its value (a named register for plain variable reads, a fresh
+    /// temporary otherwise).  Subexpressions evaluate left-to-right, like
+    /// the interpreter.
+    fn aexpr(&mut self, expr: &'a AExpr) -> Result<u16, CompileError> {
+        match expr {
+            AExpr::Const(value) => {
+                let dst = self.temp()?;
+                self.emit(Instr::Const { dst, value: *value });
+                Ok(dst)
+            }
+            AExpr::Var(var) => Ok(self.named(var)),
+            AExpr::Field(node, field) => {
+                let dst = self.temp()?;
+                self.emit(Instr::Load {
+                    dst,
+                    node: Self::sel(*node),
+                    field: self.field(field),
+                });
+                Ok(dst)
+            }
+            AExpr::Add(a, b) => {
+                let ra = self.aexpr(a)?;
+                let rb = self.aexpr(b)?;
+                let dst = self.temp()?;
+                self.emit(Instr::Add { dst, a: ra, b: rb });
+                Ok(dst)
+            }
+            AExpr::Sub(a, b) => {
+                let ra = self.aexpr(a)?;
+                let rb = self.aexpr(b)?;
+                let dst = self.temp()?;
+                self.emit(Instr::Sub { dst, a: ra, b: rb });
+                Ok(dst)
+            }
+        }
+    }
+
+    /// Jump-threaded condition: control reaches `if_true` when the
+    /// condition holds, `if_false` otherwise.  `And` short-circuits (its
+    /// right conjunct is not evaluated when the left is false), mirroring
+    /// the interpreter's `&&`.
+    fn cond(
+        &mut self,
+        cond: &'a BExpr,
+        if_true: usize,
+        if_false: usize,
+    ) -> Result<(), CompileError> {
+        match cond {
+            BExpr::True => self.emit(Instr::Jump {
+                target: if_true as u32,
+            }),
+            BExpr::IsNil(node) => {
+                self.emit(Instr::JumpIfNil {
+                    node: Self::sel(*node),
+                    target: if_true as u32,
+                });
+                self.emit(Instr::Jump {
+                    target: if_false as u32,
+                });
+            }
+            BExpr::Gt(expr) => {
+                let src = self.aexpr(expr)?;
+                self.emit(Instr::JumpIfPos {
+                    src,
+                    target: if_true as u32,
+                });
+                self.emit(Instr::Jump {
+                    target: if_false as u32,
+                });
+            }
+            BExpr::Not(inner) => self.cond(inner, if_false, if_true)?,
+            BExpr::And(a, b) => {
+                let mid = self.new_label();
+                self.cond(a, mid, if_false)?;
+                self.bind(mid);
+                self.cond(b, if_true, if_false)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn straight(&mut self, straight: &'a StraightBlock, ctx: RetCtx) -> Result<(), CompileError> {
+        let mark = self.temp_base.max(self.temp_next.min(self.temp_base));
+        for assign in &straight.assigns {
+            self.temp_next = mark;
+            match assign {
+                Assign::SetVar(var, value) => {
+                    let src = self.aexpr(value)?;
+                    let dst = self.named(var);
+                    if src != dst {
+                        self.emit(Instr::Copy { dst, src });
+                    }
+                }
+                Assign::SetField(node, field, value) => {
+                    let src = self.aexpr(value)?;
+                    self.emit(Instr::Store {
+                        node: Self::sel(*node),
+                        field: self.field(field),
+                        src,
+                    });
+                }
+            }
+        }
+        if let Some(ret) = &straight.ret {
+            self.temp_next = mark;
+            match ctx {
+                RetCtx::Direct => {
+                    // Evaluate into a contiguous window, then return it.
+                    let start = self.temp_next;
+                    for _ in ret {
+                        self.temp()?;
+                    }
+                    let scratch = self.temp_next;
+                    for (i, expr) in ret.iter().enumerate() {
+                        self.temp_next = scratch;
+                        let src = self.aexpr(expr)?;
+                        self.emit(Instr::Copy {
+                            dst: start + i as u16,
+                            src,
+                        });
+                    }
+                    self.emit(Instr::Ret {
+                        start,
+                        count: ret.len() as u16,
+                    });
+                }
+                RetCtx::Par { branch_end } => {
+                    let (pend_start, pend_flag) = self
+                        .pend
+                        .expect("pending window allocated for functions with Par");
+                    let scratch = self.temp_next;
+                    for (i, expr) in ret.iter().enumerate() {
+                        self.temp_next = scratch;
+                        let src = self.aexpr(expr)?;
+                        self.emit(Instr::Copy {
+                            dst: pend_start + i as u16,
+                            src,
+                        });
+                    }
+                    self.emit(Instr::Const {
+                        dst: pend_flag,
+                        value: 1,
+                    });
+                    self.emit(Instr::Jump {
+                        target: branch_end as u32,
+                    });
+                }
+            }
+        }
+        self.temp_next = mark;
+        Ok(())
+    }
+
+    fn call_block(&mut self, call: &'a CallBlock) -> Result<(), CompileError> {
+        let Some(func_ids) = self.func_ids else {
+            return Err(CompileError::Unsupported(
+                "a call inside a lowered traversal segment".into(),
+            ));
+        };
+        let func = *func_ids
+            .get(call.callee.as_str())
+            .ok_or_else(|| CompileError::UnknownFunction(call.callee.clone()))?;
+        let mark = self.temp_next;
+        let args_start = self.temp_next;
+        for _ in &call.args {
+            self.temp()?;
+        }
+        let scratch = self.temp_next;
+        for (i, arg) in call.args.iter().enumerate() {
+            self.temp_next = scratch;
+            let src = self.aexpr(arg)?;
+            self.emit(Instr::Copy {
+                dst: args_start + i as u16,
+                src,
+            });
+        }
+        let results: Box<[u16]> = call.results.iter().map(|r| self.named(r)).collect();
+        self.emit(Instr::Call {
+            func,
+            target: Self::sel(call.target),
+            args_start,
+            num_args: call.args.len() as u16,
+            results,
+        });
+        self.temp_next = mark;
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &'a Stmt, ctx: RetCtx) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::Block(block) => match &block.kind {
+                BlockKind::Call(call) => self.call_block(call),
+                BlockKind::Straight(straight) => self.straight(straight, ctx),
+            },
+            Stmt::If(cond, then_branch, else_branch) => {
+                let l_then = self.new_label();
+                let l_else = self.new_label();
+                let l_end = self.new_label();
+                self.cond(cond, l_then, l_else)?;
+                self.bind(l_then);
+                self.stmt(then_branch, ctx)?;
+                self.emit(Instr::Jump {
+                    target: l_end as u32,
+                });
+                self.bind(l_else);
+                self.stmt(else_branch, ctx)?;
+                self.bind(l_end);
+                Ok(())
+            }
+            Stmt::Seq(items) => {
+                for item in items {
+                    self.stmt(item, ctx)?;
+                }
+                Ok(())
+            }
+            Stmt::Par(items) => {
+                let Some((_, pend_flag)) = self.pend else {
+                    return Err(CompileError::Unsupported(
+                        "a Par inside a lowered traversal segment".into(),
+                    ));
+                };
+                for item in items {
+                    let branch_end = self.new_label();
+                    self.stmt(item, RetCtx::Par { branch_end })?;
+                    self.bind(branch_end);
+                }
+                // A branch returned: propagate — either straight to the
+                // function's pending-return epilogue, or (when this Par is
+                // itself inside a Par branch) to that branch's end, leaving
+                // the flag raised for the outer Par to re-check.
+                let target = match ctx {
+                    RetCtx::Direct => *self
+                        .pend_ret_label
+                        .as_ref()
+                        .expect("epilogue label allocated for functions with Par"),
+                    RetCtx::Par { branch_end } => branch_end,
+                };
+                self.emit(Instr::JumpIfPos {
+                    src: pend_flag,
+                    target: target as u32,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Rewrites label ids in jump targets to bound pcs.
+    fn resolve(&mut self) {
+        for instr in &mut self.code {
+            let target = match instr {
+                Instr::Jump { target }
+                | Instr::JumpIfNil { target, .. }
+                | Instr::JumpIfPos { target, .. } => target,
+                _ => continue,
+            };
+            let pc = self.labels[*target as usize];
+            debug_assert_ne!(pc, u32::MAX, "unbound label");
+            *target = pc;
+        }
+    }
+}
+
+fn contains_par(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::Block(_) => false,
+        Stmt::If(_, a, b) => contains_par(a) || contains_par(b),
+        Stmt::Seq(items) => items.iter().any(contains_par),
+        Stmt::Par(_) => true,
+    }
+}
+
+fn compile_frame_func(
+    func: &Func,
+    field_ids: &HashMap<&str, u16>,
+    func_ids: &HashMap<&str, u16>,
+) -> Result<FrameFunc, CompileError> {
+    let locals = local_names(func);
+    if locals.len() + func.num_returns + 1 > u16::MAX as usize {
+        return Err(CompileError::TooManyRegisters(func.name.clone()));
+    }
+    let names: HashMap<&str, u16> = locals
+        .iter()
+        .enumerate()
+        .map(|(i, name)| (name.as_str(), i as u16))
+        .collect();
+    let named_count = names.len() as u16;
+    let num_returns = func.num_returns as u16;
+    let has_par = contains_par(&func.body);
+    let (pend, temp_base) = if has_par {
+        (
+            Some((named_count, named_count + num_returns)),
+            named_count + num_returns + 1,
+        )
+    } else {
+        (None, named_count)
+    };
+    let mut compiler = FuncCompiler {
+        code: Vec::new(),
+        names,
+        temp_base,
+        temp_next: temp_base,
+        max_regs: temp_base,
+        labels: Vec::new(),
+        field_ids,
+        func_ids: Some(func_ids),
+        pend,
+        pend_ret_label: None,
+        num_returns,
+    };
+    if has_par {
+        compiler.pend_ret_label = Some(compiler.new_label());
+    }
+    compiler.stmt(&func.body, RetCtx::Direct)?;
+    // Falling off the end returns no values (the interpreter's
+    // `unwrap_or_default`); callers then bind nothing.
+    compiler.emit(Instr::Ret { start: 0, count: 0 });
+    if let Some(label) = compiler.pend_ret_label {
+        compiler.bind(label);
+        let (pend_start, _) = compiler.pend.expect("pend window");
+        compiler.emit(Instr::Ret {
+            start: pend_start,
+            count: compiler.num_returns,
+        });
+    }
+    compiler.resolve();
+    let param_regs: Box<[u16]> = func.int_params.iter().map(|p| compiler.named(p)).collect();
+    Ok(FrameFunc {
+        code: compiler.code,
+        num_regs: compiler.max_regs,
+        param_regs,
+        num_returns,
+    })
+}
+
+/// Compiles a certified lowering's three straight-line segments.  Segments
+/// are call-free, return-free, `Par`-free and variable-free by the lowering
+/// shape check, so the compiler only needs scratch registers.
+fn compile_iterative(
+    lowering: &IterativeLowering,
+    field_ids: &HashMap<&str, u16>,
+) -> Result<IterativeFunc, CompileError> {
+    let mut compiler = FuncCompiler {
+        code: Vec::new(),
+        names: HashMap::new(),
+        temp_base: 0,
+        temp_next: 0,
+        max_regs: 0,
+        labels: Vec::new(),
+        field_ids,
+        func_ids: None,
+        pend: None,
+        pend_ret_label: None,
+        num_returns: lowering.returns.len() as u16,
+    };
+    let mut entries = [0u32; 3];
+    for (i, stmts) in [&lowering.pre, &lowering.mid, &lowering.post]
+        .into_iter()
+        .enumerate()
+    {
+        entries[i] = compiler.code.len() as u32;
+        for stmt in stmts.iter() {
+            compiler.stmt(stmt, RetCtx::Direct)?;
+        }
+        compiler.emit(Instr::EndSegment);
+    }
+    let [pre, mid, post] = entries;
+    compiler.resolve();
+    Ok(IterativeFunc {
+        code: compiler.code,
+        pre,
+        mid,
+        post,
+        first: lowering.first,
+        second: lowering.second,
+        returns: lowering.returns.clone(),
+        num_regs: compiler.max_regs,
+    })
+}

@@ -1,0 +1,181 @@
+//! Flat node-index trees: the VM's memory representation.
+//!
+//! The interpreter walks a [`ValueTree`] whose per-node fields live in a
+//! `BTreeMap<String, i64>` — every field access hashes a string.  The VM
+//! instead addresses nodes by dense `u32` index and fields by compile-time
+//! resolved column id: a [`FlatTree`] is a structure-of-arrays view (left
+//! child, right child, one `i64` column per field) built once per run from
+//! the input [`ValueTree`] and written back once at the end.
+
+use retreet_analysis::vtree::{NodeId, ValueTree};
+
+/// The nil sentinel: `u32::MAX` marks an absent child (and the nil node a
+/// callee may legally run on).
+pub const NIL: u32 = u32::MAX;
+
+/// A structure-of-arrays binary tree with integer field columns.
+#[derive(Debug, Clone)]
+pub struct FlatTree {
+    left: Vec<u32>,
+    right: Vec<u32>,
+    columns: Vec<Vec<i64>>,
+}
+
+impl FlatTree {
+    /// Builds the flat view of `tree`, with one column per name in `fields`
+    /// (column order is the caller's field-id assignment).  Unset fields
+    /// read as 0, exactly like [`ValueTree::field`].
+    pub fn from_value_tree(tree: &ValueTree, fields: &[String]) -> Self {
+        let n = tree.len();
+        let mut left = vec![NIL; n];
+        let mut right = vec![NIL; n];
+        for node in tree.nodes() {
+            let i = node.as_usize();
+            if let Some(l) = tree.left(node) {
+                left[i] = l.0;
+            }
+            if let Some(r) = tree.right(node) {
+                right[i] = r.0;
+            }
+        }
+        let columns = fields
+            .iter()
+            .map(|field| {
+                (0..n as u32)
+                    .map(|i| tree.field(NodeId(i), field))
+                    .collect()
+            })
+            .collect();
+        FlatTree {
+            left,
+            right,
+            columns,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.left.len()
+    }
+
+    /// True when the tree has no nodes (never the case for trees built from
+    /// a [`ValueTree`], which always has a root).
+    pub fn is_empty(&self) -> bool {
+        self.left.is_empty()
+    }
+
+    /// The root node index, or [`NIL`] for an empty tree.
+    pub fn root(&self) -> u32 {
+        if self.left.is_empty() {
+            NIL
+        } else {
+            0
+        }
+    }
+
+    /// Left child of `node` ([`NIL`] when absent).
+    #[inline]
+    pub fn left(&self, node: u32) -> u32 {
+        self.left[node as usize]
+    }
+
+    /// Right child of `node` ([`NIL`] when absent).
+    #[inline]
+    pub fn right(&self, node: u32) -> u32 {
+        self.right[node as usize]
+    }
+
+    /// Reads column `field` of `node`.
+    #[inline]
+    pub fn get(&self, field: u16, node: u32) -> i64 {
+        self.columns[field as usize][node as usize]
+    }
+
+    /// Writes column `field` of `node`.
+    #[inline]
+    pub fn set(&mut self, field: u16, node: u32, value: i64) {
+        self.columns[field as usize][node as usize] = value;
+    }
+
+    /// Applies the column values back onto a copy of `original` (the tree
+    /// the flat view was built from), yielding the post-run [`ValueTree`].
+    pub fn write_back(&self, original: &ValueTree, fields: &[String]) -> ValueTree {
+        let mut tree = original.clone();
+        for (column, field) in self.columns.iter().zip(fields.iter()) {
+            for (i, value) in column.iter().enumerate() {
+                tree.set_field(NodeId(i as u32), field, *value);
+            }
+        }
+        tree
+    }
+}
+
+/// Semantic tree equality: same shape and every field of every node reads
+/// the same value through [`ValueTree::field`] (which defaults unset fields
+/// to 0).  This is the equality differential tests need — the VM
+/// materializes explicit `0` entries where the interpreter leaves a field
+/// unset, so raw [`ValueTree`] equality is too strict.
+pub fn trees_agree(a: &ValueTree, b: &ValueTree) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    for node in a.nodes() {
+        if a.left(node) != b.left(node) || a.right(node) != b.right(node) {
+            return false;
+        }
+    }
+    let mut fields: Vec<String> = a
+        .field_snapshot()
+        .into_keys()
+        .chain(b.field_snapshot().into_keys())
+        .map(|(_, field)| field)
+        .collect();
+    fields.sort();
+    fields.dedup();
+    for node in a.nodes() {
+        for field in &fields {
+            if a.field(node, field) != b.field(node, field) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_view_roundtrips_fields_and_shape() {
+        let mut tree = ValueTree::single();
+        let root = tree.root();
+        let l = tree.add_left(root);
+        tree.set_field(root, "v", 7);
+        tree.set_field(l, "v", -3);
+        let fields = vec!["v".to_string(), "w".to_string()];
+        let mut flat = FlatTree::from_value_tree(&tree, &fields);
+        assert_eq!(flat.len(), 2);
+        assert_eq!(flat.left(0), 1);
+        assert_eq!(flat.right(0), NIL);
+        assert_eq!(flat.get(0, 0), 7);
+        assert_eq!(flat.get(1, 1), 0, "unset fields read 0");
+        flat.set(1, 0, 42);
+        let back = flat.write_back(&tree, &fields);
+        assert_eq!(back.field(root, "w"), 42);
+        assert_eq!(back.field(l, "v"), -3);
+        assert!(trees_agree(&back, &back));
+    }
+
+    #[test]
+    fn trees_agree_is_semantic_not_structural() {
+        let a = ValueTree::single();
+        let mut b = ValueTree::single();
+        b.set_field(b.root(), "v", 0);
+        // Raw equality differs (explicit 0 entry), semantic equality holds.
+        assert_ne!(a, b);
+        assert!(trees_agree(&a, &b));
+        b.set_field(b.root(), "v", 1);
+        assert!(!trees_agree(&a, &b));
+    }
+}

@@ -1,0 +1,355 @@
+//! Certified iterative lowering: recursion → explicit-worklist loop.
+//!
+//! A self-recursive traversal of the shape
+//!
+//! ```text
+//! fn F(n) {
+//!     if (nil(n)) { return c₁, …, cₖ; }
+//!     else {
+//!         ⟨pre⟩                  // straight-line work on n
+//!         r… = F(n.d₁);
+//!         ⟨mid⟩
+//!         r… = F(n.d₂);          // d₂ ≠ d₁
+//!         ⟨post⟩
+//!         return c₁, …, cₖ;      // same constants as the nil arm
+//!     }
+//! }
+//! ```
+//!
+//! is equivalent to a depth-first loop over an explicit worklist — no call
+//! stack, no per-activation environment.  [`lower_function`] recognizes the
+//! shape; the lowering is **never trusted**: [`certify_lowering`]
+//! reconstructs a recursive function from the lowering's own pieces and asks
+//! the verifier for an equivalence verdict between the original program and
+//! the reconstruction (translation validation).  Only a positive verdict
+//! lets the compiler emit the iterative form; a refusal carries the
+//! verifier's concrete counterexample.
+
+use std::fmt;
+
+use retreet_lang::ast::{
+    AExpr, Assign, BExpr, Block, BlockKind, CallBlock, Dir, Func, Ident, NodeRef, Program, Stmt,
+    StraightBlock,
+};
+use retreet_lang::rewrite::{flatten_seq, normalize_program};
+use retreet_verify::{Query, Verdict, Verifier, VerifyError};
+
+/// A recognized (not yet certified) iterative form of one function.
+#[derive(Debug, Clone)]
+pub struct IterativeLowering {
+    /// The lowered function's name.
+    pub func: Ident,
+    /// The constants both return sites yield.
+    pub returns: Vec<i64>,
+    /// Direction of the first recursive call.
+    pub first: Dir,
+    /// Direction of the second recursive call.
+    pub second: Dir,
+    /// Result variables of the first call (dead in the lowered form — the
+    /// callee returns constants — but needed to reconstruct the recursion).
+    pub first_results: Vec<Ident>,
+    /// Result variables of the second call.
+    pub second_results: Vec<Ident>,
+    /// Straight-line work before the first call.
+    pub pre: Vec<Stmt>,
+    /// Straight-line work between the calls.
+    pub mid: Vec<Stmt>,
+    /// Straight-line work after the second call.
+    pub post: Vec<Stmt>,
+}
+
+/// The verifier's receipt for one lowering: the equivalence verdict between
+/// the original program and the recursive reconstruction of the iterative
+/// form.  Carried by every [`crate::bytecode::CompiledProgram`] that runs a
+/// worklist loop.
+#[derive(Debug, Clone)]
+pub struct LoweringCertificate {
+    /// The lowered function.
+    pub func: Ident,
+    /// The (positive) equivalence verdict.
+    pub verdict: Verdict,
+}
+
+/// Why a recognized lowering was refused the fast form.
+#[derive(Debug)]
+pub enum LoweringError {
+    /// The verifier answered, and the answer was *not equivalent* — the
+    /// verdict carries the concrete counterexample (tree + valuation on
+    /// which the reconstruction disagrees with the original).
+    Rejected {
+        /// The function whose lowering was refused.
+        func: Ident,
+        /// The refusing verdict (outcome is `NotEquivalent`).
+        verdict: Box<Verdict>,
+    },
+    /// The verifier could not answer the equivalence query at all.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for LoweringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoweringError::Rejected { func, verdict } => {
+                write!(
+                    f,
+                    "iterative lowering of `{func}` refused: reconstruction is not \
+                     equivalent to the original"
+                )?;
+                if let Some(ce) = verdict.counterexample() {
+                    write!(f, " (counterexample: {ce:?})")?;
+                }
+                Ok(())
+            }
+            LoweringError::Verify(err) => write!(f, "lowering certification failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for LoweringError {}
+
+/// Recognizes the lowerable shape of `func`, if it has one.  Returning
+/// `Some` is only a *candidate* — it grants nothing until
+/// [`certify_lowering`] produces a positive verdict.
+pub fn lower_function(func: &Func) -> Option<IterativeLowering> {
+    if !func.int_params.is_empty() {
+        return None;
+    }
+    // Body must be exactly `if (nil(n)) { return consts } else { … }`.
+    let items = flatten_seq(&func.body);
+    let [Stmt::If(BExpr::IsNil(NodeRef::Cur), then_branch, else_branch)] = items.as_slice() else {
+        return None;
+    };
+    let nil_returns = const_return(then_branch)?;
+    if nil_returns.len() != func.num_returns {
+        return None;
+    }
+
+    let else_items = flatten_seq(else_branch);
+    // Exactly two top-level self-recursive calls, no other calls anywhere.
+    let call_positions: Vec<usize> = else_items
+        .iter()
+        .enumerate()
+        .filter(|(_, item)| contains_call(item))
+        .map(|(i, _)| i)
+        .collect();
+    let [i1, i2] = call_positions.as_slice() else {
+        return None;
+    };
+    let (first, first_results) = self_call(&else_items[*i1], func)?;
+    let (second, second_results) = self_call(&else_items[*i2], func)?;
+    if first == second {
+        return None;
+    }
+
+    let pre = else_items[..*i1].to_vec();
+    let mid = else_items[*i1 + 1..*i2].to_vec();
+    let mut post = else_items[*i2 + 1..].to_vec();
+    // The last item must be the constant return, matching the nil arm.
+    let ret_item = post.pop()?;
+    let Stmt::Block(block) = &ret_item else {
+        return None;
+    };
+    let BlockKind::Straight(straight) = &block.kind else {
+        return None;
+    };
+    let exit_returns: Vec<i64> = straight
+        .ret
+        .as_ref()?
+        .iter()
+        .map(|e| match e {
+            AExpr::Const(v) => Some(*v),
+            _ => None,
+        })
+        .collect::<Option<_>>()?;
+    if exit_returns != nil_returns {
+        return None;
+    }
+    if !straight.assigns.is_empty() {
+        // Keep the trailing assignments (without the return) in `post`.
+        post.push(Stmt::Block(Block::straight(StraightBlock {
+            assigns: straight.assigns.clone(),
+            ret: None,
+        })));
+    }
+
+    // Segments must be pure traversal work: no calls (already checked), no
+    // returns, no `Par`, and no variables (reads or writes) — the worklist
+    // loop has no per-node environment to keep them in.
+    for segment in [&pre, &mid, &post] {
+        if !segment.iter().all(segment_ok) {
+            return None;
+        }
+    }
+
+    Some(IterativeLowering {
+        func: func.name.clone(),
+        returns: nil_returns,
+        first,
+        second,
+        first_results,
+        second_results,
+        pre,
+        mid,
+        post,
+    })
+}
+
+/// Rebuilds a *recursive* function from the lowering's pieces and returns
+/// the whole program with that function swapped in (normalized).  This is
+/// the subject the verifier compares against the original: if the shape
+/// recognizer mis-sliced the function, the reconstruction differs and the
+/// equivalence query refuses the lowering.
+pub fn reconstruct_recursive(program: &Program, lowering: &IterativeLowering) -> Program {
+    let ret_consts: Vec<AExpr> = lowering.returns.iter().map(|v| AExpr::Const(*v)).collect();
+    let call = |dir: Dir, results: &[Ident]| {
+        Stmt::Block(Block::call(CallBlock {
+            results: results.to_vec(),
+            callee: lowering.func.clone(),
+            target: NodeRef::Child(dir),
+            args: Vec::new(),
+        }))
+    };
+    let mut else_items = lowering.pre.clone();
+    else_items.push(call(lowering.first, &lowering.first_results));
+    else_items.extend(lowering.mid.iter().cloned());
+    else_items.push(call(lowering.second, &lowering.second_results));
+    else_items.extend(lowering.post.iter().cloned());
+    else_items.push(Stmt::Block(Block::straight(StraightBlock::ret(
+        ret_consts.clone(),
+    ))));
+    let body = Stmt::if_else(
+        BExpr::IsNil(NodeRef::Cur),
+        Stmt::Block(Block::straight(StraightBlock::ret(ret_consts))),
+        Stmt::Seq(else_items),
+    );
+    let funcs = program
+        .funcs
+        .iter()
+        .map(|f| {
+            if f.name == lowering.func {
+                Func {
+                    name: f.name.clone(),
+                    loc_param: f.loc_param.clone(),
+                    int_params: Vec::new(),
+                    num_returns: lowering.returns.len(),
+                    body: body.clone(),
+                }
+            } else {
+                f.clone()
+            }
+        })
+        .collect();
+    normalize_program(&Program::new(funcs))
+}
+
+/// Asks the verifier whether the recursive reconstruction of `lowering` is
+/// equivalent to `program`.  A positive verdict yields the certificate the
+/// compiled program will carry; a negative one refuses the fast form with
+/// the verifier's counterexample attached.
+pub fn certify_lowering(
+    verifier: &Verifier,
+    program: &Program,
+    lowering: &IterativeLowering,
+) -> Result<LoweringCertificate, LoweringError> {
+    let reconstructed = reconstruct_recursive(program, lowering);
+    let normalized = normalize_program(program);
+    match verifier.verify(Query::Equivalence(&normalized, &reconstructed)) {
+        Ok(verdict) if verdict.is_equivalent() => Ok(LoweringCertificate {
+            func: lowering.func.clone(),
+            verdict,
+        }),
+        Ok(verdict) => Err(LoweringError::Rejected {
+            func: lowering.func.clone(),
+            verdict: Box::new(verdict),
+        }),
+        Err(err) => Err(LoweringError::Verify(err)),
+    }
+}
+
+/// `Some(consts)` when the statement is exactly `return c₁, …, cₖ` with all
+/// constants and no assignments.
+fn const_return(stmt: &Stmt) -> Option<Vec<i64>> {
+    let items = flatten_seq(stmt);
+    let [Stmt::Block(block)] = items.as_slice() else {
+        return None;
+    };
+    let BlockKind::Straight(straight) = &block.kind else {
+        return None;
+    };
+    if !straight.assigns.is_empty() {
+        return None;
+    }
+    straight
+        .ret
+        .as_ref()?
+        .iter()
+        .map(|e| match e {
+            AExpr::Const(v) => Some(*v),
+            _ => None,
+        })
+        .collect()
+}
+
+/// `Some((dir, results))` when the statement is a zero-argument
+/// self-recursive call on a child of the current node.
+fn self_call(stmt: &Stmt, func: &Func) -> Option<(Dir, Vec<Ident>)> {
+    let Stmt::Block(block) = stmt else {
+        return None;
+    };
+    let BlockKind::Call(call) = &block.kind else {
+        return None;
+    };
+    if call.callee != func.name || !call.args.is_empty() {
+        return None;
+    }
+    let NodeRef::Child(dir) = call.target else {
+        return None;
+    };
+    Some((dir, call.results.clone()))
+}
+
+fn contains_call(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::Block(block) => matches!(block.kind, BlockKind::Call(_)),
+        Stmt::If(_, a, b) => contains_call(a) || contains_call(b),
+        Stmt::Seq(items) | Stmt::Par(items) => items.iter().any(contains_call),
+    }
+}
+
+/// True when the statement is valid traversal-segment work: straight-line
+/// field reads/writes and conditionals only — no calls, no returns, no
+/// `Par`, no variables.
+fn segment_ok(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::Block(block) => match &block.kind {
+            BlockKind::Call(_) => false,
+            BlockKind::Straight(straight) => {
+                straight.ret.is_none()
+                    && straight.assigns.iter().all(|assign| match assign {
+                        Assign::SetVar(..) => false,
+                        Assign::SetField(_, _, value) => var_free(value),
+                    })
+            }
+        },
+        Stmt::If(cond, a, b) => cond_var_free(cond) && segment_ok(a) && segment_ok(b),
+        Stmt::Seq(items) => items.iter().all(segment_ok),
+        Stmt::Par(_) => false,
+    }
+}
+
+fn var_free(expr: &AExpr) -> bool {
+    match expr {
+        AExpr::Const(_) | AExpr::Field(_, _) => true,
+        AExpr::Var(_) => false,
+        AExpr::Add(a, b) | AExpr::Sub(a, b) => var_free(a) && var_free(b),
+    }
+}
+
+fn cond_var_free(cond: &BExpr) -> bool {
+    match cond {
+        BExpr::True | BExpr::IsNil(_) => true,
+        BExpr::Gt(expr) => var_free(expr),
+        BExpr::Not(inner) => cond_var_free(inner),
+        BExpr::And(a, b) => cond_var_free(a) && cond_var_free(b),
+    }
+}

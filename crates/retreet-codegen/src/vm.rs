@@ -1,0 +1,514 @@
+//! The stack-free bytecode VM.
+//!
+//! Activations are pooled `Frame` records over one shared register arena —
+//! no per-call `HashMap` environment, no `String` field lookups, no trace
+//! recording.  Certified iterative lowerings bypass frames entirely: the VM
+//! drains an explicit `(node, phase)` worklist, running the lowered
+//! function's three straight-line segments around each subtree.
+//!
+//! Semantics match [`retreet_analysis::interp`] instruction-for-instruction:
+//! wrapping `i64` arithmetic, unset variables reading 0, child selectors of
+//! a nil node resolving to nil (so `nil(n.l)` on a leaf is just true, and a
+//! call targeting `n.l` runs its callee on the nil node), nil field access
+//! failing, and the same `MAX_DEPTH` recursion guard for frame-based code.
+//! Worklist execution has no recursion and therefore no depth limit — which
+//! is part of what the lowering's equivalence certificate buys.
+
+use std::fmt;
+
+use retreet_analysis::vtree::ValueTree;
+use retreet_lang::ast::Dir;
+
+use crate::bytecode::{CompiledProgram, FuncCode, Instr, IterativeFunc, NodeSel};
+use crate::flat::{FlatTree, NIL};
+
+/// Maximum live frames, matching the interpreter's recursion guard.
+pub const MAX_DEPTH: usize = 10_000;
+
+/// A runtime failure (the VM's mirror of the interpreter's errors; compile
+/// errors like unknown callees are caught earlier, at compile time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// A field access on the nil node.
+    NilDereference,
+    /// More than [`MAX_DEPTH`] nested frame-based calls.
+    DepthExceeded,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::NilDereference => write!(f, "field access on nil node"),
+            VmError::DepthExceeded => {
+                write!(f, "recursion depth exceeded {MAX_DEPTH}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// The outcome of a run: `Main`'s return values and the post-run tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmResult {
+    /// Values returned by `Main`.
+    pub returns: Vec<i64>,
+    /// The tree after all field writes.
+    pub tree: ValueTree,
+}
+
+/// One pooled activation record.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    /// Function index.
+    func: u16,
+    /// The node this activation runs on ([`NIL`] is legal).
+    node: u32,
+    /// Resume pc (saved across calls).
+    pc: u32,
+    /// First register of this activation's window.
+    base: u32,
+}
+
+/// A reusable virtual machine.  All working storage (register arena, frame
+/// stack, worklist, return buffer) is pooled and reused across runs, so a
+/// long-lived `Vm` allocates only while growing to its high-water mark.
+#[derive(Debug, Default)]
+pub struct Vm {
+    regs: Vec<i64>,
+    frames: Vec<Frame>,
+    work: Vec<(u32, u8)>,
+    retbuf: Vec<i64>,
+}
+
+/// Compiles nothing, runs one program on one tree: convenience wrapper
+/// around a throwaway [`Vm`].
+pub fn run_program(program: &CompiledProgram, tree: &ValueTree) -> Result<VmResult, VmError> {
+    Vm::new().run(program, tree)
+}
+
+impl Vm {
+    /// A fresh VM with empty pools.
+    pub fn new() -> Self {
+        Vm::default()
+    }
+
+    /// Runs `program` on `tree`: flattens the tree, executes, writes the
+    /// field columns back.
+    pub fn run(
+        &mut self,
+        program: &CompiledProgram,
+        tree: &ValueTree,
+    ) -> Result<VmResult, VmError> {
+        let mut flat = FlatTree::from_value_tree(tree, &program.fields);
+        let returns = self.run_flat(program, &mut flat)?;
+        Ok(VmResult {
+            returns,
+            tree: flat.write_back(tree, &program.fields),
+        })
+    }
+
+    /// Runs `program` directly on an already-flattened tree (mutated in
+    /// place), returning `Main`'s values.  This is the allocation-light path
+    /// benchmarks and batch runners use.
+    pub fn run_flat(
+        &mut self,
+        program: &CompiledProgram,
+        tree: &mut FlatTree,
+    ) -> Result<Vec<i64>, VmError> {
+        self.regs.clear();
+        self.frames.clear();
+        self.work.clear();
+        let root = tree.root();
+        match &program.funcs[program.main as usize] {
+            FuncCode::Iterative(lowered) => {
+                self.run_iterative(lowered, tree, root)?;
+                return Ok(lowered.returns.clone());
+            }
+            FuncCode::Frames(main) => {
+                self.regs.resize(main.num_regs as usize, 0);
+                self.frames.push(Frame {
+                    func: program.main,
+                    node: root,
+                    pc: 0,
+                    base: 0,
+                });
+            }
+        }
+        'dispatch: loop {
+            let fi = self.frames.len() - 1;
+            let frame = self.frames[fi];
+            let FuncCode::Frames(func) = &program.funcs[frame.func as usize] else {
+                unreachable!("frame pushed for iterative function");
+            };
+            let base = frame.base as usize;
+            let mut pc = frame.pc as usize;
+            loop {
+                let instr = &func.code[pc];
+                pc += 1;
+                match instr {
+                    Instr::Const { dst, value } => self.regs[base + *dst as usize] = *value,
+                    Instr::Copy { dst, src } => {
+                        self.regs[base + *dst as usize] = self.regs[base + *src as usize]
+                    }
+                    Instr::Add { dst, a, b } => {
+                        self.regs[base + *dst as usize] = self.regs[base + *a as usize]
+                            .wrapping_add(self.regs[base + *b as usize])
+                    }
+                    Instr::Sub { dst, a, b } => {
+                        self.regs[base + *dst as usize] = self.regs[base + *a as usize]
+                            .wrapping_sub(self.regs[base + *b as usize])
+                    }
+                    Instr::Load { dst, node, field } => {
+                        let n = resolve(tree, frame.node, *node);
+                        if n == NIL {
+                            return Err(VmError::NilDereference);
+                        }
+                        self.regs[base + *dst as usize] = tree.get(*field, n);
+                    }
+                    Instr::Store { node, field, src } => {
+                        let n = resolve(tree, frame.node, *node);
+                        if n == NIL {
+                            return Err(VmError::NilDereference);
+                        }
+                        tree.set(*field, n, self.regs[base + *src as usize]);
+                    }
+                    Instr::Jump { target } => pc = *target as usize,
+                    Instr::JumpIfNil { node, target } => {
+                        if resolve(tree, frame.node, *node) == NIL {
+                            pc = *target as usize;
+                        }
+                    }
+                    Instr::JumpIfPos { src, target } => {
+                        if self.regs[base + *src as usize] > 0 {
+                            pc = *target as usize;
+                        }
+                    }
+                    Instr::Call {
+                        func: callee,
+                        target,
+                        args_start,
+                        num_args,
+                        results,
+                    } => {
+                        let node = resolve(tree, frame.node, *target);
+                        match &program.funcs[*callee as usize] {
+                            FuncCode::Iterative(lowered) => {
+                                // A certified lowering returns constants;
+                                // run the loop, scatter them (zip).
+                                self.run_iterative(lowered, tree, node)?;
+                                let k = results.len().min(lowered.returns.len());
+                                for i in 0..k {
+                                    self.regs[base + results[i] as usize] = lowered.returns[i];
+                                }
+                            }
+                            FuncCode::Frames(callee_func) => {
+                                if self.frames.len() >= MAX_DEPTH {
+                                    return Err(VmError::DepthExceeded);
+                                }
+                                self.frames[fi].pc = pc as u32;
+                                let new_base = self.regs.len();
+                                self.regs
+                                    .resize(new_base + callee_func.num_regs as usize, 0);
+                                let k = (*num_args as usize).min(callee_func.param_regs.len());
+                                for i in 0..k {
+                                    self.regs[new_base + callee_func.param_regs[i] as usize] =
+                                        self.regs[base + *args_start as usize + i];
+                                }
+                                self.frames.push(Frame {
+                                    func: *callee,
+                                    node,
+                                    pc: 0,
+                                    base: new_base as u32,
+                                });
+                                continue 'dispatch;
+                            }
+                        }
+                    }
+                    Instr::Ret { start, count } => {
+                        self.retbuf.clear();
+                        for i in 0..*count as usize {
+                            self.retbuf.push(self.regs[base + *start as usize + i]);
+                        }
+                        self.regs.truncate(base);
+                        self.frames.pop();
+                        let Some(caller) = self.frames.last().copied() else {
+                            return Ok(self.retbuf.clone());
+                        };
+                        let FuncCode::Frames(caller_func) = &program.funcs[caller.func as usize]
+                        else {
+                            unreachable!("frame pushed for iterative function");
+                        };
+                        // The caller's saved pc points just past its Call
+                        // instruction, which carries the result registers.
+                        let Instr::Call { results, .. } = &caller_func.code[caller.pc as usize - 1]
+                        else {
+                            unreachable!("resume pc does not follow a call");
+                        };
+                        let caller_base = caller.base as usize;
+                        let k = results.len().min(self.retbuf.len());
+                        for i in 0..k {
+                            self.regs[caller_base + results[i] as usize] = self.retbuf[i];
+                        }
+                        continue 'dispatch;
+                    }
+                    Instr::EndSegment => unreachable!("EndSegment in frame code"),
+                }
+            }
+        }
+    }
+
+    /// Runs a lowered function on the subtree rooted at `start` by draining
+    /// an explicit worklist: phase 0 runs the pre-segment and descends into
+    /// the first child, phase 1 runs the mid-segment and descends into the
+    /// second, phase 2 runs the post-segment.  Recursing into nil is a
+    /// no-op (the recursive original would return its constants, which the
+    /// lowered shape never reads).
+    fn run_iterative(
+        &mut self,
+        lowered: &IterativeFunc,
+        tree: &mut FlatTree,
+        start: u32,
+    ) -> Result<(), VmError> {
+        if start == NIL {
+            return Ok(());
+        }
+        let base = self.regs.len();
+        self.regs.resize(base + lowered.num_regs as usize, 0);
+        let work_base = self.work.len();
+        self.work.push((start, 0));
+        let result = self.drain(lowered, tree, base, work_base);
+        self.work.truncate(work_base);
+        self.regs.truncate(base);
+        result
+    }
+
+    fn drain(
+        &mut self,
+        lowered: &IterativeFunc,
+        tree: &mut FlatTree,
+        base: usize,
+        work_base: usize,
+    ) -> Result<(), VmError> {
+        while self.work.len() > work_base {
+            let (node, phase) = self.work.pop().expect("non-empty worklist");
+            match phase {
+                0 => {
+                    self.segment(lowered, lowered.pre as usize, tree, node, base)?;
+                    self.work.push((node, 1));
+                    let child = child_of(tree, node, lowered.first);
+                    if child != NIL {
+                        self.work.push((child, 0));
+                    }
+                }
+                1 => {
+                    self.segment(lowered, lowered.mid as usize, tree, node, base)?;
+                    self.work.push((node, 2));
+                    let child = child_of(tree, node, lowered.second);
+                    if child != NIL {
+                        self.work.push((child, 0));
+                    }
+                }
+                _ => self.segment(lowered, lowered.post as usize, tree, node, base)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one straight-line segment (from `pc` to its `EndSegment`)
+    /// with `node` as the current node.
+    fn segment(
+        &mut self,
+        lowered: &IterativeFunc,
+        mut pc: usize,
+        tree: &mut FlatTree,
+        node: u32,
+        base: usize,
+    ) -> Result<(), VmError> {
+        loop {
+            let instr = &lowered.code[pc];
+            pc += 1;
+            match instr {
+                Instr::Const { dst, value } => self.regs[base + *dst as usize] = *value,
+                Instr::Copy { dst, src } => {
+                    self.regs[base + *dst as usize] = self.regs[base + *src as usize]
+                }
+                Instr::Add { dst, a, b } => {
+                    self.regs[base + *dst as usize] =
+                        self.regs[base + *a as usize].wrapping_add(self.regs[base + *b as usize])
+                }
+                Instr::Sub { dst, a, b } => {
+                    self.regs[base + *dst as usize] =
+                        self.regs[base + *a as usize].wrapping_sub(self.regs[base + *b as usize])
+                }
+                Instr::Load {
+                    dst,
+                    node: sel,
+                    field,
+                } => {
+                    let n = resolve(tree, node, *sel);
+                    if n == NIL {
+                        return Err(VmError::NilDereference);
+                    }
+                    self.regs[base + *dst as usize] = tree.get(*field, n);
+                }
+                Instr::Store {
+                    node: sel,
+                    field,
+                    src,
+                } => {
+                    let n = resolve(tree, node, *sel);
+                    if n == NIL {
+                        return Err(VmError::NilDereference);
+                    }
+                    tree.set(*field, n, self.regs[base + *src as usize]);
+                }
+                Instr::Jump { target } => pc = *target as usize,
+                Instr::JumpIfNil { node: sel, target } => {
+                    if resolve(tree, node, *sel) == NIL {
+                        pc = *target as usize;
+                    }
+                }
+                Instr::JumpIfPos { src, target } => {
+                    if self.regs[base + *src as usize] > 0 {
+                        pc = *target as usize;
+                    }
+                }
+                Instr::EndSegment => return Ok(()),
+                Instr::Call { .. } | Instr::Ret { .. } => {
+                    unreachable!("call/ret in lowered segment")
+                }
+            }
+        }
+    }
+}
+
+/// Resolves a node selector against the current node: a child selector on
+/// the nil node resolves to nil without error, like the interpreter.
+#[inline]
+fn resolve(tree: &FlatTree, node: u32, sel: NodeSel) -> u32 {
+    match sel {
+        NodeSel::Cur => node,
+        NodeSel::Left => {
+            if node == NIL {
+                NIL
+            } else {
+                tree.left(node)
+            }
+        }
+        NodeSel::Right => {
+            if node == NIL {
+                NIL
+            } else {
+                tree.right(node)
+            }
+        }
+    }
+}
+
+#[inline]
+fn child_of(tree: &FlatTree, node: u32, dir: Dir) -> u32 {
+    match dir {
+        Dir::Left => tree.left(node),
+        Dir::Right => tree.right(node),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retreet_analysis::interp;
+    use retreet_lang::parser::parse_program;
+
+    fn check_against_interp(source: &str, tree: &ValueTree) {
+        let program = parse_program(source).expect("parse");
+        let compiled = crate::compile::compile(&program).expect("compile");
+        let expected = interp::run(&program, tree);
+        let actual = run_program(&compiled, tree);
+        match (expected, actual) {
+            (Ok(exp), Ok(act)) => {
+                assert_eq!(exp.returns, act.returns, "returns differ");
+                assert!(
+                    crate::flat::trees_agree(&exp.tree, &act.tree),
+                    "trees differ"
+                );
+            }
+            (Err(_), Err(_)) => {}
+            (exp, act) => panic!("outcome mismatch: interp={exp:?} vm={act:?}"),
+        }
+    }
+
+    #[test]
+    fn sums_values_like_the_interpreter() {
+        let source = r#"
+            fn Sum(n) {
+                if (n == nil) { return 0; }
+                else {
+                    a = Sum(n.l);
+                    b = Sum(n.r);
+                    return a + b + n.v;
+                }
+            }
+            fn Main(n) {
+                s = Sum(n);
+                return s;
+            }
+        "#;
+        let mut tree = ValueTree::complete(4, &["v"], |_, _| 1);
+        tree.fill_fields(&["v"], 7);
+        check_against_interp(source, &tree);
+    }
+
+    #[test]
+    fn par_last_return_wins_and_all_branches_run() {
+        let source = r#"
+            fn Main(n) {
+                {
+                    n.a = 1;
+                    return 10;
+                    ||
+                    n.b = 2;
+                    return 20;
+                }
+                return 0;
+            }
+        "#;
+        let program = parse_program(source).expect("parse");
+        let compiled = crate::compile::compile(&program).expect("compile");
+        let tree = ValueTree::single();
+        let exp = interp::run(&program, &tree).expect("interp");
+        let act = run_program(&compiled, &tree).expect("vm");
+        assert_eq!(exp.returns, act.returns);
+        assert_eq!(act.returns, vec![20], "last returning branch wins");
+        assert_eq!(act.tree.field(act.tree.root(), "a"), 1, "both branches ran");
+        check_against_interp(source, &tree);
+    }
+
+    #[test]
+    fn nil_dereference_matches_interpreter() {
+        let source = r#"
+            fn Main(n) {
+                x = n.l.v;
+                return x;
+            }
+        "#;
+        let tree = ValueTree::single();
+        let program = parse_program(source).expect("parse");
+        let compiled = crate::compile::compile(&program).expect("compile");
+        assert!(matches!(
+            run_program(&compiled, &tree),
+            Err(VmError::NilDereference)
+        ));
+        check_against_interp(source, &tree);
+    }
+
+    #[test]
+    fn unset_variables_read_zero() {
+        let source = r#"
+            fn Main(n) {
+                return x + 1;
+            }
+        "#;
+        check_against_interp(source, &ValueTree::single());
+    }
+}

@@ -407,20 +407,42 @@ pub fn inline_call(program: &Program, call: &CallBlock) -> Result<Vec<Stmt>, Rew
         ));
     }
     // Substitution environment: parameters → argument expressions.  Locals
-    // assigned inside the body are forwarded through the environment too, so
-    // the inlined block needs no fresh temporaries.
-    let mut env: HashMap<Ident, AExpr> = callee
-        .int_params
+    // assigned inside the body are forwarded through the environment so the
+    // common read-only case needs no fresh temporaries — but an entry whose
+    // expression *reads a field* must not be forwarded lazily past a later
+    // field write (the forwarded expression would re-read the field and see
+    // the after-write value).  When the callee body writes any field, such
+    // entries are materialized into emitted temporaries at their original
+    // position, pinning the before-write value.
+    let body_writes_fields = straight
+        .assigns
         .iter()
-        .cloned()
-        .zip(call.args.iter().cloned())
-        .collect();
+        .any(|a| matches!(a, Assign::SetField(..)));
+    let mut used: HashSet<Ident> = program.funcs.iter().flat_map(local_names).collect();
+    let mut env: HashMap<Ident, AExpr> = HashMap::new();
     let mut assigns: Vec<Assign> = Vec::new();
+    for (param, arg) in callee.int_params.iter().zip(call.args.iter()) {
+        let bound = if body_writes_fields && reads_field(arg) {
+            let name = fresh_name(param, &mut used);
+            assigns.push(Assign::SetVar(name.clone(), arg.clone()));
+            AExpr::Var(name)
+        } else {
+            arg.clone()
+        };
+        env.insert(param.clone(), bound);
+    }
     for assign in &straight.assigns {
         match assign {
             Assign::SetVar(var, value) => {
                 let substituted = subst_aexpr(value, &env, call.target)?;
-                env.insert(var.clone(), substituted);
+                let bound = if body_writes_fields && reads_field(&substituted) {
+                    let name = fresh_name(var, &mut used);
+                    assigns.push(Assign::SetVar(name.clone(), substituted));
+                    AExpr::Var(name)
+                } else {
+                    substituted
+                };
+                env.insert(var.clone(), bound);
             }
             Assign::SetField(node, field, value) => {
                 let substituted = subst_aexpr(value, &env, call.target)?;
@@ -437,6 +459,16 @@ pub fn inline_call(program: &Program, call: &CallBlock) -> Result<Vec<Stmt>, Rew
         assigns,
         ret: None,
     }))])
+}
+
+/// True when the expression reads any tree field (and is therefore
+/// sensitive to being re-evaluated after a field write).
+fn reads_field(expr: &AExpr) -> bool {
+    match expr {
+        AExpr::Const(_) | AExpr::Var(_) => false,
+        AExpr::Field(_, _) => true,
+        AExpr::Add(a, b) | AExpr::Sub(a, b) => reads_field(a) || reads_field(b),
+    }
 }
 
 fn retarget(node: NodeRef, target: NodeRef) -> Result<NodeRef, RewriteError> {
@@ -701,5 +733,94 @@ mod tests {
             .unwrap()
             .clone();
         assert!(inline_call(&grandchild, &call).is_err());
+    }
+
+    #[test]
+    fn inline_materializes_field_reads_before_later_writes() {
+        // The callee reads `n.v` *before* overwriting it; the inlined block
+        // must pin the before-write value in a temporary instead of lazily
+        // forwarding the field read past the write.
+        let program = parse_program(
+            r#"
+            fn Bump(n) {
+                t = n.v;
+                n.v = 5;
+                return t;
+            }
+            fn Main(n) {
+                x = Bump(n);
+                return x;
+            }
+        "#,
+        )
+        .unwrap();
+        let call = program.main().unwrap().blocks()[0]
+            .as_call()
+            .unwrap()
+            .clone();
+        let inlined = inline_call(&program, &call).expect("inlinable");
+        let Stmt::Block(block) = &inlined[0] else {
+            panic!("expected block");
+        };
+        let straight = block.as_straight().unwrap();
+        // Temporary read, field write, result bound to the temporary.
+        assert_eq!(straight.assigns.len(), 3);
+        let Assign::SetVar(tmp, AExpr::Field(NodeRef::Cur, field)) = &straight.assigns[0] else {
+            panic!("expected a materialized field read, got {straight:?}");
+        };
+        assert_eq!(field, "v");
+        assert_ne!(
+            tmp, "x",
+            "the temporary must not collide with caller locals"
+        );
+        assert_eq!(
+            straight.assigns[1],
+            Assign::SetField(NodeRef::Cur, "v".into(), AExpr::Const(5))
+        );
+        assert_eq!(
+            straight.assigns[2],
+            Assign::SetVar("x".into(), AExpr::Var(tmp.clone()))
+        );
+    }
+
+    #[test]
+    fn inline_materializes_field_reading_arguments_past_writes() {
+        // The argument `n.v` is evaluated caller-side before the call; a
+        // callee that writes `n.v` must still see the original argument.
+        let program = parse_program(
+            r#"
+            fn Stash(n, k) {
+                n.v = 0;
+                return k;
+            }
+            fn Main(n) {
+                x = Stash(n, n.v);
+                return x;
+            }
+        "#,
+        )
+        .unwrap();
+        let call = program.main().unwrap().blocks()[0]
+            .as_call()
+            .unwrap()
+            .clone();
+        let inlined = inline_call(&program, &call).expect("inlinable");
+        let Stmt::Block(block) = &inlined[0] else {
+            panic!("expected block");
+        };
+        let straight = block.as_straight().unwrap();
+        assert_eq!(straight.assigns.len(), 3);
+        let Assign::SetVar(tmp, AExpr::Field(NodeRef::Cur, field)) = &straight.assigns[0] else {
+            panic!("expected a materialized argument read, got {straight:?}");
+        };
+        assert_eq!(field, "v");
+        assert_eq!(
+            straight.assigns[1],
+            Assign::SetField(NodeRef::Cur, "v".into(), AExpr::Const(0))
+        );
+        assert_eq!(
+            straight.assigns[2],
+            Assign::SetVar("x".into(), AExpr::Var(tmp.clone()))
+        );
     }
 }

@@ -11,7 +11,12 @@
 //! * [`verified`] — capability types ([`verified::VerifiedFusion`],
 //!   [`verified::VerifiedParallelization`]) that are only constructible
 //!   from a `retreet-transform` certificate of the right kind, tying the
-//!   verifier's verdicts to the schedules that rely on them.
+//!   verifier's verdicts to the schedules that rely on them,
+//! * [`exec`] — tiered execution of Retreet programs proper: a
+//!   [`exec::ProgramExecutor`] compiles a program to `retreet-codegen`
+//!   bytecode (with certified iterative lowering when built from a
+//!   verifier) and runs it on the VM, keeping the reference interpreter as
+//!   the fallback tier and differential baseline.
 //!
 //! # Example
 //!
@@ -31,10 +36,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod tree;
 pub mod verified;
 pub mod visit;
 
+pub use exec::{
+    run_compiled, run_compiled_certified, ExecError, ExecOutcome, ExecTier, ProgramExecutor,
+};
 pub use tree::{complete_tree, random_tree, TreeNode};
 pub use verified::{TransformError, VerifiedFusion, VerifiedParallelization};
 pub use visit::{

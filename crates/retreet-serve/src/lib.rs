@@ -21,7 +21,14 @@
 //! * `validity` — `formula` (the s-expression syntax of [`formula`]).
 //! * `batch` — `queries`: an array of the above; answered through
 //!   [`Verifier::verify_batch`], results in input order.
-//! * `stats` — cache and serving counters of the shared verifier.
+//! * `run` — `program` plus optional `height` (complete-tree height, default
+//!   6, capped) and `seed` (field valuation); *executes* the program through
+//!   the `retreet-runtime` compiled tier (bytecode VM with certified
+//!   iterative lowering, interpreter fallback) and answers with the returned
+//!   values, the executing tier and the certified-lowered functions.
+//!   Executors are compiled once per distinct source and cached.
+//! * `stats` — cache and serving counters of the shared verifier, plus the
+//!   codegen tier's compile/execute counters.
 //!
 //! Every verdict response carries the engine provenance, the soundness
 //! caveat, and the `cached` / `coalesced` serving flags, so a client can
@@ -38,14 +45,17 @@
 pub mod formula;
 pub mod json;
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
+use retreet_analysis::vtree::ValueTree;
 use retreet_lang::ast::Program;
 use retreet_lang::corpus;
 use retreet_mso::formula::Formula;
+use retreet_runtime::exec::{ExecTier, ProgramExecutor};
 use retreet_verify::{Outcome, Query, Soundness, Verdict, Verifier, VerifyError};
 
 use json::Value;
@@ -100,6 +110,12 @@ impl ServeOptions {
 pub struct Service {
     verifier: Verifier,
     requests: AtomicU64,
+    /// Compiled executors, keyed by program source (a `run` request pays
+    /// compilation and lowering certification once per distinct program).
+    executors: Mutex<HashMap<String, Arc<ProgramExecutor>>>,
+    compiles: AtomicU64,
+    vm_runs: AtomicU64,
+    interp_runs: AtomicU64,
 }
 
 /// One parsed sub-query with owned subjects (the borrow source for the
@@ -139,6 +155,10 @@ impl Service {
         Service {
             verifier,
             requests: AtomicU64::new(0),
+            executors: Mutex::new(HashMap::new()),
+            compiles: AtomicU64::new(0),
+            vm_runs: AtomicU64::new(0),
+            interp_runs: AtomicU64::new(0),
         }
     }
 
@@ -218,6 +238,7 @@ impl Service {
                 Err(err) => error_response(id, &err),
             },
             "batch" => self.handle_batch(id, request),
+            "run" => self.handle_run(id, request),
             "stats" => self.stats_response(id),
             other => error_response(id, &format!("unknown request kind `{other}`")),
         }
@@ -270,6 +291,93 @@ impl Service {
         out
     }
 
+    /// The cached executor for `source`, compiling (with certified lowering
+    /// through the shared verifier) on first sight.
+    fn executor_for(&self, source: &str, program: &Program) -> Arc<ProgramExecutor> {
+        let mut executors = self.executors.lock().expect("executor cache lock");
+        if let Some(executor) = executors.get(source) {
+            return Arc::clone(executor);
+        }
+        // Bound the cache: a flood of distinct programs resets it rather
+        // than growing without limit (compilation is cheap; certified
+        // lowering verdicts stay warm in the verifier's own cache).
+        if executors.len() >= MAX_CACHED_EXECUTORS {
+            executors.clear();
+        }
+        let executor = Arc::new(ProgramExecutor::with_verifier(&self.verifier, program));
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        executors.insert(source.to_string(), Arc::clone(&executor));
+        executor
+    }
+
+    fn handle_run(
+        &self,
+        id: Option<&Value>,
+        request: &std::collections::BTreeMap<String, Value>,
+    ) -> String {
+        let Some(source) = request.get("program").and_then(Value::as_str) else {
+            return error_response(id, "`run` requests need a string field `program`");
+        };
+        if source_nesting(source) > MAX_PROGRAM_NESTING {
+            return error_response(
+                id,
+                &format!("`program` nests deeper than {MAX_PROGRAM_NESTING} levels"),
+            );
+        }
+        let program = match retreet_lang::parse_program(source) {
+            Ok(program) => program,
+            Err(err) => return error_response(id, &format!("cannot parse `program`: {err}")),
+        };
+        let height = match request.get("height") {
+            None => DEFAULT_RUN_HEIGHT,
+            Some(Value::Number(h)) if *h >= 1.0 && *h <= MAX_RUN_HEIGHT as f64 => *h as usize,
+            Some(_) => {
+                return error_response(
+                    id,
+                    &format!("`height` must be a number between 1 and {MAX_RUN_HEIGHT}"),
+                )
+            }
+        };
+        let seed = match request.get("seed") {
+            None => 0,
+            Some(Value::Number(s)) => *s as u64,
+            Some(_) => return error_response(id, "`seed` must be a number"),
+        };
+        let executor = self.executor_for(source, &program);
+        let fields = retreet_codegen::program_fields(&program);
+        let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+        let mut tree = ValueTree::complete(height, &field_refs, |_, _| 0);
+        tree.fill_fields(&field_refs, seed);
+        let started = std::time::Instant::now();
+        match executor.run(&tree) {
+            Ok(outcome) => {
+                match outcome.tier {
+                    ExecTier::Vm => self.vm_runs.fetch_add(1, Ordering::Relaxed),
+                    ExecTier::Interpreter => self.interp_runs.fetch_add(1, Ordering::Relaxed),
+                };
+                let returns: Vec<String> = outcome.returns.iter().map(|v| v.to_string()).collect();
+                let lowered: Vec<String> = executor
+                    .lowerings()
+                    .iter()
+                    .map(|c| format!("\"{}\"", json::escape(&c.func)))
+                    .collect();
+                let mut out = String::from("{");
+                push_id(&mut out, id);
+                out.push_str(&format!(
+                    "\"status\":\"ok\",\"kind\":\"run\",\"tier\":\"{}\",\
+                     \"returns\":[{}],\"lowered\":[{}],\"nodes\":{},\"elapsed_us\":{}}}",
+                    outcome.tier,
+                    returns.join(","),
+                    lowered.join(","),
+                    tree.len(),
+                    started.elapsed().as_micros(),
+                ));
+                out
+            }
+            Err(err) => error_response(id, &format!("execution failed: {err}")),
+        }
+    }
+
     fn stats_response(&self, id: Option<&Value>) -> String {
         let cache = self.verifier.cache_stats();
         let serving = self.verifier.serving_stats();
@@ -278,7 +386,8 @@ impl Service {
         out.push_str(&format!(
             "\"status\":\"ok\",\"kind\":\"stats\",\"requests\":{},\
              \"cache\":{{\"hits\":{},\"misses\":{},\"collisions\":{},\"entries\":{}}},\
-             \"serving\":{{\"engine_runs\":{},\"cancelled_runs\":{},\"coalesced\":{}}}}}",
+             \"serving\":{{\"engine_runs\":{},\"cancelled_runs\":{},\"coalesced\":{}}},\
+             \"codegen\":{{\"compiles\":{},\"vm_runs\":{},\"interp_runs\":{}}}}}",
             self.requests_handled(),
             cache.hits,
             cache.misses,
@@ -287,10 +396,25 @@ impl Service {
             serving.engine_runs,
             serving.cancelled_runs,
             serving.coalesced,
+            self.compiles.load(Ordering::Relaxed),
+            self.vm_runs.load(Ordering::Relaxed),
+            self.interp_runs.load(Ordering::Relaxed),
         ));
         out
     }
 }
+
+/// Default complete-tree height for `run` requests (2^6 - 1 = 63 nodes).
+const DEFAULT_RUN_HEIGHT: usize = 6;
+
+/// Largest complete-tree height a `run` request may ask for (2^16 - 1 nodes
+/// ≈ 0.5 MB per field column — bounded, so a hostile request cannot make the
+/// shared service allocate without limit).
+const MAX_RUN_HEIGHT: usize = 16;
+
+/// Most compiled executors the service keeps cached; see
+/// [`Service::executor_for`].
+const MAX_CACHED_EXECUTORS: usize = 128;
 
 /// Deepest brace/parenthesis nesting a request program may use.  The
 /// Retreet parser (and the analyses behind it) recurse per nesting level
@@ -664,6 +788,56 @@ mod tests {
         assert_eq!(verdict(1, "status").as_str(), Some("error"));
         assert_eq!(verdict(2, "verdict").as_str(), Some("race-free"));
         assert_eq!(verdict(3, "verdict").as_str(), Some("valid"));
+    }
+
+    #[test]
+    fn run_requests_execute_on_the_vm_tier_and_count_in_stats() {
+        let service = quick_service();
+        let program = json::escape(corpus::SIZE_COUNTING_SEQUENTIAL_SRC);
+        let request = format!(r#"{{"id": 4, "kind": "run", "program": "{program}", "height": 5}}"#);
+        let response = service.handle_line(&request);
+        assert_eq!(
+            field(&response, "status").as_str(),
+            Some("ok"),
+            "{response}"
+        );
+        assert_eq!(field(&response, "tier").as_str(), Some("vm"));
+        // A complete height-5 tree: layers 1/3/5 hold 1+4+16 = 21 nodes,
+        // layers 2/4 hold 2+8 = 10.
+        let returns = field(&response, "returns");
+        let returns = returns.as_array().unwrap();
+        assert_eq!(returns[0], Value::Number(21.0));
+        assert_eq!(returns[1], Value::Number(10.0));
+        // Same program again: compiled once, run twice.
+        service.handle_line(&request);
+        let stats = service.handle_line(r#"{"kind": "stats"}"#);
+        let parsed = json::parse(&stats).unwrap();
+        let codegen = parsed.as_object().unwrap()["codegen"].as_object().unwrap();
+        assert_eq!(codegen["compiles"], Value::Number(1.0));
+        assert_eq!(codegen["vm_runs"], Value::Number(2.0));
+        assert_eq!(codegen["interp_runs"], Value::Number(0.0));
+    }
+
+    #[test]
+    fn run_requests_report_certified_lowerings_and_bound_height() {
+        let service = quick_service();
+        let program = json::escape(corpus::TREE_MUTATION_ORIGINAL_SRC);
+        let request = format!(r#"{{"kind": "run", "program": "{program}"}}"#);
+        let response = service.handle_line(&request);
+        assert_eq!(
+            field(&response, "status").as_str(),
+            Some("ok"),
+            "{response}"
+        );
+        let lowered = field(&response, "lowered");
+        assert!(
+            !lowered.as_array().unwrap().is_empty(),
+            "tree_mutation traversals should certify for lowering: {response}"
+        );
+        // Height beyond the cap is refused, the service stays up.
+        let request = format!(r#"{{"kind": "run", "program": "{program}", "height": 40}}"#);
+        let response = service.handle_line(&request);
+        assert_eq!(field(&response, "status").as_str(), Some("error"));
     }
 
     #[test]

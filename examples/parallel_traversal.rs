@@ -58,4 +58,33 @@ fn main() {
         seq_time.as_secs_f64() / par_time.as_secs_f64().max(1e-9),
         rayon::current_num_threads()
     );
+
+    // 3. The compiled tier: the same certified parallel program, lowered to
+    //    register bytecode and run on the VM (Par branches keep the
+    //    reference interpreter's sequential semantics — the race
+    //    certificate is what licenses the true parallel schedule above),
+    //    with the interpreter timed as the baseline.
+    use retreet_analysis::interp;
+    use retreet_analysis::vtree::ValueTree;
+    use retreet_lang::blocks::BlockTable;
+    use retreet_runtime::ProgramExecutor;
+
+    let executor = ProgramExecutor::with_verifier(&verifier, &certified.transformed);
+    let vtree = ValueTree::complete(13, &[], |_, _| 0);
+    let table = BlockTable::build(&certified.transformed);
+    let start = Instant::now();
+    let reference = interp::run_with_table(&table, &vtree).expect("interpreter runs");
+    let interp_time = start.elapsed();
+    let start = Instant::now();
+    let outcome = executor.run(&vtree).expect("compiled run");
+    let vm_time = start.elapsed();
+    assert_eq!(reference.returns, outcome.returns);
+    println!(
+        "compiled tier ({}): returns {:?}; interpreter {:?} vs VM {:?} ({:.2}x)",
+        outcome.tier,
+        outcome.returns,
+        interp_time,
+        vm_time,
+        interp_time.as_secs_f64() / vm_time.as_secs_f64().max(1e-9)
+    );
 }

@@ -86,6 +86,37 @@ fn main() {
         tree.value.v, tree.value.s
     );
 
+    // The compiled execution tier: the certified fused program is lowered
+    // to register bytecode (self-recursive passes become worklist loops,
+    // each lowering certified by an equivalence verdict) and runs on the
+    // VM, with the reference interpreter as the differential baseline.
+    use retreet_analysis::interp;
+    use retreet_analysis::vtree::ValueTree;
+    use retreet_lang::blocks::BlockTable;
+    use retreet_runtime::ProgramExecutor;
+    use std::time::Instant;
+
+    let executor = ProgramExecutor::with_verifier(&verifier, &certified.transformed);
+    let fields = ["s", "v"];
+    let mut vtree = ValueTree::complete(12, &fields, |_, _| 0);
+    vtree.fill_fields(&fields, 1);
+    let table = BlockTable::build(&certified.transformed);
+    let start = Instant::now();
+    let reference = interp::run_with_table(&table, &vtree).expect("interpreter runs");
+    let interp_time = start.elapsed();
+    let start = Instant::now();
+    let outcome = executor.run(&vtree).expect("compiled run");
+    let vm_time = start.elapsed();
+    assert_eq!(reference.returns, outcome.returns);
+    println!(
+        "compiled tier ({}, {} certified lowerings): interpreter {:?} vs VM {:?} ({:.2}x)",
+        outcome.tier,
+        executor.lowerings().len(),
+        interp_time,
+        vm_time,
+        interp_time.as_secs_f64() / vm_time.as_secs_f64().max(1e-9)
+    );
+
     // A second, identical query is answered from the verdict cache.
     let again = fuse_main_passes(&verifier, &original).expect("cached verdict");
     let stats = verifier.cache_stats();

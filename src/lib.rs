@@ -41,8 +41,15 @@
 //! * [`retreet_transform`] — **the certified transform tier**: AST-level
 //!   traversal fusion and parallel schedule synthesis, each returning a
 //!   `CertifiedTransform` whose certificate is a façade verdict;
+//! * [`retreet_codegen`] — **the execution tier**: flat `u32`-indexed trees,
+//!   a register bytecode + compiler, a certified iterative-lowering pass
+//!   (self-recursion → explicit worklist loops, each gated by a façade
+//!   equivalence verdict) and a stack-free VM, with the reference
+//!   interpreter kept as the differential baseline;
 //! * [`retreet_runtime`] — owned trees, fused and rayon-parallel schedules,
-//!   and capability types gated by transform certificates;
+//!   capability types gated by transform certificates, and
+//!   `exec::ProgramExecutor` — tiered execution preferring compiled
+//!   bytecode with interpreter fallback;
 //! * [`retreet_css`] / [`retreet_cycletree`] — the two real-world case-study
 //!   substrates of the evaluation.
 //!
@@ -76,6 +83,9 @@
 //! | looping `verifier.verify(q)` over a batch | `verifier.verify_batch(&[q1, q2, …])` — worker-thread fan-out, results in input order, duplicates coalesced |
 //! | hand-rolled serving loops around a `Verifier` | `retreet_serve::Service` + `serve_lines` / `serve_tcp` (NDJSON protocol), or the `retreet-serve` binary (`--listen ADDR --warm-start --parallel`) |
 //! | `check_data_race` / `check_equivalence` / `check_validity` in a portfolio worker | the `*_cancellable(…, cancel: &AtomicBool)` variants — return `None` instead of a verdict once the flag is raised |
+//! | `retreet_analysis::interp::run(&p, &tree)` in a hot loop | `retreet_runtime::exec::ProgramExecutor::new(&p)` (or `with_verifier(&verifier, &p)` for certified iterative lowering) + `executor.run(&tree)` — compile once, run on the VM many times, interpreter fallback when the program doesn't compile |
+//! | one-shot compiled execution | `retreet_runtime::run_compiled(&p, &tree)` / `run_compiled_certified(&verifier, &certified_transform, &tree)` |
+//! | trusting a hand-written iterative rewrite of a recursive traversal | `retreet_codegen::compile_with_lowering(&verifier, &p)` — the lowering is synthesized, then certified via `Query::Equivalence` against a reconstruction; refusals carry the counterexample tree and the function stays on frame bytecode |
 //!
 //! # Benchmarks
 //!
@@ -100,6 +110,15 @@
 //! Every response is verified against the paper's verdict — drift under
 //! concurrency fails the run.
 //!
+//! `cargo run --release -p retreet-bench --bin bench_codegen` writes
+//! `BENCH_codegen.json` (schema `retreet-bench-codegen/v1`): every
+//! executable §5 workload compiled through the codegen tier and timed on
+//! the reference interpreter, the bytecode VM and the VM running the
+//! certified fusion, with one certificate line per iterative lowering
+//! (fresh-then-cached serving path, `cached` / `coalesced` flags reported
+//! honestly).  CI runs it in quick mode and fails on VM-vs-interpreter
+//! drift.
+//!
 //! Old verdict shapes map to [`retreet_verify::Outcome`] variants: race
 //! witnesses, equivalence counterexamples and falsifying trees ride along
 //! unchanged inside the unified [`retreet_verify::Verdict`], which adds
@@ -111,6 +130,7 @@
 #![forbid(unsafe_code)]
 
 pub use retreet_analysis;
+pub use retreet_codegen;
 pub use retreet_css;
 pub use retreet_cycletree;
 pub use retreet_lang;
