@@ -7,7 +7,14 @@
 //! jump-threaded conditionals — `&&` short-circuits exactly like the
 //! interpreter's guard evaluation — and the interpreter's `Par` return
 //! discipline (run every branch, last return wins, propagate afterwards)
-//! compiles to a per-activation pending-return window plus a flag register.
+//! compiles to a per-activation pending-return window plus one flag
+//! register per `Par`.  The flags must be distinct: with a shared flag, a
+//! return in an earlier sibling branch of an outer `Par` would satisfy the
+//! post-branch check of a nested `Par` in a *later* sibling branch and make
+//! it skip the rest of that branch — a return the nested `Par`'s own
+//! branches never issued.  Returns propagate outward explicitly instead: a
+//! nested `Par` whose own flag is raised sets the enclosing `Par`'s flag
+//! before ending the enclosing branch.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -180,11 +187,14 @@ enum RetCtx {
     /// Returns emit [`Instr::Ret`] directly.
     Direct,
     /// Inside a `Par` branch: returns fill the pending window, raise the
-    /// flag, and jump to the branch's end so the remaining branches still
-    /// run (the interpreter's last-return-wins discipline).
+    /// enclosing `Par`'s own flag, and jump to the branch's end so the
+    /// remaining branches still run (the interpreter's last-return-wins
+    /// discipline).
     Par {
         /// Label of the enclosing branch's end.
         branch_end: usize,
+        /// The enclosing `Par`'s flag register.
+        flag: u16,
     },
 }
 
@@ -200,8 +210,12 @@ struct FuncCompiler<'a> {
     labels: Vec<u32>,
     field_ids: &'a HashMap<&'a str, u16>,
     func_ids: Option<&'a HashMap<&'a str, u16>>,
-    /// Pending-return window (`Par` support); `None` in segment mode.
-    pend: Option<(u16, u16)>, // (start, flag)
+    /// First register of the pending-return window (`Par` support); `None`
+    /// in segment mode.
+    pend: Option<u16>,
+    /// Next unclaimed `Par` flag register (the flag area sits between the
+    /// pending-return window and `temp_base`, one register per `Par`).
+    next_par_flag: u16,
     pend_ret_label: Option<usize>,
     num_returns: u16,
 }
@@ -381,8 +395,8 @@ impl<'a> FuncCompiler<'a> {
                         count: ret.len() as u16,
                     });
                 }
-                RetCtx::Par { branch_end } => {
-                    let (pend_start, pend_flag) = self
+                RetCtx::Par { branch_end, flag } => {
+                    let pend_start = self
                         .pend
                         .expect("pending window allocated for functions with Par");
                     let scratch = self.temp_next;
@@ -395,7 +409,7 @@ impl<'a> FuncCompiler<'a> {
                         });
                     }
                     self.emit(Instr::Const {
-                        dst: pend_flag,
+                        dst: flag,
                         value: 1,
                     });
                     self.emit(Instr::Jump {
@@ -471,31 +485,65 @@ impl<'a> FuncCompiler<'a> {
                 Ok(())
             }
             Stmt::Par(items) => {
-                let Some((_, pend_flag)) = self.pend else {
+                if self.pend.is_none() {
                     return Err(CompileError::Unsupported(
                         "a Par inside a lowered traversal segment".into(),
                     ));
-                };
+                }
+                // Each Par owns a dedicated flag register, cleared on
+                // entry, so its post-branch check can only observe returns
+                // from its own branches — never a stale flag raised by an
+                // earlier sibling branch of an enclosing Par.
+                let flag = self.next_par_flag;
+                self.next_par_flag += 1;
+                self.emit(Instr::Const {
+                    dst: flag,
+                    value: 0,
+                });
                 for item in items {
                     let branch_end = self.new_label();
-                    self.stmt(item, RetCtx::Par { branch_end })?;
+                    self.stmt(item, RetCtx::Par { branch_end, flag })?;
                     self.bind(branch_end);
                 }
                 // A branch returned: propagate — either straight to the
                 // function's pending-return epilogue, or (when this Par is
-                // itself inside a Par branch) to that branch's end, leaving
-                // the flag raised for the outer Par to re-check.
-                let target = match ctx {
-                    RetCtx::Direct => *self
-                        .pend_ret_label
-                        .as_ref()
-                        .expect("epilogue label allocated for functions with Par"),
-                    RetCtx::Par { branch_end } => branch_end,
-                };
-                self.emit(Instr::JumpIfPos {
-                    src: pend_flag,
-                    target: target as u32,
-                });
+                // itself inside a Par branch) by raising the enclosing
+                // Par's flag and ending the enclosing branch.
+                match ctx {
+                    RetCtx::Direct => {
+                        let target = *self
+                            .pend_ret_label
+                            .as_ref()
+                            .expect("epilogue label allocated for functions with Par");
+                        self.emit(Instr::JumpIfPos {
+                            src: flag,
+                            target: target as u32,
+                        });
+                    }
+                    RetCtx::Par {
+                        branch_end,
+                        flag: outer_flag,
+                    } => {
+                        let l_propagate = self.new_label();
+                        let l_done = self.new_label();
+                        self.emit(Instr::JumpIfPos {
+                            src: flag,
+                            target: l_propagate as u32,
+                        });
+                        self.emit(Instr::Jump {
+                            target: l_done as u32,
+                        });
+                        self.bind(l_propagate);
+                        self.emit(Instr::Const {
+                            dst: outer_flag,
+                            value: 1,
+                        });
+                        self.emit(Instr::Jump {
+                            target: branch_end as u32,
+                        });
+                        self.bind(l_done);
+                    }
+                }
                 Ok(())
             }
         }
@@ -517,12 +565,14 @@ impl<'a> FuncCompiler<'a> {
     }
 }
 
-fn contains_par(stmt: &Stmt) -> bool {
+/// Number of `Par` statements in the body — each needs its own flag
+/// register.
+fn count_pars(stmt: &Stmt) -> usize {
     match stmt {
-        Stmt::Block(_) => false,
-        Stmt::If(_, a, b) => contains_par(a) || contains_par(b),
-        Stmt::Seq(items) => items.iter().any(contains_par),
-        Stmt::Par(_) => true,
+        Stmt::Block(_) => 0,
+        Stmt::If(_, a, b) => count_pars(a) + count_pars(b),
+        Stmt::Seq(items) => items.iter().map(count_pars).sum(),
+        Stmt::Par(items) => 1 + items.iter().map(count_pars).sum::<usize>(),
     }
 }
 
@@ -532,7 +582,8 @@ fn compile_frame_func(
     func_ids: &HashMap<&str, u16>,
 ) -> Result<FrameFunc, CompileError> {
     let locals = local_names(func);
-    if locals.len() + func.num_returns + 1 > u16::MAX as usize {
+    let num_pars = count_pars(&func.body);
+    if locals.len() + func.num_returns + num_pars > u16::MAX as usize {
         return Err(CompileError::TooManyRegisters(func.name.clone()));
     }
     let names: HashMap<&str, u16> = locals
@@ -542,14 +593,13 @@ fn compile_frame_func(
         .collect();
     let named_count = names.len() as u16;
     let num_returns = func.num_returns as u16;
-    let has_par = contains_par(&func.body);
-    let (pend, temp_base) = if has_par {
-        (
-            Some((named_count, named_count + num_returns)),
-            named_count + num_returns + 1,
-        )
+    // Window layout: named locals | pending-return window | one flag
+    // register per Par | temporaries.
+    let (pend, flag_base, temp_base) = if num_pars > 0 {
+        let flag_base = named_count + num_returns;
+        (Some(named_count), flag_base, flag_base + num_pars as u16)
     } else {
-        (None, named_count)
+        (None, named_count, named_count)
     };
     let mut compiler = FuncCompiler {
         code: Vec::new(),
@@ -561,10 +611,11 @@ fn compile_frame_func(
         field_ids,
         func_ids: Some(func_ids),
         pend,
+        next_par_flag: flag_base,
         pend_ret_label: None,
         num_returns,
     };
-    if has_par {
+    if num_pars > 0 {
         compiler.pend_ret_label = Some(compiler.new_label());
     }
     compiler.stmt(&func.body, RetCtx::Direct)?;
@@ -573,7 +624,7 @@ fn compile_frame_func(
     compiler.emit(Instr::Ret { start: 0, count: 0 });
     if let Some(label) = compiler.pend_ret_label {
         compiler.bind(label);
-        let (pend_start, _) = compiler.pend.expect("pend window");
+        let pend_start = compiler.pend.expect("pend window");
         compiler.emit(Instr::Ret {
             start: pend_start,
             count: compiler.num_returns,
@@ -606,6 +657,7 @@ fn compile_iterative(
         field_ids,
         func_ids: None,
         pend: None,
+        next_par_flag: 0,
         pend_ret_label: None,
         num_returns: lowering.returns.len() as u16,
     };

@@ -10,9 +10,12 @@
 //! wrapping `i64` arithmetic, unset variables reading 0, child selectors of
 //! a nil node resolving to nil (so `nil(n.l)` on a leaf is just true, and a
 //! call targeting `n.l` runs its callee on the nil node), nil field access
-//! failing, and the same `MAX_DEPTH` recursion guard for frame-based code.
-//! Worklist execution has no recursion and therefore no depth limit — which
-//! is part of what the lowering's equivalence certificate buys.
+//! failing, and the same `MAX_DEPTH` recursion guard.  Worklist execution
+//! has no *machine* recursion, but it still enforces the interpreter's
+//! depth cap on the traversal it replaces — the recursive original counts
+//! one activation per visited node (nil children included, since their
+//! calls are made before the nil guard returns), and outcome parity with
+//! the reference is part of the differential contract.
 
 use std::fmt;
 
@@ -31,7 +34,9 @@ pub const MAX_DEPTH: usize = 10_000;
 pub enum VmError {
     /// A field access on the nil node.
     NilDereference,
-    /// More than [`MAX_DEPTH`] nested frame-based calls.
+    /// More than [`MAX_DEPTH`] nested calls — frame-based frames plus the
+    /// activation depth a lowered traversal's recursive original would
+    /// need.
     DepthExceeded,
 }
 
@@ -263,13 +268,20 @@ impl Vm {
     /// the first child, phase 1 runs the mid-segment and descends into the
     /// second, phase 2 runs the post-segment.  Recursing into nil is a
     /// no-op (the recursive original would return its constants, which the
-    /// lowered shape never reads).
+    /// lowered shape never reads), but the interpreter's [`MAX_DEPTH`] cap
+    /// is still enforced against the depth the recursive original would
+    /// reach, so both tiers fail the same over-deep trees.
     fn run_iterative(
         &mut self,
         lowered: &IterativeFunc,
         tree: &mut FlatTree,
         start: u32,
     ) -> Result<(), VmError> {
+        // The interpreter counts this activation before evaluating the nil
+        // guard, so the depth check precedes the nil early-out.
+        if self.frames.len() >= MAX_DEPTH {
+            return Err(VmError::DepthExceeded);
+        }
         if start == NIL {
             return Ok(());
         }
@@ -294,7 +306,20 @@ impl Vm {
             let (node, phase) = self.work.pop().expect("non-empty worklist");
             match phase {
                 0 => {
+                    // `node`'s path depth below the traversal root: one
+                    // worklist entry per ancestor remains on the stack.
+                    let depth = self.work.len() - work_base;
                     self.segment(lowered, lowered.pre as usize, tree, node, base)?;
+                    // The recursive original now calls into both children —
+                    // nil ones included, whose activations the interpreter
+                    // counts before the nil guard returns.  Those calls sit
+                    // `frames + depth + 2` activations deep (live frames,
+                    // the path from the traversal root, this node, the
+                    // child), and the interpreter refuses them past
+                    // MAX_DEPTH — so must we, for outcome parity.
+                    if self.frames.len() + depth + 2 > MAX_DEPTH {
+                        return Err(VmError::DepthExceeded);
+                    }
                     self.work.push((node, 1));
                     let child = child_of(tree, node, lowered.first);
                     if child != NIL {
@@ -482,6 +507,174 @@ mod tests {
         assert_eq!(act.returns, vec![20], "last returning branch wins");
         assert_eq!(act.tree.field(act.tree.root(), "a"), 1, "both branches ran");
         check_against_interp(source, &tree);
+    }
+
+    #[test]
+    fn nested_par_after_returning_sibling_ignores_stale_flag() {
+        // Branch 1 of the outer Par returns, raising the outer Par's flag.
+        // The nested Par in branch 2 has no returning branch, so branch 2
+        // must still run `n.c = 3` — a shared flag register would make the
+        // nested Par's post-branch check observe branch 1's return and end
+        // branch 2 early.
+        let source = r#"
+            fn Main(n) {
+                {
+                    return 1;
+                    ||
+                    { n.a = 1; || n.b = 2; }
+                    n.c = 3;
+                }
+                return 0;
+            }
+        "#;
+        let program = parse_program(source).expect("parse");
+        let compiled = crate::compile::compile(&program).expect("compile");
+        let tree = ValueTree::single();
+        let act = run_program(&compiled, &tree).expect("vm");
+        assert_eq!(act.returns, vec![1]);
+        assert_eq!(act.tree.field(act.tree.root(), "a"), 1);
+        assert_eq!(act.tree.field(act.tree.root(), "b"), 2);
+        assert_eq!(
+            act.tree.field(act.tree.root(), "c"),
+            3,
+            "branch 2 must run to completion: its nested Par never returned"
+        );
+        check_against_interp(source, &tree);
+    }
+
+    #[test]
+    fn nested_par_return_propagates_to_outer_par() {
+        // The inner Par's branch returns: the rest of the enclosing outer
+        // branch (`n.c = 3`) is skipped, the outer Par's remaining branch
+        // still runs, and the value propagates out of both Pars.
+        let source = r#"
+            fn Main(n) {
+                {
+                    { n.a = 1; return 5; || n.b = 2; }
+                    n.c = 3;
+                    ||
+                    n.d = 4;
+                }
+                return 9;
+            }
+        "#;
+        let program = parse_program(source).expect("parse");
+        let compiled = crate::compile::compile(&program).expect("compile");
+        let tree = ValueTree::single();
+        let act = run_program(&compiled, &tree).expect("vm");
+        assert_eq!(act.returns, vec![5], "inner Par's return propagates");
+        assert_eq!(act.tree.field(act.tree.root(), "a"), 1);
+        assert_eq!(
+            act.tree.field(act.tree.root(), "b"),
+            2,
+            "inner sibling still runs"
+        );
+        assert_eq!(
+            act.tree.field(act.tree.root(), "c"),
+            0,
+            "rest of the branch is skipped"
+        );
+        assert_eq!(
+            act.tree.field(act.tree.root(), "d"),
+            4,
+            "outer sibling still runs"
+        );
+        check_against_interp(source, &tree);
+    }
+
+    #[test]
+    fn last_return_wins_across_nested_pars() {
+        let source = r#"
+            fn Main(n) {
+                {
+                    return 1;
+                    ||
+                    { return 2; || n.a = 1; }
+                    n.b = 7;
+                }
+                return 0;
+            }
+        "#;
+        let program = parse_program(source).expect("parse");
+        let compiled = crate::compile::compile(&program).expect("compile");
+        let tree = ValueTree::single();
+        let act = run_program(&compiled, &tree).expect("vm");
+        assert_eq!(act.returns, vec![2], "the nested Par's later return wins");
+        assert_eq!(act.tree.field(act.tree.root(), "a"), 1);
+        assert_eq!(
+            act.tree.field(act.tree.root(), "b"),
+            0,
+            "skipped after the inner return"
+        );
+        check_against_interp(source, &tree);
+    }
+
+    /// A degenerate left chain of `len` nodes.
+    fn left_chain(len: usize) -> ValueTree {
+        let mut tree = ValueTree::single();
+        let mut node = tree.root();
+        for _ in 1..len {
+            node = tree.add_left(node);
+        }
+        tree
+    }
+
+    const LOWERABLE_COUNTER: &str = r#"
+        fn Main(n) {
+            if (n == nil) { return 0; }
+            else {
+                n.v = n.v + 1;
+                x = Main(n.l);
+                y = Main(n.r);
+                return 0;
+            }
+        }
+    "#;
+
+    #[test]
+    fn lowered_traversal_enforces_the_interpreter_depth_cap() {
+        let program = parse_program(LOWERABLE_COUNTER).expect("parse");
+        let verifier = retreet_verify::Verifier::builder().build();
+        let compiled = crate::compile_with_lowering(&verifier, &program).expect("compile");
+        assert!(
+            !compiled.lowerings.is_empty(),
+            "Main should run as a certified worklist loop"
+        );
+        // A chain of MAX_DEPTH nodes: the recursive original's nil-child
+        // calls at the deepest node would be activation MAX_DEPTH + 1, which
+        // the interpreter refuses — the worklist must refuse it too.
+        let too_deep = left_chain(MAX_DEPTH);
+        assert!(matches!(
+            run_program(&compiled, &too_deep),
+            Err(VmError::DepthExceeded)
+        ));
+        // One node shorter, the deepest nil call sits exactly at MAX_DEPTH
+        // and both tiers succeed.
+        let just_fits = left_chain(MAX_DEPTH - 1);
+        let result = run_program(&compiled, &just_fits).expect("within the cap");
+        assert_eq!(result.returns, vec![0]);
+        assert_eq!(result.tree.field(result.tree.root(), "v"), 1);
+    }
+
+    #[test]
+    #[ignore = "the reference interpreter's trace is quadratic in recursion \
+                depth (~3 GB and tens of seconds on MAX_DEPTH chains); run \
+                on demand to re-pin the boundary"]
+    fn depth_cap_boundary_agrees_with_the_interpreter() {
+        // The reference interpreter recurses natively, so give it a thread
+        // with enough stack to reach its own MAX_DEPTH guard.
+        let handle = std::thread::Builder::new()
+            .stack_size(256 * 1024 * 1024)
+            .spawn(|| {
+                let program = parse_program(LOWERABLE_COUNTER).expect("parse");
+                let deep = interp::run(&program, &left_chain(MAX_DEPTH));
+                let fits = interp::run(&program, &left_chain(MAX_DEPTH - 1));
+                (deep.is_err(), fits.is_ok())
+            })
+            .expect("spawn");
+        let (deep_errs, fits_ok) = handle.join().expect("interpreter thread");
+        assert!(deep_errs, "interpreter refuses the over-deep chain");
+        assert!(fits_ok, "interpreter accepts the chain within the cap");
     }
 
     #[test]

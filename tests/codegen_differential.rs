@@ -63,6 +63,40 @@ fn vm_matches_interpreter_on_the_full_corpus() {
 }
 
 #[test]
+fn vm_matches_interpreter_on_nested_par_programs() {
+    // Nested `Par` exercises the per-Par flag discipline: a return in an
+    // earlier sibling branch of an outer Par must not satisfy the
+    // post-branch check of a nested Par in a later branch, and a nested
+    // Par's return must propagate outward with last-return-wins.
+    let sources = [
+        // Nested Par after an early-returning sibling branch.
+        "fn Main(n) { { return 1; || { n.a = 1; || n.b = 2; } n.c = 3; } return 0; }",
+        // Inner return skips the rest of its branch but not its siblings.
+        "fn Main(n) { { { n.a = 1; return 5; || n.b = 2; } n.c = 3; || n.d = 4; } return 9; }",
+        // Last return wins across nesting levels.
+        "fn Main(n) { { return 1; || { return 2; || n.a = 1; } n.b = 7; } return 0; }",
+        // Three levels deep, returns at every level.
+        "fn Main(n) { { return 1; || { { n.a = 1; || return 3; } n.b = 2; || n.c = 5; } n.d = 6; \
+         || n.e = 7; } return 0; }",
+        // Sequential sibling Pars inside one branch.
+        "fn Main(n) { { return 4; || { n.a = 1; || n.b = 2; } { n.c = 3; || n.d = 9; } n.e = 8; } \
+         return 0; }",
+    ];
+    let mut vm = Vm::new();
+    for (i, source) in sources.iter().enumerate() {
+        let program =
+            retreet_lang::parser::parse_program(source).unwrap_or_else(|e| panic!("case {i}: {e}"));
+        let fields = fields_of(&program);
+        let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+        for height in [1, 3] {
+            let mut tree = ValueTree::complete(height, &field_refs, |_, _| 0);
+            tree.fill_fields(&field_refs, 2);
+            assert_tiers_agree(&format!("nested-par case {i}"), &program, &mut vm, &tree);
+        }
+    }
+}
+
+#[test]
 fn vm_matches_interpreter_on_exhaustive_bounded_trees() {
     let mut vm = Vm::new();
     for (name, program) in corpus::all() {
