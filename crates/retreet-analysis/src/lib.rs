@@ -54,11 +54,13 @@
 
 pub mod coarse;
 pub mod configs;
+pub mod corresp;
 pub mod equiv;
 pub mod interp;
 pub mod naive;
 mod par;
 pub mod race;
+pub mod summary;
 pub mod vtree;
 
 pub use configs::{

@@ -22,7 +22,10 @@
 //!
 //! The process also fails when any experiment's verdict disagrees with the
 //! paper or with the naive engine — a perf run that changes answers is a
-//! bug, not a speedup.
+//! bug, not a speedup — and when any experiment's verdict *soundness*
+//! regresses from `unbounded`: every §5 experiment is answered by the
+//! automata tier with an unbounded guarantee, and a revision that silently
+//! drops one of them back to a bounded-budget answer must not pass.
 
 use retreet_bench::{engine_perf_to_json, measure_engine_perf, render_engine_perf, Budget};
 
@@ -120,6 +123,14 @@ fn main() {
                 eprintln!(
                     "bench_engines: {label}/{} naive and optimized engines disagree",
                     row.id
+                );
+                failed = true;
+            }
+            if row.soundness != "unbounded" {
+                eprintln!(
+                    "bench_engines: {label}/{} soundness regressed to `{}` \
+                     (every §5 experiment must stay unbounded)",
+                    row.id, row.soundness
                 );
                 failed = true;
             }

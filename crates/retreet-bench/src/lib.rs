@@ -63,6 +63,10 @@ pub struct ExperimentResult {
     pub measured_seconds: f64,
     /// Which portfolio engine produced the verdict.
     pub engine: &'static str,
+    /// How far the verdict's guarantee extends (`"unbounded"` or the
+    /// bounded-budget rendering), straight from the façade's
+    /// [`retreet_verify::Soundness`].
+    pub soundness: String,
     /// Extra detail (counterexample summary, model counts, …).
     pub detail: String,
 }
@@ -141,6 +145,10 @@ fn equivalence_experiment(
         .verify(Query::Equivalence(original, transformed))
         .expect("corpus programs are well-formed");
     let (kind, detail) = match &verdict.outcome {
+        Outcome::Equivalent { trees_checked: 0 } => (
+            Verdict::Valid,
+            String::from("equivalent on every tree (fusion correspondence)"),
+        ),
         Outcome::Equivalent { trees_checked } => (
             Verdict::Valid,
             format!("equivalent on {trees_checked} bounded models"),
@@ -159,6 +167,7 @@ fn equivalence_experiment(
         paper_seconds,
         measured_seconds: verdict.elapsed.as_secs_f64(),
         engine: verdict.engine.name(),
+        soundness: verdict.soundness.to_string(),
         detail,
     }
 }
@@ -176,6 +185,13 @@ fn race_experiment(
         .verify(Query::DataRace(program))
         .expect("corpus programs are well-formed");
     let (kind, detail) = match &verdict.outcome {
+        Outcome::RaceFree {
+            trees_checked: 0,
+            configurations: 0,
+        } => (
+            Verdict::RaceFree,
+            String::from("race-free on every tree (structural access summaries)"),
+        ),
         Outcome::RaceFree {
             trees_checked,
             configurations,
@@ -200,6 +216,7 @@ fn race_experiment(
         paper_seconds,
         measured_seconds: verdict.elapsed.as_secs_f64(),
         engine: verdict.engine.name(),
+        soundness: verdict.soundness.to_string(),
         detail,
     }
 }
@@ -387,7 +404,7 @@ pub fn to_json(results: &[ExperimentResult]) -> String {
         out.push_str(&format!(
             "  {{\n    \"id\": \"{}\",\n    \"description\": \"{}\",\n    \"verdict\": \"{}\",\n    \
              \"expected\": \"{}\",\n    \"paper_seconds\": {},\n    \"measured_seconds\": {},\n    \
-             \"engine\": \"{}\",\n    \"detail\": \"{}\"\n  }}{}\n",
+             \"engine\": \"{}\",\n    \"soundness\": \"{}\",\n    \"detail\": \"{}\"\n  }}{}\n",
             json_escape(r.id),
             json_escape(r.description),
             r.verdict.as_str(),
@@ -395,6 +412,7 @@ pub fn to_json(results: &[ExperimentResult]) -> String {
             r.paper_seconds,
             r.measured_seconds,
             json_escape(r.engine),
+            json_escape(&r.soundness),
             json_escape(&r.detail),
             if i + 1 < results.len() { "," } else { "" },
         ));
@@ -420,6 +438,9 @@ pub struct EnginePerfRow {
     pub expected: Verdict,
     /// Engine provenance of the optimized verdict (from the façade).
     pub engine: &'static str,
+    /// Soundness of the optimized verdict (`"unbounded"` or the bounded
+    /// rendering); `bench_engines` gates on regressions of this field.
+    pub soundness: String,
     /// True when the frozen naive engine returned the same verdict.
     pub verdicts_agree: bool,
     /// Best-of-batches wall-clock of the naive ("before") engine, seconds.
@@ -542,6 +563,7 @@ pub fn measure_engine_perf(
             verdict: result.verdict,
             expected: result.expected,
             engine: result.engine,
+            soundness: result.soundness.clone(),
             verdicts_agree: naive_kind == result.verdict,
             naive_seconds,
             optimized_seconds,
@@ -581,6 +603,7 @@ pub fn measure_engine_perf(
             verdict: result.verdict,
             expected: result.expected,
             engine: result.engine,
+            soundness: result.soundness.clone(),
             verdicts_agree: naive_kind == result.verdict,
             naive_seconds,
             optimized_seconds,
@@ -595,16 +618,29 @@ pub fn measure_engine_perf(
 pub fn render_engine_perf(rows: &[EnginePerfRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<5} {:<12} {:>10} {:>14} {:>12} {:>14} {:>9} {:>7}\n",
-        "id", "kind", "verdict", "engine", "naive (ms)", "optimized (ms)", "speedup", "match"
+        "{:<5} {:<12} {:>10} {:>14} {:>10} {:>12} {:>14} {:>9} {:>7}\n",
+        "id",
+        "kind",
+        "verdict",
+        "engine",
+        "soundness",
+        "naive (ms)",
+        "optimized (ms)",
+        "speedup",
+        "match"
     ));
     for row in rows {
         out.push_str(&format!(
-            "{:<5} {:<12} {:>10} {:>14} {:>12.4} {:>14.4} {:>8.2}x {:>7}\n",
+            "{:<5} {:<12} {:>10} {:>14} {:>10} {:>12.4} {:>14.4} {:>8.2}x {:>7}\n",
             row.id,
             row.kind,
             row.verdict.as_str(),
             row.engine,
+            if row.soundness == "unbounded" {
+                "unbounded"
+            } else {
+                "bounded"
+            },
             row.naive_seconds * 1e3,
             row.optimized_seconds * 1e3,
             row.speedup(),
@@ -645,7 +681,8 @@ pub fn engine_perf_to_json(sections: &[(&str, &Budget, Vec<EnginePerfRow>)]) -> 
                 "        {{\n          \"id\": \"{}\",\n          \"kind\": \"{}\",\n          \
                  \"description\": \"{}\",\n          \"verdict\": \"{}\",\n          \
                  \"expected\": \"{}\",\n          \"matches_paper\": {},\n          \
-                 \"engine\": \"{}\",\n          \"naive_verdict_agrees\": {},\n          \
+                 \"engine\": \"{}\",\n          \"soundness\": \"{}\",\n          \
+                 \"naive_verdict_agrees\": {},\n          \
                  \"naive_seconds\": {:.6},\n          \"optimized_seconds\": {:.6},\n          \
                  \"speedup\": {:.2}\n        }}{}\n",
                 json_escape(row.id),
@@ -655,6 +692,7 @@ pub fn engine_perf_to_json(sections: &[(&str, &Budget, Vec<EnginePerfRow>)]) -> 
                 row.expected.as_str(),
                 row.matches_paper(),
                 json_escape(row.engine),
+                json_escape(&row.soundness),
                 row.verdicts_agree,
                 row.naive_seconds,
                 row.optimized_seconds,
@@ -687,7 +725,11 @@ pub struct TransformCertRow {
     pub kind: String,
     /// Engine provenance of the certifying verdict.
     pub engine: &'static str,
-    /// Bounded models the certificate rests on.
+    /// Soundness of the certifying verdict (`"unbounded"` for a fusion
+    /// correspondence, the bounded rendering otherwise).
+    pub soundness: String,
+    /// Bounded models the certificate rests on (0 for an unbounded
+    /// correspondence certificate, which does not enumerate models).
     pub trees_checked: usize,
     /// True when the transform layer produced a certified program that
     /// validates and roundtrips; false records a drift (and fails the run).
@@ -727,6 +769,7 @@ pub fn certify_transforms(budget: &Budget) -> Vec<TransformCertRow> {
                         .count(),
                     kind: certified.certificate.kind.to_string(),
                     engine: certified.certificate.engine().name(),
+                    soundness: certified.certificate.verdict.soundness.to_string(),
                     trees_checked: certified.certificate.trees_checked(),
                     certified: true,
                     elapsed_seconds: certified.certificate.verdict.elapsed.as_secs_f64(),
@@ -738,6 +781,7 @@ pub fn certify_transforms(budget: &Budget) -> Vec<TransformCertRow> {
                     fused_functions: 0,
                     kind: String::from("none"),
                     engine: "none",
+                    soundness: String::from("none"),
                     trees_checked: 0,
                     certified: false,
                     elapsed_seconds: 0.0,
@@ -895,13 +939,15 @@ pub fn transform_report_to_json(
     for (i, row) in certs.iter().enumerate() {
         out.push_str(&format!(
             "    {{ \"id\": \"{}\", \"case\": \"{}\", \"fused_functions\": {}, \
-             \"kind\": \"{}\", \"engine\": \"{}\", \"trees_checked\": {}, \
+             \"kind\": \"{}\", \"engine\": \"{}\", \"soundness\": \"{}\", \
+             \"trees_checked\": {}, \
              \"certified\": {}, \"elapsed_seconds\": {:.6}, \"detail\": \"{}\" }}{}\n",
             json_escape(row.id),
             json_escape(row.case),
             row.fused_functions,
             json_escape(&row.kind),
             json_escape(row.engine),
+            json_escape(&row.soundness),
             row.trees_checked,
             row.certified,
             row.elapsed_seconds,
@@ -1275,11 +1321,25 @@ mod tests {
         let results = run_all(&Budget::quick());
         for result in &results {
             assert!(
-                ["configuration", "trace"].contains(&result.engine),
+                ["automata", "configuration", "trace"].contains(&result.engine),
                 "{}: unexpected engine {}",
                 result.id,
                 result.engine
             );
+            assert!(!result.soundness.is_empty(), "{}", result.id);
+        }
+    }
+
+    #[test]
+    fn every_paper_experiment_is_answered_unbounded() {
+        // The tentpole claim: the automata tier answers all seven §5
+        // experiments (positively via the structural analyses, negatively
+        // via delegated witness search) with an unbounded guarantee.
+        let results = run_all(&Budget::quick());
+        assert_eq!(results.len(), 7);
+        for result in &results {
+            assert_eq!(result.engine, "automata", "{}", result.id);
+            assert_eq!(result.soundness, "unbounded", "{}", result.id);
         }
     }
 
@@ -1306,7 +1366,13 @@ mod tests {
         for row in &certs {
             assert!(row.certified, "{} drifted: {}", row.id, row.detail);
             assert_eq!(row.kind, "equivalence", "{}", row.id);
-            assert!(row.trees_checked > 0, "{}", row.id);
+            // A bounded certificate must rest on actual models; an
+            // unbounded fusion-correspondence certificate rests on none.
+            assert!(
+                row.trees_checked > 0 || row.soundness == "unbounded",
+                "{}: no models and no unbounded guarantee",
+                row.id
+            );
         }
         // The cycletree fusion is the only multi-function tuple family.
         let cycletree = certs.iter().find(|r| r.id == "E4a").unwrap();

@@ -1,0 +1,118 @@
+//! Bridging access summaries to arithmetic feasibility queries.
+//!
+//! The structural (automata-based) race analysis summarizes guard atoms it
+//! cannot decide structurally — `Gt` comparisons over execution-invariant
+//! values such as immutable int parameters and never-written fields — as
+//! named linear constraints.  This module turns such a summary into a
+//! [`System`] over interned symbols and asks the Fourier–Motzkin solver
+//! whether the conjunction is satisfiable at all: an unsatisfiable
+//! conjunction proves the two guarded accesses can never fire together on
+//! *any* tree and valuation, letting the caller discharge a race candidate
+//! without enumeration.
+
+use crate::constraint::{Atom, System};
+use crate::solver::Solver;
+use crate::symtab::SymTab;
+use crate::term::{LinExpr, Sym};
+
+/// Accumulates guard atoms keyed by stable names and decides whether their
+/// conjunction is satisfiable.
+///
+/// Symbols are interned by name, so two summaries that mention the same
+/// location (e.g. the field `n.cfg` read by both sides of a parallel pair)
+/// share a variable — which is exactly what makes a contradiction like
+/// `n.cfg > 0 ∧ ¬(n.cfg > 0)` detectable.  Callers are responsible for only
+/// feeding atoms whose values are invariant over the compared executions.
+#[derive(Debug, Default)]
+pub struct ConjunctionBuilder {
+    syms: SymTab,
+    system: System,
+}
+
+impl ConjunctionBuilder {
+    /// A builder with no atoms (vacuously satisfiable).
+    pub fn new() -> Self {
+        ConjunctionBuilder::default()
+    }
+
+    /// Interns the symbol for a named location or variable.
+    pub fn sym(&mut self, name: &str) -> Sym {
+        self.syms.intern(name)
+    }
+
+    /// A linear expression for a single named location.
+    pub fn var(&mut self, name: &str) -> LinExpr {
+        let sym = self.sym(name);
+        LinExpr::var(sym)
+    }
+
+    /// Adds `expr > 0` (the surface language's `Gt` guard) or its negation.
+    pub fn require_gt_zero(&mut self, expr: LinExpr, positive: bool) {
+        let atom = if positive {
+            Atom::gt(expr, LinExpr::zero())
+        } else {
+            Atom::le(expr, LinExpr::zero())
+        };
+        self.system.push(atom);
+    }
+
+    /// Adds an arbitrary atom.
+    pub fn require(&mut self, atom: Atom) {
+        self.system.push(atom);
+    }
+
+    /// Number of accumulated atoms.
+    pub fn len(&self) -> usize {
+        self.system.len()
+    }
+
+    /// True when no atom has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.system.len() == 0
+    }
+
+    /// True when some integer assignment satisfies every accumulated atom.
+    ///
+    /// An empty conjunction is trivially satisfiable.
+    pub fn feasible(&self) -> bool {
+        Solver::new().check(&self.system).is_sat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_conjunction_is_feasible() {
+        assert!(ConjunctionBuilder::new().feasible());
+    }
+
+    #[test]
+    fn shared_symbol_contradiction_is_infeasible() {
+        let mut builder = ConjunctionBuilder::new();
+        let cfg = builder.var("fld:cur:cfg");
+        builder.require_gt_zero(cfg.clone(), true);
+        builder.require_gt_zero(cfg, false);
+        assert!(!builder.feasible());
+    }
+
+    #[test]
+    fn distinct_symbols_stay_feasible() {
+        let mut builder = ConjunctionBuilder::new();
+        let a = builder.var("fld:cur:a");
+        let b = builder.var("fld:cur:b");
+        builder.require_gt_zero(a, true);
+        builder.require_gt_zero(b, false);
+        assert!(builder.feasible());
+        assert_eq!(builder.len(), 2);
+    }
+
+    #[test]
+    fn interning_is_stable_by_name() {
+        let mut builder = ConjunctionBuilder::new();
+        let first = builder.sym("var:x");
+        let again = builder.sym("var:x");
+        assert_eq!(first, again);
+    }
+}

@@ -28,6 +28,9 @@
 //!   assumption frames with cached-UNSAT prefix pruning (the DFS engine's
 //!   backtracking interface).
 //! * [`symtab`] — a small symbol interner shared by the other Retreet crates.
+//! * [`bridge`] — [`bridge::ConjunctionBuilder`], the summary→formula bridge
+//!   the automata-based race analysis uses to discharge arithmetic guard
+//!   conjunctions over execution-invariant values.
 //!
 //! # Example
 //!
@@ -54,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bridge;
 pub mod constraint;
 pub mod fm;
 pub mod incremental;
@@ -76,6 +80,7 @@ pub mod prelude {
     pub use crate::term::{LinExpr, Sym};
 }
 
+pub use bridge::ConjunctionBuilder;
 pub use constraint::{Atom, Rel, System};
 pub use incremental::IncrementalSolver;
 pub use intern::{AtomId, ExprId};

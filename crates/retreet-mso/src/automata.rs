@@ -30,6 +30,11 @@ pub struct Rule {
     pub target: usize,
 }
 
+/// The representative rule inhabiting a state during the witness-building
+/// emptiness fixpoint of [`Nfta::example_tree`]:
+/// `(symbol, left_state?, right_state?)`.
+type WitnessRule = (u32, Option<usize>, Option<usize>);
+
 /// A bottom-up nondeterministic finite tree automaton.
 #[derive(Debug, Clone)]
 pub struct Nfta {
@@ -422,6 +427,74 @@ impl Nfta {
         }
     }
 
+    /// Language inclusion `L(self) ⊆ L(other)`, decided as the emptiness of
+    /// `self ∩ ¬other`.
+    pub fn included_in(&self, other: &Nfta) -> bool {
+        self.intersect(&other.complement()).is_empty()
+    }
+
+    /// A concrete tree the automaton accepts, or `None` when the language is
+    /// empty.
+    ///
+    /// This is the emptiness fixpoint of [`Nfta::is_empty`] with a
+    /// representative attached to every inhabited state: the first rule that
+    /// inhabits a state is remembered, and the witness for an accepting state
+    /// is rebuilt by following those rules downward.  Because a state's
+    /// representative only refers to states inhabited strictly earlier, the
+    /// reconstruction is well-founded and the tree is finite.
+    pub fn example_tree(&self) -> Option<LabeledTree> {
+        let mut witness: Vec<Option<WitnessRule>> = vec![None; self.num_states];
+        loop {
+            let mut changed = false;
+            for rule in &self.rules {
+                if witness[rule.target].is_some() {
+                    continue;
+                }
+                let left_ok = rule.left.is_none_or(|q| witness[q].is_some());
+                let right_ok = rule.right.is_none_or(|q| witness[q].is_some());
+                if left_ok && right_ok {
+                    witness[rule.target] = Some((rule.symbol, rule.left, rule.right));
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let accept = self
+            .accepting
+            .iter()
+            .copied()
+            .find(|&q| witness.get(q).is_some_and(Option::is_some))?;
+        let mut tree = LabeledTree::single();
+        let root = tree.root();
+        self.rebuild_witness(accept, root, &witness, &mut tree);
+        Some(tree)
+    }
+
+    fn rebuild_witness(
+        &self,
+        state: usize,
+        node: NodeId,
+        witness: &[Option<WitnessRule>],
+        tree: &mut LabeledTree,
+    ) {
+        let (symbol, left, right) = witness[state].expect("state must be inhabited");
+        for bit in 0..self.bits {
+            if symbol & (1u32 << bit) != 0 {
+                tree.add_label(node, bit);
+            }
+        }
+        if let Some(q) = left {
+            let child = tree.add_left(node);
+            self.rebuild_witness(q, child, witness, tree);
+        }
+        if let Some(q) = right {
+            let child = tree.add_right(node);
+            self.rebuild_witness(q, child, witness, tree);
+        }
+    }
+
     /// True when the automaton accepts no tree at all.
     ///
     /// Standard bottom-up reachability: a state is *inhabited* when some tree
@@ -798,6 +871,27 @@ mod tests {
         }
         // But ∃X_0. false is still false.
         assert!(Nfta::empty(2).project_bit(0).is_empty());
+    }
+
+    #[test]
+    fn example_tree_is_accepted_by_its_automaton() {
+        let automaton = pair(PairRelation::LeftChild, 0, 1, 2).intersect(&singleton(0, 2));
+        let example = automaton.example_tree().expect("language is nonempty");
+        assert!(automaton.accepts(&example));
+        assert!(Nfta::empty(2).example_tree().is_none());
+        let contradiction = singleton(0, 1).intersect(&empty_set(0, 1));
+        assert!(contradiction.example_tree().is_none());
+    }
+
+    #[test]
+    fn inclusion_via_complement_emptiness() {
+        // Sing(X_0) ∧ Sing(X_1) ⊆ Sing(X_0), but not conversely.
+        let sing0 = singleton(0, 2);
+        let both = sing0.intersect(&singleton(1, 2));
+        assert!(both.included_in(&sing0));
+        assert!(!sing0.included_in(&both));
+        assert!(sing0.included_in(&Nfta::universal(2)));
+        assert!(Nfta::empty(2).included_in(&sing0));
     }
 
     #[test]

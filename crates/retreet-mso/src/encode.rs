@@ -1,0 +1,308 @@
+//! Encoding traversal access summaries as MSO formulas over trees.
+//!
+//! The race and equivalence engines summarize what a block touches as a
+//! *region* relative to its invocation node — the node itself, one of its
+//! children, or a whole subtree (for recursive calls) — guarded by the
+//! structural `IsNil` conditions on the path to the block.  This module
+//! lowers those summaries to formulas in the fragment of
+//! [`crate::formula::Formula`] that [`crate::compile()`] decides, so overlap
+//! and guard-equivalence questions become NFTA emptiness and inclusion
+//! checks: an *unbounded* answer, quantifying over every tree at once
+//! instead of enumerating trees up to a size budget.
+
+use crate::compile::{compile, is_valid};
+use crate::formula::Formula;
+use crate::tree::LabeledTree;
+
+/// A step down from the invocation node: the node itself or one child.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ChildStep {
+    /// The invocation node itself (`n`).
+    Here,
+    /// Its left child (`n.l`).
+    Left,
+    /// Its right child (`n.r`).
+    Right,
+}
+
+/// The part of the tree a block (running at some invocation node) may touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Region {
+    /// Exactly the node at the given offset (a direct field access).
+    At(ChildStep),
+    /// The whole subtree rooted at the offset (a recursive call: the callee
+    /// and everything it transitively calls stay inside the subtree because
+    /// the language only has downward node references).
+    Subtree(ChildStep),
+}
+
+/// Structural constraints the path to a block imposes on the invocation
+/// node: which children must exist or be absent (`IsNil` guards).
+///
+/// A constraint with both `no_*` and `has_*` set for the same side is
+/// contradictory — the guarded block is structurally unreachable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StructConstraint {
+    /// `n.l == nil` must hold.
+    pub no_left: bool,
+    /// `n.l != nil` must hold.
+    pub has_left: bool,
+    /// `n.r == nil` must hold.
+    pub no_right: bool,
+    /// `n.r != nil` must hold.
+    pub has_right: bool,
+}
+
+impl StructConstraint {
+    /// True when the constraint can never hold on any tree node.
+    pub fn contradictory(&self) -> bool {
+        (self.no_left && self.has_left) || (self.no_right && self.has_right)
+    }
+}
+
+/// One side of a potential conflict: a region plus the structural guard
+/// under which the access happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConflictSide {
+    /// Where the access lands, relative to the shared invocation node.
+    pub region: Region,
+    /// Structural conditions on the invocation node for the access to run.
+    pub guard: StructConstraint,
+}
+
+/// Whether two guarded regions can touch a common node on *some* tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OverlapVerdict {
+    /// No tree puts the two regions in contact: proved over all trees.
+    Disjoint,
+    /// Some tree witnesses the contact; the example (when extraction
+    /// succeeded) is a labeled tree accepted by the conflict automaton.
+    Overlap(Option<LabeledTree>),
+}
+
+impl OverlapVerdict {
+    /// True for the [`OverlapVerdict::Disjoint`] case.
+    pub fn is_disjoint(&self) -> bool {
+        matches!(self, OverlapVerdict::Disjoint)
+    }
+}
+
+fn membership(v: &str, w: &str, region: Region, fresh: &mut u32) -> Formula {
+    let fo = |name: &str| crate::formula::FoVar::new(name);
+    match region {
+        Region::At(ChildStep::Here) => Formula::Eq(fo(v), fo(w)),
+        Region::At(ChildStep::Left) => Formula::Left(fo(v), fo(w)),
+        Region::At(ChildStep::Right) => Formula::Right(fo(v), fo(w)),
+        Region::Subtree(ChildStep::Here) => Formula::Reach(fo(v), fo(w)),
+        Region::Subtree(step @ (ChildStep::Left | ChildStep::Right)) => {
+            let c = format!("c{fresh}");
+            *fresh += 1;
+            let edge = match step {
+                ChildStep::Left => Formula::Left(fo(v), fo(&c)),
+                _ => Formula::Right(fo(v), fo(&c)),
+            };
+            Formula::exists_fo(c.clone(), Formula::and(edge, Formula::Reach(fo(&c), fo(w))))
+        }
+    }
+}
+
+fn child_exists(v: &str, left: bool, fresh: &mut u32) -> Formula {
+    let fo = |name: &str| crate::formula::FoVar::new(name);
+    let g = format!("g{fresh}");
+    *fresh += 1;
+    let edge = if left {
+        Formula::Left(fo(v), fo(&g))
+    } else {
+        Formula::Right(fo(v), fo(&g))
+    };
+    Formula::exists_fo(g, edge)
+}
+
+fn guard_constraint(v: &str, guard: &StructConstraint, fresh: &mut u32) -> Formula {
+    let mut parts = Vec::new();
+    if guard.has_left {
+        parts.push(child_exists(v, true, fresh));
+    }
+    if guard.no_left {
+        parts.push(Formula::not(child_exists(v, true, fresh)));
+    }
+    if guard.has_right {
+        parts.push(child_exists(v, false, fresh));
+    }
+    if guard.no_right {
+        parts.push(Formula::not(child_exists(v, false, fresh)));
+    }
+    Formula::conj(parts)
+}
+
+/// The closed formula "some tree has an invocation node `v` satisfying both
+/// guards and a node `w` inside both regions".
+pub fn overlap_formula(a: &ConflictSide, b: &ConflictSide) -> Formula {
+    let mut fresh = 0;
+    let body = Formula::conj([
+        guard_constraint("v", &a.guard, &mut fresh),
+        guard_constraint("v", &b.guard, &mut fresh),
+        membership("v", "w", a.region, &mut fresh),
+        membership("v", "w", b.region, &mut fresh),
+    ]);
+    Formula::exists_fo("v", Formula::exists_fo("w", body))
+}
+
+/// Decides, over *all* trees, whether the two guarded regions can overlap.
+///
+/// Compile failures (which the small fixed-shape formulas built here do not
+/// trigger in practice) degrade soundly to "may overlap" with no example.
+pub fn check_overlap(a: &ConflictSide, b: &ConflictSide) -> OverlapVerdict {
+    if a.guard.contradictory() || b.guard.contradictory() {
+        return OverlapVerdict::Disjoint;
+    }
+    let formula = overlap_formula(a, b);
+    match compile(&formula) {
+        Ok(compiled) => {
+            if compiled.automaton.is_empty() {
+                OverlapVerdict::Disjoint
+            } else {
+                OverlapVerdict::Overlap(compiled.automaton.example_tree())
+            }
+        }
+        Err(_) => OverlapVerdict::Overlap(None),
+    }
+}
+
+/// A purely structural boolean guard: the fragment of the surface language's
+/// guard expressions built from `IsNil` tests, negation, and conjunction.
+///
+/// `NilAt(Here)` denotes "the invocation node is nil"; since the guards
+/// compared here are evaluated at actual tree nodes, it lowers to `false`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuardExpr {
+    /// The constant true guard.
+    True,
+    /// `<offset> == nil`.
+    NilAt(ChildStep),
+    /// Guard negation.
+    Not(Box<GuardExpr>),
+    /// Guard conjunction.
+    And(Box<GuardExpr>, Box<GuardExpr>),
+}
+
+fn guard_expr_formula(v: &str, expr: &GuardExpr, fresh: &mut u32) -> Formula {
+    match expr {
+        GuardExpr::True => Formula::True,
+        GuardExpr::NilAt(ChildStep::Here) => Formula::False,
+        GuardExpr::NilAt(ChildStep::Left) => Formula::not(child_exists(v, true, fresh)),
+        GuardExpr::NilAt(ChildStep::Right) => Formula::not(child_exists(v, false, fresh)),
+        GuardExpr::Not(inner) => Formula::not(guard_expr_formula(v, inner, fresh)),
+        GuardExpr::And(a, b) => Formula::and(
+            guard_expr_formula(v, a, fresh),
+            guard_expr_formula(v, b, fresh),
+        ),
+    }
+}
+
+/// Decides whether two structural guards hold on exactly the same nodes of
+/// every tree: validity of `∀v. (a(v) ↔ b(v))` — mutual language inclusion
+/// of the compiled guard automata.
+///
+/// Returns `false` (not equivalent) when compilation fails, which keeps
+/// callers sound: they fall back to a stricter syntactic comparison.
+pub fn guards_equivalent(a: &GuardExpr, b: &GuardExpr) -> bool {
+    let mut fresh = 0;
+    let lhs = guard_expr_formula("v", a, &mut fresh);
+    let rhs = guard_expr_formula("v", b, &mut fresh);
+    let formula = Formula::forall_fo("v", Formula::iff(lhs, rhs));
+    is_valid(&formula).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn side(region: Region) -> ConflictSide {
+        ConflictSide {
+            region,
+            guard: StructConstraint::default(),
+        }
+    }
+
+    #[test]
+    fn sibling_subtrees_are_disjoint() {
+        let left = side(Region::Subtree(ChildStep::Left));
+        let right = side(Region::Subtree(ChildStep::Right));
+        assert!(check_overlap(&left, &right).is_disjoint());
+    }
+
+    #[test]
+    fn node_and_its_subtree_overlap_with_a_witness() {
+        let here = side(Region::At(ChildStep::Here));
+        let subtree = side(Region::Subtree(ChildStep::Here));
+        match check_overlap(&here, &subtree) {
+            OverlapVerdict::Overlap(Some(example)) => {
+                let compiled = compile(&overlap_formula(&here, &subtree)).unwrap();
+                assert!(compiled.automaton.accepts(&example));
+            }
+            other => panic!("expected an overlap with a witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn child_access_misses_the_other_subtree() {
+        let at_left = side(Region::At(ChildStep::Left));
+        let right_subtree = side(Region::Subtree(ChildStep::Right));
+        assert!(check_overlap(&at_left, &right_subtree).is_disjoint());
+        // But the left child is inside the left subtree.
+        let left_subtree = side(Region::Subtree(ChildStep::Left));
+        assert!(!check_overlap(&at_left, &left_subtree).is_disjoint());
+    }
+
+    #[test]
+    fn contradictory_guards_rule_out_overlap() {
+        let impossible = ConflictSide {
+            region: Region::At(ChildStep::Here),
+            guard: StructConstraint {
+                no_left: true,
+                has_left: true,
+                ..StructConstraint::default()
+            },
+        };
+        let any = side(Region::Subtree(ChildStep::Here));
+        assert!(check_overlap(&impossible, &any).is_disjoint());
+    }
+
+    #[test]
+    fn incompatible_guards_rule_out_overlap() {
+        // One access requires a left child, the other its absence: they can
+        // never fire at the same invocation node.
+        let with_left = ConflictSide {
+            region: Region::At(ChildStep::Here),
+            guard: StructConstraint {
+                has_left: true,
+                ..StructConstraint::default()
+            },
+        };
+        let without_left = ConflictSide {
+            region: Region::At(ChildStep::Here),
+            guard: StructConstraint {
+                no_left: true,
+                ..StructConstraint::default()
+            },
+        };
+        assert!(check_overlap(&with_left, &without_left).is_disjoint());
+        assert!(!check_overlap(&with_left, &with_left).is_disjoint());
+    }
+
+    #[test]
+    fn guard_equivalence_sees_through_double_negation() {
+        let plain = GuardExpr::NilAt(ChildStep::Left);
+        let doubled = GuardExpr::Not(Box::new(GuardExpr::Not(Box::new(plain.clone()))));
+        assert!(guards_equivalent(&plain, &doubled));
+        assert!(guards_equivalent(
+            &GuardExpr::True,
+            &GuardExpr::Not(Box::new(GuardExpr::NilAt(ChildStep::Here)))
+        ));
+        assert!(!guards_equivalent(
+            &GuardExpr::NilAt(ChildStep::Left),
+            &GuardExpr::NilAt(ChildStep::Right)
+        ));
+    }
+}

@@ -47,6 +47,7 @@ pub mod automata;
 pub mod bounded;
 pub mod checker;
 pub mod compile;
+pub mod encode;
 pub mod formula;
 pub mod tree;
 

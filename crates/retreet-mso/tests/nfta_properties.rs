@@ -1,0 +1,209 @@
+//! Property-based tests (proptest) of the NFTA boolean algebra.
+//!
+//! The automata engine's unbounded verdicts rest entirely on the
+//! correctness of the `Nfta` operations: intersection, union, complement
+//! via determinization, trimming, emptiness, and language inclusion.  These
+//! properties pin the algebra laws over randomly generated automata and
+//! randomly shaped labeled trees, so a regression in any one operation
+//! breaks a law rather than silently flipping a verdict.
+
+use proptest::prelude::*;
+use retreet_mso::automata::{Nfta, Rule};
+use retreet_mso::tree::LabeledTree;
+use std::collections::BTreeSet;
+
+/// Decodes a random automaton from raw sampled integers.  Every decoded
+/// automaton is well-formed (states `0..num_states`, symbols `0..2^bits`);
+/// rule shapes are drawn from the full `(left?, right?, symbol, target)`
+/// space so unreachable states, dead states, and missing-child rules all
+/// occur in the sample.
+fn decode_nfta(bits: u32, num_states: usize, rule_seeds: &[u64], accept_mask: u64) -> Nfta {
+    let states = num_states as u64;
+    let symbols = 1u64 << bits;
+    let rules = rule_seeds
+        .iter()
+        .map(|&seed| {
+            // Mixed-radix decode: child slots range over {None} ∪ states.
+            let mut v = seed;
+            let child = |v: &mut u64| {
+                let c = *v % (states + 1);
+                *v /= states + 1;
+                if c == 0 {
+                    None
+                } else {
+                    Some((c - 1) as usize)
+                }
+            };
+            let left = child(&mut v);
+            let right = child(&mut v);
+            let symbol = (v % symbols) as u32;
+            v /= symbols;
+            let target = (v % states) as usize;
+            Rule {
+                left,
+                right,
+                symbol,
+                target,
+            }
+        })
+        .collect();
+    let accepting: BTreeSet<usize> = (0..num_states)
+        .filter(|s| accept_mask >> s & 1 == 1)
+        .collect();
+    Nfta {
+        num_states,
+        bits,
+        rules,
+        accepting,
+    }
+}
+
+/// Decodes a random labeled tree: `shape` drives left/right/stop insertion
+/// decisions, `labels` drives the per-node label bitmask (restricted to the
+/// automaton's `bits`).
+fn decode_tree(bits: u32, shape: u64, labels: u64, max_nodes: usize) -> LabeledTree {
+    let mut tree = LabeledTree::single();
+    let mut frontier = vec![tree.root()];
+    let mut shape = shape;
+    while tree.len() < max_nodes && !frontier.is_empty() {
+        let pick = (shape % frontier.len() as u64) as usize;
+        shape /= frontier.len().max(2) as u64;
+        let parent = frontier.swap_remove(pick);
+        match shape % 4 {
+            0 => {} // leaf: neither child
+            1 => frontier.push(tree.add_left(parent)),
+            2 => frontier.push(tree.add_right(parent)),
+            _ => {
+                frontier.push(tree.add_left(parent));
+                if tree.len() < max_nodes {
+                    frontier.push(tree.add_right(parent));
+                }
+            }
+        }
+        shape = shape / 4 + 0x9e37_79b9;
+    }
+    let mut labels = labels;
+    for node in tree.nodes().collect::<Vec<_>>() {
+        for bit in 0..bits {
+            if labels & 1 == 1 {
+                tree.add_label(node, bit);
+            }
+            labels = labels.rotate_right(1);
+        }
+        labels = labels.rotate_left(7).wrapping_add(0x517c_c1b7);
+    }
+    tree
+}
+
+proptest! {
+    /// `L(A) ∩ L(¬A) = ∅` — the complement really is a complement.  This
+    /// exercises determinize + complement + intersect + emptiness in one
+    /// law, the exact composition the validity engine runs.
+    #[test]
+    fn intersection_with_complement_is_empty(
+        bits in 1u32..3,
+        num_states in 1usize..4,
+        rule_seeds in proptest::collection::vec(0u64..1_000_000, 0..12),
+        accept_mask in any::<u64>(),
+    ) {
+        let a = decode_nfta(bits, num_states, &rule_seeds, accept_mask);
+        prop_assert!(a.intersect(&a.complement()).is_empty());
+    }
+
+    /// Determinization preserves the accepted language on sampled trees,
+    /// and never loses or gains emptiness.
+    #[test]
+    fn determinize_preserves_accepts(
+        bits in 1u32..3,
+        num_states in 1usize..4,
+        rule_seeds in proptest::collection::vec(0u64..1_000_000, 0..12),
+        accept_mask in any::<u64>(),
+        shape in any::<u64>(),
+        labels in any::<u64>(),
+        max_nodes in 1usize..8,
+    ) {
+        let a = decode_nfta(bits, num_states, &rule_seeds, accept_mask);
+        let d = a.determinize();
+        let tree = decode_tree(bits, shape, labels, max_nodes);
+        prop_assert_eq!(a.accepts(&tree), d.accepts(&tree));
+        prop_assert_eq!(a.is_empty(), d.is_empty());
+    }
+
+    /// Trimming is a language identity: it removes only unreachable and
+    /// dead states.
+    #[test]
+    fn trim_preserves_the_language(
+        bits in 1u32..3,
+        num_states in 1usize..5,
+        rule_seeds in proptest::collection::vec(0u64..1_000_000, 0..14),
+        accept_mask in any::<u64>(),
+        shape in any::<u64>(),
+        labels in any::<u64>(),
+        max_nodes in 1usize..8,
+    ) {
+        let a = decode_nfta(bits, num_states, &rule_seeds, accept_mask);
+        let t = a.trim();
+        let tree = decode_tree(bits, shape, labels, max_nodes);
+        prop_assert_eq!(a.accepts(&tree), t.accepts(&tree));
+        prop_assert_eq!(a.is_empty(), t.is_empty());
+    }
+
+    /// Union and intersection compute the pointwise boolean of membership,
+    /// and complement flips it.
+    #[test]
+    fn boolean_operations_match_membership(
+        bits in 1u32..3,
+        num_states in 1usize..4,
+        seeds_a in proptest::collection::vec(0u64..1_000_000, 0..10),
+        seeds_b in proptest::collection::vec(0u64..1_000_000, 0..10),
+        masks in (any::<u64>(), any::<u64>()),
+        shape in any::<u64>(),
+        labels in any::<u64>(),
+        max_nodes in 1usize..8,
+    ) {
+        let a = decode_nfta(bits, num_states, &seeds_a, masks.0);
+        let b = decode_nfta(bits, num_states, &seeds_b, masks.1);
+        let tree = decode_tree(bits, shape, labels, max_nodes);
+        let (in_a, in_b) = (a.accepts(&tree), b.accepts(&tree));
+        prop_assert_eq!(a.union(&b).accepts(&tree), in_a || in_b);
+        prop_assert_eq!(a.intersect(&b).accepts(&tree), in_a && in_b);
+        prop_assert_eq!(a.complement().accepts(&tree), !in_a);
+    }
+
+    /// Inclusion is consistent with the lattice: `A ⊆ A ∪ B` and
+    /// `A ∩ B ⊆ A` always hold, and an inclusion verdict agrees with the
+    /// emptiness of the difference.
+    #[test]
+    fn inclusion_agrees_with_the_lattice(
+        bits in 1u32..3,
+        num_states in 1usize..4,
+        seeds_a in proptest::collection::vec(0u64..1_000_000, 0..10),
+        seeds_b in proptest::collection::vec(0u64..1_000_000, 0..10),
+        masks in (any::<u64>(), any::<u64>()),
+    ) {
+        let a = decode_nfta(bits, num_states, &seeds_a, masks.0);
+        let b = decode_nfta(bits, num_states, &seeds_b, masks.1);
+        prop_assert!(a.included_in(&a.union(&b)));
+        prop_assert!(a.intersect(&b).included_in(&a));
+        prop_assert_eq!(
+            a.included_in(&b),
+            a.intersect(&b.complement()).is_empty()
+        );
+    }
+
+    /// A nonempty automaton's extracted example tree is genuinely accepted
+    /// — the witness extraction behind `Outcome::Invalid` is sound.
+    #[test]
+    fn example_trees_are_accepted(
+        bits in 1u32..3,
+        num_states in 1usize..4,
+        rule_seeds in proptest::collection::vec(0u64..1_000_000, 0..12),
+        accept_mask in any::<u64>(),
+    ) {
+        let a = decode_nfta(bits, num_states, &rule_seeds, accept_mask);
+        match a.example_tree() {
+            Some(tree) => prop_assert!(a.accepts(&tree), "example tree rejected"),
+            None => prop_assert!(a.is_empty()),
+        }
+    }
+}

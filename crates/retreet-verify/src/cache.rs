@@ -181,11 +181,15 @@ impl VerdictCache {
     /// oldest entry when the shard is full.
     ///
     /// A resident entry under the same key is only replaced when its
-    /// subjects equal the new entry's (a refresh).  When the subjects
-    /// *differ* — a 128-bit key collision — the resident entry is kept and
-    /// the event is counted in [`CacheStats::collisions`]: replacing it
-    /// would make the two colliding queries evict each other forever and
-    /// silently re-run their engines on every call.
+    /// subjects equal the new entry's (a refresh) *and* the incoming
+    /// verdict's soundness [`covers`](crate::verdict::Soundness::covers) the
+    /// resident one's: an unbounded answer upgrades a bounded entry in
+    /// place, but a bounded re-run never downgrades a resident unbounded
+    /// (or wider-bounded) verdict.  When the subjects *differ* — a 128-bit
+    /// key collision — the resident entry is kept and the event is counted
+    /// in [`CacheStats::collisions`]: replacing it would make the two
+    /// colliding queries evict each other forever and silently re-run their
+    /// engines on every call.
     pub(crate) fn insert(&self, key: CacheKey, subjects: Arc<OwnedQuery>, verdict: Verdict) {
         if !self.enabled() {
             return;
@@ -195,6 +199,10 @@ impl VerdictCache {
         match state.map.get(&key) {
             Some((resident, _)) if !resident.matches(&subjects.as_query()) => {
                 self.collisions.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Some((_, resident)) if !verdict.soundness.covers(&resident.soundness) => {
+                // The resident verdict is strictly stronger; keep it.
                 return;
             }
             Some(_) => {}
@@ -341,6 +349,92 @@ mod tests {
         assert_eq!(cache.get(&key(1), &query()).unwrap().trees_checked(), 9);
         assert_eq!(cache.stats().entries, 1);
         assert_eq!(cache.stats().collisions, 0);
+    }
+
+    fn bounded_verdict(n: usize, max_nodes: usize) -> Verdict {
+        Verdict {
+            soundness: Soundness::BoundedUpTo { max_nodes },
+            ..verdict(n)
+        }
+    }
+
+    #[test]
+    fn bounded_entry_is_upgraded_to_unbounded_in_place() {
+        let cache = VerdictCache::new(8);
+        cache.insert(key(1), subjects(), bounded_verdict(5, 4));
+        cache.insert(key(1), subjects(), verdict(0));
+        let got = cache.get(&key(1), &query()).expect("hit");
+        assert_eq!(got.soundness, Soundness::Unbounded, "entry upgraded");
+        assert_eq!(got.trees_checked(), 0, "upgraded verdict replaces payload");
+        assert_eq!(cache.stats().entries, 1, "upgrade is in place, not a copy");
+        assert_eq!(cache.stats().collisions, 0);
+    }
+
+    #[test]
+    fn unbounded_entry_is_never_downgraded() {
+        let cache = VerdictCache::new(8);
+        cache.insert(key(1), subjects(), verdict(0));
+        cache.insert(key(1), subjects(), bounded_verdict(9, 4));
+        let got = cache.get(&key(1), &query()).expect("hit");
+        assert_eq!(got.soundness, Soundness::Unbounded, "resident kept");
+        assert_eq!(got.trees_checked(), 0, "bounded payload not stored");
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn narrower_bounded_verdicts_do_not_replace_wider_ones() {
+        let cache = VerdictCache::new(8);
+        cache.insert(key(1), subjects(), bounded_verdict(9, 6));
+        cache.insert(key(1), subjects(), bounded_verdict(3, 4));
+        let got = cache.get(&key(1), &query()).expect("hit");
+        assert_eq!(got.soundness, Soundness::BoundedUpTo { max_nodes: 6 });
+        assert_eq!(got.trees_checked(), 9);
+        // An equal-or-wider bound is a refresh and does replace.
+        cache.insert(key(1), subjects(), bounded_verdict(11, 6));
+        assert_eq!(cache.get(&key(1), &query()).unwrap().trees_checked(), 11);
+    }
+
+    #[test]
+    fn hits_plus_misses_equals_lookups_under_concurrent_upgrade() {
+        // Many threads race gets against bounded inserts and unbounded
+        // upgrades of the same keys.  The accounting invariant must hold
+        // exactly: every lookup is one hit or one miss, never both or
+        // neither, even while entries are being upgraded under it.
+        let cache = Arc::new(VerdictCache::new(8));
+        let threads = 8;
+        let lookups_per_thread = 200;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..lookups_per_thread {
+                        let k = key((i % 4) as u64);
+                        if t % 2 == 0 {
+                            cache.insert(k, subjects(), bounded_verdict(i, 4));
+                        } else {
+                            cache.insert(k, subjects(), verdict(0));
+                        }
+                        let _ = cache.get(&k, &query());
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            (threads * lookups_per_thread) as u64,
+            "hits + misses must equal lookups exactly"
+        );
+        assert_eq!(stats.collisions, 0);
+        // Every surviving entry is at the top of the upgrade lattice: once
+        // an unbounded verdict lands, no bounded racer can undo it.
+        for n in 0..4 {
+            let got = cache.get(&key(n), &query()).expect("entry resident");
+            assert_eq!(got.soundness, Soundness::Unbounded, "key {n} upgraded");
+        }
     }
 
     #[test]

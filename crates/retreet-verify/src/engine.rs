@@ -11,7 +11,10 @@
 //!   dynamically; equivalence queries differentially, including the
 //!   Theorem 3 dependence-order condition),
 //! * [`Engine::Automata`] — the Thatcher–Wright compilation to tree
-//!   automata, *unbounded* on the MSO fragment it covers (validity queries),
+//!   automata, *unbounded* on the fragment it covers (all three query
+//!   kinds: validity directly, races via the structural access-summary
+//!   analysis, equivalence via the fusion-correspondence matcher — each
+//!   delegating to a bounded witness search when outside its fragment),
 //! * [`Engine::BoundedEnumeration`] — exhaustive model enumeration up to a
 //!   node bound (validity queries).
 
@@ -19,10 +22,12 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
+use retreet_analysis::corresp::check_fusion_correspondence;
 use retreet_analysis::equiv::{check_equivalence_cancellable, EquivOptions, EquivVerdict};
 use retreet_analysis::race::{
     check_data_race_cancellable, check_data_race_dynamic_cancellable, RaceOptions, RaceVerdict,
 };
+use retreet_analysis::summary::{structural_race_analysis, StructuralRaceAnalysis};
 use retreet_mso::bounded::{check_validity_cancellable, BoundedVerdict};
 use retreet_mso::compile;
 
@@ -38,8 +43,12 @@ pub enum Engine {
     /// The trace (reference-interpreter) engine (race and equivalence
     /// queries).
     Trace,
-    /// The unbounded tree-automata engine (validity queries on the core
-    /// fragment) — the reproduction's stand-in for MONA.
+    /// The unbounded tree-automata engine — the reproduction's stand-in
+    /// for MONA.  Answers validity queries on the core fragment directly,
+    /// race queries through the structural access-summary analysis, and
+    /// equivalence queries through the fusion-correspondence matcher; when
+    /// a query falls outside the decidable fragment it either delegates to
+    /// a bounded witness search (negative answers stay unbounded) or skips.
     Automata,
     /// Bounded validity by exhaustive model enumeration.
     BoundedEnumeration,
@@ -69,12 +78,10 @@ impl Engine {
     pub fn supports(self, kind: QueryKind) -> bool {
         matches!(
             (self, kind),
-            (Engine::Configuration, QueryKind::DataRace)
+            (Engine::Automata, _)
+                | (Engine::Configuration, QueryKind::DataRace)
                 | (Engine::Trace, QueryKind::DataRace | QueryKind::Equivalence)
-                | (
-                    Engine::Automata | Engine::BoundedEnumeration,
-                    QueryKind::Validity
-                )
+                | (Engine::BoundedEnumeration, QueryKind::Validity)
         )
     }
 }
@@ -179,6 +186,63 @@ fn run_engine_inner(
         return EngineAnswer::Cancelled;
     }
     match (engine, query) {
+        (Engine::Automata, Query::DataRace(program)) => {
+            match structural_race_analysis(program) {
+                StructuralRaceAnalysis::RaceFree { .. } => answer((
+                    Outcome::RaceFree {
+                        trees_checked: 0,
+                        configurations: 0,
+                    },
+                    Soundness::Unbounded,
+                )),
+                // A candidate pair survived the structural analysis: hand
+                // the program to the bounded search for a concrete witness.
+                // A found race is definitive (hence unbounded); a bounded
+                // all-clear is *not* an automata-grade answer, so skip and
+                // let the bounded engines claim it at their own soundness.
+                StructuralRaceAnalysis::Candidate { description, .. } => {
+                    match check_data_race_cancellable(program, &config.race_options(), cancel) {
+                        Some(RaceVerdict::Race(witness)) => {
+                            answer((Outcome::Race(Box::new(witness)), Soundness::Unbounded))
+                        }
+                        Some(RaceVerdict::RaceFree { .. }) => skip(
+                            engine,
+                            format!("structural candidate not discharged: {description}"),
+                        ),
+                        None => EngineAnswer::Cancelled,
+                    }
+                }
+            }
+        }
+        (Engine::Automata, Query::Equivalence(original, transformed)) => {
+            let fused_forward = check_fusion_correspondence(original, transformed);
+            let established = fused_forward.is_established()
+                || check_fusion_correspondence(transformed, original).is_established();
+            if established {
+                return answer((
+                    Outcome::Equivalent { trees_checked: 0 },
+                    Soundness::Unbounded,
+                ));
+            }
+            // No correspondence either way: search for a counterexample
+            // (definitive when found); a bounded agreement is left to the
+            // bounded engines.
+            match check_equivalence_cancellable(
+                original,
+                transformed,
+                &config.equiv_options(),
+                cancel,
+            ) {
+                Some(EquivVerdict::CounterExample(ce)) => {
+                    answer((Outcome::NotEquivalent(ce), Soundness::Unbounded))
+                }
+                Some(EquivVerdict::Equivalent { .. }) => skip(
+                    engine,
+                    "no fusion correspondence established in either direction",
+                ),
+                None => EngineAnswer::Cancelled,
+            }
+        }
         (Engine::Configuration, Query::DataRace(program)) => {
             match check_data_race_cancellable(program, &config.race_options(), cancel) {
                 Some(verdict) => answer(race_outcome(verdict, config.race_nodes)),
@@ -210,9 +274,21 @@ fn run_engine_inner(
                 None => EngineAnswer::Cancelled,
             }
         }
-        (Engine::Automata, Query::Validity(formula)) => match compile::is_valid(formula) {
-            Ok(true) => answer((Outcome::Valid { trees_checked: 0 }, Soundness::Unbounded)),
-            Ok(false) => answer((Outcome::Invalid(None), Soundness::Unbounded)),
+        (Engine::Automata, Query::Validity(formula)) => match compile::compile(formula) {
+            Ok(compiled) => {
+                let counterexamples = compiled.automaton.complement();
+                if counterexamples.is_empty() {
+                    answer((Outcome::Valid { trees_checked: 0 }, Soundness::Unbounded))
+                } else {
+                    // The complement is nonempty: extract a falsifying tree
+                    // from it so the unbounded engine's negative verdicts
+                    // carry a model just like the bounded engine's.
+                    answer((
+                        Outcome::Invalid(counterexamples.example_tree().map(Box::new)),
+                        Soundness::Unbounded,
+                    ))
+                }
+            }
             // Outside the compiler's fragment (too many variables, duplicate
             // binders): let the bounded engine answer instead.
             Err(err) => skip(engine, err.to_string()),
@@ -275,8 +351,10 @@ mod tests {
         assert!(Engine::Trace.supports(Equivalence));
         assert!(!Engine::Trace.supports(Validity));
         assert!(Engine::Automata.supports(Validity));
-        assert!(!Engine::Automata.supports(DataRace));
+        assert!(Engine::Automata.supports(DataRace));
+        assert!(Engine::Automata.supports(Equivalence));
         assert!(Engine::BoundedEnumeration.supports(Validity));
+        assert!(!Engine::BoundedEnumeration.supports(DataRace));
         assert!(!Engine::BoundedEnumeration.supports(Equivalence));
     }
 }

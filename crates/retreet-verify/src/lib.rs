@@ -23,9 +23,9 @@
 //! # The portfolio
 //!
 //! Each query kind is answered by every applicable engine in the portfolio
-//! (see [`Engine`]): configurations and traces for races, traces for
-//! equivalence, tree automata (unbounded, where the fragment allows) and
-//! bounded enumeration for validity.  With [`VerifierBuilder::parallel`]
+//! (see [`Engine`]): tree automata (unbounded, where the fragment allows)
+//! for all three kinds, configurations and traces for races, traces for
+//! equivalence, and bounded enumeration for validity.  With [`VerifierBuilder::parallel`]
 //! enabled, the applicable engines run concurrently on worker threads —
 //! but the verdict is always the one the *most authoritative* answering
 //! engine produces (dispatch order, unbounded engines first), identical in
@@ -808,7 +808,8 @@ mod tests {
             .verify(Query::DataRace(&corpus::size_counting_parallel()))
             .unwrap();
         assert!(race.is_race_free());
-        assert!(matches!(race.engine, Engine::Configuration | Engine::Trace));
+        assert_eq!(race.engine, Engine::Automata);
+        assert_eq!(race.soundness, Soundness::Unbounded);
 
         let equiv = verifier
             .verify(Query::Equivalence(
@@ -817,7 +818,8 @@ mod tests {
             ))
             .unwrap();
         assert!(equiv.is_equivalent());
-        assert_eq!(equiv.engine, Engine::Trace);
+        assert_eq!(equiv.engine, Engine::Automata);
+        assert_eq!(equiv.soundness, Soundness::Unbounded);
 
         let formula = Formula::exists_fo("x", Formula::Root(FoVar::new("x")));
         let valid = verifier.verify(Query::Validity(&formula)).unwrap();
@@ -1059,7 +1061,9 @@ mod tests {
 
     #[test]
     fn restricted_portfolio_reports_no_applicable_engine() {
-        let verifier = Verifier::builder().engines([Engine::Automata]).build();
+        let verifier = Verifier::builder()
+            .engines([Engine::BoundedEnumeration])
+            .build();
         match verifier.verify(Query::DataRace(&corpus::size_counting_parallel())) {
             Err(VerifyError::NoApplicableEngine { query, .. }) => {
                 assert_eq!(query, QueryKind::DataRace)

@@ -27,6 +27,24 @@ pub enum Soundness {
     },
 }
 
+impl Soundness {
+    /// True when a verdict with this soundness is at least as strong as one
+    /// with `other`: an unbounded answer covers everything, a bounded answer
+    /// covers bounded answers with a smaller-or-equal exhausted bound, and a
+    /// bounded answer never covers an unbounded one.  The verdict cache uses
+    /// this to decide whether a fresh verdict may replace a resident one.
+    pub fn covers(&self, other: &Soundness) -> bool {
+        match (self, other) {
+            (Soundness::Unbounded, _) => true,
+            (Soundness::BoundedUpTo { .. }, Soundness::Unbounded) => false,
+            (
+                Soundness::BoundedUpTo { max_nodes: mine },
+                Soundness::BoundedUpTo { max_nodes: theirs },
+            ) => mine >= theirs,
+        }
+    }
+}
+
 impl fmt::Display for Soundness {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -63,8 +81,9 @@ pub enum Outcome {
         /// answer does not come from enumeration).
         trees_checked: usize,
     },
-    /// The formula fails; the bounded engine attaches the falsifying tree,
-    /// the automata engine reports failure without a model.
+    /// The formula fails; both engines attach a falsifying tree when one
+    /// can be extracted (the automata engine reads it off the nonempty
+    /// complement automaton).
     Invalid(Option<Box<LabeledTree>>),
 }
 
@@ -181,5 +200,38 @@ impl fmt::Display for Verdict {
             if self.coalesced { ", coalesced" } else { "" },
             self.elapsed
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_is_the_upgrade_lattice_order() {
+        let unbounded = Soundness::Unbounded;
+        let narrow = Soundness::BoundedUpTo { max_nodes: 3 };
+        let wide = Soundness::BoundedUpTo { max_nodes: 7 };
+        // Unbounded is the top element.
+        assert!(unbounded.covers(&unbounded));
+        assert!(unbounded.covers(&narrow));
+        assert!(unbounded.covers(&wide));
+        // A bounded verdict never covers an unbounded one.
+        assert!(!narrow.covers(&unbounded));
+        assert!(!wide.covers(&unbounded));
+        // Among bounded verdicts, covering follows the node bound, and
+        // equal bounds cover each other (a refresh is allowed).
+        assert!(wide.covers(&narrow));
+        assert!(!narrow.covers(&wide));
+        assert!(narrow.covers(&narrow));
+    }
+
+    #[test]
+    fn soundness_renders_the_guarantee() {
+        assert_eq!(Soundness::Unbounded.to_string(), "unbounded");
+        assert_eq!(
+            Soundness::BoundedUpTo { max_nodes: 5 }.to_string(),
+            "bounded (all models up to 5 nodes)"
+        );
     }
 }

@@ -34,7 +34,7 @@ fn configuration_and_trace_engines_agree_on_every_corpus_program() {
 }
 
 #[test]
-fn trace_engine_certifies_every_corpus_fusion_pair() {
+fn portfolio_certifies_every_corpus_fusion_pair_unbounded() {
     // The §5 fusion pairs, with the expected verdicts.
     let verifier = Verifier::builder().equiv_nodes(4).valuations(2).build();
     let pairs = [
@@ -79,7 +79,11 @@ fn trace_engine_certifies_every_corpus_fusion_pair() {
             "{id}: {:?}",
             verdict.outcome
         );
-        assert_eq!(verdict.engine, Engine::Trace);
+        // The automata tier answers every §5 fusion pair: the correct
+        // fusions via an established correspondence, the invalid one via a
+        // delegated counterexample search — unbounded either way.
+        assert_eq!(verdict.engine, Engine::Automata, "{id}");
+        assert_eq!(verdict.soundness, Soundness::Unbounded, "{id}");
     }
 }
 
@@ -155,11 +159,22 @@ fn second_identical_query_returns_a_cached_verdict_with_identical_witness() {
 
 #[test]
 fn different_budgets_do_not_share_cache_entries() {
-    // Same query, different max_nodes: the fingerprint must keep them apart.
-    let small = Verifier::builder().max_nodes(2).valuations(1).build();
+    // Same query, different max_nodes: the fingerprint must keep them
+    // apart.  The portfolio is pinned to the bounded configuration engine
+    // so the verdicts actually depend on the budget (the automata engine
+    // would answer both budgets identically, with no trees checked).
     let program = corpus::size_counting_parallel();
+    let small = Verifier::builder()
+        .max_nodes(2)
+        .valuations(1)
+        .engines([Engine::Configuration])
+        .build();
     let a = small.verify(Query::DataRace(&program)).unwrap();
-    let big = Verifier::builder().max_nodes(3).valuations(1).build();
+    let big = Verifier::builder()
+        .max_nodes(3)
+        .valuations(1)
+        .engines([Engine::Configuration])
+        .build();
     let b = big.verify(Query::DataRace(&program)).unwrap();
     assert!(a.trees_checked() < b.trees_checked());
 }
