@@ -27,6 +27,20 @@
 //! under load is a bug, not a throughput result.  A cold-burst phase
 //! additionally asserts single-flight coalescing: 8 threads issuing the
 //! same cold query must trigger exactly one engine run.
+//!
+//! Schema v2 adds three robustness phases, each on a fresh service:
+//!
+//! * **shed** — a deliberately tiny cold lane (1 worker, 1-slot queue)
+//!   under stalled engines; every request must be answered correctly or
+//!   shed with a typed `overloaded` error, and the shed rate is recorded.
+//! * **deadline** — engines stalled far past a short per-query deadline;
+//!   every query must resolve as a typed `deadline_exceeded` error or a
+//!   correct degraded verdict (fail-closed), and the deadline-hit rate is
+//!   recorded.
+//! * **cold restart** — the workload is served once with a persistent
+//!   verdict store, the service is dropped, and a restarted service must
+//!   answer the whole workload from the recovered store with **zero**
+//!   engine runs; a warm-hit rate below 1.0 fails the run.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
@@ -34,6 +48,7 @@ use std::time::Instant;
 
 use retreet_lang::corpus;
 use retreet_serve::{json, ServeOptions, Service};
+use retreet_verify::FaultPlan;
 
 struct Args {
     quick: bool,
@@ -290,6 +305,183 @@ fn cold_burst(options: &ServeOptions) -> Result<(usize, u64, u64), String> {
     Ok((THREADS, serving.coalesced, cache.hits))
 }
 
+/// Outcome of one robustness phase: how many requests were issued and how
+/// many hit the phase's event (shed / deadline / warm hit).
+struct Phase {
+    requests: usize,
+    events: u64,
+    rate: f64,
+}
+
+/// The admission-control phase: a deliberately tiny cold lane (1 worker,
+/// 1-slot queue) with every engine run stalled, hammered by concurrent
+/// distinct cold queries.  Every response must be either a correct verdict
+/// or a typed `overloaded` shed — anything else (a wrong verdict, an
+/// untyped error, a hang) fails the run.
+fn overload_shed(options: &ServeOptions) -> Result<Phase, String> {
+    let sources: [(&str, &str); 6] = [
+        (corpus::CYCLETREE_PARALLEL_SRC, "race"),
+        (corpus::OVERLAPPING_PARALLEL_SRC, "race"),
+        (corpus::DISJOINT_PARALLEL_SRC, "race-free"),
+        (corpus::SIZE_COUNTING_PARALLEL_SRC, "race-free"),
+        (corpus::SIZE_COUNTING_SEQUENTIAL_SRC, "race-free"),
+        (corpus::TREE_MUTATION_ORIGINAL_SRC, "race-free"),
+    ];
+    let service = Arc::new(Service::new(&ServeOptions {
+        workers: 1,
+        cold_queue: 1,
+        faults: Some(Arc::new(
+            FaultPlan::builder(17).engine_stall(1.0, 120).build(),
+        )),
+        ..options.clone()
+    }));
+    let barrier = Arc::new(Barrier::new(sources.len()));
+    let mut handles = Vec::new();
+    for (source, expected) in sources {
+        let service = Arc::clone(&service);
+        let barrier = Arc::clone(&barrier);
+        let line = format!(r#"{{"kind":"race","program":"{}"}}"#, json::escape(source));
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            (service.handle_line(&line), expected)
+        }));
+    }
+    let mut shed = 0u64;
+    let mut answered = 0u64;
+    for handle in handles {
+        let (response, expected) = handle.join().expect("shed client panicked");
+        if response.contains(r#""code":"overloaded""#) {
+            shed += 1;
+        } else {
+            check_response(&response, expected).map_err(|err| format!("shed phase: {err}"))?;
+            answered += 1;
+        }
+    }
+    if answered == 0 || shed == 0 {
+        return Err(format!(
+            "shed phase must both answer and shed under a full 1-slot queue \
+             (answered {answered}, shed {shed})"
+        ));
+    }
+    Ok(Phase {
+        requests: sources.len(),
+        events: shed,
+        rate: shed as f64 / sources.len() as f64,
+    })
+}
+
+/// The deadline phase: every engine run stalls far past a short per-query
+/// deadline, so every cold query must resolve *typed* — a
+/// `deadline_exceeded` error or a correct degraded verdict — never a wrong
+/// answer and never a hang.
+fn deadline_pressure(options: &ServeOptions) -> Result<Phase, String> {
+    let sources: [(&str, &str); 4] = [
+        (corpus::CYCLETREE_PARALLEL_SRC, "race"),
+        (corpus::OVERLAPPING_PARALLEL_SRC, "race"),
+        (corpus::DISJOINT_PARALLEL_SRC, "race-free"),
+        (corpus::SIZE_COUNTING_PARALLEL_SRC, "race-free"),
+    ];
+    let service = Service::new(&ServeOptions {
+        deadline_ms: 60,
+        faults: Some(Arc::new(
+            FaultPlan::builder(23).engine_stall(1.0, 5_000).build(),
+        )),
+        ..options.clone()
+    });
+    for (source, expected) in sources {
+        let line = format!(r#"{{"kind":"race","program":"{}"}}"#, json::escape(source));
+        let response = service.handle_line(&line);
+        let degraded_ok =
+            response.contains(r#""degraded":true"#) && check_response(&response, expected).is_ok();
+        if !response.contains(r#""code":"deadline_exceeded""#) && !degraded_ok {
+            return Err(format!(
+                "deadline phase: expected a typed deadline_exceeded error or a \
+                 correct degraded verdict, got: {response}"
+            ));
+        }
+    }
+    let hits = service.verifier().serving_stats().deadline_hits;
+    if hits == 0 {
+        return Err(String::from(
+            "deadline phase: stalled engines under a 60ms deadline recorded no \
+             deadline hits",
+        ));
+    }
+    Ok(Phase {
+        requests: sources.len(),
+        events: hits,
+        rate: hits as f64 / sources.len() as f64,
+    })
+}
+
+/// The crash-recovery phase: serve the whole workload once with a
+/// persistent verdict store, drop the service, restart against the same
+/// log, and replay the workload.  The restarted service must answer every
+/// request from the recovered store — zero engine runs, warm-hit rate
+/// exactly 1.0 — or the run fails.
+fn cold_restart(options: &ServeOptions, work: &[WorkItem]) -> Result<Phase, String> {
+    let path = std::env::temp_dir().join(format!(
+        "retreet-bench-service-{}.rslog",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let persisted = ServeOptions {
+        persist: Some(path.clone()),
+        ..options.clone()
+    };
+    {
+        let service = Service::new(&persisted);
+        for item in work {
+            let response = service.handle_line(&item.line);
+            check_response(&response, item.expected_verdict)
+                .map_err(|err| format!("restart phase (first boot): {err}"))?;
+        }
+        if !service.finish() {
+            return Err(String::from(
+                "restart phase: first boot missed its drain deadline",
+            ));
+        }
+    }
+    let service = Service::new(&persisted);
+    let loaded = service
+        .verifier()
+        .store_stats()
+        .map_or(0, |stats| stats.loaded);
+    for item in work {
+        let response = service.handle_line(&item.line);
+        check_response(&response, item.expected_verdict)
+            .map_err(|err| format!("restart phase (after restart): {err}"))?;
+        if !response.contains(r#""cached":true"#) {
+            return Err(format!(
+                "restart phase: a recovered verdict was not served as a cache \
+                 hit: {response}"
+            ));
+        }
+    }
+    let hits = service.verifier().cache_stats().hits;
+    let engine_runs = service.verifier().serving_stats().engine_runs;
+    let _ = std::fs::remove_file(&path);
+    if engine_runs != 0 {
+        return Err(format!(
+            "restart phase: the restarted service re-ran {engine_runs} engine \
+             dispatch(es); the recovered store ({loaded} verdicts) must answer \
+             everything"
+        ));
+    }
+    let rate = hits as f64 / work.len() as f64;
+    if rate < 1.0 {
+        return Err(format!(
+            "restart phase: warm-hit rate {rate:.4} after restart; every replayed \
+             request must hit the recovered store"
+        ));
+    }
+    Ok(Phase {
+        requests: work.len(),
+        events: hits,
+        rate,
+    })
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(args) => args,
@@ -374,6 +566,42 @@ fn main() {
         burst.0, burst.1, burst.2
     );
 
+    // Robustness phases (schema v2): each runs against a fresh service so
+    // its stats don't pollute the warm-cache numbers above.
+    let shed = match overload_shed(&options) {
+        Ok(phase) => phase,
+        Err(err) => {
+            eprintln!("bench_service: {err}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "overload: {} requests, {} shed (shed rate {:.4})",
+        shed.requests, shed.events, shed.rate
+    );
+    let deadline = match deadline_pressure(&options) {
+        Ok(phase) => phase,
+        Err(err) => {
+            eprintln!("bench_service: {err}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "deadline: {} requests, {} deadline hits (hit rate {:.4})",
+        deadline.requests, deadline.events, deadline.rate
+    );
+    let restart = match cold_restart(&options, &work) {
+        Ok(phase) => phase,
+        Err(err) => {
+            eprintln!("bench_service: {err}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "cold restart: {} requests, {} warm hits (warm-hit rate {:.4})",
+        restart.requests, restart.events, restart.rate
+    );
+
     let cache = service.verifier().cache_stats();
     let serving = service.verifier().serving_stats();
     let hit_rate = cache.hits as f64 / (cache.hits + cache.misses).max(1) as f64;
@@ -384,14 +612,18 @@ fn main() {
         hit_rate, coalescing_rate
     );
 
-    let mut out = String::from("{\n  \"schema\": \"retreet-bench-service/v1\",\n");
+    let mut out = String::from("{\n  \"schema\": \"retreet-bench-service/v2\",\n");
     out.push_str(
         "  \"methodology\": \"warm-cache NDJSON serving: corpus preloaded via warm_start, \
          then N client threads replay the full \\u00a75 request mix (race + equivalence + \
          validity) against one shared Service; every response is checked against the \
          paper's verdict; latencies are per-request wall clock including JSON parse; the \
          cold burst issues one identical cold query from 8 threads and asserts exactly one \
-         engine run (single-flight)\",\n",
+         engine run (single-flight); v2 adds three fresh-service robustness phases: shed \
+         rate under a full 1-slot cold queue with stalled engines, deadline-hit rate with \
+         engines stalled past a 60ms per-query deadline, and the warm-hit rate after a \
+         cold restart from the persisted verdict store (must be 1.0 with zero engine \
+         runs)\",\n",
     );
     out.push_str(&format!("  \"cores\": {cores},\n"));
     out.push_str(&format!(
@@ -427,8 +659,30 @@ fn main() {
     ));
     out.push_str(&format!(
         "  \"serving\": {{ \"engine_runs\": {}, \"cancelled_runs\": {}, \"coalesced\": {}, \
-         \"coalescing_rate\": {coalescing_rate:.4} }}\n}}\n",
-        serving.engine_runs, serving.cancelled_runs, serving.coalesced
+         \"panicked_runs\": {}, \"deadline_hits\": {}, \"degraded\": {}, \
+         \"coalescing_rate\": {coalescing_rate:.4} }},\n",
+        serving.engine_runs,
+        serving.cancelled_runs,
+        serving.coalesced,
+        serving.panicked_runs,
+        serving.deadline_hits,
+        serving.degraded
+    ));
+    out.push_str(&format!(
+        "  \"robustness\": {{\n    \"shed\": {{ \"requests\": {}, \"shed\": {}, \
+         \"shed_rate\": {:.4} }},\n    \"deadline\": {{ \"requests\": {}, \
+         \"deadline_hits\": {}, \"deadline_hit_rate\": {:.4} }},\n    \
+         \"cold_restart\": {{ \"requests\": {}, \"warm_hits\": {}, \
+         \"warm_hit_rate\": {:.4} }}\n  }}\n}}\n",
+        shed.requests,
+        shed.events,
+        shed.rate,
+        deadline.requests,
+        deadline.events,
+        deadline.rate,
+        restart.requests,
+        restart.events,
+        restart.rate
     ));
     if let Err(err) = std::fs::write(&args.out, &out) {
         eprintln!("bench_service: cannot write {}: {err}", args.out);

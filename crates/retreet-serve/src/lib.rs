@@ -31,34 +31,83 @@
 //!   codegen tier's compile/execute counters.
 //!
 //! Every verdict response carries the engine provenance, the soundness
-//! caveat, and the `cached` / `coalesced` serving flags, so a client can
-//! always tell how its answer was produced.  Malformed requests are
-//! answered with `{"status": "error", ...}` on the same line — the
+//! caveat, the `cached` / `coalesced` serving flags and the `degraded`
+//! deadline marker, so a client can always tell how its answer was
+//! produced.  Malformed requests are answered with
+//! `{"status": "error", "code": ..., ...}` on the same line — the
 //! connection (and the service) stays up.
 //!
+//! # The two-lane scheduler
+//!
+//! Every verification request is first *probed* against the shared
+//! verifier ([`Verifier::probe`]):
+//!
+//! ```text
+//!              ┌─ probe ──────────────────────────────────────────┐
+//!   request ──►│ Hit / InFlight ──► warm lane: answered inline    │──► response
+//!              │                    (cache read / coalesced wait) │
+//!              │ Cold ────────────► cold lane: bounded queue ───► │
+//!              │                    worker pool (portfolio run)   │
+//!              └──────── queue full? ──► {"code":"overloaded"} ───┘
+//! ```
+//!
+//! Warm lookups are answered on the connection thread and can never queue
+//! behind expensive cold verifications; cold work goes through a *bounded*
+//! queue drained by a fixed worker pool, and when that queue is full the
+//! request is shed with an explicit `overloaded` error instead of growing
+//! an unbounded backlog.  See [`ServeOptions::workers`] /
+//! [`ServeOptions::cold_queue`].
+//!
+//! # Robustness
+//!
+//! * **Deadlines** — [`ServeOptions::deadline_ms`] arms a per-query
+//!   wall-clock budget; an expired query resolves fail-closed (a verdict
+//!   marked `degraded` when a finished engine's answer can be served,
+//!   the typed `deadline_exceeded` error otherwise — never a wrong or
+//!   truncated verdict).
+//! * **Persistence** — [`ServeOptions::persist`] backs the verdict cache
+//!   with a crash-safe append-only log; a restarted replica reloads every
+//!   verdict it ever computed and serves them as cache hits.
+//! * **Graceful shutdown** — a `{"kind": "shutdown"}` request (or
+//!   [`Service::finish`]) stops intake, drains in-flight requests under
+//!   [`ServeOptions::drain_ms`], flushes the store and lets the process
+//!   exit 0 with no in-flight response lost.
+//! * **Fault injection** — a seeded [`retreet_verify::FaultPlan`] drives
+//!   engine panics/stalls, store write faults and connection drops for
+//!   the chaos suite; the service isolates each, and the shared process
+//!   survives.
+//!
 //! [`Service::warm_start`] preloads the §5 corpus verdicts so a fresh
-//! replica answers the common queries from the cache immediately.
+//! replica answers the common queries from the cache immediately; a
+//! persistent store generalizes this to every verdict ever computed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod formula;
 pub mod json;
+mod sched;
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use retreet_analysis::vtree::ValueTree;
 use retreet_lang::ast::Program;
 use retreet_lang::corpus;
 use retreet_mso::formula::Formula;
 use retreet_runtime::exec::{ExecTier, ProgramExecutor};
-use retreet_verify::{Outcome, Query, Soundness, Verdict, Verifier, VerifyError};
+use retreet_verify::{
+    CorruptionPolicy, FaultPlan, FaultSite, InjectedFault, Outcome, Query, Soundness, Verdict,
+    Verifier, VerifyError, Warmth,
+};
 
 use json::Value;
+use sched::{Admission, ColdPool};
 
 /// Budget and portfolio options of a service verifier (a trimmed mirror of
 /// the [`Verifier`] builder knobs, so `main` can parse them from flags).
@@ -76,6 +125,27 @@ pub struct ServeOptions {
     pub parallel: bool,
     /// Verdict-cache capacity (0 disables caching and coalescing).
     pub cache_capacity: usize,
+    /// Cold-lane worker threads (clamped to ≥ 1).
+    pub workers: usize,
+    /// Bound of the cold-lane queue; a full queue sheds with `overloaded`.
+    pub cold_queue: usize,
+    /// Per-query wall-clock budget in milliseconds (0 = no deadline).
+    pub deadline_ms: u64,
+    /// Most simultaneous TCP connections [`serve_tcp`] accepts; further
+    /// clients are answered one `overloaded` error line and disconnected.
+    pub max_connections: usize,
+    /// How long [`Service::finish`] waits for in-flight requests before
+    /// cancelling what remains.
+    pub drain_ms: u64,
+    /// Back the verdict cache with a crash-safe log at this path.
+    pub persist: Option<PathBuf>,
+    /// With [`Self::persist`]: refuse to open a corrupt store instead of
+    /// skipping bad records.
+    pub fail_open: bool,
+    /// Seeded fault-injection plan shared by the verifier's engine/store
+    /// sites and this crate's connection writer.  Chaos-testing hook —
+    /// never set in production.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeOptions {
@@ -87,29 +157,74 @@ impl Default for ServeOptions {
             valuations: 2,
             parallel: false,
             cache_capacity: 4096,
+            workers: 2,
+            cold_queue: 256,
+            deadline_ms: 0,
+            max_connections: 64,
+            drain_ms: 2_000,
+            persist: None,
+            fail_open: false,
+            faults: None,
         }
     }
 }
 
 impl ServeOptions {
-    /// Builds the verifier these options describe.
-    pub fn build_verifier(&self) -> Verifier {
-        Verifier::builder()
+    /// Builds the verifier these options describe, reporting store-open
+    /// failures instead of panicking.
+    pub fn try_build_verifier(&self) -> Result<Verifier, VerifyError> {
+        let mut builder = Verifier::builder()
             .race_nodes(self.race_nodes)
             .equiv_nodes(self.equiv_nodes)
             .validity_nodes(self.validity_nodes)
             .valuations(self.valuations)
             .parallel(self.parallel)
-            .cache_capacity(self.cache_capacity)
-            .build()
+            .cache_capacity(self.cache_capacity);
+        if self.deadline_ms > 0 {
+            builder = builder.default_deadline(Duration::from_millis(self.deadline_ms));
+        }
+        if let Some(plan) = &self.faults {
+            builder = builder.shared_fault_plan(Arc::clone(plan));
+        }
+        if let Some(path) = &self.persist {
+            let policy = if self.fail_open {
+                CorruptionPolicy::FailOpen
+            } else {
+                CorruptionPolicy::SkipAndLog
+            };
+            builder = builder.persist_with_policy(path.clone(), policy);
+        }
+        builder.try_build()
+    }
+
+    /// Builds the verifier these options describe (panics on a store-open
+    /// failure; use [`Self::try_build_verifier`] to handle it).
+    pub fn build_verifier(&self) -> Verifier {
+        self.try_build_verifier()
+            .expect("ServeOptions::build_verifier: verdict store failed to open")
     }
 }
 
-/// The service: one shared verifier plus request accounting.  `Sync` — one
-/// instance serves any number of client threads/connections.
+/// The service: one shared verifier, the two-lane scheduler and request
+/// accounting.  `Sync` — one instance serves any number of client
+/// threads/connections.
 pub struct Service {
-    verifier: Verifier,
+    verifier: Arc<Verifier>,
+    /// The cold lane: bounded queue + worker pool (see [`crate`] docs).
+    cold: ColdPool,
+    /// Connection-writer fault hook (mirrors the verifier's plan).
+    faults: Option<Arc<FaultPlan>>,
     requests: AtomicU64,
+    /// Requests answered inline on the warm lane (cache hit or coalesced).
+    warm_inline: AtomicU64,
+    /// Requests currently being handled by a serving loop (the drain gauge:
+    /// counted from read to *flushed response*).
+    inflight: AtomicU64,
+    /// Raised by a `shutdown` request or [`Self::finish`]; serving loops
+    /// stop reading and new verification work is refused.
+    shutting_down: AtomicBool,
+    max_connections: usize,
+    drain_ms: u64,
     /// Compiled executors, keyed by program source (a `run` request pays
     /// compilation and lowering certification once per distinct program).
     executors: Mutex<HashMap<String, Arc<ProgramExecutor>>>,
@@ -145,16 +260,38 @@ impl ParsedQuery {
 }
 
 impl Service {
-    /// A service over a fresh verifier built from `options`.
+    /// A service over a fresh verifier built from `options`.  Panics if the
+    /// persistent store fails to open; [`Self::try_new`] reports it.
     pub fn new(options: &ServeOptions) -> Self {
-        Service::from_verifier(options.build_verifier())
+        Service::try_new(options).expect("Service::new: verdict store failed to open")
     }
 
-    /// A service over a caller-built verifier.
+    /// A service over a fresh verifier built from `options`, reporting
+    /// store-open failures.
+    pub fn try_new(options: &ServeOptions) -> Result<Self, VerifyError> {
+        let verifier = options.try_build_verifier()?;
+        Ok(Service::assemble(verifier, options))
+    }
+
+    /// A service over a caller-built verifier (scheduler knobs take their
+    /// defaults; the verifier's fault plan, if any, also drives the
+    /// connection-writer site).
     pub fn from_verifier(verifier: Verifier) -> Self {
+        Service::assemble(verifier, &ServeOptions::default())
+    }
+
+    fn assemble(verifier: Verifier, options: &ServeOptions) -> Self {
+        let faults = verifier.fault_plan();
         Service {
-            verifier,
+            verifier: Arc::new(verifier),
+            cold: ColdPool::new(options.workers, options.cold_queue),
+            faults,
             requests: AtomicU64::new(0),
+            warm_inline: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+            max_connections: options.max_connections.max(1),
+            drain_ms: options.drain_ms,
             executors: Mutex::new(HashMap::new()),
             compiles: AtomicU64::new(0),
             vm_runs: AtomicU64::new(0),
@@ -171,6 +308,42 @@ impl Service {
     /// a batch counts once plus nothing per sub-query).
     pub fn requests_handled(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Whether shutdown was requested (serving loops stop after their
+    /// current response).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: refuse new verification work, wait up to the
+    /// configured drain budget for in-flight requests to flush their
+    /// responses, cancel whatever remains, join the cold-lane workers and
+    /// durably flush the verdict store.  Idempotent.  Returns `true` when
+    /// everything drained inside the budget (`false` = stragglers were
+    /// cancelled).
+    pub fn finish(&self) -> bool {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        self.cold.close();
+        let deadline = Instant::now() + Duration::from_millis(self.drain_ms);
+        let drained = loop {
+            if self.inflight.load(Ordering::SeqCst) == 0 {
+                break true;
+            }
+            if Instant::now() >= deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        if !drained {
+            // Past the drain budget: raise the cooperative-cancel flag of
+            // every live dispatch so stuck engines resolve fail-closed and
+            // the workers can exit.
+            self.verifier.abort_inflight();
+        }
+        self.cold.join();
+        self.verifier.flush_store();
+        drained
     }
 
     /// Preloads the verdict cache with the §5 corpus: a race query per
@@ -214,33 +387,94 @@ impl Service {
 
     /// Handles one NDJSON request line and returns the one-line response.
     /// Never panics on malformed input — parse and protocol errors come
-    /// back as `{"status": "error", ...}`.
+    /// back as `{"status": "error", "code": ..., ...}`.
     pub fn handle_line(&self, line: &str) -> String {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let value = match json::parse(line) {
             Ok(value) => value,
-            Err(err) => return error_response(None, &format!("invalid JSON: {err}")),
+            Err(err) => {
+                return error_response(None, "bad_request", &format!("invalid JSON: {err}"))
+            }
         };
         let Some(request) = value.as_object() else {
-            return error_response(None, "request must be a JSON object");
+            return error_response(None, "bad_request", "request must be a JSON object");
         };
         let id = request.get("id");
         let kind = match request.get("kind").and_then(Value::as_str) {
             Some(kind) => kind,
-            None => return error_response(id, "missing string field `kind`"),
+            None => return error_response(id, "bad_request", "missing string field `kind`"),
         };
+        if self.is_shutting_down()
+            && matches!(kind, "race" | "equivalence" | "validity" | "batch" | "run")
+        {
+            return error_response(id, "shutting_down", "service is draining for shutdown");
+        }
         match kind {
             "race" | "equivalence" | "validity" => match parse_query(kind, request) {
-                Ok(parsed) => {
-                    let result = self.verifier.verify(parsed.as_query());
-                    verdict_response(id, &parsed, &result)
-                }
-                Err(err) => error_response(id, &err),
+                Ok(parsed) => self.answer_query(id, parsed),
+                Err(err) => error_response(id, "bad_request", &err),
             },
             "batch" => self.handle_batch(id, request),
             "run" => self.handle_run(id, request),
             "stats" => self.stats_response(id),
-            other => error_response(id, &format!("unknown request kind `{other}`")),
+            "shutdown" => self.handle_shutdown(id),
+            other => error_response(
+                id,
+                "bad_request",
+                &format!("unknown request kind `{other}`"),
+            ),
+        }
+    }
+
+    /// The two-lane scheduler (see the crate docs): warm queries answer
+    /// inline; cold queries go through the bounded worker pool and are shed
+    /// with `overloaded` when it is full.
+    fn answer_query(&self, id: Option<&Value>, parsed: ParsedQuery) -> String {
+        match self.verifier.probe(&parsed.as_query()) {
+            Warmth::Hit | Warmth::InFlight => {
+                self.warm_inline.fetch_add(1, Ordering::Relaxed);
+                let result = self.verifier.verify(parsed.as_query());
+                verdict_response(id, &parsed, &result)
+            }
+            Warmth::Cold => {
+                let verifier = Arc::clone(&self.verifier);
+                let id_owned: Option<Value> = id.cloned();
+                let (tx, rx) = mpsc::channel::<String>();
+                let admission = self.cold.submit(Box::new(move || {
+                    let result = verifier.verify(parsed.as_query());
+                    let _ = tx.send(verdict_response(id_owned.as_ref(), &parsed, &result));
+                }));
+                self.await_cold(id, admission, &rx)
+            }
+        }
+    }
+
+    /// Maps a cold-lane admission to its response, blocking on the worker
+    /// when the job was accepted.
+    fn await_cold(
+        &self,
+        id: Option<&Value>,
+        admission: Admission,
+        rx: &mpsc::Receiver<String>,
+    ) -> String {
+        match admission {
+            Admission::Accepted => match rx.recv() {
+                Ok(response) => {
+                    self.cold.note_executed();
+                    response
+                }
+                // The worker died mid-job (a panic outside the verifier's
+                // own isolation): fail this request, keep the service up.
+                Err(_) => error_response(id, "internal", "cold-lane worker failed mid-query"),
+            },
+            Admission::Overloaded => error_response(
+                id,
+                "overloaded",
+                "cold verification queue is full; retry later",
+            ),
+            Admission::ShuttingDown => {
+                error_response(id, "shutting_down", "service is draining for shutdown")
+            }
         }
     }
 
@@ -250,7 +484,11 @@ impl Service {
         request: &std::collections::BTreeMap<String, Value>,
     ) -> String {
         let Some(items) = request.get("queries").and_then(Value::as_array) else {
-            return error_response(id, "batch requests need an array field `queries`");
+            return error_response(
+                id,
+                "bad_request",
+                "batch requests need an array field `queries`",
+            );
         };
         // Parse every sub-request first; parse failures keep their slot so
         // `results[i]` always answers `queries[i]`.
@@ -267,27 +505,34 @@ impl Service {
                 parse_query(kind, object)
             })
             .collect();
-        let queries: Vec<Query<'_>> = parsed
-            .iter()
-            .filter_map(|p| p.as_ref().ok())
-            .map(ParsedQuery::as_query)
-            .collect();
-        let mut verdicts = self.verifier.verify_batch(&queries).into_iter();
-        let results: Vec<String> = parsed
-            .iter()
-            .map(|entry| match entry {
-                Ok(parsed) => {
-                    let result = verdicts.next().expect("one verdict per parsed query");
-                    verdict_response(None, parsed, &result)
-                }
-                Err(err) => error_response(None, err),
-            })
-            .collect();
+        // A batch with only warm sub-queries stays on the warm lane; one
+        // cold member sends the whole batch through the pool (its fan-out
+        // runs on a worker, not on the connection thread).
+        let any_cold = parsed.iter().any(|entry| match entry {
+            Ok(parsed) => self.verifier.probe(&parsed.as_query()) == Warmth::Cold,
+            Err(_) => false,
+        });
+        if !any_cold {
+            self.warm_inline.fetch_add(1, Ordering::Relaxed);
+            return batch_response(&self.verifier, id, &parsed);
+        }
+        let verifier = Arc::clone(&self.verifier);
+        let id_owned: Option<Value> = id.cloned();
+        let (tx, rx) = mpsc::channel::<String>();
+        let admission = self.cold.submit(Box::new(move || {
+            let _ = tx.send(batch_response(&verifier, id_owned.as_ref(), &parsed));
+        }));
+        self.await_cold(id, admission, &rx)
+    }
+
+    fn handle_shutdown(&self, id: Option<&Value>) -> String {
+        // Flag first, then close the intake: a request racing past the
+        // flag still cannot be admitted.
+        self.shutting_down.store(true, Ordering::SeqCst);
+        self.cold.close();
         let mut out = String::from("{");
         push_id(&mut out, id);
-        out.push_str("\"status\":\"ok\",\"kind\":\"batch\",\"results\":[");
-        out.push_str(&results.join(","));
-        out.push_str("]}");
+        out.push_str("\"status\":\"ok\",\"kind\":\"shutdown\",\"draining\":true}");
         out
     }
 
@@ -316,17 +561,24 @@ impl Service {
         request: &std::collections::BTreeMap<String, Value>,
     ) -> String {
         let Some(source) = request.get("program").and_then(Value::as_str) else {
-            return error_response(id, "`run` requests need a string field `program`");
+            return error_response(
+                id,
+                "bad_request",
+                "`run` requests need a string field `program`",
+            );
         };
         if source_nesting(source) > MAX_PROGRAM_NESTING {
             return error_response(
                 id,
+                "bad_request",
                 &format!("`program` nests deeper than {MAX_PROGRAM_NESTING} levels"),
             );
         }
         let program = match retreet_lang::parse_program(source) {
             Ok(program) => program,
-            Err(err) => return error_response(id, &format!("cannot parse `program`: {err}")),
+            Err(err) => {
+                return error_response(id, "bad_request", &format!("cannot parse `program`: {err}"))
+            }
         };
         let height = match request.get("height") {
             None => DEFAULT_RUN_HEIGHT,
@@ -334,6 +586,7 @@ impl Service {
             Some(_) => {
                 return error_response(
                     id,
+                    "bad_request",
                     &format!("`height` must be a number between 1 and {MAX_RUN_HEIGHT}"),
                 )
             }
@@ -341,7 +594,7 @@ impl Service {
         let seed = match request.get("seed") {
             None => 0,
             Some(Value::Number(s)) => *s as u64,
-            Some(_) => return error_response(id, "`seed` must be a number"),
+            Some(_) => return error_response(id, "bad_request", "`seed` must be a number"),
         };
         let executor = self.executor_for(source, &program);
         let fields = retreet_codegen::program_fields(&program);
@@ -374,20 +627,24 @@ impl Service {
                 ));
                 out
             }
-            Err(err) => error_response(id, &format!("execution failed: {err}")),
+            Err(err) => error_response(id, "internal", &format!("execution failed: {err}")),
         }
     }
 
     fn stats_response(&self, id: Option<&Value>) -> String {
         let cache = self.verifier.cache_stats();
         let serving = self.verifier.serving_stats();
+        let cold = self.cold.stats();
         let mut out = String::from("{");
         push_id(&mut out, id);
         out.push_str(&format!(
             "\"status\":\"ok\",\"kind\":\"stats\",\"requests\":{},\
              \"cache\":{{\"hits\":{},\"misses\":{},\"collisions\":{},\"entries\":{}}},\
-             \"serving\":{{\"engine_runs\":{},\"cancelled_runs\":{},\"coalesced\":{}}},\
-             \"codegen\":{{\"compiles\":{},\"vm_runs\":{},\"interp_runs\":{}}}}}",
+             \"serving\":{{\"engine_runs\":{},\"cancelled_runs\":{},\"panicked_runs\":{},\
+             \"deadline_hits\":{},\"degraded\":{},\"coalesced\":{}}},\
+             \"sched\":{{\"workers\":{},\"queue_depth\":{},\"cold_executed\":{},\"shed\":{},\
+             \"warm_inline\":{},\"inflight\":{},\"shutting_down\":{}}},\
+             \"codegen\":{{\"compiles\":{},\"vm_runs\":{},\"interp_runs\":{}}}",
             self.requests_handled(),
             cache.hits,
             cache.misses,
@@ -395,12 +652,49 @@ impl Service {
             cache.entries,
             serving.engine_runs,
             serving.cancelled_runs,
+            serving.panicked_runs,
+            serving.deadline_hits,
+            serving.degraded,
             serving.coalesced,
+            self.cold.worker_count(),
+            self.cold.queue_depth(),
+            cold.executed,
+            cold.shed,
+            self.warm_inline.load(Ordering::Relaxed),
+            self.inflight.load(Ordering::SeqCst),
+            self.is_shutting_down(),
             self.compiles.load(Ordering::Relaxed),
             self.vm_runs.load(Ordering::Relaxed),
             self.interp_runs.load(Ordering::Relaxed),
         ));
+        if let Some(store) = self.verifier.store_stats() {
+            out.push_str(&format!(
+                ",\"store\":{{\"entries\":{},\"loaded\":{},\"skipped\":{},\"truncated_bytes\":{},\
+                 \"appends\":{},\"write_errors\":{},\"compactions\":{}}}",
+                store.entries,
+                store.loaded,
+                store.skipped,
+                store.truncated_bytes,
+                store.appends,
+                store.write_errors,
+                store.compactions,
+            ));
+        }
+        if let Some(counts) = self.verifier.fault_counts() {
+            out.push_str(&format!(",\"faults_injected\":{}", counts.total()));
+        }
+        out.push('}');
         out
+    }
+}
+
+impl Drop for Service {
+    /// Dropping the service tears the worker pool down (close the intake,
+    /// join the threads).  Callers wanting a *graceful* drain call
+    /// [`Service::finish`] first — this is the backstop, not the protocol.
+    fn drop(&mut self) {
+        self.cold.close();
+        self.cold.join();
     }
 }
 
@@ -476,20 +770,66 @@ fn parse_query(
     }
 }
 
+/// Renders one batch response: verify every successfully parsed sub-query
+/// through the coalescing batch fan-out, keep errors in their slots.
+/// Shared by the warm (inline) and cold (worker) lanes.
+fn batch_response(
+    verifier: &Verifier,
+    id: Option<&Value>,
+    parsed: &[Result<ParsedQuery, String>],
+) -> String {
+    let queries: Vec<Query<'_>> = parsed
+        .iter()
+        .filter_map(|p| p.as_ref().ok())
+        .map(ParsedQuery::as_query)
+        .collect();
+    let mut verdicts = verifier.verify_batch(&queries).into_iter();
+    let results: Vec<String> = parsed
+        .iter()
+        .map(|entry| match entry {
+            Ok(parsed) => {
+                let result = verdicts.next().expect("one verdict per parsed query");
+                verdict_response(None, parsed, &result)
+            }
+            Err(err) => error_response(None, "bad_request", err),
+        })
+        .collect();
+    let mut out = String::from("{");
+    push_id(&mut out, id);
+    out.push_str("\"status\":\"ok\",\"kind\":\"batch\",\"results\":[");
+    out.push_str(&results.join(","));
+    out.push_str("]}");
+    out
+}
+
 fn push_id(out: &mut String, id: Option<&Value>) {
     if let Some(id) = id {
         out.push_str(&format!("\"id\":{id},"));
     }
 }
 
-fn error_response(id: Option<&Value>, message: &str) -> String {
+/// One error line.  `code` is a stable machine-readable discriminator:
+/// `bad_request`, `request_too_large`, `overloaded`, `shutting_down`,
+/// `deadline_exceeded`, `unsupported` or `internal`.
+fn error_response(id: Option<&Value>, code: &str, message: &str) -> String {
     let mut out = String::from("{");
     push_id(&mut out, id);
     out.push_str(&format!(
-        "\"status\":\"error\",\"error\":\"{}\"}}",
+        "\"status\":\"error\",\"code\":\"{}\",\"error\":\"{}\"}}",
+        code,
         json::escape(message)
     ));
     out
+}
+
+/// The error code a [`VerifyError`] surfaces as on the wire.
+fn error_code(err: &VerifyError) -> &'static str {
+    match err {
+        VerifyError::InvalidProgram { .. } => "bad_request",
+        VerifyError::NoApplicableEngine { .. } => "unsupported",
+        VerifyError::DeadlineExceeded { .. } => "deadline_exceeded",
+        VerifyError::PortfolioFailed { .. } | VerifyError::StoreFailed { .. } => "internal",
+    }
 }
 
 fn verdict_response(
@@ -499,7 +839,7 @@ fn verdict_response(
 ) -> String {
     let verdict = match result {
         Ok(verdict) => verdict,
-        Err(err) => return error_response(id, &err.to_string()),
+        Err(err) => return error_response(id, error_code(err), &err.to_string()),
     };
     let (word, detail) = describe_outcome(&verdict.outcome);
     let soundness = match verdict.soundness {
@@ -511,7 +851,7 @@ fn verdict_response(
     out.push_str(&format!(
         "\"status\":\"ok\",\"kind\":\"{}\",\"verdict\":\"{}\",\"positive\":{},\
          \"engine\":\"{}\",\"soundness\":\"{}\",\"cached\":{},\"coalesced\":{},\
-         \"elapsed_us\":{},\"trees_checked\":{},\"detail\":\"{}\"}}",
+         \"degraded\":{},\"elapsed_us\":{},\"trees_checked\":{},\"detail\":\"{}\"}}",
         parsed.kind(),
         word,
         verdict.is_positive(),
@@ -519,6 +859,7 @@ fn verdict_response(
         soundness,
         verdict.cached,
         verdict.coalesced,
+        verdict.degraded,
         verdict.elapsed.as_micros(),
         verdict.trees_checked(),
         json::escape(&detail),
@@ -632,10 +973,29 @@ fn line_from(mut buf: Vec<u8>) -> RequestLine {
     }
 }
 
-/// Serves NDJSON requests from `input` to `output` until EOF — the stdin
-/// mode of the `retreet-serve` binary, and the harness tests' entry point.
-/// Malformed lines (invalid UTF-8, over the size bound) are answered with
-/// an error response and the loop keeps serving; real I/O errors end it.
+/// Decrements the service's in-flight gauge on drop, so the drain in
+/// [`Service::finish`] sees a request as in-flight until its response is
+/// flushed (or its connection provably died) — never longer.
+struct InflightGuard<'a>(&'a Service);
+
+impl<'a> InflightGuard<'a> {
+    fn enter(service: &'a Service) -> Self {
+        service.inflight.fetch_add(1, Ordering::SeqCst);
+        InflightGuard(service)
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Serves NDJSON requests from `input` to `output` until EOF or graceful
+/// shutdown — the stdin mode of the `retreet-serve` binary, the TCP
+/// per-connection loop, and the harness tests' entry point.  Malformed
+/// lines (invalid UTF-8, over the size bound) are answered with an error
+/// response and the loop keeps serving; real I/O errors end it.
 pub fn serve_lines(
     service: &Service,
     mut input: impl BufRead,
@@ -645,30 +1005,107 @@ pub fn serve_lines(
         let response = match read_request_line(&mut input)? {
             RequestLine::Eof => return Ok(()),
             RequestLine::Line(line) if line.trim().is_empty() => continue,
-            RequestLine::Line(line) => service.handle_line(&line),
-            RequestLine::NotUtf8 => error_response(None, "request line is not valid UTF-8"),
+            RequestLine::Line(line) => {
+                let guard = InflightGuard::enter(service);
+                let response = service.handle_line(&line);
+                write_response(service, &mut output, &response)?;
+                drop(guard);
+                // A shutdown request was answered (here or on a sibling
+                // connection): this loop's work is done.
+                if service.is_shutting_down() {
+                    return Ok(());
+                }
+                continue;
+            }
+            RequestLine::NotUtf8 => {
+                error_response(None, "bad_request", "request line is not valid UTF-8")
+            }
             RequestLine::TooLong => error_response(
                 None,
+                "request_too_large",
                 &format!("request line exceeds {MAX_REQUEST_LINE_BYTES} bytes and was dropped"),
             ),
         };
-        output.write_all(response.as_bytes())?;
-        output.write_all(b"\n")?;
-        output.flush()?;
+        write_response(service, &mut output, &response)?;
+        if service.is_shutting_down() {
+            return Ok(());
+        }
     }
 }
 
-/// Accepts TCP connections forever, one handler thread per client, all
-/// sharing `service` (and therefore one cache and one in-flight table).
-/// Returns only when the listener errors.
+/// Writes one response line, rolling the connection-drop fault site first:
+/// an injected drop writes a *partial* line and kills this connection (the
+/// caller's loop ends with an error; the shared service keeps serving).
+fn write_response(
+    service: &Service,
+    output: &mut impl Write,
+    response: &str,
+) -> std::io::Result<()> {
+    if let Some(plan) = &service.faults {
+        if plan.roll(FaultSite::ConnectionWrite) == Some(InjectedFault::ConnectionDrop) {
+            let half = response.len() / 2;
+            output.write_all(&response.as_bytes()[..half])?;
+            let _ = output.flush();
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "injected connection drop",
+            ));
+        }
+    }
+    output.write_all(response.as_bytes())?;
+    output.write_all(b"\n")?;
+    output.flush()
+}
+
+/// How long the accept loop sleeps when no connection is pending (it polls
+/// so it can observe shutdown).
+const ACCEPT_POLL: Duration = Duration::from_millis(15);
+
+/// Accepts TCP connections — one handler thread per client, all sharing
+/// `service` (one cache, one in-flight table, one cold lane) — until the
+/// service begins shutting down, then drains via [`Service::finish`] and
+/// returns.  At most [`ServeOptions::max_connections`] clients are served
+/// simultaneously; an excess client is answered a single `overloaded`
+/// error line and disconnected at accept time, before it can submit work.
 pub fn serve_tcp(service: Arc<Service>, listener: TcpListener) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let open = Arc::new(AtomicUsize::new(0));
     loop {
-        let (stream, peer) = listener.accept()?;
+        if service.is_shutting_down() {
+            service.finish();
+            return Ok(());
+        }
+        let (stream, peer) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            Err(err) => {
+                // The listener died: still drain what was accepted.
+                service.finish();
+                return Err(err);
+            }
+        };
+        // The listener's nonblocking flag is inherited; handlers want
+        // blocking reads.
+        stream.set_nonblocking(false)?;
+        if open.load(Ordering::SeqCst) >= service.max_connections {
+            let mut stream = stream;
+            let refusal =
+                error_response(None, "overloaded", "connection limit reached; retry later");
+            let _ = stream.write_all(refusal.as_bytes());
+            let _ = stream.write_all(b"\n");
+            continue;
+        }
+        open.fetch_add(1, Ordering::SeqCst);
         let service = Arc::clone(&service);
+        let open = Arc::clone(&open);
         std::thread::spawn(move || {
             if let Err(err) = serve_connection(&service, &stream) {
                 eprintln!("retreet-serve: connection {peer} closed: {err}");
             }
+            open.fetch_sub(1, Ordering::SeqCst);
         });
     }
 }
@@ -682,15 +1119,20 @@ fn serve_connection(service: &Service, stream: &TcpStream) -> std::io::Result<()
 mod tests {
     use super::*;
 
-    fn quick_service() -> Service {
-        Service::new(&ServeOptions {
+    fn quick_options() -> ServeOptions {
+        ServeOptions {
             race_nodes: 3,
             equiv_nodes: 3,
             validity_nodes: 3,
             valuations: 1,
             parallel: false,
             cache_capacity: 1024,
-        })
+            ..ServeOptions::default()
+        }
+    }
+
+    fn quick_service() -> Service {
+        Service::new(&quick_options())
     }
 
     fn field(response: &str, name: &str) -> Value {
@@ -886,8 +1328,107 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         assert_eq!(field(lines[0], "status").as_str(), Some("error"));
+        assert_eq!(
+            field(lines[0], "code").as_str(),
+            Some("request_too_large"),
+            "{}",
+            lines[0]
+        );
         assert!(lines[0].contains("exceeds"), "{}", lines[0]);
         assert_eq!(field(lines[1], "status").as_str(), Some("ok"));
+    }
+
+    #[test]
+    fn two_lane_scheduler_routes_cold_to_workers_and_warm_inline() {
+        let service = quick_service();
+        let program = json::escape(corpus::SIZE_COUNTING_PARALLEL_SRC);
+        let request = format!(r#"{{"kind": "race", "program": "{program}"}}"#);
+        // Cold: through the worker pool.
+        let response = service.handle_line(&request);
+        assert_eq!(field(&response, "status").as_str(), Some("ok"));
+        assert_eq!(field(&response, "degraded"), Value::Bool(false));
+        // Warm: inline on the connection thread.
+        let response = service.handle_line(&request);
+        assert_eq!(field(&response, "cached"), Value::Bool(true));
+        let stats = service.handle_line(r#"{"kind": "stats"}"#);
+        let parsed = json::parse(&stats).unwrap();
+        let sched = parsed.as_object().unwrap()["sched"].as_object().unwrap();
+        assert_eq!(sched["cold_executed"], Value::Number(1.0));
+        assert_eq!(sched["warm_inline"], Value::Number(1.0));
+        assert_eq!(sched["shed"], Value::Number(0.0));
+    }
+
+    #[test]
+    fn full_cold_queues_shed_with_a_typed_overloaded_error() {
+        // One worker stalled 400 ms per engine run, one queue slot: three
+        // concurrent cold queries cannot all be admitted — at least one is
+        // shed with `overloaded`, and every admitted one still answers.
+        let service = Arc::new(Service::new(&ServeOptions {
+            workers: 1,
+            cold_queue: 1,
+            faults: Some(Arc::new(
+                FaultPlan::builder(11).engine_stall(1.0, 400).build(),
+            )),
+            ..quick_options()
+        }));
+        let programs = [
+            corpus::SIZE_COUNTING_PARALLEL_SRC,
+            corpus::CYCLETREE_PARALLEL_SRC,
+            corpus::TREE_MUTATION_ORIGINAL_SRC,
+        ];
+        let responses: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = programs
+                .iter()
+                .map(|source| {
+                    let service = Arc::clone(&service);
+                    let request = format!(
+                        r#"{{"kind": "race", "program": "{}"}}"#,
+                        json::escape(source)
+                    );
+                    scope.spawn(move || service.handle_line(&request))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let shed = responses
+            .iter()
+            .filter(|r| r.contains(r#""code":"overloaded""#))
+            .count();
+        let answered = responses
+            .iter()
+            .filter(|r| field(r, "status").as_str() == Some("ok"))
+            .count();
+        assert!(
+            shed >= 1,
+            "queue of 1 cannot hold two waiters: {responses:?}"
+        );
+        assert!(
+            answered >= 1,
+            "admitted queries still answer: {responses:?}"
+        );
+        assert_eq!(shed + answered, 3, "{responses:?}");
+        let stats = service.handle_line(r#"{"kind": "stats"}"#);
+        let parsed = json::parse(&stats).unwrap();
+        let sched = parsed.as_object().unwrap()["sched"].as_object().unwrap();
+        assert_eq!(sched["shed"], Value::Number(shed as f64));
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work_answers_stats_and_drains() {
+        let service = quick_service();
+        let response = service.handle_line(r#"{"id": 7, "kind": "shutdown"}"#);
+        assert_eq!(field(&response, "status").as_str(), Some("ok"));
+        assert_eq!(field(&response, "draining"), Value::Bool(true));
+        assert!(service.is_shutting_down());
+        // New verification work is refused with the typed code…
+        let program = json::escape(corpus::SIZE_COUNTING_PARALLEL_SRC);
+        let refused =
+            service.handle_line(&format!(r#"{{"kind": "race", "program": "{program}"}}"#));
+        assert_eq!(field(&refused, "code").as_str(), Some("shutting_down"));
+        // …but stats stay observable during the drain.
+        let stats = service.handle_line(r#"{"kind": "stats"}"#);
+        assert_eq!(field(&stats, "status").as_str(), Some("ok"));
+        assert!(service.finish(), "nothing in flight: drain is clean");
     }
 
     #[test]

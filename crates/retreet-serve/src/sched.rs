@@ -1,0 +1,243 @@
+//! The two-lane scheduler's cold lane: a fixed worker pool draining a
+//! *bounded* queue of cold verification jobs.
+//!
+//! The serving tier probes every verification request first
+//! ([`retreet_verify::Verifier::probe`]): warm queries — cache hits and
+//! coalescible in-flight duplicates — are answered inline on the connection
+//! thread and never queue here.  Only cold queries (a fresh portfolio
+//! dispatch) pass through this pool, so a burst of expensive cold work can
+//! never head-of-line-block the warm lane.  When the cold queue is full the
+//! submission fails *immediately* with [`Admission::Overloaded`] — explicit
+//! load-shedding, never an unbounded queue or a silent stall.
+//!
+//! Shutdown is a first-class state: [`ColdPool::close`] drops the intake
+//! side of the queue, workers drain what was already admitted and exit, and
+//! later submissions fail with [`Admission::ShuttingDown`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of cold-lane work.  The job itself carries everything it needs
+/// (verifier handle, parsed query, response channel); the pool is oblivious
+/// to request shapes.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The outcome of submitting a job to the cold lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Admission {
+    /// The job was queued (or handed straight to an idle worker).
+    Accepted,
+    /// The bounded queue is full: the service is past its configured cold
+    /// capacity and sheds the request instead of queueing without limit.
+    Overloaded,
+    /// The intake was closed by shutdown; nothing new is admitted.
+    ShuttingDown,
+}
+
+/// The cold-lane worker pool.  See the module docs.
+pub(crate) struct ColdPool {
+    /// `None` once [`Self::close`] ran; dropping the sender is what lets
+    /// the workers' `recv` loop end after the queue drains.
+    sender: Mutex<Option<SyncSender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
+    queue_depth: usize,
+    executed: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// Monotonic counters of the cold lane, surfaced through the service's
+/// `stats` response and `bench_service`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct ColdStats {
+    /// Jobs a worker finished executing.
+    pub executed: u64,
+    /// Submissions rejected because the queue was full.
+    pub shed: u64,
+}
+
+impl ColdPool {
+    /// Spawns `workers` threads draining a queue bounded at `queue_depth`
+    /// jobs.  Both are clamped to at least 1: a pool that cannot run or
+    /// admit anything would deadlock every cold query.
+    pub(crate) fn new(workers: usize, queue_depth: usize) -> Self {
+        let workers = workers.max(1);
+        let queue_depth = queue_depth.max(1);
+        let (sender, receiver) = mpsc::sync_channel::<Job>(queue_depth);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("retreet-cold-{i}"))
+                    .spawn(move || run_worker(&receiver))
+                    .expect("spawn cold-lane worker")
+            })
+            .collect();
+        ColdPool {
+            sender: Mutex::new(Some(sender)),
+            workers: Mutex::new(handles),
+            worker_count: workers,
+            queue_depth,
+            executed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Tries to admit one job; never blocks.
+    pub(crate) fn submit(&self, job: Job) -> Admission {
+        let sender = self.sender.lock().expect("cold-lane intake poisoned");
+        let Some(sender) = sender.as_ref() else {
+            return Admission::ShuttingDown;
+        };
+        match sender.try_send(job) {
+            Ok(()) => Admission::Accepted,
+            Err(TrySendError::Full(_)) => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                Admission::Overloaded
+            }
+            Err(TrySendError::Disconnected(_)) => Admission::ShuttingDown,
+        }
+    }
+
+    /// Records that one admitted job finished executing.  Jobs call this
+    /// themselves (the pool runs opaque closures and cannot see inside).
+    pub(crate) fn note_executed(&self) {
+        self.executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Closes the intake: later [`Self::submit`]s fail with
+    /// [`Admission::ShuttingDown`], and workers exit once the already-
+    /// admitted jobs drain.  Idempotent.
+    pub(crate) fn close(&self) {
+        self.sender
+            .lock()
+            .expect("cold-lane intake poisoned")
+            .take();
+    }
+
+    /// Joins every worker thread.  Call after [`Self::close`] (joining an
+    /// open pool would block forever).  Idempotent — a second call finds no
+    /// handles left.
+    pub(crate) fn join(&self) {
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("cold-lane worker list poisoned")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Configured worker count.
+    pub(crate) fn worker_count(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Configured queue bound.
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// Current counters.
+    pub(crate) fn stats(&self) -> ColdStats {
+        ColdStats {
+            executed: self.executed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn run_worker(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only while *taking* a job, never while running it.
+        let job = match receiver.lock() {
+            Ok(receiver) => receiver.recv(),
+            Err(_) => return,
+        };
+        match job {
+            // A panicking job must not kill the worker: the submitter sees
+            // its response channel close and answers `internal`; the pool
+            // keeps serving.  (Engine panics are already confined inside
+            // the verifier; this guards the glue around it.)
+            Ok(job) => {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            }
+            Err(_) => return, // intake closed and queue drained
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_run_and_full_queues_shed() {
+        // One worker, one queue slot: park the worker on a gate, fill the
+        // slot, and the third submission must shed.
+        let pool = ColdPool::new(1, 1);
+        let (gate_tx, gate_rx) = channel::<()>();
+        let gate_rx = Mutex::new(gate_rx);
+        let blocker: Job = Box::new(move || {
+            let _ = gate_rx.lock().unwrap().recv();
+        });
+        assert_eq!(pool.submit(blocker), Admission::Accepted);
+        // Give the worker a moment to take the blocker off the queue, then
+        // fill the single queue slot.
+        std::thread::sleep(Duration::from_millis(30));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran_clone = Arc::clone(&ran);
+        assert_eq!(
+            pool.submit(Box::new(move || {
+                ran_clone.fetch_add(1, Ordering::Relaxed);
+            })),
+            Admission::Accepted
+        );
+        let ran_clone = Arc::clone(&ran);
+        assert_eq!(
+            pool.submit(Box::new(move || {
+                ran_clone.fetch_add(1, Ordering::Relaxed);
+            })),
+            Admission::Overloaded,
+            "the bounded queue must shed, not grow"
+        );
+        assert_eq!(pool.stats().shed, 1);
+        // Release the gate; the queued job still runs (drain semantics).
+        gate_tx.send(()).unwrap();
+        pool.close();
+        pool.join();
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "admitted job drained");
+    }
+
+    #[test]
+    fn closed_pools_refuse_new_work_but_drain_admitted_jobs() {
+        let pool = ColdPool::new(2, 8);
+        let (done_tx, done_rx) = channel();
+        for _ in 0..4 {
+            let done_tx = done_tx.clone();
+            assert_eq!(
+                pool.submit(Box::new(move || {
+                    let _ = done_tx.send(());
+                })),
+                Admission::Accepted
+            );
+        }
+        pool.close();
+        assert_eq!(
+            pool.submit(Box::new(|| {})),
+            Admission::ShuttingDown,
+            "no admissions after close"
+        );
+        pool.join();
+        let drained = done_rx.try_iter().count();
+        assert_eq!(drained, 4, "every admitted job ran before the join");
+    }
+}

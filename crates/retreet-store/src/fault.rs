@@ -1,0 +1,376 @@
+//! Deterministic, seeded fault injection.
+//!
+//! A [`FaultPlan`] is built once per chaos run from a fixed seed and shared
+//! (via `Arc`) by every layer that can fail: the verifier's engine workers
+//! (panic, stall), the record log (write error, torn write, silent
+//! corruption) and the serving tier's connection writer (drop
+//! mid-response).  Each potential failure point calls [`FaultPlan::roll`]
+//! with its [`FaultSite`]; the plan burns one draw from a splitmix64
+//! stream and answers with the fault to inject, if any.
+//!
+//! Determinism is per-seed and per-draw-sequence: a single-threaded replay
+//! of the same operations injects exactly the same faults.  Under
+//! concurrency the *set* of injection decisions is still a pure function
+//! of the seed (draw `n` always maps to the same outcome); only which
+//! thread consumes which draw varies.  Chaos tests therefore assert
+//! invariants (no wrong verdict, recovery completeness), not exact fault
+//! sequences.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Where a fault could be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// An engine is about to run a query.
+    EngineRun,
+    /// The record log is about to append a frame.
+    StoreWrite,
+    /// The serving tier is about to write a response line.
+    ConnectionWrite,
+}
+
+/// A fault the plan decided to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Panic inside the engine worker (caught by the portfolio's
+    /// `catch_unwind` isolation).
+    EnginePanic,
+    /// Stall the engine for this many milliseconds before it runs —
+    /// long enough to trip a deadline watchdog.
+    EngineStall {
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+    /// Fail the append before any byte reaches the file.
+    StoreWriteError,
+    /// Write half the frame, then fail — what a crash mid-append leaves.
+    StoreTornWrite,
+    /// Flip a payload byte after checksumming — silent disk corruption,
+    /// caught by the checksum on the next open.
+    StoreCorruption,
+    /// Close the connection after writing a partial response line.
+    ConnectionDrop,
+}
+
+/// Counts of faults actually injected, for test assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// [`InjectedFault::EnginePanic`] injections.
+    pub engine_panics: u64,
+    /// [`InjectedFault::EngineStall`] injections.
+    pub engine_stalls: u64,
+    /// [`InjectedFault::StoreWriteError`] injections.
+    pub store_write_errors: u64,
+    /// [`InjectedFault::StoreTornWrite`] injections.
+    pub store_torn_writes: u64,
+    /// [`InjectedFault::StoreCorruption`] injections.
+    pub store_corruptions: u64,
+    /// [`InjectedFault::ConnectionDrop`] injections.
+    pub connection_drops: u64,
+}
+
+impl FaultCounts {
+    /// Total faults injected across all kinds.
+    pub fn total(&self) -> u64 {
+        self.engine_panics
+            + self.engine_stalls
+            + self.store_write_errors
+            + self.store_torn_writes
+            + self.store_corruptions
+            + self.connection_drops
+    }
+}
+
+/// Builder for a [`FaultPlan`].  All rates are probabilities in `[0, 1]`;
+/// rates that share a site (panic+stall, the three store faults) are
+/// applied cumulatively, so their sum per site must stay ≤ 1.
+#[derive(Debug, Clone)]
+pub struct FaultPlanBuilder {
+    seed: u64,
+    engine_panic: f64,
+    engine_stall: f64,
+    stall_millis: u64,
+    store_write_error: f64,
+    store_torn_write: f64,
+    store_corruption: f64,
+    connection_drop: f64,
+}
+
+impl FaultPlanBuilder {
+    /// Start a plan from `seed`; all fault rates default to zero.
+    pub fn new(seed: u64) -> Self {
+        FaultPlanBuilder {
+            seed,
+            engine_panic: 0.0,
+            engine_stall: 0.0,
+            stall_millis: 20,
+            store_write_error: 0.0,
+            store_torn_write: 0.0,
+            store_corruption: 0.0,
+            connection_drop: 0.0,
+        }
+    }
+
+    /// Probability an engine run panics.
+    pub fn engine_panic(mut self, rate: f64) -> Self {
+        self.engine_panic = rate;
+        self
+    }
+
+    /// Probability an engine run stalls for `millis` before starting.
+    pub fn engine_stall(mut self, rate: f64, millis: u64) -> Self {
+        self.engine_stall = rate;
+        self.stall_millis = millis;
+        self
+    }
+
+    /// Probability a store append fails cleanly (nothing written).
+    pub fn store_write_error(mut self, rate: f64) -> Self {
+        self.store_write_error = rate;
+        self
+    }
+
+    /// Probability a store append tears (half a frame written).
+    pub fn store_torn_write(mut self, rate: f64) -> Self {
+        self.store_torn_write = rate;
+        self
+    }
+
+    /// Probability a store append is silently bit-flipped on disk.
+    pub fn store_corruption(mut self, rate: f64) -> Self {
+        self.store_corruption = rate;
+        self
+    }
+
+    /// Probability a response write drops the connection mid-line.
+    pub fn connection_drop(mut self, rate: f64) -> Self {
+        self.connection_drop = rate;
+        self
+    }
+
+    /// Finish the plan.
+    pub fn build(self) -> FaultPlan {
+        FaultPlan {
+            seed: self.seed,
+            engine_panic: self.engine_panic,
+            engine_stall: self.engine_stall,
+            stall_millis: self.stall_millis,
+            store_write_error: self.store_write_error,
+            store_torn_write: self.store_torn_write,
+            store_corruption: self.store_corruption,
+            connection_drop: self.connection_drop,
+            draws: AtomicU64::new(0),
+            injected_panics: AtomicU64::new(0),
+            injected_stalls: AtomicU64::new(0),
+            injected_write_errors: AtomicU64::new(0),
+            injected_torn_writes: AtomicU64::new(0),
+            injected_corruptions: AtomicU64::new(0),
+            injected_drops: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A seeded fault-injection plan.  See the module docs for the
+/// determinism contract.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    engine_panic: f64,
+    engine_stall: f64,
+    stall_millis: u64,
+    store_write_error: f64,
+    store_torn_write: f64,
+    store_corruption: f64,
+    connection_drop: f64,
+    draws: AtomicU64,
+    injected_panics: AtomicU64,
+    injected_stalls: AtomicU64,
+    injected_write_errors: AtomicU64,
+    injected_torn_writes: AtomicU64,
+    injected_corruptions: AtomicU64,
+    injected_drops: AtomicU64,
+}
+
+/// splitmix64: the standard 64-bit mixer (Steele et al.), good enough to
+/// decorrelate sequential draws from a seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// Shorthand for a plan that never injects anything.
+    pub fn none() -> FaultPlan {
+        FaultPlanBuilder::new(0).build()
+    }
+
+    /// Start building a plan from `seed`.
+    pub fn builder(seed: u64) -> FaultPlanBuilder {
+        FaultPlanBuilder::new(seed)
+    }
+
+    /// The seed this plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Burn one draw and decide whether to inject a fault at `site`.
+    pub fn roll(&self, site: FaultSite) -> Option<InjectedFault> {
+        let n = self.draws.fetch_add(1, Ordering::Relaxed);
+        let site_salt = match site {
+            FaultSite::EngineRun => 0x45,
+            FaultSite::StoreWrite => 0x53,
+            FaultSite::ConnectionWrite => 0x43,
+        };
+        let raw = splitmix64(self.seed ^ n.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ (site_salt << 56));
+        // 53 uniform bits → [0, 1).
+        let unit = (raw >> 11) as f64 / (1u64 << 53) as f64;
+        match site {
+            FaultSite::EngineRun => {
+                if unit < self.engine_panic {
+                    self.injected_panics.fetch_add(1, Ordering::Relaxed);
+                    Some(InjectedFault::EnginePanic)
+                } else if unit < self.engine_panic + self.engine_stall {
+                    self.injected_stalls.fetch_add(1, Ordering::Relaxed);
+                    Some(InjectedFault::EngineStall {
+                        millis: self.stall_millis,
+                    })
+                } else {
+                    None
+                }
+            }
+            FaultSite::StoreWrite => {
+                if unit < self.store_write_error {
+                    self.injected_write_errors.fetch_add(1, Ordering::Relaxed);
+                    Some(InjectedFault::StoreWriteError)
+                } else if unit < self.store_write_error + self.store_torn_write {
+                    self.injected_torn_writes.fetch_add(1, Ordering::Relaxed);
+                    Some(InjectedFault::StoreTornWrite)
+                } else if unit
+                    < self.store_write_error + self.store_torn_write + self.store_corruption
+                {
+                    self.injected_corruptions.fetch_add(1, Ordering::Relaxed);
+                    Some(InjectedFault::StoreCorruption)
+                } else {
+                    None
+                }
+            }
+            FaultSite::ConnectionWrite => {
+                if unit < self.connection_drop {
+                    self.injected_drops.fetch_add(1, Ordering::Relaxed);
+                    Some(InjectedFault::ConnectionDrop)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Faults injected so far (for test assertions and stats reporting).
+    pub fn counts(&self) -> FaultCounts {
+        FaultCounts {
+            engine_panics: self.injected_panics.load(Ordering::Relaxed),
+            engine_stalls: self.injected_stalls.load(Ordering::Relaxed),
+            store_write_errors: self.injected_write_errors.load(Ordering::Relaxed),
+            store_torn_writes: self.injected_torn_writes.load(Ordering::Relaxed),
+            store_corruptions: self.injected_corruptions.load(Ordering::Relaxed),
+            connection_drops: self.injected_drops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Draws consumed so far.
+    pub fn draws(&self) -> u64 {
+        self.draws.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_plan_never_injects() {
+        let plan = FaultPlan::none();
+        for _ in 0..1000 {
+            assert_eq!(plan.roll(FaultSite::EngineRun), None);
+            assert_eq!(plan.roll(FaultSite::StoreWrite), None);
+            assert_eq!(plan.roll(FaultSite::ConnectionWrite), None);
+        }
+        assert_eq!(plan.counts().total(), 0);
+        assert_eq!(plan.draws(), 3000);
+    }
+
+    #[test]
+    fn full_rate_plan_always_injects_its_site_fault() {
+        let plan = FaultPlanBuilder::new(42)
+            .engine_panic(1.0)
+            .store_write_error(1.0)
+            .connection_drop(1.0)
+            .build();
+        for _ in 0..100 {
+            assert_eq!(
+                plan.roll(FaultSite::EngineRun),
+                Some(InjectedFault::EnginePanic)
+            );
+            assert_eq!(
+                plan.roll(FaultSite::StoreWrite),
+                Some(InjectedFault::StoreWriteError)
+            );
+            assert_eq!(
+                plan.roll(FaultSite::ConnectionWrite),
+                Some(InjectedFault::ConnectionDrop)
+            );
+        }
+        let counts = plan.counts();
+        assert_eq!(counts.engine_panics, 100);
+        assert_eq!(counts.store_write_errors, 100);
+        assert_eq!(counts.connection_drops, 100);
+    }
+
+    #[test]
+    fn same_seed_same_single_threaded_sequence() {
+        let build = || {
+            FaultPlanBuilder::new(1234)
+                .engine_panic(0.25)
+                .engine_stall(0.25, 5)
+                .store_corruption(0.5)
+                .connection_drop(0.3)
+                .build()
+        };
+        let a = build();
+        let b = build();
+        for i in 0..500 {
+            let site = match i % 3 {
+                0 => FaultSite::EngineRun,
+                1 => FaultSite::StoreWrite,
+                _ => FaultSite::ConnectionWrite,
+            };
+            assert_eq!(a.roll(site), b.roll(site), "draw {i} diverged");
+        }
+        assert_eq!(a.counts(), b.counts());
+    }
+
+    #[test]
+    fn different_seeds_give_different_storms() {
+        let roll_pattern = |seed: u64| {
+            let plan = FaultPlanBuilder::new(seed).engine_panic(0.5).build();
+            (0..64)
+                .map(|_| plan.roll(FaultSite::EngineRun).is_some())
+                .collect::<Vec<bool>>()
+        };
+        assert_ne!(roll_pattern(1), roll_pattern(2));
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let plan = FaultPlanBuilder::new(99).engine_stall(0.5, 1).build();
+        let injected = (0..10_000)
+            .filter(|_| plan.roll(FaultSite::EngineRun).is_some())
+            .count();
+        assert!((4_000..6_000).contains(&injected), "got {injected}");
+        assert_eq!(plan.counts().engine_stalls as usize, injected);
+    }
+}

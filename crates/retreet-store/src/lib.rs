@@ -1,0 +1,666 @@
+//! Crash-safe persistence for the serving tier.
+//!
+//! This crate provides the disk layer under the verdict cache:
+//!
+//! - [`RecordLog`] — an append-only log of length-prefixed, checksummed
+//!   records.  Opening a log recovers every intact record, truncates a torn
+//!   tail (the expected shape after a crash mid-append), and handles a
+//!   checksum-corrupt *middle* record according to a [`CorruptionPolicy`].
+//! - [`LogStore`] — a latest-wins key/value store layered on the record
+//!   log, with periodic compaction (rewrite live entries to a temporary
+//!   file, then atomically rename over the log).
+//! - [`fault`] — a deterministic, seeded fault-injection plan shared by the
+//!   store, the verifier and the serving tier, so chaos tests can replay
+//!   the same storm of failures from a fixed seed.
+//!
+//! The record format is deliberately boring:
+//!
+//! ```text
+//! file   := HEADER record*
+//! HEADER := "RSLOG1\n"                      (7 bytes)
+//! record := 0xA7 | len: u32 LE | crc: u64 LE | payload (len bytes)
+//! ```
+//!
+//! `crc` is FNV-1a over the payload.  A record is *torn* when the file ends
+//! before the frame does (or framing is lost: a bad marker byte or an
+//! implausible length) — torn bytes are always truncated on open, under
+//! either policy.  A record is *corrupt* when the frame is fully present
+//! but the checksum disagrees — that is a policy decision: skip-and-log
+//! (serve what survived) or fail-open (refuse the file).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::fault::{FaultPlan, FaultSite, InjectedFault};
+
+/// File magic written at offset 0 of every record log.
+const HEADER: &[u8] = b"RSLOG1\n";
+/// Marker byte opening every record frame.
+const RECORD_MARKER: u8 = 0xA7;
+/// Frame overhead past the marker: length (4) + checksum (8).
+const FRAME_HEAD: usize = 1 + 4 + 8;
+/// Upper bound on a single record's payload; a larger length prefix is
+/// treated as lost framing (torn tail), not as a real record.
+const MAX_RECORD_BYTES: u32 = 256 * 1024 * 1024;
+
+/// What to do when a fully-present record fails its checksum on open.
+///
+/// Torn tails are *always* truncated regardless of policy — a crash
+/// mid-append is the normal case the log is designed for, not corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionPolicy {
+    /// Drop the corrupt record, count it in [`OpenReport::skipped_corrupt`],
+    /// and keep scanning.  The store serves whatever survived.
+    SkipAndLog,
+    /// Refuse to open the file: return `io::ErrorKind::InvalidData`.
+    FailOpen,
+}
+
+/// What `open` found and repaired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpenReport {
+    /// Intact records recovered.
+    pub records: usize,
+    /// Fully-present records dropped for a bad checksum (SkipAndLog only).
+    pub skipped_corrupt: usize,
+    /// Bytes cut from the end of the file (torn tail / lost framing).
+    pub truncated_bytes: u64,
+}
+
+/// FNV-1a, 64-bit.  Not cryptographic — it detects torn and bit-flipped
+/// records, which is all a local log needs.
+fn checksum(payload: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in payload {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// An append-only log of checksummed records.
+///
+/// `open` replays the file and returns every intact payload; `append`
+/// writes one record (a single `write_all`, so a crash can tear at most
+/// the final record); `rewrite` atomically replaces the whole log
+/// (compaction).
+#[derive(Debug)]
+pub struct RecordLog {
+    path: PathBuf,
+    file: File,
+}
+
+impl RecordLog {
+    /// Open (or create) the log at `path`, recovering intact records.
+    ///
+    /// Always truncates a torn tail; handles checksum-corrupt middle
+    /// records per `policy`.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        policy: CorruptionPolicy,
+    ) -> io::Result<(RecordLog, Vec<Vec<u8>>, OpenReport)> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        let mut report = OpenReport::default();
+        let mut records = Vec::new();
+
+        if bytes.is_empty() {
+            file.write_all(HEADER)?;
+            file.sync_all()?;
+            return Ok((RecordLog { path, file }, records, report));
+        }
+        if !bytes.starts_with(HEADER) {
+            // The header itself is damaged: nothing after it can be framed.
+            if policy == CorruptionPolicy::FailOpen {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("record log {}: bad file header", path.display()),
+                ));
+            }
+            report.truncated_bytes = bytes.len() as u64;
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(HEADER)?;
+            file.sync_all()?;
+            return Ok((RecordLog { path, file }, records, report));
+        }
+
+        let mut offset = HEADER.len();
+        let mut keep_until = offset;
+        while offset < bytes.len() {
+            let start = offset;
+            let frame_ok = bytes.len() - start >= FRAME_HEAD && bytes[start] == RECORD_MARKER;
+            if !frame_ok {
+                // Short frame head or lost framing: torn tail from here.
+                break;
+            }
+            let len = u32::from_le_bytes(bytes[start + 1..start + 5].try_into().expect("4 bytes"));
+            if len > MAX_RECORD_BYTES {
+                break; // implausible length: framing is gone
+            }
+            let payload_start = start + FRAME_HEAD;
+            let payload_end = payload_start + len as usize;
+            if payload_end > bytes.len() {
+                break; // payload torn at EOF
+            }
+            let crc = u64::from_le_bytes(bytes[start + 5..start + 13].try_into().expect("8 bytes"));
+            let payload = &bytes[payload_start..payload_end];
+            if checksum(payload) == crc {
+                records.push(payload.to_vec());
+                report.records += 1;
+            } else if policy == CorruptionPolicy::FailOpen {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "record log {}: checksum mismatch in record at byte {start}",
+                        path.display()
+                    ),
+                ));
+            } else {
+                report.skipped_corrupt += 1;
+            }
+            offset = payload_end;
+            keep_until = payload_end;
+        }
+
+        if keep_until < bytes.len() {
+            report.truncated_bytes = (bytes.len() - keep_until) as u64;
+            file.set_len(keep_until as u64)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok((RecordLog { path, file }, records, report))
+    }
+
+    /// Append one record.  The frame is written with a single `write_all`,
+    /// so an interrupted append leaves at most a torn tail — which the next
+    /// `open` truncates.
+    ///
+    /// `faults`, when set, may inject a write error (nothing written), a
+    /// torn write (half the frame written, then an error — what a crash
+    /// mid-append leaves behind), or silent payload corruption (full frame
+    /// written with a flipped byte, caught by the checksum on next open).
+    pub fn append(&mut self, payload: &[u8], faults: Option<&FaultPlan>) -> io::Result<()> {
+        let injected = faults.and_then(|plan| plan.roll(FaultSite::StoreWrite));
+        // The checksum always covers the *original* payload, so an injected
+        // corruption is exactly a post-checksum bit flip on the way to disk.
+        let crc = checksum(payload);
+        let mut frame = Vec::with_capacity(FRAME_HEAD + payload.len());
+        frame.push(RECORD_MARKER);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc.to_le_bytes());
+        frame.extend_from_slice(payload);
+        if matches!(injected, Some(InjectedFault::StoreCorruption)) && !payload.is_empty() {
+            frame[FRAME_HEAD] ^= 0x40;
+        }
+        match injected {
+            Some(InjectedFault::StoreWriteError) => {
+                Err(io::Error::other("injected fault: store write error"))
+            }
+            Some(InjectedFault::StoreTornWrite) => {
+                self.file.write_all(&frame[..frame.len() / 2])?;
+                Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "injected fault: torn store write",
+                ))
+            }
+            _ => self.file.write_all(&frame),
+        }
+    }
+
+    /// Durably flush everything appended so far.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+
+    /// Atomically replace the log's contents with `payloads` (compaction):
+    /// write a temporary file next to the log, sync it, rename it over the
+    /// log, and reopen the handle.
+    pub fn rewrite<'a>(&mut self, payloads: impl IntoIterator<Item = &'a [u8]>) -> io::Result<()> {
+        let tmp_path = self.path.with_extension("compact-tmp");
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            let mut buf = Vec::new();
+            buf.extend_from_slice(HEADER);
+            for payload in payloads {
+                buf.push(RECORD_MARKER);
+                buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                buf.extend_from_slice(&checksum(payload).to_le_bytes());
+                buf.extend_from_slice(payload);
+            }
+            tmp.write_all(&buf)?;
+            tmp.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        self.file.seek(SeekFrom::End(0))?;
+        Ok(())
+    }
+
+    /// The log's on-disk path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// How eagerly [`LogStore`] compacts: once the on-disk record count
+/// exceeds `2 * live + COMPACT_SLACK`, a compaction rewrites the log to
+/// exactly the live set.
+const COMPACT_SLACK: usize = 64;
+
+/// A latest-wins key/value store over a [`RecordLog`].
+///
+/// Each record is `klen: u32 LE | key | value`.  Replaying the log in
+/// order and keeping the last value per key reconstructs the map; iteration
+/// order is the order keys were *first* written, which makes recovery
+/// deterministic for tests.
+#[derive(Debug)]
+pub struct LogStore {
+    log: RecordLog,
+    index: HashMap<Vec<u8>, Vec<u8>>,
+    order: Vec<Vec<u8>>,
+    /// Records on disk since the last compaction (live + superseded).
+    disk_records: usize,
+    faults: Option<Arc<FaultPlan>>,
+    compactions: u64,
+}
+
+fn encode_kv(key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(4 + key.len() + value.len());
+    payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    payload.extend_from_slice(key);
+    payload.extend_from_slice(value);
+    payload
+}
+
+fn decode_kv(payload: &[u8]) -> Option<(&[u8], &[u8])> {
+    if payload.len() < 4 {
+        return None;
+    }
+    let klen = u32::from_le_bytes(payload[..4].try_into().ok()?) as usize;
+    if payload.len() < 4 + klen {
+        return None;
+    }
+    Some((&payload[4..4 + klen], &payload[4 + klen..]))
+}
+
+impl LogStore {
+    /// Open (or create) the store at `path`, replaying intact records.
+    /// Records that survive framing but fail to decode as key/value pairs
+    /// are counted corrupt (or refused, under [`CorruptionPolicy::FailOpen`]).
+    pub fn open(
+        path: impl Into<PathBuf>,
+        policy: CorruptionPolicy,
+    ) -> io::Result<(LogStore, OpenReport)> {
+        let (log, payloads, mut report) = RecordLog::open(path, policy)?;
+        let mut index: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+        let mut order = Vec::new();
+        let disk_records = payloads.len();
+        for payload in &payloads {
+            match decode_kv(payload) {
+                Some((key, value)) => {
+                    if !index.contains_key(key) {
+                        order.push(key.to_vec());
+                    }
+                    index.insert(key.to_vec(), value.to_vec());
+                }
+                None if policy == CorruptionPolicy::FailOpen => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("log store {}: undecodable record", log.path().display()),
+                    ));
+                }
+                None => {
+                    report.records -= 1;
+                    report.skipped_corrupt += 1;
+                }
+            }
+        }
+        Ok((
+            LogStore {
+                log,
+                index,
+                order,
+                disk_records,
+                faults: None,
+                compactions: 0,
+            },
+            report,
+        ))
+    }
+
+    /// Arm deterministic fault injection for subsequent writes.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
+    }
+
+    /// Write `key = value` (latest wins).  The in-memory map is updated
+    /// even when the disk append fails — a later compaction rewrites the
+    /// full live set, so transient write errors self-heal.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> io::Result<()> {
+        if !self.index.contains_key(key) {
+            self.order.push(key.to_vec());
+        }
+        self.index.insert(key.to_vec(), value.to_vec());
+        let payload = encode_kv(key, value);
+        let result = self.log.append(&payload, self.faults.as_deref());
+        if result.is_ok() {
+            self.disk_records += 1;
+        }
+        result
+    }
+
+    /// The live value for `key`, if any.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.index.get(key).map(Vec::as_slice)
+    }
+
+    /// Live entries, in first-written key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
+        self.order.iter().filter_map(|key| {
+            self.index
+                .get(key)
+                .map(|value| (key.as_slice(), value.as_slice()))
+        })
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when no keys are live.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Compact when the on-disk log has grown past twice the live set
+    /// (plus slack).  Returns true when a compaction ran.
+    pub fn maybe_compact(&mut self) -> io::Result<bool> {
+        if self.disk_records > 2 * self.index.len() + COMPACT_SLACK {
+            self.compact()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Rewrite the log to exactly the live entries (atomic tmp + rename).
+    pub fn compact(&mut self) -> io::Result<()> {
+        let payloads: Vec<Vec<u8>> = self
+            .order
+            .iter()
+            .filter_map(|key| self.index.get(key).map(|value| encode_kv(key, value)))
+            .collect();
+        self.log.rewrite(payloads.iter().map(Vec::as_slice))?;
+        self.disk_records = self.index.len();
+        self.compactions += 1;
+        Ok(())
+    }
+
+    /// Compactions run since open.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Records currently on disk (live + superseded since last compaction).
+    pub fn disk_records(&self) -> usize {
+        self.disk_records
+    }
+
+    /// Durably flush appends to disk.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.log.sync()
+    }
+
+    /// The store's on-disk path.
+    pub fn path(&self) -> &Path {
+        self.log.path()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlanBuilder;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        let unique = format!(
+            "retreet-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        );
+        path.push(unique.replace(['(', ')'], ""));
+        path
+    }
+
+    #[test]
+    fn roundtrip_records_across_reopen() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut log, records, report) =
+                RecordLog::open(&path, CorruptionPolicy::FailOpen).unwrap();
+            assert!(records.is_empty());
+            assert_eq!(report, OpenReport::default());
+            log.append(b"alpha", None).unwrap();
+            log.append(b"", None).unwrap();
+            log.append(&[0u8; 1024], None).unwrap();
+            log.sync().unwrap();
+        }
+        let (_, records, report) = RecordLog::open(&path, CorruptionPolicy::FailOpen).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0], b"alpha");
+        assert_eq!(records[1], b"");
+        assert_eq!(records[2], vec![0u8; 1024]);
+        assert_eq!(report.records, 3);
+        assert_eq!(report.truncated_bytes, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_under_both_policies() {
+        for policy in [CorruptionPolicy::SkipAndLog, CorruptionPolicy::FailOpen] {
+            let path = temp_path("torn");
+            let _ = std::fs::remove_file(&path);
+            {
+                let (mut log, _, _) = RecordLog::open(&path, policy).unwrap();
+                log.append(b"kept", None).unwrap();
+            }
+            // Simulate a crash mid-append: half a frame of garbage.
+            {
+                let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+                file.write_all(&[RECORD_MARKER, 0xFF, 0x13]).unwrap();
+            }
+            let before = std::fs::metadata(&path).unwrap().len();
+            let (_, records, report) = RecordLog::open(&path, policy).unwrap();
+            assert_eq!(records.len(), 1, "intact record survives under {policy:?}");
+            assert_eq!(records[0], b"kept");
+            assert_eq!(report.truncated_bytes, 3);
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), before - 3);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn corrupt_middle_record_skips_or_fails_by_policy() {
+        let path = temp_path("corrupt-middle");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut log, _, _) = RecordLog::open(&path, CorruptionPolicy::FailOpen).unwrap();
+            log.append(b"first", None).unwrap();
+            log.append(b"second", None).unwrap();
+            log.append(b"third", None).unwrap();
+        }
+        // Flip a payload byte inside the middle record.
+        {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let second_payload = HEADER.len() + (FRAME_HEAD + 5) + FRAME_HEAD;
+            bytes[second_payload] ^= 0x01;
+            std::fs::write(&path, &bytes).unwrap();
+        }
+        let (_, records, report) = RecordLog::open(&path, CorruptionPolicy::SkipAndLog).unwrap();
+        assert_eq!(records.len(), 2, "first and third survive");
+        assert_eq!(records[0], b"first");
+        assert_eq!(records[1], b"third");
+        assert_eq!(report.skipped_corrupt, 1);
+        assert_eq!(report.truncated_bytes, 0, "corruption is not truncation");
+
+        let err = RecordLog::open(&path, CorruptionPolicy::FailOpen).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_and_headerless_files_are_recovered() {
+        // Empty file: opened fresh, header written.
+        let path = temp_path("empty");
+        std::fs::write(&path, b"").unwrap();
+        let (_, records, report) = RecordLog::open(&path, CorruptionPolicy::FailOpen).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(report, OpenReport::default());
+        assert_eq!(std::fs::read(&path).unwrap(), HEADER);
+        let _ = std::fs::remove_file(&path);
+
+        // Garbage where the header should be: SkipAndLog resets the file,
+        // FailOpen refuses it.
+        let path = temp_path("headerless");
+        std::fs::write(&path, b"not a log").unwrap();
+        let err = RecordLog::open(&path, CorruptionPolicy::FailOpen).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let (_, records, report) = RecordLog::open(&path, CorruptionPolicy::SkipAndLog).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(report.truncated_bytes, 9);
+        assert_eq!(std::fs::read(&path).unwrap(), HEADER);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn log_store_latest_wins_and_survives_reopen() {
+        let path = temp_path("kv");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut store, _) = LogStore::open(&path, CorruptionPolicy::FailOpen).unwrap();
+            store.put(b"k1", b"v1").unwrap();
+            store.put(b"k2", b"v2").unwrap();
+            store.put(b"k1", b"v1-updated").unwrap();
+            store.sync().unwrap();
+            assert_eq!(store.len(), 2);
+            assert_eq!(store.disk_records(), 3);
+        }
+        let (store, report) = LogStore::open(&path, CorruptionPolicy::FailOpen).unwrap();
+        assert_eq!(report.records, 3);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(b"k1"), Some(b"v1-updated".as_slice()));
+        assert_eq!(store.get(b"k2"), Some(b"v2".as_slice()));
+        let keys: Vec<&[u8]> = store.iter().map(|(key, _)| key).collect();
+        assert_eq!(keys, vec![b"k1".as_slice(), b"k2".as_slice()]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_shrinks_the_log_and_preserves_contents() {
+        let path = temp_path("compact");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut store, _) = LogStore::open(&path, CorruptionPolicy::FailOpen).unwrap();
+            for round in 0..40 {
+                for key in 0..4u8 {
+                    store
+                        .put(&[key], format!("round-{round}").as_bytes())
+                        .unwrap();
+                }
+            }
+            assert_eq!(store.disk_records(), 160);
+            assert!(store.maybe_compact().unwrap(), "past threshold");
+            assert_eq!(store.disk_records(), 4);
+            assert_eq!(store.compactions(), 1);
+            assert!(!store.maybe_compact().unwrap(), "freshly compacted");
+        }
+        let (store, report) = LogStore::open(&path, CorruptionPolicy::FailOpen).unwrap();
+        assert_eq!(report.records, 4);
+        for key in 0..4u8 {
+            assert_eq!(store.get(&[key]), Some(b"round-39".as_slice()));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn injected_write_error_leaves_memory_consistent_and_disk_intact() {
+        let path = temp_path("fault-write");
+        let _ = std::fs::remove_file(&path);
+        let plan = Arc::new(FaultPlanBuilder::new(7).store_write_error(1.0).build());
+        {
+            let (mut store, _) = LogStore::open(&path, CorruptionPolicy::FailOpen).unwrap();
+            store.put(b"before", b"faults").unwrap();
+            store.set_fault_plan(Arc::clone(&plan));
+            let err = store.put(b"during", b"faults").unwrap_err();
+            assert!(err.to_string().contains("injected fault"));
+            // Memory keeps the write; disk does not.
+            assert_eq!(store.get(b"during"), Some(b"faults".as_slice()));
+            // Compaction self-heals: it rewrites the live set without faults
+            // on the compaction path.
+            store.faults = None;
+            store.compact().unwrap();
+        }
+        let (store, _) = LogStore::open(&path, CorruptionPolicy::FailOpen).unwrap();
+        assert_eq!(store.get(b"before"), Some(b"faults".as_slice()));
+        assert_eq!(store.get(b"during"), Some(b"faults".as_slice()));
+        assert!(plan.counts().store_write_errors >= 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn injected_torn_write_recovers_on_reopen() {
+        let path = temp_path("fault-torn");
+        let _ = std::fs::remove_file(&path);
+        let plan = Arc::new(FaultPlanBuilder::new(11).store_torn_write(1.0).build());
+        {
+            let (mut store, _) = LogStore::open(&path, CorruptionPolicy::FailOpen).unwrap();
+            store.put(b"intact", b"yes").unwrap();
+            store.set_fault_plan(plan);
+            store.put(b"torn", b"half-written").unwrap_err();
+        }
+        let (store, report) = LogStore::open(&path, CorruptionPolicy::FailOpen).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(b"intact"), Some(b"yes".as_slice()));
+        assert!(report.truncated_bytes > 0, "the torn half-frame was cut");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn injected_corruption_is_caught_by_checksum_on_reopen() {
+        let path = temp_path("fault-corrupt");
+        let _ = std::fs::remove_file(&path);
+        let plan = Arc::new(FaultPlanBuilder::new(13).store_corruption(1.0).build());
+        {
+            let (mut store, _) = LogStore::open(&path, CorruptionPolicy::FailOpen).unwrap();
+            store.put(b"clean", b"record").unwrap();
+            store.set_fault_plan(plan);
+            // The corrupted append *succeeds* — silent disk corruption.
+            store.put(b"dirty", b"record").unwrap();
+        }
+        let (store, report) = LogStore::open(&path, CorruptionPolicy::SkipAndLog).unwrap();
+        assert_eq!(report.skipped_corrupt, 1);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(b"clean"), Some(b"record".as_slice()));
+        assert!(RecordLog::open(&path, CorruptionPolicy::FailOpen).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

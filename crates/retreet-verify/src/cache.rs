@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
 
+use crate::persist::VerdictStore;
 use crate::query::{OwnedQuery, Query, QueryKind};
 use crate::verdict::Verdict;
 
@@ -69,6 +70,10 @@ pub(crate) struct VerdictCache {
     hits: AtomicU64,
     misses: AtomicU64,
     collisions: AtomicU64,
+    /// Disk write-through layer, when persistence is enabled.  Attached
+    /// *after* warm-loading the persisted entries, so the load itself does
+    /// not re-append every verdict to the log it just came from.
+    store: Option<Arc<VerdictStore>>,
 }
 
 struct Shard {
@@ -109,7 +114,14 @@ impl VerdictCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             collisions: AtomicU64::new(0),
+            store: None,
         }
+    }
+
+    /// Attaches the persistent write-through layer (called once at build,
+    /// after the warm-load).
+    pub(crate) fn set_store(&mut self, store: Arc<VerdictStore>) {
+        self.store = Some(store);
     }
 
     /// True when the cache can store anything at all; a disabled cache lets
@@ -190,32 +202,43 @@ impl VerdictCache {
     /// in [`CacheStats::collisions`]: replacing it would make the two
     /// colliding queries evict each other forever and silently re-run their
     /// engines on every call.
+    /// When persistence is enabled, an accepted insert is also written
+    /// through to the disk store (outside the shard lock, so a slow disk
+    /// never serializes the shard); collision- and downgrade-blocked
+    /// inserts are not persisted, mirroring the in-memory decision.
     pub(crate) fn insert(&self, key: CacheKey, subjects: Arc<OwnedQuery>, verdict: Verdict) {
         if !self.enabled() {
             return;
         }
         let shard = self.shard(&key);
-        let mut state = shard.state.lock().expect("verdict cache poisoned");
-        match state.map.get(&key) {
-            Some((resident, _)) if !resident.matches(&subjects.as_query()) => {
-                self.collisions.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            Some((_, resident)) if !verdict.soundness.covers(&resident.soundness) => {
-                // The resident verdict is strictly stronger; keep it.
-                return;
-            }
-            Some(_) => {}
-            None => {
-                if state.map.len() >= shard.capacity {
-                    if let Some(oldest) = state.insertion_order.pop_front() {
-                        state.map.remove(&oldest);
-                    }
+        {
+            let mut state = shard.state.lock().expect("verdict cache poisoned");
+            match state.map.get(&key) {
+                Some((resident, _)) if !resident.matches(&subjects.as_query()) => {
+                    self.collisions.fetch_add(1, Ordering::Relaxed);
+                    return;
                 }
-                state.insertion_order.push_back(key);
+                Some((_, resident)) if !verdict.soundness.covers(&resident.soundness) => {
+                    // The resident verdict is strictly stronger; keep it.
+                    return;
+                }
+                Some(_) => {}
+                None => {
+                    if state.map.len() >= shard.capacity {
+                        if let Some(oldest) = state.insertion_order.pop_front() {
+                            state.map.remove(&oldest);
+                        }
+                    }
+                    state.insertion_order.push_back(key);
+                }
             }
+            state
+                .map
+                .insert(key, (Arc::clone(&subjects), verdict.clone()));
         }
-        state.map.insert(key, (subjects, verdict));
+        if let Some(store) = &self.store {
+            store.write_through(&key, &subjects, &verdict);
+        }
     }
 
     /// Current hit/miss/collision/entry counters, aggregated over shards.
@@ -266,6 +289,7 @@ mod tests {
             elapsed: Duration::from_millis(1),
             cached: false,
             coalesced: false,
+            degraded: false,
         }
     }
 

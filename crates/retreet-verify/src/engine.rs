@@ -19,8 +19,9 @@
 //!   node bound (validity queries).
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use retreet_analysis::corresp::check_fusion_correspondence;
 use retreet_analysis::equiv::{check_equivalence_cancellable, EquivOptions, EquivVerdict};
@@ -30,6 +31,7 @@ use retreet_analysis::race::{
 use retreet_analysis::summary::{structural_race_analysis, StructuralRaceAnalysis};
 use retreet_mso::bounded::{check_validity_cancellable, BoundedVerdict};
 use retreet_mso::compile;
+use retreet_store::fault::{FaultPlan, FaultSite, InjectedFault};
 
 use crate::error::EngineSkip;
 use crate::query::{Query, QueryKind};
@@ -140,9 +142,15 @@ pub(crate) enum EngineAnswer {
     /// kind); other portfolio members may still answer.
     Skip(EngineSkip),
     /// The engine observed the cooperative cancel flag and abandoned its
-    /// enumeration: a winner was already decided, so no verdict may (or
-    /// needs to) be derived from the partial run.
+    /// enumeration: a winner was already decided (or the query's deadline
+    /// expired), so no verdict may (or needs to) be derived from the
+    /// partial run.
     Cancelled,
+    /// The engine panicked.  `catch_unwind` confines the unwind to the
+    /// engine's own slot — the connection/worker thread survives and the
+    /// other portfolio members keep racing; only when *no* engine answers
+    /// does the portfolio report failure.
+    Panicked(String),
 }
 
 /// A cancel flag that is never raised, for the sequential portfolio and
@@ -150,17 +158,52 @@ pub(crate) enum EngineAnswer {
 pub(crate) static NEVER_CANCELLED: AtomicBool = AtomicBool::new(false);
 
 /// Runs `engine` on `query` under `config`, returning the outcome with its
-/// soundness caveat, a skip report when the engine does not apply, or
-/// [`EngineAnswer::Cancelled`] when `cancel` was observed raised.  Also
-/// reports the engine's own wall-clock time.
+/// soundness caveat, a skip report when the engine does not apply,
+/// [`EngineAnswer::Cancelled`] when `cancel` was observed raised, or
+/// [`EngineAnswer::Panicked`] when the engine's own code (or an injected
+/// fault) panicked — the unwind never escapes this function.  Also reports
+/// the engine's own wall-clock time.
+///
+/// `faults`, when set, may inject an engine panic (exercising the
+/// `catch_unwind` isolation) or a pre-run stall (exercising the deadline
+/// watchdog; the stall polls `cancel` so a cancelled stall still exits
+/// promptly).
 pub(crate) fn run_engine(
     engine: Engine,
     query: &Query<'_>,
     config: &EngineConfig,
     cancel: &AtomicBool,
+    faults: Option<&FaultPlan>,
 ) -> (EngineAnswer, std::time::Duration) {
     let start = Instant::now();
-    let answer = run_engine_inner(engine, query, config, cancel);
+    let answer = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(plan) = faults {
+            match plan.roll(FaultSite::EngineRun) {
+                Some(InjectedFault::EnginePanic) => {
+                    panic!("injected fault: {engine} engine panicked")
+                }
+                Some(InjectedFault::EngineStall { millis }) => {
+                    let stall_until = Instant::now() + Duration::from_millis(millis);
+                    while Instant::now() < stall_until {
+                        if cancel.load(Ordering::Relaxed) {
+                            return EngineAnswer::Cancelled;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                _ => {}
+            }
+        }
+        run_engine_inner(engine, query, config, cancel)
+    }))
+    .unwrap_or_else(|payload| {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        EngineAnswer::Panicked(message)
+    });
     (answer, start.elapsed())
 }
 

@@ -67,10 +67,28 @@ pub enum VerifyError {
         skipped: Vec<EngineSkip>,
     },
     /// The portfolio ran but every engine worker terminated without
-    /// producing a verdict (a worker panic; should not happen).
+    /// producing a verdict (every applicable engine panicked — each panic
+    /// is isolated to its slot by `catch_unwind`, so one bad engine cannot
+    /// take the others down, but when *none* survives this is the honest
+    /// answer).
     PortfolioFailed {
         /// The kind of query that was being answered.
         query: QueryKind,
+    },
+    /// The per-query deadline expired before any engine produced a verdict.
+    /// Fail-closed: no partial or truncated answer is ever synthesized —
+    /// when at least one engine *did* finish in budget, the portfolio
+    /// returns its verdict marked [`crate::Verdict::degraded`] instead of
+    /// this error.
+    DeadlineExceeded {
+        /// The kind of query whose budget expired.
+        query: QueryKind,
+    },
+    /// The persistent verdict store could not be opened (I/O failure, or
+    /// corruption under the fail-open policy).
+    StoreFailed {
+        /// The underlying error, rendered.
+        message: String,
     },
 }
 
@@ -89,6 +107,15 @@ impl fmt::Display for VerifyError {
             }
             VerifyError::PortfolioFailed { query } => {
                 write!(f, "every portfolio worker failed on the {query} query")
+            }
+            VerifyError::DeadlineExceeded { query } => {
+                write!(
+                    f,
+                    "deadline exceeded before any engine answered the {query} query"
+                )
+            }
+            VerifyError::StoreFailed { message } => {
+                write!(f, "verdict store unavailable: {message}")
             }
         }
     }

@@ -49,6 +49,37 @@
 //!   hit/miss/collision and run/cancel/coalesce counters the service and
 //!   `bench_service` report.
 //!
+//! # Robustness
+//!
+//! The serving tier is hardened for long-running multi-tenant use:
+//!
+//! * **Deadlines** — [`VerifierBuilder::default_deadline`] (or a per-query
+//!   [`Verifier::verify_within`]) bounds every dispatch.  A process-wide
+//!   watchdog thread raises the same cooperative-cancel flag the parallel
+//!   portfolio already threads through every engine's enumeration loops.
+//!   The answer is *fail-closed*: if an engine finished inside the budget,
+//!   its verdict is returned marked [`Verdict::degraded`] (honest soundness,
+//!   never cached); if none did, the typed
+//!   [`VerifyError::DeadlineExceeded`] — never a truncated or wrong verdict.
+//! * **Crash-safe persistence** — [`VerifierBuilder::persist`] backs the
+//!   verdict cache with an append-only, checksummed record log
+//!   (`retreet-store`).  Every accepted cache insert is written through;
+//!   on restart every verdict ever computed is recovered (torn tails are
+//!   truncated, corrupt records skipped or refused per
+//!   [`CorruptionPolicy`]), and the [`Soundness`] upgrade lattice is
+//!   enforced on disk exactly as in memory.
+//! * **Fault isolation** — every engine run executes under `catch_unwind`:
+//!   a panicking engine forfeits its slot (and is reported as a skip with
+//!   its panic message) while the rest of the portfolio keeps racing;
+//!   [`VerifyError::PortfolioFailed`] is returned only when *no* engine
+//!   survives.  A deterministic [`FaultPlan`] can inject panics, stalls,
+//!   and store failures for chaos testing.
+//! * **Probing and draining** — [`Verifier::probe`] classifies a query's
+//!   [`Warmth`] (cache hit / in-flight / cold) without running anything, so
+//!   a server can lane-split admission; [`Verifier::abort_inflight`] raises
+//!   every active dispatch's cancel flag for fast shutdown, and
+//!   [`Verifier::flush_store`] durably syncs the log.
+//!
 //! # Example
 //!
 //! ```
@@ -85,20 +116,32 @@
 mod cache;
 mod engine;
 mod error;
+mod persist;
 mod query;
 mod verdict;
+mod watchdog;
 
 pub use cache::CacheStats;
 pub use engine::{Engine, EngineConfig};
 pub use error::{EngineSkip, ProgramRole, VerifyError};
+pub use persist::StoreStats;
 pub use query::{Query, QueryKind};
 pub use verdict::{Outcome, Soundness, Verdict};
 
+// The fault-injection vocabulary and the store's corruption policy are
+// re-exported so serving-tier callers configure chaos runs and persistence
+// through one crate.
+pub use retreet_store::fault::{
+    FaultCounts, FaultPlan, FaultPlanBuilder, FaultSite, InjectedFault,
+};
+pub use retreet_store::CorruptionPolicy;
+
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::{Duration, Instant};
 
 use retreet_analysis::configs::EnumOptions;
 use retreet_lang::ast::Program;
@@ -107,6 +150,7 @@ use retreet_mso::formula::Formula;
 
 use cache::{CacheKey, VerdictCache};
 use engine::{run_engine, EngineAnswer, NEVER_CANCELLED};
+use persist::VerdictStore;
 use query::OwnedQuery;
 
 /// Builder for [`Verifier`]; obtain one with [`Verifier::builder`].
@@ -129,6 +173,9 @@ pub struct VerifierBuilder {
     engines: Vec<Engine>,
     parallel: bool,
     cache_capacity: usize,
+    default_deadline: Option<Duration>,
+    faults: Option<Arc<FaultPlan>>,
+    persist: Option<(PathBuf, CorruptionPolicy)>,
 }
 
 impl Default for VerifierBuilder {
@@ -145,6 +192,9 @@ impl Default for VerifierBuilder {
             engines: Engine::ALL.to_vec(),
             parallel: false,
             cache_capacity: 4096,
+            default_deadline: None,
+            faults: None,
+            persist: None,
         }
     }
 }
@@ -235,15 +285,101 @@ impl VerifierBuilder {
         self
     }
 
-    /// Finalizes the verifier.
-    pub fn build(self) -> Verifier {
-        Verifier {
-            cache: VerdictCache::new(self.cache_capacity),
+    /// Default per-query wall-clock budget.  When it expires the dispatch's
+    /// cooperative-cancel flag is raised by the watchdog thread; engines
+    /// abandon their enumerations at the next poll and the query resolves
+    /// fail-closed (a [`Verdict::degraded`] best-effort verdict when one
+    /// engine already finished, [`VerifyError::DeadlineExceeded`]
+    /// otherwise).  Unset by default: queries run to completion.
+    pub fn default_deadline(mut self, budget: Duration) -> Self {
+        self.default_deadline = Some(budget);
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan: engine panics and
+    /// stalls, and (when persistence is enabled) store write errors, torn
+    /// writes and corruption.  Testing hook — never set in production.  The
+    /// plan is deliberately *not* part of [`EngineConfig`], which is hashed
+    /// into cache keys: injecting faults must not change what a query is.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(plan));
+        self
+    }
+
+    /// Like [`Self::fault_plan`] with a plan that is already shared: the
+    /// serving tier hands the same `Arc` to the verifier (engine and store
+    /// sites) and keeps a clone for its own connection-write site, so one
+    /// seed drives the whole stack's chaos run.
+    pub fn shared_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Backs the verdict cache with a crash-safe append-only log at `path`
+    /// (created if absent).  Every verdict the cache accepts is written
+    /// through; on [`Self::try_build`] every decodable persisted verdict is
+    /// loaded back into the cache, so a restarted process serves its entire
+    /// prior corpus as cache hits.  Corrupt records are skipped and counted
+    /// ([`CorruptionPolicy::SkipAndLog`]); use
+    /// [`Self::persist_with_policy`] to refuse a corrupt store instead.
+    /// Persistence rides on the cache: with `cache_capacity(0)` nothing is
+    /// ever accepted, hence nothing persisted.
+    pub fn persist(self, path: impl Into<PathBuf>) -> Self {
+        self.persist_with_policy(path, CorruptionPolicy::SkipAndLog)
+    }
+
+    /// Like [`Self::persist`] with an explicit corruption policy.
+    pub fn persist_with_policy(
+        mut self,
+        path: impl Into<PathBuf>,
+        policy: CorruptionPolicy,
+    ) -> Self {
+        self.persist = Some((path.into(), policy));
+        self
+    }
+
+    /// Finalizes the verifier, reporting store failures as
+    /// [`VerifyError::StoreFailed`] instead of panicking.  Only the
+    /// persistent store can fail to open; without [`Self::persist`] this
+    /// never errors.
+    pub fn try_build(self) -> Result<Verifier, VerifyError> {
+        let mut cache = VerdictCache::new(self.cache_capacity);
+        let mut store = None;
+        if let Some((path, policy)) = &self.persist {
+            let (opened, loaded) = VerdictStore::open(path.clone(), *policy, self.faults.clone())
+                .map_err(|error| VerifyError::StoreFailed {
+                message: error.to_string(),
+            })?;
+            // Warm the cache *before* attaching the store: the load must
+            // not write every recovered verdict back to the log it just
+            // came from.
+            for (key, subjects, verdict) in loaded {
+                cache.insert(key, subjects, verdict);
+            }
+            let opened = Arc::new(opened);
+            cache.set_store(Arc::clone(&opened));
+            store = Some(opened);
+        }
+        Ok(Verifier {
+            cache,
             config: self.config,
             engines: self.engines,
             parallel: self.parallel,
+            default_deadline: self.default_deadline,
+            faults: self.faults,
+            store,
             inflight: Mutex::new(HashMap::new()),
+            active: Mutex::new(Vec::new()),
             counters: Arc::new(Counters::default()),
+        })
+    }
+
+    /// Finalizes the verifier; panics if the persistent store cannot be
+    /// opened (use [`Self::try_build`] to handle that as a typed error).
+    pub fn build(self) -> Verifier {
+        match self.try_build() {
+            Ok(verifier) => verifier,
+            Err(error) => panic!("verifier build failed: {error}"),
         }
     }
 }
@@ -262,6 +398,15 @@ pub struct ServingStats {
     /// was in flight and waited on that single run instead of racing the
     /// portfolio again.
     pub coalesced: u64,
+    /// Engine runs that panicked and were confined to their slot by
+    /// `catch_unwind` (injected or genuine).
+    pub panicked_runs: u64,
+    /// Queries whose deadline expired (or that were aborted) before the
+    /// authoritative engine answered — resolved as a degraded verdict or
+    /// [`VerifyError::DeadlineExceeded`].
+    pub deadline_hits: u64,
+    /// Queries answered with a [`Verdict::degraded`] best-effort verdict.
+    pub degraded: u64,
 }
 
 #[derive(Default)]
@@ -269,6 +414,9 @@ struct Counters {
     engine_runs: AtomicU64,
     cancelled_runs: AtomicU64,
     coalesced: AtomicU64,
+    panicked_runs: AtomicU64,
+    deadline_hits: AtomicU64,
+    degraded: AtomicU64,
 }
 
 /// One in-flight engine run that concurrent identical queries wait on.
@@ -344,6 +492,65 @@ impl Drop for FlightLead<'_> {
     }
 }
 
+/// One portfolio slot: `None` while its engine is still running.
+type SlotAnswer = Option<(Engine, EngineAnswer, Duration)>;
+
+/// Why no engine produced a verdict.
+struct NoAnswer {
+    skipped: Vec<EngineSkip>,
+    cancelled: usize,
+    panicked: usize,
+}
+
+/// Scans the parallel portfolio's slots in dispatch (authority) order: the
+/// first answer wins once everything before it has resolved; `None` while a
+/// more authoritative engine is still running.  A *cancelled* earlier slot
+/// means the deadline (or an abort) cut off a more authoritative engine
+/// before it resolved — any verdict decided past that point is the best
+/// answer available in budget, not the portfolio's authoritative one, and
+/// is marked [`Verdict::degraded`].  Earlier skips and panics do *not*
+/// degrade: those engines resolved definitively without an answer, exactly
+/// as they would sequentially.
+fn decide(answers: &[SlotAnswer]) -> Option<Result<Verdict, NoAnswer>> {
+    let mut skipped = Vec::new();
+    let mut cancelled = 0usize;
+    let mut panicked = 0usize;
+    let mut degraded = false;
+    for entry in answers {
+        match entry {
+            None => return None,
+            Some((engine, EngineAnswer::Verdict(outcome, soundness), elapsed)) => {
+                return Some(Ok(Verdict {
+                    outcome: outcome.clone(),
+                    engine: *engine,
+                    soundness: *soundness,
+                    elapsed: *elapsed,
+                    cached: false,
+                    coalesced: false,
+                    degraded,
+                }));
+            }
+            Some((_, EngineAnswer::Skip(skip), _)) => skipped.push(skip.clone()),
+            Some((engine, EngineAnswer::Panicked(message), _)) => {
+                panicked += 1;
+                skipped.push(EngineSkip {
+                    engine: *engine,
+                    reason: format!("engine panicked: {message}"),
+                });
+            }
+            Some((_, EngineAnswer::Cancelled, _)) => {
+                cancelled += 1;
+                degraded = true;
+            }
+        }
+    }
+    Some(Err(NoAnswer {
+        skipped,
+        cancelled,
+        panicked,
+    }))
+}
+
 /// The unified verification façade: one `verify` call for all three query
 /// kinds, backed by an engine portfolio, a sharded verdict cache and
 /// single-flight coalescing of identical concurrent queries.  See the
@@ -353,8 +560,30 @@ pub struct Verifier {
     engines: Vec<Engine>,
     parallel: bool,
     cache: VerdictCache,
+    default_deadline: Option<Duration>,
+    faults: Option<Arc<FaultPlan>>,
+    store: Option<Arc<VerdictStore>>,
     inflight: Mutex<HashMap<CacheKey, Arc<Flight>>>,
+    /// Cancel flags of every dispatch currently running, held weakly so a
+    /// finished query costs nothing; [`Verifier::abort_inflight`] raises
+    /// whatever is still alive.
+    active: Mutex<Vec<Weak<AtomicBool>>>,
     counters: Arc<Counters>,
+}
+
+/// How warm a query is, as classified by [`Verifier::probe`]: the serving
+/// tier routes [`Warmth::Hit`] and [`Warmth::InFlight`] queries down its
+/// fast lane (a cached or coalesced answer never queues behind cold
+/// verifications) and subjects only [`Warmth::Cold`] queries to admission
+/// control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Warmth {
+    /// A matching verdict is resident in the cache.
+    Hit,
+    /// An identical query is in flight right now; a new arrival coalesces.
+    InFlight,
+    /// Answering requires a fresh portfolio dispatch.
+    Cold,
 }
 
 impl Verifier {
@@ -383,13 +612,84 @@ impl Verifier {
         self.cache.stats()
     }
 
-    /// Engine-run / cancellation / coalescing counters of the portfolio.
+    /// Engine-run / cancellation / coalescing / panic / deadline counters
+    /// of the portfolio.
     pub fn serving_stats(&self) -> ServingStats {
         ServingStats {
             engine_runs: self.counters.engine_runs.load(Ordering::Relaxed),
             cancelled_runs: self.counters.cancelled_runs.load(Ordering::Relaxed),
             coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            panicked_runs: self.counters.panicked_runs.load(Ordering::Relaxed),
+            deadline_hits: self.counters.deadline_hits.load(Ordering::Relaxed),
+            degraded: self.counters.degraded.load(Ordering::Relaxed),
         }
+    }
+
+    /// The default per-query budget, when one was configured.
+    pub fn default_deadline(&self) -> Option<Duration> {
+        self.default_deadline
+    }
+
+    /// Per-kind counts of injected faults, when a [`FaultPlan`] is
+    /// installed.
+    pub fn fault_counts(&self) -> Option<FaultCounts> {
+        self.faults.as_ref().map(|plan| plan.counts())
+    }
+
+    /// The installed fault-injection plan, when one was configured — so
+    /// layers above the verifier (the serving tier's connection writer) can
+    /// roll against the same seeded stream.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.clone()
+    }
+
+    /// Counters of the persistent verdict store, when one is attached.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(|store| store.stats())
+    }
+
+    /// Durably syncs the persistent store (no-op without one).  The serving
+    /// tier calls this on graceful shutdown, after draining.
+    pub fn flush_store(&self) {
+        if let Some(store) = &self.store {
+            store.flush();
+        }
+    }
+
+    /// Classifies a query without running anything: resident in the cache,
+    /// identical to an in-flight dispatch, or cold.  Subjects are compared
+    /// structurally (not just by hash), exactly as the cache itself does;
+    /// no counters move.
+    pub fn probe(&self, query: &Query<'_>) -> Warmth {
+        if !self.cache.enabled() {
+            return Warmth::Cold;
+        }
+        let key = query.cache_key(&self.config);
+        if self.cache.peek(&key, query).is_some() {
+            return Warmth::Hit;
+        }
+        let inflight = self.inflight.lock().expect("in-flight table poisoned");
+        match inflight.get(&key) {
+            Some(flight) if flight.subjects.matches(query) => Warmth::InFlight,
+            _ => Warmth::Cold,
+        }
+    }
+
+    /// Raises the cooperative-cancel flag of every dispatch currently
+    /// running (engines abandon their enumerations at the next poll and
+    /// those queries resolve as degraded verdicts or
+    /// [`VerifyError::DeadlineExceeded`]); returns how many flags were
+    /// raised.  The serving tier's hard-abort path on shutdown.
+    pub fn abort_inflight(&self) -> usize {
+        let mut active = self.active.lock().expect("active flag list poisoned");
+        let mut raised = 0;
+        for weak in active.drain(..) {
+            if let Some(flag) = weak.upgrade() {
+                flag.store(true, Ordering::Relaxed);
+                raised += 1;
+            }
+        }
+        raised
     }
 
     /// Drops every cached verdict (counters are preserved).
@@ -399,15 +699,37 @@ impl Verifier {
 
     /// Answers a query: validates its subjects, consults the verdict cache,
     /// coalesces with an identical in-flight query if there is one, and
-    /// otherwise dispatches to the portfolio.  This is *the* entry point;
+    /// otherwise dispatches to the portfolio under the builder's default
+    /// deadline (if any).  This is *the* entry point;
     /// [`Self::check_data_race`], [`Self::check_equivalence`] and
     /// [`Self::check_validity`] are thin conveniences over it.
     pub fn verify(&self, query: Query<'_>) -> Result<Verdict, VerifyError> {
+        self.verify_impl(query, self.default_deadline)
+    }
+
+    /// Like [`Self::verify`] with an explicit per-query budget overriding
+    /// the builder default.  Cache hits and coalesced waits are not subject
+    /// to the budget (they do no engine work); a dispatch that outlives it
+    /// resolves fail-closed — the best verdict already resolved, marked
+    /// [`Verdict::degraded`], or [`VerifyError::DeadlineExceeded`].
+    pub fn verify_within(
+        &self,
+        query: Query<'_>,
+        budget: Duration,
+    ) -> Result<Verdict, VerifyError> {
+        self.verify_impl(query, Some(budget))
+    }
+
+    fn verify_impl(
+        &self,
+        query: Query<'_>,
+        deadline: Option<Duration>,
+    ) -> Result<Verdict, VerifyError> {
         self.validate_subjects(&query)?;
         if !self.cache.enabled() {
             // Without a cache there is no key to coalesce on either; the
             // query goes straight to the portfolio.
-            return self.dispatch(&query, None);
+            return self.dispatch(&query, None, deadline);
         }
         // The cache key is a fixed-size structural hash of the subjects and
         // options, computed once here at query construction (no per-lookup
@@ -453,13 +775,17 @@ impl Verifier {
                 result
             }
             Role::Collide => {
-                let result = self.dispatch(&query, Some(&owned));
+                let result = self.dispatch(&query, Some(&owned), deadline);
                 if let Ok(verdict) = &result {
                     // The insert keeps whatever the colliding leader cached
                     // and counts the collision (or takes the slot if the
                     // leader failed without caching) — the same accounting
                     // a sequential arrival of the colliding pair gets.
-                    self.cache.insert(key, owned, verdict.clone());
+                    // Degraded verdicts are never cached: a retry after
+                    // load subsides must get the full portfolio again.
+                    if !verdict.degraded {
+                        self.cache.insert(key, owned, verdict.clone());
+                    }
                 }
                 result
             }
@@ -478,9 +804,11 @@ impl Verifier {
                 let result = match self.cache.peek(&key, &query) {
                     Some(cached) => Ok(cached),
                     None => {
-                        let result = self.dispatch(&query, Some(&owned));
+                        let result = self.dispatch(&query, Some(&owned), deadline);
                         if let Ok(verdict) = &result {
-                            self.cache.insert(key, owned, verdict.clone());
+                            if !verdict.degraded {
+                                self.cache.insert(key, owned, verdict.clone());
+                            }
                         }
                         result
                     }
@@ -496,12 +824,30 @@ impl Verifier {
     /// never reorders — and identical queries within (or across) batches
     /// coalesce onto a single engine run via the cache and single-flight.
     pub fn verify_batch(&self, queries: &[Query<'_>]) -> Vec<Result<Verdict, VerifyError>> {
+        self.verify_batch_impl(queries, self.default_deadline)
+    }
+
+    /// Like [`Self::verify_batch`] with an explicit *per-query* budget:
+    /// each query in the batch gets its own `budget`, not a shared pot.
+    pub fn verify_batch_within(
+        &self,
+        queries: &[Query<'_>],
+        budget: Duration,
+    ) -> Vec<Result<Verdict, VerifyError>> {
+        self.verify_batch_impl(queries, Some(budget))
+    }
+
+    fn verify_batch_impl(
+        &self,
+        queries: &[Query<'_>],
+        deadline: Option<Duration>,
+    ) -> Vec<Result<Verdict, VerifyError>> {
         let mut results: Vec<Option<Result<Verdict, VerifyError>>> = Vec::new();
         results.resize_with(queries.len(), || None);
         rayon::scope(|s| {
             for (slot, query) in results.iter_mut().zip(queries.iter()) {
                 s.spawn(move |_| {
-                    *slot = Some(self.verify(*query));
+                    *slot = Some(self.verify_impl(*query, deadline));
                 });
             }
         });
@@ -540,7 +886,13 @@ impl Verifier {
     ) -> Result<Verdict, VerifyError> {
         self.validate_subjects(&query)?;
         self.counters.engine_runs.fetch_add(1, Ordering::Relaxed);
-        let (answer, elapsed) = run_engine(engine, &query, &self.config, &NEVER_CANCELLED);
+        let (answer, elapsed) = run_engine(
+            engine,
+            &query,
+            &self.config,
+            &NEVER_CANCELLED,
+            self.faults.as_deref(),
+        );
         match answer {
             EngineAnswer::Verdict(outcome, soundness) => Ok(Verdict {
                 outcome,
@@ -549,11 +901,19 @@ impl Verifier {
                 elapsed,
                 cached: false,
                 coalesced: false,
+                degraded: false,
             }),
             EngineAnswer::Skip(skip) => Err(VerifyError::NoApplicableEngine {
                 query: query.kind(),
                 skipped: vec![skip],
             }),
+            EngineAnswer::Panicked(_) => {
+                // A single-engine run has no surviving portfolio member.
+                self.counters.panicked_runs.fetch_add(1, Ordering::Relaxed);
+                Err(VerifyError::PortfolioFailed {
+                    query: query.kind(),
+                })
+            }
             EngineAnswer::Cancelled => unreachable!("the never-raised flag cannot cancel a run"),
         }
     }
@@ -583,10 +943,17 @@ impl Verifier {
     /// the already-cloned subjects when the caller has them (the
     /// single-flight paths), so the parallel portfolio can reuse the Arc
     /// instead of cloning the ASTs again.
+    ///
+    /// Every dispatch owns one cooperative-cancel flag, raised by the
+    /// deadline watchdog (when `deadline` is set), by
+    /// [`Self::abort_inflight`], or by the parallel portfolio itself once a
+    /// winner is decided.  Finished dispatches drop their `Arc`, so stale
+    /// registrations cost nothing.
     fn dispatch(
         &self,
         query: &Query<'_>,
         owned: Option<&Arc<OwnedQuery>>,
+        deadline: Option<Duration>,
     ) -> Result<Verdict, VerifyError> {
         let applicable: Vec<Engine> = self
             .engines
@@ -600,28 +967,59 @@ impl Verifier {
                 skipped: Vec::new(),
             });
         }
-        if self.parallel && applicable.len() > 1 {
+        let cancel = Arc::new(AtomicBool::new(false));
+        if let Some(budget) = deadline {
+            watchdog::watch(Instant::now() + budget, &cancel);
+        }
+        {
+            let mut active = self.active.lock().expect("active flag list poisoned");
+            active.retain(|weak| weak.strong_count() > 0);
+            active.push(Arc::downgrade(&cancel));
+        }
+        let result = if self.parallel && applicable.len() > 1 {
             let owned = match owned {
                 Some(owned) => Arc::clone(owned),
                 None => Arc::new(query.to_owned_query()),
             };
-            self.run_portfolio_parallel(query, &applicable, owned)
+            self.run_portfolio_parallel(query, &applicable, owned, Arc::clone(&cancel))
         } else {
-            self.run_portfolio_sequential(query, &applicable)
+            self.run_portfolio_sequential(query, &applicable, &cancel)
+        };
+        match &result {
+            Err(VerifyError::DeadlineExceeded { .. }) => {
+                self.counters.deadline_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(verdict) if verdict.degraded => {
+                self.counters.deadline_hits.fetch_add(1, Ordering::Relaxed);
+                self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
         }
+        result
     }
 
     /// Engines run one after the other in dispatch order; the first one
-    /// that produces an answer wins.
+    /// that produces an answer wins.  A panicking engine forfeits its turn
+    /// (reported as a skip with the panic message); a cancelled run means
+    /// the deadline expired or the dispatch was aborted — and since the
+    /// raised flag would cancel every remaining engine too, the portfolio
+    /// resolves [`VerifyError::DeadlineExceeded`] immediately.  (Degraded
+    /// verdicts only arise in the parallel portfolio, where a less
+    /// authoritative engine may already have finished; sequentially the
+    /// authoritative engine runs first, so there is never a resolved verdict
+    /// to fall back on.)
     fn run_portfolio_sequential(
         &self,
         query: &Query<'_>,
         engines: &[Engine],
+        cancel: &AtomicBool,
     ) -> Result<Verdict, VerifyError> {
         let mut skipped = Vec::new();
+        let mut panicked = 0usize;
         for &engine in engines {
             self.counters.engine_runs.fetch_add(1, Ordering::Relaxed);
-            let (answer, elapsed) = run_engine(engine, query, &self.config, &NEVER_CANCELLED);
+            let (answer, elapsed) =
+                run_engine(engine, query, &self.config, cancel, self.faults.as_deref());
             match answer {
                 EngineAnswer::Verdict(outcome, soundness) => {
                     return Ok(Verdict {
@@ -631,13 +1029,30 @@ impl Verifier {
                         elapsed,
                         cached: false,
                         coalesced: false,
+                        degraded: false,
                     })
                 }
                 EngineAnswer::Skip(skip) => skipped.push(skip),
+                EngineAnswer::Panicked(message) => {
+                    self.counters.panicked_runs.fetch_add(1, Ordering::Relaxed);
+                    panicked += 1;
+                    skipped.push(EngineSkip {
+                        engine,
+                        reason: format!("engine panicked: {message}"),
+                    });
+                }
                 EngineAnswer::Cancelled => {
-                    unreachable!("the never-raised flag cannot cancel a run")
+                    self.counters.cancelled_runs.fetch_add(1, Ordering::Relaxed);
+                    return Err(VerifyError::DeadlineExceeded {
+                        query: query.kind(),
+                    });
                 }
             }
+        }
+        if panicked > 0 && panicked == engines.len() {
+            return Err(VerifyError::PortfolioFailed {
+                query: query.kind(),
+            });
         }
         Err(VerifyError::NoApplicableEngine {
             query: query.kind(),
@@ -673,52 +1088,25 @@ impl Verifier {
         query: &Query<'_>,
         engines: &[Engine],
         owned: Arc<OwnedQuery>,
+        cancel: Arc<AtomicBool>,
     ) -> Result<Verdict, VerifyError> {
         struct PortfolioState {
             slots: Mutex<PortfolioSlots>,
-            cancel: AtomicBool,
+            cancel: Arc<AtomicBool>,
         }
         struct PortfolioSlots {
-            answers: Vec<Option<(Engine, EngineAnswer, Duration)>>,
+            answers: Vec<SlotAnswer>,
             decided: bool,
         }
-        /// Scans the slots in dispatch (authority) order: the first answer
-        /// wins once everything before it has resolved; `None` while a more
-        /// authoritative engine is still running.
-        fn decide(
-            answers: &[Option<(Engine, EngineAnswer, Duration)>],
-        ) -> Option<Result<Verdict, Vec<EngineSkip>>> {
-            let mut skipped = Vec::new();
-            for entry in answers {
-                match entry {
-                    None => return None,
-                    Some((engine, EngineAnswer::Verdict(outcome, soundness), elapsed)) => {
-                        return Some(Ok(Verdict {
-                            outcome: outcome.clone(),
-                            engine: *engine,
-                            soundness: *soundness,
-                            elapsed: *elapsed,
-                            cached: false,
-                            coalesced: false,
-                        }));
-                    }
-                    Some((_, EngineAnswer::Skip(skip), _)) => skipped.push(skip.clone()),
-                    // Cancellation presupposes a decision, so a cancelled
-                    // slot can only be observed after `decided`; treat it
-                    // like a skip for the defensive rescan.
-                    Some((_, EngineAnswer::Cancelled, _)) => {}
-                }
-            }
-            Some(Err(skipped))
-        }
 
+        let engine_count = engines.len();
         let config = Arc::new(self.config.clone());
         let state = Arc::new(PortfolioState {
             slots: Mutex::new(PortfolioSlots {
                 answers: vec![None; engines.len()],
                 decided: false,
             }),
-            cancel: AtomicBool::new(false),
+            cancel,
         });
         let (sender, receiver) = mpsc::channel();
         for (slot, &engine) in engines.iter().enumerate() {
@@ -726,13 +1114,25 @@ impl Verifier {
             let config = Arc::clone(&config);
             let state = Arc::clone(&state);
             let counters = Arc::clone(&self.counters);
+            let faults = self.faults.clone();
             let sender = sender.clone();
             rayon::spawn(move || {
                 counters.engine_runs.fetch_add(1, Ordering::Relaxed);
-                let (answer, elapsed) =
-                    run_engine(engine, &owned.as_query(), &config, &state.cancel);
-                if matches!(answer, EngineAnswer::Cancelled) {
-                    counters.cancelled_runs.fetch_add(1, Ordering::Relaxed);
+                let (answer, elapsed) = run_engine(
+                    engine,
+                    &owned.as_query(),
+                    &config,
+                    &state.cancel,
+                    faults.as_deref(),
+                );
+                match &answer {
+                    EngineAnswer::Cancelled => {
+                        counters.cancelled_runs.fetch_add(1, Ordering::Relaxed);
+                    }
+                    EngineAnswer::Panicked(_) => {
+                        counters.panicked_runs.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
                 }
                 let decision = {
                     let mut slots = state.slots.lock().expect("portfolio slots poisoned");
@@ -756,13 +1156,28 @@ impl Verifier {
         drop(sender);
         match receiver.recv() {
             Ok(Ok(verdict)) => Ok(verdict),
-            Ok(Err(skipped)) if !skipped.is_empty() => Err(VerifyError::NoApplicableEngine {
+            // The deadline (or an abort) cancelled at least one engine and
+            // none of the others had a verdict to fall back on: fail closed
+            // with the typed deadline error, never a partial answer.
+            Ok(Err(no_answer)) if no_answer.cancelled > 0 => Err(VerifyError::DeadlineExceeded {
                 query: query.kind(),
-                skipped,
             }),
-            // Every worker terminated without producing a decision (panic),
-            // or the decision carried no skip reports: nothing to report
-            // beyond the portfolio failure itself.
+            // Every applicable engine panicked: no survivor, the portfolio
+            // itself failed.
+            Ok(Err(no_answer)) if no_answer.panicked == engine_count => {
+                Err(VerifyError::PortfolioFailed {
+                    query: query.kind(),
+                })
+            }
+            Ok(Err(no_answer)) if !no_answer.skipped.is_empty() => {
+                Err(VerifyError::NoApplicableEngine {
+                    query: query.kind(),
+                    skipped: no_answer.skipped,
+                })
+            }
+            // Every worker terminated without producing a decision, or the
+            // decision carried no skip reports: nothing to report beyond
+            // the portfolio failure itself.
             Ok(Err(_)) | Err(_) => Err(VerifyError::PortfolioFailed {
                 query: query.kind(),
             }),
@@ -1105,6 +1520,334 @@ mod tests {
             verdict.soundness,
             Soundness::BoundedUpTo { max_nodes: 2 }
         ));
+    }
+
+    fn temp_store_path(tag: &str) -> std::path::PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "retreet-verify-{tag}-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn deadline_exceeded_when_no_engine_answers_in_budget() {
+        // Every engine run is stalled far past the budget; the watchdog
+        // raises the cancel flag, the stall polls it and exits, and the
+        // portfolio fails closed with the typed deadline error — never a
+        // truncated verdict.
+        let verifier = Verifier::builder()
+            .max_nodes(3)
+            .valuations(1)
+            .fault_plan(FaultPlan::builder(7).engine_stall(1.0, 60_000).build())
+            .build();
+        let program = corpus::size_counting_parallel();
+        let result = verifier.verify_within(Query::DataRace(&program), Duration::from_millis(60));
+        match result {
+            Err(VerifyError::DeadlineExceeded { query }) => {
+                assert_eq!(query, QueryKind::DataRace)
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let stats = verifier.serving_stats();
+        assert_eq!(stats.deadline_hits, 1);
+        assert!(stats.cancelled_runs >= 1, "the stalled run was cancelled");
+        // The deadline error is an engine-side failure, not a cacheable
+        // verdict: a retry goes back to the portfolio.
+        assert_eq!(verifier.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn deadline_resolves_fail_closed_never_a_wrong_verdict() {
+        // Authority order puts the bounded enumerator (facing a Catalan-
+        // sized 12-node corpus it cannot finish in budget) ahead of the
+        // instant automata engine.  When the deadline cuts the enumerator
+        // off, the portfolio falls back to the automata verdict *if it
+        // resolved in time* — marked degraded, with its honest soundness.
+        // On a single-core host the rayon shim runs the spawns inline in
+        // authority order, so the automata engine may only get the CPU
+        // after the flag is already raised; then the typed deadline error
+        // is the correct fail-closed answer.  Either way: never a wrong,
+        // partial or unmarked verdict.  (The degradation decision itself is
+        // pinned deterministically in `decide_marks_degradation_*` below.)
+        let verifier = Verifier::builder()
+            .validity_nodes(12)
+            .engines([Engine::BoundedEnumeration, Engine::Automata])
+            .parallel(true)
+            .default_deadline(Duration::from_millis(150))
+            .build();
+        let formula = Formula::exists_fo("x", Formula::Root(FoVar::new("x")));
+        match verifier.verify(Query::Validity(&formula)) {
+            Ok(verdict) => {
+                assert!(
+                    verdict.degraded,
+                    "an in-budget fallback must carry the caveat"
+                );
+                assert_eq!(verdict.engine, Engine::Automata);
+                assert!(verdict.is_valid());
+                assert_eq!(verifier.serving_stats().degraded, 1);
+                // Degraded verdicts are never cached.
+                assert_eq!(verifier.cache_stats().entries, 0);
+            }
+            Err(VerifyError::DeadlineExceeded { query }) => {
+                assert_eq!(query, QueryKind::Validity);
+            }
+            other => panic!("expected a degraded verdict or DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(verifier.serving_stats().deadline_hits, 1);
+    }
+
+    fn slot(engine: Engine, answer: EngineAnswer) -> SlotAnswer {
+        Some((engine, answer, Duration::from_millis(1)))
+    }
+
+    fn valid_answer() -> EngineAnswer {
+        EngineAnswer::Verdict(Outcome::Valid { trees_checked: 4 }, Soundness::Unbounded)
+    }
+
+    #[test]
+    fn decide_marks_degradation_only_past_a_cancelled_authority() {
+        // A cancelled more-authoritative slot degrades the winning verdict…
+        let answers = [
+            slot(Engine::BoundedEnumeration, EngineAnswer::Cancelled),
+            slot(Engine::Automata, valid_answer()),
+        ];
+        match decide(&answers) {
+            Some(Ok(verdict)) => {
+                assert!(verdict.degraded);
+                assert_eq!(verdict.engine, Engine::Automata);
+            }
+            other => panic!("expected a degraded verdict, got {:?}", other.is_some()),
+        }
+        // …but a skip or a panic does not: those slots resolved
+        // definitively without an answer, exactly as sequentially.
+        for answer in [
+            EngineAnswer::Skip(EngineSkip {
+                engine: Engine::BoundedEnumeration,
+                reason: "fragment".into(),
+            }),
+            EngineAnswer::Panicked("boom".into()),
+        ] {
+            let answers = [
+                slot(Engine::BoundedEnumeration, answer),
+                slot(Engine::Automata, valid_answer()),
+            ];
+            match decide(&answers) {
+                Some(Ok(verdict)) => assert!(!verdict.degraded),
+                other => panic!("expected a verdict, got {:?}", other.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn decide_waits_on_pending_authorities_and_fails_closed() {
+        // No decision while a more authoritative engine is still running,
+        // even though a less authoritative verdict is already in.
+        let answers = [None, slot(Engine::Automata, valid_answer())];
+        assert!(decide(&answers).is_none());
+        // All engines cancelled: the deadline verdict-less case.
+        let answers = [
+            slot(Engine::BoundedEnumeration, EngineAnswer::Cancelled),
+            slot(Engine::Automata, EngineAnswer::Cancelled),
+        ];
+        match decide(&answers) {
+            Some(Err(no_answer)) => {
+                assert_eq!(no_answer.cancelled, 2);
+                assert_eq!(no_answer.panicked, 0);
+            }
+            _ => panic!("expected NoAnswer"),
+        }
+        // All engines panicked: portfolio failure, with the panic messages
+        // preserved as skip reports.
+        let answers = [
+            slot(
+                Engine::BoundedEnumeration,
+                EngineAnswer::Panicked("a".into()),
+            ),
+            slot(Engine::Automata, EngineAnswer::Panicked("b".into())),
+        ];
+        match decide(&answers) {
+            Some(Err(no_answer)) => {
+                assert_eq!(no_answer.panicked, 2);
+                assert_eq!(no_answer.skipped.len(), 2);
+                assert!(no_answer.skipped[0].reason.contains("engine panicked"));
+            }
+            _ => panic!("expected NoAnswer"),
+        }
+    }
+
+    #[test]
+    fn panicking_engines_are_confined_to_their_slot() {
+        // Every engine run panics (injected); the unwind never crosses
+        // `run_engine`, the serving thread survives, and the portfolio
+        // reports the typed failure only because *no* engine survived.
+        let verifier = Verifier::builder()
+            .max_nodes(3)
+            .valuations(1)
+            .fault_plan(FaultPlan::builder(3).engine_panic(1.0).build())
+            .build();
+        let program = corpus::size_counting_parallel();
+        match verifier.verify(Query::DataRace(&program)) {
+            Err(VerifyError::PortfolioFailed { query }) => {
+                assert_eq!(query, QueryKind::DataRace)
+            }
+            other => panic!("expected PortfolioFailed, got {other:?}"),
+        }
+        let stats = verifier.serving_stats();
+        assert!(stats.panicked_runs >= 1);
+        assert_eq!(stats.panicked_runs, stats.engine_runs);
+    }
+
+    #[test]
+    fn persisted_verdicts_survive_a_restart_with_identical_witnesses() {
+        let path = temp_store_path("restart");
+        let racy = corpus::cycletree_parallel();
+        let formula = Formula::exists_fo("x", Formula::Root(FoVar::new("x")));
+        let first_witness;
+        {
+            let verifier = Verifier::builder()
+                .max_nodes(3)
+                .valuations(1)
+                .persist(&path)
+                .build();
+            let race = verifier.verify(Query::DataRace(&racy)).unwrap();
+            first_witness = format!("{:?}", race.race_witness().unwrap());
+            verifier.verify(Query::Validity(&formula)).unwrap();
+            let stats = verifier.store_stats().expect("store attached");
+            assert_eq!(stats.appends, 2);
+            verifier.flush_store();
+        }
+        // "Restart": a fresh verifier over the same path serves the entire
+        // prior corpus as cache hits, witnesses byte-identical.
+        let verifier = Verifier::builder()
+            .max_nodes(3)
+            .valuations(1)
+            .persist(&path)
+            .build();
+        let stats = verifier.store_stats().expect("store attached");
+        assert_eq!(stats.loaded, 2, "every persisted verdict is recovered");
+        assert_eq!(stats.skipped, 0);
+        let race = verifier.verify(Query::DataRace(&racy)).unwrap();
+        assert!(race.cached, "recovered verdict served from cache");
+        assert_eq!(format!("{:?}", race.race_witness().unwrap()), first_witness);
+        let valid = verifier.verify(Query::Validity(&formula)).unwrap();
+        assert!(valid.cached);
+        assert_eq!(
+            verifier.serving_stats().engine_runs,
+            0,
+            "no engine ran after the restart"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_write_through_keeps_exact_accounting() {
+        // Satellite: 8 threads hammer the same 3 queries through a
+        // persisting verifier; the hit/miss ledger must balance exactly
+        // (hits + misses == lookups) and the store must end up with exactly
+        // one record per distinct query.
+        let path = temp_store_path("concurrent");
+        let verifier = std::sync::Arc::new(
+            Verifier::builder()
+                .max_nodes(3)
+                .valuations(1)
+                .persist(&path)
+                .build(),
+        );
+        let threads = 8;
+        let rounds = 4;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let verifier = std::sync::Arc::clone(&verifier);
+                std::thread::spawn(move || {
+                    let race_free = corpus::size_counting_parallel();
+                    let racy = corpus::cycletree_parallel();
+                    let formula = Formula::exists_fo("x", Formula::Root(FoVar::new("x")));
+                    for _ in 0..rounds {
+                        assert!(verifier
+                            .verify(Query::DataRace(&race_free))
+                            .unwrap()
+                            .is_race_free());
+                        assert!(!verifier
+                            .verify(Query::DataRace(&racy))
+                            .unwrap()
+                            .is_race_free());
+                        assert!(verifier
+                            .verify(Query::Validity(&formula))
+                            .unwrap()
+                            .is_valid());
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("worker thread panicked");
+        }
+        let lookups = (threads * rounds * 3) as u64;
+        let stats = verifier.cache_stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            lookups,
+            "every lookup is exactly one hit or one miss"
+        );
+        assert_eq!(stats.entries, 3);
+        let store = verifier.store_stats().expect("store attached");
+        assert_eq!(store.entries, 3, "one persisted record per distinct query");
+        assert_eq!(store.write_errors, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn probe_classifies_cache_warmth() {
+        let verifier = small_verifier();
+        let program = corpus::size_counting_parallel();
+        let query = Query::DataRace(&program);
+        assert_eq!(verifier.probe(&query), Warmth::Cold);
+        verifier.verify(query).unwrap();
+        assert_eq!(verifier.probe(&query), Warmth::Hit);
+        // Probing never moves the hit/miss counters.
+        let stats = verifier.cache_stats();
+        assert_eq!(stats.hits + stats.misses, 1);
+    }
+
+    #[test]
+    fn abort_inflight_cancels_a_running_dispatch() {
+        // A 12-node bounded-validity dispatch takes far longer than this
+        // test; abort_inflight raises its cancel flag and the query
+        // resolves with the typed deadline error instead of running on.
+        let verifier = std::sync::Arc::new(
+            Verifier::builder()
+                .validity_nodes(12)
+                .engines([Engine::BoundedEnumeration])
+                .cache_capacity(0)
+                .build(),
+        );
+        let worker = {
+            let verifier = std::sync::Arc::clone(&verifier);
+            std::thread::spawn(move || {
+                let formula = Formula::exists_fo("x", Formula::Root(FoVar::new("x")));
+                verifier.verify(Query::Validity(&formula))
+            })
+        };
+        // Wait until the dispatch has registered its flag (the engine-run
+        // counter moves strictly after registration), then abort.
+        for _ in 0..3000 {
+            if verifier.serving_stats().engine_runs >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(verifier.abort_inflight() >= 1, "one flag was raised");
+        match worker.join().expect("worker panicked") {
+            Err(VerifyError::DeadlineExceeded { query }) => {
+                assert_eq!(query, QueryKind::Validity)
+            }
+            other => panic!("expected DeadlineExceeded after abort, got {other:?}"),
+        }
+        assert_eq!(verifier.serving_stats().cancelled_runs, 1);
     }
 
     #[test]

@@ -89,6 +89,13 @@
 //! | `retreet_analysis::interp::run(&p, &tree)` in a hot loop | `retreet_runtime::exec::ProgramExecutor::new(&p)` (or `with_verifier(&verifier, &p)` for certified iterative lowering) + `executor.run(&tree)` — compile once, run on the VM many times, interpreter fallback when the program doesn't compile |
 //! | one-shot compiled execution | `retreet_runtime::run_compiled(&p, &tree)` / `run_compiled_certified(&verifier, &certified_transform, &tree)` |
 //! | trusting a hand-written iterative rewrite of a recursive traversal | `retreet_codegen::compile_with_lowering(&verifier, &p)` — the lowering is synthesized, then certified via `Query::Equivalence` against a reconstruction; refusals carry the counterexample tree and the function stays on frame bytecode |
+//! | `Verdict { outcome, engine, soundness, elapsed, cached, coalesced }` | gains `degraded: bool` — a best-effort verdict returned because the per-query deadline expired after this engine finished but before the authoritative one did; degraded verdicts are never cached or persisted, so cache hits always report `degraded == false` |
+//! | `verifier.verify(q)` with unbounded patience | `Verifier::builder().default_deadline(Duration)…` (or `ServeOptions::deadline_ms` / `--deadline-ms`): the watchdog raises the cooperative cancel flag at expiry and the call resolves *typed* — a degraded best-resolved verdict or `VerifyError::DeadlineExceeded`, never a wrong or truncated answer |
+//! | `--warm-start` as the only restart story | `Verifier::builder().persist(path)` / `ServeOptions::persist` / `--persist PATH`: a crash-safe `retreet_store` record log written through on every fresh verdict and replayed on startup — warm start generalized to every verdict ever computed; `--fail-open` refuses a corrupt store instead of skipping bad records |
+//! | `ServeOptions { race_nodes, equiv_nodes, validity_nodes, valuations, parallel, cache_capacity }` | gains the robustness knobs `workers`, `cold_queue`, `deadline_ms`, `max_connections`, `drain_ms`, `persist`, `fail_open`, `faults` — exhaustive literals must append `..ServeOptions::default()` |
+//! | `Service::new(&options)` panicking on a bad store | `Service::try_new(&options)` → `Result<Service, VerifyError>` (`Service::new` still panics); `Service::finish()` drains in-flight work, joins the cold-lane workers and flushes the store — call it (or send `{"kind":"shutdown"}`) before exit |
+//! | matching serve error responses on the `error` text | every error response now carries a machine-readable `"code"` (`bad_request`, `request_too_large`, `overloaded`, `shutting_down`, `deadline_exceeded`, `unsupported`, `internal`) — dispatch on the code, not the prose |
+//! | `serve_tcp(service, listener)` accepting forever | bounded by `ServeOptions::max_connections` (excess clients get one `overloaded` line at accept) and returns cleanly after a shutdown request, draining via `Service::finish()` |
 //!
 //! # Benchmarks
 //!
@@ -107,10 +114,14 @@
 //! quick mode and fails on certificate drift.
 //!
 //! `cargo run --release -p retreet-bench --bin bench_service` writes
-//! `BENCH_service.json` (schema `retreet-bench-service/v1`): warm-cache
+//! `BENCH_service.json` (schema `retreet-bench-service/v2`): warm-cache
 //! serving throughput and p50/p99 latency under 1/4/8 client threads,
-//! cache hit and coalescing rates, and a cold-burst single-flight check.
-//! Every response is verified against the paper's verdict — drift under
+//! cache hit and coalescing rates, a cold-burst single-flight check, and
+//! three robustness phases — shed rate under a full cold queue, the
+//! deadline-hit rate with engines stalled past the per-query deadline,
+//! and the warm-hit rate after a cold restart from the persisted verdict
+//! store (which must be exactly 1.0 with zero engine runs).  Every
+//! response is verified against the paper's verdict — drift under
 //! concurrency fails the run.
 //!
 //! `cargo run --release -p retreet-bench --bin bench_codegen` writes
@@ -141,6 +152,7 @@ pub use retreet_logic;
 pub use retreet_mso;
 pub use retreet_runtime;
 pub use retreet_serve;
+pub use retreet_store;
 pub use retreet_transform;
 pub use retreet_verify;
 

@@ -180,6 +180,7 @@ fn shared_service_answers_concurrent_ndjson_clients_consistently() {
         valuations: 1,
         parallel: false,
         cache_capacity: 1024,
+        ..ServeOptions::default()
     }));
     let racy = Arc::new(format!(
         r#"{{"kind":"race","program":"{}"}}"#,
@@ -237,6 +238,7 @@ fn tcp_service_round_trips_ndjson_over_a_real_socket() {
         valuations: 1,
         parallel: false,
         cache_capacity: 1024,
+        ..ServeOptions::default()
     }));
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
     let addr = listener.local_addr().unwrap();
