@@ -1,16 +1,18 @@
 //! `bench_transform` — the certified-transform benchmark.
 //!
 //! Synthesizes every fusable §5 case through `retreet-transform`, checks
-//! the certificates, measures the fused single pass against the sequential
-//! pass composition on concrete workloads, and writes the machine-readable
-//! report to `BENCH_transform.json` at the repository root.
+//! the certificates, measures the certified fusion against the sequential
+//! pass composition — both compiled to the `retreet-codegen` VM tier and
+//! differential-checked against the interpreter before timing — and writes
+//! the machine-readable report to `BENCH_transform.json` at the repository
+//! root.
 //!
 //! ```text
 //! bench_transform [--quick] [--out PATH] [--min-speedup X]
 //!                 [--batches N] [--per-batch N]
 //! ```
 //!
-//! * `--quick` — quick certification budget and smaller workloads (the CI
+//! * `--quick` — quick certification budget and smaller trees (the CI
 //!   perf-smoke mode).
 //! * `--out PATH` — where to write the JSON report (default
 //!   `BENCH_transform.json` in the current directory).
@@ -20,10 +22,11 @@
 //! * `--batches N` / `--per-batch N` — timing loop shape (default 5 × 3,
 //!   best-of-batches).
 //!
-//! The process fails on **certificate drift**: any §5 fusion the transform
-//! layer can no longer synthesize-and-certify as an equivalence (or whose
-//! output stops validating/roundtripping) is a correctness regression, not
-//! a performance number.
+//! The process fails on **certificate drift** (any §5 fusion the transform
+//! layer can no longer synthesize-and-certify as an equivalence) and on
+//! **execution drift** (a fused or sequential program whose VM run diverges
+//! from the interpreter reference) — both are correctness regressions, not
+//! performance numbers.
 
 use retreet_bench::{
     certify_transforms, measure_transform_perf, render_transform_report, transform_report_to_json,
@@ -89,15 +92,22 @@ fn main() {
         }
     };
 
-    let (label, budget, tree_height, css_rules) = if args.quick {
-        ("quick", Budget::quick(), 14, 500)
+    let (label, budget, tree_height) = if args.quick {
+        ("quick", Budget::quick(), 10)
     } else {
-        ("full", Budget::default(), 18, 5_000)
+        ("full", Budget::default(), 14)
     };
 
     println!("== certificates ({label} budget) ==");
     let certs = certify_transforms(&budget);
-    let perf = measure_transform_perf(args.batches, args.per_batch, tree_height, css_rules);
+    // The runtime rows execute through the compiled VM tier; the verifier
+    // here backs certified lowering, so its cache stays enabled.
+    let perf = measure_transform_perf(
+        &budget.tune_verifier(),
+        args.batches,
+        args.per_batch,
+        tree_height,
+    );
     print!("{}", render_transform_report(&certs, &perf));
 
     let json = transform_report_to_json(label, &budget, &certs, &perf);
@@ -118,6 +128,13 @@ fn main() {
         }
     }
     for row in &perf {
+        if row.drift {
+            eprintln!(
+                "bench_transform: {} diverged from the interpreter reference on the VM tier",
+                row.id
+            );
+            failed = true;
+        }
         if row.speedup() < args.min_speedup {
             eprintln!(
                 "bench_transform: {} fused pass reached only {:.2}x (minimum {:.2}x)",

@@ -129,6 +129,21 @@ impl Budget {
             .cache_capacity(0)
             .build()
     }
+
+    /// The façade verifier the schedule autotuner uses: both query kinds
+    /// under this budget with the verdict cache **enabled** — the tuner
+    /// certifies dozens of candidates through one `verify_batch` call and
+    /// recompiles the winner, so shared cache/coalescing state is part of
+    /// what the tune bench exercises (unlike the engine benches, which
+    /// disable the cache to time raw engine work).
+    pub fn tune_verifier(&self) -> Verifier {
+        Verifier::builder()
+            .equiv_nodes(self.equiv_nodes)
+            .valuations(self.equiv_valuations)
+            .race_nodes(self.race_nodes)
+            .check_dependence_order(true)
+            .build()
+    }
 }
 
 fn equivalence_experiment(
@@ -792,22 +807,29 @@ pub fn certify_transforms(budget: &Budget) -> Vec<TransformCertRow> {
         .collect()
 }
 
-/// One runtime row of the transform report: the fused single pass against
-/// the sequential composition of passes, on a concrete workload.
+/// One runtime row of the transform report: the certified fused program
+/// against the original sequential composition, both executed through the
+/// `retreet-codegen` VM tier on the same seeded tree.
 #[derive(Debug, Clone)]
 pub struct TransformPerfRow {
-    /// Experiment identifier (E1, E3).
+    /// Experiment identifier (E1, E2, E3, E4a).
     pub id: &'static str,
     /// Workload description.
     pub case: &'static str,
     /// How many passes the sequential baseline runs.
     pub passes: usize,
-    /// Workload size (tree nodes / CSS declarations).
+    /// Workload size (tree nodes).
     pub input_size: usize,
-    /// Best-of-batches wall-clock of the sequential composition, seconds.
+    /// Best-of-batches wall-clock of the sequential composition on the VM,
+    /// seconds.
     pub sequential_seconds: f64,
-    /// Best-of-batches wall-clock of the fused single pass, seconds.
+    /// Best-of-batches wall-clock of the certified fusion on the VM,
+    /// seconds.
     pub fused_seconds: f64,
+    /// True when either program diverged from the interpreter reference (or
+    /// fell off the VM tier) before timing — a correctness regression that
+    /// fails the bench.
+    pub drift: bool,
 }
 
 impl TransformPerfRow {
@@ -817,64 +839,108 @@ impl TransformPerfRow {
     }
 }
 
-/// Measures the fused-vs-sequential runtime on the two executable
-/// workloads of the evaluation: the E1 size-counting fold over a complete
-/// tree and the E3 CSS minifier over a generated style sheet.  `scale`
-/// controls workload size (tree height / rule count).
+/// Measures certified-fusion-vs-sequential runtime on all four fusable §5
+/// families, executing **both** programs through the compiled VM tier
+/// (`ProgramExecutor::with_verifier`, certified lowering included) on the
+/// same seeded complete tree — real execution-tier numbers, not the old
+/// interpreter-vs-interpreter (or native-stand-in) comparison.  Before any
+/// timing, both programs are differential-checked against the interpreter
+/// reference; a mismatch marks the row as drift.
 pub fn measure_transform_perf(
+    verifier: &Verifier,
     batches: usize,
     per_batch: usize,
     tree_height: usize,
-    css_rules: usize,
 ) -> Vec<TransformPerfRow> {
-    use retreet_css::css::generate_stylesheet;
-    use retreet_css::minify::{minify_fused, minify_unfused};
-    use retreet_runtime::tree::complete_tree;
-    use retreet_runtime::visit::seq_fold;
+    use retreet_analysis::vtree::ValueTree;
+    use retreet_codegen::{program_fields, trees_agree};
+    use retreet_runtime::exec::{ExecTier, ProgramExecutor};
+    use retreet_transform::fuse_main_passes;
 
-    let mut rows = Vec::new();
+    type PerfCase = (
+        &'static str,
+        &'static str,
+        usize,
+        retreet_lang::ast::Program,
+    );
+    let cases: [PerfCase; 4] = [
+        (
+            "E1",
+            "size counting: Odd; Even (2 passes) vs certified fusion, on the VM",
+            2,
+            corpus::size_counting_sequential(),
+        ),
+        (
+            "E2",
+            "tree mutation: Swap; IncrmLeft (2 passes) vs certified fusion, on the VM",
+            2,
+            corpus::tree_mutation_original(),
+        ),
+        (
+            "E3",
+            "CSS minify: ConvertValues; MinifyFont; ReduceInit (3 passes) vs certified fusion, on the VM",
+            3,
+            corpus::css_minify_original(),
+        ),
+        (
+            "E4a",
+            "cycletree: RootMode; ComputeRouting (2 passes) vs certified fusion, on the VM",
+            2,
+            corpus::cycletree_original(),
+        ),
+    ];
 
-    // E1 — Odd; Even as two full traversals vs the fused pair-returning
-    // traversal (Fig. 6a as a runtime fold).
-    let tree = complete_tree(tree_height, &|_| ());
-    let combine = |_: &(), (lo, le): (u64, u64), (ro, re): (u64, u64)| (le + re + 1, lo + ro);
-    let sequential_seconds = best_of(batches, per_batch, || {
-        let odd = seq_fold(&tree, &|| (0u64, 0u64), &combine).0;
-        let even = seq_fold(&tree, &|| (0u64, 0u64), &combine).1;
-        std::hint::black_box((odd, even));
-    });
-    let fused_seconds = best_of(batches, per_batch, || {
-        let both = seq_fold(&tree, &|| (0u64, 0u64), &combine);
-        std::hint::black_box(both);
-    });
-    rows.push(TransformPerfRow {
-        id: "E1",
-        case: "size counting: Odd; Even (2 traversals) vs fused (1 traversal)",
-        passes: 2,
-        input_size: tree.len(),
-        sequential_seconds,
-        fused_seconds,
-    });
+    cases
+        .into_iter()
+        .map(|(id, case, passes, original)| {
+            let fused = fuse_main_passes(verifier, &original)
+                .unwrap_or_else(|err| panic!("{id}: fusion failed: {err}"));
 
-    // E3 — the three-pass minifier vs the fused single pass, on a realistic
-    // style sheet.
-    let sheet = generate_stylesheet(css_rules, 42);
-    let sequential_seconds = best_of(batches, per_batch, || {
-        std::hint::black_box(minify_unfused(&sheet));
-    });
-    let fused_seconds = best_of(batches, per_batch, || {
-        std::hint::black_box(minify_fused(&sheet));
-    });
-    rows.push(TransformPerfRow {
-        id: "E3",
-        case: "CSS minify: ConvertValues; MinifyFont; ReduceInit (3 passes) vs fused (1 pass)",
-        passes: 3,
-        input_size: sheet.num_declarations(),
-        sequential_seconds,
-        fused_seconds,
-    });
+            let fields = program_fields(&original);
+            let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+            let mut tree = ValueTree::complete(tree_height, &field_refs, |_, _| 0);
+            tree.fill_fields(&field_refs, 7);
 
-    rows
+            let sequential = ProgramExecutor::with_verifier(verifier, &original);
+            let fused_exec = ProgramExecutor::with_verifier(verifier, &fused.transformed);
+
+            // Differential gate before any timing: both programs on the VM
+            // tier, identical returns and semantically identical trees
+            // against the interpreter reference.
+            let drift = match (
+                sequential.run_interpreted(&tree),
+                sequential.run(&tree),
+                fused_exec.run(&tree),
+            ) {
+                (Ok(reference), Ok(seq_vm), Ok(fused_vm)) => {
+                    seq_vm.tier != ExecTier::Vm
+                        || fused_vm.tier != ExecTier::Vm
+                        || seq_vm.returns != reference.returns
+                        || fused_vm.returns != reference.returns
+                        || !trees_agree(&seq_vm.tree, &reference.tree)
+                        || !trees_agree(&fused_vm.tree, &reference.tree)
+                }
+                _ => true,
+            };
+
+            let sequential_seconds = best_of(batches, per_batch, || {
+                std::hint::black_box(sequential.run(&tree).ok());
+            });
+            let fused_seconds = best_of(batches, per_batch, || {
+                std::hint::black_box(fused_exec.run(&tree).ok());
+            });
+
+            TransformPerfRow {
+                id,
+                case,
+                passes,
+                input_size: tree.len(),
+                sequential_seconds,
+                fused_seconds,
+                drift,
+            }
+        })
+        .collect()
 }
 
 /// Renders the transform report as aligned text tables.
@@ -898,36 +964,42 @@ pub fn render_transform_report(certs: &[TransformCertRow], perf: &[TransformPerf
     }
     out.push('\n');
     out.push_str(&format!(
-        "{:<5} {:>7} {:>10} {:>16} {:>12} {:>9}\n",
-        "id", "passes", "size", "sequential (ms)", "fused (ms)", "speedup"
+        "{:<5} {:>7} {:>10} {:>16} {:>12} {:>9} {:>7}\n",
+        "id", "passes", "size", "sequential (ms)", "fused (ms)", "speedup", "drift"
     ));
     for row in perf {
         out.push_str(&format!(
-            "{:<5} {:>7} {:>10} {:>16.4} {:>12.4} {:>8.2}x\n",
+            "{:<5} {:>7} {:>10} {:>16.4} {:>12.4} {:>8.2}x {:>7}\n",
             row.id,
             row.passes,
             row.input_size,
             row.sequential_seconds * 1e3,
             row.fused_seconds * 1e3,
-            row.speedup()
+            row.speedup(),
+            if row.drift { "DRIFT" } else { "ok" },
         ));
     }
     out
 }
 
 /// Serializes the transform report to the `BENCH_transform.json` document
-/// (schema `retreet-bench-transform/v1`; format in `crates/README.md`).
+/// (schema `retreet-bench-transform/v2`; format in `crates/README.md`).
+/// v2: runtime rows cover all four fusable families (E1/E2/E3/E4a), are
+/// measured on the compiled VM tier instead of native stand-ins, and carry
+/// a `drift` flag from the pre-timing differential check.
 pub fn transform_report_to_json(
     budget_label: &str,
     budget: &Budget,
     certs: &[TransformCertRow],
     perf: &[TransformPerfRow],
 ) -> String {
-    let mut out = String::from("{\n  \"schema\": \"retreet-bench-transform/v1\",\n");
+    let mut out = String::from("{\n  \"schema\": \"retreet-bench-transform/v2\",\n");
     out.push_str(
         "  \"methodology\": \"certificates: fuse_main_passes under the stated budget, \
          verdict cache disabled; runtime: best-of-batches wall-clock of the sequential \
-         pass composition vs the fused single pass on concrete workloads\",\n",
+         pass composition vs the certified fusion, both compiled to the retreet-codegen \
+         VM tier (certified lowering) and differential-checked against the interpreter \
+         before timing\",\n",
     );
     out.push_str(&format!(
         "  \"budget\": {{ \"label\": \"{}\", \"equiv_nodes\": {}, \"equiv_valuations\": {} }},\n",
@@ -959,7 +1031,8 @@ pub fn transform_report_to_json(
     for (i, row) in perf.iter().enumerate() {
         out.push_str(&format!(
             "    {{ \"id\": \"{}\", \"case\": \"{}\", \"passes\": {}, \"input_size\": {}, \
-             \"sequential_seconds\": {:.6}, \"fused_seconds\": {:.6}, \"speedup\": {:.2} }}{}\n",
+             \"sequential_seconds\": {:.6}, \"fused_seconds\": {:.6}, \"speedup\": {:.2}, \
+             \"drift\": {} }}{}\n",
             json_escape(row.id),
             json_escape(row.case),
             row.passes,
@@ -967,7 +1040,325 @@ pub fn transform_report_to_json(
             row.sequential_seconds,
             row.fused_seconds,
             row.speedup(),
+            row.drift,
             if i + 1 < perf.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The tune report: the certified schedule autotuner over the §5 families
+// ---------------------------------------------------------------------------
+
+/// One candidate line of a tune row — a compact rendering of the tuner's
+/// scored candidate table for the report.
+#[derive(Debug, Clone)]
+pub struct TuneCandidateSummary {
+    /// The candidate's deterministic label (grouping + schedule).
+    pub label: String,
+    /// Whether the verifier certified the candidate.
+    pub certified: bool,
+    /// Measured VM cost in seconds (`None` for refused or unmeasured
+    /// candidates).
+    pub seconds: Option<f64>,
+    /// The refusal or measurement-failure reason (empty when measured).
+    pub detail: String,
+}
+
+/// One row of the tune report: the autotuner run end-to-end on one §5
+/// family through `retreet_runtime::tune_and_compile`.
+#[derive(Debug, Clone)]
+pub struct TuneReportRow {
+    /// Experiment identifier (E1, E2, E3, E4a).
+    pub id: &'static str,
+    /// Corpus case name.
+    pub case: &'static str,
+    /// How many schedule candidates were enumerated.
+    pub candidates: usize,
+    /// How many of them the verifier certified.
+    pub certified: usize,
+    /// How many were refused (kept in the table with their witness).
+    pub refused: usize,
+    /// Measured VM cost of the original program, seconds.
+    pub baseline_original_seconds: f64,
+    /// Measured VM cost of the canonical whole-run fusion, seconds
+    /// (`None` if that candidate failed to certify or measure).
+    pub baseline_fused_seconds: Option<f64>,
+    /// Measured VM cost of the tuner's winner, seconds.
+    pub tuned_seconds: f64,
+    /// Label of the winning schedule (`"original"` for the baseline
+    /// fallback).
+    pub winner_label: String,
+    /// Certificate kind of the winning schedule.
+    pub winner_kind: String,
+    /// Engine provenance of the winner's certificate.
+    pub winner_engine: &'static str,
+    /// Soundness of the winner's certificate.
+    pub winner_soundness: String,
+    /// True when the tuned schedule is strictly cheaper than the canonical
+    /// whole-pass fusion on this workload.
+    pub beats_canonical_fusion: bool,
+    /// True when the winner's VM run diverged from the original program's
+    /// interpreter reference — fails the bench.
+    pub drift: bool,
+    /// The scored candidate table, in enumeration order.
+    pub table: Vec<TuneCandidateSummary>,
+}
+
+impl TuneReportRow {
+    /// The better of the two baselines.
+    pub fn best_baseline_seconds(&self) -> f64 {
+        match self.baseline_fused_seconds {
+            Some(fused) => self.baseline_original_seconds.min(fused),
+            None => self.baseline_original_seconds,
+        }
+    }
+
+    /// best-baseline / tuned (≥ 1 unless the tuner regressed).
+    pub fn speedup(&self) -> f64 {
+        self.best_baseline_seconds() / self.tuned_seconds
+    }
+
+    /// True when the tuned schedule is *slower* than the best baseline —
+    /// a violation of the tuner's guarantee that fails the bench.
+    pub fn regressed(&self) -> bool {
+        self.tuned_seconds > self.best_baseline_seconds()
+    }
+}
+
+/// Runs the certified schedule autotuner on all four §5 families through
+/// `retreet_runtime::tune_and_compile` (the VM-backed cost model) and
+/// records per-family candidate counts, baselines, the winner's certificate
+/// provenance, and an explicit winner-vs-interpreter drift recheck.
+///
+/// The `verifier` should come from [`Budget::tune_verifier`] — the tuner's
+/// batch certification relies on shared cache/coalescing state.
+pub fn measure_tune(
+    verifier: &Verifier,
+    options: &retreet_transform::TuneOptions,
+) -> Vec<TuneReportRow> {
+    use retreet_analysis::vtree::ValueTree;
+    use retreet_codegen::{program_fields, trees_agree};
+    use retreet_runtime::exec::ProgramExecutor;
+    use retreet_runtime::tune_and_compile;
+    use retreet_transform::CandidateStatus;
+
+    let cases: [(&'static str, &'static str, retreet_lang::ast::Program); 4] = [
+        ("E1", "size_counting", corpus::size_counting_sequential()),
+        ("E2", "tree_mutation", corpus::tree_mutation_original()),
+        ("E3", "css_minify", corpus::css_minify_original()),
+        ("E4a", "cycletree", corpus::cycletree_original()),
+    ];
+
+    cases
+        .into_iter()
+        .map(|(id, case, original)| {
+            let tuned = tune_and_compile(verifier, &original, options)
+                .unwrap_or_else(|err| panic!("{id}: autotuning failed: {err}"));
+            let schedule = &tuned.schedule;
+
+            // Independent drift recheck: the winner's compiled run against
+            // the original program's interpreter reference on the same
+            // measurement tree (the tuner's own gate, reproduced here so
+            // the report does not take it on faith).
+            let fields = program_fields(&original);
+            let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+            let mut tree = ValueTree::complete(options.tree_height, &field_refs, |_, _| 0);
+            tree.fill_fields(&field_refs, options.seed);
+            let drift = match (
+                ProgramExecutor::new(&original).run_interpreted(&tree),
+                tuned.executor.run(&tree),
+            ) {
+                (Ok(reference), Ok(winner)) => {
+                    winner.returns != reference.returns
+                        || !trees_agree(&winner.tree, &reference.tree)
+                }
+                _ => true,
+            };
+
+            let table: Vec<TuneCandidateSummary> = schedule
+                .candidates
+                .iter()
+                .map(|candidate| match &candidate.status {
+                    CandidateStatus::Certified { cost, .. } => TuneCandidateSummary {
+                        label: candidate.label.clone(),
+                        certified: true,
+                        seconds: cost.as_ref().ok().copied(),
+                        detail: cost.as_ref().err().cloned().unwrap_or_default(),
+                    },
+                    CandidateStatus::Refused(reason) => TuneCandidateSummary {
+                        label: candidate.label.clone(),
+                        certified: false,
+                        seconds: None,
+                        detail: reason.to_string(),
+                    },
+                })
+                .collect();
+
+            let certificate = &schedule.winner.certificate;
+            TuneReportRow {
+                id,
+                case,
+                candidates: schedule.candidates.len(),
+                certified: schedule.certified_count(),
+                refused: schedule.refused_count(),
+                baseline_original_seconds: schedule.baseline_original_seconds,
+                baseline_fused_seconds: schedule.baseline_fused_seconds,
+                tuned_seconds: schedule.winner_seconds,
+                winner_label: schedule.winner_label.clone(),
+                winner_kind: certificate.kind.to_string(),
+                winner_engine: certificate.engine().name(),
+                winner_soundness: certificate.soundness().to_string(),
+                beats_canonical_fusion: schedule
+                    .baseline_fused_seconds
+                    .map(|fused| schedule.winner_seconds < fused)
+                    .unwrap_or(false),
+                drift,
+                table,
+            }
+        })
+        .collect()
+}
+
+/// Renders the tune report as aligned text tables: one summary row per
+/// family, then each family's scored candidate table.
+pub fn render_tune_report(rows: &[TuneReportRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<5} {:<14} {:>5} {:>5} {:>4} {:>14} {:>12} {:>11} {:>8} {:>6}\n",
+        "id",
+        "case",
+        "cand",
+        "cert",
+        "ref",
+        "original (ms)",
+        "fused (ms)",
+        "tuned (ms)",
+        "speedup",
+        "drift"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<5} {:<14} {:>5} {:>5} {:>4} {:>14.4} {:>12} {:>11.4} {:>7.2}x {:>6}\n",
+            row.id,
+            row.case,
+            row.candidates,
+            row.certified,
+            row.refused,
+            row.baseline_original_seconds * 1e3,
+            row.baseline_fused_seconds
+                .map(|s| format!("{:.4}", s * 1e3))
+                .unwrap_or_else(|| String::from("-")),
+            row.tuned_seconds * 1e3,
+            row.speedup(),
+            if row.drift { "DRIFT" } else { "ok" },
+        ));
+    }
+    for row in rows {
+        out.push_str(&format!(
+            "\n{} winner: {} [{} / {} / {}]\n",
+            row.id, row.winner_label, row.winner_kind, row.winner_engine, row.winner_soundness
+        ));
+        for candidate in &row.table {
+            out.push_str(&format!(
+                "  {:<48} {:>10} {:>12}{}\n",
+                candidate.label,
+                if candidate.certified {
+                    "certified"
+                } else {
+                    "refused"
+                },
+                candidate
+                    .seconds
+                    .map(|s| format!("{:.4} ms", s * 1e3))
+                    .unwrap_or_else(|| String::from("-")),
+                if candidate.detail.is_empty() {
+                    String::new()
+                } else {
+                    format!("  ({})", candidate.detail)
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Serializes the tune report to the `BENCH_tune.json` document (schema
+/// `retreet-bench-tune/v1`; format in `crates/README.md`).
+pub fn tune_report_to_json(
+    label: &str,
+    budget: &Budget,
+    options: &retreet_transform::TuneOptions,
+    rows: &[TuneReportRow],
+) -> String {
+    let mut out = String::from("{\n  \"schema\": \"retreet-bench-tune/v1\",\n");
+    out.push_str(
+        "  \"methodology\": \"retreet-transform::tune over each family's Main pass run: \
+         contiguous partial-fusion groupings x schedule variants, certified in one \
+         verify_batch call, measured best-of-batches through the retreet-codegen VM tier \
+         (never the interpreter), winner never slower than best-of{original, canonical \
+         fusion}; winner differential-rechecked against the interpreter reference\",\n",
+    );
+    out.push_str(&format!(
+        "  \"budget\": {{ \"label\": \"{}\", \"equiv_nodes\": {}, \"equiv_valuations\": {}, \
+         \"race_nodes\": {}, \"max_candidates\": {}, \"tree_height\": {}, \"seed\": {}, \
+         \"batches\": {}, \"per_batch\": {} }},\n",
+        json_escape(label),
+        budget.equiv_nodes,
+        budget.equiv_valuations,
+        budget.race_nodes,
+        options.max_candidates,
+        options.tree_height,
+        options.seed,
+        options.batches,
+        options.per_batch,
+    ));
+    out.push_str("  \"experiments\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"case\": \"{}\", \"candidates\": {}, \"certified\": {}, \
+             \"refused\": {},\n      \"baseline_original_seconds\": {:.6}, \
+             \"baseline_fused_seconds\": {}, \"tuned_seconds\": {:.6}, \
+             \"tuned_speedup\": {:.2},\n      \"winner\": {{ \"label\": \"{}\", \
+             \"certificate\": \"{}\", \"engine\": \"{}\", \"soundness\": \"{}\" }},\n      \
+             \"beats_canonical_fusion\": {}, \"drift\": {},\n      \"table\": [\n",
+            json_escape(row.id),
+            json_escape(row.case),
+            row.candidates,
+            row.certified,
+            row.refused,
+            row.baseline_original_seconds,
+            row.baseline_fused_seconds
+                .map(|s| format!("{s:.6}"))
+                .unwrap_or_else(|| String::from("null")),
+            row.tuned_seconds,
+            row.speedup(),
+            json_escape(&row.winner_label),
+            json_escape(&row.winner_kind),
+            json_escape(row.winner_engine),
+            json_escape(&row.winner_soundness),
+            row.beats_canonical_fusion,
+            row.drift,
+        ));
+        for (j, candidate) in row.table.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{ \"label\": \"{}\", \"certified\": {}, \"seconds\": {}, \
+                 \"detail\": \"{}\" }}{}\n",
+                json_escape(&candidate.label),
+                candidate.certified,
+                candidate
+                    .seconds
+                    .map(|s| format!("{s:.6}"))
+                    .unwrap_or_else(|| String::from("null")),
+                json_escape(&candidate.detail),
+                if j + 1 < row.table.len() { "," } else { "" },
+            ));
+        }
+        out.push_str(&format!(
+            "      ] }}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -1381,14 +1772,51 @@ mod tests {
 
     #[test]
     fn transform_report_serializes_with_the_versioned_schema() {
-        let certs = certify_transforms(&Budget::quick());
-        let perf = measure_transform_perf(1, 1, 8, 50);
-        assert_eq!(perf.len(), 2);
-        let json = transform_report_to_json("quick", &Budget::quick(), &certs, &perf);
-        assert!(json.contains("\"schema\": \"retreet-bench-transform/v1\""));
+        let budget = Budget::quick();
+        let certs = certify_transforms(&budget);
+        let perf = measure_transform_perf(&budget.tune_verifier(), 1, 1, 6);
+        assert_eq!(perf.len(), 4, "all four fusable families get runtime rows");
+        for row in &perf {
+            assert!(!row.drift, "{}: VM diverged from the interpreter", row.id);
+        }
+        let json = transform_report_to_json("quick", &budget, &certs, &perf);
+        assert!(json.contains("\"schema\": \"retreet-bench-transform/v2\""));
         assert!(json.contains("\"certificates\""));
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"drift\""));
+        assert!(json.contains("\"E2\"") && json.contains("\"E4a\""));
         let table = render_transform_report(&certs, &perf);
         assert!(table.contains("E4a") && table.contains("speedup"));
+    }
+
+    #[test]
+    fn tune_report_respects_the_baseline_guarantee_and_serializes() {
+        let budget = Budget::quick();
+        let verifier = budget.tune_verifier();
+        let options = retreet_transform::TuneOptions::quick();
+        let rows = measure_tune(&verifier, &options);
+        assert_eq!(rows.len(), 4, "all four §5 families tune");
+        for row in &rows {
+            assert!(!row.drift, "{}: winner drifted from the reference", row.id);
+            assert!(!row.regressed(), "{}: tuned slower than baseline", row.id);
+            assert!(row.candidates >= 1 && row.certified >= 1, "{}", row.id);
+            assert_eq!(row.candidates, row.certified + row.refused, "{}", row.id);
+            assert_eq!(row.winner_kind, "equivalence", "{}", row.id);
+            assert!(!row.winner_engine.is_empty() && !row.winner_soundness.is_empty());
+        }
+        // The cycletree family refuses its racy parallel-passes candidate
+        // and keeps it in the table.
+        let cycletree = rows.iter().find(|r| r.id == "E4a").unwrap();
+        assert!(cycletree.refused >= 1);
+        assert!(cycletree
+            .table
+            .iter()
+            .any(|c| !c.certified && c.detail.contains("data race")));
+        let json = tune_report_to_json("quick", &budget, &options, &rows);
+        assert!(json.contains("\"schema\": \"retreet-bench-tune/v1\""));
+        assert!(json.contains("\"beats_canonical_fusion\""));
+        assert!(json.contains("\"tuned_speedup\""));
+        let table = render_tune_report(&rows);
+        assert!(table.contains("winner") && table.contains("E4a"));
     }
 }

@@ -16,7 +16,11 @@
 //!   [`exec::ProgramExecutor`] compiles a program to `retreet-codegen`
 //!   bytecode (with certified iterative lowering when built from a
 //!   verifier) and runs it on the VM, keeping the reference interpreter as
-//!   the fallback tier and differential baseline.
+//!   the fallback tier and differential baseline,
+//! * [`tune`] — the VM-backed cost model for `retreet-transform`'s
+//!   certified schedule autotuner: [`tune_and_compile`] measures every
+//!   certified candidate on the compiled tier (never the interpreter) and
+//!   returns the winning schedule with a ready executor.
 //!
 //! # Example
 //!
@@ -38,6 +42,7 @@
 
 pub mod exec;
 pub mod tree;
+pub mod tune;
 pub mod verified;
 pub mod visit;
 
@@ -45,6 +50,7 @@ pub use exec::{
     run_compiled, run_compiled_certified, ExecError, ExecOutcome, ExecTier, ProgramExecutor,
 };
 pub use tree::{complete_tree, random_tree, TreeNode};
+pub use tune::{tune_and_compile, TunedProgram};
 pub use verified::{TransformError, VerifiedFusion, VerifiedParallelization};
 pub use visit::{
     fuse_all, par_fold, par_postorder_mut, par_preorder_mut, postorder_mut, preorder_mut,

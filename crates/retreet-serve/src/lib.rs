@@ -27,6 +27,14 @@
 //!   iterative lowering, interpreter fallback) and answers with the returned
 //!   values, the executing tier and the certified-lowered functions.
 //!   Executors are compiled once per distinct source and cached.
+//! * `tune` — `program` plus optional `height` / `seed`: runs the certified
+//!   schedule autotuner (`retreet_runtime::tune_and_compile`) over the
+//!   program's pass pipeline and answers with the winning schedule's
+//!   source, its certificate provenance (kind, engine, soundness), the
+//!   baseline and tuned costs, and the full candidate table — certified
+//!   candidates with measured VM costs, refused candidates with their
+//!   refusal.  Results are cached by `(program, height, seed)`; the
+//!   winner's executor is pre-seeded into the `run` cache.
 //! * `stats` — cache and serving counters of the shared verifier, plus the
 //!   codegen tier's compile/execute counters.
 //!
@@ -231,6 +239,10 @@ pub struct Service {
     compiles: AtomicU64,
     vm_runs: AtomicU64,
     interp_runs: AtomicU64,
+    /// Autotuner responses, keyed by `(program, height, seed)` — tuning is
+    /// the most expensive request kind, so repeats are answered from here.
+    tuned: Mutex<HashMap<String, Arc<String>>>,
+    tunes: AtomicU64,
 }
 
 /// One parsed sub-query with owned subjects (the borrow source for the
@@ -296,6 +308,8 @@ impl Service {
             compiles: AtomicU64::new(0),
             vm_runs: AtomicU64::new(0),
             interp_runs: AtomicU64::new(0),
+            tuned: Mutex::new(HashMap::new()),
+            tunes: AtomicU64::new(0),
         }
     }
 
@@ -405,7 +419,10 @@ impl Service {
             None => return error_response(id, "bad_request", "missing string field `kind`"),
         };
         if self.is_shutting_down()
-            && matches!(kind, "race" | "equivalence" | "validity" | "batch" | "run")
+            && matches!(
+                kind,
+                "race" | "equivalence" | "validity" | "batch" | "run" | "tune"
+            )
         {
             return error_response(id, "shutting_down", "service is draining for shutdown");
         }
@@ -416,6 +433,7 @@ impl Service {
             },
             "batch" => self.handle_batch(id, request),
             "run" => self.handle_run(id, request),
+            "tune" => self.handle_tune(id, request),
             "stats" => self.stats_response(id),
             "shutdown" => self.handle_shutdown(id),
             other => error_response(
@@ -631,6 +649,176 @@ impl Service {
         }
     }
 
+    /// The `tune` request: run the certified schedule autotuner over the
+    /// program's pass pipeline (VM-measured, verifier-certified) and answer
+    /// with the winner, its certificate provenance and the full candidate
+    /// table.  Tuning is by far the most expensive request kind, so results
+    /// are cached by `(program, height, seed)` and repeats answer from the
+    /// cache with `"cached":true`.
+    fn handle_tune(
+        &self,
+        id: Option<&Value>,
+        request: &std::collections::BTreeMap<String, Value>,
+    ) -> String {
+        let Some(source) = request.get("program").and_then(Value::as_str) else {
+            return error_response(
+                id,
+                "bad_request",
+                "`tune` requests need a string field `program`",
+            );
+        };
+        if source_nesting(source) > MAX_PROGRAM_NESTING {
+            return error_response(
+                id,
+                "bad_request",
+                &format!("`program` nests deeper than {MAX_PROGRAM_NESTING} levels"),
+            );
+        }
+        let height = match request.get("height") {
+            None => DEFAULT_TUNE_HEIGHT,
+            Some(Value::Number(h)) if *h >= 1.0 && *h <= MAX_RUN_HEIGHT as f64 => *h as usize,
+            Some(_) => {
+                return error_response(
+                    id,
+                    "bad_request",
+                    &format!("`height` must be a number between 1 and {MAX_RUN_HEIGHT}"),
+                )
+            }
+        };
+        let seed = match request.get("seed") {
+            None => 0,
+            Some(Value::Number(s)) => *s as u64,
+            Some(_) => return error_response(id, "bad_request", "`seed` must be a number"),
+        };
+        let cache_key = format!("{source}\u{1f}{height}\u{1f}{seed}");
+        if let Some(body) = self.tuned.lock().expect("tune cache lock").get(&cache_key) {
+            let mut out = String::from("{");
+            push_id(&mut out, id);
+            out.push_str("\"status\":\"ok\",\"kind\":\"tune\",\"cached\":true,");
+            out.push_str(body);
+            out.push('}');
+            return out;
+        }
+        let program = match retreet_lang::parse_program(source) {
+            Ok(program) => program,
+            Err(err) => {
+                return error_response(id, "bad_request", &format!("cannot parse `program`: {err}"))
+            }
+        };
+        let options = retreet_transform::TuneOptions {
+            tree_height: height,
+            seed,
+            ..retreet_transform::TuneOptions::quick()
+        };
+        let started = std::time::Instant::now();
+        let tuned = match retreet_runtime::tune_and_compile(&self.verifier, &program, &options) {
+            Ok(tuned) => tuned,
+            Err(err) => {
+                return error_response(id, "untunable", &format!("autotuning refused: {err}"))
+            }
+        };
+        self.tunes.fetch_add(1, Ordering::Relaxed);
+        let schedule = &tuned.schedule;
+
+        // Pre-seed the `run` executor cache with the winner so a follow-up
+        // `run` of the tuned source starts warm.
+        let winner_source = schedule.winner.transformed_source();
+        {
+            let mut executors = self.executors.lock().expect("executor cache lock");
+            if !executors.contains_key(&winner_source) {
+                if executors.len() >= MAX_CACHED_EXECUTORS {
+                    executors.clear();
+                }
+                executors.insert(winner_source.clone(), Arc::new(tuned.executor));
+                self.compiles.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let candidates: Vec<String> = schedule
+            .candidates
+            .iter()
+            .map(|candidate| {
+                let mut entry = format!(
+                    "{{\"label\":\"{}\",\"schedule\":\"{}\"",
+                    json::escape(&candidate.label),
+                    candidate.schedule
+                );
+                match &candidate.status {
+                    retreet_transform::CandidateStatus::Certified {
+                        equivalence,
+                        race,
+                        cost,
+                    } => {
+                        entry.push_str(&format!(
+                            ",\"certified\":true,\"engine\":\"{}\",\"soundness\":\"{}\"",
+                            equivalence.engine, equivalence.soundness
+                        ));
+                        if let Some(race) = race {
+                            entry.push_str(&format!(",\"race_engine\":\"{}\"", race.engine));
+                        }
+                        match cost {
+                            Ok(seconds) => entry.push_str(&format!(",\"seconds\":{seconds:e}")),
+                            Err(reason) => entry
+                                .push_str(&format!(",\"unmeasured\":\"{}\"", json::escape(reason))),
+                        }
+                    }
+                    retreet_transform::CandidateStatus::Refused(reason) => {
+                        entry.push_str(&format!(
+                            ",\"certified\":false,\"refusal\":\"{}\"",
+                            json::escape(&reason.to_string())
+                        ));
+                    }
+                }
+                entry.push('}');
+                entry
+            })
+            .collect();
+
+        let certificate = &schedule.winner.certificate;
+        let mut body = format!(
+            "\"winner\":{{\"label\":\"{}\",\"source\":\"{}\",\
+             \"certificate\":{{\"kind\":\"{}\",\"engine\":\"{}\",\"soundness\":\"{}\",\
+             \"trees_checked\":{}}},\"seconds\":{:e}}},\
+             \"baseline\":{{\"original_seconds\":{:e},\"fused_seconds\":{}}},\
+             \"speedup\":{:.4},\"certified\":{},\"refused\":{},",
+            json::escape(&schedule.winner_label),
+            json::escape(&winner_source),
+            certificate.kind,
+            certificate.engine(),
+            certificate.soundness(),
+            certificate.trees_checked(),
+            schedule.winner_seconds,
+            schedule.baseline_original_seconds,
+            schedule
+                .baseline_fused_seconds
+                .map(|s| format!("{s:e}"))
+                .unwrap_or_else(|| String::from("null")),
+            schedule.speedup(),
+            schedule.certified_count(),
+            schedule.refused_count(),
+        );
+        body.push_str(&format!(
+            "\"candidates\":[{}],\"elapsed_us\":{}",
+            candidates.join(","),
+            started.elapsed().as_micros(),
+        ));
+
+        {
+            let mut tuned_cache = self.tuned.lock().expect("tune cache lock");
+            if tuned_cache.len() >= MAX_CACHED_EXECUTORS {
+                tuned_cache.clear();
+            }
+            tuned_cache.insert(cache_key, Arc::new(body.clone()));
+        }
+
+        let mut out = String::from("{");
+        push_id(&mut out, id);
+        out.push_str("\"status\":\"ok\",\"kind\":\"tune\",\"cached\":false,");
+        out.push_str(&body);
+        out.push('}');
+        out
+    }
+
     fn stats_response(&self, id: Option<&Value>) -> String {
         let cache = self.verifier.cache_stats();
         let serving = self.verifier.serving_stats();
@@ -644,7 +832,7 @@ impl Service {
              \"deadline_hits\":{},\"degraded\":{},\"coalesced\":{}}},\
              \"sched\":{{\"workers\":{},\"queue_depth\":{},\"cold_executed\":{},\"shed\":{},\
              \"warm_inline\":{},\"inflight\":{},\"shutting_down\":{}}},\
-             \"codegen\":{{\"compiles\":{},\"vm_runs\":{},\"interp_runs\":{}}}",
+             \"codegen\":{{\"compiles\":{},\"vm_runs\":{},\"interp_runs\":{},\"tunes\":{}}}",
             self.requests_handled(),
             cache.hits,
             cache.misses,
@@ -666,6 +854,7 @@ impl Service {
             self.compiles.load(Ordering::Relaxed),
             self.vm_runs.load(Ordering::Relaxed),
             self.interp_runs.load(Ordering::Relaxed),
+            self.tunes.load(Ordering::Relaxed),
         ));
         if let Some(store) = self.verifier.store_stats() {
             out.push_str(&format!(
@@ -700,6 +889,11 @@ impl Drop for Service {
 
 /// Default complete-tree height for `run` requests (2^6 - 1 = 63 nodes).
 const DEFAULT_RUN_HEIGHT: usize = 6;
+
+/// Default measurement-tree height for `tune` requests — taller than the
+/// `run` default so VM timings dominate dispatch overhead, still well under
+/// the [`MAX_RUN_HEIGHT`] allocation bound.
+const DEFAULT_TUNE_HEIGHT: usize = 8;
 
 /// Largest complete-tree height a `run` request may ask for (2^16 - 1 nodes
 /// ≈ 0.5 MB per field column — bounded, so a hostile request cannot make the
@@ -1280,6 +1474,53 @@ mod tests {
         let request = format!(r#"{{"kind": "run", "program": "{program}", "height": 40}}"#);
         let response = service.handle_line(&request);
         assert_eq!(field(&response, "status").as_str(), Some("error"));
+    }
+
+    #[test]
+    fn tune_requests_answer_winner_certificate_and_candidate_table() {
+        let service = quick_service();
+        let program = json::escape(corpus::SIZE_COUNTING_SEQUENTIAL_SRC);
+        let request =
+            format!(r#"{{"id": 7, "kind": "tune", "program": "{program}", "height": 5}}"#);
+        let response = service.handle_line(&request);
+        assert_eq!(
+            field(&response, "status").as_str(),
+            Some("ok"),
+            "{response}"
+        );
+        assert_eq!(field(&response, "cached"), Value::Bool(false));
+        let winner = field(&response, "winner");
+        let winner = winner.as_object().unwrap();
+        let certificate = winner["certificate"].as_object().unwrap();
+        assert_eq!(certificate["kind"].as_str(), Some("equivalence"));
+        assert!(certificate["engine"].as_str().is_some());
+        assert!(certificate["soundness"].as_str().is_some());
+        let candidates = field(&response, "candidates");
+        assert!(
+            !candidates.as_array().unwrap().is_empty(),
+            "the candidate table must be reported: {response}"
+        );
+        // The identical request again answers from the tune cache.
+        let response = service.handle_line(&request);
+        assert_eq!(field(&response, "cached"), Value::Bool(true));
+        let stats = service.handle_line(r#"{"kind": "stats"}"#);
+        let parsed = json::parse(&stats).unwrap();
+        let codegen = parsed.as_object().unwrap()["codegen"].as_object().unwrap();
+        assert_eq!(codegen["tunes"], Value::Number(1.0));
+    }
+
+    #[test]
+    fn tune_requests_refuse_untunable_programs_and_stay_up() {
+        let service = quick_service();
+        // An already-fused single-pass Main has no fusable run to tune.
+        let program = json::escape(corpus::SIZE_COUNTING_FUSED_SRC);
+        let request = format!(r#"{{"kind": "tune", "program": "{program}", "height": 4}}"#);
+        let response = service.handle_line(&request);
+        assert_eq!(field(&response, "status").as_str(), Some("error"));
+        assert_eq!(field(&response, "code").as_str(), Some("untunable"));
+        // The service keeps answering.
+        let response = service.handle_line(r#"{"kind": "stats"}"#);
+        assert_eq!(field(&response, "status").as_str(), Some("ok"));
     }
 
     #[test]

@@ -201,16 +201,18 @@ fn shape_of(func: &Func) -> Result<Shape, TransformError> {
 }
 
 /// The worklist-driven builder: tuple of function names → fused function.
-struct FusionBuilder<'a> {
+/// `pub(crate)` so the schedule autotuner ([`crate::tune`]) can drive the
+/// same construction over *partial* groupings of a pass run.
+pub(crate) struct FusionBuilder<'a> {
     program: &'a Program,
     used_names: HashSet<String>,
     tuple_names: HashMap<Vec<String>, String>,
     queue: VecDeque<Vec<String>>,
-    fused: Vec<Func>,
+    pub(crate) fused: Vec<Func>,
 }
 
 impl<'a> FusionBuilder<'a> {
-    fn new(program: &'a Program) -> Self {
+    pub(crate) fn new(program: &'a Program) -> Self {
         FusionBuilder {
             program,
             used_names: program.funcs.iter().map(|f| f.name.clone()).collect(),
@@ -222,7 +224,7 @@ impl<'a> FusionBuilder<'a> {
 
     /// The fused function's name for a tuple, enqueueing the tuple for
     /// construction on first sight.
-    fn fused_name_for(&mut self, tuple: &[String]) -> String {
+    pub(crate) fn fused_name_for(&mut self, tuple: &[String]) -> String {
         if let Some(name) = self.tuple_names.get(tuple) {
             return name.clone();
         }
@@ -235,7 +237,7 @@ impl<'a> FusionBuilder<'a> {
 
     /// Builds every queued tuple function (the queue grows as call-site
     /// tuples are discovered).
-    fn build_all(&mut self) -> Result<(), TransformError> {
+    pub(crate) fn build_all(&mut self) -> Result<(), TransformError> {
         while let Some(tuple) = self.queue.pop_front() {
             let name = self.tuple_names[&tuple].clone();
             let func = self.build_tuple_func(&tuple, name)?;
@@ -349,7 +351,7 @@ impl<'a> FusionBuilder<'a> {
 
 /// The run of consecutive fusable calls in `Main`: start index into the
 /// flattened body and the calls themselves.
-fn find_fusable_run(items: &[Stmt]) -> Result<(usize, Vec<CallBlock>), TransformError> {
+pub(crate) fn find_fusable_run(items: &[Stmt]) -> Result<(usize, Vec<CallBlock>), TransformError> {
     let mut start = 0;
     while start < items.len() {
         let Stmt::Block(block) = &items[start] else {

@@ -29,6 +29,14 @@
 //! [`certify_fusion`] / [`certify_parallelization`] — the path
 //! `retreet_runtime`'s capability types are thin wrappers over.
 //!
+//! On top of both families sits the **certified schedule autotuner**
+//! ([`fn@tune`]): it enumerates contiguous partial-fusion groupings of `Main`'s
+//! pass run crossed with the parallel schedule variants, certifies the whole
+//! space through one [`Verifier::verify_batch`] call, measures the survivors
+//! with a caller-supplied cost model (canonically `retreet_runtime`'s
+//! VM-backed `tune_and_compile`), and returns the cheapest certified
+//! schedule — never slower than the best baseline.
+//!
 //! # Example
 //!
 //! ```
@@ -49,9 +57,11 @@
 
 mod fusion;
 mod schedule;
+pub mod tune;
 
 pub use fusion::fuse_main_passes;
 pub use schedule::{parallelize_recursive_calls, synthesize_parallel_main};
+pub use tune::{tune, CandidateStatus, ScheduleKind, TuneCandidate, TuneOptions, TunedSchedule};
 
 use std::fmt;
 

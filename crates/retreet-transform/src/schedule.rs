@@ -64,8 +64,10 @@ fn run_accepts(run: &[CallBlock], call: &CallBlock, distinct_targets: bool) -> b
 
 /// Rewrites a statement, turning maximal qualifying runs of consecutive
 /// call blocks into parallel compositions.  Returns the rewritten statement
-/// and how many runs were parallelized.
-fn parallelize_stmt(stmt: &Stmt, distinct_targets: bool) -> (Stmt, usize) {
+/// and how many runs were parallelized.  `pub(crate)` so the schedule
+/// autotuner ([`crate::tune`]) can apply the same rewrite to its partially
+/// fused candidates.
+pub(crate) fn parallelize_stmt(stmt: &Stmt, distinct_targets: bool) -> (Stmt, usize) {
     let mut changed = 0usize;
     let items = rewrite::flatten_seq(stmt);
     let mut out: Vec<Stmt> = Vec::new();

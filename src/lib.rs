@@ -39,8 +39,11 @@
 //! * [`retreet_analysis`] — the engine layer: configurations, data-race
 //!   detection and fusion-equivalence checking;
 //! * [`retreet_transform`] — **the certified transform tier**: AST-level
-//!   traversal fusion and parallel schedule synthesis, each returning a
-//!   `CertifiedTransform` whose certificate is a façade verdict;
+//!   traversal fusion, parallel schedule synthesis, and the certified
+//!   schedule autotuner (`tune` — partial-fusion × parallelization
+//!   enumeration, batch certification, cost-scored winners), each
+//!   returning a `CertifiedTransform` whose certificate is a façade
+//!   verdict;
 //! * [`retreet_codegen`] — **the execution tier**: flat `u32`-indexed trees,
 //!   a register bytecode + compiler, a certified iterative-lowering pass
 //!   (self-recursion → explicit worklist loops, each gated by a façade
@@ -70,6 +73,8 @@
 //! | `VerifiedFusion::run_fused2(&mut tree, &a, &b)` / `run_fused3(…)` *(removed)* | the arity-generic `VerifiedFusion::run_fused(&mut tree, &[&a, &b, …])` |
 //! | `retreet_runtime::visit::fuse2(&a, &b)` / `fuse3(…)` *(removed)* | `retreet_runtime::visit::fuse_all(&[&a, &b, …])` |
 //! | hand-writing a fused program and checking `Query::Equivalence` | `retreet_transform::fuse_main_passes(&verifier, &original)` — the fused program is synthesized and returned with its certificate |
+//! | `fuse_main_passes(&verifier, &p)` as the *only* schedule considered | `retreet_transform::tune(&verifier, &p, &TuneOptions::default(), &mut cost)` — whole-pass fusion is one point in the enumerated partial-fusion × parallelization space; the tuner certifies every candidate in one batch and returns the measured winner (never slower than best-of{original, canonical fusion}) plus the full scored table |
+//! | hand-picking between the fused and the parallel schedule by guesswork | `retreet_runtime::tune_and_compile(&verifier, &p, &options)` — the VM-backed cost model: each certified candidate compiled once through `ProgramExecutor` (interpreter timings refused), probe-run differential-checked, best-of-batches measured; returns the `TunedSchedule` *and* the winner's ready-to-run executor |
 //! | hand-writing a parallel `Main` and checking `Query::DataRace` | `retreet_transform::synthesize_parallel_main(&verifier, &sequential)` (pass level) / `retreet_transform::parallelize_recursive_calls(&verifier, &p)` (sibling recursion) |
 //! | `retreet_css::analysis_model::verify_css_fusion(&EquivOptions)` *(removed)* | `retreet_css::analysis_model::verify_css_fusion_with(&verifier)` (verdict only) or `certify_css_fusion(&verifier)` (synthesized certified transform) |
 //! | mutating `RaceOptions` / `EquivOptions` / `EnumOptions` fields | `RaceOptions::builder()…build()` etc., or set the budget once on the `Verifier` builder |
@@ -108,10 +113,12 @@
 //! exponential regressions.
 //!
 //! `cargo run --release -p retreet-bench --bin bench_transform` writes
-//! `BENCH_transform.json` (schema `retreet-bench-transform/v1`): every
+//! `BENCH_transform.json` (schema `retreet-bench-transform/v2`): every
 //! fusable §5 case synthesized and certified through the transform tier,
-//! plus fused-vs-sequential runtime on concrete workloads.  CI runs it in
-//! quick mode and fails on certificate drift.
+//! plus fused-vs-sequential runtime on all four families — both sides
+//! compiled to the VM tier and differential-checked against the
+//! interpreter before timing.  CI runs it in quick mode and fails on
+//! certificate drift and on execution drift.
 //!
 //! `cargo run --release -p retreet-bench --bin bench_service` writes
 //! `BENCH_service.json` (schema `retreet-bench-service/v2`): warm-cache
@@ -132,6 +139,15 @@
 //! (fresh-then-cached serving path, `cached` / `coalesced` flags reported
 //! honestly).  CI runs it in quick mode and fails on VM-vs-interpreter
 //! drift.
+//!
+//! `cargo run --release -p retreet-bench --bin bench_tune` writes
+//! `BENCH_tune.json` (schema `retreet-bench-tune/v1`): the certified
+//! schedule autotuner run on all four §5 families — the full scored
+//! candidate table (certified schedules with measured VM seconds,
+//! refusals with their witnesses), both baselines, and the winner with
+//! its certificate provenance.  CI runs it in quick mode and fails on
+//! drift, on a tuned cost above best-of{original, canonical fusion},
+//! and on a winner without certificate provenance.
 //!
 //! Old verdict shapes map to [`retreet_verify::Outcome`] variants: race
 //! witnesses, equivalence counterexamples and falsifying trees ride along
