@@ -585,13 +585,10 @@ pub(crate) fn resolve_loc(tree: &ValueTree, loc: Loc, target: NodeRef) -> Loc {
     match (loc, target) {
         (Loc::Nil, _) => Loc::Nil,
         (Loc::Node(n), NodeRef::Cur) => Loc::Node(n),
-        (Loc::Node(n), NodeRef::Child(dir)) => {
-            let child = match dir {
-                retreet_lang::ast::Dir::Left => tree.left(n),
-                retreet_lang::ast::Dir::Right => tree.right(n),
-            };
-            child.map(Loc::Node).unwrap_or(Loc::Nil)
-        }
+        (Loc::Node(n), NodeRef::Child(axis)) => tree
+            .child(n, axis.index())
+            .map(Loc::Node)
+            .unwrap_or(Loc::Nil),
     }
 }
 
@@ -794,19 +791,33 @@ fn ground_sym(
 }
 
 pub(crate) fn parse_field_name(text: &str) -> Option<(NodeRef, String)> {
-    // Formats produced by wp::syms::field: "n.f", "n.l.f", "n.r.f".
+    // Formats produced by wp::syms::field: "n.f", "n.l.f", "n.r.f", and the
+    // indexed "n.c<k>.f" for higher arities.
     let rest = text.strip_prefix("n.")?;
     if let Some(field) = rest.strip_prefix("l.") {
         return Some((
-            NodeRef::Child(retreet_lang::ast::Dir::Left),
+            NodeRef::Child(retreet_lang::ast::ChildAxis::LEFT),
             field.to_string(),
         ));
     }
     if let Some(field) = rest.strip_prefix("r.") {
         return Some((
-            NodeRef::Child(retreet_lang::ast::Dir::Right),
+            NodeRef::Child(retreet_lang::ast::ChildAxis::RIGHT),
             field.to_string(),
         ));
+    }
+    if let Some(indexed) = rest.strip_prefix('c') {
+        if let Some(dot) = indexed.find('.') {
+            let (digits, field) = indexed.split_at(dot);
+            if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+                if let Ok(axis) = digits.parse::<u8>() {
+                    return Some((
+                        NodeRef::Child(retreet_lang::ast::ChildAxis(axis)),
+                        field[1..].to_string(),
+                    ));
+                }
+            }
+        }
     }
     Some((NodeRef::Cur, rest.to_string()))
 }

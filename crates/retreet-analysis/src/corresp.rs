@@ -21,7 +21,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use retreet_lang::ast::{AExpr, Assign, BExpr, CallBlock, Ident, Program, Stmt, MAIN};
 use retreet_mso::encode::{
-    check_overlap, guards_equivalent, ConflictSide, GuardExpr, Region, StructConstraint,
+    check_overlap_k, guards_equivalent_k, ConflictSide, GuardExpr, Region, StructConstraint,
 };
 
 use crate::summary::{step_of, transitive_field_summaries, FieldSummary};
@@ -235,12 +235,13 @@ impl<'a> Verifier<'a> {
     }
 
     fn may_overlap(&mut self, a: Region, b: Region) -> bool {
+        let arity = self.original.arity.max(self.fused.arity);
         *self.overlap_memo.entry((a, b)).or_insert_with(|| {
             let side = |region| ConflictSide {
                 region,
                 guard: StructConstraint::default(),
             };
-            !check_overlap(&side(a), &side(b)).is_disjoint()
+            !check_overlap_k(&side(a), &side(b), arity).is_disjoint()
         })
     }
 
@@ -412,7 +413,9 @@ impl<'a> Verifier<'a> {
         match subst_bexpr(role_guard, sigma) {
             Some(mapped) if &mapped == fused_guard => true,
             Some(mapped) => match (to_guard_expr(&mapped), to_guard_expr(fused_guard)) {
-                (Some(a), Some(b)) => guards_equivalent(&a, &b),
+                (Some(a), Some(b)) => {
+                    guards_equivalent_k(&a, &b, self.original.arity.max(self.fused.arity))
+                }
                 _ => false,
             },
             None => false,

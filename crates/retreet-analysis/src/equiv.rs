@@ -193,7 +193,12 @@ pub fn check_equivalence_cancellable(
         }
     }
     let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
-    let corpus = TreeCorpus::new(options.max_nodes, &field_refs, options.valuations);
+    let corpus = TreeCorpus::with_arity(
+        original.arity.max(transformed.arity),
+        options.max_nodes,
+        &field_refs,
+        options.valuations,
+    );
     if corpus.is_empty() {
         return Some(EquivVerdict::Equivalent { trees_checked: 0 });
     }

@@ -19,7 +19,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use retreet_lang::ast::{AExpr, Assign, BExpr, Dir, NodeRef, Program, Stmt};
+use retreet_lang::ast::{AExpr, Assign, BExpr, ChildAxis, NodeRef, Program, Stmt};
 use retreet_lang::blocks::{BlockId, BlockTable};
 
 use crate::vtree::{NodeId, ValueTree};
@@ -589,17 +589,14 @@ impl<'a> Interp<'a> {
         Ok(result)
     }
 
-    fn child(&self, node: NodeId, dir: Dir) -> Option<NodeId> {
-        match dir {
-            Dir::Left => self.tree.left(node),
-            Dir::Right => self.tree.right(node),
-        }
+    fn child(&self, node: NodeId, axis: ChildAxis) -> Option<NodeId> {
+        self.tree.child(node, axis.index())
     }
 
     fn resolve(&self, node_ref: &NodeRef, activation: &Activation) -> Option<NodeId> {
         match node_ref {
             NodeRef::Cur => activation.node,
-            NodeRef::Child(dir) => activation.node.and_then(|n| self.child(n, *dir)),
+            NodeRef::Child(axis) => activation.node.and_then(|n| self.child(n, *axis)),
         }
     }
 

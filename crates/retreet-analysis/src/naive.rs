@@ -43,7 +43,7 @@ use crate::configs::{
 use crate::equiv::{Disagreement, EquivCounterExample, EquivOptions, EquivVerdict};
 use crate::interp::{self, ExecOrder, Iteration, RunResult};
 use crate::race::{program_fields, RaceOptions, RaceVerdict, RaceWitness};
-use crate::vtree::{test_trees, ValueTree};
+use crate::vtree::{test_trees_kary, ValueTree};
 
 use std::collections::BTreeMap;
 
@@ -382,7 +382,12 @@ pub fn check_data_race(program: &Program, options: &RaceOptions) -> RaceVerdict 
     let table = BlockTable::build(program);
     let fields = program_fields(&table);
     let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
-    let trees = test_trees(options.max_nodes, &field_refs, options.valuations);
+    let trees = test_trees_kary(
+        program.arity,
+        options.max_nodes,
+        &field_refs,
+        options.valuations,
+    );
     let mut total_configs = 0usize;
     for tree in &trees {
         let configs = enumerate(&table, tree, &options.enumeration);
@@ -441,7 +446,12 @@ pub fn check_equivalence(
         }
     }
     let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
-    let trees = test_trees(options.max_nodes, &field_refs, options.valuations);
+    let trees = test_trees_kary(
+        original.arity.max(transformed.arity),
+        options.max_nodes,
+        &field_refs,
+        options.valuations,
+    );
     for tree in &trees {
         let run_a = run_with_table(&table_a, tree);
         let run_b = run_with_table(&table_b, tree);

@@ -23,7 +23,7 @@ use retreet_logic::SolverCache;
 use crate::configs::{self, AnalysisContext, ConfigRelation, Configuration, EnumOptions};
 use crate::interp;
 use crate::par;
-use crate::vtree::{test_trees, NodeId, TreeCorpus, ValueTree};
+use crate::vtree::{test_trees_kary, NodeId, TreeCorpus, ValueTree};
 
 /// Options for the bounded race analysis.
 ///
@@ -184,7 +184,12 @@ pub fn check_data_race_cancellable(
     let ctx = AnalysisContext::for_program(program);
     let table = &*ctx.table;
     let field_refs: Vec<&str> = ctx.fields.iter().map(String::as_str).collect();
-    let corpus = TreeCorpus::new(options.max_nodes, &field_refs, options.valuations);
+    let corpus = TreeCorpus::with_arity(
+        program.arity,
+        options.max_nodes,
+        &field_refs,
+        options.valuations,
+    );
     let (total_configs, hit) = par::tally_until_hit(corpus.len(), cancel, |i| {
         let tree = corpus.tree(i);
         let configs = configs::enumerate_shared(
@@ -284,7 +289,12 @@ pub fn check_data_race_dynamic_cancellable(
     let table = BlockTable::build(program);
     let fields = program_fields(&table);
     let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
-    let trees = test_trees(options.max_nodes, &field_refs, options.valuations);
+    let trees = test_trees_kary(
+        program.arity,
+        options.max_nodes,
+        &field_refs,
+        options.valuations,
+    );
     let Ok(runner) = interp::Runner::new(&table) else {
         return Some(RaceVerdict::RaceFree {
             trees_checked: trees.len(),

@@ -20,13 +20,13 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use retreet_lang::ast::{AExpr, BExpr, Dir, Ident, NodeRef, Program};
+use retreet_lang::ast::{AExpr, BExpr, Ident, NodeRef, Program};
 use retreet_lang::blocks::{BlockId, BlockTable, PathElem, Relation};
 use retreet_lang::rw::rw_sets_of_block;
 use retreet_logic::bridge::ConjunctionBuilder;
 use retreet_logic::LinExpr;
 use retreet_mso::encode::{
-    check_overlap, ChildStep, ConflictSide, OverlapVerdict, Region, StructConstraint,
+    check_overlap_k, ChildStep, ConflictSide, OverlapVerdict, Region, StructConstraint,
 };
 use retreet_mso::tree::LabeledTree;
 
@@ -34,8 +34,7 @@ use retreet_mso::tree::LabeledTree;
 pub fn step_of(node: NodeRef) -> ChildStep {
     match node {
         NodeRef::Cur => ChildStep::Here,
-        NodeRef::Child(Dir::Left) => ChildStep::Left,
-        NodeRef::Child(Dir::Right) => ChildStep::Right,
+        NodeRef::Child(axis) => ChildStep::Child(axis.0),
     }
 }
 
@@ -234,18 +233,11 @@ pub fn path_guard(elems: &[PathElem]) -> PathGuard {
         match literal {
             GuardLit::Nil(NodeRef::Cur, true) => guard.at_nil = true,
             GuardLit::Nil(NodeRef::Cur, false) => {}
-            GuardLit::Nil(NodeRef::Child(Dir::Left), positive) => {
+            GuardLit::Nil(NodeRef::Child(axis), positive) => {
                 if positive {
-                    guard.constraint.no_left = true;
+                    guard.constraint.require_no(axis.0);
                 } else {
-                    guard.constraint.has_left = true;
-                }
-            }
-            GuardLit::Nil(NodeRef::Child(Dir::Right), positive) => {
-                if positive {
-                    guard.constraint.no_right = true;
-                } else {
-                    guard.constraint.has_right = true;
+                    guard.constraint.require_has(axis.0);
                 }
             }
             GuardLit::Gt(expr, positive) => guard.gt_literals.push((expr, positive)),
@@ -386,9 +378,10 @@ pub fn structural_race_analysis(program: &Program) -> StructuralRaceAnalysis {
                                     region: site_b.region,
                                     guard: guard_b.constraint,
                                 };
-                                let verdict = overlap_memo
-                                    .entry((side_a, side_b))
-                                    .or_insert_with(|| check_overlap(&side_a, &side_b));
+                                let verdict =
+                                    overlap_memo.entry((side_a, side_b)).or_insert_with(|| {
+                                        check_overlap_k(&side_a, &side_b, program.arity)
+                                    });
                                 if let OverlapVerdict::Overlap(example) = verdict {
                                     let description = format!(
                                         "{} and {} may both touch field `{}` ({:?} vs {:?})",

@@ -31,13 +31,17 @@ impl fmt::Display for NodeId {
 
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 struct VNode {
-    left: Option<NodeId>,
-    right: Option<NodeId>,
+    /// Children indexed by axis; the vector is only as long as the highest
+    /// axis ever attached (missing tail entries mean nil).
+    children: Vec<Option<NodeId>>,
     parent: Option<NodeId>,
     fields: BTreeMap<String, i64>,
 }
 
-/// A binary tree whose nodes carry named integer fields.
+/// A k-ary tree whose nodes carry named integer fields.
+///
+/// Axes 0 and 1 are the binary `l`/`r` children; the `left`/`right` helpers
+/// are kept as the common special case.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ValueTree {
     nodes: Vec<VNode>,
@@ -66,38 +70,55 @@ impl ValueTree {
         self.nodes.is_empty()
     }
 
-    /// Adds a left child.
+    /// Adds a child on the given axis.
+    pub fn add_child(&mut self, parent: NodeId, axis: usize) -> NodeId {
+        assert!(self.child(parent, axis).is_none());
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(VNode {
+            parent: Some(parent),
+            ..VNode::default()
+        });
+        let children = &mut self.nodes[parent.as_usize()].children;
+        if children.len() <= axis {
+            children.resize(axis + 1, None);
+        }
+        children[axis] = Some(id);
+        id
+    }
+
+    /// Adds a left child (axis 0).
     pub fn add_left(&mut self, parent: NodeId) -> NodeId {
-        assert!(self.left(parent).is_none());
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(VNode {
-            parent: Some(parent),
-            ..VNode::default()
-        });
-        self.nodes[parent.as_usize()].left = Some(id);
-        id
+        self.add_child(parent, 0)
     }
 
-    /// Adds a right child.
+    /// Adds a right child (axis 1).
     pub fn add_right(&mut self, parent: NodeId) -> NodeId {
-        assert!(self.right(parent).is_none());
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(VNode {
-            parent: Some(parent),
-            ..VNode::default()
-        });
-        self.nodes[parent.as_usize()].right = Some(id);
-        id
+        self.add_child(parent, 1)
     }
 
-    /// Left child.
+    /// The child on the given axis (`None` for nil).
+    pub fn child(&self, node: NodeId, axis: usize) -> Option<NodeId> {
+        self.nodes[node.as_usize()]
+            .children
+            .get(axis)
+            .copied()
+            .flatten()
+    }
+
+    /// Left child (axis 0).
     pub fn left(&self, node: NodeId) -> Option<NodeId> {
-        self.nodes[node.as_usize()].left
+        self.child(node, 0)
     }
 
-    /// Right child.
+    /// Right child (axis 1).
     pub fn right(&self, node: NodeId) -> Option<NodeId> {
-        self.nodes[node.as_usize()].right
+        self.child(node, 1)
+    }
+
+    /// The children of a node over the given arity, axis by axis (nil
+    /// children included as `None`).
+    pub fn children(&self, node: NodeId, arity: u8) -> Vec<Option<NodeId>> {
+        (0..arity as usize).map(|a| self.child(node, a)).collect()
     }
 
     /// Parent.
@@ -141,9 +162,14 @@ impl ValueTree {
     /// The height of the tree (single node = 1).
     pub fn height(&self) -> usize {
         fn depth(tree: &ValueTree, node: NodeId) -> usize {
-            let l = tree.left(node).map_or(0, |c| depth(tree, c));
-            let r = tree.right(node).map_or(0, |c| depth(tree, c));
-            1 + l.max(r)
+            let deepest = tree.nodes[node.as_usize()]
+                .children
+                .iter()
+                .flatten()
+                .map(|&c| depth(tree, c))
+                .max()
+                .unwrap_or(0);
+            1 + deepest
         }
         depth(self, self.root())
     }
@@ -173,18 +199,35 @@ impl ValueTree {
     /// Builds a complete binary tree of the given height with fields from
     /// `init(node_index, field)`.
     pub fn complete(height: usize, fields: &[&str], init: impl Fn(usize, &str) -> i64) -> Self {
+        ValueTree::complete_kary(2, height, fields, init)
+    }
+
+    /// Builds a complete k-ary tree of the given height with fields from
+    /// `init(node_index, field)`.
+    pub fn complete_kary(
+        arity: u8,
+        height: usize,
+        fields: &[&str],
+        init: impl Fn(usize, &str) -> i64,
+    ) -> Self {
         assert!(height >= 1);
+        assert!(arity >= 1);
         let mut tree = ValueTree::single();
-        fn grow(tree: &mut ValueTree, node: NodeId, remaining: usize) {
+        fn grow(tree: &mut ValueTree, node: NodeId, arity: u8, remaining: usize) {
             if remaining == 0 {
                 return;
             }
-            let l = tree.add_left(node);
-            let r = tree.add_right(node);
-            grow(tree, l, remaining - 1);
-            grow(tree, r, remaining - 1);
+            // Allocate every child before recursing so node numbering (and
+            // therefore every seeded field valuation) matches the historic
+            // binary layout exactly.
+            let children: Vec<NodeId> = (0..arity as usize)
+                .map(|axis| tree.add_child(node, axis))
+                .collect();
+            for child in children {
+                grow(tree, child, arity, remaining - 1);
+            }
         }
-        grow(&mut tree, NodeId(0), height - 1);
+        grow(&mut tree, NodeId(0), arity, height - 1);
         for node in tree.nodes().collect::<Vec<_>>() {
             for field in fields {
                 let value = init(node.as_usize(), field);
@@ -225,6 +268,109 @@ pub fn test_trees(max_nodes: usize, fields: &[&str], valuations: usize) -> Vec<V
     (0..corpus.len()).map(|i| corpus.tree(i)).collect()
 }
 
+/// [`test_trees`] over k-ary shapes (identical to it at arity 2).
+pub fn test_trees_kary(
+    arity: u8,
+    max_nodes: usize,
+    fields: &[&str],
+    valuations: usize,
+) -> Vec<ValueTree> {
+    let corpus = TreeCorpus::with_arity(arity, max_nodes, fields, valuations);
+    (0..corpus.len()).map(|i| corpus.tree(i)).collect()
+}
+
+/// A k-ary tree shape with no field values: the unit the k-ary bounded
+/// enumeration is built from.
+#[derive(Clone, Default)]
+struct KShape {
+    /// One entry per axis; `None` is a nil child.
+    children: Vec<Option<Box<KShape>>>,
+}
+
+/// Every k-ary shape with exactly `n` nodes, in a deterministic order
+/// (compositions of the remaining node budget over the axes, smallest first
+/// axis budget first).
+fn kary_shapes_with(arity: usize, n: usize) -> Vec<KShape> {
+    assert!(n >= 1);
+    let mut out = Vec::new();
+    let mut parts = vec![0usize; arity];
+    fill_axes(arity, n - 1, 0, &mut parts, &mut out);
+    out
+}
+
+fn fill_axes(
+    arity: usize,
+    budget: usize,
+    axis: usize,
+    parts: &mut Vec<usize>,
+    out: &mut Vec<KShape>,
+) {
+    if axis == arity {
+        if budget == 0 {
+            let mut shape = KShape::default();
+            expand_axes(arity, parts, 0, &mut shape, out);
+        }
+        return;
+    }
+    for take in 0..=budget {
+        parts[axis] = take;
+        fill_axes(arity, budget - take, axis + 1, parts, out);
+    }
+    parts[axis] = 0;
+}
+
+/// Expands one composition into the cartesian product of per-axis subtree
+/// shapes.
+fn expand_axes(
+    arity: usize,
+    parts: &[usize],
+    axis: usize,
+    prefix: &mut KShape,
+    out: &mut Vec<KShape>,
+) {
+    if axis == arity {
+        out.push(prefix.clone());
+        return;
+    }
+    if parts[axis] == 0 {
+        prefix.children.push(None);
+        expand_axes(arity, parts, axis + 1, prefix, out);
+        prefix.children.pop();
+        return;
+    }
+    for sub in kary_shapes_with(arity, parts[axis]) {
+        prefix.children.push(Some(Box::new(sub)));
+        expand_axes(arity, parts, axis + 1, prefix, out);
+        prefix.children.pop();
+    }
+}
+
+fn kary_shapes_up_to(arity: u8, max_nodes: usize) -> Vec<ValueTree> {
+    let mut out = Vec::new();
+    for n in 1..=max_nodes {
+        for shape in kary_shapes_with(arity as usize, n) {
+            let mut tree = ValueTree::single();
+            build_from_kshape(&shape, &mut tree, NodeId(0));
+            out.push(tree);
+        }
+    }
+    out
+}
+
+fn build_from_kshape(shape: &KShape, tree: &mut ValueTree, node: NodeId) {
+    // Allocate all children before recursing, matching `complete_kary`'s
+    // numbering convention.
+    let mut grafted = Vec::new();
+    for (axis, child) in shape.children.iter().enumerate() {
+        if let Some(sub) = child {
+            grafted.push((tree.add_child(node, axis), sub.as_ref()));
+        }
+    }
+    for (id, sub) in grafted {
+        build_from_kshape(sub, tree, id);
+    }
+}
+
 /// A *lazily materialized* corpus of test trees: the shapes come from the
 /// process-wide shape cache, and each tree is only built (shape copy plus
 /// deterministic field fill) when an engine actually asks for its index.
@@ -233,17 +379,46 @@ pub fn test_trees(max_nodes: usize, fields: &[&str], valuations: usize) -> Vec<V
 /// on the first few trees) therefore never pay for the hundreds of larger
 /// trees behind it.  Index order is identical to [`test_trees`].
 pub struct TreeCorpus {
-    shapes: std::sync::Arc<Vec<LabeledTree>>,
+    shapes: ShapeSource,
     fields: Vec<String>,
     valuations: usize,
+}
+
+/// Where a corpus's tree shapes come from.  Binary corpora keep using the
+/// process-wide [`shared_trees_up_to`] cache (so the binary engines are
+/// byte-identical to before the arity generalization); higher arities
+/// enumerate k-ary shapes locally.
+enum ShapeSource {
+    Binary(std::sync::Arc<Vec<LabeledTree>>),
+    Kary(Vec<ValueTree>),
+}
+
+impl ShapeSource {
+    fn len(&self) -> usize {
+        match self {
+            ShapeSource::Binary(shapes) => shapes.len(),
+            ShapeSource::Kary(shapes) => shapes.len(),
+        }
+    }
 }
 
 impl TreeCorpus {
     /// The corpus of every shape up to `max_nodes` with `valuations`
     /// deterministic field valuations each.
     pub fn new(max_nodes: usize, fields: &[&str], valuations: usize) -> Self {
+        TreeCorpus::with_arity(2, max_nodes, fields, valuations)
+    }
+
+    /// [`TreeCorpus::new`] generalized to k-ary shapes.  Arity 2 is exactly
+    /// the binary corpus (same shapes, same order, same shared cache).
+    pub fn with_arity(arity: u8, max_nodes: usize, fields: &[&str], valuations: usize) -> Self {
+        let shapes = if arity <= 2 {
+            ShapeSource::Binary(shared_trees_up_to(max_nodes))
+        } else {
+            ShapeSource::Kary(kary_shapes_up_to(arity, max_nodes))
+        };
         TreeCorpus {
-            shapes: shared_trees_up_to(max_nodes),
+            shapes,
             fields: fields.iter().map(|f| f.to_string()).collect(),
             valuations: valuations.max(1),
         }
@@ -256,15 +431,18 @@ impl TreeCorpus {
 
     /// True when the corpus is empty (a zero node bound).
     pub fn is_empty(&self) -> bool {
-        self.shapes.is_empty()
+        self.shapes.len() == 0
     }
 
     /// Materializes the `index`-th tree (same order as [`test_trees`]).
     pub fn tree(&self, index: usize) -> ValueTree {
-        let shape = &self.shapes[index / self.valuations];
+        let shape = index / self.valuations;
         let v = index % self.valuations;
         let fields: Vec<&str> = self.fields.iter().map(String::as_str).collect();
-        let mut tree = ValueTree::from_shape_of(shape);
+        let mut tree = match &self.shapes {
+            ShapeSource::Binary(shapes) => ValueTree::from_shape_of(&shapes[shape]),
+            ShapeSource::Kary(shapes) => shapes[shape].clone(),
+        };
         tree.fill_fields(&fields, 0x9E3779B9u64.wrapping_add(v as u64 * 0x1234567));
         tree
     }

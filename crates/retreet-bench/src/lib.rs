@@ -763,11 +763,12 @@ pub fn certify_transforms(budget: &Budget) -> Vec<TransformCertRow> {
     use retreet_transform::fuse_main_passes;
 
     let verifier = budget.equivalence_verifier();
-    let cases: [(&'static str, &'static str, retreet_lang::ast::Program); 4] = [
+    let cases: [(&'static str, &'static str, retreet_lang::ast::Program); 5] = [
         ("E1", "size_counting", corpus::size_counting_sequential()),
         ("E2", "tree_mutation", corpus::tree_mutation_original()),
         ("E3", "css_minify", corpus::css_minify_original()),
         ("E4a", "cycletree", corpus::cycletree_original()),
+        ("E5", "kdtree_closest", corpus::kdtree_closest()),
     ];
     cases
         .into_iter()
@@ -839,8 +840,8 @@ impl TransformPerfRow {
     }
 }
 
-/// Measures certified-fusion-vs-sequential runtime on all four fusable §5
-/// families, executing **both** programs through the compiled VM tier
+/// Measures certified-fusion-vs-sequential runtime on all five fusable
+/// families (E1/E2/E3/E4a plus the E5 k-d find-closest-point pair), executing **both** programs through the compiled VM tier
 /// (`ProgramExecutor::with_verifier`, certified lowering included) on the
 /// same seeded complete tree — real execution-tier numbers, not the old
 /// interpreter-vs-interpreter (or native-stand-in) comparison.  Before any
@@ -863,7 +864,7 @@ pub fn measure_transform_perf(
         usize,
         retreet_lang::ast::Program,
     );
-    let cases: [PerfCase; 4] = [
+    let cases: [PerfCase; 5] = [
         (
             "E1",
             "size counting: Odd; Even (2 passes) vs certified fusion, on the VM",
@@ -887,6 +888,12 @@ pub fn measure_transform_perf(
             "cycletree: RootMode; ComputeRouting (2 passes) vs certified fusion, on the VM",
             2,
             corpus::cycletree_original(),
+        ),
+        (
+            "E5",
+            "k-d find-closest-point: ComputeDist; FoldMin (2 passes) vs certified fusion, on the VM",
+            2,
+            corpus::kdtree_closest(),
         ),
     ];
 
@@ -984,7 +991,7 @@ pub fn render_transform_report(certs: &[TransformCertRow], perf: &[TransformPerf
 
 /// Serializes the transform report to the `BENCH_transform.json` document
 /// (schema `retreet-bench-transform/v2`; format in `crates/README.md`).
-/// v2: runtime rows cover all four fusable families (E1/E2/E3/E4a), are
+/// v2: runtime rows cover every fusable family (E1/E2/E3/E4a/E5), are
 /// measured on the compiled VM tier instead of native stand-ins, and carry
 /// a `drift` flag from the pre-timing differential check.
 pub fn transform_report_to_json(
@@ -1128,7 +1135,7 @@ impl TuneReportRow {
     }
 }
 
-/// Runs the certified schedule autotuner on all four §5 families through
+/// Runs the certified schedule autotuner on the five fusable families through
 /// `retreet_runtime::tune_and_compile` (the VM-backed cost model) and
 /// records per-family candidate counts, baselines, the winner's certificate
 /// provenance, and an explicit winner-vs-interpreter drift recheck.
@@ -1145,11 +1152,12 @@ pub fn measure_tune(
     use retreet_runtime::tune_and_compile;
     use retreet_transform::CandidateStatus;
 
-    let cases: [(&'static str, &'static str, retreet_lang::ast::Program); 4] = [
+    let cases: [(&'static str, &'static str, retreet_lang::ast::Program); 5] = [
         ("E1", "size_counting", corpus::size_counting_sequential()),
         ("E2", "tree_mutation", corpus::tree_mutation_original()),
         ("E3", "css_minify", corpus::css_minify_original()),
         ("E4a", "cycletree", corpus::cycletree_original()),
+        ("E5", "kdtree_closest", corpus::kdtree_closest()),
     ];
 
     cases
@@ -1451,6 +1459,11 @@ fn codegen_workloads() -> Vec<(&'static str, &'static str, retreet_lang::ast::Pr
             "cycletree: four numbering modes + ComputeRouting",
             corpus::cycletree_original(),
         ),
+        (
+            "C5",
+            "k-d find-closest-point: ComputeDist; FoldMin over a left-balanced tree",
+            corpus::kdtree_closest(),
+        ),
     ]
 }
 
@@ -1662,7 +1675,7 @@ mod tests {
     fn codegen_report_has_no_drift_and_honest_cache_flags() {
         let verifier = Verifier::builder().build();
         let (rows, certs) = measure_codegen_perf(&verifier, 1, 1, 6);
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 5);
         for row in &rows {
             assert!(!row.drift, "{}: VM diverged from the interpreter", row.id);
         }
@@ -1753,7 +1766,7 @@ mod tests {
     #[test]
     fn transform_certificates_hold_under_the_quick_budget() {
         let certs = certify_transforms(&Budget::quick());
-        assert_eq!(certs.len(), 4);
+        assert_eq!(certs.len(), 5);
         for row in &certs {
             assert!(row.certified, "{} drifted: {}", row.id, row.detail);
             assert_eq!(row.kind, "equivalence", "{}", row.id);
@@ -1775,7 +1788,7 @@ mod tests {
         let budget = Budget::quick();
         let certs = certify_transforms(&budget);
         let perf = measure_transform_perf(&budget.tune_verifier(), 1, 1, 6);
-        assert_eq!(perf.len(), 4, "all four fusable families get runtime rows");
+        assert_eq!(perf.len(), 5, "all five fusable families get runtime rows");
         for row in &perf {
             assert!(!row.drift, "{}: VM diverged from the interpreter", row.id);
         }
@@ -1795,7 +1808,7 @@ mod tests {
         let verifier = budget.tune_verifier();
         let options = retreet_transform::TuneOptions::quick();
         let rows = measure_tune(&verifier, &options);
-        assert_eq!(rows.len(), 4, "all four §5 families tune");
+        assert_eq!(rows.len(), 5, "all five fusable families tune");
         for row in &rows {
             assert!(!row.drift, "{}: winner drifted from the reference", row.id);
             assert!(!row.regressed(), "{}: tuned slower than baseline", row.id);

@@ -9,7 +9,7 @@
 //! *last* returning branch wins, and the pending return propagates only after
 //! every branch has run).
 
-use retreet_lang::ast::{Dir, Ident};
+use retreet_lang::ast::{ChildAxis, Ident};
 
 use crate::lower::LoweringCertificate;
 
@@ -18,19 +18,20 @@ use crate::lower::LoweringCertificate;
 pub enum NodeSel {
     /// The activation's own node `n`.
     Cur,
-    /// `n.l` (nil when `n` is nil or has no left child).
-    Left,
-    /// `n.r` (nil when `n` is nil or has no right child).
-    Right,
+    /// The child along an axis (nil when `n` is nil or lacks that child):
+    /// `n.l` is axis 0, `n.r` axis 1, `n.c<k>` axis `k`.
+    Child(ChildAxis),
 }
 
 impl NodeSel {
-    /// The selector for a child direction.
-    pub fn child(dir: Dir) -> NodeSel {
-        match dir {
-            Dir::Left => NodeSel::Left,
-            Dir::Right => NodeSel::Right,
-        }
+    /// `n.l` (axis 0).
+    pub const LEFT: NodeSel = NodeSel::Child(ChildAxis::LEFT);
+    /// `n.r` (axis 1).
+    pub const RIGHT: NodeSel = NodeSel::Child(ChildAxis::RIGHT);
+
+    /// The selector for a child axis.
+    pub fn child(axis: ChildAxis) -> NodeSel {
+        NodeSel::Child(axis)
     }
 }
 
@@ -156,8 +157,10 @@ pub struct FrameFunc {
 
 /// A self-recursive traversal lowered to an explicit-worklist loop: the
 /// recursion is replaced by an iterative depth-first schedule over the tree,
-/// with the function's straight-line work split into up-to-three segments
-/// (before the first child, between the children, after the second child).
+/// with the function's straight-line work split into `k + 1` segments for a
+/// `k`-way recursion (before the first child, between consecutive children,
+/// after the last child).  A binary traversal has the classic three
+/// (pre/mid/post) segments.
 ///
 /// Only certified lowerings are ever compiled to this form — see
 /// [`crate::lower`].
@@ -165,21 +168,29 @@ pub struct FrameFunc {
 pub struct IterativeFunc {
     /// Segment code (each segment ends with [`Instr::EndSegment`]).
     pub code: Vec<Instr>,
-    /// Entry pc of the segment run before the first child's subtree.
-    pub pre: u32,
-    /// Entry pc of the segment run between the two subtrees.
-    pub mid: u32,
-    /// Entry pc of the segment run after the second child's subtree.
-    pub post: u32,
-    /// The child visited first.
-    pub first: Dir,
-    /// The child visited second.
-    pub second: Dir,
+    /// Entry pcs of the `k + 1` segments, in visit order: `segments[p]` runs
+    /// before descending into the `p`-th visited child; the last entry is
+    /// the post segment run after the final child's subtree.
+    pub segments: Vec<u32>,
+    /// The children in visit order (`k` distinct axes).
+    pub axes: Vec<ChildAxis>,
     /// The constants the traversal returns (on nil and non-nil nodes alike —
     /// a requirement of the lowerable shape).
     pub returns: Vec<i64>,
     /// Scratch registers the segments use.
     pub num_regs: u16,
+}
+
+impl IterativeFunc {
+    /// Entry pc of the segment run before the first child's subtree.
+    pub fn pre(&self) -> u32 {
+        self.segments[0]
+    }
+
+    /// Entry pc of the segment run after the last child's subtree.
+    pub fn post(&self) -> u32 {
+        *self.segments.last().expect("at least a post segment")
+    }
 }
 
 /// How a function executes.
@@ -200,6 +211,9 @@ pub struct CompiledProgram {
     pub func_names: Vec<Ident>,
     /// Field names in column-id order.
     pub fields: Vec<String>,
+    /// The source program's tree arity (number of child columns a flat tree
+    /// needs).
+    pub arity: u8,
     /// Index of `Main`.
     pub main: u16,
     /// The equivalence certificates of every iterative lowering baked into

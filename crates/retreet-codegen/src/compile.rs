@@ -176,6 +176,7 @@ pub(crate) fn compile_program(
         funcs,
         func_names: program.funcs.iter().map(|f| f.name.clone()).collect(),
         fields,
+        arity: program.arity,
         main: main as u16,
         lowerings: lowered.iter().map(|(_, c)| c.clone()).collect(),
     })
@@ -640,9 +641,9 @@ fn compile_frame_func(
     })
 }
 
-/// Compiles a certified lowering's three straight-line segments.  Segments
-/// are call-free, return-free, `Par`-free and variable-free by the lowering
-/// shape check, so the compiler only needs scratch registers.
+/// Compiles a certified lowering's `k + 1` straight-line segments.
+/// Segments are call-free, return-free, `Par`-free and variable-free by the
+/// lowering shape check, so the compiler only needs scratch registers.
 fn compile_iterative(
     lowering: &IterativeLowering,
     field_ids: &HashMap<&str, u16>,
@@ -661,26 +662,19 @@ fn compile_iterative(
         pend_ret_label: None,
         num_returns: lowering.returns.len() as u16,
     };
-    let mut entries = [0u32; 3];
-    for (i, stmts) in [&lowering.pre, &lowering.mid, &lowering.post]
-        .into_iter()
-        .enumerate()
-    {
-        entries[i] = compiler.code.len() as u32;
+    let mut segments = Vec::with_capacity(lowering.segments.len());
+    for stmts in &lowering.segments {
+        segments.push(compiler.code.len() as u32);
         for stmt in stmts.iter() {
             compiler.stmt(stmt, RetCtx::Direct)?;
         }
         compiler.emit(Instr::EndSegment);
     }
-    let [pre, mid, post] = entries;
     compiler.resolve();
     Ok(IterativeFunc {
         code: compiler.code,
-        pre,
-        mid,
-        post,
-        first: lowering.first,
-        second: lowering.second,
+        segments,
+        axes: lowering.axes.clone(),
         returns: lowering.returns.clone(),
         num_regs: compiler.max_regs,
     })

@@ -13,29 +13,34 @@ use retreet_analysis::vtree::{NodeId, ValueTree};
 /// callee may legally run on).
 pub const NIL: u32 = u32::MAX;
 
-/// A structure-of-arrays binary tree with integer field columns.
+/// A structure-of-arrays k-ary tree with integer field columns: one dense
+/// `u32` child column per axis, one `i64` column per field.
 #[derive(Debug, Clone)]
 pub struct FlatTree {
-    left: Vec<u32>,
-    right: Vec<u32>,
+    children: Vec<Vec<u32>>,
     columns: Vec<Vec<i64>>,
 }
 
 impl FlatTree {
-    /// Builds the flat view of `tree`, with one column per name in `fields`
-    /// (column order is the caller's field-id assignment).  Unset fields
-    /// read as 0, exactly like [`ValueTree::field`].
+    /// Builds the binary flat view of `tree` (axes `l`/`r` only); see
+    /// [`FlatTree::from_value_tree_kary`] for higher arities.
     pub fn from_value_tree(tree: &ValueTree, fields: &[String]) -> Self {
+        FlatTree::from_value_tree_kary(tree, fields, 2)
+    }
+
+    /// Builds the flat view of `tree` with `arity` child columns and one
+    /// field column per name in `fields` (column order is the caller's
+    /// field-id assignment).  Unset fields read as 0, exactly like
+    /// [`ValueTree::field`].
+    pub fn from_value_tree_kary(tree: &ValueTree, fields: &[String], arity: u8) -> Self {
         let n = tree.len();
-        let mut left = vec![NIL; n];
-        let mut right = vec![NIL; n];
+        let mut children = vec![vec![NIL; n]; arity.max(2) as usize];
         for node in tree.nodes() {
             let i = node.as_usize();
-            if let Some(l) = tree.left(node) {
-                left[i] = l.0;
-            }
-            if let Some(r) = tree.right(node) {
-                right[i] = r.0;
+            for (axis, column) in children.iter_mut().enumerate() {
+                if let Some(child) = tree.child(node, axis) {
+                    column[i] = child.0;
+                }
             }
         }
         let columns = fields
@@ -46,43 +51,45 @@ impl FlatTree {
                     .collect()
             })
             .collect();
-        FlatTree {
-            left,
-            right,
-            columns,
-        }
+        FlatTree { children, columns }
     }
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.left.len()
+        self.children[0].len()
     }
 
     /// True when the tree has no nodes (never the case for trees built from
     /// a [`ValueTree`], which always has a root).
     pub fn is_empty(&self) -> bool {
-        self.left.is_empty()
+        self.children[0].is_empty()
     }
 
     /// The root node index, or [`NIL`] for an empty tree.
     pub fn root(&self) -> u32 {
-        if self.left.is_empty() {
+        if self.is_empty() {
             NIL
         } else {
             0
         }
     }
 
-    /// Left child of `node` ([`NIL`] when absent).
+    /// Child of `node` along `axis` ([`NIL`] when absent).
     #[inline]
-    pub fn left(&self, node: u32) -> u32 {
-        self.left[node as usize]
+    pub fn child(&self, node: u32, axis: usize) -> u32 {
+        self.children[axis][node as usize]
     }
 
-    /// Right child of `node` ([`NIL`] when absent).
+    /// Left child of `node` ([`NIL`] when absent) — axis 0.
+    #[inline]
+    pub fn left(&self, node: u32) -> u32 {
+        self.children[0][node as usize]
+    }
+
+    /// Right child of `node` ([`NIL`] when absent) — axis 1.
     #[inline]
     pub fn right(&self, node: u32) -> u32 {
-        self.right[node as usize]
+        self.children[1][node as usize]
     }
 
     /// Reads column `field` of `node`.
@@ -120,8 +127,10 @@ pub fn trees_agree(a: &ValueTree, b: &ValueTree) -> bool {
         return false;
     }
     for node in a.nodes() {
-        if a.left(node) != b.left(node) || a.right(node) != b.right(node) {
-            return false;
+        for axis in 0..retreet_lang::ast::MAX_ARITY as usize {
+            if a.child(node, axis) != b.child(node, axis) {
+                return false;
+            }
         }
     }
     let mut fields: Vec<String> = a

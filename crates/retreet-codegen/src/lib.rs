@@ -173,7 +173,7 @@ mod tests {
             .expect("a lowerable function");
         let mut lowering = lower_function(func).expect("lowering");
         // Sabotage: visit the first child twice, dropping the other subtree.
-        lowering.second = lowering.first;
+        lowering.axes[1] = lowering.axes[0];
         let verifier = quick_verifier();
         match certify_lowering(&verifier, &program, &lowering) {
             Err(LoweringError::Rejected {

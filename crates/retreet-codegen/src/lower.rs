@@ -28,8 +28,8 @@
 use std::fmt;
 
 use retreet_lang::ast::{
-    AExpr, Assign, BExpr, Block, BlockKind, CallBlock, Dir, Func, Ident, NodeRef, Program, Stmt,
-    StraightBlock,
+    AExpr, Assign, BExpr, Block, BlockKind, CallBlock, ChildAxis, Func, Ident, NodeRef, Program,
+    Stmt, StraightBlock,
 };
 use retreet_lang::rewrite::{flatten_seq, normalize_program};
 use retreet_verify::{Query, Verdict, Verifier, VerifyError};
@@ -41,21 +41,16 @@ pub struct IterativeLowering {
     pub func: Ident,
     /// The constants both return sites yield.
     pub returns: Vec<i64>,
-    /// Direction of the first recursive call.
-    pub first: Dir,
-    /// Direction of the second recursive call.
-    pub second: Dir,
-    /// Result variables of the first call (dead in the lowered form — the
-    /// callee returns constants — but needed to reconstruct the recursion).
-    pub first_results: Vec<Ident>,
-    /// Result variables of the second call.
-    pub second_results: Vec<Ident>,
-    /// Straight-line work before the first call.
-    pub pre: Vec<Stmt>,
-    /// Straight-line work between the calls.
-    pub mid: Vec<Stmt>,
-    /// Straight-line work after the second call.
-    pub post: Vec<Stmt>,
+    /// Child axes of the recursive calls, in visit order (pairwise
+    /// distinct).  A binary traversal has two; a `k`-way one up to `k`.
+    pub axes: Vec<ChildAxis>,
+    /// Result variables of each call, indexed like [`Self::axes`] (dead in
+    /// the lowered form — the callee returns constants — but needed to
+    /// reconstruct the recursion).
+    pub call_results: Vec<Vec<Ident>>,
+    /// The `axes.len() + 1` straight-line segments: `segments[p]` runs
+    /// before the `p`-th call, the final entry after the last call.
+    pub segments: Vec<Vec<Stmt>>,
 }
 
 /// The verifier's receipt for one lowering: the equivalence verdict between
@@ -125,25 +120,36 @@ pub fn lower_function(func: &Func) -> Option<IterativeLowering> {
     }
 
     let else_items = flatten_seq(else_branch);
-    // Exactly two top-level self-recursive calls, no other calls anywhere.
+    // At least two top-level self-recursive calls on pairwise distinct
+    // child axes, no other calls anywhere.
     let call_positions: Vec<usize> = else_items
         .iter()
         .enumerate()
         .filter(|(_, item)| contains_call(item))
         .map(|(i, _)| i)
         .collect();
-    let [i1, i2] = call_positions.as_slice() else {
-        return None;
-    };
-    let (first, first_results) = self_call(&else_items[*i1], func)?;
-    let (second, second_results) = self_call(&else_items[*i2], func)?;
-    if first == second {
+    if call_positions.len() < 2 {
         return None;
     }
+    let mut axes = Vec::new();
+    let mut call_results = Vec::new();
+    for &pos in &call_positions {
+        let (axis, results) = self_call(&else_items[pos], func)?;
+        if axes.contains(&axis) {
+            return None;
+        }
+        axes.push(axis);
+        call_results.push(results);
+    }
 
-    let pre = else_items[..*i1].to_vec();
-    let mid = else_items[*i1 + 1..*i2].to_vec();
-    let mut post = else_items[*i2 + 1..].to_vec();
+    // Slice the straight-line work between consecutive calls into the
+    // `k + 1` segments of the worklist loop.
+    let mut segments: Vec<Vec<Stmt>> = Vec::with_capacity(axes.len() + 1);
+    segments.push(else_items[..call_positions[0]].to_vec());
+    for pair in call_positions.windows(2) {
+        segments.push(else_items[pair[0] + 1..pair[1]].to_vec());
+    }
+    let mut post = else_items[call_positions[call_positions.len() - 1] + 1..].to_vec();
     // The last item must be the constant return, matching the nil arm.
     let ret_item = post.pop()?;
     let Stmt::Block(block) = &ret_item else {
@@ -171,11 +177,12 @@ pub fn lower_function(func: &Func) -> Option<IterativeLowering> {
             ret: None,
         })));
     }
+    segments.push(post);
 
     // Segments must be pure traversal work: no calls (already checked), no
     // returns, no `Par`, and no variables (reads or writes) — the worklist
     // loop has no per-node environment to keep them in.
-    for segment in [&pre, &mid, &post] {
+    for segment in &segments {
         if !segment.iter().all(segment_ok) {
             return None;
         }
@@ -184,13 +191,9 @@ pub fn lower_function(func: &Func) -> Option<IterativeLowering> {
     Some(IterativeLowering {
         func: func.name.clone(),
         returns: nil_returns,
-        first,
-        second,
-        first_results,
-        second_results,
-        pre,
-        mid,
-        post,
+        axes,
+        call_results,
+        segments,
     })
 }
 
@@ -201,19 +204,19 @@ pub fn lower_function(func: &Func) -> Option<IterativeLowering> {
 /// equivalence query refuses the lowering.
 pub fn reconstruct_recursive(program: &Program, lowering: &IterativeLowering) -> Program {
     let ret_consts: Vec<AExpr> = lowering.returns.iter().map(|v| AExpr::Const(*v)).collect();
-    let call = |dir: Dir, results: &[Ident]| {
+    let call = |axis: ChildAxis, results: &[Ident]| {
         Stmt::Block(Block::call(CallBlock {
             results: results.to_vec(),
             callee: lowering.func.clone(),
-            target: NodeRef::Child(dir),
+            target: NodeRef::Child(axis),
             args: Vec::new(),
         }))
     };
-    let mut else_items = lowering.pre.clone();
-    else_items.push(call(lowering.first, &lowering.first_results));
-    else_items.extend(lowering.mid.iter().cloned());
-    else_items.push(call(lowering.second, &lowering.second_results));
-    else_items.extend(lowering.post.iter().cloned());
+    let mut else_items = lowering.segments[0].clone();
+    for (i, axis) in lowering.axes.iter().enumerate() {
+        else_items.push(call(*axis, &lowering.call_results[i]));
+        else_items.extend(lowering.segments[i + 1].iter().cloned());
+    }
     else_items.push(Stmt::Block(Block::straight(StraightBlock::ret(
         ret_consts.clone(),
     ))));
@@ -239,7 +242,7 @@ pub fn reconstruct_recursive(program: &Program, lowering: &IterativeLowering) ->
             }
         })
         .collect();
-    normalize_program(&Program::new(funcs))
+    normalize_program(&program.with_funcs(funcs))
 }
 
 /// Asks the verifier whether the recursive reconstruction of `lowering` is
@@ -290,9 +293,9 @@ fn const_return(stmt: &Stmt) -> Option<Vec<i64>> {
         .collect()
 }
 
-/// `Some((dir, results))` when the statement is a zero-argument
+/// `Some((axis, results))` when the statement is a zero-argument
 /// self-recursive call on a child of the current node.
-fn self_call(stmt: &Stmt, func: &Func) -> Option<(Dir, Vec<Ident>)> {
+fn self_call(stmt: &Stmt, func: &Func) -> Option<(ChildAxis, Vec<Ident>)> {
     let Stmt::Block(block) = stmt else {
         return None;
     };
@@ -302,10 +305,10 @@ fn self_call(stmt: &Stmt, func: &Func) -> Option<(Dir, Vec<Ident>)> {
     if call.callee != func.name || !call.args.is_empty() {
         return None;
     }
-    let NodeRef::Child(dir) = call.target else {
+    let NodeRef::Child(axis) = call.target else {
         return None;
     };
-    Some((dir, call.results.clone()))
+    Some((axis, call.results.clone()))
 }
 
 fn contains_call(stmt: &Stmt) -> bool {

@@ -20,7 +20,7 @@
 use std::fmt;
 
 use retreet_analysis::vtree::ValueTree;
-use retreet_lang::ast::Dir;
+use retreet_lang::ast::ChildAxis;
 
 use crate::bytecode::{CompiledProgram, FuncCode, Instr, IterativeFunc, NodeSel};
 use crate::flat::{FlatTree, NIL};
@@ -105,7 +105,7 @@ impl Vm {
         program: &CompiledProgram,
         tree: &ValueTree,
     ) -> Result<VmResult, VmError> {
-        let mut flat = FlatTree::from_value_tree(tree, &program.fields);
+        let mut flat = FlatTree::from_value_tree_kary(tree, &program.fields, program.arity);
         let returns = self.run_flat(program, &mut flat)?;
         Ok(VmResult {
             returns,
@@ -264,12 +264,12 @@ impl Vm {
     }
 
     /// Runs a lowered function on the subtree rooted at `start` by draining
-    /// an explicit worklist: phase 0 runs the pre-segment and descends into
-    /// the first child, phase 1 runs the mid-segment and descends into the
-    /// second, phase 2 runs the post-segment.  Recursing into nil is a
-    /// no-op (the recursive original would return its constants, which the
-    /// lowered shape never reads), but the interpreter's [`MAX_DEPTH`] cap
-    /// is still enforced against the depth the recursive original would
+    /// an explicit worklist: phase `p < k` runs segment `p` and descends
+    /// into the `p`-th visited child, phase `k` runs the post-segment (a
+    /// binary traversal is the classic pre/mid/post).  Recursing into nil
+    /// is a no-op (the recursive original would return its constants, which
+    /// the lowered shape never reads), but the interpreter's [`MAX_DEPTH`]
+    /// cap is still enforced against the depth the recursive original would
     /// reach, so both tiers fail the same over-deep trees.
     fn run_iterative(
         &mut self,
@@ -302,39 +302,36 @@ impl Vm {
         base: usize,
         work_base: usize,
     ) -> Result<(), VmError> {
+        let num_calls = lowered.axes.len();
         while self.work.len() > work_base {
             let (node, phase) = self.work.pop().expect("non-empty worklist");
-            match phase {
-                0 => {
-                    // `node`'s path depth below the traversal root: one
-                    // worklist entry per ancestor remains on the stack.
-                    let depth = self.work.len() - work_base;
-                    self.segment(lowered, lowered.pre as usize, tree, node, base)?;
-                    // The recursive original now calls into both children —
-                    // nil ones included, whose activations the interpreter
-                    // counts before the nil guard returns.  Those calls sit
-                    // `frames + depth + 2` activations deep (live frames,
-                    // the path from the traversal root, this node, the
-                    // child), and the interpreter refuses them past
-                    // MAX_DEPTH — so must we, for outcome parity.
-                    if self.frames.len() + depth + 2 > MAX_DEPTH {
-                        return Err(VmError::DepthExceeded);
-                    }
-                    self.work.push((node, 1));
-                    let child = child_of(tree, node, lowered.first);
-                    if child != NIL {
-                        self.work.push((child, 0));
-                    }
+            let p = phase as usize;
+            if p >= num_calls {
+                self.segment(lowered, lowered.post() as usize, tree, node, base)?;
+                continue;
+            }
+            if p == 0 {
+                // `node`'s path depth below the traversal root: one
+                // worklist entry per ancestor remains on the stack.
+                let depth = self.work.len() - work_base;
+                self.segment(lowered, lowered.segments[0] as usize, tree, node, base)?;
+                // The recursive original now calls into every child — nil
+                // ones included, whose activations the interpreter counts
+                // before the nil guard returns.  Those calls sit
+                // `frames + depth + 2` activations deep (live frames, the
+                // path from the traversal root, this node, the child), and
+                // the interpreter refuses them past MAX_DEPTH — so must we,
+                // for outcome parity.
+                if self.frames.len() + depth + 2 > MAX_DEPTH {
+                    return Err(VmError::DepthExceeded);
                 }
-                1 => {
-                    self.segment(lowered, lowered.mid as usize, tree, node, base)?;
-                    self.work.push((node, 2));
-                    let child = child_of(tree, node, lowered.second);
-                    if child != NIL {
-                        self.work.push((child, 0));
-                    }
-                }
-                _ => self.segment(lowered, lowered.post as usize, tree, node, base)?,
+            } else {
+                self.segment(lowered, lowered.segments[p] as usize, tree, node, base)?;
+            }
+            self.work.push((node, phase + 1));
+            let child = child_of(tree, node, lowered.axes[p]);
+            if child != NIL {
+                self.work.push((child, 0));
             }
         }
         Ok(())
@@ -414,29 +411,19 @@ impl Vm {
 fn resolve(tree: &FlatTree, node: u32, sel: NodeSel) -> u32 {
     match sel {
         NodeSel::Cur => node,
-        NodeSel::Left => {
+        NodeSel::Child(axis) => {
             if node == NIL {
                 NIL
             } else {
-                tree.left(node)
-            }
-        }
-        NodeSel::Right => {
-            if node == NIL {
-                NIL
-            } else {
-                tree.right(node)
+                tree.child(node, axis.index())
             }
         }
     }
 }
 
 #[inline]
-fn child_of(tree: &FlatTree, node: u32, dir: Dir) -> u32 {
-    match dir {
-        Dir::Left => tree.left(node),
-        Dir::Right => tree.right(node),
-    }
+fn child_of(tree: &FlatTree, node: u32, axis: ChildAxis) -> u32 {
+    tree.child(node, axis.index())
 }
 
 #[cfg(test)]
@@ -652,6 +639,51 @@ mod tests {
         // and both tiers succeed.
         let just_fits = left_chain(MAX_DEPTH - 1);
         let result = run_program(&compiled, &just_fits).expect("within the cap");
+        assert_eq!(result.returns, vec![0]);
+        assert_eq!(result.tree.field(result.tree.root(), "v"), 1);
+    }
+
+    #[test]
+    fn lowered_kary_traversal_honors_the_same_depth_boundary() {
+        // The k-ary generalization of the depth-cap pin: a ternary
+        // traversal lowered to a 4-segment worklist loop must refuse and
+        // accept exactly the same chain lengths as the binary form — the
+        // cap counts activations, not axes.
+        let program = parse_program(
+            r#"
+            arity 3;
+            fn Main(n) {
+                if (n == nil) { return 0; }
+                else {
+                    n.v = n.v + 1;
+                    x = Main(n.c0);
+                    y = Main(n.c1);
+                    z = Main(n.c2);
+                    return 0;
+                }
+            }
+            "#,
+        )
+        .expect("parse");
+        let verifier = retreet_verify::Verifier::builder().build();
+        let compiled = crate::compile_with_lowering(&verifier, &program).expect("compile");
+        assert!(
+            !compiled.lowerings.is_empty(),
+            "the ternary Main should run as a certified worklist loop"
+        );
+        let chain = |len: usize| {
+            let mut tree = ValueTree::single();
+            let mut node = tree.root();
+            for _ in 1..len {
+                node = tree.add_child(node, 0);
+            }
+            tree
+        };
+        assert!(matches!(
+            run_program(&compiled, &chain(MAX_DEPTH)),
+            Err(VmError::DepthExceeded)
+        ));
+        let result = run_program(&compiled, &chain(MAX_DEPTH - 1)).expect("within the cap");
         assert_eq!(result.returns, vec![0]);
         assert_eq!(result.tree.field(result.tree.root(), "v"), 1);
     }

@@ -6,44 +6,63 @@
 //! straight-line assignment sequences) combined with conditionals, sequential
 //! composition, and parallel composition.
 //!
-//! Per the simplifying assumptions in §2.1 of the paper, trees are binary with
-//! pointer fields `l` and `r`, functions only call themselves or others on
-//! `n`, `n.l`, or `n.r`, and boolean conditions are built from nil-checks and
-//! integer comparisons against zero.
+//! Per the simplifying assumptions in §2.1 of the paper, functions only call
+//! themselves or others on the current node or one of its direct children,
+//! and boolean conditions are built from nil-checks and integer comparisons
+//! against zero.  Trees are k-ary: every program declares a child arity
+//! (defaulting to the paper's binary trees), and the first two axes keep the
+//! paper's `l`/`r` surface spellings.
 
 use std::fmt;
 
 /// Identifiers (function names, parameter names, field names).
 pub type Ident = String;
 
-/// A child direction of a binary tree node.
+/// Largest child arity a program may declare (`arity K;` headers above this
+/// are rejected by the parser, and constructed programs should respect it so
+/// downstream structure-of-arrays layouts stay compact).
+pub const MAX_ARITY: u8 = 8;
+
+/// A child axis of a k-ary tree node.
+///
+/// Axes 0 and 1 are the paper's binary `l`/`r` pointers and keep those
+/// surface spellings; higher axes are spelled `c2`, `c3`, … (and `c0`/`c1`
+/// are accepted as aliases for `l`/`r`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum Dir {
-    /// The left child (`n.l`).
-    Left,
-    /// The right child (`n.r`).
-    Right,
-}
+pub struct ChildAxis(pub u8);
 
-impl Dir {
-    /// The field name used in surface syntax.
-    pub fn field_name(self) -> &'static str {
-        match self {
-            Dir::Left => "l",
-            Dir::Right => "r",
+impl ChildAxis {
+    /// Axis 0, the binary left child (`n.l`).
+    pub const LEFT: ChildAxis = ChildAxis(0);
+    /// Axis 1, the binary right child (`n.r`).
+    pub const RIGHT: ChildAxis = ChildAxis(1);
+
+    /// The axis as a `usize` index into child arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The canonical surface spelling: `l`, `r`, or `c{k}`.
+    pub fn field_name(self) -> String {
+        match self.0 {
+            0 => "l".to_string(),
+            1 => "r".to_string(),
+            k => format!("c{k}"),
         }
     }
 
-    /// The opposite direction.
-    pub fn flip(self) -> Dir {
-        match self {
-            Dir::Left => Dir::Right,
-            Dir::Right => Dir::Left,
-        }
+    /// The indexed surface spelling `c{k}`, valid for every axis.
+    pub fn indexed_name(self) -> String {
+        format!("c{}", self.0)
+    }
+
+    /// All axes below the given arity, in order.
+    pub fn up_to(arity: u8) -> impl Iterator<Item = ChildAxis> {
+        (0..arity).map(ChildAxis)
     }
 }
 
-impl fmt::Display for Dir {
+impl fmt::Display for ChildAxis {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.field_name())
     }
@@ -58,18 +77,26 @@ impl fmt::Display for Dir {
 pub enum NodeRef {
     /// The current node `n`.
     Cur,
-    /// A direct child `n.l` or `n.r`.
-    Child(Dir),
+    /// A direct child `n.l`, `n.r`, or `n.c{k}`.
+    Child(ChildAxis),
 }
 
 impl NodeRef {
-    /// All three node references, in a deterministic order.
+    /// The current node and both binary children, in a deterministic order
+    /// (the arity-2 special case of [`NodeRef::up_to`]).
     pub fn all() -> [NodeRef; 3] {
         [
             NodeRef::Cur,
-            NodeRef::Child(Dir::Left),
-            NodeRef::Child(Dir::Right),
+            NodeRef::Child(ChildAxis::LEFT),
+            NodeRef::Child(ChildAxis::RIGHT),
         ]
+    }
+
+    /// The current node and every child axis below the given arity.
+    pub fn up_to(arity: u8) -> Vec<NodeRef> {
+        std::iter::once(NodeRef::Cur)
+            .chain(ChildAxis::up_to(arity).map(NodeRef::Child))
+            .collect()
     }
 }
 
@@ -479,19 +506,70 @@ impl Func {
 }
 
 /// A Retreet program: a set of functions with `Main` as the entry point.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+///
+/// Every program carries a child *arity* — how many child axes its tree
+/// nodes have.  Arity is semantic and participates in equality and hashing;
+/// the spelling flag below records only how the source wrote child
+/// references and is deliberately excluded from both, so `n.l` and `n.c0`
+/// programs compare equal.
+#[derive(Debug, Clone, Eq)]
 pub struct Program {
     /// The functions, in declaration order.
     pub funcs: Vec<Func>,
+    /// Number of child axes per tree node (2 for the paper's binary trees).
+    pub arity: u8,
+    /// True when the source spelled child references as `c0`/`c1`/… rather
+    /// than `l`/`r`; the printer reproduces the source's spelling.  Not part
+    /// of program identity.
+    pub indexed_spelling: bool,
+}
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Self) -> bool {
+        self.funcs == other.funcs && self.arity == other.arity
+    }
+}
+
+impl std::hash::Hash for Program {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.funcs.hash(state);
+        self.arity.hash(state);
+    }
+}
+
+impl Default for Program {
+    fn default() -> Self {
+        Program::new(Vec::new())
+    }
 }
 
 /// Name of the entry-point function.
 pub const MAIN: &str = "Main";
 
 impl Program {
-    /// Builds a program from a list of functions.
+    /// Builds a binary-tree (arity 2) program from a list of functions.
     pub fn new(funcs: Vec<Func>) -> Self {
-        Program { funcs }
+        Program::with_arity(funcs, 2)
+    }
+
+    /// Builds a program with an explicit child arity.
+    pub fn with_arity(funcs: Vec<Func>, arity: u8) -> Self {
+        Program {
+            funcs,
+            arity,
+            indexed_spelling: false,
+        }
+    }
+
+    /// A copy of this program with the given functions, keeping the arity
+    /// and spelling.  Transformation passes use this so rebuilt programs
+    /// don't silently revert to binary trees.
+    pub fn with_funcs(&self, funcs: Vec<Func>) -> Self {
+        Program {
+            funcs,
+            arity: self.arity,
+            indexed_spelling: self.indexed_spelling,
+        }
     }
 
     /// Looks up a function by name.
@@ -520,10 +598,41 @@ mod tests {
     use super::*;
 
     #[test]
-    fn dir_helpers() {
-        assert_eq!(Dir::Left.field_name(), "l");
-        assert_eq!(Dir::Left.flip(), Dir::Right);
-        assert_eq!(format!("{}", NodeRef::Child(Dir::Right)), "n.r");
+    fn axis_helpers() {
+        assert_eq!(ChildAxis::LEFT.field_name(), "l");
+        assert_eq!(ChildAxis::RIGHT.field_name(), "r");
+        assert_eq!(ChildAxis(2).field_name(), "c2");
+        assert_eq!(ChildAxis::LEFT.indexed_name(), "c0");
+        assert_eq!(format!("{}", NodeRef::Child(ChildAxis::RIGHT)), "n.r");
+        assert_eq!(format!("{}", NodeRef::Child(ChildAxis(3))), "n.c3");
+        assert_eq!(NodeRef::up_to(3).len(), 4);
+        assert_eq!(NodeRef::up_to(2), NodeRef::all().to_vec());
+    }
+
+    #[test]
+    fn program_equality_ignores_spelling_but_not_arity() {
+        let funcs = vec![Func {
+            name: "Main".into(),
+            loc_param: "n".into(),
+            int_params: vec![],
+            num_returns: 0,
+            body: Stmt::skip(),
+        }];
+        let plain = Program::new(funcs.clone());
+        let mut indexed = Program::new(funcs.clone());
+        indexed.indexed_spelling = true;
+        assert_eq!(plain, indexed);
+        let ternary = Program::with_arity(funcs, 3);
+        assert_ne!(plain, ternary);
+
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |p: &Program| {
+            let mut h = DefaultHasher::new();
+            p.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&plain), hash(&indexed));
     }
 
     #[test]
@@ -612,7 +721,7 @@ mod tests {
         let call = Block::call(CallBlock {
             results: vec!["x".into()],
             callee: "F".into(),
-            target: NodeRef::Child(Dir::Left),
+            target: NodeRef::Child(ChildAxis::LEFT),
             args: vec![],
         })
         .with_label("s1");

@@ -700,6 +700,172 @@ fn Main(n) {
 }
 "#;
 
+/// A find-closest-point query over a left-balanced k-d tree (the classic
+/// spatial workload): every node stores a 2-d point (`x`, `y`).  Two
+/// passes — `ComputeDist` writes each node's Manhattan distance to the
+/// query point (conditional abs), `FoldMin` folds the subtree minimum into
+/// `best` — and `Main` runs them back to back, so the pair is a fusion and
+/// lowering candidate exactly like the §5 two-pass workloads.  The k-d row
+/// of the benchmark suite.
+pub const KDTREE_CLOSEST_SRC: &str = r#"
+fn ComputeDist(n, qx, qy) {
+    if (n == nil) {
+        return 0;
+    } else {
+        dx = n.x - qx;
+        if (0 - dx > 0) {
+            dx = 0 - dx;
+        }
+        dy = n.y - qy;
+        if (0 - dy > 0) {
+            dy = 0 - dy;
+        }
+        n.dist = dx + dy;
+        a = ComputeDist(n.l, qx, qy);
+        b = ComputeDist(n.r, qx, qy);
+        return 0;
+    }
+}
+fn FoldMin(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = FoldMin(n.l);
+        b = FoldMin(n.r);
+        n.best = n.dist;
+        if (n.l != nil) {
+            if (n.best - n.l.best > 0) {
+                n.best = n.l.best;
+            }
+        }
+        if (n.r != nil) {
+            if (n.best - n.r.best > 0) {
+                n.best = n.r.best;
+            }
+        }
+        return 0;
+    }
+}
+fn Main(n) {
+    u = ComputeDist(n, 3, 5);
+    v = FoldMin(n);
+    if (n != nil) {
+        return n.best;
+    }
+    return 0;
+}
+"#;
+
+/// A ternary subtree sum, sequential form: the first corpus family outside
+/// the binary fragment.  `Main` folds the three child subtrees one after
+/// another.
+pub const TERNARY_SUM_SEQUENTIAL_SRC: &str = r#"
+arity 3;
+fn Sum(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = Sum(n.c0);
+        b = Sum(n.c1);
+        c = Sum(n.c2);
+        n.total = a + b + c + n.v;
+        return a + b + c + n.v;
+    }
+}
+fn Main(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = Sum(n.c0);
+        b = Sum(n.c1);
+        c = Sum(n.c2);
+        return a + b + c;
+    }
+}
+"#;
+
+/// The parallel form of [`TERNARY_SUM_SEQUENTIAL_SRC`]: the three child
+/// folds run in a `Par`.  The branches traverse pairwise disjoint subtrees
+/// (distinct child axes), so the program is race-free and observationally
+/// equivalent to the sequential form.
+pub const TERNARY_SUM_PARALLEL_SRC: &str = r#"
+arity 3;
+fn Sum(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = Sum(n.c0);
+        b = Sum(n.c1);
+        c = Sum(n.c2);
+        n.total = a + b + c + n.v;
+        return a + b + c + n.v;
+    }
+}
+fn Main(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        {
+            a = Sum(n.c0);
+            ||
+            b = Sum(n.c1);
+            ||
+            c = Sum(n.c2);
+        }
+        return a + b + c;
+    }
+}
+"#;
+
+/// A racy ternary variant: two parallel branches fold the *same* middle
+/// subtree, a write-write race on every `total` field under `n.c1`.
+pub const TERNARY_SUM_RACY_SRC: &str = r#"
+arity 3;
+fn Sum(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        a = Sum(n.c0);
+        b = Sum(n.c1);
+        c = Sum(n.c2);
+        n.total = a + b + c + n.v;
+        return a + b + c + n.v;
+    }
+}
+fn Main(n) {
+    if (n == nil) {
+        return 0;
+    } else {
+        {
+            a = Sum(n.c1);
+            ||
+            b = Sum(n.c1);
+        }
+        return a + b;
+    }
+}
+"#;
+
+/// Parsed [`KDTREE_CLOSEST_SRC`].
+pub fn kdtree_closest() -> Program {
+    must_parse("kdtree_closest", KDTREE_CLOSEST_SRC)
+}
+
+/// Parsed [`TERNARY_SUM_SEQUENTIAL_SRC`].
+pub fn ternary_sum_sequential() -> Program {
+    must_parse("ternary_sum_sequential", TERNARY_SUM_SEQUENTIAL_SRC)
+}
+
+/// Parsed [`TERNARY_SUM_PARALLEL_SRC`].
+pub fn ternary_sum_parallel() -> Program {
+    must_parse("ternary_sum_parallel", TERNARY_SUM_PARALLEL_SRC)
+}
+
+/// Parsed [`TERNARY_SUM_RACY_SRC`].
+pub fn ternary_sum_racy() -> Program {
+    must_parse("ternary_sum_racy", TERNARY_SUM_RACY_SRC)
+}
+
 /// Parsed [`DISJOINT_PARALLEL_SRC`].
 pub fn disjoint_parallel() -> Program {
     must_parse("disjoint_parallel", DISJOINT_PARALLEL_SRC)
@@ -726,6 +892,10 @@ pub fn all() -> Vec<(&'static str, Program)> {
         ("cycletree_parallel", cycletree_parallel()),
         ("disjoint_parallel", disjoint_parallel()),
         ("overlapping_parallel", overlapping_parallel()),
+        ("kdtree_closest", kdtree_closest()),
+        ("ternary_sum_sequential", ternary_sum_sequential()),
+        ("ternary_sum_parallel", ternary_sum_parallel()),
+        ("ternary_sum_racy", ternary_sum_racy()),
     ]
 }
 
@@ -737,7 +907,7 @@ mod tests {
     #[test]
     fn every_corpus_program_parses_and_validates() {
         let entries = all();
-        assert_eq!(entries.len(), 13);
+        assert_eq!(entries.len(), 17);
         for (name, program) in entries {
             assert!(program.main().is_some(), "{name} has a Main");
             assert!(program.num_blocks() > 0, "{name} has blocks");
@@ -785,6 +955,19 @@ mod tests {
         for program in [size_counting_sequential(), cycletree_original()] {
             assert!(!has_parallelism(&program.main().unwrap().body));
         }
+    }
+
+    #[test]
+    fn ternary_corpus_entries_declare_arity_three() {
+        for program in [
+            ternary_sum_sequential(),
+            ternary_sum_parallel(),
+            ternary_sum_racy(),
+        ] {
+            assert_eq!(program.arity, 3);
+        }
+        // The k-d query is a binary workload: no arity header, arity 2.
+        assert_eq!(kdtree_closest().arity, 2);
     }
 
     #[test]

@@ -60,8 +60,8 @@ pub mod validate;
 pub mod wp;
 
 pub use ast::{
-    AExpr, Assign, BExpr, Block, BlockKind, CallBlock, Dir, Func, NodeRef, Program, Stmt,
-    StraightBlock,
+    AExpr, Assign, BExpr, Block, BlockKind, CallBlock, ChildAxis, Func, NodeRef, Program, Stmt,
+    StraightBlock, MAX_ARITY,
 };
 pub use blocks::{BlockId, BlockPath, BlockTable, PathElem, Relation};
 pub use parser::{parse_program, ParseError};

@@ -17,7 +17,8 @@
 use std::fmt;
 
 use crate::ast::{
-    AExpr, Assign, BExpr, Block, CallBlock, Dir, Func, Ident, NodeRef, Program, Stmt, StraightBlock,
+    AExpr, Assign, BExpr, Block, CallBlock, ChildAxis, Func, Ident, NodeRef, Program, Stmt,
+    StraightBlock, MAX_ARITY,
 };
 use crate::lexer::{lex, LexError, Spanned, Token};
 
@@ -54,6 +55,8 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
         tokens,
         pos: 0,
         loc_param: String::new(),
+        arity: 2,
+        saw_indexed: false,
     };
     parser.program()
 }
@@ -64,6 +67,11 @@ struct Parser {
     /// The `Loc` parameter of the function currently being parsed; needed to
     /// distinguish node references from integer variables.
     loc_param: Ident,
+    /// Child arity declared by the optional `arity K;` header (2 when
+    /// absent).  Child references are range-checked against it.
+    arity: u8,
+    /// True once any child reference used the indexed `c{k}` spelling.
+    saw_indexed: bool,
 }
 
 impl Parser {
@@ -134,11 +142,63 @@ impl Parser {
     // ---- program / function -------------------------------------------------
 
     fn program(&mut self) -> Result<Program, ParseError> {
+        // Optional `arity K;` header declaring the child arity of every tree
+        // node in the program.  Absent means the paper's binary trees.
+        if matches!(self.peek(), Some(Token::Ident(name)) if name == "arity") {
+            self.pos += 1;
+            let value = match self.bump() {
+                Some(Token::Int(v)) => v,
+                other => {
+                    let found = other
+                        .map(|t| t.to_string())
+                        .unwrap_or("end of input".into());
+                    return self.error(format!("expected an arity after `arity`, found `{found}`"));
+                }
+            };
+            if !(2..=MAX_ARITY as i64).contains(&value) {
+                return self.error(format!(
+                    "arity must be between 2 and {MAX_ARITY}, found {value}"
+                ));
+            }
+            self.expect(Token::Semi)?;
+            self.arity = value as u8;
+        }
         let mut funcs = Vec::new();
         while self.peek().is_some() {
             funcs.push(self.function()?);
         }
-        Ok(Program::new(funcs))
+        let mut program = Program::with_arity(funcs, self.arity);
+        program.indexed_spelling = self.saw_indexed;
+        Ok(program)
+    }
+
+    /// Classifies an identifier that followed `n.` as a child-axis spelling
+    /// (`l`, `r`, or `c{k}`) or a field name (`None`).  Child axes are
+    /// range-checked against the declared arity.
+    fn child_axis(&mut self, name: &str) -> Result<Option<ChildAxis>, ParseError> {
+        let axis = match name {
+            "l" => Some(ChildAxis::LEFT),
+            "r" => Some(ChildAxis::RIGHT),
+            _ => match name.strip_prefix('c') {
+                Some(digits)
+                    if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) =>
+                {
+                    self.saw_indexed = true;
+                    let index = digits.parse::<u64>().unwrap_or(u64::MAX).min(255);
+                    Some(ChildAxis(index as u8))
+                }
+                _ => None,
+            },
+        };
+        if let Some(axis) = axis {
+            if axis.0 >= self.arity {
+                return self.error(format!(
+                    "child axis `{name}` is out of range for arity {}",
+                    self.arity
+                ));
+            }
+        }
+        Ok(axis)
     }
 
     fn function(&mut self) -> Result<Func, ParseError> {
@@ -308,20 +368,20 @@ impl Parser {
             // `n.l = ...` are rejected (no tree mutation in Retreet).
             self.expect(Token::Dot)?;
             let second = self.expect_ident()?;
-            let (node, field) =
-                if (second == "l" || second == "r") && self.peek() == Some(&Token::Dot) {
+            let (node, field) = match self.child_axis(&second)? {
+                Some(axis) if self.peek() == Some(&Token::Dot) => {
                     self.pos += 1;
                     let field = self.expect_ident()?;
-                    let dir = if second == "l" { Dir::Left } else { Dir::Right };
-                    (NodeRef::Child(dir), field)
-                } else if second == "l" || second == "r" {
+                    (NodeRef::Child(axis), field)
+                }
+                Some(_) => {
                     return self.error(
                         "assignment to a pointer field (tree mutation) is not allowed in Retreet; \
                      simulate it with local flag fields as in §5 of the paper",
                     );
-                } else {
-                    (NodeRef::Cur, second)
-                };
+                }
+                None => (NodeRef::Cur, second),
+            };
             self.expect(Token::Assign)?;
             let value = self.aexpr()?;
             self.expect(Token::Semi)?;
@@ -368,7 +428,7 @@ impl Parser {
         }
     }
 
-    /// Parses `n`, `n.l`, or `n.r`.
+    /// Parses `n`, `n.l`, `n.r`, or `n.c{k}`.
     fn node_ref(&mut self) -> Result<NodeRef, ParseError> {
         let name = self.expect_ident()?;
         if name != self.loc_param {
@@ -378,11 +438,13 @@ impl Parser {
             ));
         }
         if self.eat(&Token::Dot) {
-            let dir = self.expect_ident()?;
-            match dir.as_str() {
-                "l" => Ok(NodeRef::Child(Dir::Left)),
-                "r" => Ok(NodeRef::Child(Dir::Right)),
-                other => self.error(format!("expected child `l` or `r`, found `{other}`")),
+            let child = self.expect_ident()?;
+            match self.child_axis(&child)? {
+                Some(axis) => Ok(NodeRef::Child(axis)),
+                None => self.error(format!(
+                    "expected a child (`l`, `r`, or `c0`..`c{}`), found `{child}`",
+                    self.arity - 1
+                )),
             }
         } else {
             Ok(NodeRef::Cur)
@@ -428,14 +490,13 @@ impl Parser {
                 if name == self.loc_param {
                     self.expect(Token::Dot)?;
                     let second = self.expect_ident()?;
-                    if (second == "l" || second == "r") && self.eat(&Token::Dot) {
-                        let field = self.expect_ident()?;
-                        let dir = if second == "l" { Dir::Left } else { Dir::Right };
-                        Ok(AExpr::Field(NodeRef::Child(dir), field))
-                    } else if second == "l" || second == "r" {
-                        self.error("a pointer value cannot be used in arithmetic")
-                    } else {
-                        Ok(AExpr::Field(NodeRef::Cur, second))
+                    match self.child_axis(&second)? {
+                        Some(axis) if self.eat(&Token::Dot) => {
+                            let field = self.expect_ident()?;
+                            Ok(AExpr::Field(NodeRef::Child(axis), field))
+                        }
+                        Some(_) => self.error("a pointer value cannot be used in arithmetic"),
+                        None => Ok(AExpr::Field(NodeRef::Cur, second)),
                     }
                 } else {
                     Ok(AExpr::Var(name))
@@ -756,7 +817,81 @@ mod tests {
         let prog = parse_program(src).unwrap();
         let call = prog.main().unwrap().blocks()[0].as_call().unwrap().clone();
         assert_eq!(call.callee, "F");
-        assert_eq!(call.target, NodeRef::Child(Dir::Left));
+        assert_eq!(call.target, NodeRef::Child(ChildAxis::LEFT));
         assert_eq!(call.args.len(), 1);
+    }
+
+    #[test]
+    fn indexed_spellings_alias_l_and_r() {
+        let plain = parse_program(
+            r#"
+            fn F(n) {
+                if (n == nil) { return 0; }
+                a = F(n.l);
+                b = F(n.r);
+                n.s = n.l.s + n.r.s;
+                return a + b;
+            }
+        "#,
+        )
+        .unwrap();
+        let indexed = parse_program(
+            r#"
+            fn F(n) {
+                if (n == nil) { return 0; }
+                a = F(n.c0);
+                b = F(n.c1);
+                n.s = n.c0.s + n.c1.s;
+                return a + b;
+            }
+        "#,
+        )
+        .unwrap();
+        // Same AST (spelling is excluded from equality)…
+        assert_eq!(plain, indexed);
+        // …but the spelling flag remembers which form the source used.
+        assert!(!plain.indexed_spelling);
+        assert!(indexed.indexed_spelling);
+    }
+
+    #[test]
+    fn arity_header_opens_higher_axes() {
+        let src = r#"
+            arity 3;
+            fn F(n) {
+                if (n == nil) { return 0; }
+                a = F(n.c0);
+                b = F(n.c1);
+                c = F(n.c2);
+                return a + b + c + n.v;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.arity, 3);
+        let targets: Vec<_> = prog
+            .func("F")
+            .unwrap()
+            .blocks()
+            .into_iter()
+            .filter_map(|b| b.as_call().map(|c| c.target))
+            .collect();
+        assert_eq!(
+            targets,
+            vec![
+                NodeRef::Child(ChildAxis(0)),
+                NodeRef::Child(ChildAxis(1)),
+                NodeRef::Child(ChildAxis(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn out_of_range_axis_is_rejected() {
+        let err = parse_program("fn F(n) { x = F(n.c2); return x; }").unwrap_err();
+        assert!(err.message.contains("out of range"), "{}", err.message);
+        let err = parse_program("arity 9;\nfn F(n) { return 0; }").unwrap_err();
+        assert!(err.message.contains("arity"), "{}", err.message);
+        let err = parse_program("arity 1;\nfn F(n) { return 0; }").unwrap_err();
+        assert!(err.message.contains("arity"), "{}", err.message);
     }
 }

@@ -6,30 +6,51 @@
 
 use std::fmt::Write as _;
 
-use crate::ast::{AExpr, Assign, BExpr, Block, BlockKind, Func, Program, Stmt};
+use crate::ast::{AExpr, Assign, BExpr, Block, BlockKind, Func, NodeRef, Program, Stmt};
 
 /// Renders a whole program.
+///
+/// Programs with a non-binary arity get an `arity K;` header, and child
+/// references are printed in the spelling the source used (`n.l`/`n.r` or
+/// the indexed `n.c0`/`n.c1`), so parse–print roundtrips are stable for
+/// both forms.
 pub fn print_program(program: &Program) -> String {
     let mut out = String::new();
+    if program.arity != 2 {
+        let _ = writeln!(out, "arity {};\n", program.arity);
+    }
+    let indexed = program.indexed_spelling;
     for (i, func) in program.funcs.iter().enumerate() {
         if i > 0 {
             out.push('\n');
         }
-        print_func(func, &mut out);
+        print_func_spelled(func, indexed, &mut out);
     }
     out
 }
 
-/// Renders a single function.
+/// Renders a single function in the canonical `l`/`r` spelling.
 pub fn print_func(func: &Func, out: &mut String) {
+    print_func_spelled(func, false, out);
+}
+
+fn print_func_spelled(func: &Func, indexed: bool, out: &mut String) {
     let params = if func.int_params.is_empty() {
         func.loc_param.clone()
     } else {
         format!("{}, {}", func.loc_param, func.int_params.join(", "))
     };
     let _ = writeln!(out, "fn {}({}) {{", func.name, params);
-    print_stmt(&func.body, 1, out);
+    print_stmt(&func.body, 1, indexed, out);
     out.push_str("}\n");
+}
+
+fn node_str(node: &NodeRef, indexed: bool) -> String {
+    match node {
+        NodeRef::Cur => "n".to_string(),
+        NodeRef::Child(axis) if indexed => format!("n.{}", axis.indexed_name()),
+        NodeRef::Child(axis) => format!("n.{}", axis.field_name()),
+    }
 }
 
 fn indent(level: usize, out: &mut String) {
@@ -38,27 +59,27 @@ fn indent(level: usize, out: &mut String) {
     }
 }
 
-fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
+fn print_stmt(stmt: &Stmt, level: usize, indexed: bool, out: &mut String) {
     match stmt {
-        Stmt::Block(block) => print_block(block, level, out),
+        Stmt::Block(block) => print_block(block, level, indexed, out),
         Stmt::If(cond, then_branch, else_branch) => {
             indent(level, out);
-            let _ = writeln!(out, "if ({}) {{", print_cond(cond));
-            print_stmt(then_branch, level + 1, out);
+            let _ = writeln!(out, "if ({}) {{", print_cond(cond, indexed));
+            print_stmt(then_branch, level + 1, indexed, out);
             if matches!(else_branch.as_ref(), Stmt::Seq(items) if items.is_empty()) {
                 indent(level, out);
                 out.push_str("}\n");
             } else {
                 indent(level, out);
                 out.push_str("} else {\n");
-                print_stmt(else_branch, level + 1, out);
+                print_stmt(else_branch, level + 1, indexed, out);
                 indent(level, out);
                 out.push_str("}\n");
             }
         }
         Stmt::Seq(items) => {
             for item in items {
-                print_stmt(item, level, out);
+                print_stmt(item, level, indexed, out);
             }
         }
         Stmt::Par(items) => {
@@ -69,7 +90,7 @@ fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
                     indent(level, out);
                     out.push_str("||\n");
                 }
-                print_stmt(item, level + 1, out);
+                print_stmt(item, level + 1, indexed, out);
             }
             indent(level, out);
             out.push_str("}\n");
@@ -77,14 +98,14 @@ fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
     }
 }
 
-fn print_block(block: &Block, level: usize, out: &mut String) {
+fn print_block(block: &Block, level: usize, indexed: bool, out: &mut String) {
     match &block.kind {
         BlockKind::Call(call) => {
             indent(level, out);
             let results = call.results.join(", ");
-            let mut args = format!("{}", call.target);
+            let mut args = node_str(&call.target, indexed);
             for arg in &call.args {
-                let _ = write!(args, ", {}", print_aexpr(arg));
+                let _ = write!(args, ", {}", print_aexpr(arg, indexed));
             }
             if results.is_empty() {
                 // The grammar requires at least one result variable; use a
@@ -99,10 +120,15 @@ fn print_block(block: &Block, level: usize, out: &mut String) {
                 indent(level, out);
                 match assign {
                     Assign::SetField(node, field, value) => {
-                        let _ = writeln!(out, "{node}.{field} = {};", print_aexpr(value));
+                        let _ = writeln!(
+                            out,
+                            "{}.{field} = {};",
+                            node_str(node, indexed),
+                            print_aexpr(value, indexed)
+                        );
                     }
                     Assign::SetVar(var, value) => {
-                        let _ = writeln!(out, "{var} = {};", print_aexpr(value));
+                        let _ = writeln!(out, "{var} = {};", print_aexpr(value, indexed));
                     }
                 }
             }
@@ -111,7 +137,7 @@ fn print_block(block: &Block, level: usize, out: &mut String) {
                 if ret.is_empty() {
                     out.push_str("return;\n");
                 } else {
-                    let values: Vec<String> = ret.iter().map(print_aexpr).collect();
+                    let values: Vec<String> = ret.iter().map(|v| print_aexpr(v, indexed)).collect();
                     let _ = writeln!(out, "return {};", values.join(", "));
                 }
             }
@@ -119,23 +145,35 @@ fn print_block(block: &Block, level: usize, out: &mut String) {
     }
 }
 
-fn print_aexpr(expr: &AExpr) -> String {
+fn print_aexpr(expr: &AExpr, indexed: bool) -> String {
     match expr {
         AExpr::Const(c) => format!("{c}"),
         AExpr::Var(v) => v.clone(),
-        AExpr::Field(node, field) => format!("{node}.{field}"),
-        AExpr::Add(a, b) => format!("({} + {})", print_aexpr(a), print_aexpr(b)),
-        AExpr::Sub(a, b) => format!("({} - {})", print_aexpr(a), print_aexpr(b)),
+        AExpr::Field(node, field) => format!("{}.{field}", node_str(node, indexed)),
+        AExpr::Add(a, b) => format!(
+            "({} + {})",
+            print_aexpr(a, indexed),
+            print_aexpr(b, indexed)
+        ),
+        AExpr::Sub(a, b) => format!(
+            "({} - {})",
+            print_aexpr(a, indexed),
+            print_aexpr(b, indexed)
+        ),
     }
 }
 
-fn print_cond(cond: &BExpr) -> String {
+fn print_cond(cond: &BExpr, indexed: bool) -> String {
     match cond {
         BExpr::True => "true".to_string(),
-        BExpr::IsNil(node) => format!("{node} == nil"),
-        BExpr::Gt(expr) => format!("{} > 0", print_aexpr(expr)),
-        BExpr::Not(inner) => format!("!({})", print_cond(inner)),
-        BExpr::And(a, b) => format!("({}) && ({})", print_cond(a), print_cond(b)),
+        BExpr::IsNil(node) => format!("{} == nil", node_str(node, indexed)),
+        BExpr::Gt(expr) => format!("{} > 0", print_aexpr(expr, indexed)),
+        BExpr::Not(inner) => format!("!({})", print_cond(inner, indexed)),
+        BExpr::And(a, b) => format!(
+            "({}) && ({})",
+            print_cond(a, indexed),
+            print_cond(b, indexed)
+        ),
     }
 }
 
@@ -215,5 +253,48 @@ mod tests {
         let once = print_program(&prog);
         let twice = print_program(&parse_program(&once).unwrap());
         assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn indexed_spelling_prints_back_as_written() {
+        let src = r#"
+            fn F(n) {
+                if (n == nil) { return 0; }
+                a = F(n.c0);
+                b = F(n.c1);
+                n.s = n.c0.s + n.c1.s;
+                return a + b;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let printed = print_program(&prog);
+        assert!(printed.contains("n.c0"), "{printed}");
+        assert!(printed.contains("n.c1"), "{printed}");
+        assert!(!printed.contains("n.l"), "{printed}");
+        // Roundtrip is a fixpoint in the indexed spelling too.
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(prog, reparsed);
+        assert_eq!(printed, print_program(&reparsed));
+    }
+
+    #[test]
+    fn arity_header_roundtrips() {
+        let src = r#"
+            arity 3;
+            fn Sum(n) {
+                if (n == nil) { return 0; }
+                a = Sum(n.c0);
+                b = Sum(n.c1);
+                c = Sum(n.c2);
+                return a + b + c + n.v;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let printed = print_program(&prog);
+        assert!(printed.starts_with("arity 3;"), "{printed}");
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(prog, reparsed);
+        assert_eq!(reparsed.arity, 3);
+        assert_eq!(printed, print_program(&reparsed));
     }
 }

@@ -309,7 +309,7 @@ pub fn normalize_func(func: &Func) -> Func {
 /// `parse_program(&print_program(&p)) == Ok(p)` structurally (provided every
 /// call binds at least one result, which the grammar requires anyway).
 pub fn normalize_program(program: &Program) -> Program {
-    Program::new(program.funcs.iter().map(normalize_func).collect())
+    program.with_funcs(program.funcs.iter().map(normalize_func).collect())
 }
 
 /// Drops every function unreachable from `Main` (call-graph reachability),
@@ -330,7 +330,7 @@ pub fn retain_reachable(program: &Program) -> Program {
             }
         }
     }
-    Program::new(
+    program.with_funcs(
         program
             .funcs
             .iter()
@@ -703,7 +703,7 @@ mod tests {
             straight.assigns[0],
             Assign::SetVar(
                 "x".into(),
-                AExpr::Field(NodeRef::Child(crate::ast::Dir::Left), "v".into())
+                AExpr::Field(NodeRef::Child(crate::ast::ChildAxis::LEFT), "v".into())
             )
         );
     }

@@ -150,7 +150,7 @@ fn add_cond_reads(cond: &BExpr, sets: &mut RwSets) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::Dir;
+    use crate::ast::ChildAxis;
     use crate::parser::parse_program;
 
     fn table(src: &str) -> BlockTable {
@@ -171,7 +171,7 @@ mod tests {
         let sets = rw_sets_of_block(&table, BlockId(0));
         assert!(sets
             .reads
-            .contains(&Access::Field(NodeRef::Child(Dir::Left), "v".into())));
+            .contains(&Access::Field(NodeRef::Child(ChildAxis::LEFT), "v".into())));
         assert!(sets
             .reads
             .contains(&Access::Field(NodeRef::Cur, "v".into())));

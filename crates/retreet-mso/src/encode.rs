@@ -14,15 +14,21 @@ use crate::compile::{compile, is_valid};
 use crate::formula::Formula;
 use crate::tree::LabeledTree;
 
-/// A step down from the invocation node: the node itself or one child.
+/// A step down from the invocation node: the node itself or one child axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ChildStep {
     /// The invocation node itself (`n`).
     Here,
-    /// Its left child (`n.l`).
-    Left,
-    /// Its right child (`n.r`).
-    Right,
+    /// Its child along the given axis (`n.l` is axis 0, `n.r` axis 1, and
+    /// `n.c<k>` axis `k` for higher arities).
+    Child(u8),
+}
+
+impl ChildStep {
+    /// The left child of a binary node (axis 0).
+    pub const LEFT: ChildStep = ChildStep::Child(0);
+    /// The right child of a binary node (axis 1).
+    pub const RIGHT: ChildStep = ChildStep::Child(1);
 }
 
 /// The part of the tree a block (running at some invocation node) may touch.
@@ -37,26 +43,47 @@ pub enum Region {
 }
 
 /// Structural constraints the path to a block imposes on the invocation
-/// node: which children must exist or be absent (`IsNil` guards).
+/// node: which children must exist or be absent (`IsNil` guards), one bit
+/// per child axis (bit `k` speaks about axis `k`; arities above
+/// [`MAX_CONSTRAINT_AXES`] are unsupported by the surface language).
 ///
-/// A constraint with both `no_*` and `has_*` set for the same side is
+/// A constraint with both the `no` and `has` bit set for the same axis is
 /// contradictory — the guarded block is structurally unreachable.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StructConstraint {
-    /// `n.l == nil` must hold.
-    pub no_left: bool,
-    /// `n.l != nil` must hold.
-    pub has_left: bool,
-    /// `n.r == nil` must hold.
-    pub no_right: bool,
-    /// `n.r != nil` must hold.
-    pub has_right: bool,
+    /// Axes whose child must be nil (`n.c<k> == nil` must hold).
+    pub no_mask: u8,
+    /// Axes whose child must exist (`n.c<k> != nil` must hold).
+    pub has_mask: u8,
 }
 
+/// Number of child axes a [`StructConstraint`] can speak about.
+pub const MAX_CONSTRAINT_AXES: u8 = 8;
+
 impl StructConstraint {
+    /// Requires the child along `axis` to be nil.
+    pub fn require_no(&mut self, axis: u8) {
+        self.no_mask |= 1 << axis;
+    }
+
+    /// Requires the child along `axis` to exist.
+    pub fn require_has(&mut self, axis: u8) {
+        self.has_mask |= 1 << axis;
+    }
+
+    /// True when the child along `axis` must be nil.
+    pub fn no(&self, axis: u8) -> bool {
+        self.no_mask & (1 << axis) != 0
+    }
+
+    /// True when the child along `axis` must exist.
+    pub fn has(&self, axis: u8) -> bool {
+        self.has_mask & (1 << axis) != 0
+    }
+
     /// True when the constraint can never hold on any tree node.
     pub fn contradictory(&self) -> bool {
-        (self.no_left && self.has_left) || (self.no_right && self.has_right)
+        self.no_mask & self.has_mask != 0
     }
 }
 
@@ -87,50 +114,114 @@ impl OverlapVerdict {
     }
 }
 
-fn membership(v: &str, w: &str, region: Region, fresh: &mut u32) -> Formula {
+/// Builds the slotted first-child/next-sibling chain for `axis` under `v`
+/// and applies `tail` to the final slot: `∃s0..s_axis. Left(v, s0) ∧
+/// Right(s0, s1) ∧ … ∧ tail(s_axis)`.
+///
+/// This is how arities above 2 are binarized: each k-ary node's children
+/// hang off a right-spine of *slot* nodes, child `j` being the left child
+/// of slot `j`.  The formulas stay in the binary NFTA algebra, and since
+/// the binary universe contains every slotted image of every k-ary tree, an
+/// empty conflict automaton still proves k-ary disjointness.
+fn slotted(
+    v: &str,
+    axis: u8,
+    fresh: &mut u32,
+    tail: impl FnOnce(&str, &mut u32) -> Formula,
+) -> Formula {
+    let fo = |name: &str| crate::formula::FoVar::new(name);
+    let slots: Vec<String> = (0..=axis)
+        .map(|_| {
+            let s = format!("s{fresh}");
+            *fresh += 1;
+            s
+        })
+        .collect();
+    let mut parts = vec![Formula::Left(fo(v), fo(&slots[0]))];
+    for j in 1..slots.len() {
+        parts.push(Formula::Right(fo(&slots[j - 1]), fo(&slots[j])));
+    }
+    parts.push(tail(slots.last().expect("at least one slot"), fresh));
+    let mut body = Formula::conj(parts);
+    for s in slots.into_iter().rev() {
+        body = Formula::exists_fo(s, body);
+    }
+    body
+}
+
+fn membership(v: &str, w: &str, region: Region, arity: u8, fresh: &mut u32) -> Formula {
     let fo = |name: &str| crate::formula::FoVar::new(name);
     match region {
         Region::At(ChildStep::Here) => Formula::Eq(fo(v), fo(w)),
-        Region::At(ChildStep::Left) => Formula::Left(fo(v), fo(w)),
-        Region::At(ChildStep::Right) => Formula::Right(fo(v), fo(w)),
+        Region::At(ChildStep::Child(0)) if arity <= 2 => Formula::Left(fo(v), fo(w)),
+        Region::At(ChildStep::Child(_)) if arity <= 2 => Formula::Right(fo(v), fo(w)),
+        Region::At(ChildStep::Child(axis)) => {
+            let w = w.to_string();
+            slotted(v, axis, fresh, move |slot, _| {
+                Formula::Left(
+                    crate::formula::FoVar::new(slot),
+                    crate::formula::FoVar::new(&w),
+                )
+            })
+        }
         Region::Subtree(ChildStep::Here) => Formula::Reach(fo(v), fo(w)),
-        Region::Subtree(step @ (ChildStep::Left | ChildStep::Right)) => {
+        Region::Subtree(ChildStep::Child(axis)) if arity <= 2 => {
             let c = format!("c{fresh}");
             *fresh += 1;
-            let edge = match step {
-                ChildStep::Left => Formula::Left(fo(v), fo(&c)),
-                _ => Formula::Right(fo(v), fo(&c)),
+            let edge = if axis == 0 {
+                Formula::Left(fo(v), fo(&c))
+            } else {
+                Formula::Right(fo(v), fo(&c))
             };
             Formula::exists_fo(c.clone(), Formula::and(edge, Formula::Reach(fo(&c), fo(w))))
+        }
+        Region::Subtree(ChildStep::Child(axis)) => {
+            let w = w.to_string();
+            slotted(v, axis, fresh, move |slot, fresh| {
+                let fo = |name: &str| crate::formula::FoVar::new(name);
+                let c = format!("c{fresh}");
+                *fresh += 1;
+                Formula::exists_fo(
+                    c.clone(),
+                    Formula::and(
+                        Formula::Left(fo(slot), fo(&c)),
+                        Formula::Reach(fo(&c), fo(&w)),
+                    ),
+                )
+            })
         }
     }
 }
 
-fn child_exists(v: &str, left: bool, fresh: &mut u32) -> Formula {
+fn child_exists(v: &str, axis: u8, arity: u8, fresh: &mut u32) -> Formula {
     let fo = |name: &str| crate::formula::FoVar::new(name);
-    let g = format!("g{fresh}");
-    *fresh += 1;
-    let edge = if left {
-        Formula::Left(fo(v), fo(&g))
-    } else {
-        Formula::Right(fo(v), fo(&g))
-    };
-    Formula::exists_fo(g, edge)
+    if arity <= 2 {
+        let g = format!("g{fresh}");
+        *fresh += 1;
+        let edge = if axis == 0 {
+            Formula::Left(fo(v), fo(&g))
+        } else {
+            Formula::Right(fo(v), fo(&g))
+        };
+        return Formula::exists_fo(g, edge);
+    }
+    slotted(v, axis, fresh, |slot, fresh| {
+        let fo = |name: &str| crate::formula::FoVar::new(name);
+        let g = format!("g{fresh}");
+        *fresh += 1;
+        Formula::exists_fo(g.clone(), Formula::Left(fo(slot), fo(&g)))
+    })
 }
 
-fn guard_constraint(v: &str, guard: &StructConstraint, fresh: &mut u32) -> Formula {
+fn guard_constraint(v: &str, guard: &StructConstraint, arity: u8, fresh: &mut u32) -> Formula {
     let mut parts = Vec::new();
-    if guard.has_left {
-        parts.push(child_exists(v, true, fresh));
-    }
-    if guard.no_left {
-        parts.push(Formula::not(child_exists(v, true, fresh)));
-    }
-    if guard.has_right {
-        parts.push(child_exists(v, false, fresh));
-    }
-    if guard.no_right {
-        parts.push(Formula::not(child_exists(v, false, fresh)));
+    for axis in 0..arity.max(2) {
+        if guard.has(axis) {
+            parts.push(child_exists(v, axis, arity, fresh));
+        }
+        if guard.no(axis) {
+            parts.push(Formula::not(child_exists(v, axis, arity, fresh)));
+        }
     }
     Formula::conj(parts)
 }
@@ -138,12 +229,20 @@ fn guard_constraint(v: &str, guard: &StructConstraint, fresh: &mut u32) -> Formu
 /// The closed formula "some tree has an invocation node `v` satisfying both
 /// guards and a node `w` inside both regions".
 pub fn overlap_formula(a: &ConflictSide, b: &ConflictSide) -> Formula {
+    overlap_formula_k(a, b, 2)
+}
+
+/// [`overlap_formula`] generalized to k-ary programs: axes beyond the
+/// binary pair are encoded through the slotted first-child/next-sibling
+/// binarization (see `slotted`).  Arity 2 produces exactly the binary
+/// formula.
+pub fn overlap_formula_k(a: &ConflictSide, b: &ConflictSide, arity: u8) -> Formula {
     let mut fresh = 0;
     let body = Formula::conj([
-        guard_constraint("v", &a.guard, &mut fresh),
-        guard_constraint("v", &b.guard, &mut fresh),
-        membership("v", "w", a.region, &mut fresh),
-        membership("v", "w", b.region, &mut fresh),
+        guard_constraint("v", &a.guard, arity, &mut fresh),
+        guard_constraint("v", &b.guard, arity, &mut fresh),
+        membership("v", "w", a.region, arity, &mut fresh),
+        membership("v", "w", b.region, arity, &mut fresh),
     ]);
     Formula::exists_fo("v", Formula::exists_fo("w", body))
 }
@@ -153,19 +252,92 @@ pub fn overlap_formula(a: &ConflictSide, b: &ConflictSide) -> Formula {
 /// Compile failures (which the small fixed-shape formulas built here do not
 /// trigger in practice) degrade soundly to "may overlap" with no example.
 pub fn check_overlap(a: &ConflictSide, b: &ConflictSide) -> OverlapVerdict {
+    check_overlap_k(a, b, 2)
+}
+
+/// [`check_overlap`] for a k-ary program.  `Disjoint` remains sound for
+/// every k-ary tree (the binary universe contains every slotted image); an
+/// overlap at arity above 2 carries no example, because the accepted tree
+/// lives in the slotted binary encoding rather than the k-ary world.
+pub fn check_overlap_k(a: &ConflictSide, b: &ConflictSide, arity: u8) -> OverlapVerdict {
     if a.guard.contradictory() || b.guard.contradictory() {
         return OverlapVerdict::Disjoint;
     }
-    let formula = overlap_formula(a, b);
+    if arity > 2 {
+        // The slotted binarization is sound but its existential slot chains
+        // make the NFTA compilation blow up; the region language is small
+        // enough to decide exactly by case analysis instead.
+        return check_overlap_direct(a, b);
+    }
+    let formula = overlap_formula_k(a, b, arity);
     match compile(&formula) {
         Ok(compiled) => {
             if compiled.automaton.is_empty() {
                 OverlapVerdict::Disjoint
-            } else {
+            } else if arity <= 2 {
                 OverlapVerdict::Overlap(compiled.automaton.example_tree())
+            } else {
+                OverlapVerdict::Overlap(None)
             }
         }
         Err(_) => OverlapVerdict::Overlap(None),
+    }
+}
+
+/// Exact disjointness for guarded single-step regions, decided by case
+/// analysis instead of automata.
+///
+/// Both guards constrain the *same* invocation node, so their masks merge;
+/// a merged contradiction, or a region hanging off a child the merged guard
+/// forbids, makes contact impossible.  Otherwise the regions are a node
+/// (`At`) or a full subtree (`Subtree`) at most one step below `v`, and on
+/// trees (acyclic, references only point downward):
+///
+/// * `At(x)` meets `At(y)` iff `x == y` — distinct steps land on distinct
+///   nodes.
+/// * `Subtree(Here)` contains `v` and every descendant, so it meets
+///   everything still possible under the guard.
+/// * `Subtree(Child(i))` meets `At(Child(j))` or `Subtree(Child(j))` iff
+///   `i == j` — subtrees under distinct children are disjoint — and never
+///   meets `At(Here)`, which lies strictly above it.
+///
+/// Any surviving combination is witnessed by a node whose children exist
+/// exactly where the merged guard and the two steps demand, so "overlap"
+/// answers are never spurious.
+fn check_overlap_direct(a: &ConflictSide, b: &ConflictSide) -> OverlapVerdict {
+    let no = a.guard.no_mask | b.guard.no_mask;
+    let has = a.guard.has_mask | b.guard.has_mask;
+    if no & has != 0 {
+        return OverlapVerdict::Disjoint;
+    }
+    let step_of = |region: Region| match region {
+        Region::At(step) | Region::Subtree(step) => step,
+    };
+    let forbidden = |step: ChildStep| match step {
+        ChildStep::Here => false,
+        ChildStep::Child(axis) => no & (1u8 << axis) != 0,
+    };
+    if forbidden(step_of(a.region)) || forbidden(step_of(b.region)) {
+        return OverlapVerdict::Disjoint;
+    }
+    let overlap = match (a.region, b.region) {
+        (Region::At(x), Region::At(y)) => x == y,
+        (Region::Subtree(x), Region::Subtree(y)) => match (x, y) {
+            (ChildStep::Here, _) | (_, ChildStep::Here) => true,
+            (ChildStep::Child(i), ChildStep::Child(j)) => i == j,
+        },
+        (Region::At(at), Region::Subtree(sub)) | (Region::Subtree(sub), Region::At(at)) => {
+            match (at, sub) {
+                (_, ChildStep::Here) => true,
+                (ChildStep::Here, ChildStep::Child(_)) => false,
+                (ChildStep::Child(i), ChildStep::Child(j)) => i == j,
+            }
+        }
+    };
+    if overlap {
+        OverlapVerdict::Overlap(None)
+    } else {
+        OverlapVerdict::Disjoint
     }
 }
 
@@ -186,16 +358,17 @@ pub enum GuardExpr {
     And(Box<GuardExpr>, Box<GuardExpr>),
 }
 
-fn guard_expr_formula(v: &str, expr: &GuardExpr, fresh: &mut u32) -> Formula {
+fn guard_expr_formula(v: &str, expr: &GuardExpr, arity: u8, fresh: &mut u32) -> Formula {
     match expr {
         GuardExpr::True => Formula::True,
         GuardExpr::NilAt(ChildStep::Here) => Formula::False,
-        GuardExpr::NilAt(ChildStep::Left) => Formula::not(child_exists(v, true, fresh)),
-        GuardExpr::NilAt(ChildStep::Right) => Formula::not(child_exists(v, false, fresh)),
-        GuardExpr::Not(inner) => Formula::not(guard_expr_formula(v, inner, fresh)),
+        GuardExpr::NilAt(ChildStep::Child(axis)) => {
+            Formula::not(child_exists(v, *axis, arity, fresh))
+        }
+        GuardExpr::Not(inner) => Formula::not(guard_expr_formula(v, inner, arity, fresh)),
         GuardExpr::And(a, b) => Formula::and(
-            guard_expr_formula(v, a, fresh),
-            guard_expr_formula(v, b, fresh),
+            guard_expr_formula(v, a, arity, fresh),
+            guard_expr_formula(v, b, arity, fresh),
         ),
     }
 }
@@ -207,9 +380,34 @@ fn guard_expr_formula(v: &str, expr: &GuardExpr, fresh: &mut u32) -> Formula {
 /// Returns `false` (not equivalent) when compilation fails, which keeps
 /// callers sound: they fall back to a stricter syntactic comparison.
 pub fn guards_equivalent(a: &GuardExpr, b: &GuardExpr) -> bool {
+    guards_equivalent_k(a, b, 2)
+}
+
+/// Evaluates a structural guard at a node whose nil children are exactly
+/// the set bits of `nil_mask` (bit `k` ⇒ the child along axis `k` is nil).
+fn guard_expr_eval(expr: &GuardExpr, nil_mask: u8) -> bool {
+    match expr {
+        GuardExpr::True => true,
+        GuardExpr::NilAt(ChildStep::Here) => false,
+        GuardExpr::NilAt(ChildStep::Child(axis)) => nil_mask & (1u8 << axis) != 0,
+        GuardExpr::Not(inner) => !guard_expr_eval(inner, nil_mask),
+        GuardExpr::And(a, b) => guard_expr_eval(a, nil_mask) && guard_expr_eval(b, nil_mask),
+    }
+}
+
+/// [`guards_equivalent`] for guards of a k-ary program.  Arity 2 is the
+/// binary automata check; above 2 a guard only observes which children are
+/// nil and every nil pattern is realized by some tree node, so validity of
+/// `a ↔ b` reduces to agreement on all `2^k` child-nil assignments.
+pub fn guards_equivalent_k(a: &GuardExpr, b: &GuardExpr, arity: u8) -> bool {
+    if arity > 2 {
+        let axes = arity.min(MAX_CONSTRAINT_AXES);
+        return (0..1u16 << axes)
+            .all(|mask| guard_expr_eval(a, mask as u8) == guard_expr_eval(b, mask as u8));
+    }
     let mut fresh = 0;
-    let lhs = guard_expr_formula("v", a, &mut fresh);
-    let rhs = guard_expr_formula("v", b, &mut fresh);
+    let lhs = guard_expr_formula("v", a, arity, &mut fresh);
+    let rhs = guard_expr_formula("v", b, arity, &mut fresh);
     let formula = Formula::forall_fo("v", Formula::iff(lhs, rhs));
     is_valid(&formula).unwrap_or(false)
 }
@@ -227,8 +425,8 @@ mod tests {
 
     #[test]
     fn sibling_subtrees_are_disjoint() {
-        let left = side(Region::Subtree(ChildStep::Left));
-        let right = side(Region::Subtree(ChildStep::Right));
+        let left = side(Region::Subtree(ChildStep::LEFT));
+        let right = side(Region::Subtree(ChildStep::RIGHT));
         assert!(check_overlap(&left, &right).is_disjoint());
     }
 
@@ -247,11 +445,11 @@ mod tests {
 
     #[test]
     fn child_access_misses_the_other_subtree() {
-        let at_left = side(Region::At(ChildStep::Left));
-        let right_subtree = side(Region::Subtree(ChildStep::Right));
+        let at_left = side(Region::At(ChildStep::LEFT));
+        let right_subtree = side(Region::Subtree(ChildStep::RIGHT));
         assert!(check_overlap(&at_left, &right_subtree).is_disjoint());
         // But the left child is inside the left subtree.
-        let left_subtree = side(Region::Subtree(ChildStep::Left));
+        let left_subtree = side(Region::Subtree(ChildStep::LEFT));
         assert!(!check_overlap(&at_left, &left_subtree).is_disjoint());
     }
 
@@ -260,9 +458,8 @@ mod tests {
         let impossible = ConflictSide {
             region: Region::At(ChildStep::Here),
             guard: StructConstraint {
-                no_left: true,
-                has_left: true,
-                ..StructConstraint::default()
+                no_mask: 0b01,
+                has_mask: 0b01,
             },
         };
         let any = side(Region::Subtree(ChildStep::Here));
@@ -276,14 +473,14 @@ mod tests {
         let with_left = ConflictSide {
             region: Region::At(ChildStep::Here),
             guard: StructConstraint {
-                has_left: true,
+                has_mask: 0b01,
                 ..StructConstraint::default()
             },
         };
         let without_left = ConflictSide {
             region: Region::At(ChildStep::Here),
             guard: StructConstraint {
-                no_left: true,
+                no_mask: 0b01,
                 ..StructConstraint::default()
             },
         };
@@ -292,8 +489,125 @@ mod tests {
     }
 
     #[test]
+    fn the_direct_decision_agrees_with_the_automata_on_binary_regions() {
+        // The arity > 2 fast path must be the same relation the NFTA
+        // pipeline decides; cross-check every region pair under every small
+        // guard at arity 2, where both deciders apply.
+        let regions = [
+            Region::At(ChildStep::Here),
+            Region::At(ChildStep::LEFT),
+            Region::At(ChildStep::RIGHT),
+            Region::Subtree(ChildStep::Here),
+            Region::Subtree(ChildStep::LEFT),
+            Region::Subtree(ChildStep::RIGHT),
+        ];
+        for &ra in &regions {
+            for &rb in &regions {
+                let a = side(ra);
+                let b = side(rb);
+                assert_eq!(
+                    check_overlap_direct(&a, &b).is_disjoint(),
+                    check_overlap_k(&a, &b, 2).is_disjoint(),
+                    "deciders disagree on {a:?} vs {b:?}"
+                );
+            }
+        }
+        // Guarded spot checks (the full guard product stacks enough
+        // quantifiers to stall the debug-mode NFTA pipeline): incompatible
+        // requirements, a region under a forbidden child, and a guard that
+        // merely requires the touched child.
+        let guarded = [
+            (
+                ConflictSide {
+                    region: Region::At(ChildStep::Here),
+                    guard: StructConstraint {
+                        has_mask: 0b01,
+                        ..StructConstraint::default()
+                    },
+                },
+                ConflictSide {
+                    region: Region::At(ChildStep::Here),
+                    guard: StructConstraint {
+                        no_mask: 0b01,
+                        ..StructConstraint::default()
+                    },
+                },
+            ),
+            (
+                ConflictSide {
+                    region: Region::At(ChildStep::LEFT),
+                    guard: StructConstraint {
+                        no_mask: 0b01,
+                        ..StructConstraint::default()
+                    },
+                },
+                side(Region::Subtree(ChildStep::Here)),
+            ),
+            (
+                ConflictSide {
+                    region: Region::Subtree(ChildStep::LEFT),
+                    guard: StructConstraint {
+                        has_mask: 0b01,
+                        ..StructConstraint::default()
+                    },
+                },
+                side(Region::At(ChildStep::LEFT)),
+            ),
+        ];
+        for (a, b) in guarded {
+            assert_eq!(
+                check_overlap_direct(&a, &b).is_disjoint(),
+                check_overlap_k(&a, &b, 2).is_disjoint(),
+                "deciders disagree on {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ternary_overlap_questions_decide_instantly() {
+        // Sibling subtrees stay disjoint and same-axis contacts stay
+        // overlaps when the third axis is in play.
+        for i in 0..3u8 {
+            for j in 0..3u8 {
+                let a = side(Region::Subtree(ChildStep::Child(i)));
+                let b = side(Region::Subtree(ChildStep::Child(j)));
+                assert_eq!(check_overlap_k(&a, &b, 3).is_disjoint(), i != j);
+                let at = side(Region::At(ChildStep::Child(i)));
+                assert_eq!(check_overlap_k(&at, &b, 3).is_disjoint(), i != j);
+            }
+        }
+        // A guard forbidding the middle child empties regions under it.
+        let guarded = ConflictSide {
+            region: Region::At(ChildStep::Child(1)),
+            guard: StructConstraint {
+                no_mask: 0b010,
+                ..StructConstraint::default()
+            },
+        };
+        let everything = side(Region::Subtree(ChildStep::Here));
+        assert!(check_overlap_k(&guarded, &everything, 3).is_disjoint());
+    }
+
+    #[test]
+    fn ternary_guard_equivalence_is_propositional() {
+        let c2 = GuardExpr::NilAt(ChildStep::Child(2));
+        let doubled = GuardExpr::Not(Box::new(GuardExpr::Not(Box::new(c2.clone()))));
+        assert!(guards_equivalent_k(&c2, &doubled, 3));
+        assert!(!guards_equivalent_k(
+            &c2,
+            &GuardExpr::NilAt(ChildStep::Child(1)),
+            3
+        ));
+        assert!(guards_equivalent_k(
+            &GuardExpr::True,
+            &GuardExpr::Not(Box::new(GuardExpr::NilAt(ChildStep::Here))),
+            3
+        ));
+    }
+
+    #[test]
     fn guard_equivalence_sees_through_double_negation() {
-        let plain = GuardExpr::NilAt(ChildStep::Left);
+        let plain = GuardExpr::NilAt(ChildStep::LEFT);
         let doubled = GuardExpr::Not(Box::new(GuardExpr::Not(Box::new(plain.clone()))));
         assert!(guards_equivalent(&plain, &doubled));
         assert!(guards_equivalent(
@@ -301,8 +615,8 @@ mod tests {
             &GuardExpr::Not(Box::new(GuardExpr::NilAt(ChildStep::Here)))
         ));
         assert!(!guards_equivalent(
-            &GuardExpr::NilAt(ChildStep::Left),
-            &GuardExpr::NilAt(ChildStep::Right)
+            &GuardExpr::NilAt(ChildStep::LEFT),
+            &GuardExpr::NilAt(ChildStep::RIGHT)
         ));
     }
 }

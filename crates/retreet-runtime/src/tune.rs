@@ -47,11 +47,14 @@ pub struct TunedProgram {
 
 /// Builds the measurement tree the cost model times candidates on: a
 /// complete tree of `options.tree_height` whose fields are the original
-/// program's field set, seeded from `options.seed`.
+/// program's field set, seeded from `options.seed`.  The tree's arity is
+/// `options.tree_arity` clamped up to the program's declared arity, so a
+/// k-ary program is always measured with all its child axes populated.
 fn measurement_tree(program: &Program, options: &TuneOptions) -> ValueTree {
     let fields = program_fields(program);
     let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
-    let mut tree = ValueTree::complete(options.tree_height, &field_refs, |_, _| 0);
+    let arity = options.tree_arity.max(program.arity).max(2);
+    let mut tree = ValueTree::complete_kary(arity, options.tree_height, &field_refs, |_, _| 0);
     tree.fill_fields(&field_refs, options.seed);
     tree
 }

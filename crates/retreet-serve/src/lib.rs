@@ -22,19 +22,22 @@
 //! * `batch` — `queries`: an array of the above; answered through
 //!   [`Verifier::verify_batch`], results in input order.
 //! * `run` — `program` plus optional `height` (complete-tree height, default
-//!   6, capped) and `seed` (field valuation); *executes* the program through
-//!   the `retreet-runtime` compiled tier (bytecode VM with certified
-//!   iterative lowering, interpreter fallback) and answers with the returned
-//!   values, the executing tier and the certified-lowered functions.
-//!   Executors are compiled once per distinct source and cached.
-//! * `tune` — `program` plus optional `height` / `seed`: runs the certified
-//!   schedule autotuner (`retreet_runtime::tune_and_compile`) over the
-//!   program's pass pipeline and answers with the winning schedule's
-//!   source, its certificate provenance (kind, engine, soundness), the
-//!   baseline and tuned costs, and the full candidate table — certified
-//!   candidates with measured VM costs, refused candidates with their
-//!   refusal.  Results are cached by `(program, height, seed)`; the
-//!   winner's executor is pre-seeded into the `run` cache.
+//!   6, capped), `seed` (field valuation) and `arity` (complete-tree arity,
+//!   default: the program's declared arity, so binary programs run on binary
+//!   complete trees; out-of-range axes are a `bad_request`); *executes* the
+//!   program through the `retreet-runtime` compiled tier (bytecode VM with
+//!   certified iterative lowering, interpreter fallback) and answers with
+//!   the returned values, the executing tier and the certified-lowered
+//!   functions.  Executors are compiled once per distinct source and cached.
+//! * `tune` — `program` plus optional `height` / `seed` / `arity` (same
+//!   rules as `run`): runs the certified schedule autotuner
+//!   (`retreet_runtime::tune_and_compile`) over the program's pass pipeline
+//!   and answers with the winning schedule's source, its certificate
+//!   provenance (kind, engine, soundness), the baseline and tuned costs,
+//!   and the full candidate table — certified candidates with measured VM
+//!   costs, refused candidates with their refusal.  Results are cached by
+//!   `(program, height, seed, arity)`; the winner's executor is pre-seeded
+//!   into the `run` cache.
 //! * `stats` — cache and serving counters of the shared verifier, plus the
 //!   codegen tier's compile/execute counters.
 //!
@@ -614,10 +617,14 @@ impl Service {
             Some(Value::Number(s)) => *s as u64,
             Some(_) => return error_response(id, "bad_request", "`seed` must be a number"),
         };
+        let arity = match parse_arity(request, &program) {
+            Ok(arity) => arity,
+            Err(err) => return error_response(id, "bad_request", &err),
+        };
         let executor = self.executor_for(source, &program);
         let fields = retreet_codegen::program_fields(&program);
         let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
-        let mut tree = ValueTree::complete(height, &field_refs, |_, _| 0);
+        let mut tree = ValueTree::complete_kary(arity, height, &field_refs, |_, _| 0);
         tree.fill_fields(&field_refs, seed);
         let started = std::time::Instant::now();
         match executor.run(&tree) {
@@ -690,7 +697,17 @@ impl Service {
             Some(Value::Number(s)) => *s as u64,
             Some(_) => return error_response(id, "bad_request", "`seed` must be a number"),
         };
-        let cache_key = format!("{source}\u{1f}{height}\u{1f}{seed}");
+        let program = match retreet_lang::parse_program(source) {
+            Ok(program) => program,
+            Err(err) => {
+                return error_response(id, "bad_request", &format!("cannot parse `program`: {err}"))
+            }
+        };
+        let arity = match parse_arity(request, &program) {
+            Ok(arity) => arity,
+            Err(err) => return error_response(id, "bad_request", &err),
+        };
+        let cache_key = format!("{source}\u{1f}{height}\u{1f}{seed}\u{1f}{arity}");
         if let Some(body) = self.tuned.lock().expect("tune cache lock").get(&cache_key) {
             let mut out = String::from("{");
             push_id(&mut out, id);
@@ -699,14 +716,9 @@ impl Service {
             out.push('}');
             return out;
         }
-        let program = match retreet_lang::parse_program(source) {
-            Ok(program) => program,
-            Err(err) => {
-                return error_response(id, "bad_request", &format!("cannot parse `program`: {err}"))
-            }
-        };
         let options = retreet_transform::TuneOptions {
             tree_height: height,
+            tree_arity: arity,
             seed,
             ..retreet_transform::TuneOptions::quick()
         };
@@ -994,6 +1006,38 @@ fn batch_response(
     out.push_str(&results.join(","));
     out.push_str("]}");
     out
+}
+
+/// Parses the optional `arity` field of `run`/`tune` requests: the arity of
+/// the complete tree the request is answered on.  Defaults to the program's
+/// declared arity (binary complete trees for binary programs).  An explicit
+/// arity outside `2..=MAX_ARITY`, or one that would leave some of the
+/// program's child axes without a tree column, is a `bad_request`.
+fn parse_arity(
+    request: &std::collections::BTreeMap<String, Value>,
+    program: &Program,
+) -> Result<u8, String> {
+    use retreet_lang::ast::MAX_ARITY;
+    let requested = match request.get("arity") {
+        None => return Ok(program.arity.max(2)),
+        Some(Value::Number(a)) if *a >= 2.0 && *a <= MAX_ARITY as f64 && a.fract() == 0.0 => {
+            *a as u8
+        }
+        Some(_) => {
+            return Err(format!(
+                "`arity` must be an integer between 2 and {MAX_ARITY}"
+            ))
+        }
+    };
+    if requested < program.arity {
+        return Err(format!(
+            "tree arity {requested} leaves child axes {}..{} of the arity-{} program out of range",
+            requested,
+            program.arity - 1,
+            program.arity
+        ));
+    }
+    Ok(requested)
 }
 
 fn push_id(out: &mut String, id: Option<&Value>) {
@@ -1474,6 +1518,64 @@ mod tests {
         let request = format!(r#"{{"kind": "run", "program": "{program}", "height": 40}}"#);
         let response = service.handle_line(&request);
         assert_eq!(field(&response, "status").as_str(), Some("error"));
+    }
+
+    #[test]
+    fn run_requests_accept_an_arity_field_and_default_to_the_programs() {
+        let service = quick_service();
+        // A ternary program runs on a ternary complete tree by default: a
+        // height-3 complete ternary tree has 1 + 3 + 9 = 13 nodes, and the
+        // ternary sum over `v` seeded to zero is 0.
+        let ternary = json::escape(corpus::TERNARY_SUM_PARALLEL_SRC);
+        let request = format!(r#"{{"kind": "run", "program": "{ternary}", "height": 3}}"#);
+        let response = service.handle_line(&request);
+        assert_eq!(
+            field(&response, "status").as_str(),
+            Some("ok"),
+            "{response}"
+        );
+        assert_eq!(field(&response, "nodes"), Value::Number(13.0));
+        // A binary program honours an explicit wider arity: the extra axes
+        // exist in the tree but the program never descends them, so only
+        // the binary skeleton of the arity-3 tree is visited.
+        let binary = json::escape(corpus::SIZE_COUNTING_SEQUENTIAL_SRC);
+        let request =
+            format!(r#"{{"kind": "run", "program": "{binary}", "height": 3, "arity": 3}}"#);
+        let response = service.handle_line(&request);
+        assert_eq!(
+            field(&response, "status").as_str(),
+            Some("ok"),
+            "{response}"
+        );
+        assert_eq!(field(&response, "nodes"), Value::Number(13.0));
+    }
+
+    #[test]
+    fn out_of_range_arities_are_typed_bad_requests() {
+        let service = quick_service();
+        let ternary = json::escape(corpus::TERNARY_SUM_PARALLEL_SRC);
+        let binary = json::escape(corpus::SIZE_COUNTING_SEQUENTIAL_SRC);
+        for request in [
+            // Below the minimum, above MAX_ARITY, non-integer.
+            format!(r#"{{"kind": "run", "program": "{binary}", "arity": 1}}"#),
+            format!(r#"{{"kind": "run", "program": "{binary}", "arity": 9}}"#),
+            format!(r#"{{"kind": "run", "program": "{binary}", "arity": 2.5}}"#),
+            // A ternary program on a binary tree would strand axis 2.
+            format!(r#"{{"kind": "run", "program": "{ternary}", "arity": 2}}"#),
+            format!(r#"{{"kind": "tune", "program": "{binary}", "arity": 0}}"#),
+        ] {
+            let response = service.handle_line(&request);
+            assert_eq!(
+                field(&response, "status").as_str(),
+                Some("error"),
+                "{response}"
+            );
+            assert_eq!(
+                field(&response, "code").as_str(),
+                Some("bad_request"),
+                "{response}"
+            );
+        }
     }
 
     #[test]

@@ -446,7 +446,7 @@ pub fn fuse_main_passes(
     let synthesized: Vec<String> = funcs.iter().map(|f| f.name.clone()).collect();
     funcs.extend(program.funcs.iter().filter(|f| f.name != MAIN).cloned());
     funcs.push(new_main);
-    let transformed = finalize_program(Program::new(funcs))?;
+    let transformed = finalize_program(program.with_funcs(funcs))?;
     let mut certified = certify_fusion(verifier, program, &transformed)?;
     certified.synthesized = synthesized;
     Ok(certified)
@@ -455,6 +455,7 @@ pub fn fuse_main_passes(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use retreet_lang::ast::ChildAxis;
     use retreet_lang::corpus;
     use retreet_lang::parser::parse_program;
     use retreet_lang::pretty::print_program;
@@ -507,6 +508,88 @@ mod tests {
         let certified =
             fuse_main_passes(&verifier(), &corpus::tree_mutation_original()).expect("E2 fuses");
         assert!(certified.certificate.verdict.is_equivalent());
+        // Exact reconstruction of the axis permutation: the fused function
+        // descends in the *first* component's (Swap's) order — axis 0, then
+        // axis 1 — even though IncrmLeft's own order was the reverse.
+        let fused = certified
+            .transformed
+            .funcs
+            .iter()
+            .find(|f| f.name.starts_with("Fused_"))
+            .expect("a fused function");
+        let call_order: Vec<NodeRef> = fused
+            .blocks()
+            .into_iter()
+            .filter_map(|b| b.as_call().map(|c| c.target))
+            .collect();
+        assert_eq!(
+            call_order,
+            vec![
+                NodeRef::Child(ChildAxis::LEFT),
+                NodeRef::Child(ChildAxis::RIGHT)
+            ]
+        );
+    }
+
+    #[test]
+    fn aligns_kary_call_orders_to_the_first_components_permutation() {
+        // Two ternary passes over disjoint fields whose child orders are
+        // different permutations of {c0, c1, c2}: the builder re-aligns the
+        // second to the first's order and the fused function reconstructs
+        // exactly that permutation.
+        let program = retreet_lang::parse_program(
+            r#"
+            arity 3;
+            fn A(n) {
+                if (n == nil) { return 0; } else {
+                    x = A(n.c1);
+                    y = A(n.c0);
+                    z = A(n.c2);
+                    n.a = x + y + z + 1;
+                    return x + y + z + 1;
+                }
+            }
+            fn B(n) {
+                if (n == nil) { return 0; } else {
+                    x = B(n.c2);
+                    y = B(n.c1);
+                    z = B(n.c0);
+                    n.b = x + y + z + n.v;
+                    return x + y + z + n.v;
+                }
+            }
+            fn Main(n) {
+                p = A(n);
+                q = B(n);
+                return p + q;
+            }
+            "#,
+        )
+        .expect("parses");
+        let verifier = Verifier::builder().equiv_nodes(3).valuations(1).build();
+        let certified = fuse_main_passes(&verifier, &program).expect("ternary pair fuses");
+        assert!(certified.certificate.verdict.is_equivalent());
+        let fused = certified
+            .transformed
+            .funcs
+            .iter()
+            .find(|f| f.name.starts_with("Fused_"))
+            .expect("a fused function");
+        let call_order: Vec<NodeRef> = fused
+            .blocks()
+            .into_iter()
+            .filter_map(|b| b.as_call().map(|c| c.target))
+            .collect();
+        // A's order — c1, c0, c2 — is canonical.
+        assert_eq!(
+            call_order,
+            vec![
+                NodeRef::Child(ChildAxis(1)),
+                NodeRef::Child(ChildAxis(0)),
+                NodeRef::Child(ChildAxis(2))
+            ]
+        );
+        assert_eq!(certified.transformed.arity, 3);
     }
 
     #[test]

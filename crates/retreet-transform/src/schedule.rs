@@ -183,7 +183,7 @@ pub fn parallelize_recursive_calls(
     if changed_total == 0 {
         return unsupported("no function has independent sibling recursive calls");
     }
-    let transformed = finalize_program(Program::new(funcs))?;
+    let transformed = finalize_program(program.with_funcs(funcs))?;
     certify_parallelization(verifier, program, &transformed)
 }
 
@@ -202,7 +202,7 @@ fn replace_func(program: &Program, name: &str, body: Stmt) -> Result<Program, Tr
             }
         })
         .collect();
-    finalize_program(Program::new(funcs))
+    finalize_program(program.with_funcs(funcs))
 }
 
 #[cfg(test)]

@@ -91,6 +91,10 @@ pub struct TuneOptions {
     pub max_candidates: usize,
     /// Height of the complete measurement tree the cost model seeds.
     pub tree_height: usize,
+    /// Arity of the complete measurement tree (2 = binary, the default).
+    /// Cost models clamp this up to the program's declared arity so a
+    /// k-ary program is always measured on a tree with all its axes.
+    pub tree_arity: u8,
     /// Seed for the measurement tree's field values.
     pub seed: u64,
     /// Timing batches per measurement (the cost model keeps the best).
@@ -104,6 +108,7 @@ impl Default for TuneOptions {
         TuneOptions {
             max_candidates: 32,
             tree_height: 12,
+            tree_arity: 2,
             seed: 7,
             batches: 3,
             per_batch: 3,
@@ -117,6 +122,7 @@ impl TuneOptions {
         TuneOptions {
             max_candidates: 16,
             tree_height: 8,
+            tree_arity: 2,
             seed: 7,
             batches: 2,
             per_batch: 2,
@@ -446,7 +452,7 @@ fn enumerate_candidates(
         if !all_singletons {
             variants.push((
                 ScheduleKind::Sequential,
-                finalize_program(Program::new(funcs.clone())),
+                finalize_program(program.with_funcs(funcs.clone())),
             ));
         }
         // par-passes — needs at least two groups to compose in parallel.
@@ -457,7 +463,7 @@ fn enumerate_candidates(
                 par_passes_main(program, &items, start, run.len(), &group_calls);
             variants.push((
                 ScheduleKind::ParallelPasses,
-                finalize_program(Program::new(par_funcs)),
+                finalize_program(program.with_funcs(par_funcs)),
             ));
         }
         // par-rec — parallelize sibling recursion inside every traversal
@@ -481,7 +487,7 @@ fn enumerate_candidates(
             if changed_total > 0 {
                 variants.push((
                     ScheduleKind::ParallelRecursion,
-                    finalize_program(Program::new(rec_funcs)),
+                    finalize_program(program.with_funcs(rec_funcs)),
                 ));
             }
         }

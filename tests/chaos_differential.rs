@@ -35,7 +35,7 @@ use retreet_repro::retreet_verify::{FaultPlan, Query, Verifier, VerifyError};
 
 /// Every corpus program as NDJSON-embeddable source (mirrors
 /// `corpus::all()`, which only exposes parsed ASTs).
-const CORPUS_SOURCES: [&str; 13] = [
+const CORPUS_SOURCES: [&str; 17] = [
     corpus::SIZE_COUNTING_PARALLEL_SRC,
     corpus::SIZE_COUNTING_SEQUENTIAL_SRC,
     corpus::SIZE_COUNTING_FUSED_SRC,
@@ -49,6 +49,10 @@ const CORPUS_SOURCES: [&str; 13] = [
     corpus::CYCLETREE_PARALLEL_SRC,
     corpus::DISJOINT_PARALLEL_SRC,
     corpus::OVERLAPPING_PARALLEL_SRC,
+    corpus::KDTREE_CLOSEST_SRC,
+    corpus::TERNARY_SUM_SEQUENTIAL_SRC,
+    corpus::TERNARY_SUM_PARALLEL_SRC,
+    corpus::TERNARY_SUM_RACY_SRC,
 ];
 
 /// A fresh store path under the OS temp dir, unique per test.

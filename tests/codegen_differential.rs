@@ -174,8 +174,8 @@ fn uncertifiable_lowering_is_refused_with_a_witness() {
     let mut lowering = lower_function(func).expect("lowerable");
     // Sabotage: visit the first child twice and never the second, which
     // drops a subtree — a genuinely inequivalent "lowering".
-    lowering.second = lowering.first;
-    lowering.second_results = lowering.first_results.clone();
+    lowering.axes[1] = lowering.axes[0];
+    lowering.call_results[1] = lowering.call_results[0].clone();
     match certify_lowering(&verifier, &program, &lowering) {
         Err(LoweringError::Rejected { func, verdict }) => {
             assert!(
